@@ -1,0 +1,898 @@
+//! Reference-by-reference may-dependence analysis of a region.
+//!
+//! The paper assumes "data dependences of every reference in each region"
+//! have been analyzed, as may-dependences, reference by reference
+//! (Section 4). The labeling conditions only need to know, for every
+//! reference site, whether it is the *sink* of a dependence and whether that
+//! dependence crosses segments:
+//!
+//! * Lemma 3: the sink of a cross-segment dependence must be speculative.
+//! * Theorem 1: an idempotent write must not be the sink of a cross-segment
+//!   dependence.
+//! * Theorem 2: an idempotent read must either be the sink of no dependence
+//!   at all, or of an intra-segment dependence whose source is idempotent.
+//!
+//! With regions being loops and segments being iterations, cross-segment
+//! dependences are exactly the dependences carried by the region loop, and
+//! intra-segment dependences are the loop-independent dependences plus those
+//! carried by inner loops. The tester below is a classical hierarchical
+//! dependence test: for every ordered pair of references to the same
+//! variable (at least one a write) and every dependence level, it checks
+//! whether the subscript systems can be equal, using exact strong-SIV
+//! solving where possible and conservative interval (Banerjee-style) plus
+//! GCD reasoning otherwise. Indirect subscripts are treated as
+//! may-dependent in every dimension, exactly as the paper treats `K(E)`.
+
+use crate::bounds::IndexBounds;
+use refidem_ir::affine::{gcd, AffineExpr};
+use refidem_ir::ids::{RefId, StmtId, VarId};
+use refidem_ir::sites::{AccessKind, LoopContext, RefSite, RefTable};
+use refidem_ir::stmt::{LoopStmt, Stmt};
+use refidem_ir::var::VarTable;
+use std::collections::BTreeMap;
+
+/// The kind of a data dependence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DepKind {
+    /// Write → read (true dependence).
+    Flow,
+    /// Read → write.
+    Anti,
+    /// Write → write.
+    Output,
+}
+
+/// Whether the dependence stays within one segment or crosses segments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DepScope {
+    /// Source and sink execute in the same segment (loop-independent or
+    /// carried by an inner loop).
+    IntraSegment,
+    /// Source executes in an older segment than the sink (carried by the
+    /// region loop).
+    CrossSegment,
+}
+
+/// One may-dependence between two reference sites.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Dependence {
+    /// The earlier reference (in sequential execution order).
+    pub source: RefId,
+    /// The later reference.
+    pub sink: RefId,
+    /// Flow, anti or output.
+    pub kind: DepKind,
+    /// Intra- or cross-segment.
+    pub scope: DepScope,
+    /// Region-loop iteration distance, when it could be determined exactly
+    /// (cross-segment dependences only).
+    pub distance: Option<i64>,
+}
+
+/// The set of may-dependences of one region.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DependenceSet {
+    deps: Vec<Dependence>,
+    sink_index: BTreeMap<RefId, Vec<usize>>,
+    source_index: BTreeMap<RefId, Vec<usize>>,
+}
+
+impl DependenceSet {
+    /// Builds a dependence set from an explicit list of dependences. Used by
+    /// front-ends (e.g. the abstract segment-graph regions of the paper's
+    /// Figures 1–3) that compute dependences themselves.
+    pub fn from_deps(deps: Vec<Dependence>) -> Self {
+        let mut out = DependenceSet::default();
+        for d in deps {
+            out.push(d);
+        }
+        out
+    }
+
+    /// All dependences.
+    pub fn deps(&self) -> &[Dependence] {
+        &self.deps
+    }
+
+    /// Number of dependences.
+    pub fn len(&self) -> usize {
+        self.deps.len()
+    }
+
+    /// True when the region has no dependences at all.
+    pub fn is_empty(&self) -> bool {
+        self.deps.is_empty()
+    }
+
+    fn push(&mut self, d: Dependence) {
+        let idx = self.deps.len();
+        self.sink_index.entry(d.sink).or_default().push(idx);
+        self.source_index.entry(d.source).or_default().push(idx);
+        self.deps.push(d);
+    }
+
+    /// Dependences whose sink is `r`.
+    pub fn deps_into(&self, r: RefId) -> impl Iterator<Item = &Dependence> {
+        self.sink_index
+            .get(&r)
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.deps[i])
+    }
+
+    /// Dependences whose source is `r`.
+    pub fn deps_from(&self, r: RefId) -> impl Iterator<Item = &Dependence> {
+        self.source_index
+            .get(&r)
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.deps[i])
+    }
+
+    /// True when `r` is the sink of a cross-segment dependence (Lemma 3's
+    /// condition).
+    pub fn is_sink_of_cross_segment(&self, r: RefId) -> bool {
+        self.deps_into(r).any(|d| d.scope == DepScope::CrossSegment)
+    }
+
+    /// True when `r` is the sink of any dependence.
+    pub fn is_sink_of_any(&self, r: RefId) -> bool {
+        self.deps_into(r).next().is_some()
+    }
+
+    /// True when the region carries at least one cross-segment dependence.
+    pub fn has_cross_segment_deps(&self) -> bool {
+        self.deps.iter().any(|d| d.scope == DepScope::CrossSegment)
+    }
+
+    /// True when the region carries at least one cross-segment dependence
+    /// on a variable outside `ignored` (used to model compiler
+    /// parallelization after privatization).
+    pub fn has_cross_segment_deps_excluding(
+        &self,
+        table: &RefTable,
+        ignored: &dyn Fn(VarId) -> bool,
+    ) -> bool {
+        self.deps.iter().any(|d| {
+            d.scope == DepScope::CrossSegment
+                && table
+                    .get(d.sink)
+                    .map(|site| !ignored(site.var))
+                    .unwrap_or(true)
+        })
+    }
+
+    /// Analyzes the dependences of a region loop given the reference table
+    /// of its body.
+    pub fn analyze(vars: &VarTable, region: &LoopStmt, table: &RefTable) -> Self {
+        let tester = Tester::new(vars, region);
+        let mut out = DependenceSet::default();
+        let sites = table.sites();
+        for a in sites {
+            for b in sites {
+                if a.var != b.var {
+                    continue;
+                }
+                if a.access == AccessKind::Read && b.access == AccessKind::Read {
+                    continue;
+                }
+                if !vars.kind(a.var).is_data() {
+                    continue;
+                }
+                tester.test_pair(a, b, &mut out);
+            }
+        }
+        out
+    }
+}
+
+/// Internal: hierarchical dependence tester for one region.
+struct Tester<'a> {
+    vars: &'a VarTable,
+    region: &'a LoopStmt,
+    region_bounds: IndexBounds,
+}
+
+/// Meta-variable ids start here so they never collide with program
+/// variables.
+const META_BASE: u32 = 1 << 24;
+
+#[derive(Default)]
+struct MetaAlloc {
+    next: u32,
+    bounds: BTreeMap<VarId, (i64, i64)>,
+}
+
+impl MetaAlloc {
+    fn fresh(&mut self, lo: i64, hi: i64) -> VarId {
+        let id = VarId(META_BASE + self.next);
+        self.next += 1;
+        self.bounds.insert(id, (lo.min(hi), lo.max(hi)));
+        id
+    }
+}
+
+/// How the source and sink instances relate at one loop level.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum LevelRelation {
+    /// Both instances use the same index value.
+    Equal,
+    /// The sink's index is `step * t` ahead of the source's, `t >= 1`.
+    Carried,
+    /// The indices are unrelated (inner levels of a carried dependence).
+    Free,
+}
+
+impl<'a> Tester<'a> {
+    fn new(vars: &'a VarTable, region: &'a LoopStmt) -> Self {
+        let mut region_bounds = IndexBounds::new();
+        region_bounds.enter_loop(vars, region.index, &region.lower, &region.upper, region.step);
+        Tester {
+            vars,
+            region,
+            region_bounds,
+        }
+    }
+
+    /// Longest common prefix of the two sites' inner-loop nests (loops are
+    /// identified by their statement id).
+    fn common_loops<'s>(&self, a: &'s RefSite, b: &'s RefSite) -> Vec<&'s LoopContext> {
+        let mut out = Vec::new();
+        for (la, lb) in a.loops.iter().zip(&b.loops) {
+            if la.stmt == lb.stmt {
+                out.push(la);
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Tests all dependence levels for the ordered pair (source = `a`,
+    /// sink = `b`) and records the results.
+    fn test_pair(&self, a: &RefSite, b: &RefSite, out: &mut DependenceSet) {
+        let kind = match (a.access, b.access) {
+            (AccessKind::Write, AccessKind::Read) => DepKind::Flow,
+            (AccessKind::Read, AccessKind::Write) => DepKind::Anti,
+            (AccessKind::Write, AccessKind::Write) => DepKind::Output,
+            (AccessKind::Read, AccessKind::Read) => return,
+        };
+        let common = self.common_loops(a, b);
+
+        // Cross-segment: carried by the region loop.
+        if let Some(distance) = self.test_level(a, b, &common, 0) {
+            out.push(Dependence {
+                source: a.id,
+                sink: b.id,
+                kind,
+                scope: DepScope::CrossSegment,
+                distance,
+            });
+        }
+
+        // Intra-segment: carried by one of the common inner loops.
+        let mut intra = false;
+        for level in 1..=common.len() {
+            if self.test_level(a, b, &common, level).is_some() {
+                intra = true;
+                break;
+            }
+        }
+        // Intra-segment: loop-independent (same instance of every common
+        // loop), requires the source to precede the sink textually.
+        if !intra && a.id != b.id && a.order < b.order {
+            let level = common.len() + 1;
+            if self.test_level(a, b, &common, level).is_some() {
+                intra = true;
+            }
+        }
+        if intra {
+            out.push(Dependence {
+                source: a.id,
+                sink: b.id,
+                kind,
+                scope: DepScope::IntraSegment,
+                distance: None,
+            });
+        }
+    }
+
+    /// Tests one dependence level.
+    ///
+    /// `level == 0` is the region loop (cross-segment). `level == i` for
+    /// `1 <= i <= common.len()` is carried by the i-th common inner loop.
+    /// `level == common.len() + 1` is the loop-independent level.
+    ///
+    /// Returns `Some(distance)` when a dependence may exist (the distance is
+    /// known only for exactly-solved region-level dependences).
+    fn test_level(
+        &self,
+        a: &RefSite,
+        b: &RefSite,
+        common: &[&LoopContext],
+        level: usize,
+    ) -> Option<Option<i64>> {
+        let mut alloc = MetaAlloc::default();
+        let bounds_a = IndexBounds::for_site(self.vars, self.region, &a.loops);
+        let bounds_b = IndexBounds::for_site(self.vars, self.region, &b.loops);
+
+        // Mapping from real index variables to meta expressions, separately
+        // for the source and the sink.
+        let mut map_a: BTreeMap<VarId, AffineExpr> = BTreeMap::new();
+        let mut map_b: BTreeMap<VarId, AffineExpr> = BTreeMap::new();
+        // The carried-distance meta variable, if this level is carried.
+        let mut distance_var: Option<VarId> = None;
+
+        // Region loop.
+        let (klo, khi) = self.region_bounds.get(self.region.index).unwrap_or((
+            i64::MIN / 4,
+            i64::MAX / 4,
+        ));
+        let max_trip = (khi - klo + 1).max(0) as usize;
+        let relation = |lvl: usize| -> LevelRelation {
+            use std::cmp::Ordering::*;
+            match lvl.cmp(&level) {
+                Less => LevelRelation::Equal,
+                Equal => LevelRelation::Carried,
+                Greater => LevelRelation::Free,
+            }
+        };
+        // Level indices: region loop is level 0; common inner loop i is
+        // level i+1; the loop-independent level never marks anything
+        // Carried.
+        self.bind_level(
+            &mut alloc,
+            &mut map_a,
+            &mut map_b,
+            &mut distance_var,
+            self.region.index,
+            (klo, khi),
+            self.region.step,
+            max_trip,
+            relation(0),
+        )?;
+        for (i, l) in common.iter().enumerate() {
+            let bounds = bounds_a.get(l.index).or_else(|| bounds_b.get(l.index));
+            let (lo, hi) = bounds.unwrap_or((i64::MIN / 4, i64::MAX / 4));
+            let trip = (hi - lo + 1).max(0) as usize;
+            self.bind_level(
+                &mut alloc,
+                &mut map_a,
+                &mut map_b,
+                &mut distance_var,
+                l.index,
+                (lo, hi),
+                l.step,
+                trip,
+                relation(i + 1),
+            )?;
+        }
+        // Non-common inner loops: always independent.
+        for l in a.loops.iter().skip(common.len()) {
+            let (lo, hi) = bounds_a.get(l.index).unwrap_or((i64::MIN / 4, i64::MAX / 4));
+            let meta = alloc.fresh(lo, hi);
+            map_a.insert(l.index, AffineExpr::var(meta));
+        }
+        for l in b.loops.iter().skip(common.len()) {
+            let (lo, hi) = bounds_b.get(l.index).unwrap_or((i64::MIN / 4, i64::MAX / 4));
+            let meta = alloc.fresh(lo, hi);
+            map_b.insert(l.index, AffineExpr::var(meta));
+        }
+
+        // Scalars: no subscripts to constrain, dependence feasible.
+        if a.reference.subs.is_empty() && b.reference.subs.is_empty() {
+            return Some(self.scalar_distance(level, distance_var, &alloc));
+        }
+        if a.reference.subs.len() != b.reference.subs.len() {
+            // Mismatched arity (should not happen for well-formed programs);
+            // be conservative.
+            return Some(None);
+        }
+
+        let mut exact_distance: Option<i64> = None;
+        for (sa, sb) in a.reference.subs.iter().zip(&b.reference.subs) {
+            let (ea, eb) = match (sa.as_affine(), sb.as_affine()) {
+                (Some(ea), Some(eb)) => (ea, eb),
+                // An indirect subscript: may-dependent in this dimension.
+                _ => continue,
+            };
+            let da = self.substitute(ea, &map_a);
+            let db = self.substitute(eb, &map_b);
+            let diff = da - db;
+            match feasible(&diff, &alloc.bounds) {
+                Feasibility::Infeasible => return None,
+                Feasibility::Feasible => {}
+                Feasibility::Exact(var, value) => {
+                    if Some(var) == distance_var && level == 0 {
+                        exact_distance = Some(value);
+                    }
+                }
+            }
+        }
+        Some(exact_distance)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn bind_level(
+        &self,
+        alloc: &mut MetaAlloc,
+        map_a: &mut BTreeMap<VarId, AffineExpr>,
+        map_b: &mut BTreeMap<VarId, AffineExpr>,
+        distance_var: &mut Option<VarId>,
+        index: VarId,
+        bounds: (i64, i64),
+        step: i64,
+        max_trip: usize,
+        relation: LevelRelation,
+    ) -> Option<()> {
+        match relation {
+            LevelRelation::Equal => {
+                let meta = alloc.fresh(bounds.0, bounds.1);
+                map_a.insert(index, AffineExpr::var(meta));
+                map_b.insert(index, AffineExpr::var(meta));
+            }
+            LevelRelation::Carried => {
+                if max_trip < 2 {
+                    // The loop cannot carry a dependence.
+                    return None;
+                }
+                let meta = alloc.fresh(bounds.0, bounds.1);
+                let t = alloc.fresh(1, max_trip as i64 - 1);
+                *distance_var = Some(t);
+                map_a.insert(index, AffineExpr::var(meta));
+                map_b.insert(
+                    index,
+                    AffineExpr::var(meta) + AffineExpr::scaled_var(t, step),
+                );
+            }
+            LevelRelation::Free => {
+                let ma = alloc.fresh(bounds.0, bounds.1);
+                let mb = alloc.fresh(bounds.0, bounds.1);
+                map_a.insert(index, AffineExpr::var(ma));
+                map_b.insert(index, AffineExpr::var(mb));
+            }
+        }
+        Some(())
+    }
+
+    fn scalar_distance(
+        &self,
+        level: usize,
+        distance_var: Option<VarId>,
+        _alloc: &MetaAlloc,
+    ) -> Option<i64> {
+        // A scalar dependence at the region level can have any distance; we
+        // report the minimum one (1) for cross-segment dependences.
+        if level == 0 && distance_var.is_some() {
+            Some(1)
+        } else {
+            None
+        }
+    }
+
+    fn substitute(&self, e: &AffineExpr, map: &BTreeMap<VarId, AffineExpr>) -> AffineExpr {
+        let folded = e.substitute_params(&|v| self.vars.param_value(v));
+        let mut out = AffineExpr::constant(folded.constant);
+        for (&v, &c) in &folded.terms {
+            match map.get(&v) {
+                Some(meta) => out = out + meta.clone() * c,
+                None => out.add_term(v, c),
+            }
+        }
+        out
+    }
+}
+
+enum Feasibility {
+    /// The dimension can never be equal.
+    Infeasible,
+    /// The dimension may be equal.
+    Feasible,
+    /// The dimension is equal exactly when the given meta variable has the
+    /// given value (strong-SIV exact solution).
+    Exact(VarId, i64),
+}
+
+/// Decides whether `diff == 0` has a solution with every variable inside its
+/// bounds, using exact single-variable solving, a GCD test and an interval
+/// (Banerjee-style) test.
+fn feasible(diff: &AffineExpr, bounds: &BTreeMap<VarId, (i64, i64)>) -> Feasibility {
+    if diff.is_constant() {
+        return if diff.constant == 0 {
+            Feasibility::Feasible
+        } else {
+            Feasibility::Infeasible
+        };
+    }
+    // Exact single-variable case: c * v + constant == 0.
+    if diff.terms.len() == 1 {
+        let (&v, &c) = diff.terms.iter().next().expect("one term");
+        if diff.constant % c != 0 {
+            return Feasibility::Infeasible;
+        }
+        let value = -diff.constant / c;
+        if let Some((lo, hi)) = bounds.get(&v) {
+            if value < *lo || value > *hi {
+                return Feasibility::Infeasible;
+            }
+        }
+        return Feasibility::Exact(v, value);
+    }
+    // GCD test.
+    let g = diff.terms.values().fold(0i64, |acc, &c| gcd(acc, c));
+    if g != 0 && diff.constant % g != 0 {
+        return Feasibility::Infeasible;
+    }
+    // Interval (Banerjee bounds) test.
+    let range = diff.range(&|v| bounds.get(&v).copied());
+    match range {
+        Some((lo, hi)) => {
+            if lo <= 0 && 0 <= hi {
+                Feasibility::Feasible
+            } else {
+                Feasibility::Infeasible
+            }
+        }
+        // Unknown bounds: conservative.
+        None => Feasibility::Feasible,
+    }
+}
+
+/// Convenience: analyzes the dependences of a labeled region loop of a
+/// procedure (collecting the body's reference table internally).
+pub fn analyze_region_loop(
+    vars: &VarTable,
+    region: &LoopStmt,
+) -> (RefTable, DependenceSet) {
+    let table = RefTable::collect(&region.body);
+    let deps = DependenceSet::analyze(vars, region, &table);
+    (table, deps)
+}
+
+/// Helper for tests and tools: formats a dependence with variable names.
+pub fn dependence_to_string(table: &RefTable, vars: &VarTable, d: &Dependence) -> String {
+    let name = |r: RefId| {
+        table
+            .get(r)
+            .map(|s| {
+                format!(
+                    "{}{}({r})",
+                    vars.name(s.var),
+                    if s.access == AccessKind::Write { "=w" } else { "=r" }
+                )
+            })
+            .unwrap_or_else(|| format!("{r}"))
+    };
+    format!(
+        "{:?} {:?} {} -> {}{}",
+        d.scope,
+        d.kind,
+        name(d.source),
+        name(d.sink),
+        d.distance
+            .map(|x| format!(" (distance {x})"))
+            .unwrap_or_default()
+    )
+}
+
+/// Builds a region loop from a labeled loop inside a statement, for tests.
+pub fn find_region<'p>(body: &'p [Stmt], label: &str) -> Option<&'p LoopStmt> {
+    for s in body {
+        if let Some(l) = s.find_loop(label) {
+            return Some(l);
+        }
+    }
+    None
+}
+
+/// Returns the id of the statement containing a site (convenience for
+/// diagnostics).
+pub fn site_stmt(table: &RefTable, r: RefId) -> Option<StmtId> {
+    table.get(r).map(|s| s.stmt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refidem_ir::build::{ac, add, av, num, ProcBuilder};
+    fn region_of(b: &ProcBuilder, body: &[Stmt], label: &str) -> LoopStmt {
+        let _ = b;
+        find_region(body, label).expect("region").clone()
+    }
+
+    /// do k = 1, 10:  a(k) = a(k-1) + 1   — classic loop-carried flow dep.
+    #[test]
+    fn carried_flow_dependence_is_cross_segment() {
+        let mut b = ProcBuilder::new("t");
+        let a = b.array("a", &[16]);
+        let k = b.index("k");
+        let rhs = add(b.load_elem(a, vec![av(k) - ac(1)]), num(1.0));
+        let s = b.assign_elem(a, vec![av(k)], rhs);
+        let body = vec![b.do_loop_labeled("R", k, ac(1), ac(10), vec![s])];
+        let region = region_of(&b, &body, "R");
+        let (table, deps) = analyze_region_loop(b.vars(), &region);
+        // The read a(k-1) is the sink of a cross-segment flow dependence
+        // from the write a(k) at distance 1.
+        let read = table
+            .sites()
+            .iter()
+            .find(|s| s.access == AccessKind::Read)
+            .unwrap();
+        let write = table
+            .sites()
+            .iter()
+            .find(|s| s.access == AccessKind::Write)
+            .unwrap();
+        assert!(deps.is_sink_of_cross_segment(read.id));
+        let flow: Vec<_> = deps
+            .deps_into(read.id)
+            .filter(|d| d.kind == DepKind::Flow && d.scope == DepScope::CrossSegment)
+            .collect();
+        assert_eq!(flow.len(), 1);
+        assert_eq!(flow[0].source, write.id);
+        assert_eq!(flow[0].distance, Some(1));
+        // The write is the sink of a cross-segment anti dependence (the read
+        // of a(k-1) in a later iteration? no — a(k-1) is read one iteration
+        // AFTER it is written, so the anti direction is infeasible).
+        assert!(!deps.is_sink_of_cross_segment(write.id));
+        assert!(deps.has_cross_segment_deps());
+    }
+
+    /// do k = 1, 10:  a(k) = b(k) * 2 — fully independent.
+    #[test]
+    fn independent_loop_has_no_cross_segment_deps() {
+        let mut b = ProcBuilder::new("t");
+        let a = b.array("a", &[16]);
+        let bb = b.array("b", &[16]);
+        let k = b.index("k");
+        let rhs = refidem_ir::build::mul(b.load_elem(bb, vec![av(k)]), num(2.0));
+        let s = b.assign_elem(a, vec![av(k)], rhs);
+        let body = vec![b.do_loop_labeled("R", k, ac(1), ac(10), vec![s])];
+        let region = region_of(&b, &body, "R");
+        let (_table, deps) = analyze_region_loop(b.vars(), &region);
+        assert!(!deps.has_cross_segment_deps());
+        assert!(deps.is_empty());
+    }
+
+    /// do k = 1, 10:  { t = b(k); a(k) = t } — t carries intra flow deps and
+    /// cross anti/output deps.
+    #[test]
+    fn scalar_temporary_has_intra_flow_and_cross_anti_output() {
+        let mut b = ProcBuilder::new("t");
+        let a = b.array("a", &[16]);
+        let bb = b.array("b", &[16]);
+        let t = b.scalar("t");
+        let k = b.index("k");
+        let rhs1 = b.load_elem(bb, vec![av(k)]);
+        let s1 = b.assign_scalar(t, rhs1);
+        let rhs2 = b.load(t);
+        let s2 = b.assign_elem(a, vec![av(k)], rhs2);
+        let body = vec![b.do_loop_labeled("R", k, ac(1), ac(10), vec![s1, s2])];
+        let region = region_of(&b, &body, "R");
+        let (table, deps) = analyze_region_loop(b.vars(), &region);
+        let t_write = table
+            .sites()
+            .iter()
+            .find(|s| s.var == t && s.access == AccessKind::Write)
+            .unwrap();
+        let t_read = table
+            .sites()
+            .iter()
+            .find(|s| s.var == t && s.access == AccessKind::Read)
+            .unwrap();
+        // Intra-segment flow dependence t_write -> t_read.
+        assert!(deps
+            .deps_into(t_read.id)
+            .any(|d| d.kind == DepKind::Flow && d.scope == DepScope::IntraSegment
+                && d.source == t_write.id));
+        // The write is the sink of cross-segment anti and output deps.
+        let kinds: Vec<DepKind> = deps
+            .deps_into(t_write.id)
+            .filter(|d| d.scope == DepScope::CrossSegment)
+            .map(|d| d.kind)
+            .collect();
+        assert!(kinds.contains(&DepKind::Anti));
+        assert!(kinds.contains(&DepKind::Output));
+        // The read also is the sink of a cross-segment flow dependence
+        // (conservatively: t written in an older segment reaches this read).
+        assert!(deps.is_sink_of_cross_segment(t_read.id));
+    }
+
+    /// The BUTS_DO1 pattern of Figure 4 (ascending region loop): the S1
+    /// reads are sources only; the S2 write is a cross-segment sink.
+    #[test]
+    fn buts_pattern_reads_are_sources_only() {
+        let mut b = ProcBuilder::new("t");
+        let v = b.array("v", &[5, 10, 10, 10]);
+        let k = b.index("k");
+        let j = b.index("j");
+        let i = b.index("i");
+        let l = b.index("l");
+        let m = b.index("m");
+        let tmp = b.scalar("tmp");
+        // S1 (inside do l): tmp = v(l,i,j,k+1) + v(l,i,j+1,k) + v(l,i+1,j,k)
+        let rhs1 = add(
+            add(
+                b.load_elem(v, vec![av(l), av(i), av(j), av(k) + ac(1)]),
+                b.load_elem(v, vec![av(l), av(i), av(j) + ac(1), av(k)]),
+            ),
+            b.load_elem(v, vec![av(l), av(i) + ac(1), av(j), av(k)]),
+        );
+        let s1 = b.assign_scalar(tmp, rhs1);
+        let l_loop = b.do_loop(l, ac(1), ac(5), vec![s1]);
+        // S2 (inside do m): v(m,i,j,k) = v(m,i,j,k) - tmp
+        let rhs2 = refidem_ir::build::sub(
+            b.load_elem(v, vec![av(m), av(i), av(j), av(k)]),
+            b.load(tmp),
+        );
+        let s2 = b.assign_elem(v, vec![av(m), av(i), av(j), av(k)], rhs2);
+        let m_loop = b.do_loop(m, ac(1), ac(5), vec![s2]);
+        let i_loop = b.do_loop(i, ac(2), ac(9), vec![l_loop, m_loop]);
+        let j_loop = b.do_loop(j, ac(2), ac(9), vec![i_loop]);
+        let body = vec![b.do_loop_labeled("BUTS_DO1", k, ac(2), ac(9), vec![j_loop])];
+        let region = region_of(&b, &body, "BUTS_DO1");
+        let (table, deps) = analyze_region_loop(b.vars(), &region);
+
+        let v_reads_s1: Vec<&RefSite> = table
+            .sites()
+            .iter()
+            .filter(|s| s.var == v && s.access == AccessKind::Read && s.loops.iter().any(|lc| lc.index == l))
+            .collect();
+        assert_eq!(v_reads_s1.len(), 3);
+        for site in &v_reads_s1 {
+            assert!(
+                !deps.is_sink_of_any(site.id),
+                "S1 read {} must be a dependence source only",
+                site.id
+            );
+            assert!(deps.deps_from(site.id).count() > 0);
+        }
+        let v_write = table
+            .sites()
+            .iter()
+            .find(|s| s.var == v && s.access == AccessKind::Write)
+            .unwrap();
+        assert!(
+            deps.is_sink_of_cross_segment(v_write.id),
+            "the S2 write is the sink of cross-segment dependences"
+        );
+        assert!(deps.has_cross_segment_deps());
+    }
+
+    /// Reverse (descending) stencil: a(k) = a(k+1) in a descending loop has
+    /// no cross-iteration flow dependence into the read (the element read
+    /// was written in an *earlier* (larger-k) iteration — so the read IS a
+    /// flow sink); sanity-check direction handling for negative steps.
+    #[test]
+    fn descending_loop_direction_is_respected() {
+        let mut b = ProcBuilder::new("t");
+        let a = b.array("a", &[16]);
+        let k = b.index("k");
+        let rhs = b.load_elem(a, vec![av(k) + ac(1)]);
+        let s = b.assign_elem(a, vec![av(k)], rhs);
+        let body = vec![b.do_loop_step(Some("R"), k, ac(10), ac(1), -1, vec![s])];
+        let region = region_of(&b, &body, "R");
+        let (table, deps) = analyze_region_loop(b.vars(), &region);
+        let read = table
+            .sites()
+            .iter()
+            .find(|s| s.access == AccessKind::Read)
+            .unwrap();
+        let write = table
+            .sites()
+            .iter()
+            .find(|s| s.access == AccessKind::Write)
+            .unwrap();
+        // In the descending loop, iteration k reads a(k+1) which was written
+        // by iteration k+1 — an OLDER segment. So the read is the sink of a
+        // cross-segment flow dependence.
+        assert!(deps
+            .deps_into(read.id)
+            .any(|d| d.kind == DepKind::Flow && d.scope == DepScope::CrossSegment
+                && d.source == write.id));
+        // And the write is NOT the sink of a cross-segment anti dependence.
+        assert!(!deps
+            .deps_into(write.id)
+            .any(|d| d.kind == DepKind::Anti && d.scope == DepScope::CrossSegment));
+    }
+
+    /// Indirect subscripts force conservative may-dependences.
+    #[test]
+    fn indirect_subscripts_are_conservative() {
+        let mut b = ProcBuilder::new("t");
+        let x = b.array("x", &[16]);
+        let idxv = b.array("idx", &[16]);
+        let k = b.index("k");
+        // x(idx(k)) = x(idx(k)) + 1
+        let i1 = b.aref(idxv, vec![av(k)]);
+        let ind1 = b.indirect(i1);
+        let lhs = b.aref_subs(x, vec![ind1]);
+        let i2 = b.aref(idxv, vec![av(k)]);
+        let ind2 = b.indirect(i2);
+        let rref = b.aref_subs(x, vec![ind2]);
+        let rhs = add(b.load_ref(rref), num(1.0));
+        let s = b.assign(lhs, rhs);
+        let body = vec![b.do_loop_labeled("R", k, ac(1), ac(10), vec![s])];
+        let region = region_of(&b, &body, "R");
+        let (table, deps) = analyze_region_loop(b.vars(), &region);
+        let x_write = table
+            .sites()
+            .iter()
+            .find(|s| s.var == x && s.access == AccessKind::Write)
+            .unwrap();
+        let x_read = table
+            .sites()
+            .iter()
+            .find(|s| s.var == x && s.access == AccessKind::Read)
+            .unwrap();
+        // Both cross-segment directions are conservatively reported.
+        assert!(deps.is_sink_of_cross_segment(x_write.id));
+        assert!(deps.is_sink_of_cross_segment(x_read.id));
+    }
+
+    /// Distinct constant subscripts never alias.
+    #[test]
+    fn distinct_constants_do_not_alias() {
+        let mut b = ProcBuilder::new("t");
+        let a = b.array("a", &[16]);
+        let q = b.scalar("q");
+        let k = b.index("k");
+        let w = b.assign_elem(a, vec![ac(1)], num(1.0));
+        let rhs = b.load_elem(a, vec![ac(2)]);
+        let r = b.assign_scalar(q, rhs);
+        let body = vec![b.do_loop_labeled("R", k, ac(1), ac(10), vec![w, r])];
+        let region = region_of(&b, &body, "R");
+        let (table, deps) = analyze_region_loop(b.vars(), &region);
+        let read = table
+            .sites()
+            .iter()
+            .find(|s| s.var == a && s.access == AccessKind::Read)
+            .unwrap();
+        assert!(!deps.is_sink_of_any(read.id));
+        // a(1) = ... is still the sink of a cross-segment output dependence
+        // with itself (same element every iteration).
+        let write = table
+            .sites()
+            .iter()
+            .find(|s| s.var == a && s.access == AccessKind::Write)
+            .unwrap();
+        assert!(deps
+            .deps_into(write.id)
+            .any(|d| d.kind == DepKind::Output && d.scope == DepScope::CrossSegment));
+    }
+
+    /// Strided accesses: a(2k) vs a(2k+1) never alias (GCD test).
+    #[test]
+    fn gcd_test_separates_interleaved_accesses() {
+        let mut b = ProcBuilder::new("t");
+        let a = b.array("a", &[64]);
+        let q = b.scalar("q");
+        let k = b.index("k");
+        let w = b.assign_elem(a, vec![AffineExpr::scaled_var(k, 2)], num(1.0));
+        let rhs = b.load_elem(a, vec![AffineExpr::scaled_var(k, 2) + ac(1)]);
+        let r = b.assign_scalar(q, rhs);
+        let body = vec![b.do_loop_labeled("R", k, ac(1), ac(10), vec![w, r])];
+        let region = region_of(&b, &body, "R");
+        let (table, deps) = analyze_region_loop(b.vars(), &region);
+        let read = table
+            .sites()
+            .iter()
+            .find(|s| s.var == a && s.access == AccessKind::Read)
+            .unwrap();
+        assert!(!deps.is_sink_of_any(read.id), "even/odd elements never alias");
+    }
+
+    #[test]
+    fn dependence_pretty_printer_mentions_variables() {
+        let mut b = ProcBuilder::new("t");
+        let a = b.array("a", &[16]);
+        let k = b.index("k");
+        let rhs = add(b.load_elem(a, vec![av(k) - ac(1)]), num(1.0));
+        let s = b.assign_elem(a, vec![av(k)], rhs);
+        let body = vec![b.do_loop_labeled("R", k, ac(1), ac(10), vec![s])];
+        let region = region_of(&b, &body, "R");
+        let (table, deps) = analyze_region_loop(b.vars(), &region);
+        let text = dependence_to_string(&table, b.vars(), &deps.deps()[0]);
+        assert!(text.contains("a="));
+    }
+}

@@ -1,0 +1,118 @@
+//! Live-out analysis at region exits.
+//!
+//! Definition 5 only requires a *live* variable to be re-written after a
+//! roll-back, and Algorithm 1 marks the region's exit node `Read` for a
+//! variable exactly when the variable is live-out of the region. Similarly,
+//! the private classification requires the variable to be dead at segment
+//! boundaries.
+//!
+//! A variable is live at the exit of a region if the code following the
+//! region (within the same procedure) has an upward-exposed read of it, or
+//! if it is listed in the procedure's `live_out` set (a program output).
+
+use crate::summary::BodySummary;
+use refidem_ir::ids::VarId;
+use refidem_ir::program::Procedure;
+use std::collections::BTreeSet;
+
+/// Computes the set of variables live at the exit of the labeled region.
+///
+/// Returns `None` when the label does not name a top-level loop of the
+/// procedure.
+pub fn region_live_out(proc: &Procedure, region_label: &str) -> Option<BTreeSet<VarId>> {
+    let (_before, _loop, after) = proc.split_at_loop(region_label)?;
+    let after_summary = BodySummary::analyze(&proc.vars, None, after);
+    let mut live: BTreeSet<VarId> = after_summary.exposed_read_vars();
+    live.extend(proc.live_out.iter().copied());
+    Some(live)
+}
+
+/// Computes the set of variables live at the *entry* of the labeled region:
+/// the union of the region body's upward-exposed reads and everything live
+/// at its exit (conservative, ignoring kills by the region itself).
+pub fn region_live_in(proc: &Procedure, region_label: &str) -> Option<BTreeSet<VarId>> {
+    let (_before, region, _after) = proc.split_at_loop(region_label)?;
+    let body_summary = BodySummary::analyze(&proc.vars, Some(region), &region.body);
+    let mut live = body_summary.exposed_read_vars();
+    live.extend(region_live_out(proc, region_label)?);
+    Some(live)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refidem_ir::build::{ac, av, num, ProcBuilder};
+
+    #[test]
+    fn reads_after_the_region_make_variables_live() {
+        // do k = 1, 8 (region R): a(k) = 1 ; t = 2
+        // after: q = t ; r = a(3)
+        let mut b = ProcBuilder::new("t");
+        let a = b.array("a", &[8]);
+        let t = b.scalar("t");
+        let q = b.scalar("q");
+        let r = b.scalar("r");
+        let dead = b.scalar("dead");
+        let k = b.index("k");
+        let s1 = b.assign_elem(a, vec![av(k)], num(1.0));
+        let s2 = b.assign_scalar(t, num(2.0));
+        let s_dead = b.assign_scalar(dead, num(3.0));
+        let region = b.do_loop_labeled("R", k, ac(1), ac(8), vec![s1, s2, s_dead]);
+        let rhs_q = b.load(t);
+        let after1 = b.assign_scalar(q, rhs_q);
+        let rhs_r = b.load_elem(a, vec![ac(3)]);
+        let after2 = b.assign_scalar(r, rhs_r);
+        let proc = b.build(vec![region, after1, after2]);
+        let live = region_live_out(&proc, "R").unwrap();
+        assert!(live.contains(&a));
+        assert!(live.contains(&t));
+        assert!(!live.contains(&dead));
+        assert!(!live.contains(&q));
+    }
+
+    #[test]
+    fn procedure_outputs_are_always_live() {
+        let mut b = ProcBuilder::new("t");
+        let a = b.array("a", &[8]);
+        let k = b.index("k");
+        b.live_out(&[a]);
+        let s1 = b.assign_elem(a, vec![av(k)], num(1.0));
+        let region = b.do_loop_labeled("R", k, ac(1), ac(8), vec![s1]);
+        let proc = b.build(vec![region]);
+        let live = region_live_out(&proc, "R").unwrap();
+        assert!(live.contains(&a));
+        assert!(region_live_out(&proc, "MISSING").is_none());
+    }
+
+    #[test]
+    fn kills_after_the_region_remove_liveness() {
+        // region writes t; after the region t is overwritten before use.
+        let mut b = ProcBuilder::new("t");
+        let t = b.scalar("t");
+        let q = b.scalar("q");
+        let k = b.index("k");
+        let s1 = b.assign_scalar(t, num(2.0));
+        let region = b.do_loop_labeled("R", k, ac(1), ac(8), vec![s1]);
+        let kill = b.assign_scalar(t, num(0.0));
+        let rhs = b.load(t);
+        let use_stmt = b.assign_scalar(q, rhs);
+        let proc = b.build(vec![region, kill, use_stmt]);
+        let live = region_live_out(&proc, "R").unwrap();
+        assert!(!live.contains(&t), "t is killed before its use");
+    }
+
+    #[test]
+    fn live_in_includes_body_exposed_reads() {
+        let mut b = ProcBuilder::new("t");
+        let x = b.scalar("x");
+        let y = b.scalar("y");
+        let k = b.index("k");
+        let rhs = b.load(y);
+        let s1 = b.assign_scalar(x, rhs);
+        let region = b.do_loop_labeled("R", k, ac(1), ac(8), vec![s1]);
+        let proc = b.build(vec![region]);
+        let live_in = region_live_in(&proc, "R").unwrap();
+        assert!(live_in.contains(&y));
+        assert!(!live_in.contains(&x));
+    }
+}

@@ -1,0 +1,212 @@
+//! Bundled analysis of one region.
+//!
+//! [`RegionAnalysis`] packages everything the idempotency labeling
+//! (Algorithm 2 in `refidem-core`) needs for one region: the reference
+//! table of the loop body, the body summary, the dependence set, the
+//! variable classification and the live-out set, plus two derived flags:
+//!
+//! * `fully_independent` — the region carries no cross-segment data
+//!   dependences at all (Lemma 7 applies: every reference can be labeled
+//!   idempotent and the region could run as a conventional parallel loop);
+//! * `compiler_parallelizable` — the region carries no cross-segment data
+//!   dependences except on privatizable variables. This models what the
+//!   paper's prerequisite compiler (Polaris) can parallelize without
+//!   speculation; the evaluation of Section 5 is restricted to the regions
+//!   where this flag is `false` ("code sections that cannot be detected as
+//!   parallel").
+
+use crate::classify::{VarClass, VarClassification};
+use crate::depend::DependenceSet;
+use crate::liveness::region_live_out;
+use crate::summary::BodySummary;
+use refidem_ir::ids::VarId;
+use refidem_ir::program::{Procedure, Program, RegionSpec};
+use refidem_ir::sites::RefTable;
+use refidem_ir::stmt::LoopStmt;
+use std::collections::BTreeSet;
+
+/// Errors produced while analyzing a region.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// The region label does not name a loop in the program.
+    RegionNotFound(String),
+    /// The region loop is not a top-level statement of its procedure (the
+    /// simulator and the liveness analysis require this).
+    RegionNotTopLevel(String),
+}
+
+impl std::fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalysisError::RegionNotFound(l) => write!(f, "region `{l}` not found"),
+            AnalysisError::RegionNotTopLevel(l) => {
+                write!(f, "region `{l}` is not a top-level loop of its procedure")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+/// The complete prerequisite analysis of one region (Section 4.2.1).
+#[derive(Clone, Debug)]
+pub struct RegionAnalysis {
+    /// The analyzed region.
+    pub spec: RegionSpec,
+    /// The region's loop statement (cloned out of the program).
+    pub loop_stmt: LoopStmt,
+    /// Reference table of the loop body.
+    pub table: RefTable,
+    /// Body summary (exposed reads, must writes, …) of one iteration.
+    pub summary: BodySummary,
+    /// May-dependences, classified intra-/cross-segment.
+    pub deps: DependenceSet,
+    /// Read-only / private / shared classification.
+    pub classes: VarClassification,
+    /// Variables live after the region.
+    pub live_out: BTreeSet<VarId>,
+    /// No cross-segment data dependences at all (Lemma 7).
+    pub fully_independent: bool,
+    /// No cross-segment data dependences except on privatizable variables.
+    pub compiler_parallelizable: bool,
+}
+
+impl RegionAnalysis {
+    /// Analyzes the region designated by `spec`.
+    pub fn analyze(program: &Program, spec: &RegionSpec) -> Result<Self, AnalysisError> {
+        let proc = program
+            .procedures
+            .get(spec.proc.index())
+            .ok_or_else(|| AnalysisError::RegionNotFound(spec.loop_label.clone()))?;
+        Self::analyze_in_proc(proc, spec.clone())
+    }
+
+    /// Analyzes the region named `label`, searching every procedure.
+    pub fn analyze_labeled(program: &Program, label: &str) -> Result<Self, AnalysisError> {
+        let spec = program
+            .find_region(label)
+            .ok_or_else(|| AnalysisError::RegionNotFound(label.to_string()))?;
+        Self::analyze(program, &spec)
+    }
+
+    fn analyze_in_proc(proc: &Procedure, spec: RegionSpec) -> Result<Self, AnalysisError> {
+        if proc.find_loop(&spec.loop_label).is_none() {
+            return Err(AnalysisError::RegionNotFound(spec.loop_label));
+        }
+        let Some((_before, region, _after)) = proc.split_at_loop(&spec.loop_label) else {
+            return Err(AnalysisError::RegionNotTopLevel(spec.loop_label));
+        };
+        let table = RefTable::collect(&region.body);
+        let summary = BodySummary::analyze(&proc.vars, Some(region), &region.body);
+        let deps = DependenceSet::analyze(&proc.vars, region, &table);
+        let live_out =
+            region_live_out(proc, &spec.loop_label).expect("region is top-level (checked above)");
+        let classes = VarClassification::classify(&summary, &live_out);
+        let fully_independent = !deps.has_cross_segment_deps();
+        let compiler_parallelizable = !deps
+            .has_cross_segment_deps_excluding(&table, &|v| classes.class(v) == VarClass::Private);
+        Ok(RegionAnalysis {
+            spec,
+            loop_stmt: region.clone(),
+            table,
+            summary,
+            deps,
+            classes,
+            live_out,
+            fully_independent,
+            compiler_parallelizable,
+        })
+    }
+
+    /// Total number of (static) reference sites in the region body.
+    pub fn static_ref_count(&self) -> usize {
+        self.table.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refidem_ir::build::{ac, add, av, num, ProcBuilder};
+
+    fn toy_program() -> Program {
+        let mut b = ProcBuilder::new("main");
+        let a = b.array("a", &[16]);
+        let c = b.array("c", &[16]);
+        let k = b.index("k");
+        b.live_out(&[a, c]);
+        // Region DEP: a(k) = a(k-1) + 1  (cross-segment flow dependence)
+        let rhs1 = add(b.load_elem(a, vec![av(k) - ac(1)]), num(1.0));
+        let s1 = b.assign_elem(a, vec![av(k)], rhs1);
+        let dep_region = b.do_loop_labeled("DEP", k, ac(2), ac(10), vec![s1]);
+        // Region INDEP: c(k) = a(k) * 2  (no cross-segment dependences)
+        let rhs2 = refidem_ir::build::mul(b.load_elem(a, vec![av(k)]), num(2.0));
+        let s2 = b.assign_elem(c, vec![av(k)], rhs2);
+        let indep_region = b.do_loop_labeled("INDEP", k, ac(1), ac(16), vec![s2]);
+        let proc = b.build(vec![dep_region, indep_region]);
+        let mut p = Program::new("toy");
+        p.add_procedure(proc);
+        p
+    }
+
+    #[test]
+    fn dependent_and_independent_regions_are_distinguished() {
+        let p = toy_program();
+        let dep = RegionAnalysis::analyze_labeled(&p, "DEP").unwrap();
+        assert!(!dep.fully_independent);
+        assert!(!dep.compiler_parallelizable);
+        assert!(dep.static_ref_count() > 0);
+        let indep = RegionAnalysis::analyze_labeled(&p, "INDEP").unwrap();
+        assert!(indep.fully_independent);
+        assert!(indep.compiler_parallelizable);
+    }
+
+    #[test]
+    fn privatizable_dependences_do_not_block_parallelization() {
+        // do k: { t = a(k); b(k) = t }  — t is private; the only
+        // cross-segment deps are on t, so the region is parallelizable but
+        // not fully independent.
+        let mut b = ProcBuilder::new("main");
+        let a = b.array("a", &[16]);
+        let bb = b.array("b", &[16]);
+        let t = b.scalar("t");
+        let k = b.index("k");
+        b.live_out(&[bb]);
+        let rhs1 = b.load_elem(a, vec![av(k)]);
+        let s1 = b.assign_scalar(t, rhs1);
+        let rhs2 = b.load(t);
+        let s2 = b.assign_elem(bb, vec![av(k)], rhs2);
+        let region = b.do_loop_labeled("PRIV", k, ac(1), ac(16), vec![s1, s2]);
+        let proc = b.build(vec![region]);
+        let mut p = Program::new("toy");
+        p.add_procedure(proc);
+        let analysis = RegionAnalysis::analyze_labeled(&p, "PRIV").unwrap();
+        assert!(!analysis.fully_independent);
+        assert!(analysis.compiler_parallelizable);
+        assert_eq!(analysis.classes.class(t), VarClass::Private);
+    }
+
+    #[test]
+    fn missing_and_non_top_level_regions_are_reported() {
+        let p = toy_program();
+        assert!(matches!(
+            RegionAnalysis::analyze_labeled(&p, "NOPE"),
+            Err(AnalysisError::RegionNotFound(_))
+        ));
+        // Build a program whose labeled loop is nested (not top level).
+        let mut b = ProcBuilder::new("main");
+        let a = b.array("a", &[16]);
+        let k = b.index("k");
+        let j = b.index("j");
+        let s = b.assign_elem(a, vec![av(k)], num(1.0));
+        let inner = b.do_loop_labeled("NESTED", k, ac(1), ac(8), vec![s]);
+        let outer = b.do_loop(j, ac(1), ac(4), vec![inner]);
+        let proc = b.build(vec![outer]);
+        let mut p2 = Program::new("toy2");
+        p2.add_procedure(proc);
+        assert!(matches!(
+            RegionAnalysis::analyze_labeled(&p2, "NESTED"),
+            Err(AnalysisError::RegionNotTopLevel(_))
+        ));
+    }
+}

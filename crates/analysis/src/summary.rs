@@ -1,0 +1,690 @@
+//! Structured per-body summaries: exposed reads, covered reads, must-writes.
+//!
+//! These are the facts Algorithm 1's node reference types are built from
+//! (Section 4.2.2: "If x is defined on all paths through segment v without
+//! exposed read, then set the reference type to Write; else, if there is an
+//! exposed read of x, then set Read; else set Null") and the facts the
+//! private-variable classification needs.
+//!
+//! The summary is computed by a single structured walk over a statement list
+//! (one segment body), tracking per variable:
+//!
+//! * which *locations* (canonicalized subscript vectors) are already
+//!   must-written,
+//! * which reads are *covered* by such writes and which are *exposed*
+//!   (may consume a value produced outside the segment),
+//! * which writes execute unconditionally ("must context") and whether an
+//!   exposed read of the same variable precedes them — the per-reference
+//!   ingredients of the re-occurring-first-write property (Definition 5).
+//!
+//! ### Address canonicalization
+//!
+//! Coverage needs a *must* "same address" argument. Scalar references and
+//! array references whose affine subscripts match syntactically qualify
+//! directly. In addition, inner-loop index variables are renamed to
+//! positional placeholders keyed by the loop's (position, bounds, step), so
+//! that `x(m)` written under `do m = 1, 5` covers `x(l)` read under
+//! `do l = 1, 5` — the pattern the paper's private arrays exhibit.
+//! References with indirect (subscripted) subscripts are never covered and
+//! never cover anything, mirroring the paper's treatment of `K(E)`.
+
+use crate::bounds::{always_executes, IndexBounds};
+use refidem_ir::affine::AffineExpr;
+use refidem_ir::expr::{Reference, Subscript};
+use refidem_ir::ids::{RefId, VarId};
+use refidem_ir::stmt::{LoopStmt, Stmt};
+use refidem_ir::var::VarTable;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Facts about one write site gathered by the body walk.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WriteFacts {
+    /// The write site.
+    pub id: RefId,
+    /// All subscripts are affine (the address is statically analyzable).
+    pub precise: bool,
+    /// The write executes on every path through the body ("must context"):
+    /// it is not nested under an `IF`, and every enclosing inner loop either
+    /// contributes its index to the subscripts or always executes.
+    pub must_context: bool,
+    /// An exposed read of the same variable precedes the write on some path.
+    pub preceded_by_exposed_read: bool,
+    /// The write's location (canonical subscript vector) is must-written on
+    /// every path through the body — either by this write itself or by
+    /// other writes of the same location. Together with the absence of
+    /// exposed reads this is the per-reference ingredient of the
+    /// re-occurring-first-write property.
+    pub location_must_written: bool,
+}
+
+/// Facts about one read site gathered by the body walk.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReadFacts {
+    /// The read site.
+    pub id: RefId,
+    /// The read is covered: a must-write of the same canonical location
+    /// precedes it on every path, so it never consumes a value produced
+    /// outside the segment.
+    pub covered: bool,
+}
+
+/// Per-variable summary of one body.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VarSummary {
+    /// Reads that may consume a value produced outside the segment.
+    pub exposed_reads: Vec<RefId>,
+    /// Reads always preceded by a must-write of the same location.
+    pub covered_reads: Vec<RefId>,
+    /// The variable is written on every path through the body by an
+    /// address-precise write.
+    pub must_written: bool,
+    /// Any write exists.
+    pub has_write: bool,
+    /// Any read exists.
+    pub has_read: bool,
+    /// Every reference to the variable is address-precise.
+    pub all_precise: bool,
+    /// Per-write facts.
+    pub writes: Vec<WriteFacts>,
+    /// Per-read facts.
+    pub reads: Vec<ReadFacts>,
+}
+
+impl VarSummary {
+    fn new() -> Self {
+        VarSummary {
+            all_precise: true,
+            ..Default::default()
+        }
+    }
+
+    /// Algorithm 1 node reference type `Write`: the variable is defined on
+    /// all paths through the segment without an exposed read.
+    pub fn is_write_typed(&self) -> bool {
+        self.must_written && self.exposed_reads.is_empty()
+    }
+
+    /// Algorithm 1 node reference type `Read`: an exposed read exists.
+    pub fn is_read_typed(&self) -> bool {
+        !self.exposed_reads.is_empty()
+    }
+}
+
+/// Summary of one segment body (one iteration of a region loop, or one
+/// abstract segment).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BodySummary {
+    per_var: BTreeMap<VarId, VarSummary>,
+}
+
+impl BodySummary {
+    /// Summary of a variable ([`VarSummary::default`] when unreferenced).
+    pub fn var(&self, v: VarId) -> VarSummary {
+        self.per_var.get(&v).cloned().unwrap_or_default()
+    }
+
+    /// Iterates over the referenced variables and their summaries.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, &VarSummary)> {
+        self.per_var.iter().map(|(v, s)| (*v, s))
+    }
+
+    /// Variables with at least one reference in the body.
+    pub fn referenced_vars(&self) -> Vec<VarId> {
+        self.per_var.keys().copied().collect()
+    }
+
+    /// Variables with at least one exposed (upward-exposed) read — the gen
+    /// set of a backward liveness analysis over this body.
+    pub fn exposed_read_vars(&self) -> BTreeSet<VarId> {
+        self.per_var
+            .iter()
+            .filter(|(_, s)| !s.exposed_reads.is_empty())
+            .map(|(v, _)| *v)
+            .collect()
+    }
+
+    /// Computes the summary of a statement list. `region` provides the
+    /// enclosing region loop (for index bounds); pass `None` when
+    /// summarizing code outside any region (e.g. the statements after a
+    /// region for liveness purposes).
+    pub fn analyze(vars: &VarTable, region: Option<&LoopStmt>, stmts: &[Stmt]) -> Self {
+        let mut bounds = IndexBounds::new();
+        if let Some(r) = region {
+            bounds.enter_loop(vars, r.index, &r.lower, &r.upper, r.step);
+        }
+        let mut walker = Walker {
+            vars,
+            facts: BTreeMap::new(),
+            flow: BTreeMap::new(),
+            write_locs: BTreeMap::new(),
+            bounds,
+            loop_stack: Vec::new(),
+            conditional_depth: 0,
+        };
+        for s in stmts {
+            walker.walk_stmt(s);
+        }
+        // Finalize: copy the path-sensitive must facts into the summaries
+        // and resolve each write's `location_must_written` flag against the
+        // final must-location sets.
+        let mut per_var = walker.facts;
+        for (v, flow) in &walker.flow {
+            let entry = per_var.entry(*v).or_insert_with(VarSummary::new);
+            entry.must_written = flow.must_written;
+            for w in &mut entry.writes {
+                if let Some(Some(loc)) = walker.write_locs.get(&w.id) {
+                    w.location_must_written = flow.must_locs.contains(loc);
+                }
+            }
+        }
+        BodySummary { per_var }
+    }
+}
+
+/// Canonical location descriptor: variable plus canonicalized subscripts.
+type CanonLoc = String;
+
+/// Path-sensitive state per variable (cloned and merged across `IF`
+/// branches).
+#[derive(Clone, Debug, Default)]
+struct FlowState {
+    /// Canonical locations must-written so far on every path.
+    must_locs: BTreeSet<CanonLoc>,
+    /// An exposed read has occurred so far on some path.
+    exposed_so_far: bool,
+    /// The variable is must-written (by a precise write) on every path so
+    /// far.
+    must_written: bool,
+}
+
+#[derive(Clone, Debug)]
+struct LoopLevel {
+    index: VarId,
+    lower: AffineExpr,
+    upper: AffineExpr,
+    step: i64,
+    always_executes: bool,
+}
+
+struct Walker<'a> {
+    vars: &'a VarTable,
+    /// Append-only per-reference facts (each syntactic site is visited
+    /// exactly once).
+    facts: BTreeMap<VarId, VarSummary>,
+    /// Path-sensitive flow state.
+    flow: BTreeMap<VarId, FlowState>,
+    /// Canonical location of every write site (for the final
+    /// `location_must_written` resolution).
+    write_locs: BTreeMap<RefId, Option<CanonLoc>>,
+    bounds: IndexBounds,
+    loop_stack: Vec<LoopLevel>,
+    conditional_depth: usize,
+}
+
+impl Walker<'_> {
+    /// Canonicalizes an affine subscript: inner-loop indices are replaced by
+    /// positional placeholders keyed by (position, folded bounds, step).
+    fn canon_affine(&self, e: &AffineExpr) -> String {
+        let folded = e.substitute_params(&|v| self.vars.param_value(v));
+        let mut rendered: Vec<String> = Vec::new();
+        for (&v, &c) in &folded.terms {
+            let name = self
+                .loop_stack
+                .iter()
+                .enumerate()
+                .find(|(_, l)| l.index == v)
+                .map(|(pos, l)| {
+                    let lo = l.lower.substitute_params(&|v| self.vars.param_value(v));
+                    let hi = l.upper.substitute_params(&|v| self.vars.param_value(v));
+                    format!("inner{pos}<{lo:?},{hi:?},{}>", l.step)
+                })
+                .unwrap_or_else(|| format!("{v}"));
+            rendered.push(format!("{c}*{name}"));
+        }
+        format!("{}+{}", folded.constant, rendered.join("+"))
+    }
+
+    fn canon_loc(&self, r: &Reference) -> Option<CanonLoc> {
+        let mut subs = Vec::with_capacity(r.subs.len());
+        for s in &r.subs {
+            match s {
+                Subscript::Affine(e) => subs.push(self.canon_affine(e)),
+                Subscript::Indirect(_) => return None,
+            }
+        }
+        Some(format!("{}[{}]", r.var, subs.join(";")))
+    }
+
+    /// True when, on the *current path*, the reference is guaranteed to
+    /// execute: every enclosing inner loop must either contribute its index
+    /// to the subscripts (so the canonical location ranges over its extent)
+    /// or always execute at least once. `IF` nesting is handled by the
+    /// branch merge, not here.
+    fn loops_guarantee_execution(&self, r: &Reference) -> bool {
+        self.loop_stack.iter().all(|l| {
+            let used = r.subs.iter().any(|s| match s {
+                Subscript::Affine(e) => e.uses(l.index),
+                Subscript::Indirect(_) => false,
+            });
+            used || l.always_executes
+        })
+    }
+
+    /// True when the reference executes on every path through the body:
+    /// not nested under an `IF` and guaranteed by its enclosing loops.
+    fn in_must_context(&self, r: &Reference) -> bool {
+        self.conditional_depth == 0 && self.loops_guarantee_execution(r)
+    }
+
+    fn facts_entry(&mut self, v: VarId) -> &mut VarSummary {
+        self.facts.entry(v).or_insert_with(VarSummary::new)
+    }
+
+    fn record_read_flat(&mut self, r: &Reference) {
+        if !self.vars.kind(r.var).is_data() {
+            return;
+        }
+        let loc = self.canon_loc(r);
+        let precise = r.is_address_precise();
+        let covered = match &loc {
+            Some(loc) => self
+                .flow
+                .get(&r.var)
+                .map(|f| f.must_locs.contains(loc))
+                .unwrap_or(false),
+            None => false,
+        };
+        let summary = self.facts_entry(r.var);
+        summary.has_read = true;
+        if !precise {
+            summary.all_precise = false;
+        }
+        if covered {
+            summary.covered_reads.push(r.id);
+        } else {
+            summary.exposed_reads.push(r.id);
+        }
+        summary.reads.push(ReadFacts { id: r.id, covered });
+        if !covered {
+            self.flow.entry(r.var).or_default().exposed_so_far = true;
+        }
+    }
+
+    fn record_write(&mut self, r: &Reference) {
+        for inner in r.indirect_reads() {
+            self.record_read_flat(inner);
+        }
+        if !self.vars.kind(r.var).is_data() {
+            return;
+        }
+        let precise = r.is_address_precise();
+        let must_context = self.in_must_context(r);
+        let on_path_guaranteed = self.loops_guarantee_execution(r);
+        let loc = self.canon_loc(r);
+        let preceded_by_exposed_read = self
+            .flow
+            .get(&r.var)
+            .map(|f| f.exposed_so_far)
+            .unwrap_or(false);
+        self.write_locs.insert(r.id, loc.clone());
+        let summary = self.facts_entry(r.var);
+        summary.has_write = true;
+        if !precise {
+            summary.all_precise = false;
+        }
+        summary.writes.push(WriteFacts {
+            id: r.id,
+            precise,
+            must_context,
+            preceded_by_exposed_read,
+            location_must_written: false, // resolved at finalization
+        });
+        // Path-local must facts: conditionality is handled by the branch
+        // merge, so any write that its loops guarantee contributes here.
+        if on_path_guaranteed && precise {
+            let flow = self.flow.entry(r.var).or_default();
+            flow.must_written = true;
+            if let Some(loc) = loc {
+                flow.must_locs.insert(loc);
+            }
+        }
+    }
+
+    fn walk_stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Assign(a) => {
+                // `for_each_read` already yields indirect-subscript reads as
+                // separate entries (inner before parent), so record them
+                // flatly to avoid double counting.
+                let mut reads = Vec::new();
+                a.rhs.for_each_read(&mut |r| reads.push(r));
+                for r in reads {
+                    self.record_read_flat(r);
+                }
+                self.record_write(&a.lhs);
+            }
+            Stmt::If(i) => {
+                let mut reads = Vec::new();
+                i.cond.for_each_read(&mut |r| reads.push(r));
+                for r in reads {
+                    self.record_read_flat(r);
+                }
+                // Walk both branches from the pre-flow and merge: a location
+                // is must-written after the IF only if it is must-written on
+                // both branches; exposure is the union.
+                let pre = self.flow.clone();
+                self.conditional_depth += 1;
+                for st in &i.then_branch {
+                    self.walk_stmt(st);
+                }
+                let then_flow = std::mem::replace(&mut self.flow, pre.clone());
+                for st in &i.else_branch {
+                    self.walk_stmt(st);
+                }
+                self.conditional_depth -= 1;
+                let else_flow = std::mem::replace(&mut self.flow, pre);
+                self.flow = merge_flows(then_flow, else_flow);
+            }
+            Stmt::Loop(l) => {
+                let always = always_executes(self.vars, &self.bounds, &l.lower, &l.upper, l.step);
+                self.bounds
+                    .enter_loop(self.vars, l.index, &l.lower, &l.upper, l.step);
+                self.loop_stack.push(LoopLevel {
+                    index: l.index,
+                    lower: l.lower.clone(),
+                    upper: l.upper.clone(),
+                    step: l.step,
+                    always_executes: always,
+                });
+                for st in &l.body {
+                    self.walk_stmt(st);
+                }
+                self.loop_stack.pop();
+            }
+        }
+    }
+}
+
+fn merge_flows(
+    then_flow: BTreeMap<VarId, FlowState>,
+    else_flow: BTreeMap<VarId, FlowState>,
+) -> BTreeMap<VarId, FlowState> {
+    let mut all_vars: BTreeSet<VarId> = BTreeSet::new();
+    all_vars.extend(then_flow.keys());
+    all_vars.extend(else_flow.keys());
+    let default = FlowState::default();
+    let mut out = BTreeMap::new();
+    for v in all_vars {
+        let t = then_flow.get(&v).unwrap_or(&default);
+        let e = else_flow.get(&v).unwrap_or(&default);
+        out.insert(
+            v,
+            FlowState {
+                must_locs: t.must_locs.intersection(&e.must_locs).cloned().collect(),
+                exposed_so_far: t.exposed_so_far || e.exposed_so_far,
+                must_written: t.must_written && e.must_written,
+            },
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refidem_ir::build::{ac, add, av, idx, num, ProcBuilder};
+    use refidem_ir::expr::CmpOp;
+
+    /// Helper: analyze a body built inside a region loop `k = 1..8`.
+    fn analyze_region_body(
+        b: &mut ProcBuilder,
+        k: VarId,
+        body: Vec<Stmt>,
+    ) -> (BodySummary, LoopStmt) {
+        let region = match b.do_loop_labeled("R", k, ac(1), ac(8), body) {
+            Stmt::Loop(l) => l,
+            _ => unreachable!(),
+        };
+        let summary = BodySummary::analyze(b.vars(), Some(&region), &region.body);
+        (summary, region)
+    }
+
+    #[test]
+    fn read_only_variable_has_only_exposed_reads() {
+        let mut b = ProcBuilder::new("t");
+        let x = b.scalar("x");
+        let y = b.scalar("y");
+        let k = b.index("k");
+        let rhs = b.load(y);
+        let body = vec![b.assign_scalar(x, rhs)];
+        let (s, _) = analyze_region_body(&mut b, k, body);
+        let sy = s.var(y);
+        assert_eq!(sy.exposed_reads.len(), 1);
+        assert!(!sy.has_write);
+        assert!(sy.is_read_typed());
+        let sx = s.var(x);
+        assert!(sx.is_write_typed());
+        assert!(sx.must_written);
+    }
+
+    #[test]
+    fn write_then_read_is_covered_scalar() {
+        // c = y ; x = c   — c's read is covered (the "private" pattern of
+        // Figure 1's variable C).
+        let mut b = ProcBuilder::new("t");
+        let c = b.scalar("c");
+        let x = b.scalar("x");
+        let y = b.scalar("y");
+        let k = b.index("k");
+        let rhs1 = b.load(y);
+        let s1 = b.assign_scalar(c, rhs1);
+        let rhs2 = b.load(c);
+        let s2 = b.assign_scalar(x, rhs2);
+        let (s, _) = analyze_region_body(&mut b, k, vec![s1, s2]);
+        let sc = s.var(c);
+        assert_eq!(sc.covered_reads.len(), 1);
+        assert!(sc.exposed_reads.is_empty());
+        assert!(sc.is_write_typed());
+        assert!(!sc.writes[0].preceded_by_exposed_read);
+    }
+
+    #[test]
+    fn read_before_write_is_exposed_and_poisons_rfw() {
+        // x = x + 1 — the read is exposed, the write is preceded by it
+        // (the `H` pattern of Figure 2's segment R4).
+        let mut b = ProcBuilder::new("t");
+        let x = b.scalar("x");
+        let k = b.index("k");
+        let rhs = add(b.load(x), num(1.0));
+        let body = vec![b.assign_scalar(x, rhs)];
+        let (s, _) = analyze_region_body(&mut b, k, body);
+        let sx = s.var(x);
+        assert_eq!(sx.exposed_reads.len(), 1);
+        assert!(sx.is_read_typed());
+        assert!(!sx.is_write_typed());
+        assert!(sx.writes[0].preceded_by_exposed_read);
+    }
+
+    #[test]
+    fn conditional_writes_are_not_must() {
+        // if (y > 0) then x = 1  — x is not must-written (the `B` pattern of
+        // Figure 2's region R0).
+        let mut b = ProcBuilder::new("t");
+        let x = b.scalar("x");
+        let y = b.scalar("y");
+        let k = b.index("k");
+        let cond = refidem_ir::build::cmp(CmpOp::Gt, b.load(y), num(0.0));
+        let wr = b.assign_scalar(x, num(1.0));
+        let body = vec![b.if_then(cond, vec![wr])];
+        let (s, _) = analyze_region_body(&mut b, k, body);
+        let sx = s.var(x);
+        assert!(sx.has_write);
+        assert!(!sx.must_written);
+        assert!(!sx.writes[0].must_context);
+        assert!(!sx.is_write_typed());
+    }
+
+    #[test]
+    fn writes_in_both_branches_are_must() {
+        let mut b = ProcBuilder::new("t");
+        let x = b.scalar("x");
+        let y = b.scalar("y");
+        let k = b.index("k");
+        let cond = refidem_ir::build::cmp(CmpOp::Gt, b.load(y), num(0.0));
+        let w1 = b.assign_scalar(x, num(1.0));
+        let w2 = b.assign_scalar(x, num(2.0));
+        let read_after = b.load(x);
+        let use_stmt = b.assign_scalar(y, read_after);
+        let body = vec![b.if_then_else(cond, vec![w1], vec![w2]), use_stmt];
+        let (s, _) = analyze_region_body(&mut b, k, body);
+        let sx = s.var(x);
+        assert!(sx.must_written, "x written on both branches");
+        // The read of x after the IF is covered.
+        assert_eq!(sx.covered_reads.len(), 1);
+        // Each individual write is still in a conditional context.
+        assert!(sx.writes.iter().all(|w| !w.must_context));
+        // Per-reference facts are recorded exactly once per site.
+        assert_eq!(sx.writes.len(), 2);
+        assert_eq!(s.var(y).reads.len(), 1);
+        assert_eq!(s.var(y).writes.len(), 1);
+    }
+
+    #[test]
+    fn private_array_pattern_with_renamed_inner_loops_is_covered() {
+        // do m = 1,5: p(m) = ...   then   do l = 1,5: ... = p(l)
+        let mut b = ProcBuilder::new("t");
+        let p = b.array("p", &[5]);
+        let q = b.scalar("q");
+        let k = b.index("k");
+        let m = b.index("m");
+        let l = b.index("l");
+        let w = b.assign_elem(p, vec![av(m)], idx(m));
+        let write_loop = b.do_loop(m, ac(1), ac(5), vec![w]);
+        let rhs = b.load_elem(p, vec![av(l)]);
+        let r = b.assign_scalar(q, rhs);
+        let read_loop = b.do_loop(l, ac(1), ac(5), vec![r]);
+        let (s, _) = analyze_region_body(&mut b, k, vec![write_loop, read_loop]);
+        let sp = s.var(p);
+        assert_eq!(sp.covered_reads.len(), 1, "p(l) is covered by p(m)");
+        assert!(sp.exposed_reads.is_empty());
+        assert!(sp.is_write_typed());
+    }
+
+    #[test]
+    fn different_inner_ranges_do_not_cover() {
+        // do m = 1,4: p(m) = ...   then   do l = 1,5: ... = p(l)
+        let mut b = ProcBuilder::new("t");
+        let p = b.array("p", &[5]);
+        let q = b.scalar("q");
+        let k = b.index("k");
+        let m = b.index("m");
+        let l = b.index("l");
+        let w = b.assign_elem(p, vec![av(m)], idx(m));
+        let write_loop = b.do_loop(m, ac(1), ac(4), vec![w]);
+        let rhs = b.load_elem(p, vec![av(l)]);
+        let r = b.assign_scalar(q, rhs);
+        let read_loop = b.do_loop(l, ac(1), ac(5), vec![r]);
+        let (s, _) = analyze_region_body(&mut b, k, vec![write_loop, read_loop]);
+        let sp = s.var(p);
+        assert_eq!(sp.exposed_reads.len(), 1, "ranges differ, not covered");
+    }
+
+    #[test]
+    fn shifted_subscripts_are_not_covered() {
+        // x(k) = ... ; ... = x(k+1): the read is exposed.
+        let mut b = ProcBuilder::new("t");
+        let x = b.array("x", &[10]);
+        let q = b.scalar("q");
+        let k = b.index("k");
+        let w = b.assign_elem(x, vec![av(k)], num(1.0));
+        let rhs = b.load_elem(x, vec![av(k) + ac(1)]);
+        let r = b.assign_scalar(q, rhs);
+        let (s, _) = analyze_region_body(&mut b, k, vec![w, r]);
+        let sx = s.var(x);
+        assert_eq!(sx.exposed_reads.len(), 1);
+        assert_eq!(sx.covered_reads.len(), 0);
+        // Same-subscript read IS covered.
+        let mut b2 = ProcBuilder::new("t2");
+        let x2 = b2.array("x", &[10]);
+        let q2 = b2.scalar("q");
+        let k2 = b2.index("k");
+        let w2 = b2.assign_elem(x2, vec![av(k2)], num(1.0));
+        let rhs2 = b2.load_elem(x2, vec![av(k2)]);
+        let r2 = b2.assign_scalar(q2, rhs2);
+        let (s2, _) = analyze_region_body(&mut b2, k2, vec![w2, r2]);
+        assert_eq!(s2.var(x2).covered_reads.len(), 1);
+    }
+
+    #[test]
+    fn indirect_subscripts_are_never_covered_or_precise() {
+        // K(E) = 1 ; ... = K(E)  — neither the write nor the read is
+        // address-precise; the read is exposed.
+        let mut b = ProcBuilder::new("t");
+        let karr = b.array("K", &[10]);
+        let e = b.scalar("E");
+        let q = b.scalar("q");
+        let kidx = b.index("k");
+        let e_read1 = b.sref(e);
+        let ind1 = b.indirect(e_read1);
+        let lhs = b.aref_subs(karr, vec![ind1]);
+        let w = b.assign(lhs, num(1.0));
+        let e_read2 = b.sref(e);
+        let ind2 = b.indirect(e_read2);
+        let rref = b.aref_subs(karr, vec![ind2]);
+        let rhs = b.load_ref(rref);
+        let r = b.assign_scalar(q, rhs);
+        let (s, _) = analyze_region_body(&mut b, kidx, vec![w, r]);
+        let sk = s.var(karr);
+        assert!(!sk.all_precise);
+        assert_eq!(sk.exposed_reads.len(), 1);
+        assert!(sk.writes[0].must_context);
+        assert!(!sk.writes[0].precise);
+        // E is read twice (indirect subscript reads), never written.
+        let se = s.var(e);
+        assert_eq!(se.exposed_reads.len(), 2);
+        assert!(!se.has_write);
+    }
+
+    #[test]
+    fn loop_without_index_in_subscripts_needs_nonempty_trip() {
+        // do m = 1, 0:  x = 1   — the write is inside a possibly-empty loop
+        // and does not use m, so it is not a must-write.
+        let mut b = ProcBuilder::new("t");
+        let x = b.scalar("x");
+        let k = b.index("k");
+        let m = b.index("m");
+        let w = b.assign_scalar(x, num(1.0));
+        let l = b.do_loop(m, ac(1), ac(0), vec![w]);
+        let (s, _) = analyze_region_body(&mut b, k, vec![l]);
+        assert!(!s.var(x).must_written);
+        // With a non-empty loop it is a must-write.
+        let mut b2 = ProcBuilder::new("t");
+        let x2 = b2.scalar("x");
+        let k2 = b2.index("k");
+        let m2 = b2.index("m");
+        let w2 = b2.assign_scalar(x2, num(1.0));
+        let l2 = b2.do_loop(m2, ac(1), ac(3), vec![w2]);
+        let (s2, _) = analyze_region_body(&mut b2, k2, vec![l2]);
+        assert!(s2.var(x2).must_written);
+    }
+
+    #[test]
+    fn exposure_from_one_branch_poisons_later_writes() {
+        // if (c) then q = x endif; x = 1  — the write to x may be preceded
+        // by an exposed read of x (on the then-path).
+        let mut b = ProcBuilder::new("t");
+        let x = b.scalar("x");
+        let q = b.scalar("q");
+        let c = b.scalar("c");
+        let k = b.index("k");
+        let cond = b.load(c);
+        let rd = b.load(x);
+        let asg = b.assign_scalar(q, rd);
+        let ifst = b.if_then(cond, vec![asg]);
+        let wr = b.assign_scalar(x, num(1.0));
+        let (s, _) = analyze_region_body(&mut b, k, vec![ifst, wr]);
+        let sx = s.var(x);
+        assert!(sx.writes[0].preceded_by_exposed_read);
+        assert!(sx.writes[0].must_context);
+    }
+}

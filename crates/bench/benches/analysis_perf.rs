@@ -1,0 +1,62 @@
+//! Criterion benchmarks of the compiler-side analyses: dependence analysis,
+//! RFW analysis (Algorithm 1) and idempotency labeling (Algorithm 2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use refidem_analysis::region::RegionAnalysis;
+use refidem_benchmarks::{all_named_loops, examples};
+use refidem_core::label::{label_abstract_region, label_region};
+use refidem_core::rfw::rfw_for_abstract;
+use std::hint::black_box;
+
+fn bench_region_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("region_analysis");
+    for bench in all_named_loops() {
+        group.bench_function(bench.name, |b| {
+            b.iter(|| {
+                let analysis =
+                    RegionAnalysis::analyze(black_box(&bench.program), black_box(&bench.region))
+                        .expect("analyzes");
+                black_box(analysis.deps.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_labeling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("labeling");
+    for bench in all_named_loops() {
+        let analysis = RegionAnalysis::analyze(&bench.program, &bench.region).expect("analyzes");
+        group.bench_function(bench.name, |b| {
+            b.iter(|| {
+                let labeling = label_region(black_box(&analysis));
+                black_box(labeling.stats().idempotent_static)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_algorithm1_on_paper_examples(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1");
+    let fig2 = examples::figure2();
+    let fig3 = examples::figure3();
+    group.bench_function("figure2_rfw", |b| {
+        b.iter(|| black_box(rfw_for_abstract(black_box(&fig2))).len())
+    });
+    group.bench_function("figure3_rfw", |b| {
+        b.iter(|| black_box(rfw_for_abstract(black_box(&fig3))).len())
+    });
+    group.bench_function("figure2_label", |b| {
+        b.iter(|| black_box(label_abstract_region(black_box(&fig2))).stats().idempotent_static)
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_region_analysis,
+    bench_labeling,
+    bench_algorithm1_on_paper_examples
+);
+criterion_main!(benches);

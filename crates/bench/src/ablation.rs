@@ -1,0 +1,175 @@
+//! Ablation sweeps: speculative-storage capacity, processor count, and
+//! label-category contribution.
+//!
+//! These quantify the design choices called out in `DESIGN.md`: how much of
+//! CASE's advantage comes from avoiding overflow (capacity sweep), how the
+//! gap scales with the processor count, and how much each idempotency
+//! category contributes (labels restricted to one category at a time).
+
+use refidem_benchmarks::LoopBenchmark;
+use refidem_core::label::{label_program_region, IdemCategory, Label, Labeling};
+use refidem_specsim::{compare_modes, simulate_region, ExecMode, SimConfig};
+use std::collections::BTreeSet;
+
+/// One row of an ablation sweep.
+#[derive(Clone, Debug)]
+pub struct AblationRow {
+    /// The swept parameter's name (e.g. `"capacity"`).
+    pub parameter: String,
+    /// The swept parameter's value.
+    pub value: String,
+    /// HOSE speedup over sequential.
+    pub hose_speedup: f64,
+    /// CASE speedup over sequential.
+    pub case_speedup: f64,
+    /// HOSE overflow stalls.
+    pub hose_overflows: u64,
+    /// CASE overflow stalls.
+    pub case_overflows: u64,
+}
+
+/// Sweeps the speculative-storage capacity for one loop.
+pub fn capacity_sweep(bench: &LoopBenchmark, capacities: &[usize]) -> Vec<AblationRow> {
+    let labeled = label_program_region(&bench.program, &bench.region).expect("analyzes");
+    capacities
+        .iter()
+        .map(|&cap| {
+            let cfg = SimConfig::default().capacity(cap);
+            let cmp = compare_modes(&bench.program, &labeled, &cfg).expect("simulation");
+            AblationRow {
+                parameter: "capacity".to_string(),
+                value: cap.to_string(),
+                hose_speedup: cmp.hose_speedup(),
+                case_speedup: cmp.case_speedup(),
+                hose_overflows: cmp.hose.overflow_stalls,
+                case_overflows: cmp.case.overflow_stalls,
+            }
+        })
+        .collect()
+}
+
+/// Sweeps the processor count for one loop at a fixed capacity.
+pub fn processor_sweep(
+    bench: &LoopBenchmark,
+    capacity: usize,
+    processors: &[usize],
+) -> Vec<AblationRow> {
+    let labeled = label_program_region(&bench.program, &bench.region).expect("analyzes");
+    processors
+        .iter()
+        .map(|&p| {
+            let cfg = SimConfig::default().capacity(capacity).processors(p);
+            let cmp = compare_modes(&bench.program, &labeled, &cfg).expect("simulation");
+            AblationRow {
+                parameter: "processors".to_string(),
+                value: p.to_string(),
+                hose_speedup: cmp.hose_speedup(),
+                case_speedup: cmp.case_speedup(),
+                hose_overflows: cmp.hose.overflow_stalls,
+                case_overflows: cmp.case.overflow_stalls,
+            }
+        })
+        .collect()
+}
+
+/// Restricts a labeling to a single idempotency category: every idempotent
+/// reference outside the kept category is demoted to speculative (demoting a
+/// correctly-labeled idempotent reference is always safe — it simply loses
+/// the bypass). Restricting to `None` demotes everything, which is exactly
+/// HOSE.
+pub fn restrict_labeling(labeling: &Labeling, keep: Option<IdemCategory>) -> Labeling {
+    let kept: BTreeSet<_> = labeling
+        .iter()
+        .filter(|(_, l)| match (l, keep) {
+            (Label::Idempotent(cat), Some(keep)) => *cat == keep,
+            _ => false,
+        })
+        .map(|(id, _)| id)
+        .collect();
+    let mut filtered = labeling.clone();
+    filtered.retain_idempotent(&kept);
+    filtered
+}
+
+/// Compares the contribution of each idempotency category to CASE's cycle
+/// count for one loop: the labeling is restricted to one category at a time
+/// and the loop re-simulated.
+pub fn label_category_ablation(bench: &LoopBenchmark, cfg: &SimConfig) -> Vec<AblationRow> {
+    let labeled = label_program_region(&bench.program, &bench.region).expect("analyzes");
+    let full = compare_modes(&bench.program, &labeled, cfg).expect("simulation");
+    let mut rows = vec![AblationRow {
+        parameter: "labels".to_string(),
+        value: "all".to_string(),
+        hose_speedup: full.hose_speedup(),
+        case_speedup: full.case_speedup(),
+        hose_overflows: full.hose.overflow_stalls,
+        case_overflows: full.case.overflow_stalls,
+    }];
+    for cat in [
+        IdemCategory::ReadOnly,
+        IdemCategory::Private,
+        IdemCategory::SharedDependent,
+        IdemCategory::FullyIndependent,
+    ] {
+        let mut restricted = labeled.clone();
+        restricted.labeling = restrict_labeling(&labeled.labeling, Some(cat));
+        let case = simulate_region(&bench.program, &restricted, ExecMode::Case, cfg)
+            .expect("simulation");
+        rows.push(AblationRow {
+            parameter: "labels".to_string(),
+            value: format!("{cat}"),
+            hose_speedup: full.hose_speedup(),
+            case_speedup: full.sequential_cycles as f64 / case.report.region_cycles.max(1) as f64,
+            hose_overflows: full.hose.overflow_stalls,
+            case_overflows: case.report.overflow_stalls,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refidem_benchmarks::suite::{mgrid, tomcatv};
+
+    #[test]
+    fn capacity_sweep_shows_overflow_disappearing_with_larger_storage() {
+        // Use the fully-independent MGRID stencil: its performance is purely
+        // capacity-bound, so HOSE must improve monotonically with storage.
+        let bench = mgrid::resid_do600();
+        let rows = capacity_sweep(&bench, &[8, 128]);
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].hose_overflows > 0, "tiny storage must overflow");
+        assert_eq!(rows[1].hose_overflows, 0, "large storage must not overflow");
+        assert!(rows[1].hose_speedup > rows[0].hose_speedup);
+        // CASE bypasses speculative storage entirely for this loop, so its
+        // speedup is insensitive to the capacity.
+        assert_eq!(rows[0].case_overflows, 0);
+        assert_eq!(rows[1].case_overflows, 0);
+    }
+
+    #[test]
+    fn processor_sweep_produces_rows_per_count() {
+        let bench = tomcatv::main_do80();
+        let rows = processor_sweep(&bench, 6, &[1, 2, 4]);
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.case_speedup > 0.0));
+    }
+
+    #[test]
+    fn label_ablation_shows_full_labeling_is_best() {
+        let bench = tomcatv::main_do80();
+        let cfg = crate::configs::figure6_config();
+        let rows = label_category_ablation(&bench, &cfg);
+        let full = rows.iter().find(|r| r.value == "all").unwrap();
+        for row in rows.iter().filter(|r| r.value != "all") {
+            assert!(
+                full.case_speedup >= row.case_speedup - 1e-9,
+                "full labeling ({}) must be at least as fast as {} ({})",
+                full.case_speedup,
+                row.value,
+                row.case_speedup
+            );
+        }
+    }
+}

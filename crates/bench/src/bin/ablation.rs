@@ -1,0 +1,42 @@
+//! Ablation sweeps: speculative-storage capacity, processor count and
+//! per-category label contribution, on the TOMCATV `MAIN_DO80` and APPLU
+//! `BUTS_DO1` loops.
+
+use refidem_bench::{
+    capacity_sweep, figure6_config, figure8_config, label_category_ablation, processor_sweep,
+    tables,
+};
+use refidem_benchmarks::suite::{applu, mgrid, tomcatv};
+
+fn main() {
+    let tom = tomcatv::main_do80();
+    let buts = applu::buts_do1();
+    let resid = mgrid::resid_do600();
+
+    let caps = capacity_sweep(&resid, &[4, 8, 16, 32, 64, 128]);
+    print!(
+        "{}",
+        tables::render_ablation("Capacity sweep — MGRID RESID_DO600 (4 processors)", &caps)
+    );
+    println!();
+
+    let procs = processor_sweep(&tom, 6, &[1, 2, 4, 8]);
+    print!(
+        "{}",
+        tables::render_ablation("Processor sweep — TOMCATV MAIN_DO80 (capacity 6)", &procs)
+    );
+    println!();
+
+    let labels_tom = label_category_ablation(&tom, &figure6_config());
+    print!(
+        "{}",
+        tables::render_ablation("Label-category ablation — TOMCATV MAIN_DO80", &labels_tom)
+    );
+    println!();
+
+    let labels_buts = label_category_ablation(&buts, &figure8_config());
+    print!(
+        "{}",
+        tables::render_ablation("Label-category ablation — APPLU BUTS_DO1", &labels_buts)
+    );
+}

@@ -1,0 +1,45 @@
+//! Regenerates every figure of the paper's evaluation in one run — the
+//! output recorded in `EXPERIMENTS.md`.
+
+use refidem_bench::{
+    compute_figure5, compute_loop_figure, figure6_config, figure7_config, figure8_config,
+    figure9_config, tables,
+};
+use refidem_benchmarks::{figure6_loops, figure7_loops, figure8_loops, figure9_loops};
+
+fn main() {
+    let rows5 = compute_figure5();
+    print!("{}", tables::render_figure5(&rows5));
+    let over_60 = rows5
+        .iter()
+        .filter(|r| r.total_refs > 0 && r.idempotent_fraction > 0.6)
+        .count();
+    println!("\n{over_60} of 13 benchmarks exceed 60% idempotent references (paper: 7 of 13).\n");
+
+    for (title, loops, cfg) in [
+        (
+            "Figure 6 — read-only category loops",
+            figure6_loops(),
+            figure6_config(),
+        ),
+        (
+            "Figure 7 — private category loops",
+            figure7_loops(),
+            figure7_config(),
+        ),
+        (
+            "Figure 8 — shared-dependent category loops",
+            figure8_loops(),
+            figure8_config(),
+        ),
+        (
+            "Figure 9 — fully-independent category loops",
+            figure9_loops(),
+            figure9_config(),
+        ),
+    ] {
+        let rows = compute_loop_figure(&loops, &cfg);
+        print!("{}", tables::render_loop_figure(title, &rows));
+        println!();
+    }
+}

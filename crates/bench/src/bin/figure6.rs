@@ -1,0 +1,16 @@
+//! Regenerates Figure 6: read-only category loops — reference ratios and
+//! HOSE/CASE loop speedups.
+
+use refidem_bench::{compute_loop_figure, figure6_config, tables};
+use refidem_benchmarks::figure6_loops;
+
+fn main() {
+    let rows = compute_loop_figure(&figure6_loops(), &figure6_config());
+    print!(
+        "{}",
+        tables::render_loop_figure(
+            "Figure 6 — read-only category loops (ratio of read-only references, loop speedups)",
+            &rows
+        )
+    );
+}

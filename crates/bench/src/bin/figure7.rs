@@ -1,0 +1,16 @@
+//! Regenerates Figure 7: private category loops — reference ratios and
+//! HOSE/CASE loop speedups.
+
+use refidem_bench::{compute_loop_figure, figure7_config, tables};
+use refidem_benchmarks::figure7_loops;
+
+fn main() {
+    let rows = compute_loop_figure(&figure7_loops(), &figure7_config());
+    print!(
+        "{}",
+        tables::render_loop_figure(
+            "Figure 7 — private category loops (ratio of private references, loop speedups)",
+            &rows
+        )
+    );
+}

@@ -1,0 +1,16 @@
+//! Regenerates Figure 8: shared-dependent category loops — reference ratios
+//! and HOSE/CASE loop speedups.
+
+use refidem_bench::{compute_loop_figure, figure8_config, tables};
+use refidem_benchmarks::figure8_loops;
+
+fn main() {
+    let rows = compute_loop_figure(&figure8_loops(), &figure8_config());
+    print!(
+        "{}",
+        tables::render_loop_figure(
+            "Figure 8 — shared-dependent category loops (ratio of shared-dependent references, loop speedups)",
+            &rows
+        )
+    );
+}

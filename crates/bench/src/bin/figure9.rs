@@ -1,0 +1,16 @@
+//! Regenerates Figure 9: fully-independent category loops — reference ratios
+//! and HOSE/CASE loop speedups.
+
+use refidem_bench::{compute_loop_figure, figure9_config, tables};
+use refidem_benchmarks::figure9_loops;
+
+fn main() {
+    let rows = compute_loop_figure(&figure9_loops(), &figure9_config());
+    print!(
+        "{}",
+        tables::render_loop_figure(
+            "Figure 9 — fully-independent category loops (ratio of idempotent references, loop speedups)",
+            &rows
+        )
+    );
+}

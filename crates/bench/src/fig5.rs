@@ -1,0 +1,143 @@
+//! Figure 5: fraction of idempotent references in non-parallelizable code
+//! sections, per benchmark, by category.
+//!
+//! For every benchmark: every region the compiler cannot parallelize
+//! (cross-segment dependences on non-privatizable variables) is labeled with
+//! Algorithm 2 and interpreted sequentially to obtain dynamic per-site
+//! reference counts; the counts are then weighted by the labels and
+//! aggregated over the benchmark. Benchmarks are processed in parallel with
+//! scoped threads.
+
+use crate::configs::figure5_config;
+use parking_lot::Mutex;
+use refidem_benchmarks::{all_benchmarks, Benchmark};
+use refidem_core::label::{label_program_region, IdemCategory};
+use refidem_core::stats::DynLabelStats;
+use refidem_specsim::run_sequential;
+
+/// One row of Figure 5.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Figure5Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Number of non-parallelizable regions found.
+    pub regions: usize,
+    /// Total dynamic references in those regions.
+    pub total_refs: u64,
+    /// Fraction of dynamic references labeled idempotent.
+    pub idempotent_fraction: f64,
+    /// Fraction in the read-only category.
+    pub read_only_fraction: f64,
+    /// Fraction in the private category.
+    pub private_fraction: f64,
+    /// Fraction in the shared-dependent category.
+    pub shared_dependent_fraction: f64,
+}
+
+/// Computes one benchmark's row.
+pub fn compute_benchmark_row(bench: &Benchmark) -> Figure5Row {
+    let cfg = figure5_config();
+    let mut merged = DynLabelStats::default();
+    let mut regions = 0usize;
+    for region in bench.regions() {
+        let Ok(labeled) = label_program_region(&bench.program, &region) else {
+            continue;
+        };
+        // Figure 5 considers only the code sections that cannot be detected
+        // as parallel (the parallelizable ones need no speculation at all).
+        if labeled.analysis.compiler_parallelizable {
+            continue;
+        }
+        regions += 1;
+        let Ok(seq) = run_sequential(&bench.program, &labeled, &cfg) else {
+            continue;
+        };
+        let dyn_stats = labeled.labeling.dynamic_stats(&seq.region_counts);
+        merged.merge(&dyn_stats);
+    }
+    Figure5Row {
+        benchmark: bench.name.to_string(),
+        regions,
+        total_refs: merged.total,
+        idempotent_fraction: merged.fraction_idempotent(),
+        read_only_fraction: merged.fraction_of(IdemCategory::ReadOnly),
+        private_fraction: merged.fraction_of(IdemCategory::Private),
+        shared_dependent_fraction: merged.fraction_of(IdemCategory::SharedDependent),
+    }
+}
+
+/// Computes the full Figure 5 table (all 13 benchmarks), processing the
+/// benchmarks in parallel with scoped threads.
+pub fn compute_figure5() -> Vec<Figure5Row> {
+    let benches = all_benchmarks();
+    let rows = Mutex::new(vec![None; benches.len()]);
+    std::thread::scope(|scope| {
+        for (i, bench) in benches.iter().enumerate() {
+            let rows = &rows;
+            scope.spawn(move || {
+                let row = compute_benchmark_row(bench);
+                rows.lock()[i] = Some(row);
+            });
+        }
+    });
+    rows.into_inner().into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure5_reproduces_the_papers_shape() {
+        let rows = compute_figure5();
+        assert_eq!(rows.len(), 13);
+        let get = |name: &str| rows.iter().find(|r| r.benchmark == name).unwrap().clone();
+        // SWIM, TRFD and ARC2D are fully parallel: no non-parallelizable
+        // references at all.
+        for name in ["SWIM", "TRFD", "ARC2D"] {
+            let row = get(name);
+            assert_eq!(row.total_refs, 0, "{name} must have no speculative sections");
+        }
+        // FPPPP is unstructured: its idempotent fraction is the lowest of
+        // the benchmarks that do have non-parallelizable sections.
+        let fpppp = get("FPPPP");
+        assert!(fpppp.total_refs > 0);
+        for row in rows.iter().filter(|r| r.total_refs > 0) {
+            assert!(
+                fpppp.idempotent_fraction <= row.idempotent_fraction + 1e-9,
+                "FPPPP ({}) should be the hardest benchmark, but {} has {}",
+                fpppp.idempotent_fraction,
+                row.benchmark,
+                row.idempotent_fraction
+            );
+        }
+        // The paper's headline: for the majority of the benchmarks with
+        // speculative sections, over 60% of the references are idempotent.
+        let over_60 = rows
+            .iter()
+            .filter(|r| r.total_refs > 0 && r.idempotent_fraction > 0.6)
+            .count();
+        assert!(
+            over_60 >= 6,
+            "at least 6 benchmarks should exceed 60% idempotent references, got {over_60}"
+        );
+        // Read-only is the largest category overall.
+        let total_ro: f64 = rows.iter().map(|r| r.read_only_fraction * r.total_refs as f64).sum();
+        let total_priv: f64 = rows.iter().map(|r| r.private_fraction * r.total_refs as f64).sum();
+        let total_sd: f64 = rows
+            .iter()
+            .map(|r| r.shared_dependent_fraction * r.total_refs as f64)
+            .sum();
+        assert!(total_ro > total_priv);
+        assert!(total_ro > total_sd);
+        // Several benchmarks have a substantial private fraction and several
+        // have a substantial shared-dependent fraction.
+        assert!(rows.iter().filter(|r| r.private_fraction > 0.15).count() >= 3);
+        assert!(
+            rows.iter()
+                .filter(|r| r.shared_dependent_fraction > 0.15)
+                .count()
+                >= 3
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! Figures 6–9: per-loop category fractions and HOSE/CASE speedups.
+//!
+//! For every named loop of a category, the harness reports:
+//!
+//! * panel (a): the fraction of dynamic references that fall into the
+//!   category (and the total idempotent fraction), from a sequential
+//!   interpretation of the loop, and
+//! * panel (b): the loop speedups of HOSE and CASE over a one-processor,
+//!   non-speculative execution, from the `refidem-specsim` simulator.
+
+use crossbeam::thread;
+use refidem_benchmarks::LoopBenchmark;
+use refidem_core::label::{label_program_region, IdemCategory, LabeledRegion};
+use refidem_specsim::{compare_modes, run_sequential, SimConfig, SpeedupComparison};
+
+/// One row of a per-loop figure.
+#[derive(Clone, Debug)]
+pub struct LoopFigureRow {
+    /// Loop name (e.g. `"TOMCATV MAIN_DO80"`).
+    pub name: String,
+    /// The idempotency category the figure studies.
+    pub category: String,
+    /// Total dynamic references in the loop.
+    pub total_refs: u64,
+    /// Fraction of dynamic references in the studied category.
+    pub category_fraction: f64,
+    /// Fraction of dynamic references that are idempotent (all categories).
+    pub idempotent_fraction: f64,
+    /// Loop speedup of HOSE on the configured processor count.
+    pub hose_speedup: f64,
+    /// Loop speedup of CASE on the configured processor count.
+    pub case_speedup: f64,
+    /// Detailed simulation comparison (violations, overflows, …).
+    pub comparison: SpeedupComparison,
+}
+
+fn category_of(label: &str) -> Option<IdemCategory> {
+    match label {
+        "read-only" => Some(IdemCategory::ReadOnly),
+        "private" => Some(IdemCategory::Private),
+        "shared-dependent" => Some(IdemCategory::SharedDependent),
+        "fully-independent" => Some(IdemCategory::FullyIndependent),
+        _ => None,
+    }
+}
+
+/// Computes one loop's row.
+pub fn compute_loop_row(bench: &LoopBenchmark, cfg: &SimConfig) -> LoopFigureRow {
+    let labeled: LabeledRegion =
+        label_program_region(&bench.program, &bench.region).expect("benchmark loop analyzes");
+    let seq = run_sequential(&bench.program, &labeled, cfg).expect("sequential run");
+    let dyn_stats = labeled.labeling.dynamic_stats(&seq.region_counts);
+    let category_fraction = match category_of(bench.category) {
+        Some(cat) => dyn_stats.fraction_of(cat),
+        None => dyn_stats.fraction_idempotent(),
+    };
+    let comparison = compare_modes(&bench.program, &labeled, cfg).expect("simulation");
+    LoopFigureRow {
+        name: bench.name.to_string(),
+        category: bench.category.to_string(),
+        total_refs: dyn_stats.total,
+        category_fraction,
+        idempotent_fraction: dyn_stats.fraction_idempotent(),
+        hose_speedup: comparison.hose_speedup(),
+        case_speedup: comparison.case_speedup(),
+        comparison,
+    }
+}
+
+/// Computes a whole per-loop figure, processing the loops in parallel.
+pub fn compute_loop_figure(loops: &[LoopBenchmark], cfg: &SimConfig) -> Vec<LoopFigureRow> {
+    thread::scope(|scope| {
+        let handles: Vec<_> = loops
+            .iter()
+            .map(|bench| scope.spawn(move |_| compute_loop_row(bench, cfg)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loop row computation panicked"))
+            .collect()
+    })
+    .expect("scoped threads")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs::{figure6_config, figure7_config, figure8_config, figure9_config};
+    use refidem_benchmarks::{figure6_loops, figure7_loops, figure8_loops, figure9_loops};
+
+    #[test]
+    fn figure6_readonly_loops_have_high_readonly_fractions_and_case_wins() {
+        let rows = compute_loop_figure(&figure6_loops(), &figure6_config());
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert!(
+                row.category_fraction > 0.5,
+                "{}: read-only fraction {}",
+                row.name,
+                row.category_fraction
+            );
+            assert!(
+                row.case_speedup >= row.hose_speedup,
+                "{}: CASE ({}) must not lose to HOSE ({})",
+                row.name,
+                row.case_speedup,
+                row.hose_speedup
+            );
+            assert!(row.case_speedup > 1.0, "{}: CASE must beat sequential", row.name);
+        }
+    }
+
+    #[test]
+    fn figure7_private_loops_have_private_references_and_case_wins() {
+        let rows = compute_loop_figure(&figure7_loops(), &figure7_config());
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert!(
+                row.category_fraction > 0.3,
+                "{}: private fraction {}",
+                row.name,
+                row.category_fraction
+            );
+            assert!(row.case_speedup >= row.hose_speedup, "{}", row.name);
+        }
+    }
+
+    #[test]
+    fn figure8_shared_dependent_loops_have_shared_idempotency_and_case_wins() {
+        let rows = compute_loop_figure(&figure8_loops(), &figure8_config());
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert!(
+                row.category_fraction > 0.3,
+                "{}: shared-dependent fraction {}",
+                row.name,
+                row.category_fraction
+            );
+            assert!(row.case_speedup >= row.hose_speedup, "{}", row.name);
+        }
+        // The paper highlights sections with more than 50% shared-dependent
+        // references: at least one of the loops must reach that.
+        assert!(rows.iter().any(|r| r.category_fraction > 0.5));
+    }
+
+    #[test]
+    fn figure9_fully_independent_loops_reach_high_case_speedups() {
+        let rows = compute_loop_figure(&figure9_loops(), &figure9_config());
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert!(row.idempotent_fraction > 0.5, "{}", row.name);
+            assert!(row.case_speedup >= row.hose_speedup, "{}", row.name);
+        }
+        // The RESID/PSINV stencils overflow under HOSE but not under CASE,
+        // so CASE improves performance significantly (the paper's Figure 9).
+        let resid = rows.iter().find(|r| r.name.contains("RESID")).unwrap();
+        assert!(resid.comparison.hose.overflow_stalls > 0);
+        assert_eq!(resid.comparison.case.overflow_stalls, 0);
+        assert!(resid.case_speedup > 1.5 * resid.hose_speedup || resid.hose_speedup >= 1.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! # refidem-bench — the evaluation harness
+//!
+//! Regenerates every figure of the paper's evaluation (Section 5) on the
+//! synthetic benchmark suite:
+//!
+//! * **Figure 5** ([`fig5`]) — fraction of dynamic references in
+//!   non-parallelizable code sections that are idempotent, per benchmark,
+//!   broken down into the read-only / private / shared-dependent categories.
+//! * **Figures 6–9** ([`figloops`]) — for the named loops of each
+//!   idempotency category: the fraction of references in the category and
+//!   the loop speedups of HOSE and CASE over a one-processor execution.
+//! * **Ablations** ([`ablation`]) — speculative-storage capacity and
+//!   processor-count sweeps, plus a label-category ablation, quantifying the
+//!   design choices called out in `DESIGN.md`.
+//!
+//! The binaries (`figure5` … `figure9`, `ablation`, `all_figures`) print the
+//! rows as plain-text tables; the Criterion benches in `benches/` measure
+//! the analysis and simulator throughput.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod configs;
+pub mod fig5;
+pub mod figloops;
+pub mod tables;
+
+pub use ablation::{capacity_sweep, label_category_ablation, processor_sweep, AblationRow};
+pub use configs::{figure6_config, figure7_config, figure8_config, figure9_config};
+pub use fig5::{compute_figure5, Figure5Row};
+pub use figloops::{compute_loop_figure, LoopFigureRow};

@@ -1,0 +1,136 @@
+//! Plain-text table rendering for the figure binaries.
+
+use crate::ablation::AblationRow;
+use crate::fig5::Figure5Row;
+use crate::figloops::LoopFigureRow;
+use std::fmt::Write as _;
+
+fn pct(x: f64) -> String {
+    format!("{:5.1}%", x * 100.0)
+}
+
+/// Renders the Figure 5 table.
+pub fn render_figure5(rows: &[Figure5Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 5 — idempotent references in non-parallelizable code sections"
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:>8} {:>12} {:>10} {:>10} {:>10} {:>12}",
+        "benchmark", "regions", "dyn refs", "read-only", "private", "shared", "idempotent"
+    );
+    for r in rows {
+        if r.total_refs == 0 {
+            let _ = writeln!(
+                out,
+                "{:<10} {:>8} {:>12} {:>10} {:>10} {:>10} {:>12}",
+                r.benchmark, r.regions, 0, "-", "-", "-", "(fully parallel)"
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "{:<10} {:>8} {:>12} {:>10} {:>10} {:>10} {:>12}",
+                r.benchmark,
+                r.regions,
+                r.total_refs,
+                pct(r.read_only_fraction),
+                pct(r.private_fraction),
+                pct(r.shared_dependent_fraction),
+                pct(r.idempotent_fraction),
+            );
+        }
+    }
+    out
+}
+
+/// Renders one of the per-loop figures (Figures 6–9).
+pub fn render_loop_figure(title: &str, rows: &[LoopFigureRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "{:<24} {:>10} {:>10} {:>10} {:>9} {:>9} {:>11} {:>11}",
+        "loop", "dyn refs", "category", "idem", "HOSE spd", "CASE spd", "HOSE ovfl", "CASE ovfl"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<24} {:>10} {:>10} {:>10} {:>9.2} {:>9.2} {:>11} {:>11}",
+            r.name,
+            r.total_refs,
+            pct(r.category_fraction),
+            pct(r.idempotent_fraction),
+            r.hose_speedup,
+            r.case_speedup,
+            r.comparison.hose.overflow_stalls,
+            r.comparison.case.overflow_stalls,
+        );
+    }
+    out
+}
+
+/// Renders an ablation sweep.
+pub fn render_ablation(title: &str, rows: &[AblationRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "{:<12} {:>10} {:>10} {:>10} {:>11} {:>11}",
+        "parameter", "value", "HOSE spd", "CASE spd", "HOSE ovfl", "CASE ovfl"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>10} {:>10.2} {:>10.2} {:>11} {:>11}",
+            r.parameter, r.value, r.hose_speedup, r.case_speedup, r.hose_overflows, r.case_overflows
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_produces_one_line_per_row() {
+        let rows = vec![
+            Figure5Row {
+                benchmark: "X".into(),
+                regions: 1,
+                total_refs: 100,
+                idempotent_fraction: 0.5,
+                read_only_fraction: 0.25,
+                private_fraction: 0.1,
+                shared_dependent_fraction: 0.15,
+            },
+            Figure5Row {
+                benchmark: "PAR".into(),
+                regions: 0,
+                total_refs: 0,
+                idempotent_fraction: 0.0,
+                read_only_fraction: 0.0,
+                private_fraction: 0.0,
+                shared_dependent_fraction: 0.0,
+            },
+        ];
+        let text = render_figure5(&rows);
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.contains("fully parallel"));
+        assert!(text.contains("50.0%"));
+        let ab = render_ablation(
+            "sweep",
+            &[AblationRow {
+                parameter: "capacity".into(),
+                value: "8".into(),
+                hose_speedup: 1.0,
+                case_speedup: 2.0,
+                hose_overflows: 3,
+                case_overflows: 0,
+            }],
+        );
+        assert!(ab.contains("capacity"));
+    }
+}

@@ -1,0 +1,251 @@
+//! The paper's worked examples (Figures 1–4) as reusable objects.
+//!
+//! * [`figure1`] — the two-segment introductory example (Section 1).
+//! * [`figure2`] — the five-segment region with control and data
+//!   dependences whose RFW sets and labels Section 4 walks through.
+//! * [`figure3`] — the seven-segment control-flow graph used to illustrate
+//!   Algorithm 1's coloring for variables `x`, `y` and `z`.
+//! * [`figure4`] — the APPLU `BUTS_DO1` loop (a [`LoopBenchmark`], shared
+//!   with the APPLU benchmark program).
+
+use crate::suite::applu;
+use crate::LoopBenchmark;
+use refidem_core::model::{AbstractRegion, SegmentId};
+
+/// The introductory example of Figure 1: two segments; `B` is read-only,
+/// `C` is private to segment 2, and `A` carries a cross-segment flow
+/// dependence.
+pub fn figure1() -> AbstractRegion {
+    let mut r = AbstractRegion::new("figure1");
+    let s1 = r.segment("Segment1");
+    let s2 = r.segment("Segment2");
+    r.edge(s1, s2);
+    r.live_out(&["A"]);
+    // Segment 1:  ... = B ; A = ... ; ... = B
+    r.read(s1, "B");
+    r.write(s1, "A");
+    r.read(s1, "B");
+    // Segment 2:  C = ... ; ... = A ; ... = B ; ... = C
+    r.write(s2, "C");
+    r.read(s2, "A");
+    r.read(s2, "B");
+    r.read(s2, "C");
+    r
+}
+
+/// Identifiers of the five segments of Figure 2, oldest first.
+pub fn figure2_segments() -> [SegmentId; 5] {
+    [
+        SegmentId(0),
+        SegmentId(1),
+        SegmentId(2),
+        SegmentId(3),
+        SegmentId(4),
+    ]
+}
+
+/// The five-segment region of Figure 2.
+///
+/// The reconstruction follows the RFW sets and labels stated in the paper:
+/// `RFW(R0) = {C, N, J}`, `RFW(R1) = {E, J}`, `RFW(R2) = RFW(R3) = {A}`,
+/// `RFW(R4) = {F}`; the conditional writes to `B` and the `K(E)` writes are
+/// not RFW; `J` in `R1` and `F` in `R4` are RFW but not idempotent (they are
+/// sinks of output/anti dependences from `R0`); the reads of `N` in `R2` and
+/// `E` in `R3` are speculative; `G`, `F`-in-`R0` and the read of `H` in `R4`
+/// are independent reads; the reads of `N` and `C` in `R0` and of `A` in
+/// `R3` are covered reads.
+pub fn figure2() -> AbstractRegion {
+    let mut r = AbstractRegion::new("figure2");
+    let r0 = r.segment("R0");
+    let r1 = r.segment("R1");
+    let r2 = r.segment("R2");
+    let r3 = r.segment("R3");
+    let r4 = r.segment("R4");
+    // Control flow: R0 -> R1 -> {R2 | R3} -> R4.
+    r.edge(r0, r1);
+    r.edge(r1, r2);
+    r.edge(r1, r3);
+    r.edge(r2, r4);
+    r.edge(r3, r4);
+    // The branch in R1 decides whether R2 or R3 runs: a cross-segment
+    // control dependence (E2/E3 in the figure).
+    r.control_dep(r1, r2);
+    r.control_dep(r1, r3);
+    r.live_out(&["A", "B", "J", "K", "F", "H", "N", "C", "E"]);
+
+    // R0:  C = G + ... ; ... = C ; N = ... ; ... = N ; J = ... ; ... = F
+    r.read(r0, "G");
+    r.write(r0, "C");
+    r.read(r0, "C");
+    r.write(r0, "N");
+    r.read(r0, "N");
+    r.write(r0, "J");
+    r.read(r0, "F");
+    // R1:  E = ... ; J = ...
+    r.write(r1, "E");
+    r.write(r1, "J");
+    // R2:  A = ... ; ... = N ; K(E) = ... ; IF (A) B = ...
+    r.write(r2, "A");
+    r.read(r2, "N");
+    r.read(r2, "E"); // the subscript read of K(E)
+    r.write_imprecise(r2, "K");
+    r.read_conditional(r2, "A"); // not needed for the IF itself, but the
+                                 // figure reads A inside R2 as well
+    r.write_conditional(r2, "B");
+    // R3:  A = ... ; ... = E + ... ; K(E) = ... ; ... = A ; IF (A) B = ...
+    r.write(r3, "A");
+    r.read(r3, "E");
+    r.read(r3, "E"); // the subscript read of K(E)
+    r.write_imprecise(r3, "K");
+    r.read(r3, "A");
+    r.write_conditional(r3, "B");
+    // R4:  F = ... ; ... = F ; ... = G * ... ; ... = G / H ; H = ...
+    r.write(r4, "F");
+    r.read(r4, "F");
+    r.read(r4, "G");
+    r.read(r4, "G");
+    r.read(r4, "H");
+    r.write(r4, "H");
+    r
+}
+
+/// The seven-segment control-flow graph of Figure 3, used to demonstrate the
+/// per-variable coloring of Algorithm 1 for `x`, `y` and `z`.
+pub fn figure3() -> AbstractRegion {
+    let mut r = AbstractRegion::new("figure3");
+    let s: Vec<SegmentId> = (1..=7).map(|i| r.segment(format!("{i}"))).collect();
+    r.edge(s[0], s[1]); // 1 -> 2
+    r.edge(s[0], s[2]); // 1 -> 3
+    r.edge(s[1], s[3]); // 2 -> 4
+    r.edge(s[2], s[4]); // 3 -> 5
+    r.edge(s[3], s[5]); // 4 -> 6
+    r.edge(s[4], s[5]); // 5 -> 6
+    r.edge(s[5], s[6]); // 6 -> 7
+    r.write(s[0], "x"); // 1: x = ...
+    r.read(s[1], "z"); // 2: ... = z
+    r.write(s[1], "y"); //    y = ...
+    r.write(s[2], "y"); // 3: y = ...
+    r.write(s[3], "y"); // 4: y = ...
+    r.read(s[3], "x"); //    ... = x
+    r.write(s[4], "y"); // 5: y = ...
+    r.write(s[5], "x"); // 6: x = ...
+    r.write(s[5], "y"); //    y = ...
+    r.write(s[5], "z"); //    z = ...
+    r.read(s[6], "y"); // 7: ... = y
+    r.write(s[6], "x"); //    x = ...
+    r.live_out(&["x", "y", "z"]);
+    r
+}
+
+/// The APPLU `BUTS_DO1` loop of Figure 4.
+pub fn figure4() -> LoopBenchmark {
+    applu::buts_do1()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refidem_core::label::{label_abstract_region, IdemCategory, Label};
+    use refidem_core::rfw::rfw_for_abstract;
+    use refidem_ir::sites::AccessKind;
+
+    #[test]
+    fn figure2_rfw_sets_match_the_paper() {
+        let r = figure2();
+        let rfw = rfw_for_abstract(&r);
+        let [r0, r1, r2, r3, r4] = figure2_segments();
+        let w = |seg, var| r.find_ref(seg, var, AccessKind::Write).unwrap();
+        // RFW(R0) = {C, N, J}
+        for var in ["C", "N", "J"] {
+            assert!(rfw.contains(&w(r0, var)), "RFW(R0) must contain {var}");
+        }
+        // RFW(R1) = {E, J}
+        for var in ["E", "J"] {
+            assert!(rfw.contains(&w(r1, var)), "RFW(R1) must contain {var}");
+        }
+        // RFW(R2) = {A}, RFW(R3) = {A}
+        assert!(rfw.contains(&w(r2, "A")));
+        assert!(rfw.contains(&w(r3, "A")));
+        // RFW(R4) = {F}
+        assert!(rfw.contains(&w(r4, "F")));
+        // The conditional writes to B and the imprecise writes to K(E) are
+        // not RFW; neither is the write to H in R4 (preceded by a read).
+        assert!(!rfw.contains(&w(r2, "B")));
+        assert!(!rfw.contains(&w(r3, "B")));
+        assert!(!rfw.contains(&w(r2, "K")));
+        assert!(!rfw.contains(&w(r3, "K")));
+        assert!(!rfw.contains(&w(r4, "H")));
+    }
+
+    #[test]
+    fn figure2_labels_match_the_paper() {
+        let r = figure2();
+        let labeling = label_abstract_region(&r);
+        let [r0, r1, r2, r3, r4] = figure2_segments();
+        let w = |seg, var| r.find_ref(seg, var, AccessKind::Write).unwrap();
+        let rd = |seg, var| r.find_ref(seg, var, AccessKind::Read).unwrap();
+        // RFW references that are idempotent.
+        for (seg, var) in [(r0, "C"), (r0, "N"), (r0, "J"), (r1, "E"), (r2, "A"), (r3, "A")] {
+            assert!(
+                labeling.is_idempotent(w(seg, var)),
+                "write to {var} in segment {} must be idempotent",
+                seg.index()
+            );
+        }
+        // J in R1 and F in R4 are RFW but NOT idempotent: they are sinks of
+        // output/anti dependences from R0 (Lemma 5 / Theorem 1).
+        assert_eq!(labeling.label(w(r1, "J")), Label::Speculative);
+        assert_eq!(labeling.label(w(r4, "F")), Label::Speculative);
+        // The reads of N in R2 and E in R3 are sinks of cross-segment flow
+        // dependences: speculative (Lemma 3).
+        assert_eq!(labeling.label(rd(r2, "N")), Label::Speculative);
+        assert_eq!(labeling.label(rd(r3, "E")), Label::Speculative);
+        // G everywhere, F in R0 and the read of H in R4 are independent
+        // reads: idempotent (Lemma 4).
+        assert!(labeling.is_idempotent(rd(r0, "G")));
+        assert!(labeling.is_idempotent(rd(r4, "G")));
+        assert!(labeling.is_idempotent(rd(r0, "F")));
+        assert!(labeling.is_idempotent(rd(r4, "H")));
+        // The reads of N and C in R0 and of A in R3 are covered reads:
+        // idempotent (Lemma 6).
+        assert!(labeling.is_idempotent(rd(r0, "N")));
+        assert!(labeling.is_idempotent(rd(r0, "C")));
+        assert!(labeling.is_idempotent(rd(r3, "A")));
+        // Note: the paper's narrative also lists the read of F in R4 as a
+        // covered read, but its covering write is speculative (it is the
+        // sink of the anti dependence from R0), so Lemma 6 does not apply
+        // and the strict Theorem 2 labeling keeps the read speculative.
+        assert_eq!(labeling.label(rd(r4, "F")), Label::Speculative);
+        // G is a read-only variable.
+        assert_eq!(
+            labeling.label(rd(r0, "G")).category(),
+            Some(IdemCategory::ReadOnly)
+        );
+    }
+
+    #[test]
+    fn figure1_summary_counts() {
+        let r = figure1();
+        let labeling = label_abstract_region(&r);
+        let stats = labeling.stats();
+        assert_eq!(stats.total_static, 7);
+        assert_eq!(stats.idempotent_static, 6);
+    }
+
+    #[test]
+    fn figure3_region_exposes_seven_segments() {
+        let r = figure3();
+        assert_eq!(r.segment_count(), 7);
+        // Detailed coloring assertions live in refidem-core's rfw tests; we
+        // only check the region labels a consistent RFW set here.
+        let rfw = rfw_for_abstract(&r);
+        assert!(!rfw.is_empty());
+    }
+
+    #[test]
+    fn figure4_is_the_applu_buts_loop() {
+        let l = figure4();
+        assert!(l.name.contains("BUTS"));
+        assert!(l.region.resolve(&l.program).is_some());
+    }
+}

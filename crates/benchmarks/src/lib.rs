@@ -1,0 +1,175 @@
+//! # refidem-benchmarks — the evaluation workload suite
+//!
+//! The paper evaluates reference idempotency on 13 Fortran benchmarks from
+//! SPEC CFP95 and the Perfect Club, compiled by Polaris/Multiscalar. Those
+//! sources (and the compiler) are not available, so this crate provides
+//! *synthetic* benchmark programs written in the `refidem-ir` builder whose
+//! loops mirror the reference structure the paper describes:
+//!
+//! * the named loops of Figures 4 and 6–9 (`APPLU BUTS_DO1`, `SETBV_DO2`,
+//!   `TOMCATV MAIN_DO80`, `WAVE5 PARMVR_DO120/140`, `TURB3D DRCFT_DO2`,
+//!   `MGRID RESID_DO600`, `PSINV_DO600`, `ZRAN3_DO400`, …),
+//! * whole-benchmark programs for all 13 benchmarks, each a mix of
+//!   parallelizable and non-parallelizable loops whose reference mix
+//!   (read-only / private / shared-dependent / indirect) follows the
+//!   qualitative characterization of Section 5 (SWIM, TRFD and ARC2D fully
+//!   parallel; FPPPP unstructured and hard to analyze; MGRID dominated by
+//!   fully-independent stencils; the rest mixed),
+//! * the worked examples of Figures 1–3 as abstract segment-graph regions.
+//!
+//! The fractions-of-idempotent-references and HOSE/CASE speedups measured on
+//! these programs reproduce the *shape* of the paper's evaluation, not its
+//! absolute numbers — see `EXPERIMENTS.md` at the repository root.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod examples;
+pub mod patterns;
+pub mod suite;
+
+use refidem_ir::program::{Program, RegionSpec};
+
+/// A single named loop packaged with the program that contains it — the
+/// unit of the per-loop experiments (Figures 4 and 6–9).
+#[derive(Clone, Debug)]
+pub struct LoopBenchmark {
+    /// Display name, e.g. `"APPLU BUTS_DO1"`.
+    pub name: &'static str,
+    /// The category the paper files the loop under (for reporting).
+    pub category: &'static str,
+    /// The program containing the loop.
+    pub program: Program,
+    /// The region designation of the loop.
+    pub region: RegionSpec,
+}
+
+/// A whole synthetic benchmark program (the unit of Figure 5).
+#[derive(Clone, Debug)]
+pub struct Benchmark {
+    /// Benchmark name, e.g. `"APPLU"`.
+    pub name: &'static str,
+    /// The program: one procedure whose top-level labeled loops are the
+    /// benchmark's regions.
+    pub program: Program,
+}
+
+impl Benchmark {
+    /// All regions (labeled top-level loops) of the benchmark, in program
+    /// order.
+    pub fn regions(&self) -> Vec<RegionSpec> {
+        self.program.all_regions()
+    }
+}
+
+/// The 13 benchmarks of the paper's evaluation (Figure 5), in alphabetical
+/// order.
+pub fn all_benchmarks() -> Vec<Benchmark> {
+    vec![
+        suite::applu::benchmark(),
+        suite::apsi::benchmark(),
+        suite::arc2d::benchmark(),
+        suite::bdna::benchmark(),
+        suite::fpppp::benchmark(),
+        suite::hydro2d::benchmark(),
+        suite::mgrid::benchmark(),
+        suite::su2cor::benchmark(),
+        suite::swim::benchmark(),
+        suite::tomcatv::benchmark(),
+        suite::trfd::benchmark(),
+        suite::turb3d::benchmark(),
+        suite::wave5::benchmark(),
+    ]
+}
+
+/// The named loops of the read-only category experiment (Figure 6).
+pub fn figure6_loops() -> Vec<LoopBenchmark> {
+    vec![
+        suite::tomcatv::main_do80(),
+        suite::wave5::parmvr_do120(),
+        suite::wave5::parmvr_do140(),
+    ]
+}
+
+/// The named loops of the private category experiment (Figure 7).
+pub fn figure7_loops() -> Vec<LoopBenchmark> {
+    vec![suite::turb3d::drcft_do2(), suite::applu::setbv_do2()]
+}
+
+/// The named loops of the shared-dependent category experiment (Figure 8).
+pub fn figure8_loops() -> Vec<LoopBenchmark> {
+    vec![
+        suite::applu::buts_do1(),
+        suite::hydro2d::filter_do100(),
+        suite::bdna::actfor_do240(),
+    ]
+}
+
+/// The named loops of the fully-independent category experiment (Figure 9).
+pub fn figure9_loops() -> Vec<LoopBenchmark> {
+    vec![
+        suite::mgrid::resid_do600(),
+        suite::mgrid::psinv_do600(),
+        suite::mgrid::zran3_do400(),
+    ]
+}
+
+/// Every named loop used by the per-loop experiments, for sweeps and tests.
+pub fn all_named_loops() -> Vec<LoopBenchmark> {
+    let mut out = vec![suite::applu::buts_do1()];
+    out.extend(figure6_loops());
+    out.extend(figure7_loops());
+    out.extend(figure8_loops().into_iter().skip(1));
+    out.extend(figure9_loops());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refidem_analysis::region::RegionAnalysis;
+
+    #[test]
+    fn thirteen_benchmarks_with_regions() {
+        let benches = all_benchmarks();
+        assert_eq!(benches.len(), 13);
+        for b in &benches {
+            assert!(
+                !b.regions().is_empty(),
+                "benchmark {} must contain at least one region",
+                b.name
+            );
+        }
+    }
+
+    #[test]
+    fn every_benchmark_region_analyzes_cleanly() {
+        for b in all_benchmarks() {
+            for region in b.regions() {
+                let analysis = RegionAnalysis::analyze(&b.program, &region);
+                assert!(
+                    analysis.is_ok(),
+                    "benchmark {} region {} failed to analyze: {:?}",
+                    b.name,
+                    region.loop_label,
+                    analysis.err()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn named_loops_resolve_in_their_programs() {
+        for l in all_named_loops() {
+            assert!(
+                l.region.resolve(&l.program).is_some(),
+                "loop {} must resolve",
+                l.name
+            );
+        }
+        assert_eq!(figure6_loops().len(), 3);
+        assert_eq!(figure7_loops().len(), 2);
+        assert_eq!(figure8_loops().len(), 3);
+        assert_eq!(figure9_loops().len(), 3);
+    }
+}

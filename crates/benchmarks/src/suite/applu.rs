@@ -1,0 +1,101 @@
+//! APPLU — the SSOR solver benchmark.
+//!
+//! Contributes the two named loops the paper discusses in detail:
+//! `BUTS_DO1` (Figure 4, shared-dependent category) and `SETBV_DO2`
+//! (Figure 7, private category), plus a parallelizable right-hand-side
+//! stencil and a non-parallelizable Jacobian-like recurrence.
+
+use crate::patterns::{
+    buts_like_loop, init_loop, private_chain_loop, readonly_rich_loop, stencil_loop,
+};
+use crate::{Benchmark, LoopBenchmark};
+use refidem_ir::build::ProcBuilder;
+use refidem_ir::program::Program;
+
+/// Extents of the `v` array of `BUTS_DO1` (kept small so interpreted
+/// executions stay fast while still overflowing realistic speculative
+/// storage capacities).
+pub const BUTS_N: i64 = 6;
+
+fn build_program() -> Program {
+    let mut b = ProcBuilder::new("applu_main");
+    let n = BUTS_N as usize;
+    let v = b.array("v", &[5, n, n, n]);
+    let tmp = b.scalar("tmp");
+    let bvec = b.array("bvec", &[40]);
+    let rhs = b.array("rhs", &[40]);
+    let jac = b.array("jac", &[40]);
+    let jnew = b.array("jnew", &[40]);
+    let c1 = b.array("c1", &[40]);
+    let c2 = b.array("c2", &[40]);
+    let c3 = b.array("c3", &[40]);
+    let bv = b.array("bv", &[40]);
+    let t1 = b.scalar("t1");
+    let t2 = b.scalar("t2");
+    let t3 = b.scalar("t3");
+    let last = b.scalar("last");
+    b.live_out(&[v, rhs, jac, jnew, bv, last]);
+
+    let l_init = init_loop(&mut b, "INIT_DO1", bvec, 40, 0.25);
+    let l_rhs = stencil_loop(&mut b, "RHS_DO1", rhs, bvec, 40, 0.5);
+    let l_jacld = readonly_rich_loop(&mut b, "JACLD_DO1", jnew, jac, &[c1, c2, c3], 40, 0.4);
+    let l_setbv = private_chain_loop(&mut b, "SETBV_DO2", bv, bvec, &[t1, t2, t3], last, 40);
+    let l_buts = buts_like_loop(&mut b, "BUTS_DO1", v, tmp, BUTS_N, BUTS_N, BUTS_N);
+    let proc = b.build(vec![l_init, l_rhs, l_jacld, l_setbv, l_buts]);
+    let mut p = Program::new("APPLU");
+    p.add_procedure(proc);
+    p
+}
+
+/// The whole APPLU workload (Figure 5 row "APPLU").
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "APPLU",
+        program: build_program(),
+    }
+}
+
+/// `BUTS_DO1` — the back-substitution sweep of Figure 4 (shared-dependent
+/// category, also used in Figure 8).
+pub fn buts_do1() -> LoopBenchmark {
+    let program = build_program();
+    let region = program.find_region("BUTS_DO1").expect("BUTS_DO1 exists");
+    LoopBenchmark {
+        name: "APPLU BUTS_DO1",
+        category: "shared-dependent",
+        program,
+        region,
+    }
+}
+
+/// `SETBV_DO2` — the boundary-value setup loop (private category,
+/// Figure 7).
+pub fn setbv_do2() -> LoopBenchmark {
+    let program = build_program();
+    let region = program.find_region("SETBV_DO2").expect("SETBV_DO2 exists");
+    LoopBenchmark {
+        name: "APPLU SETBV_DO2",
+        category: "private",
+        program,
+        region,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refidem_core::label::{label_program_region_by_name, IdemCategory};
+
+    #[test]
+    fn buts_is_shared_dependent_and_setbv_is_private_heavy() {
+        let p = build_program();
+        let buts = label_program_region_by_name(&p, "BUTS_DO1").unwrap();
+        assert!(!buts.analysis.compiler_parallelizable);
+        assert!(buts.stats().category_fraction(IdemCategory::SharedDependent) > 0.2);
+        let setbv = label_program_region_by_name(&p, "SETBV_DO2").unwrap();
+        assert!(!setbv.analysis.compiler_parallelizable);
+        assert!(setbv.stats().category_fraction(IdemCategory::Private) > 0.4);
+        let rhs = label_program_region_by_name(&p, "RHS_DO1").unwrap();
+        assert!(rhs.analysis.compiler_parallelizable);
+    }
+}

@@ -1,0 +1,59 @@
+//! APSI — mesoscale pollutant transport.
+//!
+//! A mixed benchmark whose non-parallelizable sections contain a noticeable
+//! amount of unanalyzable (indirect and scalar-tangled) references, keeping
+//! its idempotent fraction below the 60% mark of Figure 5.
+
+use crate::patterns::{indirect_update_loop, readonly_rich_loop, scalar_tangle_loop};
+use crate::Benchmark;
+use refidem_ir::build::ProcBuilder;
+use refidem_ir::program::Program;
+
+fn build_program() -> Program {
+    let mut b = ProcBuilder::new("apsi_main");
+    let wind = b.array("wind", &[40]);
+    let windn = b.array("windn", &[40]);
+    let q1 = b.array("q1", &[40]);
+    let q2 = b.array("q2", &[40]);
+    let table = b.array("table", &[64]);
+    let cell = b.array("cell", &[40]);
+    let conc = b.array("conc", &[40]);
+    let e = b.array("e", &[40]);
+    let chksum = b.scalar("chksum");
+    let s1 = b.scalar("s1");
+    let s2 = b.scalar("s2");
+    let s3 = b.scalar("s3");
+    let s4 = b.scalar("s4");
+    b.live_out(&[wind, windn, table, chksum, s1, s2, s3, s4]);
+
+    let l_run20 = readonly_rich_loop(&mut b, "RUN_DO20", windn, wind, &[q1, q2], 40, 0.5);
+    let l_run40 = indirect_update_loop(&mut b, "RUN_DO40", table, cell, conc, chksum, 40);
+    let l_run50 = scalar_tangle_loop(&mut b, "RUN_DO50", &[s1, s2, s3, s4], e, 40);
+    let proc = b.build(vec![l_run20, l_run40, l_run50]);
+    let mut p = Program::new("APSI");
+    p.add_procedure(proc);
+    p
+}
+
+/// The whole APSI workload.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "APSI",
+        program: build_program(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refidem_core::label::label_program_region_by_name;
+
+    #[test]
+    fn apsi_regions_are_not_parallelizable() {
+        let b = benchmark();
+        for region in b.regions() {
+            let l = label_program_region_by_name(&b.program, &region.loop_label).unwrap();
+            assert!(!l.analysis.compiler_parallelizable, "{}", region.loop_label);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! ARC2D — implicit finite-difference fluid dynamics (Perfect Club).
+//! Fully parallel: the paper lists it with SWIM and TRFD as a program with
+//! no unanalyzable variables.
+
+use crate::patterns::{copy_scale_loop, stencil2d_loop, stencil_loop};
+use crate::Benchmark;
+use refidem_ir::build::ProcBuilder;
+use refidem_ir::program::Program;
+
+fn build_program() -> Program {
+    let mut b = ProcBuilder::new("arc2d_main");
+    let q = b.array("q", &[18, 18]);
+    let qn = b.array("qn", &[18, 18]);
+    let work = b.array("work", &[48]);
+    let press = b.array("press", &[48]);
+    let smooth = b.array("smooth", &[48]);
+    b.live_out(&[qn, press, smooth]);
+    let l1 = stencil2d_loop(&mut b, "STEPFX_DO230", qn, q, 18);
+    let l2 = copy_scale_loop(&mut b, "XPENTA_DO11", press, work, 48, 0.75);
+    let l3 = stencil_loop(&mut b, "FILERX_DO15", smooth, work, 48, 0.25);
+    let proc = b.build(vec![l1, l2, l3]);
+    let mut p = Program::new("ARC2D");
+    p.add_procedure(proc);
+    p
+}
+
+/// The whole ARC2D workload.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "ARC2D",
+        program: build_program(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refidem_core::label::label_program_region_by_name;
+
+    #[test]
+    fn every_region_is_parallelizable() {
+        let b = benchmark();
+        for region in b.regions() {
+            let l = label_program_region_by_name(&b.program, &region.loop_label).unwrap();
+            assert!(l.analysis.compiler_parallelizable, "{}", region.loop_label);
+        }
+    }
+}

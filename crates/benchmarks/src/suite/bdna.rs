@@ -1,0 +1,70 @@
+//! BDNA — molecular dynamics of DNA (Perfect Club).
+//!
+//! Contributes `ACTFOR_DO240`, one of the shared-dependent category loops of
+//! the Figure 8 experiment, next to an indirect neighbour-list update and an
+//! unstructured random-number tangle that keep the overall idempotent
+//! fraction moderate.
+
+use crate::patterns::{first_write_reuse_loop, indirect_update_loop, scalar_tangle_loop};
+use crate::{Benchmark, LoopBenchmark};
+use refidem_ir::build::ProcBuilder;
+use refidem_ir::program::Program;
+
+fn build_program() -> Program {
+    let mut b = ProcBuilder::new("bdna_main");
+    let frc = b.array("frc", &[6, 32]);
+    let pos = b.array("pos", &[32]);
+    let fmax = b.scalar("fmax");
+    let bins = b.array("bins", &[64]);
+    let nbr = b.array("nbr", &[40]);
+    let chg = b.array("chg", &[40]);
+    let e = b.array("e", &[40]);
+    let chksum = b.scalar("chksum");
+    let x1 = b.scalar("x1");
+    let x2 = b.scalar("x2");
+    let x3 = b.scalar("x3");
+    let x4 = b.scalar("x4");
+    b.live_out(&[frc, fmax, bins, chksum, x1, x2, x3, x4]);
+
+    let l_actfor = first_write_reuse_loop(&mut b, "ACTFOR_DO240", frc, pos, fmax, 6, 32);
+    let l_nbr = indirect_update_loop(&mut b, "ACTFOR_DO500", bins, nbr, chg, chksum, 40);
+    let l_ran = scalar_tangle_loop(&mut b, "RAN_DO1", &[x1, x2, x3, x4], e, 40);
+    let proc = b.build(vec![l_actfor, l_nbr, l_ran]);
+    let mut p = Program::new("BDNA");
+    p.add_procedure(proc);
+    p
+}
+
+/// The whole BDNA workload.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "BDNA",
+        program: build_program(),
+    }
+}
+
+/// `ACTFOR_DO240` — shared-dependent category (Figure 8).
+pub fn actfor_do240() -> LoopBenchmark {
+    let program = build_program();
+    let region = program.find_region("ACTFOR_DO240").expect("region exists");
+    LoopBenchmark {
+        name: "BDNA ACTFOR_DO240",
+        category: "shared-dependent",
+        program,
+        region,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refidem_core::label::{label_program_region_by_name, IdemCategory};
+
+    #[test]
+    fn actfor_do240_has_shared_dependent_idempotency() {
+        let p = build_program();
+        let l = label_program_region_by_name(&p, "ACTFOR_DO240").unwrap();
+        assert!(!l.analysis.compiler_parallelizable);
+        assert!(l.stats().category_fraction(IdemCategory::SharedDependent) > 0.15);
+    }
+}

@@ -1,0 +1,66 @@
+//! FPPPP — quantum chemistry two-electron integrals.
+//!
+//! The paper singles FPPPP out as "highly unstructured and difficult to
+//! analyze": its loops are dominated by scalar tangles with exposed reads
+//! and by subscripted-subscript updates, so almost nothing is idempotent.
+
+use crate::patterns::{indirect_update_loop, scalar_tangle_loop};
+use crate::Benchmark;
+use refidem_ir::build::ProcBuilder;
+use refidem_ir::program::Program;
+
+fn build_program() -> Program {
+    let mut b = ProcBuilder::new("fpppp_main");
+    let e = b.array("e", &[40]);
+    let g = b.array("g", &[40]);
+    let table = b.array("table", &[64]);
+    let ix = b.array("ix", &[40]);
+    let src = b.array("src", &[40]);
+    let chksum = b.scalar("chksum");
+    let s1 = b.scalar("s1");
+    let s2 = b.scalar("s2");
+    let s3 = b.scalar("s3");
+    let s4 = b.scalar("s4");
+    let r1 = b.scalar("r1");
+    let r2 = b.scalar("r2");
+    let r3 = b.scalar("r3");
+    let r4 = b.scalar("r4");
+    b.live_out(&[table, chksum, s1, s2, s3, s4, r1, r2, r3, r4]);
+
+    let l1 = scalar_tangle_loop(&mut b, "FPPPP_DO1", &[s1, s2, s3, s4], e, 40);
+    let l2 = indirect_update_loop(&mut b, "TWLDRV_DO1", table, ix, src, chksum, 40);
+    let l3 = scalar_tangle_loop(&mut b, "GAMGEN_DO1", &[r1, r2, r3, r4], g, 40);
+    let proc = b.build(vec![l1, l2, l3]);
+    let mut p = Program::new("FPPPP");
+    p.add_procedure(proc);
+    p
+}
+
+/// The whole FPPPP workload.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "FPPPP",
+        program: build_program(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refidem_core::label::label_program_region_by_name;
+
+    #[test]
+    fn fpppp_loops_are_mostly_speculative() {
+        let b = benchmark();
+        for region in b.regions() {
+            let l = label_program_region_by_name(&b.program, &region.loop_label).unwrap();
+            assert!(!l.analysis.compiler_parallelizable, "{}", region.loop_label);
+            assert!(
+                l.stats().idempotent_fraction() < 0.6,
+                "{}: {}",
+                region.loop_label,
+                l.stats().idempotent_fraction()
+            );
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! HYDRO2D — astrophysical hydrodynamics.
+//!
+//! Contributes `FILTER_DO100`, one of the shared-dependent category loops
+//! used in the Figure 8 experiment.
+
+use crate::patterns::{copy_scale_loop, first_write_reuse_loop, readonly_rich_loop};
+use crate::{Benchmark, LoopBenchmark};
+use refidem_ir::build::ProcBuilder;
+use refidem_ir::program::Program;
+
+fn build_program() -> Program {
+    let mut b = ProcBuilder::new("hydro2d_main");
+    let fil = b.array("fil", &[6, 32]);
+    let q = b.array("q", &[32]);
+    let qmax = b.scalar("qmax");
+    let ro = b.array("ro", &[40]);
+    let p1 = b.array("p1", &[40]);
+    let p2 = b.array("p2", &[40]);
+    let p3 = b.array("p3", &[40]);
+    let flux = b.array("flux", &[40]);
+    let ron = b.array("ron", &[40]);
+    b.live_out(&[fil, qmax, ro, ron, flux]);
+
+    let l_filter = first_write_reuse_loop(&mut b, "FILTER_DO100", fil, q, qmax, 6, 32);
+    let l_advnce = readonly_rich_loop(&mut b, "ADVNCE_DO1", ron, ro, &[p1, p2, p3], 40, 0.6);
+    let l_trans = copy_scale_loop(&mut b, "TRANS_DO10", flux, p1, 40, 1.1);
+    let proc = b.build(vec![l_filter, l_advnce, l_trans]);
+    let mut p = Program::new("HYDRO2D");
+    p.add_procedure(proc);
+    p
+}
+
+/// The whole HYDRO2D workload.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "HYDRO2D",
+        program: build_program(),
+    }
+}
+
+/// `FILTER_DO100` — shared-dependent category (Figure 8).
+pub fn filter_do100() -> LoopBenchmark {
+    let program = build_program();
+    let region = program.find_region("FILTER_DO100").expect("region exists");
+    LoopBenchmark {
+        name: "HYDRO2D FILTER_DO100",
+        category: "shared-dependent",
+        program,
+        region,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refidem_core::label::{label_program_region_by_name, IdemCategory};
+
+    #[test]
+    fn filter_do100_has_shared_dependent_idempotency() {
+        let p = build_program();
+        let l = label_program_region_by_name(&p, "FILTER_DO100").unwrap();
+        assert!(!l.analysis.compiler_parallelizable);
+        assert!(l.stats().category_fraction(IdemCategory::SharedDependent) > 0.15);
+        assert!(l.stats().idempotent_fraction() >= 0.4);
+    }
+}

@@ -1,0 +1,90 @@
+//! MGRID — multigrid solver.
+//!
+//! The paper's fully-independent category loops (Figure 9): the `RESID` and
+//! `PSINV` smoothing stencils carry no cross-iteration dependences at all,
+//! while `ZRAN3_DO400` is dominated by idempotent shared writes.
+
+use crate::patterns::{copy_scale_loop, first_write_reuse_loop, stencil2d_loop};
+use crate::{Benchmark, LoopBenchmark};
+use refidem_ir::build::ProcBuilder;
+use refidem_ir::program::Program;
+
+fn build_program() -> Program {
+    let mut b = ProcBuilder::new("mgrid_main");
+    let u = b.array("u", &[18, 18]);
+    let r = b.array("r", &[18, 18]);
+    let s = b.array("s", &[18, 18]);
+    let z = b.array("z", &[6, 32]);
+    let base = b.array("base", &[32]);
+    let coarse = b.array("coarse", &[32]);
+    let peak = b.scalar("peak");
+    b.live_out(&[r, s, z, coarse, peak]);
+
+    let l_resid = stencil2d_loop(&mut b, "RESID_DO600", r, u, 18);
+    let l_psinv = stencil2d_loop(&mut b, "PSINV_DO600", s, r, 18);
+    let l_zran3 = first_write_reuse_loop(&mut b, "ZRAN3_DO400", z, base, peak, 6, 32);
+    let l_interp = copy_scale_loop(&mut b, "INTERP_DO1", coarse, base, 32, 0.5);
+    let proc = b.build(vec![l_resid, l_psinv, l_zran3, l_interp]);
+    let mut p = Program::new("MGRID");
+    p.add_procedure(proc);
+    p
+}
+
+/// The whole MGRID workload.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "MGRID",
+        program: build_program(),
+    }
+}
+
+fn named(label: &str, name: &'static str, category: &'static str) -> LoopBenchmark {
+    let program = build_program();
+    let region = program.find_region(label).expect("region exists");
+    LoopBenchmark {
+        name,
+        category,
+        program,
+        region,
+    }
+}
+
+/// `RESID_DO600` — fully-independent category (Figure 9).
+pub fn resid_do600() -> LoopBenchmark {
+    named("RESID_DO600", "MGRID RESID_DO600", "fully-independent")
+}
+
+/// `PSINV_DO600` — fully-independent category (Figure 9).
+pub fn psinv_do600() -> LoopBenchmark {
+    named("PSINV_DO600", "MGRID PSINV_DO600", "fully-independent")
+}
+
+/// `ZRAN3_DO400` — the loop whose idempotent references are mostly shared
+/// writes (Figure 9b).
+pub fn zran3_do400() -> LoopBenchmark {
+    named("ZRAN3_DO400", "MGRID ZRAN3_DO400", "fully-independent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refidem_core::label::{label_program_region_by_name, IdemCategory};
+
+    #[test]
+    fn resid_and_psinv_are_fully_independent() {
+        let p = build_program();
+        for label in ["RESID_DO600", "PSINV_DO600"] {
+            let l = label_program_region_by_name(&p, label).unwrap();
+            assert!(l.analysis.fully_independent, "{label}");
+            assert_eq!(l.stats().idempotent_fraction(), 1.0, "{label}");
+        }
+    }
+
+    #[test]
+    fn zran3_has_idempotent_shared_writes() {
+        let p = build_program();
+        let l = label_program_region_by_name(&p, "ZRAN3_DO400").unwrap();
+        assert!(!l.analysis.compiler_parallelizable);
+        assert!(l.stats().category_fraction(IdemCategory::SharedDependent) > 0.15);
+    }
+}

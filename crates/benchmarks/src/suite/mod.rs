@@ -1,0 +1,20 @@
+//! The 13 synthetic benchmark programs of the evaluation suite.
+//!
+//! Each module provides `benchmark()` — the whole-program workload used by
+//! the Figure 5 experiment — and, where the paper names individual loops
+//! (Figures 4 and 6–9), functions returning those loops as
+//! [`crate::LoopBenchmark`]s.
+
+pub mod applu;
+pub mod apsi;
+pub mod arc2d;
+pub mod bdna;
+pub mod fpppp;
+pub mod hydro2d;
+pub mod mgrid;
+pub mod su2cor;
+pub mod swim;
+pub mod tomcatv;
+pub mod trfd;
+pub mod turb3d;
+pub mod wave5;

@@ -1,0 +1,57 @@
+//! SU2COR — quantum physics (quark-gluon correlation functions).
+//!
+//! A mixed benchmark: a privatizing transform stage, a read-only-rich sweep
+//! and a parallel copy.
+
+use crate::patterns::{copy_scale_loop, private_chain_loop, readonly_rich_loop};
+use crate::Benchmark;
+use refidem_ir::build::ProcBuilder;
+use refidem_ir::program::Program;
+
+fn build_program() -> Program {
+    let mut b = ProcBuilder::new("su2cor_main");
+    let gauge = b.array("gauge", &[40]);
+    let prop = b.array("prop", &[40]);
+    let corr = b.array("corr", &[40]);
+    let corrn = b.array("corrn", &[40]);
+    let g1 = b.array("g1", &[40]);
+    let g2 = b.array("g2", &[40]);
+    let g3 = b.array("g3", &[40]);
+    let out = b.array("out", &[40]);
+    let w1 = b.scalar("w1");
+    let w2 = b.scalar("w2");
+    let w3 = b.scalar("w3");
+    let trace = b.scalar("trace");
+    b.live_out(&[prop, corr, corrn, out, trace]);
+
+    let l_loops = private_chain_loop(&mut b, "LOOPS_DO400", prop, gauge, &[w1, w2, w3], trace, 40);
+    let l_sweep = readonly_rich_loop(&mut b, "SWEEP_DO1", corrn, corr, &[g1, g2, g3], 40, 0.55);
+    let l_copy = copy_scale_loop(&mut b, "COPY_DO1", out, gauge, 40, 3.0);
+    let proc = b.build(vec![l_loops, l_sweep, l_copy]);
+    let mut p = Program::new("SU2COR");
+    p.add_procedure(proc);
+    p
+}
+
+/// The whole SU2COR workload.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "SU2COR",
+        program: build_program(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refidem_core::label::label_program_region_by_name;
+
+    #[test]
+    fn su2cor_has_both_private_and_readonly_regions() {
+        let p = build_program();
+        let loops = label_program_region_by_name(&p, "LOOPS_DO400").unwrap();
+        assert!(!loops.analysis.compiler_parallelizable);
+        let sweep = label_program_region_by_name(&p, "SWEEP_DO1").unwrap();
+        assert!(sweep.stats().idempotent_fraction() > 0.5);
+    }
+}

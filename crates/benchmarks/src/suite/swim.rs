@@ -1,0 +1,50 @@
+//! SWIM — shallow water model. Fully parallel: every region is detected as
+//! independent, so SWIM contributes (next to) nothing to the
+//! non-parallelizable reference counts of Figure 5.
+
+use crate::patterns::{copy_scale_loop, stencil2d_loop};
+use crate::Benchmark;
+use refidem_ir::build::ProcBuilder;
+use refidem_ir::program::Program;
+
+fn build_program() -> Program {
+    let mut b = ProcBuilder::new("swim_main");
+    let u = b.array("u", &[18, 18]);
+    let v = b.array("v", &[18, 18]);
+    let unew = b.array("unew", &[18, 18]);
+    let vnew = b.array("vnew", &[18, 18]);
+    let p = b.array("p", &[40]);
+    let pnew = b.array("pnew", &[40]);
+    b.live_out(&[unew, vnew, pnew]);
+
+    let l1 = stencil2d_loop(&mut b, "CALC1_DO100", unew, u, 18);
+    let l2 = stencil2d_loop(&mut b, "CALC2_DO200", vnew, v, 18);
+    let l3 = copy_scale_loop(&mut b, "CALC3_DO300", pnew, p, 40, 0.98);
+    let proc = b.build(vec![l1, l2, l3]);
+    let mut prog = Program::new("SWIM");
+    prog.add_procedure(proc);
+    prog
+}
+
+/// The whole SWIM workload.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "SWIM",
+        program: build_program(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refidem_core::label::label_program_region_by_name;
+
+    #[test]
+    fn every_region_is_parallelizable() {
+        let b = benchmark();
+        for region in b.regions() {
+            let l = label_program_region_by_name(&b.program, &region.loop_label).unwrap();
+            assert!(l.analysis.compiler_parallelizable, "{}", region.loop_label);
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! TOMCATV — mesh generation.
+//!
+//! `MAIN_DO80` is the paper's read-only-category example (Figure 6): a
+//! recurrence over the mesh coordinates surrounded by many reads of
+//! read-only coefficient arrays.
+
+use crate::patterns::{readonly_rich_loop, reduction_loop, stencil_loop};
+use crate::{Benchmark, LoopBenchmark};
+use refidem_ir::build::ProcBuilder;
+use refidem_ir::program::Program;
+
+fn build_program() -> Program {
+    let mut b = ProcBuilder::new("tomcatv_main");
+    let x = b.array("x", &[48]);
+    let xnew = b.array("xnew", &[48]);
+    let y = b.array("y", &[48]);
+    let rx = b.array("rx", &[48]);
+    let ry = b.array("ry", &[48]);
+    let aa = b.array("aa", &[48]);
+    let dd = b.array("dd", &[48]);
+    let rmax = b.scalar("rmax");
+    b.live_out(&[x, xnew, y, rmax]);
+
+    let l_60 = stencil_loop(&mut b, "MAIN_DO60", y, rx, 48, 0.125);
+    let l_80 = readonly_rich_loop(&mut b, "MAIN_DO80", xnew, x, &[rx, ry, aa, dd], 48, 0.45);
+    let l_100 = reduction_loop(&mut b, "MAIN_DO100", rmax, x, dd, 48);
+    let proc = b.build(vec![l_60, l_80, l_100]);
+    let mut p = Program::new("TOMCATV");
+    p.add_procedure(proc);
+    p
+}
+
+/// The whole TOMCATV workload.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "TOMCATV",
+        program: build_program(),
+    }
+}
+
+/// `MAIN_DO80` — read-only category (Figure 6).
+pub fn main_do80() -> LoopBenchmark {
+    let program = build_program();
+    let region = program.find_region("MAIN_DO80").expect("MAIN_DO80 exists");
+    LoopBenchmark {
+        name: "TOMCATV MAIN_DO80",
+        category: "read-only",
+        program,
+        region,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refidem_core::label::{label_program_region_by_name, IdemCategory};
+
+    #[test]
+    fn main_do80_is_read_only_dominated() {
+        let p = build_program();
+        let l = label_program_region_by_name(&p, "MAIN_DO80").unwrap();
+        assert!(!l.analysis.compiler_parallelizable);
+        assert!(l.stats().category_fraction(IdemCategory::ReadOnly) > 0.5);
+        assert!(l.stats().idempotent_fraction() > 0.6);
+    }
+}

@@ -1,0 +1,43 @@
+//! TRFD — two-electron integral transformation. Fully parallel, like SWIM.
+
+use crate::patterns::{copy_scale_loop, stencil_loop};
+use crate::Benchmark;
+use refidem_ir::build::ProcBuilder;
+use refidem_ir::program::Program;
+
+fn build_program() -> Program {
+    let mut b = ProcBuilder::new("trfd_main");
+    let xij = b.array("xij", &[48]);
+    let xkl = b.array("xkl", &[48]);
+    let xrs = b.array("xrs", &[48]);
+    b.live_out(&[xkl, xrs]);
+    let l1 = copy_scale_loop(&mut b, "OLDA_DO100", xkl, xij, 48, 1.25);
+    let l2 = stencil_loop(&mut b, "OLDA_DO200", xrs, xij, 48, 0.5);
+    let proc = b.build(vec![l1, l2]);
+    let mut p = Program::new("TRFD");
+    p.add_procedure(proc);
+    p
+}
+
+/// The whole TRFD workload.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "TRFD",
+        program: build_program(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refidem_core::label::label_program_region_by_name;
+
+    #[test]
+    fn every_region_is_parallelizable() {
+        let b = benchmark();
+        for region in b.regions() {
+            let l = label_program_region_by_name(&b.program, &region.loop_label).unwrap();
+            assert!(l.analysis.fully_independent, "{}", region.loop_label);
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! TURB3D — turbulence simulation.
+//!
+//! `DRCFT_DO2` is one of the paper's private-category loops (Figure 7): a
+//! transform stage whose per-iteration scratch values privatize.
+
+use crate::patterns::{copy_scale_loop, private_chain_loop, reduction_loop};
+use crate::{Benchmark, LoopBenchmark};
+use refidem_ir::build::ProcBuilder;
+use refidem_ir::program::Program;
+
+fn build_program() -> Program {
+    let mut b = ProcBuilder::new("turb3d_main");
+    let uin = b.array("uin", &[40]);
+    let uout = b.array("uout", &[40]);
+    let utr = b.array("utr", &[40]);
+    let weight = b.array("weight", &[40]);
+    let w1 = b.scalar("w1");
+    let w2 = b.scalar("w2");
+    let w3 = b.scalar("w3");
+    let w4 = b.scalar("w4");
+    let norm = b.scalar("norm");
+    let energy = b.scalar("energy");
+    b.live_out(&[uout, utr, norm, energy]);
+
+    let l_drcft = private_chain_loop(&mut b, "DRCFT_DO2", uout, uin, &[w1, w2, w3, w4], norm, 40);
+    let l_enr = reduction_loop(&mut b, "ENR_DO1", energy, uout, weight, 40);
+    let l_trans = copy_scale_loop(&mut b, "TRANS_DO1", utr, uin, 40, 2.0);
+    let proc = b.build(vec![l_drcft, l_enr, l_trans]);
+    let mut p = Program::new("TURB3D");
+    p.add_procedure(proc);
+    p
+}
+
+/// The whole TURB3D workload.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "TURB3D",
+        program: build_program(),
+    }
+}
+
+/// `DRCFT_DO2` — private category (Figure 7).
+pub fn drcft_do2() -> LoopBenchmark {
+    let program = build_program();
+    let region = program.find_region("DRCFT_DO2").expect("region exists");
+    LoopBenchmark {
+        name: "TURB3D DRCFT_DO2",
+        category: "private",
+        program,
+        region,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refidem_core::label::{label_program_region_by_name, IdemCategory};
+
+    #[test]
+    fn drcft_do2_is_private_dominated() {
+        let p = build_program();
+        let l = label_program_region_by_name(&p, "DRCFT_DO2").unwrap();
+        assert!(!l.analysis.compiler_parallelizable);
+        assert!(
+            l.stats().category_fraction(IdemCategory::Private) > 0.45,
+            "private fraction {}",
+            l.stats().category_fraction(IdemCategory::Private)
+        );
+    }
+}

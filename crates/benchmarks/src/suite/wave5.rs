@@ -1,0 +1,99 @@
+//! WAVE5 — plasma simulation.
+//!
+//! `PARMVR_DO120` and `PARMVR_DO140` are the paper's other read-only
+//! category loops (Figure 6): particle-move recurrences reading many
+//! read-only field arrays.
+
+use crate::patterns::{copy_scale_loop, readonly_rich_loop};
+use crate::{Benchmark, LoopBenchmark};
+use refidem_ir::build::ProcBuilder;
+use refidem_ir::program::Program;
+
+fn build_program() -> Program {
+    let mut b = ProcBuilder::new("wave5_main");
+    let psi = b.array("psi", &[48]);
+    let psin = b.array("psin", &[48]);
+    let phi = b.array("phi", &[48]);
+    let phin = b.array("phin", &[48]);
+    let e1 = b.array("e1", &[48]);
+    let e2 = b.array("e2", &[48]);
+    let e3 = b.array("e3", &[48]);
+    let e4 = b.array("e4", &[48]);
+    let f1 = b.array("f1", &[48]);
+    let f2 = b.array("f2", &[48]);
+    let f3 = b.array("f3", &[48]);
+    let f4 = b.array("f4", &[48]);
+    let f5 = b.array("f5", &[48]);
+    let f6 = b.array("f6", &[48]);
+    let work = b.array("work", &[48]);
+    b.live_out(&[psi, psin, phi, phin, work]);
+
+    let l_120 =
+        readonly_rich_loop(&mut b, "PARMVR_DO120", psin, psi, &[e1, e2, e3, e4], 48, 0.3);
+    let l_140 = readonly_rich_loop(
+        &mut b,
+        "PARMVR_DO140",
+        phin,
+        phi,
+        &[f1, f2, f3, f4, f5, f6],
+        48,
+        0.35,
+    );
+    let l_fftb = copy_scale_loop(&mut b, "FFTB_DO1", work, e1, 48, 1.5);
+    let proc = b.build(vec![l_120, l_140, l_fftb]);
+    let mut p = Program::new("WAVE5");
+    p.add_procedure(proc);
+    p
+}
+
+/// The whole WAVE5 workload.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "WAVE5",
+        program: build_program(),
+    }
+}
+
+/// `PARMVR_DO120` — read-only category (Figure 6).
+pub fn parmvr_do120() -> LoopBenchmark {
+    let program = build_program();
+    let region = program.find_region("PARMVR_DO120").expect("region exists");
+    LoopBenchmark {
+        name: "WAVE5 PARMVR_DO120",
+        category: "read-only",
+        program,
+        region,
+    }
+}
+
+/// `PARMVR_DO140` — read-only category (Figure 6).
+pub fn parmvr_do140() -> LoopBenchmark {
+    let program = build_program();
+    let region = program.find_region("PARMVR_DO140").expect("region exists");
+    LoopBenchmark {
+        name: "WAVE5 PARMVR_DO140",
+        category: "read-only",
+        program,
+        region,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refidem_core::label::{label_program_region_by_name, IdemCategory};
+
+    #[test]
+    fn parmvr_loops_are_read_only_dominated() {
+        let p = build_program();
+        for label in ["PARMVR_DO120", "PARMVR_DO140"] {
+            let l = label_program_region_by_name(&p, label).unwrap();
+            assert!(!l.analysis.compiler_parallelizable, "{label}");
+            assert!(
+                l.stats().category_fraction(IdemCategory::ReadOnly) > 0.5,
+                "{label}: {}",
+                l.stats().category_fraction(IdemCategory::ReadOnly)
+            );
+        }
+    }
+}

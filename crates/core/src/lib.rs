@@ -1,0 +1,77 @@
+//! # refidem-core — reference idempotency analysis
+//!
+//! This crate implements the contribution of *"Reference Idempotency
+//! Analysis: A Framework for Optimizing Speculative Execution"* (Kim, Ooi,
+//! Eigenmann, Falsafi, Vijaykumar — PPoPP 2001):
+//!
+//! * the **region / segment model** of Definition 1, in two front-ends:
+//!   loop regions (regions are loops, segments are iterations — the form the
+//!   paper evaluates) and *abstract* segment-graph regions (the form of the
+//!   worked examples in Figures 1–3) — see [`model`];
+//! * the **re-occurring first write (RFW) analysis** of Definition 5 and
+//!   Algorithm 1 — see [`rfw`];
+//! * the **idempotency labeling** of Algorithm 2, implementing the
+//!   necessary-and-sufficient conditions of Theorems 1 and 2 — see
+//!   [`label`];
+//! * the **idempotency categories** of Section 4.1 (fully-independent,
+//!   read-only, private, shared-dependent) and static/dynamic labeling
+//!   statistics — see [`label`] and [`stats`].
+//!
+//! The labels drive the CASE execution model of `refidem-specsim`:
+//! idempotent references bypass the bounded speculative storage and access
+//! the conventional memory hierarchy directly, which is what relieves the
+//! speculative-storage overflow the paper identifies as the key bottleneck.
+//!
+//! ## Example
+//!
+//! ```
+//! use refidem_core::prelude::*;
+//! use refidem_ir::build::{ac, add, av, num, ProcBuilder};
+//! use refidem_ir::program::Program;
+//!
+//! // do k = 2, 10:  a(k) = a(k-1) + b(k)
+//! let mut b = ProcBuilder::new("main");
+//! let a = b.array("a", &[16]);
+//! let bb = b.array("b", &[16]);
+//! let k = b.index("k");
+//! b.live_out(&[a]);
+//! let rhs = add(b.load_elem(a, vec![av(k) - ac(1)]), b.load_elem(bb, vec![av(k)]));
+//! let s = b.assign_elem(a, vec![av(k)], rhs);
+//! let region = b.do_loop_labeled("R", k, ac(2), ac(10), vec![s]);
+//! let mut program = Program::new("toy");
+//! program.add_procedure(b.build(vec![region]));
+//!
+//! let labeled = label_program_region_by_name(&program, "R").unwrap();
+//! // b is read-only: its read is idempotent. The read of a(k-1) is the
+//! // sink of a cross-segment flow dependence: it stays speculative.
+//! let stats = labeled.stats();
+//! assert_eq!(stats.total_static, 3);
+//! assert_eq!(stats.idempotent_static, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod label;
+pub mod model;
+pub mod rfw;
+pub mod stats;
+
+pub use label::{
+    label_abstract_region, label_program_region, label_program_region_by_name, label_region,
+    IdemCategory, Label, LabelInput, LabeledRegion, Labeling,
+};
+pub use model::{AbstractRegion, SegmentId};
+pub use rfw::{Color, NodeType, RfwColoring};
+pub use stats::{DynLabelStats, LabelStats};
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::label::{
+        label_abstract_region, label_program_region, label_program_region_by_name, label_region,
+        IdemCategory, Label, LabelInput, LabeledRegion, Labeling,
+    };
+    pub use crate::model::{AbstractRegion, SegmentId};
+    pub use crate::rfw::{Color, NodeType, RfwColoring};
+    pub use crate::stats::{DynLabelStats, LabelStats};
+}

@@ -1,0 +1,438 @@
+//! Re-occurring first write (RFW) analysis — Definition 5 and Algorithm 1.
+//!
+//! A write reference to `x` in segment `R_i` is a *re-occurring first write*
+//! if, following any roll-back of `R_i`, a live `x` is guaranteed to be
+//! written before the end of the enclosing region without a preceding read.
+//! RFW writes may temporarily deposit misspeculated values in non-speculative
+//! storage: the property guarantees the value is corrected before any final
+//! execution consumes it (the heart of labeling condition LC1).
+//!
+//! Two forms are provided:
+//!
+//! * [`color_graph`] — the paper's **Algorithm 1** verbatim: per variable, a
+//!   graph whose nodes are segments (plus a virtual exit node) is colored
+//!   White/Black; write references in White nodes whose reference type is
+//!   `Write` are RFW. This operates on [`crate::model::AbstractRegion`]s.
+//! * [`rfw_for_loop_region`] — the specialization to uniform loop regions
+//!   (regions are loops, segments are iterations, every segment has the same
+//!   reference structure). In that case Algorithm 1 degenerates: no node can
+//!   reach an exposed read through `Null` nodes unless the iteration body
+//!   itself has an exposed read of the variable, so the RFW set is decided by
+//!   the body summary alone (must-written without exposed reads, per-write
+//!   address-precise and location-must-written).
+
+use crate::model::AbstractRegion;
+use refidem_analysis::region::RegionAnalysis;
+use refidem_ir::ids::{RefId, VarId};
+use refidem_ir::sites::AccessKind;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Node color of Algorithm 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Color {
+    /// The node's write references (if `Write`-typed) are RFW.
+    White,
+    /// The node's write references are not RFW.
+    Black,
+}
+
+/// Node reference type of Algorithm 1 for one variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeType {
+    /// The variable is defined on all paths through the segment without an
+    /// exposed read.
+    Write,
+    /// The segment has an exposed read of the variable.
+    Read,
+    /// The segment does not reference the variable (or references it only
+    /// through writes that are not guaranteed to re-occur).
+    Null,
+}
+
+/// The result of coloring one variable's segment graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RfwColoring {
+    /// Reference type per segment.
+    pub types: Vec<NodeType>,
+    /// Color per segment after Algorithm 1.
+    pub colors: Vec<Color>,
+    /// Type of the virtual exit node (`Read` when the variable is live-out).
+    pub exit_type: NodeType,
+}
+
+impl RfwColoring {
+    /// True when write references to the variable in the given segment are
+    /// re-occurring first writes.
+    pub fn is_rfw_segment(&self, seg: usize) -> bool {
+        self.colors[seg] == Color::White && self.types[seg] == NodeType::Write
+    }
+}
+
+/// Algorithm 1: colors the segment graph for one variable.
+///
+/// `successors[s]` lists the control-flow successors of segment `s`;
+/// `usize::MAX` denotes the virtual exit node. Segments with no successors
+/// implicitly fall through to the exit.
+pub fn color_graph(types: &[NodeType], successors: &[Vec<usize>], exit_type: NodeType) -> RfwColoring {
+    let n = types.len();
+    let exit = usize::MAX;
+    let succ = |v: usize| -> Vec<usize> {
+        if v == exit {
+            return Vec::new();
+        }
+        if successors[v].is_empty() {
+            vec![exit]
+        } else {
+            successors[v].clone()
+        }
+    };
+    let type_of = |v: usize| -> NodeType {
+        if v == exit {
+            exit_type
+        } else {
+            types[v]
+        }
+    };
+
+    // Can `v` reach a node typed Read through zero or more Null nodes?
+    let reaches_read_through_nulls = |v: usize| -> bool {
+        let mut queue: VecDeque<usize> = succ(v).into();
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        while let Some(u) = queue.pop_front() {
+            if !seen.insert(u) {
+                continue;
+            }
+            match type_of(u) {
+                NodeType::Read => return true,
+                NodeType::Null => {
+                    for w in succ(u) {
+                        queue.push_back(w);
+                    }
+                }
+                NodeType::Write => {}
+            }
+        }
+        false
+    };
+
+    let mut colors = vec![Color::White; n];
+    // Breadth-first over the graph (roots are segments with no predecessor;
+    // fall back to all segments so disconnected nodes are still processed).
+    let mut has_pred = vec![false; n];
+    for (v, ss) in successors.iter().enumerate() {
+        let _ = v;
+        for &s in ss {
+            if s != exit && s < n {
+                has_pred[s] = true;
+            }
+        }
+    }
+    let mut order: VecDeque<usize> = (0..n).filter(|&v| !has_pred[v]).collect();
+    if order.is_empty() {
+        order = (0..n).collect();
+    }
+    let mut visited = vec![false; n];
+    let mut to_visit = order;
+    while let Some(v) = to_visit.pop_front() {
+        if visited[v] {
+            continue;
+        }
+        visited[v] = true;
+        if colors[v] == Color::White && reaches_read_through_nulls(v) {
+            // Recursively color all White successors of v Black.
+            let mut stack: Vec<usize> = succ(v).into_iter().filter(|&u| u != exit).collect();
+            while let Some(u) = stack.pop() {
+                if colors[u] == Color::White {
+                    colors[u] = Color::Black;
+                    stack.extend(succ(u).into_iter().filter(|&w| w != exit));
+                }
+            }
+        }
+        for u in succ(v) {
+            if u != exit && !visited[u] {
+                to_visit.push_back(u);
+            }
+        }
+    }
+    // Make sure every node was processed even in cyclic graphs.
+    for v in 0..n {
+        if !visited[v] && colors[v] == Color::White && reaches_read_through_nulls(v) {
+            let mut stack: Vec<usize> = succ(v).into_iter().filter(|&u| u != exit).collect();
+            while let Some(u) = stack.pop() {
+                if colors[u] == Color::White {
+                    colors[u] = Color::Black;
+                    stack.extend(succ(u).into_iter().filter(|&w| w != exit));
+                }
+            }
+        }
+    }
+
+    RfwColoring {
+        types: types.to_vec(),
+        colors,
+        exit_type,
+    }
+}
+
+/// Runs Algorithm 1 for one variable of an abstract region.
+pub fn coloring_for_var(region: &AbstractRegion, var: VarId) -> RfwColoring {
+    let n = region.segment_count();
+    let types: Vec<NodeType> = (0..n)
+        .map(|s| region.node_type(crate::model::SegmentId(s), var))
+        .collect();
+    let successors: Vec<Vec<usize>> = (0..n)
+        .map(|s| {
+            region
+                .successors(crate::model::SegmentId(s))
+                .into_iter()
+                .map(|t| t.index())
+                .collect()
+        })
+        .collect();
+    let exit_type = if region.is_live_out(var) {
+        NodeType::Read
+    } else {
+        NodeType::Null
+    };
+    color_graph(&types, &successors, exit_type)
+}
+
+/// Computes the RFW reference set of an abstract region: for every variable
+/// the graph is colored with Algorithm 1, and the address-precise write
+/// references in White, `Write`-typed segments are RFW.
+pub fn rfw_for_abstract(region: &AbstractRegion) -> BTreeSet<RefId> {
+    let mut out = BTreeSet::new();
+    let vars: BTreeSet<VarId> = region.all_refs().map(|(_, r)| r.var).collect();
+    let colorings: BTreeMap<VarId, RfwColoring> = vars
+        .iter()
+        .map(|&v| (v, coloring_for_var(region, v)))
+        .collect();
+    for (seg, r) in region.all_refs() {
+        if r.access != AccessKind::Write || !r.precise {
+            continue;
+        }
+        let coloring = &colorings[&r.var];
+        if coloring.is_rfw_segment(seg.index()) {
+            out.insert(r.id);
+        }
+    }
+    out
+}
+
+/// Computes the RFW reference set of a loop region (uniform segments).
+///
+/// Every iteration has the same reference structure, so Algorithm 1 reduces
+/// to the body summary: writes to a variable are RFW exactly when the body
+/// must-writes the variable without any exposed read of it (node type
+/// `Write` for every segment — no Black coloring can occur), the write's
+/// address is statically analyzable, and the write's own location is
+/// must-written (so a roll-back is guaranteed to re-deposit a value at the
+/// same address).
+pub fn rfw_for_loop_region(analysis: &RegionAnalysis) -> BTreeSet<RefId> {
+    let mut out = BTreeSet::new();
+    for (_, var_summary) in analysis.summary.iter() {
+        if !var_summary.is_write_typed() {
+            continue;
+        }
+        for w in &var_summary.writes {
+            if w.precise
+                && !w.preceded_by_exposed_read
+                && (w.must_context || w.location_must_written)
+            {
+                out.insert(w.id);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SegmentId;
+
+    /// Builds the seven-segment region of the paper's Figure 3.
+    pub(crate) fn figure3_region() -> AbstractRegion {
+        let mut r = AbstractRegion::new("figure3");
+        let s: Vec<SegmentId> = (1..=7).map(|i| r.segment(format!("{i}"))).collect();
+        // Edges of Figure 3(a).
+        r.edge(s[0], s[1]); // 1 -> 2
+        r.edge(s[0], s[2]); // 1 -> 3
+        r.edge(s[1], s[3]); // 2 -> 4
+        r.edge(s[2], s[4]); // 3 -> 5
+        r.edge(s[3], s[5]); // 4 -> 6
+        r.edge(s[4], s[5]); // 5 -> 6
+        r.edge(s[5], s[6]); // 6 -> 7
+        // Segment contents.
+        r.write(s[0], "x"); // 1: x = ...
+        r.read(s[1], "z"); // 2: ... = z
+        r.write(s[1], "y"); //    y = ...
+        r.write(s[2], "y"); // 3: y = ...
+        r.write(s[3], "y"); // 4: y = ...
+        r.read(s[3], "x"); //    ... = x
+        r.write(s[4], "y"); // 5: y = ...
+        r.write(s[5], "x"); // 6: x = ...
+        r.write(s[5], "y"); //    y = ...
+        r.write(s[5], "z"); //    z = ...
+        r.read(s[6], "y"); // 7: ... = y
+        r.write(s[6], "x"); //    x = ...
+        r.live_out(&["x", "y", "z"]);
+        r
+    }
+
+    #[test]
+    fn figure3_variable_x() {
+        let r = figure3_region();
+        let x = r.var_id("x").unwrap();
+        let c = coloring_for_var(&r, x);
+        // Node 1 (index 0) is Write-typed and stays White: its write is RFW.
+        assert_eq!(c.types[0], NodeType::Write);
+        assert_eq!(c.colors[0], Color::White);
+        assert!(c.is_rfw_segment(0));
+        // Node 4 (index 3) has the exposed read: Read-typed.
+        assert_eq!(c.types[3], NodeType::Read);
+        // Nodes 6 and 7 (indices 5, 6) are colored Black: their writes to x
+        // are not RFW — exactly the conclusion of Figure 3(b).
+        assert_eq!(c.colors[5], Color::Black);
+        assert_eq!(c.colors[6], Color::Black);
+        assert!(!c.is_rfw_segment(5));
+        assert!(!c.is_rfw_segment(6));
+    }
+
+    #[test]
+    fn figure3_variable_y_all_writes_are_rfw() {
+        let r = figure3_region();
+        let y = r.var_id("y").unwrap();
+        let c = coloring_for_var(&r, y);
+        // Figure 3(c): all write references to y are RFW.
+        for seg in [1usize, 2, 3, 4, 5] {
+            assert_eq!(c.types[seg], NodeType::Write, "segment {}", seg + 1);
+            assert!(c.is_rfw_segment(seg), "segment {}", seg + 1);
+        }
+        // Node 7 (index 6) has an exposed read of y.
+        assert_eq!(c.types[6], NodeType::Read);
+    }
+
+    #[test]
+    fn figure3_variable_z_write_in_6_is_not_rfw() {
+        let r = figure3_region();
+        let z = r.var_id("z").unwrap();
+        let c = coloring_for_var(&r, z);
+        // Figure 3(d): the write to z in segment 6 is not RFW because
+        // segment 2 has an exposed read.
+        assert_eq!(c.types[1], NodeType::Read);
+        assert_eq!(c.colors[5], Color::Black);
+        assert!(!c.is_rfw_segment(5));
+    }
+
+    #[test]
+    fn figure3_rfw_reference_set() {
+        let r = figure3_region();
+        let rfw = rfw_for_abstract(&r);
+        let w = |seg: usize, var: &str| {
+            r.find_ref(SegmentId(seg), var, AccessKind::Write).unwrap()
+        };
+        // x: only the write in segment 1.
+        assert!(rfw.contains(&w(0, "x")));
+        assert!(!rfw.contains(&w(5, "x")));
+        assert!(!rfw.contains(&w(6, "x")));
+        // y: every write.
+        for seg in [1usize, 2, 3, 4, 5] {
+            assert!(rfw.contains(&w(seg, "y")));
+        }
+        // z: the write in segment 6 is not RFW.
+        assert!(!rfw.contains(&w(5, "z")));
+    }
+
+    #[test]
+    fn live_out_alone_does_not_blacken_uniform_write_chains() {
+        // A chain of three segments, each writing v unconditionally; v is
+        // live-out. The exit node is Read-typed, but it is only reachable
+        // from the last segment directly (no Null intermediaries), so all
+        // segments stay White — all writes are RFW.
+        let mut r = AbstractRegion::new("chain");
+        let s0 = r.segment("S0");
+        let s1 = r.segment("S1");
+        let s2 = r.segment("S2");
+        r.chain(&[s0, s1, s2]);
+        r.write(s0, "v");
+        r.write(s1, "v");
+        r.write(s2, "v");
+        r.live_out(&["v"]);
+        let v = r.var_id("v").unwrap();
+        let c = coloring_for_var(&r, v);
+        assert_eq!(c.colors, vec![Color::White; 3]);
+        assert_eq!(rfw_for_abstract(&r).len(), 3);
+    }
+
+    #[test]
+    fn untouched_segments_forward_exposure_to_predecessors() {
+        // S0 writes v, S1 does not touch v (Null), S2 reads v before writing
+        // it. S0 reaches the Read node through the Null node, so S1's and
+        // S2's writes (S2 is Read-typed anyway) are not RFW; S0 itself stays
+        // White.
+        let mut r = AbstractRegion::new("nullchain");
+        let s0 = r.segment("S0");
+        let s1 = r.segment("S1");
+        let s2 = r.segment("S2");
+        r.chain(&[s0, s1, s2]);
+        r.write(s0, "v");
+        r.write(s1, "w");
+        r.read(s2, "v");
+        r.write(s2, "v");
+        let v = r.var_id("v").unwrap();
+        let c = coloring_for_var(&r, v);
+        assert_eq!(c.types[1], NodeType::Null);
+        assert_eq!(c.colors[0], Color::White);
+        assert!(c.is_rfw_segment(0));
+        assert_eq!(c.colors[2], Color::Black);
+        // Even if it were White, segment 2 is Read-typed, so not RFW.
+        assert!(!c.is_rfw_segment(2));
+    }
+
+    #[test]
+    fn conditional_and_imprecise_writes_are_never_rfw() {
+        let mut r = AbstractRegion::new("cond");
+        let s0 = r.segment("S0");
+        let wcond = r.write_conditional(s0, "b");
+        let wimp = r.write_imprecise(s0, "k");
+        let wok = r.write(s0, "a");
+        let rfw = rfw_for_abstract(&r);
+        assert!(!rfw.contains(&wcond));
+        assert!(!rfw.contains(&wimp));
+        assert!(rfw.contains(&wok));
+    }
+
+    #[test]
+    fn loop_region_rfw_follows_body_summary() {
+        use refidem_ir::build::{ac, add, av, num, ProcBuilder};
+        use refidem_ir::program::Program;
+        // do k: { a(k) = b(k) + 1 ; s = s + a(k) }
+        // a(k) is a must-write with no exposed read of a -> RFW.
+        // s's write is preceded by an exposed read of s -> not RFW.
+        let mut b = ProcBuilder::new("main");
+        let a = b.array("a", &[16]);
+        let bb = b.array("b", &[16]);
+        let s = b.scalar("s");
+        let k = b.index("k");
+        b.live_out(&[a, s]);
+        let rhs1 = add(b.load_elem(bb, vec![av(k)]), num(1.0));
+        let st1 = b.assign_elem(a, vec![av(k)], rhs1);
+        let rhs2 = add(b.load(s), b.load_elem(a, vec![av(k)]));
+        let st2 = b.assign_scalar(s, rhs2);
+        let region = b.do_loop_labeled("R", k, ac(1), ac(16), vec![st1, st2]);
+        let a_write_id = match &region {
+            refidem_ir::stmt::Stmt::Loop(l) => match &l.body[0] {
+                refidem_ir::stmt::Stmt::Assign(asg) => asg.lhs.id,
+                _ => unreachable!(),
+            },
+            _ => unreachable!(),
+        };
+        let mut program = Program::new("toy");
+        program.add_procedure(b.build(vec![region]));
+        let analysis = RegionAnalysis::analyze_labeled(&program, "R").unwrap();
+        let rfw = rfw_for_loop_region(&analysis);
+        assert!(rfw.contains(&a_write_id));
+        assert_eq!(rfw.len(), 1, "only the a(k) write is RFW");
+    }
+}

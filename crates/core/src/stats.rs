@@ -1,0 +1,138 @@
+//! Static and dynamic labeling statistics.
+//!
+//! The paper's evaluation (Figure 5 and the (a)-panels of Figures 6–9)
+//! reports the *fraction of references* that are idempotent, broken down by
+//! category, in code sections the compiler cannot parallelize. The static
+//! statistics count syntactic reference sites; the dynamic statistics weight
+//! every site by its dynamic access count from an interpreted execution —
+//! the quantity the hardware actually observes.
+
+use crate::label::IdemCategory;
+use std::collections::BTreeMap;
+
+/// Per-site (static) labeling statistics.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LabelStats {
+    /// Number of reference sites.
+    pub total_static: usize,
+    /// Sites labeled idempotent.
+    pub idempotent_static: usize,
+    /// Sites labeled speculative.
+    pub speculative_static: usize,
+    /// Idempotent sites per category.
+    pub by_category: BTreeMap<IdemCategory, usize>,
+}
+
+impl LabelStats {
+    /// Fraction of sites labeled idempotent (0 when the region is empty).
+    pub fn idempotent_fraction(&self) -> f64 {
+        if self.total_static == 0 {
+            0.0
+        } else {
+            self.idempotent_static as f64 / self.total_static as f64
+        }
+    }
+
+    /// Fraction of sites in one category.
+    pub fn category_fraction(&self, cat: IdemCategory) -> f64 {
+        if self.total_static == 0 {
+            0.0
+        } else {
+            *self.by_category.get(&cat).unwrap_or(&0) as f64 / self.total_static as f64
+        }
+    }
+}
+
+/// Dynamic (execution-weighted) labeling statistics.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DynLabelStats {
+    /// Total dynamic references.
+    pub total: u64,
+    /// Dynamic references through idempotent sites.
+    pub idempotent: u64,
+    /// Dynamic references through speculative sites.
+    pub speculative: u64,
+    /// Dynamic idempotent references per category.
+    pub by_category: BTreeMap<IdemCategory, u64>,
+}
+
+impl DynLabelStats {
+    /// Fraction of dynamic references that are idempotent.
+    pub fn fraction_idempotent(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.idempotent as f64 / self.total as f64
+        }
+    }
+
+    /// Fraction of dynamic references in one category.
+    pub fn fraction_of(&self, cat: IdemCategory) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            *self.by_category.get(&cat).unwrap_or(&0) as f64 / self.total as f64
+        }
+    }
+
+    /// Merges another statistics record into this one (used to aggregate
+    /// over all non-parallelizable regions of a benchmark, as Figure 5
+    /// does).
+    pub fn merge(&mut self, other: &DynLabelStats) {
+        self.total += other.total;
+        self.idempotent += other.idempotent;
+        self.speculative += other.speculative;
+        for (cat, n) in &other.by_category {
+            *self.by_category.entry(*cat).or_insert(0) += n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_handle_empty_and_nonempty_cases() {
+        let empty = LabelStats::default();
+        assert_eq!(empty.idempotent_fraction(), 0.0);
+        assert_eq!(empty.category_fraction(IdemCategory::ReadOnly), 0.0);
+        let mut s = LabelStats {
+            total_static: 10,
+            idempotent_static: 6,
+            speculative_static: 4,
+            by_category: BTreeMap::new(),
+        };
+        s.by_category.insert(IdemCategory::ReadOnly, 4);
+        s.by_category.insert(IdemCategory::Private, 2);
+        assert!((s.idempotent_fraction() - 0.6).abs() < 1e-12);
+        assert!((s.category_fraction(IdemCategory::ReadOnly) - 0.4).abs() < 1e-12);
+        assert_eq!(s.category_fraction(IdemCategory::SharedDependent), 0.0);
+    }
+
+    #[test]
+    fn dynamic_stats_merge_accumulates() {
+        let mut a = DynLabelStats {
+            total: 100,
+            idempotent: 60,
+            speculative: 40,
+            by_category: BTreeMap::from([(IdemCategory::ReadOnly, 60)]),
+        };
+        let b = DynLabelStats {
+            total: 50,
+            idempotent: 10,
+            speculative: 40,
+            by_category: BTreeMap::from([
+                (IdemCategory::ReadOnly, 5),
+                (IdemCategory::SharedDependent, 5),
+            ]),
+        };
+        a.merge(&b);
+        assert_eq!(a.total, 150);
+        assert_eq!(a.idempotent, 70);
+        assert_eq!(a.by_category[&IdemCategory::ReadOnly], 65);
+        assert!((a.fraction_of(IdemCategory::SharedDependent) - 5.0 / 150.0).abs() < 1e-12);
+        assert_eq!(DynLabelStats::default().fraction_idempotent(), 0.0);
+        assert_eq!(DynLabelStats::default().fraction_of(IdemCategory::Private), 0.0);
+    }
+}

@@ -1,0 +1,333 @@
+//! Affine integer expressions over index and parameter variables.
+//!
+//! Array subscripts in the paper's benchmarks are affine expressions in the
+//! enclosing loop indices (`v(l, i, j, k+1)`); the paper's compiler relies on
+//! this to prove that re-executed references hit the *same address*
+//! (Section 4.2.2: "all array references with affine subscript expressions
+//! have correct addresses and are thus candidate RFWs"). [`AffineExpr`] is
+//! the canonical representation: a constant plus a sum of
+//! `coefficient * variable` terms, kept sorted by variable id so that
+//! syntactic equality is structural equality.
+
+use crate::ids::VarId;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// An affine integer expression `c0 + Σ ci * vi`.
+///
+/// Variables are loop-index or parameter variables; coefficients and the
+/// constant are signed 64-bit integers. Terms with zero coefficients are
+/// never stored, so two equal expressions compare equal structurally.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct AffineExpr {
+    /// The constant term `c0`.
+    pub constant: i64,
+    /// Map from variable to (non-zero) coefficient.
+    pub terms: BTreeMap<VarId, i64>,
+}
+
+impl AffineExpr {
+    /// The constant expression `c`.
+    pub fn constant(c: i64) -> Self {
+        AffineExpr {
+            constant: c,
+            terms: BTreeMap::new(),
+        }
+    }
+
+    /// The expression consisting of a single variable with coefficient 1.
+    pub fn var(v: VarId) -> Self {
+        let mut terms = BTreeMap::new();
+        terms.insert(v, 1);
+        AffineExpr { constant: 0, terms }
+    }
+
+    /// The expression `coeff * v`.
+    pub fn scaled_var(v: VarId, coeff: i64) -> Self {
+        let mut terms = BTreeMap::new();
+        if coeff != 0 {
+            terms.insert(v, coeff);
+        }
+        AffineExpr { constant: 0, terms }
+    }
+
+    /// Returns the coefficient of `v` (zero if absent).
+    pub fn coeff(&self, v: VarId) -> i64 {
+        self.terms.get(&v).copied().unwrap_or(0)
+    }
+
+    /// True if the expression is a plain constant.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// True if the expression mentions `v`.
+    pub fn uses(&self, v: VarId) -> bool {
+        self.terms.contains_key(&v)
+    }
+
+    /// Variables mentioned by the expression.
+    pub fn vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.terms.keys().copied()
+    }
+
+    /// Adds `coeff * v` in place, removing the term if it cancels.
+    pub fn add_term(&mut self, v: VarId, coeff: i64) {
+        let entry = self.terms.entry(v).or_insert(0);
+        *entry += coeff;
+        if *entry == 0 {
+            self.terms.remove(&v);
+        }
+    }
+
+    /// Evaluates the expression under an environment. Returns `None` if a
+    /// variable has no binding.
+    pub fn eval(&self, env: &impl Fn(VarId) -> Option<i64>) -> Option<i64> {
+        let mut acc = self.constant;
+        for (&v, &c) in &self.terms {
+            acc += c * env(v)?;
+        }
+        Some(acc)
+    }
+
+    /// Substitutes `v := replacement` and returns the resulting expression.
+    pub fn substitute(&self, v: VarId, replacement: &AffineExpr) -> AffineExpr {
+        let coeff = self.coeff(v);
+        if coeff == 0 {
+            return self.clone();
+        }
+        let mut out = self.clone();
+        out.terms.remove(&v);
+        out + replacement.clone() * coeff
+    }
+
+    /// Substitutes every variable for which `lookup` yields a value with
+    /// that constant, leaving other variables untouched.
+    pub fn substitute_params(&self, lookup: &impl Fn(VarId) -> Option<i64>) -> AffineExpr {
+        let mut out = AffineExpr::constant(self.constant);
+        for (&v, &c) in &self.terms {
+            match lookup(v) {
+                Some(value) => out.constant += c * value,
+                None => out.add_term(v, c),
+            }
+        }
+        out
+    }
+
+    /// Difference of the constants if the two expressions have identical
+    /// variable terms (the "strong SIV" precondition), otherwise `None`.
+    pub fn constant_difference(&self, other: &AffineExpr) -> Option<i64> {
+        if self.terms == other.terms {
+            Some(self.constant - other.constant)
+        } else {
+            None
+        }
+    }
+
+    /// Interval of values the expression can take given per-variable bounds.
+    /// Returns `None` when a mentioned variable has no bounds.
+    pub fn range(&self, bounds: &impl Fn(VarId) -> Option<(i64, i64)>) -> Option<(i64, i64)> {
+        let mut lo = self.constant;
+        let mut hi = self.constant;
+        for (&v, &c) in &self.terms {
+            let (vl, vh) = bounds(v)?;
+            let (a, b) = (c * vl, c * vh);
+            lo += a.min(b);
+            hi += a.max(b);
+        }
+        Some((lo, hi))
+    }
+}
+
+impl Add for AffineExpr {
+    type Output = AffineExpr;
+    fn add(mut self, rhs: AffineExpr) -> AffineExpr {
+        self.constant += rhs.constant;
+        for (v, c) in rhs.terms {
+            self.add_term(v, c);
+        }
+        self
+    }
+}
+
+impl Sub for AffineExpr {
+    type Output = AffineExpr;
+    fn sub(self, rhs: AffineExpr) -> AffineExpr {
+        self + (-rhs)
+    }
+}
+
+impl Neg for AffineExpr {
+    type Output = AffineExpr;
+    fn neg(mut self) -> AffineExpr {
+        self.constant = -self.constant;
+        for c in self.terms.values_mut() {
+            *c = -*c;
+        }
+        self
+    }
+}
+
+impl Mul<i64> for AffineExpr {
+    type Output = AffineExpr;
+    fn mul(mut self, rhs: i64) -> AffineExpr {
+        if rhs == 0 {
+            return AffineExpr::constant(0);
+        }
+        self.constant *= rhs;
+        for c in self.terms.values_mut() {
+            *c *= rhs;
+        }
+        self
+    }
+}
+
+impl From<i64> for AffineExpr {
+    fn from(c: i64) -> Self {
+        AffineExpr::constant(c)
+    }
+}
+
+impl From<VarId> for AffineExpr {
+    fn from(v: VarId) -> Self {
+        AffineExpr::var(v)
+    }
+}
+
+impl fmt::Debug for AffineExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for AffineExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (&v, &c) in &self.terms {
+            if first {
+                if c == 1 {
+                    write!(f, "{v}")?;
+                } else if c == -1 {
+                    write!(f, "-{v}")?;
+                } else {
+                    write!(f, "{c}*{v}")?;
+                }
+                first = false;
+            } else if c >= 0 {
+                if c == 1 {
+                    write!(f, "+{v}")?;
+                } else {
+                    write!(f, "+{c}*{v}")?;
+                }
+            } else if c == -1 {
+                write!(f, "-{v}")?;
+            } else {
+                write!(f, "{c}*{v}")?;
+            }
+        }
+        if first {
+            write!(f, "{}", self.constant)?;
+        } else if self.constant > 0 {
+            write!(f, "+{}", self.constant)?;
+        } else if self.constant < 0 {
+            write!(f, "{}", self.constant)?;
+        }
+        Ok(())
+    }
+}
+
+/// Greatest common divisor of two non-negative integers (0 is absorbing).
+pub fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k() -> VarId {
+        VarId(0)
+    }
+    fn i() -> VarId {
+        VarId(1)
+    }
+
+    #[test]
+    fn algebra_and_canonical_form() {
+        let e = AffineExpr::var(k()) + AffineExpr::constant(1); // k + 1
+        let f = AffineExpr::var(k()); // k
+        let d = e.clone() - f.clone();
+        assert!(d.is_constant());
+        assert_eq!(d.constant, 1);
+        // k - k cancels completely.
+        let z = f.clone() - AffineExpr::var(k());
+        assert_eq!(z, AffineExpr::constant(0));
+        assert_eq!(e.constant_difference(&f), Some(1));
+        // Different variable terms have no constant difference.
+        let g = AffineExpr::var(i());
+        assert_eq!(e.constant_difference(&g), None);
+    }
+
+    #[test]
+    fn eval_and_substitute() {
+        // 2k + 3i - 4
+        let e = AffineExpr::scaled_var(k(), 2) + AffineExpr::scaled_var(i(), 3)
+            - AffineExpr::constant(4);
+        let env = |v: VarId| match v {
+            v if v == k() => Some(5),
+            v if v == i() => Some(2),
+            _ => None,
+        };
+        assert_eq!(e.eval(&env), Some(2 * 5 + 3 * 2 - 4));
+        // substitute i := k + 1  => 2k + 3(k+1) - 4 = 5k - 1
+        let sub = e.substitute(i(), &(AffineExpr::var(k()) + AffineExpr::constant(1)));
+        assert_eq!(sub.coeff(k()), 5);
+        assert_eq!(sub.constant, -1);
+        assert!(!sub.uses(i()));
+    }
+
+    #[test]
+    fn range_uses_interval_arithmetic() {
+        // 2k - 3i, with k in [1, 10], i in [0, 4]
+        let e = AffineExpr::scaled_var(k(), 2) - AffineExpr::scaled_var(i(), 3);
+        let bounds = |v: VarId| match v {
+            v if v == k() => Some((1, 10)),
+            v if v == i() => Some((0, 4)),
+            _ => None,
+        };
+        assert_eq!(e.range(&bounds), Some((2 - 12, 20)));
+        // Missing bounds propagate as None.
+        let missing = |_: VarId| None;
+        assert_eq!(e.range(&missing), None);
+    }
+
+    #[test]
+    fn substitute_params_folds_constants() {
+        let nz = VarId(9);
+        let e = AffineExpr::var(nz) - AffineExpr::constant(1);
+        let folded = e.substitute_params(&|v| if v == nz { Some(33) } else { None });
+        assert_eq!(folded, AffineExpr::constant(32));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = AffineExpr::scaled_var(k(), 1) + AffineExpr::constant(1);
+        assert_eq!(format!("{e}"), "v0+1");
+        assert_eq!(format!("{}", AffineExpr::constant(-3)), "-3");
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(7, 0), 7);
+        assert_eq!(gcd(-4, 6), 2);
+    }
+}

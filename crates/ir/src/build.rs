@@ -1,0 +1,333 @@
+//! Fluent construction of procedures and programs.
+//!
+//! [`ProcBuilder`] owns the symbol table and the statement/reference id
+//! counters, so every syntactic reference site automatically receives a
+//! unique [`RefId`] — the key under which the idempotency analysis labels
+//! it. The free functions ([`add`], [`sub`], [`mul`], …) build expressions,
+//! and the `av`/`ac` helpers build affine subscripts.
+
+use crate::affine::AffineExpr;
+use crate::expr::{BinOp, CmpOp, Expr, Reference, Subscript};
+use crate::ids::{RefId, StmtId, VarId};
+use crate::program::Procedure;
+use crate::stmt::{Assign, IfStmt, LoopStmt, Stmt};
+use crate::var::{VarKind, VarTable};
+
+/// Affine expression naming a single variable (shorthand for subscripts).
+pub fn av(v: VarId) -> AffineExpr {
+    AffineExpr::var(v)
+}
+
+/// Constant affine expression (shorthand for subscripts and loop bounds).
+pub fn ac(c: i64) -> AffineExpr {
+    AffineExpr::constant(c)
+}
+
+/// Floating-point constant expression.
+pub fn num(c: f64) -> Expr {
+    Expr::Const(c)
+}
+
+/// The value of a loop index or parameter as an expression.
+pub fn idx(v: VarId) -> Expr {
+    Expr::Index(v)
+}
+
+/// Sum of two expressions.
+pub fn add(a: Expr, b: Expr) -> Expr {
+    Expr::bin(BinOp::Add, a, b)
+}
+
+/// Difference of two expressions.
+pub fn sub(a: Expr, b: Expr) -> Expr {
+    Expr::bin(BinOp::Sub, a, b)
+}
+
+/// Product of two expressions.
+pub fn mul(a: Expr, b: Expr) -> Expr {
+    Expr::bin(BinOp::Mul, a, b)
+}
+
+/// Quotient of two expressions.
+pub fn div(a: Expr, b: Expr) -> Expr {
+    Expr::bin(BinOp::Div, a, b)
+}
+
+/// Comparison expression (1.0 when true, 0.0 when false).
+pub fn cmp(op: CmpOp, a: Expr, b: Expr) -> Expr {
+    Expr::cmp(op, a, b)
+}
+
+/// Builder for one procedure.
+#[derive(Debug, Default)]
+pub struct ProcBuilder {
+    name: String,
+    vars: VarTable,
+    live_out: Vec<VarId>,
+    next_stmt: u32,
+    next_ref: u32,
+}
+
+impl ProcBuilder {
+    /// Starts building a procedure.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProcBuilder {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Declares a scalar variable.
+    pub fn scalar(&mut self, name: &str) -> VarId {
+        self.vars.declare(name, VarKind::Scalar)
+    }
+
+    /// Declares an array variable with the given extents.
+    pub fn array(&mut self, name: &str, dims: &[usize]) -> VarId {
+        self.vars.declare(
+            name,
+            VarKind::Array {
+                dims: dims.to_vec(),
+            },
+        )
+    }
+
+    /// Declares a loop-index variable.
+    pub fn index(&mut self, name: &str) -> VarId {
+        self.vars.declare(name, VarKind::Index)
+    }
+
+    /// Declares a compile-time parameter with a known value.
+    pub fn param(&mut self, name: &str, value: i64) -> VarId {
+        self.vars.declare(name, VarKind::Param(value))
+    }
+
+    /// Marks variables as live after the procedure (program outputs).
+    pub fn live_out(&mut self, vars: &[VarId]) {
+        self.live_out.extend_from_slice(vars);
+    }
+
+    /// Access to the symbol table being built.
+    pub fn vars(&self) -> &VarTable {
+        &self.vars
+    }
+
+    fn next_ref_id(&mut self) -> RefId {
+        let id = RefId(self.next_ref);
+        self.next_ref += 1;
+        id
+    }
+
+    fn next_stmt_id(&mut self) -> StmtId {
+        let id = StmtId(self.next_stmt);
+        self.next_stmt += 1;
+        id
+    }
+
+    /// A reference to a scalar variable.
+    pub fn sref(&mut self, var: VarId) -> Reference {
+        Reference {
+            id: self.next_ref_id(),
+            var,
+            subs: vec![],
+        }
+    }
+
+    /// A reference to an array element with affine subscripts.
+    pub fn aref(&mut self, var: VarId, subs: Vec<AffineExpr>) -> Reference {
+        Reference {
+            id: self.next_ref_id(),
+            var,
+            subs: subs.into_iter().map(Subscript::Affine).collect(),
+        }
+    }
+
+    /// A reference with explicit subscripts (use for indirect subscripts).
+    pub fn aref_subs(&mut self, var: VarId, subs: Vec<Subscript>) -> Reference {
+        Reference {
+            id: self.next_ref_id(),
+            var,
+            subs,
+        }
+    }
+
+    /// An indirect subscript built from a reference (e.g. `K(E)`'s `E`).
+    pub fn indirect(&mut self, r: Reference) -> Subscript {
+        Subscript::Indirect(Box::new(r))
+    }
+
+    /// A load of a scalar variable.
+    pub fn load(&mut self, var: VarId) -> Expr {
+        let r = self.sref(var);
+        Expr::Load(r)
+    }
+
+    /// A load of an array element with affine subscripts.
+    pub fn load_elem(&mut self, var: VarId, subs: Vec<AffineExpr>) -> Expr {
+        let r = self.aref(var, subs);
+        Expr::Load(r)
+    }
+
+    /// A load through an arbitrary reference.
+    pub fn load_ref(&mut self, r: Reference) -> Expr {
+        Expr::Load(r)
+    }
+
+    /// An assignment statement.
+    pub fn assign(&mut self, lhs: Reference, rhs: Expr) -> Stmt {
+        Stmt::Assign(Assign {
+            id: self.next_stmt_id(),
+            lhs,
+            rhs,
+        })
+    }
+
+    /// An assignment to a scalar variable.
+    pub fn assign_scalar(&mut self, var: VarId, rhs: Expr) -> Stmt {
+        let lhs = self.sref(var);
+        self.assign(lhs, rhs)
+    }
+
+    /// An assignment to an array element with affine subscripts.
+    pub fn assign_elem(&mut self, var: VarId, subs: Vec<AffineExpr>, rhs: Expr) -> Stmt {
+        let lhs = self.aref(var, subs);
+        self.assign(lhs, rhs)
+    }
+
+    /// An `IF (cond) THEN ... ENDIF` statement.
+    pub fn if_then(&mut self, cond: Expr, then_branch: Vec<Stmt>) -> Stmt {
+        Stmt::If(IfStmt {
+            id: self.next_stmt_id(),
+            cond,
+            then_branch,
+            else_branch: vec![],
+        })
+    }
+
+    /// An `IF (cond) THEN ... ELSE ... ENDIF` statement.
+    pub fn if_then_else(
+        &mut self,
+        cond: Expr,
+        then_branch: Vec<Stmt>,
+        else_branch: Vec<Stmt>,
+    ) -> Stmt {
+        Stmt::If(IfStmt {
+            id: self.next_stmt_id(),
+            cond,
+            then_branch,
+            else_branch,
+        })
+    }
+
+    /// An unlabeled `DO index = lower, upper` loop with unit step.
+    pub fn do_loop(
+        &mut self,
+        index: VarId,
+        lower: AffineExpr,
+        upper: AffineExpr,
+        body: Vec<Stmt>,
+    ) -> Stmt {
+        self.do_loop_step(None, index, lower, upper, 1, body)
+    }
+
+    /// A labeled `DO` loop with unit step. Labeled loops can be designated
+    /// as speculative regions.
+    pub fn do_loop_labeled(
+        &mut self,
+        label: &str,
+        index: VarId,
+        lower: AffineExpr,
+        upper: AffineExpr,
+        body: Vec<Stmt>,
+    ) -> Stmt {
+        self.do_loop_step(Some(label), index, lower, upper, 1, body)
+    }
+
+    /// A `DO` loop with an explicit step and optional label.
+    pub fn do_loop_step(
+        &mut self,
+        label: Option<&str>,
+        index: VarId,
+        lower: AffineExpr,
+        upper: AffineExpr,
+        step: i64,
+        body: Vec<Stmt>,
+    ) -> Stmt {
+        assert!(step != 0, "loop step must be non-zero");
+        Stmt::Loop(LoopStmt {
+            id: self.next_stmt_id(),
+            label: label.map(str::to_string),
+            index,
+            lower,
+            upper,
+            step,
+            body,
+        })
+    }
+
+    /// Finishes the procedure.
+    pub fn build(self, body: Vec<Stmt>) -> Procedure {
+        Procedure {
+            name: self.name,
+            vars: self.vars,
+            body,
+            live_out: self.live_out,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sites::{AccessKind, RefTable};
+
+    #[test]
+    fn builder_assigns_unique_ids() {
+        let mut b = ProcBuilder::new("toy");
+        let x = b.scalar("x");
+        let y = b.scalar("y");
+        let k = b.index("k");
+        let load_y = b.load(y);
+        let s1 = b.assign_scalar(x, add(load_y, num(1.0)));
+        let s2 = b.assign_scalar(y, idx(k));
+        let body = vec![b.do_loop(k, ac(1), ac(4), vec![s1, s2])];
+        let proc = b.build(body);
+        let table = RefTable::collect(&proc.body);
+        // y read, x write, y write.
+        assert_eq!(table.len(), 3);
+        let mut ids: Vec<u32> = table.sites().iter().map(|s| s.id.0).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 3, "reference ids are unique");
+        assert_eq!(
+            table
+                .sites()
+                .iter()
+                .filter(|s| s.access == AccessKind::Write)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "loop step must be non-zero")]
+    fn zero_step_loops_are_rejected() {
+        let mut b = ProcBuilder::new("bad");
+        let k = b.index("k");
+        let _ = b.do_loop_step(None, k, ac(1), ac(4), 0, vec![]);
+    }
+
+    #[test]
+    fn expression_helpers_compose() {
+        let mut b = ProcBuilder::new("toy");
+        let a = b.array("a", &[10]);
+        let k = b.index("k");
+        let e = mul(
+            add(b.load_elem(a, vec![av(k)]), num(2.0)),
+            sub(idx(k), num(1.0)),
+        );
+        assert_eq!(e.reads().len(), 1);
+        let c = cmp(CmpOp::Gt, idx(k), num(3.0));
+        assert_eq!(c.reads().len(), 0);
+    }
+}

@@ -1,0 +1,276 @@
+//! Expressions, memory references and subscripts.
+//!
+//! A [`Reference`] is one syntactic memory-reference *site*: it names a
+//! scalar or array variable and carries a unique [`RefId`]. The idempotency
+//! analysis assigns its labels per reference site, and the simulator routes
+//! each dynamic access according to the label of its site.
+//!
+//! Subscripts come in two flavours, mirroring Section 4.2.2 of the paper:
+//! affine subscripts (statically analyzable — candidate RFWs) and *indirect*
+//! subscripts (`K(E)` in Figure 2 — subscripted subscripts whose address
+//! cannot be proven identical across re-executions).
+
+use crate::affine::AffineExpr;
+use crate::ids::{RefId, VarId};
+
+/// Binary arithmetic operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (division by zero yields 0.0 in the interpreter, keeping
+    /// execution total).
+    Div,
+    /// Minimum of the operands.
+    Min,
+    /// Maximum of the operands.
+    Max,
+}
+
+/// Comparison operators used in `IF` conditions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl CmpOp {
+    /// Applies the comparison to two floating point values.
+    pub fn apply(self, a: f64, b: f64) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+}
+
+/// One array subscript.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Subscript {
+    /// An affine expression over loop indices and parameters.
+    Affine(AffineExpr),
+    /// An indirect subscript: the value of another memory reference (a
+    /// subscripted subscript such as `K(E)`), truncated to an integer at
+    /// run time. The nested reference is itself a read site.
+    Indirect(Box<Reference>),
+}
+
+impl Subscript {
+    /// The affine expression, if this subscript is affine.
+    pub fn as_affine(&self) -> Option<&AffineExpr> {
+        match self {
+            Subscript::Affine(e) => Some(e),
+            Subscript::Indirect(_) => None,
+        }
+    }
+
+    /// True when the subscript is affine (statically analyzable).
+    pub fn is_affine(&self) -> bool {
+        matches!(self, Subscript::Affine(_))
+    }
+}
+
+/// A memory-reference site: a scalar access or an array element access.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Reference {
+    /// Unique id of this syntactic site.
+    pub id: RefId,
+    /// The referenced variable (scalar or array).
+    pub var: VarId,
+    /// Subscripts; empty for scalars.
+    pub subs: Vec<Subscript>,
+}
+
+impl Reference {
+    /// True when every subscript is affine, i.e. the address is statically
+    /// analyzable given the loop indices ("address-precise").
+    pub fn is_address_precise(&self) -> bool {
+        self.subs.iter().all(Subscript::is_affine)
+    }
+
+    /// The affine subscript vector, if all subscripts are affine.
+    pub fn affine_subs(&self) -> Option<Vec<&AffineExpr>> {
+        self.subs.iter().map(Subscript::as_affine).collect()
+    }
+
+    /// Nested read references appearing in indirect subscripts.
+    pub fn indirect_reads(&self) -> Vec<&Reference> {
+        let mut out = Vec::new();
+        for s in &self.subs {
+            if let Subscript::Indirect(inner) = s {
+                out.push(inner.as_ref());
+                out.extend(inner.indirect_reads());
+            }
+        }
+        out
+    }
+
+    /// Structural equality of the accessed location, ignoring the site ids:
+    /// same variable and syntactically identical subscript expressions.
+    /// This is the "provably identical address" check of Section 4.2.2.
+    pub fn same_location_syntactic(&self, other: &Reference) -> bool {
+        if self.var != other.var || self.subs.len() != other.subs.len() {
+            return false;
+        }
+        self.subs.iter().zip(&other.subs).all(|(a, b)| match (a, b) {
+            (Subscript::Affine(x), Subscript::Affine(y)) => x == y,
+            _ => false,
+        })
+    }
+}
+
+/// Right-hand-side expressions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// A memory load through a reference site.
+    Load(Reference),
+    /// A floating point constant.
+    Const(f64),
+    /// The current value of a loop-index or parameter variable.
+    Index(VarId),
+    /// A binary arithmetic operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// A comparison producing 1.0 (true) or 0.0 (false).
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Arithmetic negation.
+    Neg(Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for binary operations.
+    pub fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::Bin(op, Box::new(a), Box::new(b))
+    }
+
+    /// Convenience constructor for comparisons.
+    pub fn cmp(op: CmpOp, a: Expr, b: Expr) -> Expr {
+        Expr::Cmp(op, Box::new(a), Box::new(b))
+    }
+
+    /// Visits every reference site read by this expression, in evaluation
+    /// order (left to right, indirect subscript reads before their parent).
+    pub fn for_each_read<'a>(&'a self, f: &mut impl FnMut(&'a Reference)) {
+        match self {
+            Expr::Load(r) => {
+                for inner in r.indirect_reads() {
+                    f(inner);
+                }
+                f(r);
+            }
+            Expr::Const(_) | Expr::Index(_) => {}
+            Expr::Bin(_, a, b) | Expr::Cmp(_, a, b) => {
+                a.for_each_read(f);
+                b.for_each_read(f);
+            }
+            Expr::Neg(a) => a.for_each_read(f),
+        }
+    }
+
+    /// Collects all reference sites read by the expression.
+    pub fn reads(&self) -> Vec<&Reference> {
+        let mut out = Vec::new();
+        self.for_each_read(&mut |r| out.push(r));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{RefId, VarId};
+
+    fn scalar_ref(id: u32, var: u32) -> Reference {
+        Reference {
+            id: RefId(id),
+            var: VarId(var),
+            subs: vec![],
+        }
+    }
+
+    #[test]
+    fn address_precision() {
+        let k = VarId(10);
+        let precise = Reference {
+            id: RefId(0),
+            var: VarId(1),
+            subs: vec![Subscript::Affine(AffineExpr::var(k))],
+        };
+        assert!(precise.is_address_precise());
+        let indirect = Reference {
+            id: RefId(1),
+            var: VarId(1),
+            subs: vec![Subscript::Indirect(Box::new(scalar_ref(2, 3)))],
+        };
+        assert!(!indirect.is_address_precise());
+        assert_eq!(indirect.indirect_reads().len(), 1);
+        assert!(indirect.affine_subs().is_none());
+    }
+
+    #[test]
+    fn same_location_requires_identical_affine_subscripts() {
+        let k = VarId(10);
+        let a = Reference {
+            id: RefId(0),
+            var: VarId(1),
+            subs: vec![Subscript::Affine(AffineExpr::var(k))],
+        };
+        let b = Reference {
+            id: RefId(7),
+            var: VarId(1),
+            subs: vec![Subscript::Affine(AffineExpr::var(k))],
+        };
+        let c = Reference {
+            id: RefId(8),
+            var: VarId(1),
+            subs: vec![Subscript::Affine(AffineExpr::var(k) + AffineExpr::constant(1))],
+        };
+        assert!(a.same_location_syntactic(&b));
+        assert!(!a.same_location_syntactic(&c));
+    }
+
+    #[test]
+    fn expression_read_collection_is_in_evaluation_order() {
+        // load b + load a(K(e))
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::Load(scalar_ref(0, 0)),
+            Expr::Load(Reference {
+                id: RefId(1),
+                var: VarId(1),
+                subs: vec![Subscript::Indirect(Box::new(scalar_ref(2, 2)))],
+            }),
+        );
+        let reads = e.reads();
+        let ids: Vec<u32> = reads.iter().map(|r| r.id.0).collect();
+        // indirect subscript read (r2) precedes its parent (r1)
+        assert_eq!(ids, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn cmp_apply() {
+        assert!(CmpOp::Lt.apply(1.0, 2.0));
+        assert!(!CmpOp::Ge.apply(1.0, 2.0));
+        assert!(CmpOp::Ne.apply(1.0, 2.0));
+        assert!(CmpOp::Eq.apply(3.0, 3.0));
+        assert!(CmpOp::Le.apply(3.0, 3.0));
+        assert!(CmpOp::Gt.apply(4.0, 3.0));
+    }
+}

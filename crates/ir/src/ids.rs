@@ -1,0 +1,84 @@
+//! Small integer identifiers used throughout the IR.
+//!
+//! All entities that analyses refer to — variables, statements, procedures
+//! and, most importantly, *reference sites* (the syntactic memory references
+//! the paper labels idempotent or speculative) — are identified by cheap,
+//! copyable newtype indices.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an identifier from a raw index.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                $name(index as u32)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies a variable within a [`crate::var::VarTable`].
+    VarId,
+    "v"
+);
+define_id!(
+    /// Identifies a statement within a [`crate::program::Procedure`].
+    StmtId,
+    "s"
+);
+define_id!(
+    /// Identifies a syntactic memory-reference site. This is the unit the
+    /// idempotency analysis labels (Section 3.1 of the paper: "certain data
+    /// references are labeled as idempotent").
+    RefId,
+    "r"
+);
+define_id!(
+    /// Identifies a procedure within a [`crate::program::Program`].
+    ProcId,
+    "p"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let v = VarId::from_index(17);
+        assert_eq!(v.index(), 17);
+        assert_eq!(format!("{v}"), "v17");
+        assert_eq!(format!("{v:?}"), "v17");
+    }
+
+    #[test]
+    fn ordering_follows_indices() {
+        assert!(RefId(1) < RefId(2));
+        assert!(StmtId(0) < StmtId(10));
+    }
+}

@@ -1,0 +1,199 @@
+//! Procedures, programs and region designation.
+//!
+//! A [`Program`] is a list of procedures executed in order (mirroring the
+//! sequential region structure of Definition 1: regions execute sequentially
+//! with respect to each other). A [`RegionSpec`] designates one labeled loop
+//! inside one procedure as a speculative region whose iterations are the
+//! segments.
+
+use crate::ids::{ProcId, VarId};
+use crate::stmt::{LoopStmt, Stmt};
+use crate::var::VarTable;
+
+/// A procedure: a symbol table plus a structured statement body.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Procedure {
+    /// Procedure name.
+    pub name: String,
+    /// Symbol table.
+    pub vars: VarTable,
+    /// Body statements, executed in order.
+    pub body: Vec<Stmt>,
+    /// Variables considered live after the procedure returns (program
+    /// outputs). Everything else is dead at the end of the procedure.
+    pub live_out: Vec<VarId>,
+}
+
+impl Procedure {
+    /// Finds a labeled loop anywhere in the body.
+    pub fn find_loop(&self, label: &str) -> Option<&LoopStmt> {
+        self.body.iter().find_map(|s| s.find_loop(label))
+    }
+
+    /// Splits the body around a *top-level* labeled loop: the statements
+    /// before it, the loop itself, and the statements after it. The
+    /// speculative-execution simulator requires the region loop to be a
+    /// top-level statement so that the surrounding code can be executed
+    /// sequentially.
+    pub fn split_at_loop(&self, label: &str) -> Option<(&[Stmt], &LoopStmt, &[Stmt])> {
+        for (i, s) in self.body.iter().enumerate() {
+            if let Stmt::Loop(l) = s {
+                if l.label.as_deref() == Some(label) {
+                    return Some((&self.body[..i], l, &self.body[i + 1..]));
+                }
+            }
+        }
+        None
+    }
+
+    /// Iterates over all labeled loops in the body (outer first).
+    pub fn labeled_loops(&self) -> Vec<&LoopStmt> {
+        let mut out = Vec::new();
+        for s in &self.body {
+            s.for_each_stmt(&mut |st| {
+                if let Stmt::Loop(l) = st {
+                    if l.label.is_some() {
+                        out.push(l);
+                    }
+                }
+            });
+        }
+        out
+    }
+}
+
+/// A whole program: procedures executed in order.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Program {
+    /// Program name (benchmark name in the evaluation).
+    pub name: String,
+    /// Procedures, executed in order.
+    pub procedures: Vec<Procedure>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new(name: impl Into<String>) -> Self {
+        Program {
+            name: name.into(),
+            procedures: Vec::new(),
+        }
+    }
+
+    /// Adds a procedure and returns its id.
+    pub fn add_procedure(&mut self, proc: Procedure) -> ProcId {
+        let id = ProcId::from_index(self.procedures.len());
+        self.procedures.push(proc);
+        id
+    }
+
+    /// Looks a procedure up by id.
+    pub fn procedure(&self, id: ProcId) -> &Procedure {
+        &self.procedures[id.index()]
+    }
+
+    /// Finds a procedure by name.
+    pub fn find_procedure(&self, name: &str) -> Option<(ProcId, &Procedure)> {
+        self.procedures
+            .iter()
+            .enumerate()
+            .find(|(_, p)| p.name == name)
+            .map(|(i, p)| (ProcId::from_index(i), p))
+    }
+
+    /// Finds the region (labeled loop) named `label`, searching every
+    /// procedure, and returns a [`RegionSpec`] for it.
+    pub fn find_region(&self, label: &str) -> Option<RegionSpec> {
+        for (i, p) in self.procedures.iter().enumerate() {
+            if p.find_loop(label).is_some() {
+                return Some(RegionSpec {
+                    proc: ProcId::from_index(i),
+                    loop_label: label.to_string(),
+                });
+            }
+        }
+        None
+    }
+
+    /// All labeled loops in the program as region specifications, in
+    /// program order.
+    pub fn all_regions(&self) -> Vec<RegionSpec> {
+        let mut out = Vec::new();
+        for (i, p) in self.procedures.iter().enumerate() {
+            for l in p.labeled_loops() {
+                out.push(RegionSpec {
+                    proc: ProcId::from_index(i),
+                    loop_label: l.label.clone().expect("labeled loop"),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Designates one labeled loop as a speculative region (Definition 1: the
+/// region's segments are the loop's iterations).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct RegionSpec {
+    /// Procedure containing the loop.
+    pub proc: ProcId,
+    /// Label of the loop.
+    pub loop_label: String,
+}
+
+impl RegionSpec {
+    /// Resolves the region's loop statement within its program.
+    pub fn resolve<'p>(&self, program: &'p Program) -> Option<(&'p Procedure, &'p LoopStmt)> {
+        let proc = program.procedures.get(self.proc.index())?;
+        let l = proc.find_loop(&self.loop_label)?;
+        Some((proc, l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affine::AffineExpr;
+    use crate::ids::StmtId;
+    use crate::var::VarKind;
+
+    fn make_program() -> Program {
+        let mut vars = VarTable::new();
+        let k = vars.declare("k", VarKind::Index);
+        let proc = Procedure {
+            name: "main".into(),
+            vars,
+            body: vec![Stmt::Loop(LoopStmt {
+                id: StmtId(0),
+                label: Some("MAIN_DO1".into()),
+                index: k,
+                lower: AffineExpr::constant(1),
+                upper: AffineExpr::constant(8),
+                step: 1,
+                body: vec![],
+            })],
+            live_out: vec![],
+        };
+        let mut prog = Program::new("toy");
+        prog.add_procedure(proc);
+        prog
+    }
+
+    #[test]
+    fn region_lookup_and_resolution() {
+        let prog = make_program();
+        let region = prog.find_region("MAIN_DO1").expect("region exists");
+        let (proc, l) = region.resolve(&prog).expect("resolvable");
+        assert_eq!(proc.name, "main");
+        assert_eq!(l.label.as_deref(), Some("MAIN_DO1"));
+        assert!(prog.find_region("NOPE").is_none());
+        assert_eq!(prog.all_regions().len(), 1);
+    }
+
+    #[test]
+    fn procedure_lookup_by_name() {
+        let prog = make_program();
+        assert!(prog.find_procedure("main").is_some());
+        assert!(prog.find_procedure("other").is_none());
+    }
+}

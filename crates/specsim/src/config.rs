@@ -1,0 +1,121 @@
+//! Simulator configuration.
+
+/// Parameters of the simulated chip multiprocessor and its memory system.
+///
+/// Defaults follow the paper's setup where stated (4 processors,
+/// kilobyte-scale speculative storage — here expressed in words) and use
+/// simple latency ratios otherwise: speculative-storage hits are fast,
+/// non-speculative storage is slightly slower, roll-backs and commits cost
+/// a handful of cycles.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimConfig {
+    /// Number of processors (the paper assumes Multiplex chips with four).
+    pub processors: usize,
+    /// Capacity of each processor's speculative storage, in words (entries).
+    /// Both data values and reference-tracking entries occupy space.
+    pub spec_capacity: usize,
+    /// Latency of a speculative-storage access (hit), in cycles.
+    pub lat_spec: u64,
+    /// Latency of a non-speculative-storage (conventional memory hierarchy)
+    /// access, in cycles.
+    pub lat_nonspec: u64,
+    /// Latency of forwarding a value from an older segment's speculative
+    /// storage, in cycles.
+    pub lat_forward: u64,
+    /// Fixed cost of executing one statement (issue/compute), in cycles.
+    pub stmt_cost: u64,
+    /// Penalty applied to a segment when it is rolled back, in cycles.
+    pub rollback_penalty: u64,
+    /// Cost of committing one dirty speculative-storage entry, in cycles.
+    pub commit_per_entry: u64,
+    /// Fixed cost of dispatching a segment to a processor, in cycles.
+    pub dispatch_cost: u64,
+    /// Per-segment cost of setting up the private stack when the labeling
+    /// contains private references (the paper notes "the stack setup adds a
+    /// substantial number of instructions").
+    pub private_setup_cost: u64,
+    /// Maximum total number of statement executions across the whole
+    /// simulation (defensive guard against livelock in misconfigured runs).
+    pub max_statements: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            processors: 4,
+            spec_capacity: 64,
+            // The speculative storage is small, not faster than the L1 of
+            // the conventional hierarchy: both hit in the same number of
+            // cycles. CASE's advantage comes from avoiding overflow, not
+            // from cheaper accesses.
+            lat_spec: 3,
+            lat_nonspec: 3,
+            lat_forward: 4,
+            stmt_cost: 1,
+            rollback_penalty: 20,
+            commit_per_entry: 1,
+            dispatch_cost: 4,
+            private_setup_cost: 8,
+            max_statements: 200_000_000,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A configuration with the given number of processors, other
+    /// parameters at their defaults.
+    pub fn with_processors(processors: usize) -> Self {
+        SimConfig {
+            processors,
+            ..SimConfig::default()
+        }
+    }
+
+    /// A configuration with the given speculative-storage capacity (words
+    /// per processor), other parameters at their defaults.
+    pub fn with_capacity(spec_capacity: usize) -> Self {
+        SimConfig {
+            spec_capacity,
+            ..SimConfig::default()
+        }
+    }
+
+    /// Convenience: sets the capacity and returns the modified config.
+    pub fn capacity(mut self, spec_capacity: usize) -> Self {
+        self.spec_capacity = spec_capacity;
+        self
+    }
+
+    /// Convenience: sets the processor count and returns the modified
+    /// config.
+    pub fn processors(mut self, processors: usize) -> Self {
+        self.processors = processors;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sensible() {
+        let c = SimConfig::default();
+        assert_eq!(c.processors, 4);
+        assert!(c.spec_capacity > 0);
+        assert_eq!(
+            c.lat_nonspec, c.lat_spec,
+            "speculative storage is small, not faster"
+        );
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let c = SimConfig::with_processors(8).capacity(16);
+        assert_eq!(c.processors, 8);
+        assert_eq!(c.spec_capacity, 16);
+        let c2 = SimConfig::with_capacity(128).processors(2);
+        assert_eq!(c2.spec_capacity, 128);
+        assert_eq!(c2.processors, 2);
+    }
+}

@@ -1,0 +1,571 @@
+//! The speculation engine: event-ordered execution of HOSE and CASE.
+//!
+//! Segments (region-loop iterations) are dispatched in program order onto a
+//! fixed number of processors. Each in-flight segment owns a bounded
+//! [`SpecBuffer`]; the engine interleaves segments by always advancing the
+//! one with the smallest local clock, one statement at a time. The routing
+//! of each memory access is decided by the reference's idempotency label
+//! (Definition 4):
+//!
+//! * speculative references are tracked in the segment's buffer — reads
+//!   search the segment's own buffer, then the buffers of older in-flight
+//!   segments (youngest ancestor first, HOSE Property 4), then
+//!   non-speculative storage; writes check younger segments for premature
+//!   exposed reads (violations, HOSE Property 5) and allocate a dirty entry;
+//! * idempotent references bypass the buffer: reads go straight to
+//!   non-speculative storage, writes perform the violation check and then
+//!   write through;
+//! * private references use per-segment private storage (the per-segment
+//!   private stacks of Section 5).
+//!
+//! Violations roll back the offending segment and every younger in-flight
+//! segment (Property 2). A non-head segment that overflows its buffer is
+//! squashed and stalled until it becomes the oldest; the head absorbs
+//! overflow by reading/writing through to non-speculative storage — the
+//! serialization effect the paper describes. Segments commit in order
+//! (Property 6).
+
+use crate::config::SimConfig;
+use crate::report::SimReport;
+use crate::run::{ExecMode, SimError};
+use crate::storage::SpecBuffer;
+use refidem_core::label::{IdemCategory, Label, Labeling};
+use refidem_ir::exec::{DataStore, SegmentExec};
+use refidem_ir::ids::RefId;
+use refidem_ir::memory::{Addr, Layout, Memory};
+use refidem_ir::stmt::LoopStmt;
+use refidem_ir::var::VarTable;
+use std::collections::BTreeMap;
+
+/// One in-flight segment's mutable state.
+#[derive(Clone, Debug)]
+struct SlotData {
+    /// Segment number in execution (commit) order, 0-based.
+    seg: usize,
+    /// Local clock (cycles since region entry).
+    clock: u64,
+    /// Bounded speculative storage.
+    spec: SpecBuffer,
+    /// Per-segment private storage (for references labeled `Private`).
+    private: BTreeMap<Addr, f64>,
+    /// The segment has executed its last statement (waiting to commit).
+    done: bool,
+    /// The segment overflowed as a non-head and waits to become the head.
+    stalled: bool,
+    /// A violation requested this segment's roll-back.
+    squash_requested: bool,
+    /// Earliest simulated time at which the requested roll-back can take
+    /// effect (the time the violating producer write happened).
+    squash_not_before: u64,
+    /// An overflow was detected mid-statement; the rest of the statement's
+    /// accesses are not tracked and the engine squashes the segment after
+    /// the statement completes.
+    overflow_poisoned: bool,
+    /// Number of times the segment has been rolled back or restarted.
+    restarts: u32,
+}
+
+/// Runs one region speculatively. `memory` is the non-speculative storage,
+/// already holding the effects of the code preceding the region.
+pub(crate) struct Engine<'p> {
+    cfg: &'p SimConfig,
+    mode: ExecMode,
+    labeling: &'p Labeling,
+    vars: &'p VarTable,
+    layout: &'p Layout,
+    region: &'p LoopStmt,
+    iter_values: Vec<i64>,
+    has_private_labels: bool,
+
+    execs: Vec<Option<SegmentExec<'p>>>,
+    slots: Vec<Option<SlotData>>,
+    memory: &'p mut Memory,
+    head: usize,
+    next_dispatch: usize,
+    last_commit_time: u64,
+    report: SimReport,
+}
+
+impl<'p> Engine<'p> {
+    /// Creates an engine for one region execution.
+    pub(crate) fn new(
+        cfg: &'p SimConfig,
+        mode: ExecMode,
+        labeling: &'p Labeling,
+        vars: &'p VarTable,
+        layout: &'p Layout,
+        region: &'p LoopStmt,
+        iter_values: Vec<i64>,
+        memory: &'p mut Memory,
+    ) -> Self {
+        let has_private_labels = mode == ExecMode::Case
+            && labeling
+                .iter()
+                .any(|(_, l)| l == Label::Idempotent(IdemCategory::Private));
+        let processors = cfg.processors.max(1);
+        Engine {
+            cfg,
+            mode,
+            labeling,
+            vars,
+            layout,
+            region,
+            iter_values,
+            has_private_labels,
+            execs: (0..processors).map(|_| None).collect(),
+            slots: (0..processors).map(|_| None).collect(),
+            memory,
+            head: 0,
+            next_dispatch: 0,
+            last_commit_time: 0,
+            report: SimReport {
+                mode: Some(mode),
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Runs the region to completion and returns the report.
+    pub(crate) fn run(mut self) -> Result<SimReport, SimError> {
+        let total = self.iter_values.len();
+        self.report.segments = total;
+        // Initial dispatch.
+        for p in 0..self.slots.len() {
+            if self.next_dispatch >= total {
+                break;
+            }
+            self.dispatch(p, 0);
+        }
+        while self.head < total {
+            // Unstall the head if it was stalled by an overflow.
+            if let Some(p) = self.slot_of(self.head) {
+                let slot = self.slots[p].as_mut().expect("slot exists");
+                if slot.stalled {
+                    slot.stalled = false;
+                    slot.clock = slot.clock.max(self.last_commit_time);
+                }
+            }
+            // Commit the head if it has finished — but only once every other
+            // runnable segment has simulated past the head's finish time, so
+            // the committed values do not become visible "in the past" of a
+            // segment that has not executed up to that point yet.
+            if let Some(p) = self.slot_of(self.head) {
+                let (done, finish) = self
+                    .slots[p]
+                    .as_ref()
+                    .map(|s| (s.done, s.clock))
+                    .unwrap_or((false, 0));
+                if done {
+                    let head_seg = self.head;
+                    let lagging = self.slots.iter().flatten().any(|s| {
+                        s.seg != head_seg && !s.done && !s.stalled && s.clock < finish
+                    });
+                    if !lagging {
+                        self.commit(p);
+                        continue;
+                    }
+                }
+            }
+            // Advance the runnable slot with the smallest clock.
+            let runnable = self
+                .slots
+                .iter()
+                .enumerate()
+                .filter_map(|(p, s)| {
+                    s.as_ref().and_then(|s| {
+                        if !s.done && !s.stalled {
+                            Some((p, s.clock))
+                        } else {
+                            None
+                        }
+                    })
+                })
+                .min_by_key(|(_, clock)| *clock);
+            let Some((p, _)) = runnable else {
+                return Err(SimError::Deadlock);
+            };
+            self.step_slot(p)?;
+            if self.report.statements > self.cfg.max_statements {
+                return Err(SimError::StatementBudgetExceeded);
+            }
+        }
+        self.report.region_cycles = self.last_commit_time;
+        Ok(self.report)
+    }
+
+    fn slot_of(&self, seg: usize) -> Option<usize> {
+        self.slots
+            .iter()
+            .position(|s| s.as_ref().map(|s| s.seg) == Some(seg))
+    }
+
+    fn dispatch(&mut self, p: usize, start_time: u64) {
+        let seg = self.next_dispatch;
+        self.next_dispatch += 1;
+        let mut clock = start_time + self.cfg.dispatch_cost;
+        if self.has_private_labels {
+            clock += self.cfg.private_setup_cost;
+        }
+        self.slots[p] = Some(SlotData {
+            seg,
+            clock,
+            spec: SpecBuffer::new(self.cfg.spec_capacity),
+            private: BTreeMap::new(),
+            done: false,
+            stalled: false,
+            squash_requested: false,
+            squash_not_before: 0,
+            overflow_poisoned: false,
+            restarts: 0,
+        });
+        self.execs[p] = Some(SegmentExec::new(
+            self.vars,
+            self.layout,
+            &self.region.body,
+            &[(self.region.index, self.iter_values[seg])],
+        ));
+    }
+
+    fn step_slot(&mut self, p: usize) -> Result<(), SimError> {
+        let mut exec = self.execs[p].take().expect("exec present for runnable slot");
+        {
+            let slot = self.slots[p].as_mut().expect("slot present");
+            slot.clock += self.cfg.stmt_cost;
+        }
+        let head = self.head;
+        let mut ctx = AccessCtx {
+            cfg: self.cfg,
+            mode: self.mode,
+            labeling: self.labeling,
+            memory: self.memory,
+            slots: &mut self.slots,
+            report: &mut self.report,
+            p,
+            head,
+        };
+        let more = exec.step(&mut ctx).map_err(SimError::Exec)?;
+        self.execs[p] = Some(exec);
+        self.report.statements += 1;
+        let now = self.slots[p].as_ref().expect("slot").clock;
+        if !more {
+            self.slots[p].as_mut().expect("slot").done = true;
+        }
+        // Track peak speculative-storage occupancy.
+        let occ = self.slots[p].as_ref().expect("slot").spec.len();
+        self.report.spec_peak_occupancy = self.report.spec_peak_occupancy.max(occ);
+        // Roll back segments flagged by violations during this statement.
+        self.process_squashes(now);
+        // Handle an overflow detected during this statement.
+        let poisoned = self
+            .slots[p]
+            .as_ref()
+            .map(|s| s.overflow_poisoned)
+            .unwrap_or(false);
+        if poisoned {
+            self.restart_slot(p, now, false);
+            let slot = self.slots[p].as_mut().expect("slot");
+            slot.stalled = true;
+        }
+        Ok(())
+    }
+
+    /// Rolls back every in-flight segment whose squash was requested. The
+    /// roll-back takes effect no earlier than the producing write that
+    /// triggered it.
+    fn process_squashes(&mut self, now: u64) {
+        for p in 0..self.slots.len() {
+            let request = self
+                .slots[p]
+                .as_ref()
+                .filter(|s| s.squash_requested)
+                .map(|s| s.squash_not_before);
+            if let Some(not_before) = request {
+                let restart = now.max(not_before) + self.cfg.rollback_penalty;
+                self.restart_slot(p, restart, true);
+            }
+        }
+    }
+
+    /// Resets a segment to its initial state. `count_rollback` separates
+    /// violation roll-backs from overflow restarts in the statistics.
+    fn restart_slot(&mut self, p: usize, restart_time: u64, count_rollback: bool) {
+        if let Some(slot) = self.slots[p].as_mut() {
+            slot.spec.clear();
+            slot.private.clear();
+            slot.done = false;
+            slot.stalled = false;
+            slot.squash_requested = false;
+            slot.squash_not_before = 0;
+            slot.overflow_poisoned = false;
+            slot.restarts += 1;
+            slot.clock = restart_time;
+            if self.has_private_labels {
+                slot.clock += self.cfg.private_setup_cost;
+            }
+        }
+        if let Some(exec) = self.execs[p].as_mut() {
+            exec.reset();
+        }
+        if count_rollback {
+            self.report.rollbacks += 1;
+        }
+    }
+
+    /// Commits the head segment occupying slot `p` and dispatches the next
+    /// segment onto the freed processor.
+    fn commit(&mut self, p: usize) {
+        let total = self.iter_values.len();
+        let (commit_time, dirty): (u64, Vec<(Addr, f64)>) = {
+            let slot = self.slots[p].as_ref().expect("slot");
+            let dirty: Vec<(Addr, f64)> = slot.spec.dirty_entries().collect();
+            let commit_time = slot.clock + self.cfg.commit_per_entry * dirty.len() as u64;
+            (commit_time, dirty)
+        };
+        for (addr, value) in &dirty {
+            self.memory.store(*addr, *value);
+        }
+        self.report.commits += 1;
+        self.report.committed_entries += dirty.len() as u64;
+        self.last_commit_time = self.last_commit_time.max(commit_time);
+        self.head += 1;
+        self.slots[p] = None;
+        self.execs[p] = None;
+        if self.next_dispatch < total {
+            self.dispatch(p, commit_time);
+        }
+    }
+}
+
+/// The [`DataStore`] a stepping segment sees: routes every access according
+/// to its label, charges latencies, tracks dependences and flags violations
+/// and overflows.
+struct AccessCtx<'a> {
+    cfg: &'a SimConfig,
+    mode: ExecMode,
+    labeling: &'a Labeling,
+    memory: &'a mut Memory,
+    slots: &'a mut Vec<Option<SlotData>>,
+    report: &'a mut SimReport,
+    p: usize,
+    head: usize,
+}
+
+impl AccessCtx<'_> {
+    fn label_of(&self, site: RefId) -> Label {
+        match self.mode {
+            ExecMode::Hose => Label::Speculative,
+            ExecMode::Case => self.labeling.label(site),
+        }
+    }
+
+    fn own_seg(&self) -> usize {
+        self.slots[self.p].as_ref().expect("own slot").seg
+    }
+
+    fn own_squash_requested(&self) -> bool {
+        self.slots[self.p]
+            .as_ref()
+            .map(|s| s.squash_requested)
+            .unwrap_or(false)
+    }
+
+    /// Flags violations: an older segment writes `addr` while a younger
+    /// in-flight segment has already performed an exposed (speculative) read
+    /// of it. The offending segment and every younger one are rolled back.
+    fn check_violations(&mut self, addr: Addr, writer_seg: usize) {
+        let mut min_violating: Option<usize> = None;
+        for slot in self.slots.iter().flatten() {
+            if slot.seg > writer_seg && slot.spec.has_exposed_read(addr) {
+                min_violating = Some(match min_violating {
+                    Some(m) => m.min(slot.seg),
+                    None => slot.seg,
+                });
+            }
+        }
+        if let Some(min_seg) = min_violating {
+            self.report.violations += 1;
+            let detection_time = self.slots[self.p].as_ref().map(|s| s.clock).unwrap_or(0);
+            for slot in self.slots.iter_mut().flatten() {
+                if slot.seg >= min_seg {
+                    slot.squash_requested = true;
+                    slot.squash_not_before = slot.squash_not_before.max(detection_time);
+                }
+            }
+        }
+    }
+
+    /// Forwards a value from the youngest older in-flight segment holding a
+    /// written entry for `addr`, together with the time that write happened.
+    fn forward_from_ancestor(&self, addr: Addr, reader_seg: usize) -> Option<(f64, u64)> {
+        self.slots
+            .iter()
+            .flatten()
+            .filter(|s| s.seg < reader_seg && s.spec.has_written(addr))
+            .max_by_key(|s| s.seg)
+            .and_then(|s| s.spec.get(addr).map(|e| (e.value, e.last_write_time)))
+    }
+
+    /// Flags a premature read: the reader (and every younger segment) is
+    /// rolled back because an older in-flight segment has already produced a
+    /// newer value for `addr` at a later simulated time (`write_time`). The
+    /// roll-back takes effect at the producing write, matching the moment
+    /// the hardware detects the violation.
+    fn flag_premature_read(&mut self, reader_seg: usize, write_time: u64) {
+        self.report.violations += 1;
+        for slot in self.slots.iter_mut().flatten() {
+            if slot.seg >= reader_seg {
+                slot.squash_requested = true;
+                slot.squash_not_before = slot.squash_not_before.max(write_time);
+            }
+        }
+    }
+}
+
+impl DataStore for AccessCtx<'_> {
+    fn read(&mut self, site: RefId, addr: Addr) -> f64 {
+        let label = self.label_of(site);
+        let own_seg = self.own_seg();
+        let is_head = own_seg == self.head;
+        match label {
+            Label::Idempotent(IdemCategory::Private) => {
+                self.report.private_reads += 1;
+                let slot = self.slots[self.p].as_mut().expect("own slot");
+                slot.clock += self.cfg.lat_nonspec;
+                match slot.private.get(&addr) {
+                    Some(v) => *v,
+                    None => self.memory.load(addr),
+                }
+            }
+            Label::Idempotent(_) => {
+                // Idempotent reads completely bypass the speculative storage
+                // and leave no information in it (Definition 4).
+                self.report.nonspec_reads += 1;
+                let slot = self.slots[self.p].as_mut().expect("own slot");
+                slot.clock += self.cfg.lat_nonspec;
+                self.memory.load(addr)
+            }
+            Label::Speculative => {
+                self.report.spec_reads += 1;
+                // Own buffer first.
+                {
+                    let slot = self.slots[self.p].as_mut().expect("own slot");
+                    if let Some(entry) = slot.spec.get(addr) {
+                        let value = entry.value;
+                        slot.clock += self.cfg.lat_spec;
+                        return value;
+                    }
+                    if slot.overflow_poisoned {
+                        // The segment is already being squashed; do not
+                        // track anything further.
+                        slot.clock += self.cfg.lat_spec;
+                        return self.memory.load(addr);
+                    }
+                }
+                // Forward from the youngest ancestor, else non-speculative
+                // storage (HOSE Property 4).
+                let now = self.slots[self.p].as_ref().expect("own slot").clock;
+                let forwarded = self.forward_from_ancestor(addr, own_seg);
+                if let Some((_, write_time)) = forwarded {
+                    if write_time > now {
+                        // In simulated time this read happens before the
+                        // older segment's write: the read is premature, a
+                        // flow-dependence violation (HOSE Property 5).
+                        self.flag_premature_read(own_seg, write_time);
+                        let slot = self.slots[self.p].as_mut().expect("own slot");
+                        slot.clock += self.cfg.lat_nonspec;
+                        return self.memory.load(addr);
+                    }
+                }
+                let (value, latency) = match forwarded {
+                    Some((v, _)) => {
+                        self.report.forwards += 1;
+                        (v, self.cfg.lat_forward)
+                    }
+                    None => (self.memory.load(addr), self.cfg.lat_nonspec),
+                };
+                let slot = self.slots[self.p].as_mut().expect("own slot");
+                slot.clock += latency;
+                // Record the exposed read for dependence tracking; this
+                // allocation may overflow the buffer.
+                if slot.spec.would_overflow(addr) {
+                    if is_head {
+                        // The head is non-speculative: it cannot violate and
+                        // need not track; absorb the overflow.
+                        self.report.overflow_writethrough += 1;
+                    } else {
+                        self.report.overflow_stalls += 1;
+                        slot.overflow_poisoned = true;
+                    }
+                    return value;
+                }
+                let now = slot.clock;
+                slot.spec.record_exposed_read(addr, value, now);
+                value
+            }
+        }
+    }
+
+    fn write(&mut self, site: RefId, addr: Addr, value: f64) {
+        let label = self.label_of(site);
+        let own_seg = self.own_seg();
+        let is_head = own_seg == self.head;
+        match label {
+            Label::Idempotent(IdemCategory::Private) => {
+                self.report.private_writes += 1;
+                let slot = self.slots[self.p].as_mut().expect("own slot");
+                slot.clock += self.cfg.lat_nonspec;
+                slot.private.insert(addr, value);
+            }
+            Label::Idempotent(_) => {
+                // Idempotent writes enforce dependences by checking for
+                // prematurely executed speculative loads, then write through
+                // to non-speculative storage (Definition 4).
+                self.report.nonspec_writes += 1;
+                if !self.own_squash_requested() {
+                    self.check_violations(addr, own_seg);
+                }
+                let slot = self.slots[self.p].as_mut().expect("own slot");
+                slot.clock += self.cfg.lat_nonspec;
+                self.memory.store(addr, value);
+            }
+            Label::Speculative => {
+                self.report.spec_writes += 1;
+                if !self.own_squash_requested() {
+                    self.check_violations(addr, own_seg);
+                }
+                let poisoned = self.slots[self.p]
+                    .as_ref()
+                    .map(|s| s.overflow_poisoned)
+                    .unwrap_or(false);
+                if poisoned {
+                    let slot = self.slots[self.p].as_mut().expect("own slot");
+                    slot.clock += self.cfg.lat_spec;
+                    return;
+                }
+                let would_overflow = self.slots[self.p]
+                    .as_ref()
+                    .expect("own slot")
+                    .spec
+                    .would_overflow(addr);
+                if would_overflow {
+                    if is_head {
+                        self.report.overflow_writethrough += 1;
+                        let slot = self.slots[self.p].as_mut().expect("own slot");
+                        slot.clock += self.cfg.lat_nonspec;
+                        self.memory.store(addr, value);
+                    } else {
+                        self.report.overflow_stalls += 1;
+                        let slot = self.slots[self.p].as_mut().expect("own slot");
+                        slot.overflow_poisoned = true;
+                        slot.clock += self.cfg.lat_spec;
+                    }
+                    return;
+                }
+                let slot = self.slots[self.p].as_mut().expect("own slot");
+                slot.clock += self.cfg.lat_spec;
+                let now = slot.clock;
+                slot.spec.record_write(addr, value, now);
+            }
+        }
+    }
+}

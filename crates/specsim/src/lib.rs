@@ -1,0 +1,59 @@
+//! # refidem-specsim — speculative multithreaded execution substrate
+//!
+//! The paper evaluates reference idempotency on Multiplex, a chip
+//! multiprocessor with per-processor *speculative storage* backed by a
+//! conventional memory hierarchy (*non-speculative storage*), simulated
+//! cycle-accurately. This crate is the from-scratch substitute: a
+//! value-accurate, event-ordered simulator of the two execution models the
+//! paper defines:
+//!
+//! * **HOSE** (hardware-only speculative execution, Definition 2): every
+//!   reference is tracked in a bounded per-processor speculative buffer;
+//!   cross-segment flow violations roll younger segments back; segments
+//!   commit in order; a segment whose buffer overflows stalls until it
+//!   becomes the oldest (non-speculative head) — the serialization the
+//!   paper identifies as the key bottleneck.
+//! * **CASE** (compiler-assisted speculative execution, Definition 4):
+//!   references labeled *idempotent* by `refidem-core` bypass the
+//!   speculative storage — idempotent reads access non-speculative storage
+//!   directly, idempotent writes first check younger segments for premature
+//!   speculative loads and then write through. References labeled *private*
+//!   go to per-segment private storage, modeling the per-segment private
+//!   stacks the paper's runtime system allocates.
+//!
+//! The simulator is functionally checked: the final non-speculative memory
+//! state of a HOSE or CASE run must match a purely sequential interpretation
+//! of the program (Lemmas 1 and 2 as executable tests), modulo dead
+//! segment-private locations.
+//!
+//! The timing model is parameterized ([`SimConfig`]) and deliberately
+//! simple — the reproduction targets the *shape* of the paper's results
+//! (who wins, where overflow hurts, how much labeling helps), not absolute
+//! cycle counts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod report;
+pub mod run;
+pub mod storage;
+
+pub use config::SimConfig;
+pub use report::{SimReport, SpeedupComparison};
+pub use run::{
+    compare_modes, run_sequential, simulate_region, verify_against_sequential, ExecMode,
+    SimError, SimOutcome,
+};
+pub use storage::{SpecBuffer, SpecEntry};
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::config::SimConfig;
+    pub use crate::report::{SimReport, SpeedupComparison};
+    pub use crate::run::{
+        compare_modes, run_sequential, simulate_region, verify_against_sequential, ExecMode,
+        SimError, SimOutcome,
+    };
+}

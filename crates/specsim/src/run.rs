@@ -1,0 +1,509 @@
+//! High-level simulation API.
+//!
+//! A simulation executes one procedure: the statements before the
+//! designated region run sequentially, the region runs speculatively under
+//! HOSE or CASE, and the statements after it run sequentially again. The
+//! sequential baseline ([`run_sequential`]) times the same region on one
+//! processor with every access going to non-speculative storage, which is
+//! the denominator of the loop speedups the paper reports.
+
+use crate::config::SimConfig;
+use crate::engine::Engine;
+use crate::report::{SimReport, SpeedupComparison};
+use refidem_analysis::classify::VarClass;
+use refidem_core::label::LabeledRegion;
+use refidem_ir::exec::{CountingStore, DataStore, DynCounts, ExecError, PlainStore, SegmentExec};
+use refidem_ir::ids::RefId;
+use refidem_ir::memory::{Addr, Layout, Memory};
+use refidem_ir::program::{Procedure, Program};
+use refidem_ir::var::VarTable;
+
+/// The execution model to simulate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ExecMode {
+    /// Hardware-only speculative execution (Definition 2): every reference
+    /// is tracked in speculative storage.
+    Hose,
+    /// Compiler-assisted speculative execution (Definition 4): idempotent
+    /// references bypass speculative storage.
+    Case,
+}
+
+impl std::fmt::Display for ExecMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecMode::Hose => write!(f, "HOSE"),
+            ExecMode::Case => write!(f, "CASE"),
+        }
+    }
+}
+
+/// Errors produced by the simulator.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimError {
+    /// The labeled region's procedure or loop could not be resolved.
+    Region(String),
+    /// The region loop's bounds are not compile-time constants (the
+    /// simulator needs to enumerate the segments).
+    RegionBoundsNotConstant,
+    /// The underlying interpreter failed.
+    Exec(ExecError),
+    /// No segment could make progress (internal invariant violation).
+    Deadlock,
+    /// The configured statement budget was exhausted.
+    StatementBudgetExceeded,
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Region(s) => write!(f, "region error: {s}"),
+            SimError::RegionBoundsNotConstant => {
+                write!(f, "region loop bounds are not compile-time constants")
+            }
+            SimError::Exec(e) => write!(f, "execution error: {e}"),
+            SimError::Deadlock => write!(f, "no segment can make progress"),
+            SimError::StatementBudgetExceeded => write!(f, "statement budget exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// The result of one simulated execution.
+#[derive(Clone, Debug)]
+pub struct SimOutcome {
+    /// Region execution statistics.
+    pub report: SimReport,
+    /// Final non-speculative memory (after the whole procedure ran).
+    pub memory: Memory,
+}
+
+/// The result of the sequential baseline execution.
+#[derive(Clone, Debug)]
+pub struct SeqOutcome {
+    /// Final memory.
+    pub memory: Memory,
+    /// Cycles spent in the region on one processor.
+    pub region_cycles: u64,
+    /// Dynamic per-site access counts inside the region.
+    pub region_counts: DynCounts,
+}
+
+/// Deterministic initial memory for a procedure: every word gets a small
+/// pseudo-random value derived from its address, so executions are
+/// reproducible without any setup code.
+pub fn initial_memory(proc: &Procedure) -> Memory {
+    let layout = Layout::new(&proc.vars);
+    Memory::init_with(&layout, |addr| {
+        let h = addr.0.wrapping_mul(2654435761).wrapping_add(12345) % 1009;
+        (h as f64) / 251.0
+    })
+}
+
+/// A [`DataStore`] that reads/writes plain memory and charges a fixed
+/// latency per access (the sequential, non-speculative baseline).
+struct TimingStore<'m> {
+    memory: &'m mut Memory,
+    latency: u64,
+    cycles: u64,
+}
+
+impl DataStore for TimingStore<'_> {
+    fn read(&mut self, _site: RefId, addr: Addr) -> f64 {
+        self.cycles += self.latency;
+        self.memory.load(addr)
+    }
+
+    fn write(&mut self, _site: RefId, addr: Addr, value: f64) {
+        self.cycles += self.latency;
+        self.memory.store(addr, value);
+    }
+}
+
+fn resolve<'a>(
+    program: &'a Program,
+    labeled: &LabeledRegion,
+) -> Result<(&'a Procedure, &'a VarTable, Layout), SimError> {
+    let proc = program
+        .procedures
+        .get(labeled.analysis.spec.proc.index())
+        .ok_or_else(|| SimError::Region("procedure not found".to_string()))?;
+    let layout = Layout::new(&proc.vars);
+    Ok((proc, &proc.vars, layout))
+}
+
+fn region_iteration_values(
+    vars: &VarTable,
+    region: &refidem_ir::stmt::LoopStmt,
+) -> Result<Vec<i64>, SimError> {
+    let lower = region.lower.substitute_params(&|v| vars.param_value(v));
+    let upper = region.upper.substitute_params(&|v| vars.param_value(v));
+    if !lower.is_constant() || !upper.is_constant() {
+        return Err(SimError::RegionBoundsNotConstant);
+    }
+    let (lo, hi, step) = (lower.constant, upper.constant, region.step);
+    let mut values = Vec::new();
+    let mut k = lo;
+    loop {
+        if (step > 0 && k > hi) || (step < 0 && k < hi) {
+            break;
+        }
+        values.push(k);
+        k += step;
+        if values.len() > 10_000_000 {
+            return Err(SimError::Region("region trip count too large".to_string()));
+        }
+    }
+    Ok(values)
+}
+
+fn run_stmts_plain(
+    vars: &VarTable,
+    layout: &Layout,
+    stmts: &[refidem_ir::stmt::Stmt],
+    memory: &mut Memory,
+) -> Result<(), SimError> {
+    let mut store = PlainStore::new(memory);
+    let mut exec = SegmentExec::new(vars, layout, stmts, &[]);
+    exec.run(&mut store, 200_000_000).map_err(SimError::Exec)
+}
+
+/// Runs the labeled region's procedure fully sequentially, timing the region
+/// with the non-speculative latency of `cfg` and collecting dynamic
+/// reference counts inside the region.
+pub fn run_sequential(
+    program: &Program,
+    labeled: &LabeledRegion,
+    cfg: &SimConfig,
+) -> Result<SeqOutcome, SimError> {
+    let (proc, vars, layout) = resolve(program, labeled)?;
+    let label = &labeled.analysis.spec.loop_label;
+    let (before, region, after) = proc
+        .split_at_loop(label)
+        .ok_or_else(|| SimError::Region(format!("region `{label}` is not a top-level loop")))?;
+    let mut memory = initial_memory(proc);
+    run_stmts_plain(vars, &layout, before, &mut memory)?;
+    // Time the region on one processor.
+    let (region_cycles, counts) = {
+        let timing = TimingStore {
+            memory: &mut memory,
+            latency: cfg.lat_nonspec,
+            cycles: 0,
+        };
+        let mut store = CountingStore::new(timing);
+        let region_stmt = std::slice::from_ref(
+            proc.body
+                .iter()
+                .find(|s| matches!(s, refidem_ir::stmt::Stmt::Loop(l) if l.label.as_deref() == Some(label.as_str())))
+                .expect("region loop present"),
+        );
+        let mut exec = SegmentExec::new(vars, &layout, region_stmt, &[]);
+        exec.run(&mut store, cfg.max_statements as usize)
+            .map_err(SimError::Exec)?;
+        (
+            store.inner.cycles + exec.steps() as u64 * cfg.stmt_cost,
+            store.counts,
+        )
+    };
+    let _ = region;
+    run_stmts_plain(vars, &layout, after, &mut memory)?;
+    Ok(SeqOutcome {
+        memory,
+        region_cycles,
+        region_counts: counts,
+    })
+}
+
+/// Simulates the labeled region under the given execution model.
+pub fn simulate_region(
+    program: &Program,
+    labeled: &LabeledRegion,
+    mode: ExecMode,
+    cfg: &SimConfig,
+) -> Result<SimOutcome, SimError> {
+    let (proc, vars, layout) = resolve(program, labeled)?;
+    let label = &labeled.analysis.spec.loop_label;
+    let (before, region, after) = proc
+        .split_at_loop(label)
+        .ok_or_else(|| SimError::Region(format!("region `{label}` is not a top-level loop")))?;
+    let mut memory = initial_memory(proc);
+    run_stmts_plain(vars, &layout, before, &mut memory)?;
+    let iter_values = region_iteration_values(vars, region)?;
+    let report = Engine::new(
+        cfg,
+        mode,
+        &labeled.labeling,
+        vars,
+        &layout,
+        region,
+        iter_values,
+        &mut memory,
+    )
+    .run()?;
+    run_stmts_plain(vars, &layout, after, &mut memory)?;
+    Ok(SimOutcome { report, memory })
+}
+
+/// Runs the sequential baseline, HOSE and CASE for one region and packages
+/// the speedups (the (b)-panels of Figures 6–9).
+pub fn compare_modes(
+    program: &Program,
+    labeled: &LabeledRegion,
+    cfg: &SimConfig,
+) -> Result<SpeedupComparison, SimError> {
+    let seq = run_sequential(program, labeled, cfg)?;
+    let hose = simulate_region(program, labeled, ExecMode::Hose, cfg)?;
+    let case = simulate_region(program, labeled, ExecMode::Case, cfg)?;
+    Ok(SpeedupComparison {
+        region: labeled.analysis.spec.loop_label.clone(),
+        sequential_cycles: seq.region_cycles,
+        hose: hose.report,
+        case: case.report,
+    })
+}
+
+/// Checks the simulator's functional correctness (Lemmas 1 and 2 as a test):
+/// the final memory of a speculative run must equal the final memory of the
+/// sequential run on every address except those belonging to variables the
+/// region classifies as private (private locations are dead at region exit
+/// and live in per-segment storage under CASE).
+///
+/// Returns the list of differing addresses (empty on success).
+pub fn verify_against_sequential(
+    program: &Program,
+    labeled: &LabeledRegion,
+    mode: ExecMode,
+    cfg: &SimConfig,
+) -> Result<Vec<(Addr, f64, f64)>, SimError> {
+    let (proc, _vars, layout) = resolve(program, labeled)?;
+    let seq = run_sequential(program, labeled, cfg)?;
+    let sim = simulate_region(program, labeled, mode, cfg)?;
+    // Addresses of private variables are excluded from the comparison.
+    let mut ignored: Vec<(u64, u64)> = Vec::new();
+    for (v, class) in labeled.analysis.classes.iter() {
+        if class == VarClass::Private {
+            let base = layout.base(v).0;
+            let size = proc.vars.kind(v).size() as u64;
+            ignored.push((base, base + size));
+        }
+    }
+    let diffs = seq
+        .memory
+        .diff(&sim.memory, usize::MAX)
+        .into_iter()
+        .filter(|(addr, _, _)| !ignored.iter().any(|(lo, hi)| addr.0 >= *lo && addr.0 < *hi))
+        .collect();
+    Ok(diffs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refidem_core::label::label_program_region_by_name;
+    use refidem_ir::build::{ac, add, av, mul, num, ProcBuilder};
+    use refidem_ir::program::Program;
+
+    /// do k = 2, 33:  a(k) = a(k-1) + b(k)   — a cross-segment flow
+    /// dependence chain plus a read-only array.
+    fn recurrence_program() -> Program {
+        let mut b = ProcBuilder::new("main");
+        let a = b.array("a", &[40]);
+        let bb = b.array("b", &[40]);
+        let k = b.index("k");
+        b.live_out(&[a]);
+        let rhs = add(b.load_elem(a, vec![av(k) - ac(1)]), b.load_elem(bb, vec![av(k)]));
+        let s = b.assign_elem(a, vec![av(k)], rhs);
+        let region = b.do_loop_labeled("REC", k, ac(2), ac(33), vec![s]);
+        let mut p = Program::new("recurrence");
+        p.add_procedure(b.build(vec![region]));
+        p
+    }
+
+    /// A wide, independent-per-iteration loop with many distinct addresses
+    /// per iteration: overflows small speculative storage under HOSE, but
+    /// most references are read-only/idempotent under CASE.
+    fn wide_program() -> Program {
+        let mut b = ProcBuilder::new("main");
+        let src = b.array("src", &[20 * 40]);
+        let dst = b.array("dst", &[40]);
+        let acc = b.scalar("acc");
+        let k = b.index("k");
+        let j = b.index("j");
+        b.live_out(&[dst]);
+        // acc = 0; do j = 1, 20 { acc = acc + src(20*(k-1)+j) } ; dst(k) = acc
+        let init = b.assign_scalar(acc, num(0.0));
+        let src_sub = AffineBuilder::wide_subscript(k, j);
+        let rhs = add(b.load(acc), b.load_elem(src, vec![src_sub]));
+        let body_stmt = b.assign_scalar(acc, rhs);
+        let inner = b.do_loop(j, ac(1), ac(20), vec![body_stmt]);
+        let rhs2 = b.load(acc);
+        let fin = b.assign_elem(dst, vec![av(k)], rhs2);
+        let region = b.do_loop_labeled("WIDE", k, ac(1), ac(40), vec![init, inner, fin]);
+        let mut p = Program::new("wide");
+        p.add_procedure(b.build(vec![region]));
+        p
+    }
+
+    /// Helper building `20*(k-1) + j` without pulling the builder into
+    /// the affine module.
+    struct AffineBuilder;
+    impl AffineBuilder {
+        fn wide_subscript(
+            k: refidem_ir::ids::VarId,
+            j: refidem_ir::ids::VarId,
+        ) -> refidem_ir::affine::AffineExpr {
+            refidem_ir::affine::AffineExpr::scaled_var(k, 20) + av(j) - ac(20)
+        }
+    }
+
+    #[test]
+    fn hose_matches_sequential_execution_on_a_recurrence() {
+        let p = recurrence_program();
+        let labeled = label_program_region_by_name(&p, "REC").unwrap();
+        let cfg = SimConfig::default();
+        let diffs = verify_against_sequential(&p, &labeled, ExecMode::Hose, &cfg).unwrap();
+        assert!(diffs.is_empty(), "HOSE must match sequential: {diffs:?}");
+    }
+
+    #[test]
+    fn case_matches_sequential_execution_on_a_recurrence() {
+        let p = recurrence_program();
+        let labeled = label_program_region_by_name(&p, "REC").unwrap();
+        let cfg = SimConfig::default();
+        let diffs = verify_against_sequential(&p, &labeled, ExecMode::Case, &cfg).unwrap();
+        assert!(diffs.is_empty(), "CASE must match sequential: {diffs:?}");
+    }
+
+    #[test]
+    fn violations_and_rollbacks_occur_on_the_recurrence_under_hose() {
+        let p = recurrence_program();
+        let labeled = label_program_region_by_name(&p, "REC").unwrap();
+        let cfg = SimConfig::default();
+        let out = simulate_region(&p, &labeled, ExecMode::Hose, &cfg).unwrap();
+        assert!(out.report.violations > 0, "the flow dependence chain must trigger violations");
+        assert!(out.report.rollbacks > 0);
+        assert_eq!(out.report.commits as usize, out.report.segments);
+    }
+
+    #[test]
+    fn small_speculative_storage_overflows_under_hose_but_not_case() {
+        let p = wide_program();
+        let labeled = label_program_region_by_name(&p, "WIDE").unwrap();
+        // Each iteration touches ~22 distinct addresses; capacity 8 forces
+        // overflow under HOSE.
+        let cfg = SimConfig::default().capacity(8);
+        let hose = simulate_region(&p, &labeled, ExecMode::Hose, &cfg).unwrap();
+        let case = simulate_region(&p, &labeled, ExecMode::Case, &cfg).unwrap();
+        assert!(hose.report.overflow_stalls > 0, "HOSE must overflow");
+        assert!(
+            case.report.overflow_stalls == 0,
+            "CASE labels the src reads idempotent and avoids overflow"
+        );
+        assert!(
+            case.report.region_cycles < hose.report.region_cycles,
+            "CASE must be faster when HOSE overflows (case {} vs hose {})",
+            case.report.region_cycles,
+            hose.report.region_cycles
+        );
+        // Both are functionally correct.
+        for mode in [ExecMode::Hose, ExecMode::Case] {
+            let diffs = verify_against_sequential(&p, &labeled, mode, &cfg).unwrap();
+            assert!(diffs.is_empty(), "{mode} must match sequential: {diffs:?}");
+        }
+    }
+
+    #[test]
+    fn compare_modes_reports_speedups() {
+        let p = wide_program();
+        let labeled = label_program_region_by_name(&p, "WIDE").unwrap();
+        let cfg = SimConfig::default().capacity(8);
+        let cmp = compare_modes(&p, &labeled, &cfg).unwrap();
+        assert!(cmp.sequential_cycles > 0);
+        assert!(cmp.case_speedup() > cmp.hose_speedup());
+        assert!(cmp.case_speedup() > 1.0, "CASE should beat one processor");
+    }
+
+    #[test]
+    fn fully_speculative_loop_without_dependences_still_commits_in_order() {
+        // do k = 1, 16: c(k) = c(k) * 2 — independent; HOSE should get a
+        // speedup > 1 with adequate storage and no violations.
+        let mut b = ProcBuilder::new("main");
+        let c = b.array("c", &[16]);
+        let k = b.index("k");
+        b.live_out(&[c]);
+        let rhs = mul(b.load_elem(c, vec![av(k)]), num(2.0));
+        let s = b.assign_elem(c, vec![av(k)], rhs);
+        let region = b.do_loop_labeled("IND", k, ac(1), ac(16), vec![s]);
+        let mut p = Program::new("ind");
+        p.add_procedure(b.build(vec![region]));
+        let labeled = label_program_region_by_name(&p, "IND").unwrap();
+        assert!(labeled.labeling.fully_independent);
+        let cfg = SimConfig::default();
+        let cmp = compare_modes(&p, &labeled, &cfg).unwrap();
+        assert_eq!(cmp.hose.violations, 0);
+        assert_eq!(cmp.case.violations, 0);
+        assert!(cmp.hose_speedup() > 1.0);
+        assert!(cmp.case_speedup() > 1.0);
+        for mode in [ExecMode::Hose, ExecMode::Case] {
+            let diffs = verify_against_sequential(&p, &labeled, mode, &cfg).unwrap();
+            assert!(diffs.is_empty());
+        }
+    }
+
+    #[test]
+    fn private_variables_use_private_storage_under_case() {
+        // do k: { t = b(k); a(k) = t * 2 } — t is private.
+        let mut b = ProcBuilder::new("main");
+        let a = b.array("a", &[24]);
+        let bb = b.array("b", &[24]);
+        let t = b.scalar("t");
+        let k = b.index("k");
+        b.live_out(&[a]);
+        let rhs1 = b.load_elem(bb, vec![av(k)]);
+        let s1 = b.assign_scalar(t, rhs1);
+        let rhs2 = mul(b.load(t), num(2.0));
+        let s2 = b.assign_elem(a, vec![av(k)], rhs2);
+        let region = b.do_loop_labeled("PRIV", k, ac(1), ac(24), vec![s1, s2]);
+        let mut p = Program::new("priv");
+        p.add_procedure(b.build(vec![region]));
+        let labeled = label_program_region_by_name(&p, "PRIV").unwrap();
+        let cfg = SimConfig::default();
+        let case = simulate_region(&p, &labeled, ExecMode::Case, &cfg).unwrap();
+        assert!(case.report.private_reads > 0);
+        assert!(case.report.private_writes > 0);
+        let diffs = verify_against_sequential(&p, &labeled, ExecMode::Case, &cfg).unwrap();
+        assert!(diffs.is_empty(), "private values are excluded from comparison: {diffs:?}");
+        // Under HOSE everything goes to speculative storage.
+        let hose = simulate_region(&p, &labeled, ExecMode::Hose, &cfg).unwrap();
+        assert_eq!(hose.report.private_reads, 0);
+        assert_eq!(hose.report.nonspec_writes, 0);
+    }
+
+    #[test]
+    fn single_processor_configuration_degenerates_gracefully() {
+        let p = recurrence_program();
+        let labeled = label_program_region_by_name(&p, "REC").unwrap();
+        let cfg = SimConfig::default().processors(1);
+        let out = simulate_region(&p, &labeled, ExecMode::Hose, &cfg).unwrap();
+        assert_eq!(out.report.violations, 0, "one processor cannot violate");
+        let diffs = verify_against_sequential(&p, &labeled, ExecMode::Hose, &cfg).unwrap();
+        assert!(diffs.is_empty());
+    }
+
+    #[test]
+    fn region_bounds_must_be_constant() {
+        // do k = 1, n where n is a scalar variable (not a parameter).
+        let mut b = ProcBuilder::new("main");
+        let a = b.array("a", &[8]);
+        let n = b.scalar("n");
+        let k = b.index("k");
+        let s = b.assign_elem(a, vec![av(k)], num(1.0));
+        let region = b.do_loop_labeled("VARB", k, ac(1), av(n), vec![s]);
+        let mut p = Program::new("varb");
+        p.add_procedure(b.build(vec![region]));
+        let labeled = label_program_region_by_name(&p, "VARB").unwrap();
+        let err = simulate_region(&p, &labeled, ExecMode::Hose, &SimConfig::default()).unwrap_err();
+        assert_eq!(err, SimError::RegionBoundsNotConstant);
+    }
+}

@@ -1,0 +1,202 @@
+//! Speculative storage buffers.
+//!
+//! Each in-flight segment owns one bounded [`SpecBuffer`] (HOSE Property 4:
+//! "Each segment has its own speculative storage. It is empty at the
+//! beginning of each segment's execution and after each roll-back").
+//! Entries hold both data values and the reference-tracking information the
+//! speculation engine needs (HOSE Property 5): whether the location was
+//! written, whether it was read *exposed* (the value came from outside the
+//! segment — the reads that can violate cross-segment flow dependences), and
+//! when the first exposed read happened.
+
+use refidem_ir::memory::Addr;
+use std::collections::BTreeMap;
+
+/// One speculative-storage entry.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SpecEntry {
+    /// Latest value written or read into the entry.
+    pub value: f64,
+    /// The segment wrote this location (the entry is dirty and will be
+    /// committed).
+    pub written: bool,
+    /// The segment performed an exposed read of this location (the value
+    /// was consumed from an ancestor segment or from non-speculative
+    /// storage before any local write).
+    pub exposed_read: bool,
+    /// Time of the first exposed read (for diagnostics; any exposed read is
+    /// premature with respect to a later older-segment write).
+    pub first_read_time: u64,
+    /// Time of the most recent write (used to detect reads that execute
+    /// before an older segment's write in simulated time even though the
+    /// write was processed first).
+    pub last_write_time: u64,
+}
+
+/// A bounded, per-segment speculative storage buffer.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SpecBuffer {
+    entries: BTreeMap<Addr, SpecEntry>,
+    capacity: usize,
+    peak: usize,
+}
+
+impl SpecBuffer {
+    /// Creates an empty buffer with the given capacity (in entries).
+    pub fn new(capacity: usize) -> Self {
+        SpecBuffer {
+            entries: BTreeMap::new(),
+            capacity,
+            peak: 0,
+        }
+    }
+
+    /// Number of occupied entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entry is occupied.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Highest occupancy observed since the last clear.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// True when allocating one more (new) entry for `addr` would exceed the
+    /// capacity.
+    pub fn would_overflow(&self, addr: Addr) -> bool {
+        !self.entries.contains_key(&addr) && self.entries.len() >= self.capacity
+    }
+
+    /// Looks an entry up.
+    pub fn get(&self, addr: Addr) -> Option<&SpecEntry> {
+        self.entries.get(&addr)
+    }
+
+    /// True when the buffer holds a written (dirty) value for `addr`.
+    pub fn has_written(&self, addr: Addr) -> bool {
+        self.entries.get(&addr).map(|e| e.written).unwrap_or(false)
+    }
+
+    /// True when the buffer records an exposed read of `addr`.
+    pub fn has_exposed_read(&self, addr: Addr) -> bool {
+        self.entries
+            .get(&addr)
+            .map(|e| e.exposed_read)
+            .unwrap_or(false)
+    }
+
+    /// Records a write performed at time `now`. The caller must have handled
+    /// overflow beforehand (via [`SpecBuffer::would_overflow`]).
+    pub fn record_write(&mut self, addr: Addr, value: f64, now: u64) {
+        let entry = self.entries.entry(addr).or_default();
+        entry.value = value;
+        entry.written = true;
+        entry.last_write_time = now;
+        self.peak = self.peak.max(self.entries.len());
+    }
+
+    /// Records an exposed read that obtained `value` from outside the
+    /// segment at time `now`. The caller must have handled overflow
+    /// beforehand.
+    pub fn record_exposed_read(&mut self, addr: Addr, value: f64, now: u64) {
+        let entry = self.entries.entry(addr).or_default();
+        if !entry.exposed_read {
+            entry.exposed_read = true;
+            entry.first_read_time = now;
+        }
+        if !entry.written {
+            entry.value = value;
+        }
+        self.peak = self.peak.max(self.entries.len());
+    }
+
+    /// Values written by the segment, in address order (what a commit
+    /// transfers to non-speculative storage).
+    pub fn dirty_entries(&self) -> impl Iterator<Item = (Addr, f64)> + '_ {
+        self.entries
+            .iter()
+            .filter(|(_, e)| e.written)
+            .map(|(a, e)| (*a, e.value))
+    }
+
+    /// Number of dirty entries.
+    pub fn dirty_count(&self) -> usize {
+        self.entries.values().filter(|e| e.written).count()
+    }
+
+    /// Clears the buffer (roll-back or commit), keeping the capacity and
+    /// resetting the peak statistic.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.peak = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_exposed_reads_are_tracked_separately() {
+        let mut b = SpecBuffer::new(4);
+        b.record_exposed_read(Addr(10), 1.5, 7);
+        assert!(b.has_exposed_read(Addr(10)));
+        assert!(!b.has_written(Addr(10)));
+        assert_eq!(b.get(Addr(10)).unwrap().value, 1.5);
+        assert_eq!(b.get(Addr(10)).unwrap().first_read_time, 7);
+        // A later write to the same address marks it dirty but keeps the
+        // exposed-read flag (the premature read already happened).
+        b.record_write(Addr(10), 2.0, 8);
+        assert!(b.has_written(Addr(10)));
+        assert!(b.has_exposed_read(Addr(10)));
+        assert_eq!(b.get(Addr(10)).unwrap().value, 2.0);
+        assert_eq!(b.get(Addr(10)).unwrap().last_write_time, 8);
+        // A covered read (after a local write) does not set the exposed flag:
+        // the engine simply does not call record_exposed_read in that case.
+        assert_eq!(b.dirty_count(), 1);
+    }
+
+    #[test]
+    fn exposed_read_does_not_clobber_written_value() {
+        let mut b = SpecBuffer::new(4);
+        b.record_write(Addr(3), 9.0, 1);
+        b.record_exposed_read(Addr(3), 1.0, 2);
+        assert_eq!(b.get(Addr(3)).unwrap().value, 9.0);
+    }
+
+    #[test]
+    fn capacity_and_peak_tracking() {
+        let mut b = SpecBuffer::new(2);
+        assert!(!b.would_overflow(Addr(1)));
+        b.record_write(Addr(1), 1.0, 1);
+        b.record_write(Addr(2), 2.0, 2);
+        assert!(b.would_overflow(Addr(3)));
+        assert!(!b.would_overflow(Addr(1)), "existing entries never overflow");
+        assert_eq!(b.peak(), 2);
+        assert_eq!(b.len(), 2);
+        let dirty: Vec<_> = b.dirty_entries().collect();
+        assert_eq!(dirty, vec![(Addr(1), 1.0), (Addr(2), 2.0)]);
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.peak(), 0);
+        assert_eq!(b.capacity(), 2);
+    }
+
+    #[test]
+    fn first_read_time_is_preserved_across_repeated_reads() {
+        let mut b = SpecBuffer::new(4);
+        b.record_exposed_read(Addr(5), 1.0, 10);
+        b.record_exposed_read(Addr(5), 1.0, 99);
+        assert_eq!(b.get(Addr(5)).unwrap().first_read_time, 10);
+    }
+}

@@ -1,0 +1,38 @@
+//! Speculative-storage pressure study: how the HOSE/CASE gap grows as the
+//! per-processor speculative storage shrinks, on the MGRID `RESID_DO600`
+//! stencil (fully-independent) and the TOMCATV `MAIN_DO80` loop (read-only
+//! category).
+//!
+//! Run with `cargo run --release --example speculative_speedup`.
+
+use refidem::core::label::label_program_region;
+use refidem::specsim::{compare_modes, SimConfig};
+use refidem_benchmarks::suite::{mgrid, tomcatv};
+use refidem_benchmarks::LoopBenchmark;
+
+fn sweep(bench: &LoopBenchmark, capacities: &[usize]) {
+    println!("=== {} ===", bench.name);
+    println!(
+        "{:>10} {:>10} {:>10} {:>12} {:>12}",
+        "capacity", "HOSE spd", "CASE spd", "HOSE ovfl", "CASE ovfl"
+    );
+    let labeled = label_program_region(&bench.program, &bench.region).expect("analyzes");
+    for &cap in capacities {
+        let cfg = SimConfig::default().capacity(cap);
+        let cmp = compare_modes(&bench.program, &labeled, &cfg).expect("simulates");
+        println!(
+            "{:>10} {:>10.2} {:>10.2} {:>12} {:>12}",
+            cap,
+            cmp.hose_speedup(),
+            cmp.case_speedup(),
+            cmp.hose.overflow_stalls,
+            cmp.case.overflow_stalls
+        );
+    }
+    println!();
+}
+
+fn main() {
+    sweep(&mgrid::resid_do600(), &[8, 16, 32, 64, 128]);
+    sweep(&tomcatv::main_do80(), &[2, 4, 8, 16]);
+}

@@ -1,0 +1,46 @@
+//! # refidem — Reference Idempotency Analysis
+//!
+//! Facade crate for the reproduction of *"Reference Idempotency Analysis: A
+//! Framework for Optimizing Speculative Execution"* (Kim, Ooi, Eigenmann,
+//! Falsafi, Vijaykumar — PPoPP 2001).
+//!
+//! The workspace is organized as a stack of crates; this facade re-exports
+//! the public API of each layer so downstream users can depend on a single
+//! crate:
+//!
+//! * [`ir`] — the loop-oriented intermediate representation, program builder,
+//!   pretty printer and sequential interpreter.
+//! * [`analysis`] — dataflow, data-dependence, read-only and privatization
+//!   analyses (the prerequisites of Section 4.2.1 of the paper).
+//! * [`core`] — the paper's contribution: the region/segment model,
+//!   re-occurring-first-write analysis (Algorithm 1) and idempotency labeling
+//!   (Algorithm 2, Theorems 1–2).
+//! * [`specsim`] — the speculative execution substrate: HOSE (Definition 2)
+//!   and CASE (Definition 4) simulators with bounded speculative storage.
+//! * [`benchmarks`] — synthetic benchmark programs mirroring the paper's
+//!   evaluation suite, plus the worked examples of Figures 1–4.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use refidem::prelude::*;
+//!
+//! // Build the paper's Figure 4 loop (APPLU BUTS_DO1), label its references
+//! // and inspect the result.
+//! let bench = refidem::benchmarks::suite::applu::buts_do1();
+//! let labeled = label_program_region(&bench.program, &bench.region).expect("labeling");
+//! assert!(labeled.stats().idempotent_static > 0);
+//! ```
+pub use refidem_analysis as analysis;
+pub use refidem_benchmarks as benchmarks;
+pub use refidem_core as core;
+pub use refidem_ir as ir;
+pub use refidem_specsim as specsim;
+
+/// Commonly used items from every layer, re-exported for convenience.
+pub mod prelude {
+    pub use refidem_analysis::prelude::*;
+    pub use refidem_core::prelude::*;
+    pub use refidem_ir::prelude::*;
+    pub use refidem_specsim::prelude::*;
+}

@@ -1,0 +1,151 @@
+//! Cross-crate invariants of the labeling (Theorems 1 and 2, Lemma 3) checked
+//! over every region of every benchmark program.
+
+use refidem::analysis::{DepScope, VarClass};
+use refidem::core::label::{label_program_region, IdemCategory, Label};
+use refidem::core::rfw::rfw_for_loop_region;
+use refidem::ir::sites::AccessKind;
+use refidem_benchmarks::all_benchmarks;
+
+#[test]
+fn idempotent_references_are_never_cross_segment_sinks() {
+    // Lemma 3: the sink of a cross-segment dependence must be speculative.
+    for bench in all_benchmarks() {
+        for region in bench.regions() {
+            let labeled = label_program_region(&bench.program, &region).expect("analyzes");
+            if labeled.labeling.fully_independent {
+                continue;
+            }
+            for site in labeled.analysis.table.sites() {
+                if labeled.labeling.is_idempotent(site.id)
+                    && labeled.labeling.label(site.id).category()
+                        != Some(IdemCategory::Private)
+                {
+                    assert!(
+                        !labeled.analysis.deps.is_sink_of_cross_segment(site.id),
+                        "{} {}: idempotent reference {} is a cross-segment sink",
+                        bench.name,
+                        region.loop_label,
+                        site.id
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn idempotent_writes_are_rfw_and_reads_have_idempotent_intra_sources() {
+    // Theorems 1 and 2 (the "only if" directions, excluding the read-only /
+    // private / fully-independent special cases).
+    for bench in all_benchmarks() {
+        for region in bench.regions() {
+            let labeled = label_program_region(&bench.program, &region).expect("analyzes");
+            if labeled.labeling.fully_independent {
+                continue;
+            }
+            let rfw = rfw_for_loop_region(&labeled.analysis);
+            for site in labeled.analysis.table.sites() {
+                let label = labeled.labeling.label(site.id);
+                let Label::Idempotent(IdemCategory::SharedDependent) = label else {
+                    continue;
+                };
+                match site.access {
+                    AccessKind::Write => {
+                        assert!(
+                            rfw.contains(&site.id),
+                            "{} {}: shared-dependent write {} is not a RFW",
+                            bench.name,
+                            region.loop_label,
+                            site.id
+                        );
+                    }
+                    AccessKind::Read => {
+                        for dep in labeled.analysis.deps.deps_into(site.id) {
+                            assert_eq!(dep.scope, DepScope::IntraSegment);
+                            assert!(
+                                labeled.labeling.is_idempotent(dep.source),
+                                "{} {}: covered read {} has a speculative source {}",
+                                bench.name,
+                                region.loop_label,
+                                site.id,
+                                dep.source
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn category_labels_agree_with_the_variable_classification() {
+    for bench in all_benchmarks() {
+        for region in bench.regions() {
+            let labeled = label_program_region(&bench.program, &region).expect("analyzes");
+            if labeled.labeling.fully_independent {
+                // Lemma 7: everything idempotent.
+                assert!(labeled
+                    .labeling
+                    .iter()
+                    .all(|(_, l)| l == Label::Idempotent(IdemCategory::FullyIndependent)));
+                continue;
+            }
+            for site in labeled.analysis.table.sites() {
+                match labeled.labeling.label(site.id).category() {
+                    Some(IdemCategory::ReadOnly) => {
+                        assert_eq!(
+                            labeled.analysis.classes.class(site.var),
+                            VarClass::ReadOnly,
+                            "{} {}",
+                            bench.name,
+                            region.loop_label
+                        );
+                    }
+                    Some(IdemCategory::Private) => {
+                        assert_eq!(
+                            labeled.analysis.classes.class(site.var),
+                            VarClass::Private,
+                            "{} {}",
+                            bench.name,
+                            region.loop_label
+                        );
+                    }
+                    _ => {}
+                }
+            }
+            // Every reference to a read-only variable is labeled idempotent.
+            for site in labeled.analysis.table.sites() {
+                if labeled.analysis.classes.class(site.var) == VarClass::ReadOnly {
+                    assert!(labeled.labeling.is_idempotent(site.id));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn parallelizable_regions_are_a_superset_of_fully_independent_ones() {
+    let mut fully_independent = 0usize;
+    let mut parallelizable = 0usize;
+    for bench in all_benchmarks() {
+        for region in bench.regions() {
+            let labeled = label_program_region(&bench.program, &region).expect("analyzes");
+            if labeled.analysis.fully_independent {
+                fully_independent += 1;
+                assert!(
+                    labeled.analysis.compiler_parallelizable,
+                    "{} {}: fully independent but not parallelizable",
+                    bench.name,
+                    region.loop_label
+                );
+            }
+            if labeled.analysis.compiler_parallelizable {
+                parallelizable += 1;
+            }
+        }
+    }
+    assert!(fully_independent > 0);
+    assert!(parallelizable >= fully_independent);
+}

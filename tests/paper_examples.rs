@@ -1,0 +1,117 @@
+//! End-to-end checks of the paper's worked examples (Figures 1–4), driven
+//! through the facade crate exactly as a downstream user would.
+
+use refidem::core::label::{label_abstract_region, label_program_region, IdemCategory, Label};
+use refidem::core::model::SegmentId;
+use refidem::core::rfw::rfw_for_abstract;
+use refidem::ir::sites::AccessKind;
+use refidem_benchmarks::examples;
+
+#[test]
+fn figure1_introductory_example() {
+    let region = examples::figure1();
+    let labeling = label_abstract_region(&region);
+    let s1 = SegmentId(0);
+    let s2 = SegmentId(1);
+    // B read-only everywhere; C private to segment 2; the write to A in
+    // segment 1 idempotent; the read of A in segment 2 speculative.
+    assert_eq!(
+        labeling
+            .label(region.find_ref(s1, "B", AccessKind::Read).unwrap())
+            .category(),
+        Some(IdemCategory::ReadOnly)
+    );
+    assert_eq!(
+        labeling
+            .label(region.find_ref(s2, "C", AccessKind::Write).unwrap())
+            .category(),
+        Some(IdemCategory::Private)
+    );
+    assert!(labeling.is_idempotent(region.find_ref(s1, "A", AccessKind::Write).unwrap()));
+    assert_eq!(
+        labeling.label(region.find_ref(s2, "A", AccessKind::Read).unwrap()),
+        Label::Speculative
+    );
+}
+
+#[test]
+fn figure2_rfw_sets_and_labels() {
+    let region = examples::figure2();
+    let rfw = rfw_for_abstract(&region);
+    let labeling = label_abstract_region(&region);
+    let w = |seg: usize, var: &str| {
+        region
+            .find_ref(SegmentId(seg), var, AccessKind::Write)
+            .unwrap()
+    };
+    // RFW sets as stated in the paper.
+    let expected: &[(usize, &[&str])] = &[
+        (0, &["C", "N", "J"]),
+        (1, &["E", "J"]),
+        (2, &["A"]),
+        (3, &["A"]),
+        (4, &["F"]),
+    ];
+    for (seg, vars) in expected {
+        for var in *vars {
+            assert!(rfw.contains(&w(*seg, var)), "RFW(R{seg}) must contain {var}");
+        }
+    }
+    // J in R1 and F in R4 are RFW but not idempotent; the A writes are both.
+    assert_eq!(labeling.label(w(1, "J")), Label::Speculative);
+    assert_eq!(labeling.label(w(4, "F")), Label::Speculative);
+    assert!(labeling.is_idempotent(w(2, "A")));
+    assert!(labeling.is_idempotent(w(3, "A")));
+}
+
+#[test]
+fn figure3_coloring_via_rfw_sets() {
+    let region = examples::figure3();
+    let rfw = rfw_for_abstract(&region);
+    let w = |seg: usize, var: &str| {
+        region
+            .find_ref(SegmentId(seg), var, AccessKind::Write)
+            .unwrap()
+    };
+    // x: only the write in segment 1 is RFW; the writes in 6 and 7 are not.
+    assert!(rfw.contains(&w(0, "x")));
+    assert!(!rfw.contains(&w(5, "x")));
+    assert!(!rfw.contains(&w(6, "x")));
+    // y: every write is RFW.
+    for seg in [1usize, 2, 3, 4, 5] {
+        assert!(rfw.contains(&w(seg, "y")), "y write in segment {}", seg + 1);
+    }
+    // z: the write in segment 6 is not RFW.
+    assert!(!rfw.contains(&w(5, "z")));
+}
+
+#[test]
+fn figure4_buts_do1_labels_and_simulation() {
+    let bench = examples::figure4();
+    let labeled = label_program_region(&bench.program, &bench.region).expect("analyzes");
+    let proc = &bench.program.procedures[bench.region.proc.index()];
+    let v = proc.vars.lookup("v").unwrap();
+    let v_sites: Vec<_> = labeled
+        .analysis
+        .table
+        .sites()
+        .iter()
+        .filter(|s| s.var == v)
+        .collect();
+    // The S2 write stays speculative; the S1 reads are idempotent.
+    let writes: Vec<_> = v_sites
+        .iter()
+        .filter(|s| s.access == AccessKind::Write)
+        .collect();
+    assert_eq!(writes.len(), 1);
+    assert!(!labeled.labeling.is_idempotent(writes[0].id));
+    let idempotent_reads = v_sites
+        .iter()
+        .filter(|s| s.access == AccessKind::Read && labeled.labeling.is_idempotent(s.id))
+        .count();
+    assert!(idempotent_reads >= 3, "the three S1 reads are idempotent");
+    // The loop is not parallelizable but more than half of its references
+    // are idempotent.
+    assert!(!labeled.analysis.compiler_parallelizable);
+    assert!(labeled.stats().idempotent_fraction() > 0.5);
+}
