@@ -76,13 +76,15 @@ impl IndexBounds {
 
     /// Builds the bounds environment for a reference site: the region loop's
     /// index interval plus the site's enclosing inner loops.
-    pub fn for_site(
-        vars: &VarTable,
-        region: &LoopStmt,
-        site_loops: &[LoopContext],
-    ) -> IndexBounds {
+    pub fn for_site(vars: &VarTable, region: &LoopStmt, site_loops: &[LoopContext]) -> IndexBounds {
         let mut b = IndexBounds::new();
-        b.enter_loop(vars, region.index, &region.lower, &region.upper, region.step);
+        b.enter_loop(
+            vars,
+            region.index,
+            &region.lower,
+            &region.upper,
+            region.step,
+        );
         for l in site_loops {
             b.enter_loop(vars, l.index, &l.lower, &l.upper, l.step);
         }
@@ -104,11 +106,7 @@ pub fn constant_loop_bounds(vars: &VarTable, l: &LoopStmt) -> Option<(i64, i64)>
 
 /// Conservative maximum trip count of a loop within a bounds environment.
 /// Returns `None` when the bounds cannot be evaluated.
-pub fn max_trip_count(
-    vars: &VarTable,
-    bounds: &IndexBounds,
-    l: &LoopContext,
-) -> Option<usize> {
+pub fn max_trip_count(vars: &VarTable, bounds: &IndexBounds, l: &LoopContext) -> Option<usize> {
     let (llo, _lhi) = bounds.range(vars, &l.lower)?;
     let (_ulo, uhi) = bounds.range(vars, &l.upper)?;
     Some(LoopStmt::trip_count(llo, uhi, l.step))

@@ -226,7 +226,13 @@ enum LevelRelation {
 impl<'a> Tester<'a> {
     fn new(vars: &'a VarTable, region: &'a LoopStmt) -> Self {
         let mut region_bounds = IndexBounds::new();
-        region_bounds.enter_loop(vars, region.index, &region.lower, &region.upper, region.step);
+        region_bounds.enter_loop(
+            vars,
+            region.index,
+            &region.lower,
+            &region.upper,
+            region.step,
+        );
         Tester {
             vars,
             region,
@@ -324,10 +330,10 @@ impl<'a> Tester<'a> {
         let mut distance_var: Option<VarId> = None;
 
         // Region loop.
-        let (klo, khi) = self.region_bounds.get(self.region.index).unwrap_or((
-            i64::MIN / 4,
-            i64::MAX / 4,
-        ));
+        let (klo, khi) = self
+            .region_bounds
+            .get(self.region.index)
+            .unwrap_or((i64::MIN / 4, i64::MAX / 4));
         let max_trip = (khi - klo + 1).max(0) as usize;
         let relation = |lvl: usize| -> LevelRelation {
             use std::cmp::Ordering::*;
@@ -369,12 +375,16 @@ impl<'a> Tester<'a> {
         }
         // Non-common inner loops: always independent.
         for l in a.loops.iter().skip(common.len()) {
-            let (lo, hi) = bounds_a.get(l.index).unwrap_or((i64::MIN / 4, i64::MAX / 4));
+            let (lo, hi) = bounds_a
+                .get(l.index)
+                .unwrap_or((i64::MIN / 4, i64::MAX / 4));
             let meta = alloc.fresh(lo, hi);
             map_a.insert(l.index, AffineExpr::var(meta));
         }
         for l in b.loops.iter().skip(common.len()) {
-            let (lo, hi) = bounds_b.get(l.index).unwrap_or((i64::MIN / 4, i64::MAX / 4));
+            let (lo, hi) = bounds_b
+                .get(l.index)
+                .unwrap_or((i64::MIN / 4, i64::MAX / 4));
             let meta = alloc.fresh(lo, hi);
             map_b.insert(l.index, AffineExpr::var(meta));
         }
@@ -540,10 +550,7 @@ fn feasible(diff: &AffineExpr, bounds: &BTreeMap<VarId, (i64, i64)>) -> Feasibil
 
 /// Convenience: analyzes the dependences of a labeled region loop of a
 /// procedure (collecting the body's reference table internally).
-pub fn analyze_region_loop(
-    vars: &VarTable,
-    region: &LoopStmt,
-) -> (RefTable, DependenceSet) {
+pub fn analyze_region_loop(vars: &VarTable, region: &LoopStmt) -> (RefTable, DependenceSet) {
     let table = RefTable::collect(&region.body);
     let deps = DependenceSet::analyze(vars, region, &table);
     (table, deps)
@@ -558,7 +565,11 @@ pub fn dependence_to_string(table: &RefTable, vars: &VarTable, d: &Dependence) -
                 format!(
                     "{}{}({r})",
                     vars.name(s.var),
-                    if s.access == AccessKind::Write { "=w" } else { "=r" }
+                    if s.access == AccessKind::Write {
+                        "=w"
+                    } else {
+                        "=r"
+                    }
                 )
             })
             .unwrap_or_else(|| format!("{r}"))
@@ -681,10 +692,9 @@ mod tests {
             .find(|s| s.var == t && s.access == AccessKind::Read)
             .unwrap();
         // Intra-segment flow dependence t_write -> t_read.
-        assert!(deps
-            .deps_into(t_read.id)
-            .any(|d| d.kind == DepKind::Flow && d.scope == DepScope::IntraSegment
-                && d.source == t_write.id));
+        assert!(deps.deps_into(t_read.id).any(|d| d.kind == DepKind::Flow
+            && d.scope == DepScope::IntraSegment
+            && d.source == t_write.id));
         // The write is the sink of cross-segment anti and output deps.
         let kinds: Vec<DepKind> = deps
             .deps_into(t_write.id)
@@ -736,7 +746,9 @@ mod tests {
         let v_reads_s1: Vec<&RefSite> = table
             .sites()
             .iter()
-            .filter(|s| s.var == v && s.access == AccessKind::Read && s.loops.iter().any(|lc| lc.index == l))
+            .filter(|s| {
+                s.var == v && s.access == AccessKind::Read && s.loops.iter().any(|lc| lc.index == l)
+            })
             .collect();
         assert_eq!(v_reads_s1.len(), 3);
         for site in &v_reads_s1 {
@@ -786,10 +798,9 @@ mod tests {
         // In the descending loop, iteration k reads a(k+1) which was written
         // by iteration k+1 — an OLDER segment. So the read is the sink of a
         // cross-segment flow dependence.
-        assert!(deps
-            .deps_into(read.id)
-            .any(|d| d.kind == DepKind::Flow && d.scope == DepScope::CrossSegment
-                && d.source == write.id));
+        assert!(deps.deps_into(read.id).any(|d| d.kind == DepKind::Flow
+            && d.scope == DepScope::CrossSegment
+            && d.source == write.id));
         // And the write is NOT the sink of a cross-segment anti dependence.
         assert!(!deps
             .deps_into(write.id)
@@ -879,7 +890,10 @@ mod tests {
             .iter()
             .find(|s| s.var == a && s.access == AccessKind::Read)
             .unwrap();
-        assert!(!deps.is_sink_of_any(read.id), "even/odd elements never alias");
+        assert!(
+            !deps.is_sink_of_any(read.id),
+            "even/odd elements never alias"
+        );
     }
 
     #[test]

@@ -91,7 +91,10 @@ pub struct VarSummary {
 }
 
 impl VarSummary {
-    fn new() -> Self {
+    /// A summary with no facts yet: vacuously all-precise until an
+    /// imprecise reference is recorded (NOT the `Default`, which is the
+    /// conservative all-false answer for unseen variables).
+    fn fresh() -> Self {
         VarSummary {
             all_precise: true,
             ..Default::default()
@@ -169,7 +172,7 @@ impl BodySummary {
         // final must-location sets.
         let mut per_var = walker.facts;
         for (v, flow) in &walker.flow {
-            let entry = per_var.entry(*v).or_insert_with(VarSummary::new);
+            let entry = per_var.entry(*v).or_insert_with(VarSummary::fresh);
             entry.must_written = flow.must_written;
             for w in &mut entry.writes {
                 if let Some(Some(loc)) = walker.write_locs.get(&w.id) {
@@ -277,7 +280,7 @@ impl Walker<'_> {
     }
 
     fn facts_entry(&mut self, v: VarId) -> &mut VarSummary {
-        self.facts.entry(v).or_insert_with(VarSummary::new)
+        self.facts.entry(v).or_insert_with(VarSummary::fresh)
     }
 
     fn record_read_flat(&mut self, r: &Reference) {

@@ -1,14 +1,14 @@
-//! Criterion benchmarks of the compiler-side analyses: dependence analysis,
-//! RFW analysis (Algorithm 1) and idempotency labeling (Algorithm 2).
+//! Benchmarks of the compiler-side analyses: dependence analysis, RFW
+//! analysis (Algorithm 1) and idempotency labeling (Algorithm 2).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use refidem_analysis::region::RegionAnalysis;
+use refidem_bench::microbench::Harness;
 use refidem_benchmarks::{all_named_loops, examples};
 use refidem_core::label::{label_abstract_region, label_region};
 use refidem_core::rfw::rfw_for_abstract;
 use std::hint::black_box;
 
-fn bench_region_analysis(c: &mut Criterion) {
+fn bench_region_analysis(c: &mut Harness) {
     let mut group = c.benchmark_group("region_analysis");
     for bench in all_named_loops() {
         group.bench_function(bench.name, |b| {
@@ -23,7 +23,7 @@ fn bench_region_analysis(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_labeling(c: &mut Criterion) {
+fn bench_labeling(c: &mut Harness) {
     let mut group = c.benchmark_group("labeling");
     for bench in all_named_loops() {
         let analysis = RegionAnalysis::analyze(&bench.program, &bench.region).expect("analyzes");
@@ -37,7 +37,7 @@ fn bench_labeling(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_algorithm1_on_paper_examples(c: &mut Criterion) {
+fn bench_algorithm1_on_paper_examples(c: &mut Harness) {
     let mut group = c.benchmark_group("algorithm1");
     let fig2 = examples::figure2();
     let fig3 = examples::figure3();
@@ -48,15 +48,19 @@ fn bench_algorithm1_on_paper_examples(c: &mut Criterion) {
         b.iter(|| black_box(rfw_for_abstract(black_box(&fig3))).len())
     });
     group.bench_function("figure2_label", |b| {
-        b.iter(|| black_box(label_abstract_region(black_box(&fig2))).stats().idempotent_static)
+        b.iter(|| {
+            black_box(label_abstract_region(black_box(&fig2)))
+                .stats()
+                .idempotent_static
+        })
     });
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_region_analysis,
-    bench_labeling,
-    bench_algorithm1_on_paper_examples
-);
-criterion_main!(benches);
+fn main() {
+    let mut c = Harness::default().sample_size(20);
+    bench_region_analysis(&mut c);
+    bench_labeling(&mut c);
+    bench_algorithm1_on_paper_examples(&mut c);
+    c.finish();
+}

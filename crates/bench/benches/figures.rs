@@ -1,9 +1,9 @@
-//! Criterion benchmarks that regenerate the paper's figures end-to-end —
-//! one benchmark per figure (Figure 5 through Figure 9). The measured value
-//! is the harness runtime; the figure rows themselves are printed by the
+//! Benchmarks that regenerate the paper's figures end-to-end — one
+//! benchmark per figure (Figure 5 through Figure 9). The measured value is
+//! the harness runtime; the figure rows themselves are printed by the
 //! `figure5` … `figure9` binaries and recorded in `EXPERIMENTS.md`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use refidem_bench::microbench::Harness;
 use refidem_bench::{
     compute_figure5, compute_loop_figure, figure6_config, figure7_config, figure8_config,
     figure9_config,
@@ -11,7 +11,8 @@ use refidem_bench::{
 use refidem_benchmarks::{figure6_loops, figure7_loops, figure8_loops, figure9_loops};
 use std::hint::black_box;
 
-fn figure_benches(c: &mut Criterion) {
+fn main() {
+    let mut c = Harness::default().sample_size(10);
     let mut group = c.benchmark_group("figures");
     group.bench_function("figure5_all_benchmarks", |b| {
         b.iter(|| black_box(compute_figure5()).len())
@@ -29,11 +30,5 @@ fn figure_benches(c: &mut Criterion) {
         b.iter(|| black_box(compute_loop_figure(&figure9_loops(), &figure9_config())).len())
     });
     group.finish();
+    c.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = figure_benches
-}
-criterion_main!(benches);

@@ -1,8 +1,8 @@
-//! Criterion benchmarks of the speculative-execution simulator: HOSE vs
-//! CASE on one representative loop per idempotency category, plus the
-//! sequential baseline.
+//! Benchmarks of the speculative-execution simulator: HOSE vs CASE on one
+//! representative loop per idempotency category, plus the sequential
+//! baseline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use refidem_bench::microbench::Harness;
 use refidem_bench::{figure6_config, figure7_config, figure8_config, figure9_config};
 use refidem_benchmarks::suite::{applu, mgrid, tomcatv, turb3d};
 use refidem_benchmarks::LoopBenchmark;
@@ -10,7 +10,7 @@ use refidem_core::label::label_program_region;
 use refidem_specsim::{run_sequential, simulate_region, ExecMode, SimConfig};
 use std::hint::black_box;
 
-fn bench_loop(c: &mut Criterion, group_name: &str, bench: &LoopBenchmark, cfg: &SimConfig) {
+fn bench_loop(c: &mut Harness, group_name: &str, bench: &LoopBenchmark, cfg: &SimConfig) {
     let labeled = label_program_region(&bench.program, &bench.region).expect("analyzes");
     let mut group = c.benchmark_group(group_name);
     group.bench_function("sequential", |b| {
@@ -36,16 +36,31 @@ fn bench_loop(c: &mut Criterion, group_name: &str, bench: &LoopBenchmark, cfg: &
     group.finish();
 }
 
-fn simulator_benches(c: &mut Criterion) {
-    bench_loop(c, "sim_readonly_tomcatv_do80", &tomcatv::main_do80(), &figure6_config());
-    bench_loop(c, "sim_private_turb3d_drcft", &turb3d::drcft_do2(), &figure7_config());
-    bench_loop(c, "sim_shared_applu_buts", &applu::buts_do1(), &figure8_config());
-    bench_loop(c, "sim_fullyindep_mgrid_resid", &mgrid::resid_do600(), &figure9_config());
+fn main() {
+    let mut c = Harness::default().sample_size(20);
+    bench_loop(
+        &mut c,
+        "sim_readonly_tomcatv_do80",
+        &tomcatv::main_do80(),
+        &figure6_config(),
+    );
+    bench_loop(
+        &mut c,
+        "sim_private_turb3d_drcft",
+        &turb3d::drcft_do2(),
+        &figure7_config(),
+    );
+    bench_loop(
+        &mut c,
+        "sim_shared_applu_buts",
+        &applu::buts_do1(),
+        &figure8_config(),
+    );
+    bench_loop(
+        &mut c,
+        "sim_fullyindep_mgrid_resid",
+        &mgrid::resid_do600(),
+        &figure9_config(),
+    );
+    c.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = simulator_benches
-}
-criterion_main!(benches);

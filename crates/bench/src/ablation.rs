@@ -113,8 +113,8 @@ pub fn label_category_ablation(bench: &LoopBenchmark, cfg: &SimConfig) -> Vec<Ab
     ] {
         let mut restricted = labeled.clone();
         restricted.labeling = restrict_labeling(&labeled.labeling, Some(cat));
-        let case = simulate_region(&bench.program, &restricted, ExecMode::Case, cfg)
-            .expect("simulation");
+        let case =
+            simulate_region(&bench.program, &restricted, ExecMode::Case, cfg).expect("simulation");
         rows.push(AblationRow {
             parameter: "labels".to_string(),
             value: format!("{cat}"),

@@ -9,11 +9,11 @@
 //! scoped threads.
 
 use crate::configs::figure5_config;
-use parking_lot::Mutex;
 use refidem_benchmarks::{all_benchmarks, Benchmark};
 use refidem_core::label::{label_program_region, IdemCategory};
 use refidem_core::stats::DynLabelStats;
 use refidem_specsim::run_sequential;
+use std::sync::Mutex;
 
 /// One row of Figure 5.
 #[derive(Clone, Debug, PartialEq)]
@@ -76,11 +76,15 @@ pub fn compute_figure5() -> Vec<Figure5Row> {
             let rows = &rows;
             scope.spawn(move || {
                 let row = compute_benchmark_row(bench);
-                rows.lock()[i] = Some(row);
+                rows.lock().expect("figure5 row lock")[i] = Some(row);
             });
         }
     });
-    rows.into_inner().into_iter().flatten().collect()
+    rows.into_inner()
+        .expect("figure5 row lock")
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 #[cfg(test)]
@@ -96,7 +100,10 @@ mod tests {
         // references at all.
         for name in ["SWIM", "TRFD", "ARC2D"] {
             let row = get(name);
-            assert_eq!(row.total_refs, 0, "{name} must have no speculative sections");
+            assert_eq!(
+                row.total_refs, 0,
+                "{name} must have no speculative sections"
+            );
         }
         // FPPPP is unstructured: its idempotent fraction is the lowest of
         // the benchmarks that do have non-parallelizable sections.
@@ -122,8 +129,14 @@ mod tests {
             "at least 6 benchmarks should exceed 60% idempotent references, got {over_60}"
         );
         // Read-only is the largest category overall.
-        let total_ro: f64 = rows.iter().map(|r| r.read_only_fraction * r.total_refs as f64).sum();
-        let total_priv: f64 = rows.iter().map(|r| r.private_fraction * r.total_refs as f64).sum();
+        let total_ro: f64 = rows
+            .iter()
+            .map(|r| r.read_only_fraction * r.total_refs as f64)
+            .sum();
+        let total_priv: f64 = rows
+            .iter()
+            .map(|r| r.private_fraction * r.total_refs as f64)
+            .sum();
         let total_sd: f64 = rows
             .iter()
             .map(|r| r.shared_dependent_fraction * r.total_refs as f64)

@@ -8,7 +8,6 @@
 //! * panel (b): the loop speedups of HOSE and CASE over a one-processor,
 //!   non-speculative execution, from the `refidem-specsim` simulator.
 
-use crossbeam::thread;
 use refidem_benchmarks::LoopBenchmark;
 use refidem_core::label::{label_program_region, IdemCategory, LabeledRegion};
 use refidem_specsim::{compare_modes, run_sequential, SimConfig, SpeedupComparison};
@@ -69,17 +68,16 @@ pub fn compute_loop_row(bench: &LoopBenchmark, cfg: &SimConfig) -> LoopFigureRow
 
 /// Computes a whole per-loop figure, processing the loops in parallel.
 pub fn compute_loop_figure(loops: &[LoopBenchmark], cfg: &SimConfig) -> Vec<LoopFigureRow> {
-    thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = loops
             .iter()
-            .map(|bench| scope.spawn(move |_| compute_loop_row(bench, cfg)))
+            .map(|bench| scope.spawn(move || compute_loop_row(bench, cfg)))
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("loop row computation panicked"))
             .collect()
     })
-    .expect("scoped threads")
 }
 
 #[cfg(test)]
@@ -106,7 +104,11 @@ mod tests {
                 row.case_speedup,
                 row.hose_speedup
             );
-            assert!(row.case_speedup > 1.0, "{}: CASE must beat sequential", row.name);
+            assert!(
+                row.case_speedup > 1.0,
+                "{}: CASE must beat sequential",
+                row.name
+            );
         }
     }
 

@@ -24,6 +24,7 @@ pub mod ablation;
 pub mod configs;
 pub mod fig5;
 pub mod figloops;
+pub mod microbench;
 pub mod tables;
 
 pub use ablation::{capacity_sweep, label_category_ablation, processor_sweep, AblationRow};

@@ -1,0 +1,158 @@
+//! A minimal, dependency-free micro-benchmark harness.
+//!
+//! The environment this repository builds in has no network access, so the
+//! usual Criterion dependency is unavailable; this module provides the small
+//! subset the `benches/` targets need: named benchmark groups, a
+//! [`Bencher::iter`] measurement loop, and a median-of-samples report
+//! printed as a plain-text table. The bench targets are compiled with
+//! `harness = false` and call [`Harness::finish`] from their `main`.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Measurement loop handed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, recording one duration per sample. Each sample
+    /// executes enough iterations to amortize timer overhead.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up and iteration-count calibration: aim for samples of at
+        // least ~1ms, but never more than 1024 iterations per sample.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed();
+        let iters = if once >= Duration::from_millis(1) {
+            1
+        } else {
+            let target = Duration::from_millis(1).as_nanos();
+            let per = once.as_nanos().max(1);
+            ((target / per) as usize).clamp(1, 1024)
+        };
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples.push(start.elapsed() / iters as u32);
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.sort();
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+/// A named group of benchmarks, reported together.
+pub struct Group<'h> {
+    harness: &'h mut Harness,
+    name: String,
+}
+
+impl Group<'_> {
+    /// Measures one benchmark and records its median sample.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl AsRef<str>, mut f: F) {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.harness.sample_size,
+        };
+        f(&mut bencher);
+        let median = bencher.median();
+        println!(
+            "{:<48} {:>14}",
+            format!("{}/{}", self.name, name.as_ref()),
+            format_duration(median)
+        );
+        self.harness
+            .results
+            .push((format!("{}/{}", self.name, name.as_ref()), median));
+    }
+
+    /// Ends the group (kept for call-site parity with Criterion).
+    pub fn finish(self) {}
+}
+
+/// Top-level harness: owns the sample size and the accumulated results.
+pub struct Harness {
+    sample_size: usize,
+    results: Vec<(String, Duration)>,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Harness {
+            sample_size: 10,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Harness {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> Group<'_> {
+        Group {
+            name: name.into(),
+            harness: self,
+        }
+    }
+
+    /// Prints the summary footer. Call at the end of `main`.
+    pub fn finish(self) {
+        println!("\n{} benchmarks measured", self.results.len());
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_measures_and_reports() {
+        let mut h = Harness::default().sample_size(3);
+        let mut group = h.benchmark_group("g");
+        let mut count = 0u64;
+        group.bench_function("busy", |b| {
+            b.iter(|| {
+                count += 1;
+                std::hint::black_box(count)
+            })
+        });
+        group.finish();
+        assert_eq!(h.results.len(), 1);
+        assert!(count >= 3, "closure ran at least once per sample");
+    }
+
+    #[test]
+    fn duration_formatting_covers_all_scales() {
+        assert_eq!(format_duration(Duration::from_nanos(5)), "5 ns");
+        assert_eq!(format_duration(Duration::from_micros(2)), "2.000 µs");
+        assert_eq!(format_duration(Duration::from_millis(2)), "2.000 ms");
+        assert_eq!(format_duration(Duration::from_secs(2)), "2.000 s");
+    }
+}

@@ -84,7 +84,12 @@ pub fn render_ablation(title: &str, rows: &[AblationRow]) -> String {
         let _ = writeln!(
             out,
             "{:<12} {:>10} {:>10.2} {:>10.2} {:>11} {:>11}",
-            r.parameter, r.value, r.hose_speedup, r.case_speedup, r.hose_overflows, r.case_overflows
+            r.parameter,
+            r.value,
+            r.hose_speedup,
+            r.case_speedup,
+            r.hose_overflows,
+            r.case_overflows
         );
     }
     out

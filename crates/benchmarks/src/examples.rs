@@ -185,7 +185,14 @@ mod tests {
         let w = |seg, var| r.find_ref(seg, var, AccessKind::Write).unwrap();
         let rd = |seg, var| r.find_ref(seg, var, AccessKind::Read).unwrap();
         // RFW references that are idempotent.
-        for (seg, var) in [(r0, "C"), (r0, "N"), (r0, "J"), (r1, "E"), (r2, "A"), (r3, "A")] {
+        for (seg, var) in [
+            (r0, "C"),
+            (r0, "N"),
+            (r0, "J"),
+            (r1, "E"),
+            (r2, "A"),
+            (r3, "A"),
+        ] {
             assert!(
                 labeling.is_idempotent(w(seg, var)),
                 "write to {var} in segment {} must be idempotent",

@@ -164,7 +164,7 @@ pub fn private_chain_loop(
     body.push(b.assign_elem(dst, vec![av(k)], rhs_dst));
     let rhs_last = b.load(t_last);
     body.push(b.assign_scalar(shared_last, rhs_last));
-    b.do_loop_labeled(label, k, ac(1), ac(n), vec![body].into_iter().flatten().collect())
+    b.do_loop_labeled(label, k, ac(1), ac(n), body)
 }
 
 /// A first-write loop over a two-dimensional shared array, together with an
@@ -228,7 +228,10 @@ pub fn reduction_loop(
     let k = b.index(&format!("k_{label}"));
     let rhs = add(
         b.load(acc),
-        mul(b.load_elem(src, vec![av(k)]), b.load_elem(weight, vec![av(k)])),
+        mul(
+            b.load_elem(src, vec![av(k)]),
+            b.load_elem(weight, vec![av(k)]),
+        ),
     );
     let s = b.assign_scalar(acc, rhs);
     b.do_loop_labeled(label, k, ac(1), ac(n), vec![s])
@@ -318,13 +321,7 @@ pub fn scalar_tangle_loop(
 ///   end do
 /// end do
 /// ```
-pub fn stencil2d_loop(
-    b: &mut ProcBuilder,
-    label: &str,
-    r: VarId,
-    u: VarId,
-    n: i64,
-) -> Stmt {
+pub fn stencil2d_loop(b: &mut ProcBuilder, label: &str, r: VarId, u: VarId, n: i64) -> Stmt {
     let k = b.index(&format!("k_{label}"));
     let j = b.index(&format!("j_{label}"));
     let rhs = sub(

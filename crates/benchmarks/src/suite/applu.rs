@@ -91,7 +91,11 @@ mod tests {
         let p = build_program();
         let buts = label_program_region_by_name(&p, "BUTS_DO1").unwrap();
         assert!(!buts.analysis.compiler_parallelizable);
-        assert!(buts.stats().category_fraction(IdemCategory::SharedDependent) > 0.2);
+        assert!(
+            buts.stats()
+                .category_fraction(IdemCategory::SharedDependent)
+                > 0.2
+        );
         let setbv = label_program_region_by_name(&p, "SETBV_DO2").unwrap();
         assert!(!setbv.analysis.compiler_parallelizable);
         assert!(setbv.stats().category_fraction(IdemCategory::Private) > 0.4);

@@ -28,8 +28,15 @@ fn build_program() -> Program {
     let work = b.array("work", &[48]);
     b.live_out(&[psi, psin, phi, phin, work]);
 
-    let l_120 =
-        readonly_rich_loop(&mut b, "PARMVR_DO120", psin, psi, &[e1, e2, e3, e4], 48, 0.3);
+    let l_120 = readonly_rich_loop(
+        &mut b,
+        "PARMVR_DO120",
+        psin,
+        psi,
+        &[e1, e2, e3, e4],
+        48,
+        0.3,
+    );
     let l_140 = readonly_rich_loop(
         &mut b,
         "PARMVR_DO140",

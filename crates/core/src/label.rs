@@ -22,7 +22,7 @@ use crate::model::AbstractRegion;
 use crate::rfw::{rfw_for_abstract, rfw_for_loop_region};
 use crate::stats::{DynLabelStats, LabelStats};
 use refidem_analysis::classify::VarClass;
-use refidem_analysis::depend::{DepScope, DependenceSet};
+use refidem_analysis::depend::{DepKind, DepScope, DependenceSet};
 use refidem_analysis::region::{AnalysisError, RegionAnalysis};
 use refidem_ir::exec::DynCounts;
 use refidem_ir::ids::{RefId, VarId};
@@ -169,6 +169,16 @@ impl Labeling {
         }
     }
 
+    /// Forcibly overrides one site's label, clearing the fully-independent
+    /// fast path. Unlike [`Labeling::retain_idempotent`], promoting a
+    /// speculative reference to idempotent is **unsound** — this hook exists
+    /// for fault-injection testing (`refidem-testkit` corrupts labelings to
+    /// prove its differential runner and shrinker detect bad labels).
+    pub fn override_label(&mut self, r: RefId, label: Label) {
+        self.fully_independent = false;
+        self.labels.insert(r, label);
+    }
+
     /// Static labeling statistics (per syntactic reference site).
     pub fn stats(&self) -> LabelStats {
         let mut stats = LabelStats::default();
@@ -242,12 +252,31 @@ pub fn label_refs(input: &LabelInput) -> Labeling {
         }
     }
     // RFW writes that are not sinks of cross-segment dependences
-    // (Theorem 1).
+    // (Theorem 1). One refinement the bounded-storage execution model
+    // forces: a speculative write is buffered and only reaches
+    // non-speculative storage at segment commit, while an idempotent write
+    // goes through immediately — so if an *earlier* write in the same
+    // segment may alias this one and stays speculative, labeling this one
+    // idempotent would invert their program order at commit. Mirroring
+    // Theorem 2's condition for reads, every intra-segment output source
+    // must itself be idempotent. (Sites are visited in program order and
+    // intra-segment sources precede their sinks, so the source's final
+    // label is already decided.)
     for s in &input.sites {
         if s.access != AccessKind::Write || labels[&s.id].is_idempotent() {
             continue;
         }
-        if input.rfw.contains(&s.id) && !input.deps.is_sink_of_cross_segment(s.id) {
+        if input.rfw.contains(&s.id)
+            && !input.deps.is_sink_of_cross_segment(s.id)
+            && input.deps.deps_into(s.id).all(|d| {
+                d.scope != DepScope::IntraSegment
+                    || d.kind != DepKind::Output
+                    || labels
+                        .get(&d.source)
+                        .map(Label::is_idempotent)
+                        .unwrap_or(false)
+            })
+        {
             labels.insert(s.id, Label::Idempotent(IdemCategory::SharedDependent));
         }
     }
@@ -417,8 +446,14 @@ mod tests {
         let s1 = SegmentId(0);
         let s2 = SegmentId(1);
         // All references to B are idempotent (read-only).
-        for (_, ar) in r.all_refs().filter(|(_, ar)| ar.var == r.var_id("B").unwrap()) {
-            assert_eq!(labeling.label(ar.id), Label::Idempotent(IdemCategory::ReadOnly));
+        for (_, ar) in r
+            .all_refs()
+            .filter(|(_, ar)| ar.var == r.var_id("B").unwrap())
+        {
+            assert_eq!(
+                labeling.label(ar.id),
+                Label::Idempotent(IdemCategory::ReadOnly)
+            );
         }
         // The first write to A in segment 1 is idempotent (RFW, no previous
         // program-order references to A in the segment).
@@ -434,8 +469,14 @@ mod tests {
         // C is private to segment 2: all its references are idempotent.
         let c_write = r.find_ref(s2, "C", AccessKind::Write).unwrap();
         let c_read = r.find_ref(s2, "C", AccessKind::Read).unwrap();
-        assert_eq!(labeling.label(c_write), Label::Idempotent(IdemCategory::Private));
-        assert_eq!(labeling.label(c_read), Label::Idempotent(IdemCategory::Private));
+        assert_eq!(
+            labeling.label(c_write),
+            Label::Idempotent(IdemCategory::Private)
+        );
+        assert_eq!(
+            labeling.label(c_read),
+            Label::Idempotent(IdemCategory::Private)
+        );
         // Statistics: 7 references, 6 idempotent.
         let stats = labeling.stats();
         assert_eq!(stats.total_static, 7);
@@ -522,6 +563,46 @@ mod tests {
         assert_eq!(stats.idempotent_static, 2);
         assert_eq!(stats.speculative_static, 2);
         assert!(!labeled.labeling.fully_independent);
+    }
+
+    #[test]
+    fn rfw_write_after_speculative_aliasing_write_stays_speculative() {
+        // Found by refidem-testkit's differential runner (seed 230) and
+        // minimized by its shrinker:
+        //   do k = 0, 1:  a(k+1) = 1.5 ; a(2k+1) = 0.5
+        // Both writes hit a(1) at k = 0. The first write is speculative (a
+        // cross-segment output sink), so the second — although RFW and not
+        // a cross-segment sink — must not be idempotent: its write-through
+        // would be overwritten by the first write's buffered value at
+        // segment commit, inverting intra-segment program order.
+        let mut b = ProcBuilder::new("repro");
+        let a = b.array("a", &[3]);
+        let k = b.index("k");
+        b.live_out(&[a]);
+        let st0 = b.assign_elem(a, vec![av(k) + ac(1)], num(1.5));
+        let w0 = match &st0 {
+            refidem_ir::stmt::Stmt::Assign(asg) => asg.lhs.id,
+            _ => unreachable!(),
+        };
+        let st1 = b.assign_elem(
+            a,
+            vec![refidem_ir::affine::AffineExpr::scaled_var(k, 2) + ac(1)],
+            num(0.5),
+        );
+        let w1 = match &st1 {
+            refidem_ir::stmt::Stmt::Assign(asg) => asg.lhs.id,
+            _ => unreachable!(),
+        };
+        let region = b.do_loop_labeled("R", k, ac(0), ac(1), vec![st0, st1]);
+        let mut program = refidem_ir::program::Program::new("repro");
+        program.add_procedure(b.build(vec![region]));
+        let labeled = label_program_region_by_name(&program, "R").unwrap();
+        assert_eq!(labeled.labeling.label(w0), Label::Speculative);
+        assert_eq!(
+            labeled.labeling.label(w1),
+            Label::Speculative,
+            "an RFW write after a speculative may-aliasing write must stay speculative"
+        );
     }
 
     #[test]

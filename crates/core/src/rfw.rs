@@ -73,7 +73,11 @@ impl RfwColoring {
 /// `successors[s]` lists the control-flow successors of segment `s`;
 /// `usize::MAX` denotes the virtual exit node. Segments with no successors
 /// implicitly fall through to the exit.
-pub fn color_graph(types: &[NodeType], successors: &[Vec<usize>], exit_type: NodeType) -> RfwColoring {
+pub fn color_graph(
+    types: &[NodeType],
+    successors: &[Vec<usize>],
+    exit_type: NodeType,
+) -> RfwColoring {
     let n = types.len();
     let exit = usize::MAX;
     let succ = |v: usize| -> Vec<usize> {
@@ -263,7 +267,7 @@ mod tests {
         r.edge(s[3], s[5]); // 4 -> 6
         r.edge(s[4], s[5]); // 5 -> 6
         r.edge(s[5], s[6]); // 6 -> 7
-        // Segment contents.
+                            // Segment contents.
         r.write(s[0], "x"); // 1: x = ...
         r.read(s[1], "z"); // 2: ... = z
         r.write(s[1], "y"); //    y = ...
@@ -329,9 +333,7 @@ mod tests {
     fn figure3_rfw_reference_set() {
         let r = figure3_region();
         let rfw = rfw_for_abstract(&r);
-        let w = |seg: usize, var: &str| {
-            r.find_ref(SegmentId(seg), var, AccessKind::Write).unwrap()
-        };
+        let w = |seg: usize, var: &str| r.find_ref(SegmentId(seg), var, AccessKind::Write).unwrap();
         // x: only the write in segment 1.
         assert!(rfw.contains(&w(0, "x")));
         assert!(!rfw.contains(&w(5, "x")));

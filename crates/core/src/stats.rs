@@ -133,6 +133,9 @@ mod tests {
         assert_eq!(a.by_category[&IdemCategory::ReadOnly], 65);
         assert!((a.fraction_of(IdemCategory::SharedDependent) - 5.0 / 150.0).abs() < 1e-12);
         assert_eq!(DynLabelStats::default().fraction_idempotent(), 0.0);
-        assert_eq!(DynLabelStats::default().fraction_of(IdemCategory::Private), 0.0);
+        assert_eq!(
+            DynLabelStats::default().fraction_of(IdemCategory::Private),
+            0.0
+        );
     }
 }

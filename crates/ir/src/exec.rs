@@ -255,11 +255,7 @@ impl<'p> SegmentExec<'p> {
         Ok(acc)
     }
 
-    fn address_of(
-        &self,
-        r: &Reference,
-        store: &mut impl DataStore,
-    ) -> Result<Addr, ExecError> {
+    fn address_of(&self, r: &Reference, store: &mut impl DataStore) -> Result<Addr, ExecError> {
         if r.subs.is_empty() {
             return Ok(self.layout.scalar(r.var));
         }

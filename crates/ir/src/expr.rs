@@ -130,10 +130,13 @@ impl Reference {
         if self.var != other.var || self.subs.len() != other.subs.len() {
             return false;
         }
-        self.subs.iter().zip(&other.subs).all(|(a, b)| match (a, b) {
-            (Subscript::Affine(x), Subscript::Affine(y)) => x == y,
-            _ => false,
-        })
+        self.subs
+            .iter()
+            .zip(&other.subs)
+            .all(|(a, b)| match (a, b) {
+                (Subscript::Affine(x), Subscript::Affine(y)) => x == y,
+                _ => false,
+            })
     }
 }
 
@@ -240,7 +243,9 @@ mod tests {
         let c = Reference {
             id: RefId(8),
             var: VarId(1),
-            subs: vec![Subscript::Affine(AffineExpr::var(k) + AffineExpr::constant(1))],
+            subs: vec![Subscript::Affine(
+                AffineExpr::var(k) + AffineExpr::constant(1),
+            )],
         };
         assert!(a.same_location_syntactic(&b));
         assert!(!a.same_location_syntactic(&c));

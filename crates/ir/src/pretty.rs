@@ -187,10 +187,27 @@ pub fn expr_to_string(vars: &VarTable, e: &Expr) -> String {
                 BinOp::Sub => "-",
                 BinOp::Mul => "*",
                 BinOp::Div => "/",
-                BinOp::Min => return format!("min({}, {})", expr_to_string(vars, a), expr_to_string(vars, b)),
-                BinOp::Max => return format!("max({}, {})", expr_to_string(vars, a), expr_to_string(vars, b)),
+                BinOp::Min => {
+                    return format!(
+                        "min({}, {})",
+                        expr_to_string(vars, a),
+                        expr_to_string(vars, b)
+                    )
+                }
+                BinOp::Max => {
+                    return format!(
+                        "max({}, {})",
+                        expr_to_string(vars, a),
+                        expr_to_string(vars, b)
+                    )
+                }
             };
-            format!("({} {} {})", expr_to_string(vars, a), sym, expr_to_string(vars, b))
+            format!(
+                "({} {} {})",
+                expr_to_string(vars, a),
+                sym,
+                expr_to_string(vars, b)
+            )
         }
         Expr::Cmp(op, a, b) => {
             let sym = match op {
@@ -201,7 +218,12 @@ pub fn expr_to_string(vars: &VarTable, e: &Expr) -> String {
                 CmpOp::Gt => ".gt.",
                 CmpOp::Ge => ".ge.",
             };
-            format!("({} {} {})", expr_to_string(vars, a), sym, expr_to_string(vars, b))
+            format!(
+                "({} {} {})",
+                expr_to_string(vars, a),
+                sym,
+                expr_to_string(vars, b)
+            )
         }
     }
 }

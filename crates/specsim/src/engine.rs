@@ -88,6 +88,7 @@ pub(crate) struct Engine<'p> {
 
 impl<'p> Engine<'p> {
     /// Creates an engine for one region execution.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         cfg: &'p SimConfig,
         mode: ExecMode,
@@ -150,16 +151,16 @@ impl<'p> Engine<'p> {
             // the committed values do not become visible "in the past" of a
             // segment that has not executed up to that point yet.
             if let Some(p) = self.slot_of(self.head) {
-                let (done, finish) = self
-                    .slots[p]
+                let (done, finish) = self.slots[p]
                     .as_ref()
                     .map(|s| (s.done, s.clock))
                     .unwrap_or((false, 0));
                 if done {
                     let head_seg = self.head;
-                    let lagging = self.slots.iter().flatten().any(|s| {
-                        s.seg != head_seg && !s.done && !s.stalled && s.clock < finish
-                    });
+                    let lagging =
+                        self.slots.iter().flatten().any(|s| {
+                            s.seg != head_seg && !s.done && !s.stalled && s.clock < finish
+                        });
                     if !lagging {
                         self.commit(p);
                         continue;
@@ -227,7 +228,9 @@ impl<'p> Engine<'p> {
     }
 
     fn step_slot(&mut self, p: usize) -> Result<(), SimError> {
-        let mut exec = self.execs[p].take().expect("exec present for runnable slot");
+        let mut exec = self.execs[p]
+            .take()
+            .expect("exec present for runnable slot");
         {
             let slot = self.slots[p].as_mut().expect("slot present");
             slot.clock += self.cfg.stmt_cost;
@@ -256,8 +259,7 @@ impl<'p> Engine<'p> {
         // Roll back segments flagged by violations during this statement.
         self.process_squashes(now);
         // Handle an overflow detected during this statement.
-        let poisoned = self
-            .slots[p]
+        let poisoned = self.slots[p]
             .as_ref()
             .map(|s| s.overflow_poisoned)
             .unwrap_or(false);
@@ -274,8 +276,7 @@ impl<'p> Engine<'p> {
     /// triggered it.
     fn process_squashes(&mut self, now: u64) {
         for p in 0..self.slots.len() {
-            let request = self
-                .slots[p]
+            let request = self.slots[p]
                 .as_ref()
                 .filter(|s| s.squash_requested)
                 .map(|s| s.squash_not_before);

@@ -43,8 +43,8 @@ pub mod storage;
 pub use config::SimConfig;
 pub use report::{SimReport, SpeedupComparison};
 pub use run::{
-    compare_modes, run_sequential, simulate_region, verify_against_sequential, ExecMode,
-    SimError, SimOutcome,
+    compare_modes, run_sequential, simulate_region, verify_against_sequential, ExecMode, SimError,
+    SimOutcome,
 };
 pub use storage::{SpecBuffer, SpecEntry};
 

@@ -312,7 +312,10 @@ mod tests {
         let bb = b.array("b", &[40]);
         let k = b.index("k");
         b.live_out(&[a]);
-        let rhs = add(b.load_elem(a, vec![av(k) - ac(1)]), b.load_elem(bb, vec![av(k)]));
+        let rhs = add(
+            b.load_elem(a, vec![av(k) - ac(1)]),
+            b.load_elem(bb, vec![av(k)]),
+        );
         let s = b.assign_elem(a, vec![av(k)], rhs);
         let region = b.do_loop_labeled("REC", k, ac(2), ac(33), vec![s]);
         let mut p = Program::new("recurrence");
@@ -381,7 +384,10 @@ mod tests {
         let labeled = label_program_region_by_name(&p, "REC").unwrap();
         let cfg = SimConfig::default();
         let out = simulate_region(&p, &labeled, ExecMode::Hose, &cfg).unwrap();
-        assert!(out.report.violations > 0, "the flow dependence chain must trigger violations");
+        assert!(
+            out.report.violations > 0,
+            "the flow dependence chain must trigger violations"
+        );
         assert!(out.report.rollbacks > 0);
         assert_eq!(out.report.commits as usize, out.report.segments);
     }
@@ -473,7 +479,10 @@ mod tests {
         assert!(case.report.private_reads > 0);
         assert!(case.report.private_writes > 0);
         let diffs = verify_against_sequential(&p, &labeled, ExecMode::Case, &cfg).unwrap();
-        assert!(diffs.is_empty(), "private values are excluded from comparison: {diffs:?}");
+        assert!(
+            diffs.is_empty(),
+            "private values are excluded from comparison: {diffs:?}"
+        );
         // Under HOSE everything goes to speculative storage.
         let hose = simulate_region(&p, &labeled, ExecMode::Hose, &cfg).unwrap();
         assert_eq!(hose.report.private_reads, 0);

@@ -181,7 +181,10 @@ mod tests {
         b.record_write(Addr(1), 1.0, 1);
         b.record_write(Addr(2), 2.0, 2);
         assert!(b.would_overflow(Addr(3)));
-        assert!(!b.would_overflow(Addr(1)), "existing entries never overflow");
+        assert!(
+            !b.would_overflow(Addr(1)),
+            "existing entries never overflow"
+        );
         assert_eq!(b.peak(), 2);
         assert_eq!(b.len(), 2);
         let dirty: Vec<_> = b.dirty_entries().collect();

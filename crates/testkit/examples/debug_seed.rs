@@ -1,0 +1,96 @@
+//! Scratch debugging driver: prints a generated program, its labels and the
+//! differential outcome for a seed given on the command line.
+
+use refidem_core::label::label_program_region;
+use refidem_specsim::{simulate_region, verify_against_sequential, ExecMode, SimConfig};
+use refidem_testkit::{check_generated, generate, DiffConfig};
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let g = generate(seed);
+    println!("== spec ==\n{:#?}", g.spec);
+    println!(
+        "== program ==\n{}",
+        refidem_ir::pretty::program_to_string(&g.program)
+    );
+    let labeled = label_program_region(&g.program, &g.region).expect("labels");
+    println!("== labels ==");
+    for (id, l) in labeled.labeling.iter() {
+        println!("  {:?}: {:?} ({:?})", id, l, labeled.labeling.access(id));
+    }
+    println!("classes: {:?}", labeled.analysis.classes);
+    println!("deps: {} total", labeled.analysis.deps.len());
+    for d in labeled.analysis.deps.deps() {
+        println!("  {:?}", d);
+    }
+    for cap in [1usize, 2, 4, 16, 256] {
+        for mode in [ExecMode::Hose, ExecMode::Case] {
+            let cfg = SimConfig::default().capacity(cap);
+            match verify_against_sequential(&g.program, &labeled, mode, &cfg) {
+                Ok(d) if d.is_empty() => println!("{mode} cap {cap}: OK"),
+                Ok(d) => println!(
+                    "{mode} cap {cap}: {} diffs {:?}",
+                    d.len(),
+                    &d[..d.len().min(4)]
+                ),
+                Err(e) => println!("{mode} cap {cap}: ERR {e}"),
+            }
+            let out = simulate_region(&g.program, &labeled, mode, &cfg).expect("sim");
+            println!(
+                "   segments {} commits {} violations {} rollbacks {} overflow {} peak {}",
+                out.report.segments,
+                out.report.commits,
+                out.report.violations,
+                out.report.rollbacks,
+                out.report.overflow_stalls,
+                out.report.spec_peak_occupancy
+            );
+        }
+    }
+    match check_generated(&g, &DiffConfig::default()) {
+        Ok(s) => println!("differential: OK {s:?}"),
+        Err(f) => println!("differential: FAIL {f}"),
+    }
+
+    // Trace every access to the address given as the second argument.
+    let watch: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    use refidem_ir::exec::{DataStore, PlainStore, SegmentExec};
+    use refidem_ir::memory::{Addr, Layout};
+    use refidem_specsim::run::initial_memory;
+    struct Watch<'m> {
+        inner: PlainStore<'m>,
+        watch: u64,
+    }
+    impl DataStore for Watch<'_> {
+        fn read(&mut self, site: refidem_ir::ids::RefId, addr: Addr) -> f64 {
+            let v = self.inner.read(site, addr);
+            if addr.0 == self.watch {
+                println!("  seq READ  @{} site {:?} -> {}", addr.0, site, v);
+            }
+            v
+        }
+        fn write(&mut self, site: refidem_ir::ids::RefId, addr: Addr, value: f64) {
+            if addr.0 == self.watch {
+                println!("  seq WRITE @{} site {:?} <- {}", addr.0, site, value);
+            }
+            self.inner.write(site, addr, value);
+        }
+    }
+    let proc = &g.program.procedures[0];
+    let layout = Layout::new(&proc.vars);
+    let mut memory = initial_memory(proc);
+    println!("init @{watch} = {}", memory.load(Addr(watch)));
+    let mut store = Watch {
+        inner: PlainStore::new(&mut memory),
+        watch,
+    };
+    let mut exec = SegmentExec::new(&proc.vars, &layout, &proc.body, &[]);
+    exec.run(&mut store, 1_000_000).expect("seq runs");
+    println!("final seq @{watch} = {}", memory.load(Addr(watch)));
+}

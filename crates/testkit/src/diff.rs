@@ -1,0 +1,373 @@
+//! The differential runner: sequential vs HOSE vs CASE, across a ladder of
+//! speculative-storage capacities.
+//!
+//! For one program the runner (1) labels the region with Algorithm 2,
+//! (2) interprets the whole procedure sequentially to obtain the ground
+//! truth memory image, and (3) for every capacity in the ladder and both
+//! execution models, simulates the region and asserts:
+//!
+//! * **byte-exact equivalence** — the final non-speculative memory equals
+//!   the sequential image bit for bit (`f64::to_bits`), excluding only
+//!   locations of region-private variables, which are dead at region exit
+//!   and legitimately live in per-segment storage under CASE (Lemmas 1–2);
+//! * **capacity invariants** — the peak speculative-storage occupancy never
+//!   exceeds the configured capacity, and every segment commits exactly
+//!   once;
+//! * **rollback sanity** — one processor can never observe a violation, and
+//!   a run without violations performs no rollbacks;
+//! * **forward progress** — the simulation terminates without deadlock and
+//!   within the statement budget, even at capacity 1 (livelock would
+//!   surface as `SimError::Deadlock` or `StatementBudgetExceeded`).
+//!
+//! The runner optionally *tampers* with the labeling before simulating —
+//! promoting speculative references to idempotent, which is unsound — to
+//! prove that the harness actually detects bad labels (and to hand the
+//! shrinker something to minimize).
+
+use crate::gen::{GeneratedProgram, ProgramSpec};
+use refidem_analysis::classify::VarClass;
+use refidem_core::label::{IdemCategory, Label, LabeledRegion, Labeling};
+use refidem_ir::ids::RefId;
+use refidem_ir::memory::{Addr, Layout, Memory};
+use refidem_ir::program::{Program, RegionSpec};
+use refidem_ir::sites::AccessKind;
+use refidem_specsim::{ExecMode, SimConfig};
+
+/// The speculative-storage capacities every program is exercised at —
+/// capacity 1 forces overflow serialization on almost every program, 256
+/// exceeds every generated working set.
+pub const CAPACITY_LADDER: [usize; 5] = [1, 2, 4, 16, 256];
+
+/// Label corruption applied before simulating (fault injection).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tamper {
+    /// Promote every speculative read to idempotent (unsound: premature
+    /// reads are no longer tracked, so flow violations go undetected).
+    PromoteSpeculativeReads,
+    /// Promote every speculative write to idempotent (unsound: the write
+    /// reaches non-speculative storage before its turn and is not rolled
+    /// back).
+    PromoteSpeculativeWrites,
+}
+
+/// Applies a [`Tamper`] to a labeling. Returns how many labels changed.
+pub fn tamper_labeling(labeling: &mut Labeling, tamper: Tamper) -> usize {
+    let wanted = match tamper {
+        Tamper::PromoteSpeculativeReads => AccessKind::Read,
+        Tamper::PromoteSpeculativeWrites => AccessKind::Write,
+    };
+    let victims: Vec<RefId> = labeling
+        .iter()
+        .filter(|(id, l)| *l == Label::Speculative && labeling.access(*id) == Some(wanted))
+        .map(|(id, _)| id)
+        .collect();
+    for id in &victims {
+        labeling.override_label(*id, Label::Idempotent(IdemCategory::SharedDependent));
+    }
+    victims.len()
+}
+
+/// Configuration of one differential check.
+#[derive(Clone, Debug)]
+pub struct DiffConfig {
+    /// Processor count of the simulated machine.
+    pub processors: usize,
+    /// Capacity ladder.
+    pub capacities: Vec<usize>,
+    /// Execution models to differentiate against the sequential truth.
+    pub modes: Vec<ExecMode>,
+    /// Optional label corruption (fault injection).
+    pub tamper: Option<Tamper>,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        DiffConfig {
+            processors: 4,
+            capacities: CAPACITY_LADDER.to_vec(),
+            modes: vec![ExecMode::Hose, ExecMode::Case],
+            tamper: None,
+        }
+    }
+}
+
+impl DiffConfig {
+    /// A configuration that only runs CASE (the model label corruption can
+    /// affect — HOSE ignores labels entirely).
+    pub fn case_only() -> Self {
+        DiffConfig {
+            modes: vec![ExecMode::Case],
+            ..Default::default()
+        }
+    }
+}
+
+/// Why a differential check failed.
+#[derive(Clone, Debug)]
+pub enum DiffFailure {
+    /// The region could not be analyzed or labeled.
+    Analysis(String),
+    /// The sequential ground-truth interpretation failed.
+    Sequential(String),
+    /// A simulation errored (deadlock, budget, execution error).
+    Sim {
+        /// Execution model of the failing run.
+        mode: ExecMode,
+        /// Capacity of the failing run.
+        capacity: usize,
+        /// Error rendering.
+        error: String,
+    },
+    /// Final memory differs from the sequential image.
+    Divergence {
+        /// Execution model of the failing run.
+        mode: ExecMode,
+        /// Capacity of the failing run.
+        capacity: usize,
+        /// Differing `(address, sequential, simulated)` triples (first 8).
+        diffs: Vec<(Addr, f64, f64)>,
+        /// Total number of differing addresses.
+        count: usize,
+    },
+    /// A structural invariant of the simulator was violated.
+    Invariant {
+        /// Execution model of the failing run.
+        mode: ExecMode,
+        /// Capacity of the failing run.
+        capacity: usize,
+        /// What went wrong.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for DiffFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiffFailure::Analysis(e) => write!(f, "analysis failed: {e}"),
+            DiffFailure::Sequential(e) => write!(f, "sequential run failed: {e}"),
+            DiffFailure::Sim {
+                mode,
+                capacity,
+                error,
+            } => write!(f, "{mode} @ capacity {capacity} failed: {error}"),
+            DiffFailure::Divergence {
+                mode,
+                capacity,
+                diffs,
+                count,
+            } => write!(
+                f,
+                "{mode} @ capacity {capacity} diverged at {count} addresses (first: {diffs:?})"
+            ),
+            DiffFailure::Invariant {
+                mode,
+                capacity,
+                what,
+            } => write!(f, "{mode} @ capacity {capacity} broke invariant: {what}"),
+        }
+    }
+}
+
+/// Aggregate statistics of the runs a differential check performed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DiffStats {
+    /// Speculative simulations performed.
+    pub runs: usize,
+    /// Segments executed, summed over runs.
+    pub segments: usize,
+    /// Violations observed, summed over runs.
+    pub violations: u64,
+    /// Rollbacks observed, summed over runs.
+    pub rollbacks: u64,
+    /// Overflow stalls observed, summed over runs.
+    pub overflow_stalls: u64,
+    /// Highest speculative-storage peak occupancy over all runs.
+    pub max_peak_occupancy: usize,
+    /// Labels changed by tampering (0 when not tampering).
+    pub tampered_labels: usize,
+}
+
+impl DiffStats {
+    /// Merges another check's statistics into this one.
+    pub fn merge(&mut self, other: &DiffStats) {
+        self.runs += other.runs;
+        self.segments += other.segments;
+        self.violations += other.violations;
+        self.rollbacks += other.rollbacks;
+        self.overflow_stalls += other.overflow_stalls;
+        self.max_peak_occupancy = self.max_peak_occupancy.max(other.max_peak_occupancy);
+        self.tampered_labels += other.tampered_labels;
+    }
+}
+
+/// Byte-exact memory comparison, excluding the address ranges of variables
+/// the region classifies as private. Returns differing triples.
+fn byte_exact_diff(seq: &Memory, sim: &Memory, ignored: &[(u64, u64)]) -> Vec<(Addr, f64, f64)> {
+    let mut out = Vec::new();
+    for word in 0..seq.len() as u64 {
+        let addr = Addr(word);
+        if ignored.iter().any(|(lo, hi)| word >= *lo && word < *hi) {
+            continue;
+        }
+        let a = seq.load(addr);
+        let b = sim.load(addr);
+        if a.to_bits() != b.to_bits() {
+            out.push((addr, a, b));
+        }
+    }
+    out
+}
+
+/// Runs the full differential check on one designated region.
+pub fn check_program(
+    program: &Program,
+    region: &RegionSpec,
+    cfg: &DiffConfig,
+) -> Result<DiffStats, DiffFailure> {
+    let mut labeled: LabeledRegion = refidem_core::label::label_program_region(program, region)
+        .map_err(|e| DiffFailure::Analysis(format!("{e:?}")))?;
+    let mut stats = DiffStats::default();
+    if let Some(tamper) = cfg.tamper {
+        stats.tampered_labels = tamper_labeling(&mut labeled.labeling, tamper);
+    }
+
+    // Ground truth: one sequential interpretation (independent of capacity
+    // and mode — the SimConfig only affects timing, not values).
+    let base_cfg = SimConfig::default().processors(cfg.processors);
+    let seq = refidem_specsim::run_sequential(program, &labeled, &base_cfg)
+        .map_err(|e| DiffFailure::Sequential(e.to_string()))?;
+
+    // Private variables live in per-segment storage under CASE and are dead
+    // at region exit: exclude their locations, as Lemma 2's statement does.
+    let proc = &program.procedures[labeled.analysis.spec.proc.index()];
+    let layout = Layout::new(&proc.vars);
+    let ignored: Vec<(u64, u64)> = labeled
+        .analysis
+        .classes
+        .iter()
+        .filter(|(_, c)| *c == VarClass::Private)
+        .map(|(v, _)| {
+            let base = layout.base(v).0;
+            (base, base + proc.vars.kind(v).size() as u64)
+        })
+        .collect();
+
+    for &capacity in &cfg.capacities {
+        for &mode in &cfg.modes {
+            let sim_cfg = base_cfg.clone().capacity(capacity);
+            let out = refidem_specsim::simulate_region(program, &labeled, mode, &sim_cfg).map_err(
+                |e| DiffFailure::Sim {
+                    mode,
+                    capacity,
+                    error: e.to_string(),
+                },
+            )?;
+            let diffs = byte_exact_diff(&seq.memory, &out.memory, &ignored);
+            if !diffs.is_empty() {
+                let count = diffs.len();
+                return Err(DiffFailure::Divergence {
+                    mode,
+                    capacity,
+                    diffs: diffs.into_iter().take(8).collect(),
+                    count,
+                });
+            }
+            let r = &out.report;
+            let invariant = |cond: bool, what: &str| {
+                if cond {
+                    Ok(())
+                } else {
+                    Err(DiffFailure::Invariant {
+                        mode,
+                        capacity,
+                        what: what.to_string(),
+                    })
+                }
+            };
+            invariant(
+                r.spec_peak_occupancy <= capacity,
+                &format!(
+                    "peak occupancy {} exceeds capacity {capacity}",
+                    r.spec_peak_occupancy
+                ),
+            )?;
+            invariant(
+                r.commits as usize == r.segments,
+                &format!("{} commits for {} segments", r.commits, r.segments),
+            )?;
+            if cfg.processors == 1 {
+                invariant(r.violations == 0, "violation on one processor")?;
+            }
+            if r.violations == 0 {
+                invariant(
+                    r.rollbacks == 0,
+                    &format!("{} rollbacks without a violation", r.rollbacks),
+                )?;
+            }
+            stats.runs += 1;
+            stats.segments += r.segments;
+            stats.violations += r.violations;
+            stats.rollbacks += r.rollbacks;
+            stats.overflow_stalls += r.overflow_stalls;
+            stats.max_peak_occupancy = stats.max_peak_occupancy.max(r.spec_peak_occupancy);
+        }
+    }
+    Ok(stats)
+}
+
+/// Differential check of a generated program.
+pub fn check_generated(g: &GeneratedProgram, cfg: &DiffConfig) -> Result<DiffStats, DiffFailure> {
+    check_program(&g.program, &g.region, cfg)
+}
+
+/// Differential check of a spec (builds it first). This is the predicate
+/// the shrinker re-evaluates on every candidate.
+pub fn check_spec(spec: &ProgramSpec, cfg: &DiffConfig) -> Result<DiffStats, DiffFailure> {
+    let (program, region) = spec.build();
+    check_program(&program, &region, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+
+    #[test]
+    fn untampered_generated_programs_pass() {
+        for seed in 0..20 {
+            let g = generate(seed);
+            let stats = check_generated(&g, &DiffConfig::default())
+                .unwrap_or_else(|f| panic!("seed {seed} failed the differential check: {f}"));
+            assert_eq!(stats.runs, CAPACITY_LADDER.len() * 2);
+            assert!(stats.segments > 0);
+            assert_eq!(stats.tampered_labels, 0);
+        }
+    }
+
+    #[test]
+    fn capacity_one_is_always_respected() {
+        let cfg = DiffConfig {
+            capacities: vec![1],
+            ..Default::default()
+        };
+        for seed in 0..20 {
+            let g = generate(seed);
+            let stats = check_generated(&g, &cfg).unwrap_or_else(|f| panic!("seed {seed}: {f}"));
+            assert!(stats.max_peak_occupancy <= 1);
+        }
+    }
+
+    #[test]
+    fn single_processor_differential_is_clean() {
+        let cfg = DiffConfig {
+            processors: 1,
+            ..Default::default()
+        };
+        for seed in 0..10 {
+            let g = generate(seed);
+            let stats = check_generated(&g, &cfg).unwrap_or_else(|f| panic!("seed {seed}: {f}"));
+            assert_eq!(stats.violations, 0);
+            assert_eq!(stats.rollbacks, 0);
+        }
+    }
+}

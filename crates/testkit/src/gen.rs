@@ -1,0 +1,805 @@
+//! Seeded, deterministic generation of loop programs.
+//!
+//! The generator works in two stages. A [`ProgramSpec`] is a small,
+//! declarative description of a region loop: arrays and scalars, an outer
+//! `DO` loop, and a body of assignments, conditionals and (possibly
+//! triangular) inner loops whose array subscripts are affine in the loop
+//! indices. [`ProgramSpec::build`] lowers a spec to a `refidem-ir`
+//! [`Program`] — always the same program for the same spec — and
+//! [`generate`] draws a spec from a seeded [`Rng`].
+//!
+//! Splitting generation from lowering is what makes shrinking possible: the
+//! shrinker edits the spec (drop a statement, zero a coefficient, shorten
+//! the loop) and rebuilds, instead of trying to edit IR with its
+//! interdependent reference ids.
+//!
+//! Lowering keeps every subscript in bounds by construction: it computes,
+//! per array, the minimum and maximum value any of its subscripts can take
+//! over the whole iteration space, shifts all subscripts of that array by a
+//! common offset so the minimum lands on zero, and sizes the array to the
+//! maximum. Shifting every use by the same amount preserves the dependence
+//! structure exactly.
+
+use crate::rng::Rng;
+use refidem_ir::build::{ac, add, av, cmp, idx, mul, num, sub, ProcBuilder};
+use refidem_ir::expr::{CmpOp, Expr};
+use refidem_ir::ids::VarId;
+use refidem_ir::program::{Program, RegionSpec};
+use refidem_ir::stmt::Stmt;
+
+/// The label the generated region loop always carries.
+pub const REGION_LABEL: &str = "R";
+
+/// An affine subscript `kc*k + jc*j + off` in the outer index `k` and (when
+/// inside an inner loop) the inner index `j`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SubSpec {
+    /// Coefficient of the outer (region) loop index.
+    pub kc: i64,
+    /// Coefficient of the inner loop index (must be 0 outside inner loops).
+    pub jc: i64,
+    /// Constant offset.
+    pub off: i64,
+}
+
+impl SubSpec {
+    /// Subscript depending only on the outer index.
+    pub fn outer(kc: i64, off: i64) -> Self {
+        SubSpec { kc, jc: 0, off }
+    }
+}
+
+/// How one term combines with the accumulated right-hand side.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TermOp {
+    /// Added.
+    Add,
+    /// Subtracted.
+    Sub,
+    /// Multiplied.
+    Mul,
+}
+
+/// One operand of a generated right-hand side.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TermSpec {
+    /// Load of `arrays[arr]` at an affine subscript.
+    Arr {
+        /// Array number.
+        arr: usize,
+        /// Subscript.
+        sub: SubSpec,
+    },
+    /// Load of scalar number `n`.
+    Scalar(usize),
+    /// The outer loop index as a value.
+    OuterIdx,
+    /// The inner loop index as a value (only inside inner loops).
+    InnerIdx,
+    /// A small integer constant.
+    Const(i64),
+}
+
+/// Where an assignment stores its result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TargetSpec {
+    /// Store into `arrays[arr]` at an affine subscript.
+    Arr {
+        /// Array number.
+        arr: usize,
+        /// Subscript.
+        sub: SubSpec,
+    },
+    /// Store into scalar number `n`.
+    Scalar(usize),
+}
+
+/// One assignment: `target = t0 (op1) t1 (op2) t2 …`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AssignSpec {
+    /// Store target.
+    pub target: TargetSpec,
+    /// Operand terms with their combining operators (the first operator is
+    /// ignored).
+    pub terms: Vec<(TermOp, TermSpec)>,
+}
+
+/// The value compared against a loop index in a conditional.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CondIndex {
+    /// Compare the outer index.
+    Outer,
+    /// Compare the inner index (only inside inner loops).
+    Inner,
+}
+
+/// A branch condition `index <op> rhs`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CondSpec {
+    /// Which loop index is compared.
+    pub index: CondIndex,
+    /// `>` or `<=`.
+    pub greater: bool,
+    /// Comparison constant.
+    pub rhs: i64,
+}
+
+/// The upper bound of an inner loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InnerBound {
+    /// Constant trip region: `do j = lo, lo+extent-1`.
+    Extent(i64),
+    /// Triangular: `do j = lo, k` (the outer index).
+    Triangular,
+}
+
+/// One statement of the generated loop body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StmtSpec {
+    /// An assignment.
+    Assign(AssignSpec),
+    /// `IF (cond) THEN … ELSE … ENDIF` (else branch may be empty).
+    If {
+        /// Branch condition.
+        cond: CondSpec,
+        /// Taken branch.
+        then_body: Vec<StmtSpec>,
+        /// Fallthrough branch.
+        else_body: Vec<StmtSpec>,
+    },
+    /// An inner `DO j` loop. Inner loops never nest further.
+    Inner {
+        /// Lower bound of the inner index.
+        lo: i64,
+        /// Upper bound form.
+        bound: InnerBound,
+        /// Loop body (assignments and conditionals only).
+        body: Vec<StmtSpec>,
+    },
+}
+
+/// A complete generated program shape.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProgramSpec {
+    /// Number of arrays (`a0`, `a1`, …).
+    pub arrays: usize,
+    /// Number of scalars (`s0`, `s1`, …).
+    pub scalars: usize,
+    /// Lower bound of the region loop index.
+    pub outer_lo: i64,
+    /// Trip count of the region loop (≥ 1).
+    pub outer_trips: i64,
+    /// Region loop body.
+    pub body: Vec<StmtSpec>,
+    /// Arrays in the live-out set.
+    pub live_out_arrays: Vec<usize>,
+    /// Scalars in the live-out set.
+    pub live_out_scalars: Vec<usize>,
+}
+
+impl ProgramSpec {
+    /// Upper bound of the region loop index.
+    pub fn outer_hi(&self) -> i64 {
+        self.outer_lo + self.outer_trips - 1
+    }
+
+    /// Total number of statements, counting nested ones.
+    pub fn stmt_count(&self) -> usize {
+        fn count(stmts: &[StmtSpec]) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    StmtSpec::Assign(_) => 1,
+                    StmtSpec::If {
+                        then_body,
+                        else_body,
+                        ..
+                    } => 1 + count(then_body) + count(else_body),
+                    StmtSpec::Inner { body, .. } => 1 + count(body),
+                })
+                .sum()
+        }
+        count(&self.body)
+    }
+
+    /// Per-array subscript shift and extent making every access in-bounds:
+    /// shifting all of an array's subscripts by the same amount preserves
+    /// the dependence structure while pinning the minimum subscript to 1 —
+    /// the smallest valid Fortran subscript. Pinning to 0 would be fatal:
+    /// the layout *clamps* out-of-range subscripts, so 0 and 1 would alias
+    /// the same element behind the dependence analysis's back and the
+    /// differential oracle would report phantom divergences. The reproducer
+    /// emitter uses the same plan, so emitted code builds the identical
+    /// program.
+    pub fn layout_plan(&self) -> (Vec<i64>, Vec<usize>) {
+        let (k_lo, k_hi) = (self.outer_lo, self.outer_hi());
+        let mut bounds: Vec<Option<(i64, i64)>> = vec![None; self.arrays];
+        self.for_each_sub(&mut |arr, sub, j_range| {
+            let (lo, hi) = sub_range(sub, (k_lo, k_hi), j_range);
+            let slot = &mut bounds[arr];
+            *slot = Some(match *slot {
+                None => (lo, hi),
+                Some((l, h)) => (l.min(lo), h.max(hi)),
+            });
+        });
+        let shifts: Vec<i64> = bounds
+            .iter()
+            .map(|b| b.map(|(lo, _)| 1 - lo).unwrap_or(0))
+            .collect();
+        let extents: Vec<usize> = bounds
+            .iter()
+            .map(|b| b.map(|(lo, hi)| (hi - lo + 1) as usize).unwrap_or(1))
+            .collect();
+        (shifts, extents)
+    }
+
+    /// Lowers the spec to an executable, analyzable program whose region is
+    /// the labeled loop [`REGION_LABEL`]. Deterministic: equal specs build
+    /// equal programs.
+    pub fn build(&self) -> (Program, RegionSpec) {
+        let (k_lo, k_hi) = (self.outer_lo, self.outer_hi());
+        let (shifts, extents) = self.layout_plan();
+        let mut b = ProcBuilder::new("generated");
+        let arrays: Vec<VarId> = extents
+            .iter()
+            .enumerate()
+            .map(|(i, e)| b.array(&format!("a{i}"), &[*e]))
+            .collect();
+        let scalars: Vec<VarId> = (0..self.scalars)
+            .map(|i| b.scalar(&format!("s{i}")))
+            .collect();
+        let k = b.index("k");
+        let j = b.index("j");
+        let live: Vec<VarId> = self
+            .live_out_arrays
+            .iter()
+            .map(|i| arrays[*i])
+            .chain(self.live_out_scalars.iter().map(|i| scalars[*i]))
+            .collect();
+        b.live_out(&live);
+
+        let ctx = Lowering {
+            arrays: &arrays,
+            scalars: &scalars,
+            shifts: &shifts,
+            k,
+            j,
+        };
+        let body = ctx.lower_stmts(&mut b, &self.body);
+        let region = b.do_loop_labeled(REGION_LABEL, k, ac(k_lo), ac(k_hi), body);
+        let mut program = Program::new("generated");
+        program.add_procedure(b.build(vec![region]));
+        let spec = program.find_region(REGION_LABEL).expect("region exists");
+        (program, spec)
+    }
+
+    /// Visits every array subscript together with the inner-index range
+    /// applicable at its position (`None` outside inner loops).
+    fn for_each_sub(&self, f: &mut impl FnMut(usize, SubSpec, Option<(i64, i64)>)) {
+        fn walk(
+            stmts: &[StmtSpec],
+            j_range: Option<(i64, i64)>,
+            k_hi: i64,
+            f: &mut impl FnMut(usize, SubSpec, Option<(i64, i64)>),
+        ) {
+            for s in stmts {
+                match s {
+                    StmtSpec::Assign(a) => {
+                        if let TargetSpec::Arr { arr, sub } = &a.target {
+                            f(*arr, *sub, j_range);
+                        }
+                        for (_, t) in &a.terms {
+                            if let TermSpec::Arr { arr, sub } = t {
+                                f(*arr, *sub, j_range);
+                            }
+                        }
+                    }
+                    StmtSpec::If {
+                        then_body,
+                        else_body,
+                        ..
+                    } => {
+                        walk(then_body, j_range, k_hi, f);
+                        walk(else_body, j_range, k_hi, f);
+                    }
+                    StmtSpec::Inner { lo, bound, body } => {
+                        let hi = match bound {
+                            InnerBound::Extent(e) => lo + e - 1,
+                            // `do j = lo, k`: j never exceeds the outer
+                            // upper bound (empty when k < lo).
+                            InnerBound::Triangular => k_hi.max(*lo),
+                        };
+                        walk(body, Some((*lo, hi)), k_hi, f);
+                    }
+                }
+            }
+        }
+        walk(&self.body, None, self.outer_hi(), f);
+    }
+}
+
+/// Interval of `kc*k + jc*j + off` over box-shaped index ranges.
+fn sub_range(sub: SubSpec, k_range: (i64, i64), j_range: Option<(i64, i64)>) -> (i64, i64) {
+    let term = |c: i64, (lo, hi): (i64, i64)| {
+        if c >= 0 {
+            (c * lo, c * hi)
+        } else {
+            (c * hi, c * lo)
+        }
+    };
+    let (klo, khi) = term(sub.kc, k_range);
+    let (jlo, jhi) = match j_range {
+        Some(r) => term(sub.jc, r),
+        None => (0, 0),
+    };
+    (klo + jlo + sub.off, khi + jhi + sub.off)
+}
+
+/// Shared lowering context: declared variables and per-array subscript
+/// shifts.
+struct Lowering<'a> {
+    arrays: &'a [VarId],
+    scalars: &'a [VarId],
+    shifts: &'a [i64],
+    k: VarId,
+    j: VarId,
+}
+
+impl Lowering<'_> {
+    fn affine(&self, arr: usize, s: SubSpec) -> refidem_ir::affine::AffineExpr {
+        let mut e = ac(s.off + self.shifts[arr]);
+        if s.kc != 0 {
+            e = e + refidem_ir::affine::AffineExpr::scaled_var(self.k, s.kc);
+        }
+        if s.jc != 0 {
+            e = e + refidem_ir::affine::AffineExpr::scaled_var(self.j, s.jc);
+        }
+        e
+    }
+
+    fn term(&self, b: &mut ProcBuilder, t: &TermSpec) -> Expr {
+        match t {
+            TermSpec::Arr { arr, sub: s } => {
+                let a = self.affine(*arr, *s);
+                b.load_elem(self.arrays[*arr], vec![a])
+            }
+            TermSpec::Scalar(n) => b.load(self.scalars[*n]),
+            TermSpec::OuterIdx => idx(self.k),
+            TermSpec::InnerIdx => idx(self.j),
+            TermSpec::Const(c) => num(*c as f64 * 0.5),
+        }
+    }
+
+    fn rhs(&self, b: &mut ProcBuilder, terms: &[(TermOp, TermSpec)]) -> Expr {
+        let mut acc: Option<Expr> = None;
+        for (op, t) in terms {
+            let e = self.term(b, t);
+            acc = Some(match acc {
+                None => e,
+                Some(prev) => match op {
+                    TermOp::Add => add(prev, e),
+                    TermOp::Sub => sub(prev, e),
+                    TermOp::Mul => mul(prev, e),
+                },
+            });
+        }
+        acc.expect("assignments have at least one term")
+    }
+
+    fn lower_stmts(&self, b: &mut ProcBuilder, stmts: &[StmtSpec]) -> Vec<Stmt> {
+        let mut out = Vec::new();
+        for s in stmts {
+            match s {
+                StmtSpec::Assign(a) => {
+                    let rhs = self.rhs(b, &a.terms);
+                    let stmt = match &a.target {
+                        TargetSpec::Arr { arr, sub: s } => {
+                            let sub = self.affine(*arr, *s);
+                            b.assign_elem(self.arrays[*arr], vec![sub], rhs)
+                        }
+                        TargetSpec::Scalar(n) => b.assign_scalar(self.scalars[*n], rhs),
+                    };
+                    out.push(stmt);
+                }
+                StmtSpec::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    let lhs = match cond.index {
+                        CondIndex::Outer => idx(self.k),
+                        CondIndex::Inner => idx(self.j),
+                    };
+                    let op = if cond.greater { CmpOp::Gt } else { CmpOp::Le };
+                    let c = cmp(op, lhs, num(cond.rhs as f64));
+                    let then_s = self.lower_stmts(b, then_body);
+                    let else_s = self.lower_stmts(b, else_body);
+                    out.push(if else_s.is_empty() {
+                        b.if_then(c, then_s)
+                    } else {
+                        b.if_then_else(c, then_s, else_s)
+                    });
+                }
+                StmtSpec::Inner { lo, bound, body } => {
+                    let upper = match bound {
+                        InnerBound::Extent(e) => ac(lo + e - 1),
+                        InnerBound::Triangular => av(self.k),
+                    };
+                    let inner_body = self.lower_stmts(b, body);
+                    out.push(b.do_loop(self.j, ac(*lo), upper, inner_body));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Tuning knobs of the generator. The defaults produce small, quickly
+/// simulated programs with a rich mix of shapes.
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// Maximum number of arrays (at least 1 is always declared).
+    pub max_arrays: usize,
+    /// Maximum number of scalars.
+    pub max_scalars: usize,
+    /// Minimum region trip count.
+    pub min_trips: i64,
+    /// Maximum region trip count.
+    pub max_trips: i64,
+    /// Maximum top-level statements in the region body.
+    pub max_stmts: usize,
+    /// Probability (out of 100) that a subscript inside an inner loop
+    /// couples both indices (`kc` and `jc` nonzero).
+    pub coupling_pct: u32,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            max_arrays: 3,
+            max_scalars: 2,
+            min_trips: 4,
+            max_trips: 12,
+            max_stmts: 4,
+            coupling_pct: 50,
+        }
+    }
+}
+
+/// A generated program, keeping the spec and seed for shrinking and
+/// reporting.
+#[derive(Clone, Debug)]
+pub struct GeneratedProgram {
+    /// The seed the spec was drawn from.
+    pub seed: u64,
+    /// The declarative shape.
+    pub spec: ProgramSpec,
+    /// The lowered program.
+    pub program: Program,
+    /// The region designation (the labeled outer loop).
+    pub region: RegionSpec,
+}
+
+/// Draws a program from a seed with the given tuning. Equal seeds and
+/// configs produce byte-identical programs.
+pub fn generate_with(seed: u64, cfg: &GenConfig) -> GeneratedProgram {
+    let mut rng = Rng::new(seed);
+    let spec = gen_spec(&mut rng, cfg);
+    let (program, region) = spec.build();
+    GeneratedProgram {
+        seed,
+        spec,
+        program,
+        region,
+    }
+}
+
+/// Draws a program from a seed with default tuning.
+pub fn generate(seed: u64) -> GeneratedProgram {
+    generate_with(seed, &GenConfig::default())
+}
+
+fn gen_spec(rng: &mut Rng, cfg: &GenConfig) -> ProgramSpec {
+    let arrays = 1 + rng.below(cfg.max_arrays);
+    let scalars = rng.below(cfg.max_scalars + 1);
+    let outer_lo = rng.range(-2, 3);
+    let outer_trips = rng.range(cfg.min_trips, cfg.max_trips);
+    let n_stmts = 1 + rng.below(cfg.max_stmts);
+    let mut body = Vec::new();
+    for _ in 0..n_stmts {
+        body.push(gen_stmt(
+            rng,
+            cfg,
+            arrays,
+            scalars,
+            outer_lo,
+            outer_trips,
+            0,
+        ));
+    }
+    // Live-out: a non-empty subset, biased toward including everything (a
+    // richer live-out set defeats more dead-write special cases).
+    let mut live_out_arrays: Vec<usize> = (0..arrays).filter(|_| rng.chance(3, 4)).collect();
+    if live_out_arrays.is_empty() {
+        live_out_arrays.push(rng.below(arrays));
+    }
+    let live_out_scalars: Vec<usize> = (0..scalars).filter(|_| rng.chance(1, 2)).collect();
+    ProgramSpec {
+        arrays,
+        scalars,
+        outer_lo,
+        outer_trips,
+        body,
+        live_out_arrays,
+        live_out_scalars,
+    }
+}
+
+fn gen_stmt(
+    rng: &mut Rng,
+    cfg: &GenConfig,
+    arrays: usize,
+    scalars: usize,
+    outer_lo: i64,
+    outer_trips: i64,
+    depth: usize,
+) -> StmtSpec {
+    // Conditionals and inner loops appear only at the top level of the
+    // region body (depth 0 keeps the shape space rich without exploding
+    // run times); inner-loop bodies hold assignments and conditionals.
+    let roll = rng.below(100);
+    if depth == 0 && roll < 20 {
+        let mut then_body = Vec::new();
+        let mut else_body = Vec::new();
+        for _ in 0..(1 + rng.below(2)) {
+            then_body.push(StmtSpec::Assign(gen_assign(
+                rng, cfg, arrays, scalars, false,
+            )));
+        }
+        if rng.chance(1, 2) {
+            else_body.push(StmtSpec::Assign(gen_assign(
+                rng, cfg, arrays, scalars, false,
+            )));
+        }
+        StmtSpec::If {
+            cond: CondSpec {
+                index: CondIndex::Outer,
+                greater: rng.chance(1, 2),
+                rhs: rng.range(outer_lo, outer_lo + outer_trips - 1),
+            },
+            then_body,
+            else_body,
+        }
+    } else if depth == 0 && roll < 40 {
+        let lo = rng.range(1, 2);
+        let bound = if rng.chance(1, 2) && outer_lo + outer_trips > lo {
+            InnerBound::Triangular
+        } else {
+            InnerBound::Extent(rng.range(2, 5))
+        };
+        let mut inner_body = Vec::new();
+        for _ in 0..(1 + rng.below(2)) {
+            if rng.chance(1, 5) {
+                inner_body.push(StmtSpec::If {
+                    cond: CondSpec {
+                        index: CondIndex::Inner,
+                        greater: rng.chance(1, 2),
+                        rhs: rng.range(1, 4),
+                    },
+                    then_body: vec![StmtSpec::Assign(gen_assign(
+                        rng, cfg, arrays, scalars, true,
+                    ))],
+                    else_body: vec![],
+                });
+            } else {
+                inner_body.push(StmtSpec::Assign(gen_assign(
+                    rng, cfg, arrays, scalars, true,
+                )));
+            }
+        }
+        StmtSpec::Inner {
+            lo,
+            bound,
+            body: inner_body,
+        }
+    } else {
+        StmtSpec::Assign(gen_assign(rng, cfg, arrays, scalars, false))
+    }
+}
+
+fn gen_sub(rng: &mut Rng, cfg: &GenConfig, inner: bool) -> SubSpec {
+    // Outer coefficient: mostly ±1 (the common stride), sometimes 0 (a
+    // loop-invariant element — a guaranteed cross-segment dependence when
+    // written) or ±2 (a strided access).
+    let kc = *rng.pick(&[1, 1, 1, -1, 0, 2, -2]);
+    let jc = if inner {
+        if rng.chance(cfg.coupling_pct, 100) {
+            *rng.pick(&[1, 1, -1])
+        } else {
+            0
+        }
+    } else {
+        0
+    };
+    SubSpec {
+        kc,
+        jc,
+        off: rng.range(-3, 3),
+    }
+}
+
+fn gen_assign(
+    rng: &mut Rng,
+    cfg: &GenConfig,
+    arrays: usize,
+    scalars: usize,
+    inner: bool,
+) -> AssignSpec {
+    let target = if scalars > 0 && rng.chance(1, 4) {
+        TargetSpec::Scalar(rng.below(scalars))
+    } else {
+        TargetSpec::Arr {
+            arr: rng.below(arrays),
+            sub: gen_sub(rng, cfg, inner),
+        }
+    };
+    let n_terms = 1 + rng.below(3);
+    let mut terms = Vec::new();
+    for _ in 0..n_terms {
+        let t = match rng.below(10) {
+            0..=4 => TermSpec::Arr {
+                arr: rng.below(arrays),
+                sub: gen_sub(rng, cfg, inner),
+            },
+            5..=6 if scalars > 0 => TermSpec::Scalar(rng.below(scalars)),
+            7 => {
+                if inner {
+                    TermSpec::InnerIdx
+                } else {
+                    TermSpec::OuterIdx
+                }
+            }
+            8 => TermSpec::OuterIdx,
+            _ => TermSpec::Const(rng.range(-3, 3)),
+        };
+        // Multiplication only against constants and indices: products of
+        // two loads compound across iterations and overflow to infinity,
+        // which makes byte-exact comparison vacuous (every run saturates).
+        let op = match t {
+            TermSpec::Const(_) | TermSpec::OuterIdx | TermSpec::InnerIdx => {
+                *rng.pick(&[TermOp::Add, TermOp::Sub, TermOp::Mul])
+            }
+            _ => *rng.pick(&[TermOp::Add, TermOp::Add, TermOp::Sub]),
+        };
+        terms.push((op, t));
+    }
+    AssignSpec { target, terms }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refidem_ir::pretty;
+
+    #[test]
+    fn equal_seeds_build_identical_programs() {
+        for seed in 0..20 {
+            let a = generate(seed);
+            let b = generate(seed);
+            assert_eq!(a.spec, b.spec, "seed {seed}: specs differ");
+            assert_eq!(
+                pretty::program_to_string(&a.program),
+                pretty::program_to_string(&b.program),
+                "seed {seed}: programs differ"
+            );
+        }
+    }
+
+    #[test]
+    fn generated_subscripts_stay_in_bounds() {
+        // The sequential interpreter addresses memory through the layout;
+        // an out-of-bounds subscript shows up as an execution error (or a
+        // wrong-variable store that the differential runner would catch).
+        // Here: every generated program interprets cleanly.
+        use refidem_ir::exec::SeqInterp;
+        use refidem_specsim::run::initial_memory;
+        for seed in 0..100 {
+            let g = generate(seed);
+            let proc = &g.program.procedures[0];
+            let mut memory = initial_memory(proc);
+            SeqInterp::new()
+                .run_procedure(proc, &mut memory)
+                .unwrap_or_else(|e| panic!("seed {seed}: execution failed: {e}"));
+        }
+    }
+
+    #[test]
+    fn generated_regions_resolve_and_have_segments() {
+        for seed in 0..50 {
+            let g = generate(seed);
+            let (_, l) = g.region.resolve(&g.program).expect("region resolves");
+            assert_eq!(l.label.as_deref(), Some(REGION_LABEL));
+            assert!(g.spec.outer_trips >= 1);
+            assert!(g.spec.stmt_count() >= 1);
+        }
+    }
+
+    #[test]
+    fn shape_space_is_diverse() {
+        let mut saw_if = false;
+        let mut saw_inner = false;
+        let mut saw_triangular = false;
+        let mut saw_coupled = false;
+        let mut saw_scalar_target = false;
+        for seed in 0..200 {
+            let g = generate(seed);
+            for s in &g.spec.body {
+                match s {
+                    StmtSpec::If { .. } => saw_if = true,
+                    StmtSpec::Inner { bound, body, .. } => {
+                        saw_inner = true;
+                        if *bound == InnerBound::Triangular {
+                            saw_triangular = true;
+                        }
+                        for inner in body {
+                            if let StmtSpec::Assign(a) = inner {
+                                let mut subs = Vec::new();
+                                if let TargetSpec::Arr { sub, .. } = &a.target {
+                                    subs.push(*sub);
+                                }
+                                for (_, t) in &a.terms {
+                                    if let TermSpec::Arr { sub, .. } = t {
+                                        subs.push(*sub);
+                                    }
+                                }
+                                if subs.iter().any(|s| s.kc != 0 && s.jc != 0) {
+                                    saw_coupled = true;
+                                }
+                            }
+                        }
+                    }
+                    StmtSpec::Assign(a) => {
+                        if matches!(a.target, TargetSpec::Scalar(_)) {
+                            saw_scalar_target = true;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(saw_if, "no conditional generated in 200 seeds");
+        assert!(saw_inner, "no inner loop generated in 200 seeds");
+        assert!(saw_triangular, "no triangular loop generated in 200 seeds");
+        assert!(saw_coupled, "no coupled subscript generated in 200 seeds");
+        assert!(saw_scalar_target, "no scalar target generated in 200 seeds");
+    }
+
+    #[test]
+    fn negative_coefficients_shift_into_bounds() {
+        // A handwritten spec with an all-negative subscript must still
+        // build an in-bounds program: a(-k - 2) over k in [1, 8] shifts to
+        // a(-k + 9) with extent 8 (minimum subscript pinned to 1).
+        let spec = ProgramSpec {
+            arrays: 1,
+            scalars: 0,
+            outer_lo: 1,
+            outer_trips: 8,
+            body: vec![StmtSpec::Assign(AssignSpec {
+                target: TargetSpec::Arr {
+                    arr: 0,
+                    sub: SubSpec::outer(-1, -2),
+                },
+                terms: vec![(TermOp::Add, TermSpec::OuterIdx)],
+            })],
+            live_out_arrays: vec![0],
+            live_out_scalars: vec![],
+        };
+        let (program, _) = spec.build();
+        use refidem_ir::exec::SeqInterp;
+        use refidem_specsim::run::initial_memory;
+        let proc = &program.procedures[0];
+        let mut memory = initial_memory(proc);
+        SeqInterp::new()
+            .run_procedure(proc, &mut memory)
+            .expect("shifted program executes");
+    }
+}

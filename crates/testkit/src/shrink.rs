@@ -1,0 +1,580 @@
+//! Case minimization and reproducer emission.
+//!
+//! When the differential runner finds a failing program, the raw generated
+//! case is rarely the smallest demonstration of the bug: most of its
+//! statements, terms and iterations are noise. The shrinker performs a
+//! classical greedy delta-debugging loop over the [`ProgramSpec`] (not the
+//! lowered IR — specs compose freely, IR reference ids do not): it
+//! enumerates single-step simplifications, adopts the first one that still
+//! fails the differential check, and repeats until no simplification
+//! preserves the failure or the check budget runs out.
+//!
+//! [`reproducer`] renders a minimized spec as ready-to-paste `ProcBuilder`
+//! code, so a divergence found by a 3 a.m. fuzz run turns into a unit test
+//! in the morning.
+
+use crate::diff::{check_spec, DiffConfig, DiffFailure};
+use crate::gen::{
+    AssignSpec, CondIndex, InnerBound, ProgramSpec, StmtSpec, SubSpec, TargetSpec, TermOp,
+    TermSpec, REGION_LABEL,
+};
+
+/// Result of a shrink run.
+#[derive(Clone, Debug)]
+pub struct ShrinkResult {
+    /// The minimized spec (still failing).
+    pub spec: ProgramSpec,
+    /// The failure the minimized spec exhibits.
+    pub failure: DiffFailure,
+    /// Differential checks spent.
+    pub checks: usize,
+    /// Statement count before / after.
+    pub stmts_before: usize,
+    /// Statement count after shrinking.
+    pub stmts_after: usize,
+}
+
+/// Greedily minimizes a failing spec. `spec` must fail `check_spec` under
+/// `cfg`; panics otherwise (a shrinker run on a passing case is a harness
+/// bug). `max_checks` bounds the total differential checks.
+pub fn shrink(spec: &ProgramSpec, cfg: &DiffConfig, max_checks: usize) -> ShrinkResult {
+    let checks = std::cell::Cell::new(0usize);
+    let fails = |s: &ProgramSpec| -> Option<DiffFailure> {
+        checks.set(checks.get() + 1);
+        check_spec(s, cfg).err()
+    };
+    let failure = fails(spec).expect("shrink() requires a spec that fails the differential check");
+    let stmts_before = spec.stmt_count();
+    let mut current = spec.clone();
+    let mut current_failure = failure;
+    'outer: loop {
+        if checks.get() >= max_checks {
+            break;
+        }
+        for candidate in candidates(&current) {
+            if checks.get() >= max_checks {
+                break 'outer;
+            }
+            if let Some(f) = fails(&candidate) {
+                current = candidate;
+                current_failure = f;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    ShrinkResult {
+        stmts_after: current.stmt_count(),
+        spec: current,
+        failure: current_failure,
+        checks: checks.get(),
+        stmts_before,
+    }
+}
+
+/// All single-step simplifications of a spec, most aggressive first.
+fn candidates(spec: &ProgramSpec) -> Vec<ProgramSpec> {
+    let mut out = Vec::new();
+    // Drop or simplify statements (recursively).
+    for body in stmt_list_variants(&spec.body) {
+        if !body.is_empty() {
+            let mut s = spec.clone();
+            s.body = body;
+            out.push(s);
+        }
+    }
+    // Halve the trip count.
+    if spec.outer_trips > 2 {
+        let mut s = spec.clone();
+        s.outer_trips = (spec.outer_trips / 2).max(2);
+        out.push(s);
+    }
+    // Normalize the loop base to 1.
+    if spec.outer_lo != 1 {
+        let mut s = spec.clone();
+        s.outer_lo = 1;
+        out.push(s);
+    }
+    out
+}
+
+/// Variants of a statement list: each statement dropped, each conditional
+/// flattened into its branches, and each statement's own simplifications.
+fn stmt_list_variants(stmts: &[StmtSpec]) -> Vec<Vec<StmtSpec>> {
+    let mut out = Vec::new();
+    for i in 0..stmts.len() {
+        // Drop statement i.
+        let mut dropped: Vec<StmtSpec> = stmts.to_vec();
+        dropped.remove(i);
+        out.push(dropped);
+        // Flatten a conditional into its branches (removes the control
+        // dependence while keeping the accesses).
+        if let StmtSpec::If {
+            then_body,
+            else_body,
+            ..
+        } = &stmts[i]
+        {
+            let mut flat: Vec<StmtSpec> = stmts.to_vec();
+            let mut replacement = then_body.clone();
+            replacement.extend(else_body.iter().cloned());
+            flat.splice(i..=i, replacement);
+            out.push(flat);
+        }
+        // In-place simplifications of statement i.
+        for v in stmt_variants(&stmts[i]) {
+            let mut replaced: Vec<StmtSpec> = stmts.to_vec();
+            replaced[i] = v;
+            out.push(replaced);
+        }
+    }
+    out
+}
+
+fn stmt_variants(s: &StmtSpec) -> Vec<StmtSpec> {
+    let mut out = Vec::new();
+    match s {
+        StmtSpec::Assign(a) => {
+            for a2 in assign_variants(a) {
+                out.push(StmtSpec::Assign(a2));
+            }
+        }
+        StmtSpec::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            if !else_body.is_empty() {
+                out.push(StmtSpec::If {
+                    cond: *cond,
+                    then_body: then_body.clone(),
+                    else_body: vec![],
+                });
+            }
+            for tb in stmt_list_variants(then_body) {
+                if !tb.is_empty() {
+                    out.push(StmtSpec::If {
+                        cond: *cond,
+                        then_body: tb,
+                        else_body: else_body.clone(),
+                    });
+                }
+            }
+            for eb in stmt_list_variants(else_body) {
+                out.push(StmtSpec::If {
+                    cond: *cond,
+                    then_body: then_body.clone(),
+                    else_body: eb,
+                });
+            }
+        }
+        StmtSpec::Inner { lo, bound, body } => {
+            if let InnerBound::Extent(e) = bound {
+                if *e > 2 {
+                    out.push(StmtSpec::Inner {
+                        lo: *lo,
+                        bound: InnerBound::Extent(e - 1),
+                        body: body.clone(),
+                    });
+                }
+            }
+            for b in stmt_list_variants(body) {
+                if !b.is_empty() {
+                    out.push(StmtSpec::Inner {
+                        lo: *lo,
+                        bound: *bound,
+                        body: b,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+fn assign_variants(a: &AssignSpec) -> Vec<AssignSpec> {
+    let mut out = Vec::new();
+    // Drop terms (keep at least one).
+    if a.terms.len() > 1 {
+        for i in 0..a.terms.len() {
+            let mut terms = a.terms.clone();
+            terms.remove(i);
+            out.push(AssignSpec {
+                target: a.target.clone(),
+                terms,
+            });
+        }
+    }
+    // Simplify subscripts: move offsets toward zero, strides toward unit.
+    let simplify_sub = |sub: SubSpec| -> Vec<SubSpec> {
+        let mut subs = Vec::new();
+        if sub.off != 0 {
+            subs.push(SubSpec { off: 0, ..sub });
+        }
+        if sub.kc.abs() > 1 {
+            subs.push(SubSpec {
+                kc: sub.kc.signum(),
+                ..sub
+            });
+        }
+        if sub.jc != 0 {
+            subs.push(SubSpec { jc: 0, ..sub });
+        }
+        subs
+    };
+    if let TargetSpec::Arr { arr, sub } = &a.target {
+        for s2 in simplify_sub(*sub) {
+            out.push(AssignSpec {
+                target: TargetSpec::Arr { arr: *arr, sub: s2 },
+                terms: a.terms.clone(),
+            });
+        }
+    }
+    for (i, (op, t)) in a.terms.iter().enumerate() {
+        if let TermSpec::Arr { arr, sub } = t {
+            for s2 in simplify_sub(*sub) {
+                let mut terms = a.terms.clone();
+                terms[i] = (*op, TermSpec::Arr { arr: *arr, sub: s2 });
+                out.push(AssignSpec {
+                    target: a.target.clone(),
+                    terms,
+                });
+            }
+        }
+        if !matches!(t, TermSpec::Const(_)) {
+            let mut terms = a.terms.clone();
+            terms[i] = (*op, TermSpec::Const(1));
+            out.push(AssignSpec {
+                target: a.target.clone(),
+                terms,
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Reproducer emission.
+// ---------------------------------------------------------------------------
+
+/// Renders a spec as self-contained `ProcBuilder` code building the exact
+/// program [`ProgramSpec::build`] produces (same shifts, same extents, same
+/// reference-id order), ready to paste into a regression test.
+pub fn reproducer(spec: &ProgramSpec) -> String {
+    let (shifts, extents) = spec.layout_plan();
+    let mut out = String::new();
+    let mut push = |line: &str| {
+        out.push_str(line);
+        out.push('\n');
+    };
+    push("// Reproducer emitted by refidem-testkit's shrinker.");
+    push("// Build the program, label region \"R\", and compare HOSE/CASE");
+    push("// against the sequential interpretation.");
+    push("use refidem_ir::affine::AffineExpr;");
+    push("use refidem_ir::build::{ac, add, av, cmp, idx, mul, num, sub, ProcBuilder};");
+    push("use refidem_ir::expr::CmpOp;");
+    push("use refidem_ir::program::Program;");
+    push("");
+    push("let mut b = ProcBuilder::new(\"repro\");");
+    for (i, e) in extents.iter().enumerate() {
+        push(&format!("let a{i} = b.array(\"a{i}\", &[{e}]);"));
+    }
+    for i in 0..spec.scalars {
+        push(&format!("let s{i} = b.scalar(\"s{i}\");"));
+    }
+    // `build()` declares both indices unconditionally; match it so the
+    // emitted code produces a byte-identical variable table (and layout)
+    // even when the shrunk spec has no inner loop.
+    push("let k = b.index(\"k\");");
+    push(if spec_uses_inner(&spec.body) {
+        "let j = b.index(\"j\");"
+    } else {
+        "let _j = b.index(\"j\"); // unreferenced, but keeps the var table identical"
+    });
+    let live: Vec<String> = spec
+        .live_out_arrays
+        .iter()
+        .map(|i| format!("a{i}"))
+        .chain(spec.live_out_scalars.iter().map(|i| format!("s{i}")))
+        .collect();
+    push(&format!("b.live_out(&[{}]);", live.join(", ")));
+    let mut counter = 0usize;
+    let names = emit_stmts(&mut out, &spec.body, &shifts, &mut counter);
+    out.push_str(&format!(
+        "let region = b.do_loop_labeled({:?}, k, ac({}), ac({}), vec![{}]);\n",
+        REGION_LABEL,
+        spec.outer_lo,
+        spec.outer_hi(),
+        names.join(", ")
+    ));
+    out.push_str("let mut program = Program::new(\"repro\");\n");
+    out.push_str("program.add_procedure(b.build(vec![region]));\n");
+    out
+}
+
+fn spec_uses_inner(stmts: &[StmtSpec]) -> bool {
+    stmts.iter().any(|s| match s {
+        StmtSpec::Inner { .. } => true,
+        StmtSpec::If {
+            then_body,
+            else_body,
+            ..
+        } => spec_uses_inner(then_body) || spec_uses_inner(else_body),
+        StmtSpec::Assign(_) => false,
+    })
+}
+
+fn sub_code(sub: SubSpec, shift: i64) -> String {
+    let mut parts = Vec::new();
+    match sub.kc {
+        0 => {}
+        1 => parts.push("av(k)".to_string()),
+        c => parts.push(format!("AffineExpr::scaled_var(k, {c})")),
+    }
+    match sub.jc {
+        0 => {}
+        1 => parts.push("av(j)".to_string()),
+        c => parts.push(format!("AffineExpr::scaled_var(j, {c})")),
+    }
+    let off = sub.off + shift;
+    if off != 0 || parts.is_empty() {
+        parts.push(format!("ac({off})"));
+    }
+    parts.join(" + ")
+}
+
+fn term_code(t: &TermSpec, shifts: &[i64]) -> String {
+    match t {
+        TermSpec::Arr { arr, sub } => format!(
+            "b.load_elem(a{arr}, vec![{}])",
+            sub_code(*sub, shifts[*arr])
+        ),
+        TermSpec::Scalar(n) => format!("b.load(s{n})"),
+        TermSpec::OuterIdx => "idx(k)".to_string(),
+        TermSpec::InnerIdx => "idx(j)".to_string(),
+        TermSpec::Const(c) => format!("num({:?})", *c as f64 * 0.5),
+    }
+}
+
+fn rhs_code(terms: &[(TermOp, TermSpec)], shifts: &[i64]) -> String {
+    let mut acc: Option<String> = None;
+    for (op, t) in terms {
+        let e = term_code(t, shifts);
+        acc = Some(match acc {
+            None => e,
+            Some(prev) => {
+                let f = match op {
+                    TermOp::Add => "add",
+                    TermOp::Sub => "sub",
+                    TermOp::Mul => "mul",
+                };
+                format!("{f}({prev}, {e})")
+            }
+        });
+    }
+    acc.expect("assignments have at least one term")
+}
+
+/// Emits builder statements for a body; returns the emitted variable names.
+fn emit_stmts(
+    out: &mut String,
+    stmts: &[StmtSpec],
+    shifts: &[i64],
+    counter: &mut usize,
+) -> Vec<String> {
+    let mut names = Vec::new();
+    for s in stmts {
+        let name = format!("st{}", *counter);
+        *counter += 1;
+        match s {
+            StmtSpec::Assign(a) => {
+                let rhs = rhs_code(&a.terms, shifts);
+                let line = match &a.target {
+                    TargetSpec::Arr { arr, sub } => format!(
+                        "let {name} = {{ let rhs = {rhs}; b.assign_elem(a{arr}, vec![{}], rhs) }};",
+                        sub_code(*sub, shifts[*arr])
+                    ),
+                    TargetSpec::Scalar(n) => {
+                        format!("let {name} = {{ let rhs = {rhs}; b.assign_scalar(s{n}, rhs) }};")
+                    }
+                };
+                out.push_str(&line);
+                out.push('\n');
+            }
+            StmtSpec::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let then_names = emit_stmts(out, then_body, shifts, counter);
+                let else_names = emit_stmts(out, else_body, shifts, counter);
+                let lhs = match cond.index {
+                    CondIndex::Outer => "idx(k)",
+                    CondIndex::Inner => "idx(j)",
+                };
+                let op = if cond.greater { "Gt" } else { "Le" };
+                let cond_code = format!("cmp(CmpOp::{op}, {lhs}, num({:?}))", cond.rhs as f64);
+                let line = if else_names.is_empty() {
+                    format!(
+                        "let {name} = b.if_then({cond_code}, vec![{}]);",
+                        then_names.join(", ")
+                    )
+                } else {
+                    format!(
+                        "let {name} = b.if_then_else({cond_code}, vec![{}], vec![{}]);",
+                        then_names.join(", "),
+                        else_names.join(", ")
+                    )
+                };
+                out.push_str(&line);
+                out.push('\n');
+            }
+            StmtSpec::Inner { lo, bound, body } => {
+                let body_names = emit_stmts(out, body, shifts, counter);
+                let upper = match bound {
+                    InnerBound::Extent(e) => format!("ac({})", lo + e - 1),
+                    InnerBound::Triangular => "av(k)".to_string(),
+                };
+                out.push_str(&format!(
+                    "let {name} = b.do_loop(j, ac({lo}), {upper}, vec![{}]);\n",
+                    body_names.join(", ")
+                ));
+            }
+        }
+        names.push(name);
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::Tamper;
+    use crate::gen::{AssignSpec, TargetSpec, TermOp, TermSpec};
+
+    /// A hand-written recurrence whose speculative read, once corrupted to
+    /// idempotent, makes CASE read stale values without detection:
+    /// `do k = 2, 13: a0(k) = a0(k-1) + 0.5`, plus noise statements the
+    /// shrinker should strip.
+    fn broken_label_victim() -> ProgramSpec {
+        let recurrence = StmtSpec::Assign(AssignSpec {
+            target: TargetSpec::Arr {
+                arr: 0,
+                sub: SubSpec::outer(1, 0),
+            },
+            terms: vec![
+                (
+                    TermOp::Add,
+                    TermSpec::Arr {
+                        arr: 0,
+                        sub: SubSpec::outer(1, -1),
+                    },
+                ),
+                (TermOp::Add, TermSpec::Const(1)),
+            ],
+        });
+        // Noise: an independent stencil on a second array and a scalar
+        // accumulation — both removable without losing the failure.
+        let noise1 = StmtSpec::Assign(AssignSpec {
+            target: TargetSpec::Arr {
+                arr: 1,
+                sub: SubSpec::outer(1, 0),
+            },
+            terms: vec![
+                (
+                    TermOp::Add,
+                    TermSpec::Arr {
+                        arr: 1,
+                        sub: SubSpec::outer(1, 2),
+                    },
+                ),
+                (TermOp::Mul, TermSpec::Const(2)),
+            ],
+        });
+        let noise2 = StmtSpec::Assign(AssignSpec {
+            target: TargetSpec::Scalar(0),
+            terms: vec![
+                (TermOp::Add, TermSpec::Scalar(0)),
+                (TermOp::Add, TermSpec::OuterIdx),
+            ],
+        });
+        ProgramSpec {
+            arrays: 2,
+            scalars: 1,
+            outer_lo: 2,
+            outer_trips: 12,
+            body: vec![noise1, recurrence, noise2],
+            live_out_arrays: vec![0, 1],
+            live_out_scalars: vec![0],
+        }
+    }
+
+    fn tampered_cfg() -> DiffConfig {
+        DiffConfig {
+            tamper: Some(Tamper::PromoteSpeculativeReads),
+            ..DiffConfig::case_only()
+        }
+    }
+
+    #[test]
+    fn corrupted_labels_are_detected_and_shrunk_to_the_recurrence() {
+        let spec = broken_label_victim();
+        let cfg = tampered_cfg();
+        // The corrupted labeling must be caught by the differential runner…
+        let failure = check_spec(&spec, &cfg).expect_err("corrupt labels must diverge");
+        assert!(
+            matches!(failure, DiffFailure::Divergence { .. }),
+            "expected a memory divergence, got: {failure}"
+        );
+        // …and the shrinker must strip the noise while keeping the failure.
+        let result = shrink(&spec, &cfg, 2000);
+        assert!(
+            result.stmts_after < result.stmts_before,
+            "shrinker made no progress ({} -> {})",
+            result.stmts_before,
+            result.stmts_after
+        );
+        assert!(
+            result.stmts_after <= 1,
+            "one statement suffices, kept {}",
+            result.stmts_after
+        );
+        assert!(
+            check_spec(&result.spec, &cfg).is_err(),
+            "shrunk spec must still fail"
+        );
+        // The untampered original must be clean (the bug is the label, not
+        // the program).
+        assert!(check_spec(&result.spec, &DiffConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn reproducer_code_round_trips_the_program() {
+        let spec = broken_label_victim();
+        let code = reproducer(&spec);
+        assert!(code.contains("ProcBuilder::new"));
+        assert!(code.contains("do_loop_labeled"));
+        assert!(code.contains("b.live_out"));
+        // The reproducer names every array with its computed extent.
+        let (_, extents) = spec.layout_plan();
+        for (i, e) in extents.iter().enumerate() {
+            assert!(
+                code.contains(&format!("b.array(\"a{i}\", &[{e}])")),
+                "missing array a{i} with extent {e} in:\n{code}"
+            );
+        }
+        // Both indices are declared even without an inner loop, so the
+        // emitted program's variable table matches ProgramSpec::build.
+        assert!(
+            code.contains("b.index(\"j\")"),
+            "missing the j index declaration in:\n{code}"
+        );
+    }
+
+    #[test]
+    fn shrink_panics_on_passing_specs() {
+        let spec = broken_label_victim();
+        let result = std::panic::catch_unwind(|| shrink(&spec, &DiffConfig::default(), 100));
+        assert!(result.is_err(), "shrinking a passing spec must panic");
+    }
+}

@@ -1,0 +1,85 @@
+//! The headline differential suite: hundreds of seeded programs, each run
+//! under HOSE and CASE across the whole capacity ladder and compared
+//! byte-exactly against the sequential interpreter.
+
+use refidem_testkit::{
+    check_generated, generate, reproducer, run_suite, shrink, DiffConfig, Tamper, CAPACITY_LADDER,
+};
+
+/// Acceptance bar: at least this many distinct programs per run.
+const SUITE_SEEDS: u64 = 240;
+
+#[test]
+fn two_hundred_plus_generated_programs_have_zero_divergences() {
+    let report = run_suite(0..SUITE_SEEDS, &DiffConfig::default());
+    assert_eq!(report.programs as u64, SUITE_SEEDS);
+    assert!(
+        report.distinct >= 200,
+        "need >= 200 distinct programs, generated only {} distinct of {}",
+        report.distinct,
+        report.programs
+    );
+    // Zero sequential-vs-HOSE and sequential-vs-CASE divergences across the
+    // full capacity ladder. On failure, shrink the first offender and print
+    // a ready-to-paste reproducer.
+    if let Some((seed, failure)) = report.failures.first() {
+        let g = generate(*seed);
+        let shrunk = shrink(&g.spec, &DiffConfig::default(), 2000);
+        panic!(
+            "seed {seed} failed: {failure}\nminimized ({} -> {} stmts):\n{}",
+            shrunk.stmts_before,
+            shrunk.stmts_after,
+            reproducer(&shrunk.spec)
+        );
+    }
+    // The suite exercised every rung of the ladder under both modes.
+    assert_eq!(
+        report.stats.runs,
+        report.programs * CAPACITY_LADDER.len() * 2
+    );
+    // The shape space actually stressed the simulator: overflows must have
+    // occurred (capacity 1 guarantees them on multi-address segments).
+    assert!(
+        report.stats.overflow_stalls > 0,
+        "no overflow was ever observed"
+    );
+    assert!(report.stats.segments > 0);
+    assert!(report.stats.max_peak_occupancy <= 256);
+}
+
+#[test]
+fn suite_is_deterministic_across_runs() {
+    let a = run_suite(1000..1010, &DiffConfig::default());
+    let b = run_suite(1000..1010, &DiffConfig::default());
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.distinct, b.distinct);
+    assert_eq!(a.failures.len(), b.failures.len());
+}
+
+#[test]
+fn tampered_labels_are_caught_somewhere_in_the_suite() {
+    // Promoting speculative reads to idempotent is unsound; across a batch
+    // of generated programs at least one must carry a cross-segment flow
+    // dependence whose mislabeled sink diverges under CASE.
+    let cfg = DiffConfig {
+        tamper: Some(Tamper::PromoteSpeculativeReads),
+        ..DiffConfig::case_only()
+    };
+    let mut caught = 0;
+    let mut tampered_any = false;
+    for seed in 0..40 {
+        let g = generate(seed);
+        match check_generated(&g, &cfg) {
+            Ok(stats) => tampered_any |= stats.tampered_labels > 0,
+            Err(_) => caught += 1,
+        }
+    }
+    assert!(
+        tampered_any || caught > 0,
+        "tampering never changed a label"
+    );
+    assert!(
+        caught >= 3,
+        "corrupted labelings must be detected (caught only {caught}/40)"
+    );
+}

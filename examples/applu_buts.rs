@@ -24,7 +24,11 @@ fn main() {
         .expect("top-level region");
     print!(
         "{}",
-        pretty::stmts_to_string(&proc.vars, std::slice::from_ref(&refidem::ir::stmt::Stmt::Loop(region_loop.clone())), 0)
+        pretty::stmts_to_string(
+            &proc.vars,
+            std::slice::from_ref(&refidem::ir::stmt::Stmt::Loop(region_loop.clone())),
+            0
+        )
     );
 
     println!("\n=== Cross-segment dependences on v ===");

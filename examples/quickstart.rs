@@ -76,18 +76,23 @@ fn main() {
     // Simulate: 4 processors, tiny speculative storage.
     let cfg = SimConfig::default().capacity(4);
     let cmp = compare_modes(&program, &labeled, &cfg).expect("simulates");
-    println!("\n=== Speculative execution (4 processors, {} word speculative storage) ===",
-        cfg.spec_capacity);
     println!(
-        "  sequential: {:>8} cycles",
-        cmp.sequential_cycles
+        "\n=== Speculative execution (4 processors, {} word speculative storage) ===",
+        cfg.spec_capacity
     );
+    println!("  sequential: {:>8} cycles", cmp.sequential_cycles);
     println!(
         "  HOSE:       {:>8} cycles  (speedup {:.2}, {} overflow stalls, {} violations)",
-        cmp.hose.region_cycles, cmp.hose_speedup(), cmp.hose.overflow_stalls, cmp.hose.violations
+        cmp.hose.region_cycles,
+        cmp.hose_speedup(),
+        cmp.hose.overflow_stalls,
+        cmp.hose.violations
     );
     println!(
         "  CASE:       {:>8} cycles  (speedup {:.2}, {} overflow stalls, {} violations)",
-        cmp.case.region_cycles, cmp.case_speedup(), cmp.case.overflow_stalls, cmp.case.violations
+        cmp.case.region_cycles,
+        cmp.case_speedup(),
+        cmp.case.overflow_stalls,
+        cmp.case.violations
     );
 }

@@ -20,7 +20,10 @@ fn main() {
         let var = region.var_id(var_name).expect("variable exists");
         let coloring = coloring_for_var(&region, var);
         println!("\nvariable {var_name}:");
-        println!("  {:<9} {:<7} {:<7} {}", "segment", "type", "color", "RFW writes?");
+        println!(
+            "  {:<9} {:<7} {:<7} RFW writes?",
+            "segment", "type", "color"
+        );
         for seg in 0..region.segment_count() {
             let ty = match coloring.types[seg] {
                 NodeType::Write => "Write",
@@ -36,7 +39,11 @@ fn main() {
                 region.segments()[seg].name,
                 ty,
                 color,
-                if coloring.is_rfw_segment(seg) { "yes" } else { "-" }
+                if coloring.is_rfw_segment(seg) {
+                    "yes"
+                } else {
+                    "-"
+                }
             );
         }
     }

@@ -1,0 +1,209 @@
+//! Golden snapshots of the Figure 1–4 worked examples: per-reference labels
+//! and static/dynamic statistics rendered textually, so any labeling
+//! regression shows up as a readable diff rather than a bare number.
+//!
+//! To regenerate after an intentional labeling change:
+//! `cargo test --test golden_labels -- --ignored --nocapture print_goldens`
+//! and paste the printed blocks over the constants below.
+
+use refidem::core::label::{label_abstract_region, label_program_region, Label};
+use refidem::core::model::AbstractRegion;
+use refidem::specsim::{run_sequential, SimConfig};
+use refidem_benchmarks::examples;
+
+/// Renders an abstract region's labeling: every reference in segment order
+/// with its label, then the static statistics.
+fn render_abstract(region: &AbstractRegion) -> String {
+    let labeling = label_abstract_region(region);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "region {} fully_independent={}\n",
+        region.name, labeling.fully_independent
+    ));
+    for (seg, r) in region.all_refs() {
+        let access = match r.access {
+            refidem::ir::sites::AccessKind::Read => "read ",
+            refidem::ir::sites::AccessKind::Write => "write",
+        };
+        let label = match labeling.label(r.id) {
+            Label::Speculative => "speculative".to_string(),
+            Label::Idempotent(c) => format!("idempotent({c})"),
+        };
+        out.push_str(&format!(
+            "  seg{} {access} {:<2} -> {label}\n",
+            seg.index(),
+            region.vars().name(r.var),
+        ));
+    }
+    let stats = labeling.stats();
+    out.push_str(&format!(
+        "static total={} idempotent={} speculative={}\n",
+        stats.total_static, stats.idempotent_static, stats.speculative_static
+    ));
+    for (cat, n) in &stats.by_category {
+        out.push_str(&format!("  {cat}: {n}\n"));
+    }
+    out
+}
+
+/// Renders a loop benchmark's labeling plus dynamic statistics from a
+/// sequential interpretation.
+fn render_loop(bench: &refidem_benchmarks::LoopBenchmark) -> String {
+    let labeled = label_program_region(&bench.program, &bench.region).expect("analyzes");
+    let proc = &bench.program.procedures[bench.region.proc.index()];
+    let mut out = String::new();
+    out.push_str(&format!(
+        "loop {} region {} fully_independent={}\n",
+        bench.name, bench.region.loop_label, labeled.labeling.fully_independent
+    ));
+    for site in labeled.analysis.table.sites() {
+        let access = match site.access {
+            refidem::ir::sites::AccessKind::Read => "read ",
+            refidem::ir::sites::AccessKind::Write => "write",
+        };
+        let label = match labeled.labeling.label(site.id) {
+            Label::Speculative => "speculative".to_string(),
+            Label::Idempotent(c) => format!("idempotent({c})"),
+        };
+        out.push_str(&format!(
+            "  {:?} {access} {:<8} -> {label}\n",
+            site.id,
+            proc.vars.name(site.var),
+        ));
+    }
+    let stats = labeled.stats();
+    out.push_str(&format!(
+        "static total={} idempotent={} speculative={}\n",
+        stats.total_static, stats.idempotent_static, stats.speculative_static
+    ));
+    for (cat, n) in &stats.by_category {
+        out.push_str(&format!("  {cat}: {n}\n"));
+    }
+    let seq = run_sequential(&bench.program, &labeled, &SimConfig::default()).expect("runs");
+    let dyn_stats = labeled.labeling.dynamic_stats(&seq.region_counts);
+    out.push_str(&format!(
+        "dynamic total={} idempotent={} fraction={:.4}\n",
+        dyn_stats.total,
+        dyn_stats.idempotent,
+        dyn_stats.fraction_idempotent()
+    ));
+    for (cat, n) in &dyn_stats.by_category {
+        out.push_str(&format!("  {cat}: {n}\n"));
+    }
+    out
+}
+
+const GOLDEN_FIGURE1: &str = "\
+region figure1 fully_independent=false
+  seg0 read  B  -> idempotent(read-only)
+  seg0 write A  -> idempotent(shared-dependent)
+  seg0 read  B  -> idempotent(read-only)
+  seg1 write C  -> idempotent(private)
+  seg1 read  A  -> speculative
+  seg1 read  B  -> idempotent(read-only)
+  seg1 read  C  -> idempotent(private)
+static total=7 idempotent=6 speculative=1
+  read-only: 3
+  private: 2
+  shared-dependent: 1
+";
+
+const GOLDEN_FIGURE2: &str = "\
+region figure2 fully_independent=false
+  seg0 read  G  -> idempotent(read-only)
+  seg0 write C  -> idempotent(shared-dependent)
+  seg0 read  C  -> idempotent(shared-dependent)
+  seg0 write N  -> idempotent(shared-dependent)
+  seg0 read  N  -> idempotent(shared-dependent)
+  seg0 write J  -> idempotent(shared-dependent)
+  seg0 read  F  -> idempotent(shared-dependent)
+  seg1 write E  -> idempotent(shared-dependent)
+  seg1 write J  -> speculative
+  seg2 write A  -> idempotent(shared-dependent)
+  seg2 read  N  -> speculative
+  seg2 read  E  -> speculative
+  seg2 write K  -> speculative
+  seg2 read  A  -> idempotent(shared-dependent)
+  seg2 write B  -> speculative
+  seg3 write A  -> idempotent(shared-dependent)
+  seg3 read  E  -> speculative
+  seg3 read  E  -> speculative
+  seg3 write K  -> speculative
+  seg3 read  A  -> idempotent(shared-dependent)
+  seg3 write B  -> speculative
+  seg4 write F  -> speculative
+  seg4 read  F  -> speculative
+  seg4 read  G  -> idempotent(read-only)
+  seg4 read  G  -> idempotent(read-only)
+  seg4 read  H  -> idempotent(shared-dependent)
+  seg4 write H  -> speculative
+static total=27 idempotent=15 speculative=12
+  read-only: 3
+  shared-dependent: 12
+";
+
+const GOLDEN_FIGURE3: &str = "\
+region figure3 fully_independent=false
+  seg0 write x  -> idempotent(shared-dependent)
+  seg1 read  z  -> idempotent(shared-dependent)
+  seg1 write y  -> idempotent(shared-dependent)
+  seg2 write y  -> idempotent(shared-dependent)
+  seg3 write y  -> speculative
+  seg3 read  x  -> speculative
+  seg4 write y  -> speculative
+  seg5 write x  -> speculative
+  seg5 write y  -> speculative
+  seg5 write z  -> speculative
+  seg6 read  y  -> speculative
+  seg6 write x  -> speculative
+static total=12 idempotent=4 speculative=8
+  shared-dependent: 4
+";
+
+const GOLDEN_FIGURE4: &str = "\
+loop APPLU BUTS_DO1 region BUTS_DO1 fully_independent=false
+  r33 write tmp      -> idempotent(private)
+  r25 read  tmp      -> idempotent(private)
+  r26 read  v        -> idempotent(shared-dependent)
+  r27 read  v        -> idempotent(shared-dependent)
+  r28 read  v        -> idempotent(shared-dependent)
+  r29 write tmp      -> idempotent(private)
+  r30 read  v        -> idempotent(shared-dependent)
+  r31 read  tmp      -> idempotent(private)
+  r32 write v        -> speculative
+static total=9 idempotent=8 speculative=1
+  private: 4
+  shared-dependent: 4
+dynamic total=2624 idempotent=2304 fraction=0.8780
+  private: 1024
+  shared-dependent: 1280
+";
+
+#[test]
+#[ignore = "prints the current goldens for regeneration"]
+fn print_goldens() {
+    println!("=== figure1 ===\n{}", render_abstract(&examples::figure1()));
+    println!("=== figure2 ===\n{}", render_abstract(&examples::figure2()));
+    println!("=== figure3 ===\n{}", render_abstract(&examples::figure3()));
+    println!("=== figure4 ===\n{}", render_loop(&examples::figure4()));
+}
+
+#[test]
+fn figure1_labels_match_golden() {
+    assert_eq!(render_abstract(&examples::figure1()), GOLDEN_FIGURE1);
+}
+
+#[test]
+fn figure2_labels_match_golden() {
+    assert_eq!(render_abstract(&examples::figure2()), GOLDEN_FIGURE2);
+}
+
+#[test]
+fn figure3_labels_match_golden() {
+    assert_eq!(render_abstract(&examples::figure3()), GOLDEN_FIGURE3);
+}
+
+#[test]
+fn figure4_labels_match_golden() {
+    assert_eq!(render_loop(&examples::figure4()), GOLDEN_FIGURE4);
+}

@@ -18,8 +18,7 @@ fn idempotent_references_are_never_cross_segment_sinks() {
             }
             for site in labeled.analysis.table.sites() {
                 if labeled.labeling.is_idempotent(site.id)
-                    && labeled.labeling.label(site.id).category()
-                        != Some(IdemCategory::Private)
+                    && labeled.labeling.label(site.id).category() != Some(IdemCategory::Private)
                 {
                     assert!(
                         !labeled.analysis.deps.is_sink_of_cross_segment(site.id),
@@ -137,8 +136,7 @@ fn parallelizable_regions_are_a_superset_of_fully_independent_ones() {
                 assert!(
                     labeled.analysis.compiler_parallelizable,
                     "{} {}: fully independent but not parallelizable",
-                    bench.name,
-                    region.loop_label
+                    bench.name, region.loop_label
                 );
             }
             if labeled.analysis.compiler_parallelizable {

@@ -54,7 +54,10 @@ fn figure2_rfw_sets_and_labels() {
     ];
     for (seg, vars) in expected {
         for var in *vars {
-            assert!(rfw.contains(&w(*seg, var)), "RFW(R{seg}) must contain {var}");
+            assert!(
+                rfw.contains(&w(*seg, var)),
+                "RFW(R{seg}) must contain {var}"
+            );
         }
     }
     // J in R1 and F in R4 are RFW but not idempotent; the A writes are both.

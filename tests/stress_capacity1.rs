@@ -1,0 +1,79 @@
+//! Stress: HOSE with a one-word speculative storage over every named
+//! benchmark loop. Capacity 1 is the simulator's worst case — almost every
+//! statement overflows, non-head segments stall, and the head makes
+//! progress by writing through. The run must terminate (no livelock), stay
+//! within capacity, commit every segment, and still match the sequential
+//! interpretation.
+
+use refidem::core::label::label_program_region;
+use refidem::specsim::{simulate_region, verify_against_sequential, ExecMode, SimConfig};
+use refidem_benchmarks::all_named_loops;
+
+#[test]
+fn capacity_one_hose_makes_forward_progress_on_every_named_loop() {
+    let cfg = SimConfig::default().capacity(1);
+    for bench in all_named_loops() {
+        let labeled = label_program_region(&bench.program, &bench.region).expect("analyzes");
+        // Forward progress: the engine returns instead of deadlocking or
+        // exhausting the statement budget.
+        let out = simulate_region(&bench.program, &labeled, ExecMode::Hose, &cfg)
+            .unwrap_or_else(|e| panic!("{}: capacity-1 HOSE did not terminate: {e}", bench.name));
+        let r = &out.report;
+        assert!(
+            r.spec_peak_occupancy <= 1,
+            "{}: peak occupancy {} with capacity 1",
+            bench.name,
+            r.spec_peak_occupancy
+        );
+        assert_eq!(
+            r.commits as usize, r.segments,
+            "{}: every segment must commit exactly once",
+            bench.name
+        );
+        assert!(r.segments > 0, "{}: no segments simulated", bench.name);
+        // A one-word buffer must overflow on any loop whose segments touch
+        // more than one address — all the named loops do.
+        assert!(
+            r.overflow_stalls + r.overflow_writethrough > 0,
+            "{}: expected overflow events at capacity 1",
+            bench.name
+        );
+        // And the result is still functionally correct (Lemma 1 under
+        // maximal serialization pressure).
+        let diffs = verify_against_sequential(&bench.program, &labeled, ExecMode::Hose, &cfg)
+            .expect("verification runs");
+        assert!(
+            diffs.is_empty(),
+            "{}: capacity-1 HOSE diverged at {} addresses (first: {:?})",
+            bench.name,
+            diffs.len(),
+            diffs.first()
+        );
+    }
+}
+
+#[test]
+fn capacity_one_case_is_also_sound_on_every_named_loop() {
+    // CASE at capacity 1: idempotent references bypass the buffer, so the
+    // pressure is lower, but the invariants are identical.
+    let cfg = SimConfig::default().capacity(1);
+    for bench in all_named_loops() {
+        let labeled = label_program_region(&bench.program, &bench.region).expect("analyzes");
+        let out = simulate_region(&bench.program, &labeled, ExecMode::Case, &cfg)
+            .unwrap_or_else(|e| panic!("{}: capacity-1 CASE did not terminate: {e}", bench.name));
+        assert!(out.report.spec_peak_occupancy <= 1, "{}", bench.name);
+        assert_eq!(
+            out.report.commits as usize, out.report.segments,
+            "{}",
+            bench.name
+        );
+        let diffs = verify_against_sequential(&bench.program, &labeled, ExecMode::Case, &cfg)
+            .expect("verification runs");
+        assert!(
+            diffs.is_empty(),
+            "{}: capacity-1 CASE diverged at {} addresses",
+            bench.name,
+            diffs.len()
+        );
+    }
+}
