@@ -1,11 +1,15 @@
-//! Benchmarks of the compiler-side analyses: dependence analysis, RFW
-//! analysis (Algorithm 1) and idempotency labeling (Algorithm 2).
+//! Benchmarks of the compiler-side analyses — dependence analysis, RFW
+//! analysis (Algorithm 1), idempotency labeling (Algorithm 2) — and of the
+//! sequential interpreter on both execution backends (`interp/*` measures
+//! the tree-walking oracle against the lowered bytecode engine).
 
 use refidem_analysis::region::RegionAnalysis;
 use refidem_bench::microbench::Harness;
 use refidem_benchmarks::{all_named_loops, examples};
 use refidem_core::label::{label_abstract_region, label_region};
 use refidem_core::rfw::rfw_for_abstract;
+use refidem_ir::exec::SeqInterp;
+use refidem_ir::memory::{Layout, Memory};
 use std::hint::black_box;
 
 fn bench_region_analysis(c: &mut Harness) {
@@ -57,10 +61,29 @@ fn bench_algorithm1_on_paper_examples(c: &mut Harness) {
     group.finish();
 }
 
+fn bench_interp_backends(c: &mut Harness) {
+    let mut group = c.benchmark_group("interp");
+    for bench in all_named_loops() {
+        let proc = &bench.program.procedures[bench.region.proc.index()];
+        let layout = Layout::new(&proc.vars);
+        for (suffix, interp) in [("", SeqInterp::new()), ("_oracle", SeqInterp::oracle())] {
+            group.bench_function(format!("{}{suffix}", bench.name), |b| {
+                b.iter(|| {
+                    let mut memory = Memory::zeroed(&layout);
+                    interp.run_procedure(proc, &mut memory).expect("runs");
+                    black_box(memory.len())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 fn main() {
     let mut c = Harness::default().sample_size(20);
     bench_region_analysis(&mut c);
     bench_labeling(&mut c);
     bench_algorithm1_on_paper_examples(&mut c);
+    bench_interp_backends(&mut c);
     c.finish();
 }

@@ -1,6 +1,9 @@
 //! Benchmarks of the speculative-execution simulator: HOSE vs CASE on one
 //! representative loop per idempotency category, plus the sequential
-//! baseline.
+//! baseline — each measured on both execution backends. The unsuffixed
+//! names are the default lowered bytecode path (comparable with the PR-1
+//! baseline numbers); the `*_oracle` variants run the tree-walking
+//! interpreter so `BENCH_2.json` records the old-vs-lowered trajectory.
 
 use refidem_bench::microbench::Harness;
 use refidem_bench::{figure6_config, figure7_config, figure8_config, figure9_config};
@@ -13,26 +16,30 @@ use std::hint::black_box;
 fn bench_loop(c: &mut Harness, group_name: &str, bench: &LoopBenchmark, cfg: &SimConfig) {
     let labeled = label_program_region(&bench.program, &bench.region).expect("analyzes");
     let mut group = c.benchmark_group(group_name);
-    group.bench_function("sequential", |b| {
-        b.iter(|| {
-            let out = run_sequential(black_box(&bench.program), &labeled, cfg).expect("runs");
-            black_box(out.region_cycles)
-        })
-    });
-    group.bench_function("hose", |b| {
-        b.iter(|| {
-            let out = simulate_region(black_box(&bench.program), &labeled, ExecMode::Hose, cfg)
-                .expect("runs");
-            black_box(out.report.region_cycles)
-        })
-    });
-    group.bench_function("case", |b| {
-        b.iter(|| {
-            let out = simulate_region(black_box(&bench.program), &labeled, ExecMode::Case, cfg)
-                .expect("runs");
-            black_box(out.report.region_cycles)
-        })
-    });
+    for (suffix, cfg) in [("", cfg.clone()), ("_oracle", cfg.clone().oracle())] {
+        group.bench_function(format!("sequential{suffix}"), |b| {
+            b.iter(|| {
+                let out = run_sequential(black_box(&bench.program), &labeled, &cfg).expect("runs");
+                black_box(out.region_cycles)
+            })
+        });
+        group.bench_function(format!("hose{suffix}"), |b| {
+            b.iter(|| {
+                let out =
+                    simulate_region(black_box(&bench.program), &labeled, ExecMode::Hose, &cfg)
+                        .expect("runs");
+                black_box(out.report.region_cycles)
+            })
+        });
+        group.bench_function(format!("case{suffix}"), |b| {
+            b.iter(|| {
+                let out =
+                    simulate_region(black_box(&bench.program), &labeled, ExecMode::Case, &cfg)
+                        .expect("runs");
+                black_box(out.report.region_cycles)
+            })
+        });
+    }
     group.finish();
 }
 

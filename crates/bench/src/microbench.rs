@@ -6,6 +6,15 @@
 //! [`Bencher::iter`] measurement loop, and a median-of-samples report
 //! printed as a plain-text table. The bench targets are compiled with
 //! `harness = false` and call [`Harness::finish`] from their `main`.
+//!
+//! Two environment variables make the harness CI-friendly:
+//!
+//! * `BENCH_JSON=<path>` — append the results as machine-readable JSON
+//!   (`[{"name": ..., "ns_per_iter": ...}, ...]`) to `<path>`, merging
+//!   with any entries already present so several bench binaries can share
+//!   one file (this is how CI produces `BENCH_2.json`);
+//! * `BENCH_SAMPLES=<n>` — override the per-benchmark sample count (the
+//!   short profile CI runs uses a small value).
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -88,16 +97,25 @@ pub struct Harness {
 impl Default for Harness {
     fn default() -> Self {
         Harness {
-            sample_size: 10,
+            sample_size: env_sample_size().unwrap_or(10),
             results: Vec::new(),
         }
     }
 }
 
+/// The `BENCH_SAMPLES` override, when set and parseable.
+fn env_sample_size() -> Option<usize> {
+    std::env::var("BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+}
+
 impl Harness {
-    /// Sets the number of samples per benchmark.
+    /// Sets the number of samples per benchmark. The `BENCH_SAMPLES`
+    /// environment variable, when set, takes precedence (so CI can run a
+    /// short profile without patching bench sources).
     pub fn sample_size(mut self, n: usize) -> Self {
-        self.sample_size = n.max(1);
+        self.sample_size = env_sample_size().unwrap_or(n).max(1);
         self
     }
 
@@ -109,9 +127,79 @@ impl Harness {
         }
     }
 
-    /// Prints the summary footer. Call at the end of `main`.
+    /// The accumulated `(name, median)` results.
+    pub fn results(&self) -> &[(String, Duration)] {
+        &self.results
+    }
+
+    /// Renders the results as a JSON array of `{"name", "ns_per_iter"}`
+    /// objects.
+    pub fn results_json(&self) -> String {
+        let entries: Vec<String> = self
+            .results
+            .iter()
+            .map(|(name, d)| {
+                format!(
+                    "  {{\"name\": \"{}\", \"ns_per_iter\": {}}}",
+                    json_escape(name),
+                    d.as_nanos()
+                )
+            })
+            .collect();
+        format!("[\n{}\n]\n", entries.join(",\n"))
+    }
+
+    /// Writes (or merges into) a JSON results file. When the file already
+    /// holds a JSON array — e.g. from another bench binary of the same
+    /// `cargo bench` run — the new entries are appended to it.
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        let rendered = match std::fs::read_to_string(path) {
+            Ok(old) => merge_json_arrays(&old, &self.results_json()),
+            Err(_) => self.results_json(),
+        };
+        std::fs::write(path, rendered)
+    }
+
+    /// Prints the summary footer and, when `BENCH_JSON` is set, writes the
+    /// machine-readable results. Call at the end of `main`.
     pub fn finish(self) {
         println!("\n{} benchmarks measured", self.results.len());
+        if let Ok(path) = std::env::var("BENCH_JSON") {
+            if !path.is_empty() {
+                match self.write_json(&path) {
+                    Ok(()) => println!("results appended to {path}"),
+                    Err(e) => eprintln!("failed to write {path}: {e}"),
+                }
+            }
+        }
+    }
+}
+
+/// Escapes the characters JSON string literals cannot contain verbatim
+/// (benchmark names are plain identifiers, so this stays minimal).
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Concatenates two rendered JSON arrays into one.
+fn merge_json_arrays(old: &str, new: &str) -> String {
+    let old_inner = old
+        .trim()
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .map(str::trim)
+        .unwrap_or("");
+    let new_inner = new
+        .trim()
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .map(str::trim)
+        .unwrap_or("");
+    match (old_inner.is_empty(), new_inner.is_empty()) {
+        (true, true) => "[]\n".to_string(),
+        (false, true) => format!("[\n{old_inner}\n]\n"),
+        (true, false) => format!("[\n{new_inner}\n]\n"),
+        (false, false) => format!("[\n{old_inner},\n{new_inner}\n]\n"),
     }
 }
 
@@ -154,5 +242,33 @@ mod tests {
         assert_eq!(format_duration(Duration::from_micros(2)), "2.000 µs");
         assert_eq!(format_duration(Duration::from_millis(2)), "2.000 ms");
         assert_eq!(format_duration(Duration::from_secs(2)), "2.000 s");
+    }
+
+    #[test]
+    fn json_rendering_and_merging() {
+        let mut h = Harness::default().sample_size(1);
+        h.results
+            .push(("g/a".to_string(), Duration::from_nanos(120)));
+        h.results
+            .push(("g/b".to_string(), Duration::from_micros(3)));
+        let json = h.results_json();
+        assert!(json.starts_with("[\n"));
+        assert!(json.contains("{\"name\": \"g/a\", \"ns_per_iter\": 120}"));
+        assert!(json.contains("{\"name\": \"g/b\", \"ns_per_iter\": 3000}"));
+        // Merging two arrays keeps every entry.
+        let merged = merge_json_arrays(&json, &json);
+        assert_eq!(merged.matches("g/a").count(), 2);
+        assert!(merged.trim().starts_with('[') && merged.trim().ends_with(']'));
+        // Merging with an empty / absent array degenerates correctly.
+        assert_eq!(merge_json_arrays("", "[]"), "[]\n");
+        for one_sided in [
+            merge_json_arrays("[]", &json),
+            merge_json_arrays(&json, "[]"),
+        ] {
+            assert_eq!(one_sided.matches("ns_per_iter").count(), 2);
+            let t = one_sided.trim();
+            assert!(t.starts_with('[') && t.ends_with(']'));
+        }
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
     }
 }

@@ -200,7 +200,7 @@ impl Labeling {
     pub fn dynamic_stats(&self, counts: &DynCounts) -> DynLabelStats {
         let mut stats = DynLabelStats::default();
         for (site, (reads, writes)) in counts {
-            let Some(&label) = self.labels.get(site) else {
+            let Some(&label) = self.labels.get(&site) else {
                 continue;
             };
             let n = reads + writes;

@@ -19,12 +19,12 @@
 use crate::affine::AffineExpr;
 use crate::expr::{BinOp, Expr, Reference, Subscript};
 use crate::ids::{RefId, VarId};
+use crate::lowered::{lower, ExecBackend, LoweredSegmentExec};
 use crate::memory::{Addr, Layout, Memory};
 use crate::program::Procedure;
 use crate::sites::AccessKind;
 use crate::stmt::{LoopStmt, Stmt};
 use crate::var::VarTable;
-use std::collections::BTreeMap;
 
 /// Errors raised by the executor.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -124,8 +124,85 @@ impl DataStore for PlainStore<'_> {
     }
 }
 
-/// Per-site dynamic access counts `(reads, writes)`.
-pub type DynCounts = BTreeMap<RefId, (u64, u64)>;
+/// Per-site dynamic access counts `(reads, writes)`, stored as a flat
+/// table indexed by [`RefId::index`] — site ids are dense per procedure, so
+/// counting an access is a bounds-checked array increment instead of a
+/// `BTreeMap` traversal.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DynCounts {
+    counts: Vec<(u64, u64)>,
+}
+
+impl DynCounts {
+    /// An empty counter table.
+    pub fn new() -> Self {
+        DynCounts::default()
+    }
+
+    #[inline]
+    fn slot(&mut self, site: RefId) -> &mut (u64, u64) {
+        let i = site.index();
+        if i >= self.counts.len() {
+            self.counts.resize(i + 1, (0, 0));
+        }
+        &mut self.counts[i]
+    }
+
+    /// Counts one read at `site`.
+    #[inline]
+    pub fn record_read(&mut self, site: RefId) {
+        self.slot(site).0 += 1;
+    }
+
+    /// Counts one write at `site`.
+    #[inline]
+    pub fn record_write(&mut self, site: RefId) {
+        self.slot(site).1 += 1;
+    }
+
+    /// Sets the counters of a site (mainly for tests).
+    pub fn insert(&mut self, site: RefId, counts: (u64, u64)) {
+        *self.slot(site) = counts;
+    }
+
+    /// The `(reads, writes)` counters of a site (zero when never accessed).
+    pub fn get(&self, site: RefId) -> (u64, u64) {
+        self.counts.get(site.index()).copied().unwrap_or((0, 0))
+    }
+
+    /// Iterates over the sites with at least one recorded access, in
+    /// `RefId` order.
+    pub fn iter(&self) -> impl Iterator<Item = (RefId, (u64, u64))> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c != (0, 0))
+            .map(|(i, c)| (RefId::from_index(i), *c))
+    }
+
+    /// The `(reads, writes)` pairs of the accessed sites.
+    pub fn values(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.iter().map(|(_, c)| c)
+    }
+
+    /// Number of sites with at least one recorded access.
+    pub fn len(&self) -> usize {
+        self.iter().count()
+    }
+
+    /// True when no access was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.iter().all(|c| *c == (0, 0))
+    }
+}
+
+impl<'a> IntoIterator for &'a DynCounts {
+    type Item = (RefId, (u64, u64));
+    type IntoIter = Box<dyn Iterator<Item = (RefId, (u64, u64))> + 'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
 
 /// A store adaptor that counts dynamic accesses per reference site while
 /// delegating the accesses to an inner store.
@@ -149,12 +226,12 @@ impl<S> CountingStore<S> {
 
 impl<S: DataStore> DataStore for CountingStore<S> {
     fn read(&mut self, site: RefId, addr: Addr) -> f64 {
-        self.counts.entry(site).or_insert((0, 0)).0 += 1;
+        self.counts.record_read(site);
         self.inner.read(site, addr)
     }
 
     fn write(&mut self, site: RefId, addr: Addr, value: f64) {
-        self.counts.entry(site).or_insert((0, 0)).1 += 1;
+        self.counts.record_write(site);
         self.inner.write(site, addr, value)
     }
 }
@@ -409,17 +486,57 @@ impl<'p> SegmentExec<'p> {
 
 /// Sequential interpreter for whole procedures — the reference semantics of
 /// Definition 3.
+///
+/// By default it executes on the lowered bytecode backend
+/// ([`crate::lowered`]); [`SeqInterp::oracle`] selects the tree-walking
+/// interpreter, which serves as the cross-checking oracle of the
+/// differential suite.
 #[derive(Debug, Default)]
 pub struct SeqInterp {
     /// Maximum number of statement units per procedure run.
     pub max_steps: usize,
+    /// Which execution backend to run on.
+    pub backend: ExecBackend,
 }
 
 impl SeqInterp {
-    /// Creates an interpreter with a generous default step budget.
+    /// Creates an interpreter with a generous default step budget, running
+    /// on the lowered (fast) backend.
     pub fn new() -> Self {
         SeqInterp {
             max_steps: 200_000_000,
+            backend: ExecBackend::Lowered,
+        }
+    }
+
+    /// Creates an interpreter running on the tree-walking oracle backend.
+    pub fn oracle() -> Self {
+        SeqInterp {
+            backend: ExecBackend::TreeWalk,
+            ..SeqInterp::new()
+        }
+    }
+
+    /// Runs a statement list through an arbitrary store on the configured
+    /// backend (the building block the other `run_*` methods share).
+    pub fn run_stmts(
+        &self,
+        vars: &VarTable,
+        layout: &Layout,
+        stmts: &[Stmt],
+        env: &[(VarId, i64)],
+        store: &mut impl DataStore,
+    ) -> Result<(), ExecError> {
+        match self.backend {
+            ExecBackend::Lowered => {
+                let lowered = lower(vars, layout, stmts);
+                let mut exec = LoweredSegmentExec::new(&lowered, env);
+                exec.run(store, self.max_steps)
+            }
+            ExecBackend::TreeWalk => {
+                let mut exec = SegmentExec::new(vars, layout, stmts, env);
+                exec.run(store, self.max_steps)
+            }
         }
     }
 
@@ -428,8 +545,7 @@ impl SeqInterp {
     pub fn run_procedure(&self, proc: &Procedure, memory: &mut Memory) -> Result<(), ExecError> {
         let layout = Layout::new(&proc.vars);
         let mut store = PlainStore::new(memory);
-        let mut exec = SegmentExec::new(&proc.vars, &layout, &proc.body, &[]);
-        exec.run(&mut store, self.max_steps)
+        self.run_stmts(&proc.vars, &layout, &proc.body, &[], &mut store)
     }
 
     /// Runs a procedure and returns per-site dynamic access counts.
@@ -440,8 +556,7 @@ impl SeqInterp {
     ) -> Result<DynCounts, ExecError> {
         let layout = Layout::new(&proc.vars);
         let mut store = CountingStore::new(PlainStore::new(memory));
-        let mut exec = SegmentExec::new(&proc.vars, &layout, &proc.body, &[]);
-        exec.run(&mut store, self.max_steps)?;
+        self.run_stmts(&proc.vars, &layout, &proc.body, &[], &mut store)?;
         Ok(store.counts)
     }
 
@@ -456,8 +571,7 @@ impl SeqInterp {
         memory: &mut Memory,
     ) -> Result<DynCounts, ExecError> {
         let mut store = CountingStore::new(PlainStore::new(memory));
-        let mut exec = SegmentExec::new(vars, layout, stmts, env);
-        exec.run(&mut store, self.max_steps)?;
+        self.run_stmts(vars, layout, stmts, env, &mut store)?;
         Ok(store.counts)
     }
 }

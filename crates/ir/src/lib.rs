@@ -18,6 +18,10 @@
 //! * a resumable, statement-granular executor used both for sequential
 //!   ground-truth interpretation and for the speculative-execution simulator
 //!   ([`exec`]),
+//! * a lowered register-machine bytecode backend that compiles each
+//!   statement list once and replays it without re-walking the trees
+//!   ([`lowered`]) — the fast path the simulator and benchmarks run on,
+//!   with [`exec`]'s tree-walk kept as the cross-checking oracle,
 //! * a pretty printer for Fortran-flavoured listings ([`pretty`]).
 //!
 //! The IR is deliberately structured (no gotos): every analysis in
@@ -33,6 +37,7 @@ pub mod build;
 pub mod exec;
 pub mod expr;
 pub mod ids;
+pub mod lowered;
 pub mod memory;
 pub mod pretty;
 pub mod program;
@@ -42,9 +47,12 @@ pub mod var;
 
 pub use affine::AffineExpr;
 pub use build::ProcBuilder;
-pub use exec::{DataStore, ExecError, PlainStore, SegmentExec, SeqInterp, TraceEvent};
+pub use exec::{DataStore, DynCounts, ExecError, PlainStore, SegmentExec, SeqInterp, TraceEvent};
 pub use expr::{BinOp, CmpOp, Expr, Reference, Subscript};
 pub use ids::{ProcId, RefId, StmtId, VarId};
+pub use lowered::{
+    lower, lower_procedure, lower_with_ranges, ExecBackend, LoweredProc, LoweredSegmentExec,
+};
 pub use memory::{Addr, Layout, Memory};
 pub use program::{Procedure, Program, RegionSpec};
 pub use sites::{AccessKind, RefSite, RefTable};
@@ -55,9 +63,10 @@ pub use var::{VarInfo, VarKind, VarTable};
 pub mod prelude {
     pub use crate::affine::AffineExpr;
     pub use crate::build::ProcBuilder;
-    pub use crate::exec::{DataStore, PlainStore, SegmentExec, SeqInterp};
+    pub use crate::exec::{DataStore, DynCounts, PlainStore, SegmentExec, SeqInterp};
     pub use crate::expr::{BinOp, CmpOp, Expr, Reference, Subscript};
     pub use crate::ids::{ProcId, RefId, StmtId, VarId};
+    pub use crate::lowered::{lower, ExecBackend, LoweredProc, LoweredSegmentExec};
     pub use crate::memory::{Addr, Layout, Memory};
     pub use crate::program::{Procedure, Program, RegionSpec};
     pub use crate::sites::{AccessKind, RefSite, RefTable};

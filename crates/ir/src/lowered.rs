@@ -1,0 +1,957 @@
+//! Lowered register-machine bytecode — the fast execution backend.
+//!
+//! The tree-walking [`SegmentExec`](crate::exec::SegmentExec) re-traverses
+//! the `Expr`/`Stmt` structures on every statement execution: every affine
+//! subscript walks a `BTreeMap` of terms, every array access allocates a
+//! subscript vector, and every expression evaluation chases `Box` pointers.
+//! For the simulator — which executes the same segment body millions of
+//! times across capacity points and label configurations — that traversal
+//! is pure overhead.
+//!
+//! This module compiles a statement list **once** into a flat instruction
+//! array:
+//!
+//! * expression trees are flattened to postfix stack operations,
+//! * affine subscripts are pre-resolved against the [`Layout`] into
+//!   `(base, Σ stride·index)` plans with compile-time parameter folding,
+//! * structured control flow (`IF`, `DO`) is jump-threaded into branch and
+//!   loop-back instructions over the flat array.
+//!
+//! [`LoweredSegmentExec`] then mirrors `SegmentExec`'s resumable
+//! step/rollback contract exactly: one `step` executes one *statement
+//! unit* (an assignment, an `IF` condition, or a loop setup), performing
+//! every memory access through the same [`DataStore`] interface, and
+//! `reset` rewinds to the initial state for re-execution after a
+//! roll-back. The two backends are byte-exact equivalent: identical memory
+//! effects, identical access order (and therefore identical traces and
+//! dynamic counts), identical step counting, identical error behavior —
+//! the differential suite in `refidem-testkit` asserts this across
+//! hundreds of generated programs and the whole named-benchmark suite.
+
+use crate::affine::AffineExpr;
+use crate::exec::{DataStore, ExecError};
+use crate::expr::{BinOp, CmpOp, Expr, Reference, Subscript};
+use crate::ids::{RefId, VarId};
+use crate::memory::{Addr, Layout};
+use crate::program::Procedure;
+use crate::stmt::{LoopStmt, Stmt};
+use crate::var::VarTable;
+
+/// Which execution backend to run IR code on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ExecBackend {
+    /// The lowered bytecode engine (fast path, the default).
+    #[default]
+    Lowered,
+    /// The tree-walking interpreter (the cross-checking oracle).
+    TreeWalk,
+}
+
+/// An affine integer expression compiled against an environment: constant
+/// term (with all compile-time parameters folded in) plus `coeff * slot`
+/// terms over runtime index variables, kept in `VarId` order so unbound
+/// errors surface on the same variable as the tree-walking interpreter.
+#[derive(Clone, Debug)]
+struct AffinePlan {
+    constant: i64,
+    terms: Box<[(u32, i64)]>,
+}
+
+impl AffinePlan {
+    fn compile(e: &AffineExpr, vars: &VarTable) -> AffinePlan {
+        let mut constant = e.constant;
+        let mut terms = Vec::new();
+        for (&v, &c) in &e.terms {
+            match vars.param_value(v) {
+                Some(value) => constant += c * value,
+                None => terms.push((v.index() as u32, c)),
+            }
+        }
+        AffinePlan {
+            constant,
+            terms: terms.into_boxed_slice(),
+        }
+    }
+
+    #[inline]
+    fn eval(&self, env: &[i64], bound: &[bool]) -> Result<i64, ExecError> {
+        match self.terms.as_ref() {
+            // The overwhelmingly common shapes: constant-only and
+            // single-index subscripts.
+            [] => Ok(self.constant),
+            [(slot, c)] => {
+                let i = *slot as usize;
+                if !bound[i] {
+                    return Err(ExecError::UnboundVariable(VarId::from_index(i)));
+                }
+                Ok(self.constant + c * env[i])
+            }
+            terms => {
+                let mut acc = self.constant;
+                for &(slot, c) in terms {
+                    let i = slot as usize;
+                    if !bound[i] {
+                        return Err(ExecError::UnboundVariable(VarId::from_index(i)));
+                    }
+                    acc += c * env[i];
+                }
+                Ok(acc)
+            }
+        }
+    }
+
+    /// Evaluation without bound checks — only valid for plans whose every
+    /// variable is provably bound when the plan executes (the [`RefPlan::Fused`]
+    /// in-bounds proof implies exactly that).
+    #[inline]
+    fn eval_bound(&self, env: &[i64]) -> i64 {
+        let mut acc = self.constant;
+        for &(slot, c) in self.terms.iter() {
+            acc += c * env[slot as usize];
+        }
+        acc
+    }
+}
+
+/// One compiled array subscript.
+#[derive(Clone, Debug)]
+enum SubPlan {
+    /// An affine subscript, pre-resolved against the environment.
+    Affine(AffinePlan),
+    /// An indirect subscript: the nested reference is read at run time and
+    /// its value truncated to an integer, exactly as the tree-walk does.
+    Indirect(Box<RefPlan>),
+}
+
+/// A compiled memory-reference site, in decreasing order of specialization:
+///
+/// * `Scalar` — address fully resolved at compile time;
+/// * `Fused` — an affine array access whose every subscript is *provably
+///   in bounds* given the enclosing loop ranges, pre-resolved to one flat
+///   affine address function `base' + Σ stride·index` (the strides and the
+///   `-1` Fortran offsets are folded into the plan, the per-dimension
+///   clamps are provably no-ops and dropped);
+/// * `Dim1` — a one-dimensional affine access with one runtime clamp;
+/// * `General` — any arity, affine or indirect subscripts, clamped per
+///   dimension exactly like `Layout::element`.
+#[derive(Clone, Debug)]
+enum RefPlan {
+    /// A scalar access: the address is a compile-time constant.
+    Scalar { site: RefId, addr: u64 },
+    /// A provably in-bounds affine access collapsed to one flat affine
+    /// address function.
+    Fused { site: RefId, plan: AffinePlan },
+    /// A one-dimensional affine array access.
+    Dim1 {
+        site: RefId,
+        base: u64,
+        sub: AffinePlan,
+        extent: i64,
+        stride: u64,
+    },
+    /// The general case: any arity, affine or indirect subscripts.
+    /// `dims` may be shorter than `subs` for degenerate references; extra
+    /// subscripts are evaluated for their side effects only, mirroring
+    /// `Layout::element`.
+    General {
+        site: RefId,
+        base: u64,
+        subs: Box<[SubPlan]>,
+        dims: Box<[(i64, u64)]>,
+    },
+}
+
+impl RefPlan {
+    fn site(&self) -> RefId {
+        match self {
+            RefPlan::Scalar { site, .. }
+            | RefPlan::Fused { site, .. }
+            | RefPlan::Dim1 { site, .. }
+            | RefPlan::General { site, .. } => *site,
+        }
+    }
+
+    /// Collapses an all-affine reference into one flat affine address
+    /// function when every subscript is provably within its dimension's
+    /// bounds under `ranges` (the enclosing loops' index intervals). The
+    /// per-dimension clamps of `Layout::element` are then no-ops, so
+    /// dropping them preserves the address bit for bit; in-range also
+    /// implies every mentioned index has a binding loop, so the fused
+    /// plan cannot change which unbound-variable error surfaces.
+    fn try_fuse(
+        r: &Reference,
+        vars: &VarTable,
+        layout: &Layout,
+        ranges: &[Option<(i64, i64)>],
+    ) -> Option<AffinePlan> {
+        let dims = layout.dims(r.var);
+        if dims.is_empty() || dims.len() != r.subs.len() {
+            return None;
+        }
+        let bounds = |v: VarId| vars.param_value(v).map(|c| (c, c)).or(ranges[v.index()]);
+        let mut flat = AffineExpr::constant(layout.base(r.var).0 as i64);
+        for (sub, d) in r.subs.iter().zip(dims) {
+            let e = sub.as_affine()?;
+            let (lo, hi) = e.range(&bounds)?;
+            if lo < 1 || hi > d.extent {
+                return None;
+            }
+            flat = flat + (e.clone() - AffineExpr::constant(1)) * (d.stride as i64);
+        }
+        Some(AffinePlan::compile(&flat, vars))
+    }
+
+    fn compile(
+        r: &Reference,
+        vars: &VarTable,
+        layout: &Layout,
+        ranges: &[Option<(i64, i64)>],
+    ) -> RefPlan {
+        if r.subs.is_empty() {
+            return RefPlan::Scalar {
+                site: r.id,
+                addr: layout.scalar(r.var).0,
+            };
+        }
+        if let Some(plan) = RefPlan::try_fuse(r, vars, layout, ranges) {
+            return RefPlan::Fused { site: r.id, plan };
+        }
+        let ldims = layout.dims(r.var);
+        if let ([Subscript::Affine(e)], [d]) = (r.subs.as_slice(), ldims) {
+            return RefPlan::Dim1 {
+                site: r.id,
+                base: layout.base(r.var).0,
+                sub: AffinePlan::compile(e, vars),
+                extent: d.extent,
+                stride: d.stride,
+            };
+        }
+        let subs: Vec<SubPlan> = r
+            .subs
+            .iter()
+            .map(|s| match s {
+                Subscript::Affine(e) => SubPlan::Affine(AffinePlan::compile(e, vars)),
+                Subscript::Indirect(inner) => {
+                    SubPlan::Indirect(Box::new(RefPlan::compile(inner, vars, layout, ranges)))
+                }
+            })
+            .collect();
+        let dims: Vec<(i64, u64)> = ldims.iter().map(|d| (d.extent, d.stride)).collect();
+        RefPlan::General {
+            site: r.id,
+            base: layout.base(r.var).0,
+            subs: subs.into_boxed_slice(),
+            dims: dims.into_boxed_slice(),
+        }
+    }
+}
+
+/// A compiled `DO` loop.
+#[derive(Clone, Debug)]
+struct LoopPlan {
+    index_slot: u32,
+    lower: AffinePlan,
+    upper: AffinePlan,
+    step: i64,
+    /// Instruction index of the first body instruction.
+    body: u32,
+    /// Instruction index just past the loop.
+    exit: u32,
+}
+
+/// One bytecode instruction. `Store`, `Branch` and `LoopEnter` terminate a
+/// statement unit (one `step`); `Jump` and `LoopBack` are free control
+/// transfers executed between units; the remaining instructions are postfix
+/// expression operations on the value stack.
+#[derive(Clone, Copy, Debug)]
+enum Inst {
+    /// Push a constant.
+    Const(f64),
+    /// Push the value of an index variable (unbound → error).
+    Index(u32),
+    /// Compute the address of reference plan `.0` and push the loaded value.
+    Load(u32),
+    /// Negate the top of stack.
+    Neg,
+    /// Apply a binary operator to the top two stack values.
+    Bin(BinOp),
+    /// Apply a comparison to the top two stack values (pushes 1.0 / 0.0).
+    Cmp(CmpOp),
+    /// Pop the value, compute the address of reference plan `.0`, write.
+    /// Terminates the unit.
+    Store(u32),
+    /// Pop the condition; fall through when non-zero, jump to `.0`
+    /// otherwise. Terminates the unit.
+    Branch(u32),
+    /// Evaluate the bounds of loop plan `.0`; enter the body or jump past
+    /// the loop when the trip count is zero. Terminates the unit.
+    LoopEnter(u32),
+    /// Unconditional jump (end of a taken `IF` branch).
+    Jump(u32),
+    /// Advance loop plan `.0`: rebind the index and jump to the body, or
+    /// pop the loop and fall out to its exit.
+    LoopBack(u32),
+    /// End of the statement list.
+    End,
+}
+
+/// A statement list compiled to flat bytecode, reusable across any number
+/// of [`LoweredSegmentExec`] instances (and therefore across segments,
+/// capacity points and re-executions).
+#[derive(Clone, Debug)]
+pub struct LoweredProc {
+    insts: Vec<Inst>,
+    refs: Vec<RefPlan>,
+    loops: Vec<LoopPlan>,
+    env_len: usize,
+    /// Maximum value-stack depth any statement unit can reach (computed at
+    /// compile time so the executor allocates the stack exactly once).
+    max_stack: usize,
+    /// Maximum loop-nesting depth.
+    max_loops: usize,
+}
+
+struct Lowerer<'p> {
+    vars: &'p VarTable,
+    layout: &'p Layout,
+    insts: Vec<Inst>,
+    refs: Vec<RefPlan>,
+    loops: Vec<LoopPlan>,
+    /// Interval each index variable is known to lie in at the current
+    /// lowering point (entered loops plus caller-supplied initial ranges);
+    /// powers the in-bounds proofs behind [`RefPlan::Fused`].
+    ranges: Vec<Option<(i64, i64)>>,
+    stack_depth: usize,
+    max_stack: usize,
+    loop_depth: usize,
+    max_loops: usize,
+}
+
+impl Lowerer<'_> {
+    fn add_ref(&mut self, r: &Reference) -> u32 {
+        let idx = self.refs.len() as u32;
+        self.refs
+            .push(RefPlan::compile(r, self.vars, self.layout, &self.ranges));
+        idx
+    }
+
+    fn push_depth(&mut self) {
+        self.stack_depth += 1;
+        self.max_stack = self.max_stack.max(self.stack_depth);
+    }
+
+    fn emit_expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Const(c) => {
+                self.insts.push(Inst::Const(*c));
+                self.push_depth();
+            }
+            Expr::Index(v) => {
+                match self.vars.param_value(*v) {
+                    Some(value) => self.insts.push(Inst::Const(value as f64)),
+                    None => self.insts.push(Inst::Index(v.index() as u32)),
+                }
+                self.push_depth();
+            }
+            Expr::Load(r) => {
+                let idx = self.add_ref(r);
+                self.insts.push(Inst::Load(idx));
+                self.push_depth();
+            }
+            Expr::Neg(a) => {
+                self.emit_expr(a);
+                self.insts.push(Inst::Neg);
+            }
+            Expr::Bin(op, a, b) => {
+                self.emit_expr(a);
+                self.emit_expr(b);
+                self.insts.push(Inst::Bin(*op));
+                self.stack_depth -= 1;
+            }
+            Expr::Cmp(op, a, b) => {
+                self.emit_expr(a);
+                self.emit_expr(b);
+                self.insts.push(Inst::Cmp(*op));
+                self.stack_depth -= 1;
+            }
+        }
+    }
+
+    fn emit_loop(&mut self, l: &LoopStmt) {
+        let loop_idx = self.loops.len() as u32;
+        self.loops.push(LoopPlan {
+            index_slot: l.index.index() as u32,
+            lower: AffinePlan::compile(&l.lower, self.vars),
+            upper: AffinePlan::compile(&l.upper, self.vars),
+            step: l.step,
+            body: 0,
+            exit: 0,
+        });
+        self.insts.push(Inst::LoopEnter(loop_idx));
+        self.loop_depth += 1;
+        self.max_loops = self.max_loops.max(self.loop_depth);
+        // While the body executes, the index lies between the smallest
+        // possible lower bound and the largest possible upper bound (the
+        // other way around for descending loops) — the interval backing the
+        // in-bounds subscript proofs.
+        let index_range = {
+            let bounds = |v: VarId| {
+                self.vars
+                    .param_value(v)
+                    .map(|c| (c, c))
+                    .or(self.ranges[v.index()])
+            };
+            match (l.lower.range(&bounds), l.upper.range(&bounds)) {
+                (Some((ll, _)), Some((_, uh))) if l.step > 0 => Some((ll, uh)),
+                (Some((_, lh)), Some((ul, _))) if l.step < 0 => Some((ul, lh)),
+                _ => None,
+            }
+        };
+        let saved = std::mem::replace(&mut self.ranges[l.index.index()], index_range);
+        let body = self.insts.len() as u32;
+        self.emit_stmts(&l.body);
+        self.insts.push(Inst::LoopBack(loop_idx));
+        self.ranges[l.index.index()] = saved;
+        self.loop_depth -= 1;
+        let exit = self.insts.len() as u32;
+        let plan = &mut self.loops[loop_idx as usize];
+        plan.body = body;
+        plan.exit = exit;
+    }
+
+    fn emit_stmts(&mut self, stmts: &[Stmt]) {
+        for stmt in stmts {
+            match stmt {
+                Stmt::Assign(a) => {
+                    self.emit_expr(&a.rhs);
+                    let idx = self.add_ref(&a.lhs);
+                    self.insts.push(Inst::Store(idx));
+                    self.stack_depth -= 1;
+                }
+                Stmt::If(i) => {
+                    self.emit_expr(&i.cond);
+                    let branch_at = self.insts.len();
+                    self.insts.push(Inst::Branch(0));
+                    self.stack_depth -= 1;
+                    self.emit_stmts(&i.then_branch);
+                    if i.else_branch.is_empty() {
+                        let end = self.insts.len() as u32;
+                        self.insts[branch_at] = Inst::Branch(end);
+                    } else {
+                        let jump_at = self.insts.len();
+                        self.insts.push(Inst::Jump(0));
+                        let else_start = self.insts.len() as u32;
+                        self.insts[branch_at] = Inst::Branch(else_start);
+                        self.emit_stmts(&i.else_branch);
+                        let end = self.insts.len() as u32;
+                        self.insts[jump_at] = Inst::Jump(end);
+                    }
+                }
+                Stmt::Loop(l) => self.emit_loop(l),
+            }
+        }
+    }
+}
+
+/// Compiles a statement list (typically a whole procedure body or one
+/// region-loop body) into flat bytecode.
+pub fn lower(vars: &VarTable, layout: &Layout, stmts: &[Stmt]) -> LoweredProc {
+    lower_with_ranges(vars, layout, stmts, &[])
+}
+
+/// [`lower`] with known intervals for externally bound index variables
+/// (e.g. the region-loop index a simulator segment is executed under),
+/// enabling in-bounds subscript proofs that mention them.
+pub fn lower_with_ranges(
+    vars: &VarTable,
+    layout: &Layout,
+    stmts: &[Stmt],
+    index_ranges: &[(VarId, (i64, i64))],
+) -> LoweredProc {
+    let mut ranges = vec![None; vars.len()];
+    for (v, r) in index_ranges {
+        ranges[v.index()] = Some(*r);
+    }
+    let mut lw = Lowerer {
+        vars,
+        layout,
+        insts: Vec::new(),
+        refs: Vec::new(),
+        loops: Vec::new(),
+        ranges,
+        stack_depth: 0,
+        max_stack: 0,
+        loop_depth: 0,
+        max_loops: 0,
+    };
+    lw.emit_stmts(stmts);
+    lw.insts.push(Inst::End);
+    debug_assert_eq!(lw.stack_depth, 0, "every unit leaves the stack empty");
+    LoweredProc {
+        insts: lw.insts,
+        refs: lw.refs,
+        loops: lw.loops,
+        env_len: vars.len(),
+        max_stack: lw.max_stack,
+        max_loops: lw.max_loops,
+    }
+}
+
+/// Compiles a whole procedure (builds its [`Layout`] first).
+pub fn lower_procedure(proc: &Procedure) -> (Layout, LoweredProc) {
+    let layout = Layout::new(&proc.vars);
+    let lowered = lower(&proc.vars, &layout, &proc.body);
+    (layout, lowered)
+}
+
+/// Runtime state of one active loop.
+#[derive(Clone, Copy, Debug)]
+struct LoopState {
+    current: i64,
+    last: i64,
+}
+
+/// A resumable executor over a [`LoweredProc`] — the fast-path counterpart
+/// of [`SegmentExec`](crate::exec::SegmentExec), with the identical
+/// step/rollback contract: `step` executes one statement unit through a
+/// [`DataStore`], `reset` rewinds to the initial bindings for re-execution
+/// after a roll-back, and `steps` counts executed units.
+#[derive(Clone, Debug)]
+pub struct LoweredSegmentExec<'p> {
+    prog: &'p LoweredProc,
+    initial_env: Vec<(VarId, i64)>,
+    env: Vec<i64>,
+    bound: Vec<bool>,
+    loop_stack: Vec<LoopState>,
+    stack: Vec<f64>,
+    pc: usize,
+    steps: usize,
+}
+
+impl<'p> LoweredSegmentExec<'p> {
+    /// Creates an executor with the given initial index bindings (e.g. the
+    /// region-loop index of the segment).
+    pub fn new(prog: &'p LoweredProc, initial_env: &[(VarId, i64)]) -> Self {
+        let mut exec = LoweredSegmentExec {
+            prog,
+            initial_env: initial_env.to_vec(),
+            env: vec![0; prog.env_len],
+            bound: vec![false; prog.env_len],
+            loop_stack: Vec::with_capacity(prog.max_loops),
+            // Fixed-size scratch: the compiler knows the deepest stack any
+            // statement unit can reach, and the stack is empty between
+            // units, so the executor indexes with a local stack pointer
+            // instead of growing/shrinking a Vec per operation.
+            stack: vec![0.0; prog.max_stack],
+            pc: 0,
+            steps: 0,
+        };
+        exec.reset();
+        exec
+    }
+
+    /// Restores the executor to its initial state (used for re-execution
+    /// after a roll-back). Reuses all allocations.
+    pub fn reset(&mut self) {
+        self.bound.iter_mut().for_each(|b| *b = false);
+        for (v, value) in &self.initial_env {
+            self.env[v.index()] = *value;
+            self.bound[v.index()] = true;
+        }
+        self.loop_stack.clear();
+        self.pc = 0;
+        self.steps = 0;
+    }
+
+    /// True when the executor has finished.
+    pub fn is_done(&self) -> bool {
+        matches!(self.prog.insts[self.pc], Inst::End)
+    }
+
+    /// Number of statement units executed since the last reset.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Resolves the address of a reference plan, performing any indirect
+    /// subscript reads through the store (same order as the tree-walk:
+    /// subscripts left to right, nested reads before their parent).
+    fn addr_of(&self, plan: &RefPlan, store: &mut impl DataStore) -> Result<Addr, ExecError> {
+        match plan {
+            RefPlan::Scalar { addr, .. } => Ok(Addr(*addr)),
+            RefPlan::Fused { plan, .. } => {
+                let addr = plan.eval_bound(&self.env);
+                debug_assert!(addr >= 0, "in-bounds proof guarantees a valid address");
+                Ok(Addr(addr as u64))
+            }
+            RefPlan::Dim1 {
+                base,
+                sub,
+                extent,
+                stride,
+                ..
+            } => {
+                let s = sub.eval(&self.env, &self.bound)?;
+                let idx = (s - 1).clamp(0, extent - 1) as u64;
+                Ok(Addr(base + idx * stride))
+            }
+            RefPlan::General {
+                base, subs, dims, ..
+            } => {
+                let mut offset = 0u64;
+                for (i, sub) in subs.iter().enumerate() {
+                    let s = match sub {
+                        SubPlan::Affine(a) => a.eval(&self.env, &self.bound)?,
+                        SubPlan::Indirect(inner) => {
+                            let addr = self.addr_of(inner, store)?;
+                            store.read(inner.site(), addr).round() as i64
+                        }
+                    };
+                    if let Some(&(extent, stride)) = dims.get(i) {
+                        let idx = (s - 1).clamp(0, extent - 1) as u64;
+                        offset += idx * stride;
+                    }
+                }
+                Ok(Addr(base + offset))
+            }
+        }
+    }
+
+    /// Executes one statement unit. Returns `Ok(true)` when more work
+    /// remains, `Ok(false)` when the segment has finished.
+    pub fn step(&mut self, store: &mut impl DataStore) -> Result<bool, ExecError> {
+        let prog = self.prog;
+        let mut pc = self.pc;
+        // The stack is empty at every unit boundary, so the stack pointer
+        // is local to one `step` call; `self.stack` is fixed-size scratch.
+        let mut sp = 0usize;
+        loop {
+            match prog.insts[pc] {
+                Inst::Const(c) => {
+                    self.stack[sp] = c;
+                    sp += 1;
+                    pc += 1;
+                }
+                Inst::Index(slot) => {
+                    let i = slot as usize;
+                    if !self.bound[i] {
+                        self.pc = pc;
+                        return Err(ExecError::UnboundVariable(VarId::from_index(i)));
+                    }
+                    self.stack[sp] = self.env[i] as f64;
+                    sp += 1;
+                    pc += 1;
+                }
+                Inst::Load(r) => {
+                    let plan = &prog.refs[r as usize];
+                    let addr = match self.addr_of(plan, store) {
+                        Ok(a) => a,
+                        Err(e) => {
+                            self.pc = pc;
+                            return Err(e);
+                        }
+                    };
+                    self.stack[sp] = store.read(plan.site(), addr);
+                    sp += 1;
+                    pc += 1;
+                }
+                Inst::Neg => {
+                    self.stack[sp - 1] = -self.stack[sp - 1];
+                    pc += 1;
+                }
+                Inst::Bin(op) => {
+                    let y = self.stack[sp - 1];
+                    let x = self.stack[sp - 2];
+                    self.stack[sp - 2] = match op {
+                        BinOp::Add => x + y,
+                        BinOp::Sub => x - y,
+                        BinOp::Mul => x * y,
+                        BinOp::Div => {
+                            if y == 0.0 {
+                                0.0
+                            } else {
+                                x / y
+                            }
+                        }
+                        BinOp::Min => x.min(y),
+                        BinOp::Max => x.max(y),
+                    };
+                    sp -= 1;
+                    pc += 1;
+                }
+                Inst::Cmp(op) => {
+                    let y = self.stack[sp - 1];
+                    let x = self.stack[sp - 2];
+                    self.stack[sp - 2] = if op.apply(x, y) { 1.0 } else { 0.0 };
+                    sp -= 1;
+                    pc += 1;
+                }
+                Inst::Store(r) => {
+                    let value = self.stack[sp - 1];
+                    let plan = &prog.refs[r as usize];
+                    let addr = match self.addr_of(plan, store) {
+                        Ok(a) => a,
+                        Err(e) => {
+                            self.pc = pc;
+                            return Err(e);
+                        }
+                    };
+                    store.write(plan.site(), addr, value);
+                    self.pc = pc + 1;
+                    self.steps += 1;
+                    return Ok(true);
+                }
+                Inst::Branch(else_target) => {
+                    let cond = self.stack[sp - 1];
+                    self.pc = if cond != 0.0 {
+                        pc + 1
+                    } else {
+                        else_target as usize
+                    };
+                    self.steps += 1;
+                    return Ok(true);
+                }
+                Inst::LoopEnter(l) => {
+                    let plan = &prog.loops[l as usize];
+                    let bounds = plan
+                        .lower
+                        .eval(&self.env, &self.bound)
+                        .and_then(|lo| plan.upper.eval(&self.env, &self.bound).map(|hi| (lo, hi)));
+                    let (lower, upper) = match bounds {
+                        Ok(b) => b,
+                        Err(e) => {
+                            self.pc = pc;
+                            return Err(e);
+                        }
+                    };
+                    if LoopStmt::trip_count(lower, upper, plan.step) == 0 {
+                        self.pc = plan.exit as usize;
+                    } else {
+                        self.env[plan.index_slot as usize] = lower;
+                        self.bound[plan.index_slot as usize] = true;
+                        self.loop_stack.push(LoopState {
+                            current: lower,
+                            last: upper,
+                        });
+                        self.pc = plan.body as usize;
+                    }
+                    self.steps += 1;
+                    return Ok(true);
+                }
+                Inst::Jump(target) => pc = target as usize,
+                Inst::LoopBack(l) => {
+                    let plan = &prog.loops[l as usize];
+                    let state = self.loop_stack.last_mut().expect("active loop");
+                    state.current += plan.step;
+                    let done = if plan.step > 0 {
+                        state.current > state.last
+                    } else {
+                        state.current < state.last
+                    };
+                    if done {
+                        self.loop_stack.pop();
+                        pc = plan.exit as usize;
+                    } else {
+                        self.env[plan.index_slot as usize] = state.current;
+                        pc = plan.body as usize;
+                    }
+                }
+                Inst::End => {
+                    self.pc = pc;
+                    return Ok(false);
+                }
+            }
+        }
+    }
+
+    /// Runs to completion (bounded by `max_steps` statement units).
+    pub fn run(&mut self, store: &mut impl DataStore, max_steps: usize) -> Result<(), ExecError> {
+        let mut executed = 0usize;
+        while self.step(store)? {
+            executed += 1;
+            if executed > max_steps {
+                return Err(ExecError::StepLimitExceeded);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{ac, add, av, cmp, idx, mul, num, sub, ProcBuilder};
+    use crate::exec::{CountingStore, PlainStore, SegmentExec};
+    use crate::memory::Memory;
+
+    /// Runs `proc` on both backends with tracing + counting stores and
+    /// asserts bit-exact memory, identical traces and identical counts.
+    fn assert_backends_agree(proc: &Procedure) {
+        let layout = Layout::new(&proc.vars);
+        let lowered = lower(&proc.vars, &layout, &proc.body);
+
+        let mut mem_tree = Memory::zeroed(&layout);
+        let mut store_tree = CountingStore::new(PlainStore::tracing(&mut mem_tree));
+        let mut tree = SegmentExec::new(&proc.vars, &layout, &proc.body, &[]);
+        let tree_result = tree.run(&mut store_tree, 1_000_000);
+        let tree_trace = store_tree.inner.trace.clone();
+        let tree_counts = store_tree.counts.clone();
+        let tree_steps = tree.steps();
+
+        let mut mem_low = Memory::zeroed(&layout);
+        let mut store_low = CountingStore::new(PlainStore::tracing(&mut mem_low));
+        let mut low = LoweredSegmentExec::new(&lowered, &[]);
+        let low_result = low.run(&mut store_low, 1_000_000);
+        let low_trace = store_low.inner.trace.clone();
+        let low_counts = store_low.counts.clone();
+
+        assert_eq!(tree_result, low_result);
+        assert_eq!(tree_steps, low.steps());
+        assert_eq!(tree_trace.len(), low_trace.len());
+        for (a, b) in tree_trace.iter().zip(&low_trace) {
+            assert_eq!((a.site, a.access, a.addr), (b.site, b.access, b.addr));
+            assert_eq!(a.value.to_bits(), b.value.to_bits());
+        }
+        assert_eq!(tree_counts, low_counts);
+        let diffs = mem_tree.diff(&mem_low, 10);
+        assert!(diffs.is_empty(), "memory diverged: {diffs:?}");
+    }
+
+    #[test]
+    fn sum_loop_matches_tree_walk() {
+        let mut b = ProcBuilder::new("sum");
+        let a = b.array("a", &[8]);
+        let s = b.scalar("s");
+        let k = b.index("k");
+        let s1 = b.assign_elem(a, vec![av(k)], idx(k));
+        let rhs = add(b.load(s), b.load_elem(a, vec![av(k)]));
+        let s2 = b.assign_scalar(s, rhs);
+        let body = vec![b.do_loop(k, ac(1), ac(5), vec![s1, s2])];
+        assert_backends_agree(&b.build(body));
+    }
+
+    #[test]
+    fn conditionals_nested_loops_and_else_branches_match() {
+        // do i = 1, 6 { if (i >= 3) then c = c + i else c = c - 1 ;
+        //               do j = 1, i { a(j) = a(j) + c } }
+        let mut b = ProcBuilder::new("cond");
+        let a = b.array("a", &[8]);
+        let c = b.scalar("c");
+        let i = b.index("i");
+        let j = b.index("j");
+        let then_assign = {
+            let rhs = add(b.load(c), idx(i));
+            b.assign_scalar(c, rhs)
+        };
+        let else_assign = {
+            let rhs = sub(b.load(c), num(1.0));
+            b.assign_scalar(c, rhs)
+        };
+        let if_stmt = b.if_then_else(
+            cmp(CmpOp::Ge, idx(i), num(3.0)),
+            vec![then_assign],
+            vec![else_assign],
+        );
+        let inner_assign = {
+            let rhs = add(b.load_elem(a, vec![av(j)]), b.load(c));
+            b.assign_elem(a, vec![av(j)], rhs)
+        };
+        let inner = b.do_loop(j, ac(1), av(i), vec![inner_assign]);
+        let body = vec![b.do_loop(i, ac(1), ac(6), vec![if_stmt, inner])];
+        assert_backends_agree(&b.build(body));
+    }
+
+    #[test]
+    fn descending_and_zero_trip_loops_match() {
+        let mut b = ProcBuilder::new("desc");
+        let s = b.scalar("s");
+        let k = b.index("k");
+        let a1 = {
+            let rhs = add(b.load(s), idx(k));
+            b.assign_scalar(s, rhs)
+        };
+        let a2 = {
+            let rhs = mul(b.load(s), num(2.0));
+            b.assign_scalar(s, rhs)
+        };
+        let body = vec![
+            b.do_loop_step(None, k, ac(5), ac(1), -1, vec![a1]),
+            b.do_loop(k, ac(3), ac(2), vec![a2]), // zero-trip
+        ];
+        assert_backends_agree(&b.build(body));
+    }
+
+    #[test]
+    fn multi_dimensional_subscripts_and_params_match() {
+        let mut b = ProcBuilder::new("md");
+        let n = b.param("n", 4);
+        let v = b.array("v", &[4, 4]);
+        let i = b.index("i");
+        let j = b.index("j");
+        let assign = {
+            let rhs = add(idx(i), mul(idx(j), num(10.0)));
+            b.assign_elem(v, vec![av(i), av(j)], rhs)
+        };
+        let inner = b.do_loop(j, ac(1), av(n), vec![assign]);
+        let body = vec![b.do_loop(i, ac(1), av(n), vec![inner])];
+        assert_backends_agree(&b.build(body));
+    }
+
+    #[test]
+    fn indirect_subscripts_match() {
+        // idx(k) holds a permutation; a(idx(k)) = k reads idx(k) then writes.
+        let mut b = ProcBuilder::new("ind");
+        let a = b.array("a", &[8]);
+        let p = b.array("p", &[8]);
+        let k = b.index("k");
+        let init = b.assign_elem(p, vec![ac(9) - av(k)], idx(k));
+        let init_loop = b.do_loop(k, ac(1), ac(8), vec![init]);
+        let pk_ref = b.aref(p, vec![av(k)]);
+        let pk_sub = b.indirect(pk_ref);
+        let lhs = b.aref_subs(a, vec![pk_sub]);
+        let write = b.assign(lhs, idx(k));
+        let use_loop = b.do_loop(k, ac(1), ac(8), vec![write]);
+        assert_backends_agree(&b.build(vec![init_loop, use_loop]));
+    }
+
+    #[test]
+    fn unbound_variables_error_identically() {
+        let mut b = ProcBuilder::new("unbound");
+        let a = b.array("a", &[4]);
+        let k = b.index("k");
+        let stmt = b.assign_elem(a, vec![av(k)], num(1.0));
+        let proc = b.build(vec![stmt]);
+        let layout = Layout::new(&proc.vars);
+        let lowered = lower(&proc.vars, &layout, &proc.body);
+        let mut mem = Memory::zeroed(&layout);
+        let mut store = PlainStore::new(&mut mem);
+        let mut exec = LoweredSegmentExec::new(&lowered, &[]);
+        let err = exec.run(&mut store, 1000).unwrap_err();
+        assert_eq!(err, ExecError::UnboundVariable(k));
+    }
+
+    #[test]
+    fn reset_supports_reexecution_with_initial_env() {
+        let mut b = ProcBuilder::new("seg");
+        let a = b.array("a", &[8]);
+        let s = b.scalar("s");
+        let k = b.index("k");
+        let rhs = add(b.load(s), b.load_elem(a, vec![av(k)]));
+        let proc_body = vec![b.assign_scalar(s, rhs)];
+        let proc = b.build(proc_body);
+        let layout = Layout::new(&proc.vars);
+        let lowered = lower(&proc.vars, &layout, &proc.body);
+        let mut mem = Memory::zeroed(&layout);
+        mem.store(layout.element(a, &[3]), 7.0);
+        let mut store = PlainStore::new(&mut mem);
+        let mut exec = LoweredSegmentExec::new(&lowered, &[(k, 3)]);
+        exec.run(&mut store, 100).unwrap();
+        assert!(exec.is_done());
+        assert_eq!(exec.steps(), 1);
+        exec.reset();
+        assert!(!exec.is_done());
+        let mut store = PlainStore::new(&mut mem);
+        exec.run(&mut store, 100).unwrap();
+        assert_eq!(mem.load(layout.scalar(s)), 14.0, "s += a(3) ran twice");
+    }
+}

@@ -25,11 +25,29 @@ impl fmt::Display for Addr {
     }
 }
 
+/// Extent and precomputed column-major stride of one array dimension.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DimInfo {
+    /// Number of elements along the dimension (Fortran extent, unit lower
+    /// bound).
+    pub extent: i64,
+    /// Distance in words between consecutive elements along the dimension.
+    pub stride: u64,
+}
+
 /// The address layout of a procedure's data variables.
+///
+/// Dimension metadata for every variable is stored in one flat arena
+/// (`dim_data`) with per-variable `(start, len)` ranges instead of one
+/// heap-allocated vector per variable: building a layout performs a single
+/// pass over the symbol table without cloning any dimension vectors, and
+/// [`Layout::element`] reads precomputed strides instead of re-multiplying
+/// extents on every access.
 #[derive(Clone, Debug, Default)]
 pub struct Layout {
     base: Vec<u64>,
-    dims: Vec<Vec<usize>>,
+    dim_ranges: Vec<(u32, u32)>,
+    dim_data: Vec<DimInfo>,
     total: u64,
 }
 
@@ -39,27 +57,38 @@ impl Layout {
     /// lower bounds.
     pub fn new(vars: &VarTable) -> Self {
         let mut base = Vec::with_capacity(vars.len());
-        let mut dims = Vec::with_capacity(vars.len());
+        let mut dim_ranges = Vec::with_capacity(vars.len());
+        let mut dim_data = Vec::new();
         let mut next = 0u64;
         for (_, info) in vars.iter() {
             base.push(next);
+            let start = dim_data.len() as u32;
             match &info.kind {
                 VarKind::Array { dims: d } => {
-                    dims.push(d.clone());
+                    let mut stride = 1u64;
+                    for &extent in d {
+                        dim_data.push(DimInfo {
+                            extent: extent as i64,
+                            stride,
+                        });
+                        stride *= extent as u64;
+                    }
+                    dim_ranges.push((start, d.len() as u32));
                     next += d.iter().product::<usize>().max(1) as u64;
                 }
                 VarKind::Scalar => {
-                    dims.push(Vec::new());
+                    dim_ranges.push((start, 0));
                     next += 1;
                 }
                 VarKind::Index | VarKind::Param(_) => {
-                    dims.push(Vec::new());
+                    dim_ranges.push((start, 0));
                 }
             }
         }
         Layout {
             base,
-            dims,
+            dim_ranges,
+            dim_data,
             total: next,
         }
     }
@@ -74,9 +103,15 @@ impl Layout {
         Addr(self.base[v.index()])
     }
 
+    /// Dimension extents and strides of a variable (empty for scalars).
+    pub fn dims(&self, v: VarId) -> &[DimInfo] {
+        let (start, len) = self.dim_ranges[v.index()];
+        &self.dim_data[start as usize..(start + len) as usize]
+    }
+
     /// Address of a scalar variable.
     pub fn scalar(&self, v: VarId) -> Addr {
-        debug_assert!(self.dims[v.index()].is_empty());
+        debug_assert!(self.dims(v).is_empty());
         Addr(self.base[v.index()])
     }
 
@@ -85,18 +120,16 @@ impl Layout {
     /// executions remain total (mirroring the paper's assumption that
     /// addresses are always valid).
     pub fn element(&self, v: VarId, subscripts: &[i64]) -> Addr {
-        let dims = &self.dims[v.index()];
+        let dims = self.dims(v);
         if dims.is_empty() {
             return Addr(self.base[v.index()]);
         }
         debug_assert_eq!(dims.len(), subscripts.len(), "subscript arity mismatch");
         // Column-major: first subscript varies fastest.
         let mut offset: u64 = 0;
-        let mut stride: u64 = 1;
         for (d, &s) in dims.iter().zip(subscripts) {
-            let idx = (s - 1).clamp(0, *d as i64 - 1) as u64;
-            offset += idx * stride;
-            stride *= *d as u64;
+            let idx = (s - 1).clamp(0, d.extent - 1) as u64;
+            offset += idx * d.stride;
         }
         Addr(self.base[v.index()] + offset)
     }

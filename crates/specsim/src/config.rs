@@ -1,5 +1,7 @@
 //! Simulator configuration.
 
+use refidem_ir::lowered::ExecBackend;
+
 /// Parameters of the simulated chip multiprocessor and its memory system.
 ///
 /// Defaults follow the paper's setup where stated (4 processors,
@@ -37,6 +39,10 @@ pub struct SimConfig {
     /// Maximum total number of statement executions across the whole
     /// simulation (defensive guard against livelock in misconfigured runs).
     pub max_statements: u64,
+    /// Which execution backend segments run on: the lowered bytecode engine
+    /// (default) or the tree-walking oracle. Both produce bit-identical
+    /// results; the oracle exists for cross-checking and debugging.
+    pub backend: ExecBackend,
 }
 
 impl Default for SimConfig {
@@ -57,6 +63,7 @@ impl Default for SimConfig {
             dispatch_cost: 4,
             private_setup_cost: 8,
             max_statements: 200_000_000,
+            backend: ExecBackend::Lowered,
         }
     }
 }
@@ -91,6 +98,18 @@ impl SimConfig {
     pub fn processors(mut self, processors: usize) -> Self {
         self.processors = processors;
         self
+    }
+
+    /// Convenience: sets the execution backend and returns the modified
+    /// config.
+    pub fn backend(mut self, backend: ExecBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Convenience: selects the tree-walking oracle backend.
+    pub fn oracle(self) -> Self {
+        self.backend(ExecBackend::TreeWalk)
     }
 }
 

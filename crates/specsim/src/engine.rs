@@ -28,41 +28,137 @@
 use crate::config::SimConfig;
 use crate::report::SimReport;
 use crate::run::{ExecMode, SimError};
-use crate::storage::SpecBuffer;
+use crate::storage::{PrivateStore, SpecBuffer};
 use refidem_core::label::{IdemCategory, Label, Labeling};
-use refidem_ir::exec::{DataStore, SegmentExec};
+use refidem_ir::exec::{DataStore, ExecError, SegmentExec};
 use refidem_ir::ids::RefId;
+use refidem_ir::lowered::{ExecBackend, LoweredProc, LoweredSegmentExec};
 use refidem_ir::memory::{Addr, Layout, Memory};
 use refidem_ir::stmt::LoopStmt;
 use refidem_ir::var::VarTable;
-use std::collections::BTreeMap;
 
-/// One in-flight segment's mutable state.
+/// A segment executor on either backend. Both implement the identical
+/// resumable step/reset contract, so the engine is backend-agnostic; the
+/// lowered backend is the default and the tree-walk is kept as the
+/// cross-checking oracle.
 #[derive(Clone, Debug)]
+enum AnyExec<'p> {
+    Tree(SegmentExec<'p>),
+    Lowered(LoweredSegmentExec<'p>),
+}
+
+impl AnyExec<'_> {
+    fn step(&mut self, store: &mut impl DataStore) -> Result<bool, ExecError> {
+        match self {
+            AnyExec::Tree(e) => e.step(store),
+            AnyExec::Lowered(e) => e.step(store),
+        }
+    }
+
+    fn reset(&mut self) {
+        match self {
+            AnyExec::Tree(e) => e.reset(),
+            AnyExec::Lowered(e) => e.reset(),
+        }
+    }
+}
+
+/// One in-flight segment's mutable state. The scheduling fields the
+/// engine's per-statement scan reads (`seg`, `clock`, `done`, `stalled`)
+/// are laid out first so the scan touches one cache line per slot.
+#[derive(Clone, Debug)]
+#[repr(C)]
 struct SlotData {
     /// Segment number in execution (commit) order, 0-based.
     seg: usize,
     /// Local clock (cycles since region entry).
     clock: u64,
-    /// Bounded speculative storage.
-    spec: SpecBuffer,
-    /// Per-segment private storage (for references labeled `Private`).
-    private: BTreeMap<Addr, f64>,
     /// The segment has executed its last statement (waiting to commit).
     done: bool,
     /// The segment overflowed as a non-head and waits to become the head.
     stalled: bool,
     /// A violation requested this segment's roll-back.
     squash_requested: bool,
-    /// Earliest simulated time at which the requested roll-back can take
-    /// effect (the time the violating producer write happened).
-    squash_not_before: u64,
     /// An overflow was detected mid-statement; the rest of the statement's
     /// accesses are not tracked and the engine squashes the segment after
     /// the statement completes.
     overflow_poisoned: bool,
     /// Number of times the segment has been rolled back or restarted.
     restarts: u32,
+    /// Earliest simulated time at which the requested roll-back can take
+    /// effect (the time the violating producer write happened).
+    squash_not_before: u64,
+    /// Bounded speculative storage.
+    spec: SpecBuffer,
+    /// Per-segment private storage (for references labeled `Private`).
+    private: PrivateStore,
+}
+
+/// Per-address presence masks over the in-flight slots: bit `p` of
+/// `write[a]` / `read[a]` is set when processor `p`'s buffer holds a
+/// written / exposed-read entry for address `a`. The common case — no
+/// other in-flight segment has touched an address — is then a single load
+/// instead of a probe of every slot's buffer. Disabled (always-scan) for
+/// machines with more than 32 processors.
+struct DepMasks {
+    write: Vec<u32>,
+    read: Vec<u32>,
+    enabled: bool,
+}
+
+impl DepMasks {
+    fn new(processors: usize, words: u64) -> Self {
+        let enabled = processors <= 32;
+        let n = if enabled { words as usize } else { 0 };
+        DepMasks {
+            write: vec![0; n],
+            read: vec![0; n],
+            enabled,
+        }
+    }
+
+    /// Clears processor `p`'s bits for every address in `spec`'s journal
+    /// (call right before that buffer is cleared or retired).
+    fn retract(&mut self, p: usize, spec: &SpecBuffer) {
+        if !self.enabled {
+            return;
+        }
+        let clear = !(1u32 << p);
+        for addr in spec.touched_addrs() {
+            self.write[addr.0 as usize] &= clear;
+            self.read[addr.0 as usize] &= clear;
+        }
+    }
+
+    /// True when some slot other than `p` may hold a written entry for
+    /// `addr` (conservatively true when masks are disabled).
+    #[inline]
+    fn other_writer(&self, p: usize, addr: Addr) -> bool {
+        !self.enabled || self.write[addr.0 as usize] & !(1u32 << p) != 0
+    }
+
+    /// True when some slot other than `p` may hold an exposed-read entry
+    /// for `addr` (conservatively true when masks are disabled).
+    #[inline]
+    fn other_reader(&self, p: usize, addr: Addr) -> bool {
+        !self.enabled || self.read[addr.0 as usize] & !(1u32 << p) != 0
+    }
+
+    /// Marks processor `p` as holding a written entry for `addr`.
+    #[inline]
+    fn mark_write(&mut self, p: usize, addr: Addr) {
+        if self.enabled {
+            self.write[addr.0 as usize] |= 1 << p;
+        }
+    }
+
+    /// Marks processor `p` as holding an exposed-read entry for `addr`.
+    #[inline]
+    fn mark_read(&mut self, p: usize, addr: Addr) {
+        if self.enabled {
+            self.read[addr.0 as usize] |= 1 << p;
+        }
+    }
 }
 
 /// Runs one region speculatively. `memory` is the non-speculative storage,
@@ -70,15 +166,26 @@ struct SlotData {
 pub(crate) struct Engine<'p> {
     cfg: &'p SimConfig,
     mode: ExecMode,
-    labeling: &'p Labeling,
     vars: &'p VarTable,
     layout: &'p Layout,
     region: &'p LoopStmt,
+    /// The region body compiled to bytecode (present on the lowered
+    /// backend; compiled once per engine, shared by every segment).
+    lowered: Option<&'p LoweredProc>,
+    /// Dense per-site label table indexed by `RefId::index` (sites beyond
+    /// the table default to `Speculative`, like `Labeling::label`).
+    labels: Vec<Label>,
     iter_values: Vec<i64>,
     has_private_labels: bool,
 
-    execs: Vec<Option<SegmentExec<'p>>>,
+    execs: Vec<Option<AnyExec<'p>>>,
     slots: Vec<Option<SlotData>>,
+    /// Retired storage buffers, reused by the next segment dispatched onto
+    /// the same processor so the dense shadow arrays are allocated once per
+    /// processor, not once per segment.
+    spare: Vec<Option<(SpecBuffer, PrivateStore)>>,
+    /// Cross-slot dependence presence masks (see [`DepMasks`]).
+    masks: DepMasks,
     memory: &'p mut Memory,
     head: usize,
     next_dispatch: usize,
@@ -87,7 +194,9 @@ pub(crate) struct Engine<'p> {
 }
 
 impl<'p> Engine<'p> {
-    /// Creates an engine for one region execution.
+    /// Creates an engine for one region execution. `lowered` must be the
+    /// compiled region body when `cfg.backend` is
+    /// [`ExecBackend::Lowered`].
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         cfg: &'p SimConfig,
@@ -96,6 +205,7 @@ impl<'p> Engine<'p> {
         vars: &'p VarTable,
         layout: &'p Layout,
         region: &'p LoopStmt,
+        lowered: Option<&'p LoweredProc>,
         iter_values: Vec<i64>,
         memory: &'p mut Memory,
     ) -> Self {
@@ -103,18 +213,30 @@ impl<'p> Engine<'p> {
             && labeling
                 .iter()
                 .any(|(_, l)| l == Label::Idempotent(IdemCategory::Private));
+        let mut labels = Vec::new();
+        if mode == ExecMode::Case {
+            for (site, label) in labeling.iter() {
+                if site.index() >= labels.len() {
+                    labels.resize(site.index() + 1, Label::Speculative);
+                }
+                labels[site.index()] = label;
+            }
+        }
         let processors = cfg.processors.max(1);
         Engine {
             cfg,
             mode,
-            labeling,
             vars,
             layout,
             region,
+            lowered,
+            labels,
             iter_values,
             has_private_labels,
             execs: (0..processors).map(|_| None).collect(),
             slots: (0..processors).map(|_| None).collect(),
+            spare: (0..processors).map(|_| None).collect(),
+            masks: DepMasks::new(processors, layout.total_words()),
             memory,
             head: 0,
             next_dispatch: 0,
@@ -138,50 +260,49 @@ impl<'p> Engine<'p> {
             self.dispatch(p, 0);
         }
         while self.head < total {
-            // Unstall the head if it was stalled by an overflow.
-            if let Some(p) = self.slot_of(self.head) {
-                let slot = self.slots[p].as_mut().expect("slot exists");
-                if slot.stalled {
-                    slot.stalled = false;
-                    slot.clock = slot.clock.max(self.last_commit_time);
-                }
-            }
-            // Commit the head if it has finished — but only once every other
-            // runnable segment has simulated past the head's finish time, so
-            // the committed values do not become visible "in the past" of a
-            // segment that has not executed up to that point yet.
-            if let Some(p) = self.slot_of(self.head) {
-                let (done, finish) = self.slots[p]
-                    .as_ref()
-                    .map(|s| (s.done, s.clock))
-                    .unwrap_or((false, 0));
-                if done {
-                    let head_seg = self.head;
-                    let lagging =
-                        self.slots.iter().flatten().any(|s| {
-                            s.seg != head_seg && !s.done && !s.stalled && s.clock < finish
-                        });
-                    if !lagging {
-                        self.commit(p);
-                        continue;
+            let head_seg = self.head;
+            let last_commit_time = self.last_commit_time;
+            // One pass over the (few) slots: locate the head (unstalling it
+            // if an overflow stalled it), find the runnable slot with the
+            // smallest clock (ties to the lowest processor index), and track
+            // the earliest clock of any runnable non-head segment. The head
+            // commits only once every other runnable segment has simulated
+            // past its finish time, so committed values do not become
+            // visible "in the past" of a segment that has not executed up
+            // to that point yet.
+            let mut head_state: Option<(usize, bool, u64)> = None;
+            let mut runnable: Option<(usize, u64)> = None;
+            let mut min_other = u64::MAX;
+            for (p, slot) in self.slots.iter_mut().enumerate() {
+                let Some(slot) = slot else { continue };
+                let is_head = slot.seg == head_seg;
+                if is_head {
+                    if slot.stalled {
+                        slot.stalled = false;
+                        slot.clock = slot.clock.max(last_commit_time);
                     }
+                    head_state = Some((p, slot.done, slot.clock));
+                }
+                if slot.done || slot.stalled {
+                    continue;
+                }
+                let better = match runnable {
+                    None => true,
+                    Some((_, best)) => slot.clock < best,
+                };
+                if better {
+                    runnable = Some((p, slot.clock));
+                }
+                if !is_head {
+                    min_other = min_other.min(slot.clock);
                 }
             }
-            // Advance the runnable slot with the smallest clock.
-            let runnable = self
-                .slots
-                .iter()
-                .enumerate()
-                .filter_map(|(p, s)| {
-                    s.as_ref().and_then(|s| {
-                        if !s.done && !s.stalled {
-                            Some((p, s.clock))
-                        } else {
-                            None
-                        }
-                    })
-                })
-                .min_by_key(|(_, clock)| *clock);
+            if let Some((p, true, finish)) = head_state {
+                if min_other >= finish {
+                    self.commit(p);
+                    continue;
+                }
+            }
             let Some((p, _)) = runnable else {
                 return Err(SimError::Deadlock);
             };
@@ -194,12 +315,6 @@ impl<'p> Engine<'p> {
         Ok(self.report)
     }
 
-    fn slot_of(&self, seg: usize) -> Option<usize> {
-        self.slots
-            .iter()
-            .position(|s| s.as_ref().map(|s| s.seg) == Some(seg))
-    }
-
     fn dispatch(&mut self, p: usize, start_time: u64) {
         let seg = self.next_dispatch;
         self.next_dispatch += 1;
@@ -207,11 +322,27 @@ impl<'p> Engine<'p> {
         if self.has_private_labels {
             clock += self.cfg.private_setup_cost;
         }
+        // Reuse the storage retired by the previous segment on this
+        // processor (cleared in O(journal) via its epoch bump).
+        let (spec, private) = match self.spare[p].take() {
+            Some((mut spec, mut private)) => {
+                spec.clear();
+                private.clear();
+                (spec, private)
+            }
+            None => {
+                let words = self.layout.total_words();
+                (
+                    SpecBuffer::new(self.cfg.spec_capacity, words),
+                    PrivateStore::new(words),
+                )
+            }
+        };
         self.slots[p] = Some(SlotData {
             seg,
             clock,
-            spec: SpecBuffer::new(self.cfg.spec_capacity),
-            private: BTreeMap::new(),
+            spec,
+            private,
             done: false,
             stalled: false,
             squash_requested: false,
@@ -219,45 +350,71 @@ impl<'p> Engine<'p> {
             overflow_poisoned: false,
             restarts: 0,
         });
-        self.execs[p] = Some(SegmentExec::new(
-            self.vars,
-            self.layout,
-            &self.region.body,
-            &[(self.region.index, self.iter_values[seg])],
-        ));
+        let env = [(self.region.index, self.iter_values[seg])];
+        self.execs[p] = Some(match self.cfg.backend {
+            ExecBackend::Lowered => AnyExec::Lowered(LoweredSegmentExec::new(
+                self.lowered.expect("lowered region body compiled"),
+                &env,
+            )),
+            ExecBackend::TreeWalk => AnyExec::Tree(SegmentExec::new(
+                self.vars,
+                self.layout,
+                &self.region.body,
+                &env,
+            )),
+        });
     }
 
     fn step_slot(&mut self, p: usize) -> Result<(), SimError> {
-        let mut exec = self.execs[p]
-            .take()
-            .expect("exec present for runnable slot");
         {
             let slot = self.slots[p].as_mut().expect("slot present");
             slot.clock += self.cfg.stmt_cost;
         }
+        // Split borrows: the executor lives in `execs`, the store context
+        // borrows the sibling fields, so no per-statement move of the
+        // executor is needed.
         let head = self.head;
+        let violations_before = self.report.violations;
+        let Engine {
+            execs,
+            slots,
+            masks,
+            memory,
+            report,
+            cfg,
+            mode,
+            labels,
+            ..
+        } = self;
+        let exec = execs[p].as_mut().expect("exec present for runnable slot");
         let mut ctx = AccessCtx {
-            cfg: self.cfg,
-            mode: self.mode,
-            labeling: self.labeling,
-            memory: self.memory,
-            slots: &mut self.slots,
-            report: &mut self.report,
+            cfg,
+            mode: *mode,
+            labels,
+            memory,
+            slots,
+            masks,
+            report,
             p,
             head,
         };
         let more = exec.step(&mut ctx).map_err(SimError::Exec)?;
-        self.execs[p] = Some(exec);
         self.report.statements += 1;
-        let now = self.slots[p].as_ref().expect("slot").clock;
-        if !more {
-            self.slots[p].as_mut().expect("slot").done = true;
-        }
+        let (now, occ) = {
+            let slot = self.slots[p].as_mut().expect("slot");
+            if !more {
+                slot.done = true;
+            }
+            (slot.clock, slot.spec.len())
+        };
         // Track peak speculative-storage occupancy.
-        let occ = self.slots[p].as_ref().expect("slot").spec.len();
         self.report.spec_peak_occupancy = self.report.spec_peak_occupancy.max(occ);
-        // Roll back segments flagged by violations during this statement.
-        self.process_squashes(now);
+        // Roll back segments flagged by violations during this statement
+        // (squash requests are only ever set together with a violation, so
+        // an unchanged count means there is nothing to process).
+        if self.report.violations != violations_before {
+            self.process_squashes(now);
+        }
         // Handle an overflow detected during this statement.
         let poisoned = self.slots[p]
             .as_ref()
@@ -290,7 +447,17 @@ impl<'p> Engine<'p> {
     /// Resets a segment to its initial state. `count_rollback` separates
     /// violation roll-backs from overflow restarts in the statistics.
     fn restart_slot(&mut self, p: usize, restart_time: u64, count_rollback: bool) {
-        if let Some(slot) = self.slots[p].as_mut() {
+        let Engine {
+            slots,
+            masks,
+            execs,
+            report,
+            cfg,
+            has_private_labels,
+            ..
+        } = self;
+        if let Some(slot) = slots[p].as_mut() {
+            masks.retract(p, &slot.spec);
             slot.spec.clear();
             slot.private.clear();
             slot.done = false;
@@ -300,15 +467,15 @@ impl<'p> Engine<'p> {
             slot.overflow_poisoned = false;
             slot.restarts += 1;
             slot.clock = restart_time;
-            if self.has_private_labels {
-                slot.clock += self.cfg.private_setup_cost;
+            if *has_private_labels {
+                slot.clock += cfg.private_setup_cost;
             }
         }
-        if let Some(exec) = self.execs[p].as_mut() {
+        if let Some(exec) = execs[p].as_mut() {
             exec.reset();
         }
         if count_rollback {
-            self.report.rollbacks += 1;
+            report.rollbacks += 1;
         }
     }
 
@@ -318,7 +485,7 @@ impl<'p> Engine<'p> {
         let total = self.iter_values.len();
         let (commit_time, dirty): (u64, Vec<(Addr, f64)>) = {
             let slot = self.slots[p].as_ref().expect("slot");
-            let dirty: Vec<(Addr, f64)> = slot.spec.dirty_entries().collect();
+            let dirty = slot.spec.dirty_entries();
             let commit_time = slot.clock + self.cfg.commit_per_entry * dirty.len() as u64;
             (commit_time, dirty)
         };
@@ -329,7 +496,12 @@ impl<'p> Engine<'p> {
         self.report.committed_entries += dirty.len() as u64;
         self.last_commit_time = self.last_commit_time.max(commit_time);
         self.head += 1;
-        self.slots[p] = None;
+        // Retire the slot's storage into the spare pool for the next
+        // segment dispatched onto this processor.
+        if let Some(slot) = self.slots[p].take() {
+            self.masks.retract(p, &slot.spec);
+            self.spare[p] = Some((slot.spec, slot.private));
+        }
         self.execs[p] = None;
         if self.next_dispatch < total {
             self.dispatch(p, commit_time);
@@ -343,19 +515,26 @@ impl<'p> Engine<'p> {
 struct AccessCtx<'a> {
     cfg: &'a SimConfig,
     mode: ExecMode,
-    labeling: &'a Labeling,
+    /// Dense label table (see [`Engine`]); empty under HOSE.
+    labels: &'a [Label],
     memory: &'a mut Memory,
     slots: &'a mut Vec<Option<SlotData>>,
+    masks: &'a mut DepMasks,
     report: &'a mut SimReport,
     p: usize,
     head: usize,
 }
 
 impl AccessCtx<'_> {
+    #[inline]
     fn label_of(&self, site: RefId) -> Label {
         match self.mode {
             ExecMode::Hose => Label::Speculative,
-            ExecMode::Case => self.labeling.label(site),
+            ExecMode::Case => self
+                .labels
+                .get(site.index())
+                .copied()
+                .unwrap_or(Label::Speculative),
         }
     }
 
@@ -374,6 +553,9 @@ impl AccessCtx<'_> {
     /// in-flight segment has already performed an exposed (speculative) read
     /// of it. The offending segment and every younger one are rolled back.
     fn check_violations(&mut self, addr: Addr, writer_seg: usize) {
+        if !self.masks.other_reader(self.p, addr) {
+            return;
+        }
         let mut min_violating: Option<usize> = None;
         for slot in self.slots.iter().flatten() {
             if slot.seg > writer_seg && slot.spec.has_exposed_read(addr) {
@@ -432,8 +614,8 @@ impl DataStore for AccessCtx<'_> {
                 self.report.private_reads += 1;
                 let slot = self.slots[self.p].as_mut().expect("own slot");
                 slot.clock += self.cfg.lat_nonspec;
-                match slot.private.get(&addr) {
-                    Some(v) => *v,
+                match slot.private.get(addr) {
+                    Some(v) => v,
                     None => self.memory.load(addr),
                 }
             }
@@ -463,9 +645,14 @@ impl DataStore for AccessCtx<'_> {
                     }
                 }
                 // Forward from the youngest ancestor, else non-speculative
-                // storage (HOSE Property 4).
+                // storage (HOSE Property 4). The mask makes the common "no
+                // other in-flight writer" case a single load.
                 let now = self.slots[self.p].as_ref().expect("own slot").clock;
-                let forwarded = self.forward_from_ancestor(addr, own_seg);
+                let forwarded = if self.masks.other_writer(self.p, addr) {
+                    self.forward_from_ancestor(addr, own_seg)
+                } else {
+                    None
+                };
                 if let Some((_, write_time)) = forwarded {
                     if write_time > now {
                         // In simulated time this read happens before the
@@ -501,6 +688,7 @@ impl DataStore for AccessCtx<'_> {
                 }
                 let now = slot.clock;
                 slot.spec.record_exposed_read(addr, value, now);
+                self.masks.mark_read(self.p, addr);
                 value
             }
         }
@@ -566,6 +754,7 @@ impl DataStore for AccessCtx<'_> {
                 slot.clock += self.cfg.lat_spec;
                 let now = slot.clock;
                 slot.spec.record_write(addr, value, now);
+                self.masks.mark_write(self.p, addr);
             }
         }
     }

@@ -41,12 +41,13 @@ pub mod run;
 pub mod storage;
 
 pub use config::SimConfig;
+pub use refidem_ir::lowered::ExecBackend;
 pub use report::{SimReport, SpeedupComparison};
 pub use run::{
-    compare_modes, run_sequential, simulate_region, verify_against_sequential, ExecMode, SimError,
-    SimOutcome,
+    compare_modes, initial_memory, run_sequential, simulate_region, verify_against_sequential,
+    ExecMode, SimError, SimOutcome,
 };
-pub use storage::{SpecBuffer, SpecEntry};
+pub use storage::{PrivateStore, SpecBuffer, SpecEntry};
 
 /// Commonly used items, for glob import.
 pub mod prelude {

@@ -12,8 +12,8 @@ use crate::engine::Engine;
 use crate::report::{SimReport, SpeedupComparison};
 use refidem_analysis::classify::VarClass;
 use refidem_core::label::LabeledRegion;
-use refidem_ir::exec::{CountingStore, DataStore, DynCounts, ExecError, PlainStore, SegmentExec};
-use refidem_ir::ids::RefId;
+use refidem_ir::exec::{CountingStore, DynCounts, ExecError, PlainStore, SeqInterp};
+use refidem_ir::lowered::{lower, ExecBackend};
 use refidem_ir::memory::{Addr, Layout, Memory};
 use refidem_ir::program::{Procedure, Program};
 use refidem_ir::var::VarTable;
@@ -94,31 +94,15 @@ pub struct SeqOutcome {
 /// pseudo-random value derived from its address, so executions are
 /// reproducible without any setup code.
 pub fn initial_memory(proc: &Procedure) -> Memory {
-    let layout = Layout::new(&proc.vars);
-    Memory::init_with(&layout, |addr| {
+    initial_memory_with_layout(&Layout::new(&proc.vars))
+}
+
+/// [`initial_memory`] for a layout that has already been built.
+pub fn initial_memory_with_layout(layout: &Layout) -> Memory {
+    Memory::init_with(layout, |addr| {
         let h = addr.0.wrapping_mul(2654435761).wrapping_add(12345) % 1009;
         (h as f64) / 251.0
     })
-}
-
-/// A [`DataStore`] that reads/writes plain memory and charges a fixed
-/// latency per access (the sequential, non-speculative baseline).
-struct TimingStore<'m> {
-    memory: &'m mut Memory,
-    latency: u64,
-    cycles: u64,
-}
-
-impl DataStore for TimingStore<'_> {
-    fn read(&mut self, _site: RefId, addr: Addr) -> f64 {
-        self.cycles += self.latency;
-        self.memory.load(addr)
-    }
-
-    fn write(&mut self, _site: RefId, addr: Addr, value: f64) {
-        self.cycles += self.latency;
-        self.memory.store(addr, value);
-    }
 }
 
 fn resolve<'a>(
@@ -163,10 +147,19 @@ fn run_stmts_plain(
     layout: &Layout,
     stmts: &[refidem_ir::stmt::Stmt],
     memory: &mut Memory,
+    backend: ExecBackend,
 ) -> Result<(), SimError> {
+    if stmts.is_empty() {
+        return Ok(());
+    }
+    let interp = SeqInterp {
+        backend,
+        ..SeqInterp::new()
+    };
     let mut store = PlainStore::new(memory);
-    let mut exec = SegmentExec::new(vars, layout, stmts, &[]);
-    exec.run(&mut store, 200_000_000).map_err(SimError::Exec)
+    interp
+        .run_stmts(vars, layout, stmts, &[], &mut store)
+        .map_err(SimError::Exec)
 }
 
 /// Runs the labeled region's procedure fully sequentially, timing the region
@@ -182,32 +175,42 @@ pub fn run_sequential(
     let (before, region, after) = proc
         .split_at_loop(label)
         .ok_or_else(|| SimError::Region(format!("region `{label}` is not a top-level loop")))?;
-    let mut memory = initial_memory(proc);
-    run_stmts_plain(vars, &layout, before, &mut memory)?;
-    // Time the region on one processor.
+    let mut memory = initial_memory_with_layout(&layout);
+    run_stmts_plain(vars, &layout, before, &mut memory, cfg.backend)?;
+    // Time the region on one processor: every access costs `lat_nonspec`
+    // and every statement unit `stmt_cost`, so the cycle count follows
+    // directly from the dynamic counts — no separate timing store needed.
     let (region_cycles, counts) = {
-        let timing = TimingStore {
-            memory: &mut memory,
-            latency: cfg.lat_nonspec,
-            cycles: 0,
-        };
-        let mut store = CountingStore::new(timing);
+        let mut store = CountingStore::new(PlainStore::new(&mut memory));
         let region_stmt = std::slice::from_ref(
             proc.body
                 .iter()
                 .find(|s| matches!(s, refidem_ir::stmt::Stmt::Loop(l) if l.label.as_deref() == Some(label.as_str())))
                 .expect("region loop present"),
         );
-        let mut exec = SegmentExec::new(vars, &layout, region_stmt, &[]);
-        exec.run(&mut store, cfg.max_statements as usize)
-            .map_err(SimError::Exec)?;
+        let steps = match cfg.backend {
+            ExecBackend::Lowered => {
+                let lowered = lower(vars, &layout, region_stmt);
+                let mut exec = refidem_ir::lowered::LoweredSegmentExec::new(&lowered, &[]);
+                exec.run(&mut store, cfg.max_statements as usize)
+                    .map_err(SimError::Exec)?;
+                exec.steps()
+            }
+            ExecBackend::TreeWalk => {
+                let mut exec = refidem_ir::exec::SegmentExec::new(vars, &layout, region_stmt, &[]);
+                exec.run(&mut store, cfg.max_statements as usize)
+                    .map_err(SimError::Exec)?;
+                exec.steps()
+            }
+        };
+        let accesses: u64 = store.counts.values().map(|(r, w)| r + w).sum();
         (
-            store.inner.cycles + exec.steps() as u64 * cfg.stmt_cost,
+            accesses * cfg.lat_nonspec + steps as u64 * cfg.stmt_cost,
             store.counts,
         )
     };
     let _ = region;
-    run_stmts_plain(vars, &layout, after, &mut memory)?;
+    run_stmts_plain(vars, &layout, after, &mut memory, cfg.backend)?;
     Ok(SeqOutcome {
         memory,
         region_cycles,
@@ -227,9 +230,28 @@ pub fn simulate_region(
     let (before, region, after) = proc
         .split_at_loop(label)
         .ok_or_else(|| SimError::Region(format!("region `{label}` is not a top-level loop")))?;
-    let mut memory = initial_memory(proc);
-    run_stmts_plain(vars, &layout, before, &mut memory)?;
+    let mut memory = initial_memory_with_layout(&layout);
+    run_stmts_plain(vars, &layout, before, &mut memory, cfg.backend)?;
     let iter_values = region_iteration_values(vars, region)?;
+    // Compile the region body once; every segment (and every re-execution
+    // after a roll-back) replays the same bytecode. The region index's
+    // value interval is supplied so subscripts mentioning it can be proven
+    // in bounds and fused to flat affine addresses.
+    let lowered = match cfg.backend {
+        ExecBackend::Lowered => {
+            let index_ranges: Vec<_> = match (iter_values.iter().min(), iter_values.iter().max()) {
+                (Some(&lo), Some(&hi)) => vec![(region.index, (lo, hi))],
+                _ => Vec::new(),
+            };
+            Some(refidem_ir::lowered::lower_with_ranges(
+                vars,
+                &layout,
+                &region.body,
+                &index_ranges,
+            ))
+        }
+        ExecBackend::TreeWalk => None,
+    };
     let report = Engine::new(
         cfg,
         mode,
@@ -237,11 +259,12 @@ pub fn simulate_region(
         vars,
         &layout,
         region,
+        lowered.as_ref(),
         iter_values,
         &mut memory,
     )
     .run()?;
-    run_stmts_plain(vars, &layout, after, &mut memory)?;
+    run_stmts_plain(vars, &layout, after, &mut memory, cfg.backend)?;
     Ok(SimOutcome { report, memory })
 }
 

@@ -8,9 +8,20 @@
 //! written, whether it was read *exposed* (the value came from outside the
 //! segment — the reads that can violate cross-segment flow dependences), and
 //! when the first exposed read happened.
+//!
+//! The buffer is a **dense, epoch-versioned shadow array** over the
+//! procedure's flat address space: [`Layout`](refidem_ir::memory::Layout)
+//! assigns every data word a dense address in `0..total_words`, so lookup
+//! and allocation are direct array indexing instead of a `BTreeMap`
+//! traversal. A per-buffer epoch counter plus per-address generation
+//! stamps make [`SpecBuffer::clear`] (roll-back/commit) O(1) — stale
+//! entries are invalidated by bumping the epoch, not by touching them —
+//! and a journal of the addresses touched in the current epoch makes
+//! occupancy tracking, overflow checks and [`SpecBuffer::dirty_entries`]
+//! proportional to the number of *touched* entries, never to the address
+//! space.
 
 use refidem_ir::memory::Addr;
-use std::collections::BTreeMap;
 
 /// One speculative-storage entry.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -33,19 +44,43 @@ pub struct SpecEntry {
     pub last_write_time: u64,
 }
 
-/// A bounded, per-segment speculative storage buffer.
+/// Per-address slot of the dense index: the epoch the address was last
+/// touched in, and where its entry lives in the compact journal.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+struct IndexSlot {
+    stamp: u32,
+    pos: u32,
+}
+
+/// A bounded, per-segment speculative storage buffer over a dense address
+/// space of `0..address_words`.
+///
+/// Layout: a dense 8-byte-per-word *index* (`(epoch stamp, position)`),
+/// plus a compact journal of `(address, entry)` pairs in touch order whose
+/// length is bounded by the buffer capacity. Lookups are O(1) array
+/// indexing; allocation appends to the journal; `clear` bumps the epoch
+/// (O(1)) so a fresh segment pays only the index allocation — and the
+/// engine pools buffers across segments, so even that happens once per
+/// processor.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct SpecBuffer {
-    entries: BTreeMap<Addr, SpecEntry>,
+    index: Vec<IndexSlot>,
+    journal: Vec<(u64, SpecEntry)>,
+    epoch: u32,
     capacity: usize,
     peak: usize,
 }
 
 impl SpecBuffer {
-    /// Creates an empty buffer with the given capacity (in entries).
-    pub fn new(capacity: usize) -> Self {
+    /// Creates an empty buffer with the given capacity (in entries) over an
+    /// address space of `address_words` words (the owning procedure's
+    /// [`Layout::total_words`](refidem_ir::memory::Layout::total_words)).
+    pub fn new(capacity: usize, address_words: u64) -> Self {
+        let words = address_words as usize;
         SpecBuffer {
-            entries: BTreeMap::new(),
+            index: vec![IndexSlot::default(); words],
+            journal: Vec::with_capacity(capacity.min(words)),
+            epoch: 1,
             capacity,
             peak: 0,
         }
@@ -53,12 +88,12 @@ impl SpecBuffer {
 
     /// Number of occupied entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.journal.len()
     }
 
     /// True when no entry is occupied.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.journal.is_empty()
     }
 
     /// The configured capacity.
@@ -74,42 +109,62 @@ impl SpecBuffer {
     /// True when allocating one more (new) entry for `addr` would exceed the
     /// capacity.
     pub fn would_overflow(&self, addr: Addr) -> bool {
-        !self.entries.contains_key(&addr) && self.entries.len() >= self.capacity
+        self.index[addr.0 as usize].stamp != self.epoch && self.journal.len() >= self.capacity
     }
 
     /// Looks an entry up.
+    #[inline]
     pub fn get(&self, addr: Addr) -> Option<&SpecEntry> {
-        self.entries.get(&addr)
+        let slot = self.index[addr.0 as usize];
+        if slot.stamp == self.epoch {
+            Some(&self.journal[slot.pos as usize].1)
+        } else {
+            None
+        }
     }
 
     /// True when the buffer holds a written (dirty) value for `addr`.
+    #[inline]
     pub fn has_written(&self, addr: Addr) -> bool {
-        self.entries.get(&addr).map(|e| e.written).unwrap_or(false)
+        self.get(addr).is_some_and(|e| e.written)
     }
 
     /// True when the buffer records an exposed read of `addr`.
+    #[inline]
     pub fn has_exposed_read(&self, addr: Addr) -> bool {
-        self.entries
-            .get(&addr)
-            .map(|e| e.exposed_read)
-            .unwrap_or(false)
+        self.get(addr).is_some_and(|e| e.exposed_read)
+    }
+
+    /// Allocates (or revalidates) the entry for `addr` in the current epoch
+    /// and returns it. The caller must have handled overflow beforehand.
+    #[inline]
+    fn entry_mut(&mut self, addr: Addr) -> &mut SpecEntry {
+        let i = addr.0 as usize;
+        if self.index[i].stamp != self.epoch {
+            self.index[i] = IndexSlot {
+                stamp: self.epoch,
+                pos: self.journal.len() as u32,
+            };
+            self.journal.push((addr.0, SpecEntry::default()));
+            self.peak = self.peak.max(self.journal.len());
+        }
+        &mut self.journal[self.index[i].pos as usize].1
     }
 
     /// Records a write performed at time `now`. The caller must have handled
     /// overflow beforehand (via [`SpecBuffer::would_overflow`]).
     pub fn record_write(&mut self, addr: Addr, value: f64, now: u64) {
-        let entry = self.entries.entry(addr).or_default();
+        let entry = self.entry_mut(addr);
         entry.value = value;
         entry.written = true;
         entry.last_write_time = now;
-        self.peak = self.peak.max(self.entries.len());
     }
 
     /// Records an exposed read that obtained `value` from outside the
     /// segment at time `now`. The caller must have handled overflow
     /// beforehand.
     pub fn record_exposed_read(&mut self, addr: Addr, value: f64, now: u64) {
-        let entry = self.entries.entry(addr).or_default();
+        let entry = self.entry_mut(addr);
         if !entry.exposed_read {
             entry.exposed_read = true;
             entry.first_read_time = now;
@@ -117,28 +172,107 @@ impl SpecBuffer {
         if !entry.written {
             entry.value = value;
         }
-        self.peak = self.peak.max(self.entries.len());
     }
 
     /// Values written by the segment, in address order (what a commit
-    /// transfers to non-speculative storage).
-    pub fn dirty_entries(&self) -> impl Iterator<Item = (Addr, f64)> + '_ {
-        self.entries
+    /// transfers to non-speculative storage). Iterates the journal, never
+    /// the address space.
+    pub fn dirty_entries(&self) -> Vec<(Addr, f64)> {
+        let mut dirty: Vec<(Addr, f64)> = self
+            .journal
             .iter()
             .filter(|(_, e)| e.written)
-            .map(|(a, e)| (*a, e.value))
+            .map(|(a, e)| (Addr(*a), e.value))
+            .collect();
+        dirty.sort_unstable_by_key(|(a, _)| *a);
+        dirty
     }
 
     /// Number of dirty entries.
     pub fn dirty_count(&self) -> usize {
-        self.entries.values().filter(|e| e.written).count()
+        self.journal.iter().filter(|(_, e)| e.written).count()
+    }
+
+    /// Addresses touched in the current epoch, in touch order (the engine
+    /// uses this to retract its per-address dependence masks before a
+    /// clear).
+    pub fn touched_addrs(&self) -> impl Iterator<Item = Addr> + '_ {
+        self.journal.iter().map(|(a, _)| Addr(*a))
     }
 
     /// Clears the buffer (roll-back or commit), keeping the capacity and
-    /// resetting the peak statistic.
+    /// resetting the peak statistic. O(1): the epoch bump invalidates every
+    /// stale index slot at once.
     pub fn clear(&mut self) {
-        self.entries.clear();
+        self.journal.clear();
         self.peak = 0;
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Epoch counter wrapped: physically reset the index once every
+            // ~4 billion clears so stale stamps can never alias the new
+            // epoch.
+            self.index.fill(IndexSlot::default());
+            self.epoch = 1;
+        }
+    }
+}
+
+/// Per-segment private storage (the per-segment private stacks of
+/// Section 5), dense and epoch-versioned like [`SpecBuffer`]: a private
+/// read hits the shadow array when the segment has privately written the
+/// address in the current epoch, and `clear` is an O(1) epoch bump on
+/// roll-back or commit.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PrivateStore {
+    index: Vec<IndexSlot>,
+    values: Vec<f64>,
+    epoch: u32,
+}
+
+impl PrivateStore {
+    /// Creates an empty private store over `address_words` words.
+    pub fn new(address_words: u64) -> Self {
+        PrivateStore {
+            index: vec![IndexSlot::default(); address_words as usize],
+            values: Vec::new(),
+            epoch: 1,
+        }
+    }
+
+    /// The privately written value of `addr`, if any.
+    #[inline]
+    pub fn get(&self, addr: Addr) -> Option<f64> {
+        let slot = self.index[addr.0 as usize];
+        if slot.stamp == self.epoch {
+            Some(self.values[slot.pos as usize])
+        } else {
+            None
+        }
+    }
+
+    /// Records a private write.
+    #[inline]
+    pub fn insert(&mut self, addr: Addr, value: f64) {
+        let i = addr.0 as usize;
+        if self.index[i].stamp == self.epoch {
+            self.values[self.index[i].pos as usize] = value;
+        } else {
+            self.index[i] = IndexSlot {
+                stamp: self.epoch,
+                pos: self.values.len() as u32,
+            };
+            self.values.push(value);
+        }
+    }
+
+    /// Discards every private value (roll-back or commit).
+    pub fn clear(&mut self) {
+        self.values.clear();
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.index.fill(IndexSlot::default());
+            self.epoch = 1;
+        }
     }
 }
 
@@ -146,9 +280,12 @@ impl SpecBuffer {
 mod tests {
     use super::*;
 
+    /// Address-space size used by most tests.
+    const WORDS: u64 = 64;
+
     #[test]
     fn writes_and_exposed_reads_are_tracked_separately() {
-        let mut b = SpecBuffer::new(4);
+        let mut b = SpecBuffer::new(4, WORDS);
         b.record_exposed_read(Addr(10), 1.5, 7);
         assert!(b.has_exposed_read(Addr(10)));
         assert!(!b.has_written(Addr(10)));
@@ -168,7 +305,7 @@ mod tests {
 
     #[test]
     fn exposed_read_does_not_clobber_written_value() {
-        let mut b = SpecBuffer::new(4);
+        let mut b = SpecBuffer::new(4, WORDS);
         b.record_write(Addr(3), 9.0, 1);
         b.record_exposed_read(Addr(3), 1.0, 2);
         assert_eq!(b.get(Addr(3)).unwrap().value, 9.0);
@@ -176,7 +313,7 @@ mod tests {
 
     #[test]
     fn capacity_and_peak_tracking() {
-        let mut b = SpecBuffer::new(2);
+        let mut b = SpecBuffer::new(2, WORDS);
         assert!(!b.would_overflow(Addr(1)));
         b.record_write(Addr(1), 1.0, 1);
         b.record_write(Addr(2), 2.0, 2);
@@ -187,7 +324,7 @@ mod tests {
         );
         assert_eq!(b.peak(), 2);
         assert_eq!(b.len(), 2);
-        let dirty: Vec<_> = b.dirty_entries().collect();
+        let dirty = b.dirty_entries();
         assert_eq!(dirty, vec![(Addr(1), 1.0), (Addr(2), 2.0)]);
         b.clear();
         assert!(b.is_empty());
@@ -197,9 +334,139 @@ mod tests {
 
     #[test]
     fn first_read_time_is_preserved_across_repeated_reads() {
-        let mut b = SpecBuffer::new(4);
+        let mut b = SpecBuffer::new(4, WORDS);
         b.record_exposed_read(Addr(5), 1.0, 10);
         b.record_exposed_read(Addr(5), 1.0, 99);
         assert_eq!(b.get(Addr(5)).unwrap().first_read_time, 10);
+    }
+
+    #[test]
+    fn clear_invalidates_stale_entries_without_touching_them() {
+        let mut b = SpecBuffer::new(4, WORDS);
+        b.record_write(Addr(7), 1.0, 1);
+        b.record_exposed_read(Addr(9), 2.0, 2);
+        b.clear();
+        // Epoch bump: every previous entry is invisible.
+        assert_eq!(b.get(Addr(7)), None);
+        assert!(!b.has_written(Addr(7)));
+        assert!(!b.has_exposed_read(Addr(9)));
+        assert_eq!(b.dirty_count(), 0);
+        assert_eq!(b.dirty_entries().len(), 0);
+        // Re-touching a stale address yields a fresh default entry.
+        b.record_exposed_read(Addr(7), 5.0, 3);
+        let e = b.get(Addr(7)).unwrap();
+        assert!(!e.written, "stale written flag must not leak across epochs");
+        assert_eq!(e.value, 5.0);
+        assert_eq!(e.first_read_time, 3);
+    }
+
+    #[test]
+    fn dirty_entries_are_sorted_by_address_regardless_of_touch_order() {
+        let mut b = SpecBuffer::new(8, WORDS);
+        b.record_write(Addr(30), 3.0, 1);
+        b.record_write(Addr(5), 1.0, 2);
+        b.record_exposed_read(Addr(12), 9.0, 3);
+        b.record_write(Addr(20), 2.0, 4);
+        let dirty = b.dirty_entries();
+        assert_eq!(
+            dirty,
+            vec![(Addr(5), 1.0), (Addr(20), 2.0), (Addr(30), 3.0)]
+        );
+    }
+
+    #[test]
+    fn capacity_one_boundary_overflow_and_rollback() {
+        // The smallest rung of the testkit's capacity ladder: one entry.
+        let mut b = SpecBuffer::new(1, WORDS);
+        assert!(!b.would_overflow(Addr(0)), "first allocation always fits");
+        b.record_write(Addr(0), 1.0, 1);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.peak(), 1);
+        // Any *other* address overflows; the resident one never does.
+        assert!(b.would_overflow(Addr(1)));
+        assert!(b.would_overflow(Addr(63)));
+        assert!(!b.would_overflow(Addr(0)));
+        b.record_exposed_read(Addr(0), 2.0, 2);
+        assert_eq!(
+            b.len(),
+            1,
+            "re-touching the resident entry allocates nothing"
+        );
+        // Roll-back: the buffer is empty again and the *other* address can
+        // now take the single slot.
+        b.clear();
+        assert!(!b.would_overflow(Addr(1)));
+        b.record_write(Addr(1), 7.0, 3);
+        assert!(b.would_overflow(Addr(0)));
+        assert_eq!(b.dirty_entries(), vec![(Addr(1), 7.0)]);
+    }
+
+    #[test]
+    fn capacity_equal_to_address_space_never_overflows() {
+        // The other boundary: capacity == total_words. Every address can be
+        // resident simultaneously, so no access may ever overflow.
+        let words = 16u64;
+        let mut b = SpecBuffer::new(words as usize, words);
+        for a in 0..words {
+            assert!(!b.would_overflow(Addr(a)), "address {a} must fit");
+            b.record_write(Addr(a), a as f64, a);
+        }
+        assert_eq!(b.len(), words as usize);
+        assert_eq!(b.peak(), words as usize);
+        // Full but every address is resident: still no overflow anywhere.
+        for a in 0..words {
+            assert!(!b.would_overflow(Addr(a)));
+        }
+        assert_eq!(b.dirty_count(), words as usize);
+        let dirty = b.dirty_entries();
+        assert_eq!(dirty.len(), words as usize);
+        assert!(dirty.windows(2).all(|w| w[0].0 < w[1].0), "sorted");
+        b.clear();
+        assert!(b.is_empty());
+        assert!(!b.would_overflow(Addr(0)));
+    }
+
+    #[test]
+    fn private_store_is_epoch_versioned() {
+        let mut p = PrivateStore::new(WORDS);
+        assert_eq!(p.get(Addr(4)), None);
+        p.insert(Addr(4), 2.5);
+        assert_eq!(p.get(Addr(4)), Some(2.5));
+        p.insert(Addr(4), 3.5);
+        assert_eq!(p.get(Addr(4)), Some(3.5));
+        p.clear();
+        assert_eq!(p.get(Addr(4)), None, "cleared values are invisible");
+        p.insert(Addr(4), 1.0);
+        assert_eq!(p.get(Addr(4)), Some(1.0));
+    }
+
+    #[test]
+    fn epoch_wraparound_resets_stamps_safely() {
+        let mut b = SpecBuffer::new(2, 4);
+        // Force the epoch counter all the way around.
+        b.record_write(Addr(0), 1.0, 1);
+        b.epoch = u32::MAX;
+        b.journal.clear();
+        b.peak = 0;
+        // Entry live in the last pre-wrap epoch.
+        b.index[1] = IndexSlot {
+            stamp: u32::MAX,
+            pos: 0,
+        };
+        b.journal.push((
+            1,
+            SpecEntry {
+                written: true,
+                ..SpecEntry::default()
+            },
+        ));
+        assert!(b.has_written(Addr(1)));
+        b.clear();
+        assert_eq!(b.epoch, 1, "wrapped past 0 back to 1");
+        assert!(!b.has_written(Addr(1)), "pre-wrap entries are invisible");
+        assert!(
+            !b.has_written(Addr(0)),
+            "stamps were physically reset, no aliasing with earlier epochs"
+        );
     }
 }

@@ -2,9 +2,11 @@
 //! speculative-storage capacities.
 //!
 //! For one program the runner (1) labels the region with Algorithm 2,
-//! (2) interprets the whole procedure sequentially to obtain the ground
-//! truth memory image, and (3) for every capacity in the ladder and both
-//! execution models, simulates the region and asserts:
+//! (2) interprets the whole procedure sequentially **on the tree-walking
+//! oracle backend** to obtain the ground truth memory image, and (3) for
+//! every capacity in the ladder and both execution models, simulates the
+//! region (on the lowered bytecode backend by default, so every check is
+//! also a lowered-vs-oracle differential) and asserts:
 //!
 //! * **byte-exact equivalence** — the final non-speculative memory equals
 //!   the sequential image bit for bit (`f64::to_bits`), excluding only
@@ -28,6 +30,7 @@ use crate::gen::{GeneratedProgram, ProgramSpec};
 use refidem_analysis::classify::VarClass;
 use refidem_core::label::{IdemCategory, Label, LabeledRegion, Labeling};
 use refidem_ir::ids::RefId;
+use refidem_ir::lowered::ExecBackend;
 use refidem_ir::memory::{Addr, Layout, Memory};
 use refidem_ir::program::{Program, RegionSpec};
 use refidem_ir::sites::AccessKind;
@@ -78,6 +81,11 @@ pub struct DiffConfig {
     pub modes: Vec<ExecMode>,
     /// Optional label corruption (fault injection).
     pub tamper: Option<Tamper>,
+    /// Execution backend the speculative simulations run on. The sequential
+    /// ground truth always runs on the tree-walking oracle, so with the
+    /// default (`Lowered`) every check also differentially tests the
+    /// lowered bytecode engine against the oracle.
+    pub backend: ExecBackend,
 }
 
 impl Default for DiffConfig {
@@ -87,6 +95,7 @@ impl Default for DiffConfig {
             capacities: CAPACITY_LADDER.to_vec(),
             modes: vec![ExecMode::Hose, ExecMode::Case],
             tamper: None,
+            backend: ExecBackend::Lowered,
         }
     }
 }
@@ -232,9 +241,14 @@ pub fn check_program(
     }
 
     // Ground truth: one sequential interpretation (independent of capacity
-    // and mode — the SimConfig only affects timing, not values).
-    let base_cfg = SimConfig::default().processors(cfg.processors);
-    let seq = refidem_specsim::run_sequential(program, &labeled, &base_cfg)
+    // and mode — the SimConfig only affects timing, not values). It always
+    // runs on the tree-walking oracle backend, so the simulations (lowered
+    // by default) are differentially checked against the oracle semantics.
+    let base_cfg = SimConfig::default()
+        .processors(cfg.processors)
+        .backend(cfg.backend);
+    let seq_cfg = base_cfg.clone().oracle();
+    let seq = refidem_specsim::run_sequential(program, &labeled, &seq_cfg)
         .map_err(|e| DiffFailure::Sequential(e.to_string()))?;
 
     // Private variables live in per-segment storage under CASE and are dead

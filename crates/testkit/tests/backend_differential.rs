@@ -1,0 +1,166 @@
+//! Lowered-vs-oracle backend differential suite.
+//!
+//! The lowered bytecode engine (`refidem_ir::lowered`) must be
+//! *observationally identical* to the tree-walking interpreter, not merely
+//! produce the same final memory: same access order (traces), same dynamic
+//! counts, same statement-unit accounting, and — under the speculation
+//! engine — the same violations, roll-backs, overflows and cycle counts at
+//! every capacity point. This suite asserts exactly that across all 240
+//! generated testkit programs and every named benchmark loop.
+
+use refidem_benchmarks::all_named_loops;
+use refidem_core::label::label_program_region;
+use refidem_ir::exec::{CountingStore, DynCounts, PlainStore, SegmentExec, SeqInterp};
+use refidem_ir::lowered::{lower, ExecBackend, LoweredSegmentExec};
+use refidem_ir::memory::{Layout, Memory};
+use refidem_ir::program::{Program, RegionSpec};
+use refidem_specsim::{initial_memory, simulate_region, ExecMode, SimConfig};
+use refidem_testkit::{generate, CAPACITY_LADDER};
+
+const SUITE_SEEDS: u64 = 240;
+
+/// Bit-exact trace fingerprint: `(site, access, addr, value bits)` per
+/// dynamic access.
+type TraceKey = Vec<(u32, bool, u64, u64)>;
+
+/// Runs one procedure sequentially on the given backend with tracing and
+/// counting enabled; returns the final memory image, the trace fingerprint,
+/// the per-site dynamic counts and the executed statement units.
+fn run_sequential_traced(
+    program: &Program,
+    proc_index: usize,
+    backend: ExecBackend,
+) -> (Vec<u64>, TraceKey, DynCounts, usize) {
+    let proc = &program.procedures[proc_index];
+    let layout = Layout::new(&proc.vars);
+    let mut memory = initial_memory(proc);
+    let mut store = CountingStore::new(PlainStore::tracing(&mut memory));
+    let steps = match backend {
+        ExecBackend::Lowered => {
+            let lowered = lower(&proc.vars, &layout, &proc.body);
+            let mut exec = LoweredSegmentExec::new(&lowered, &[]);
+            exec.run(&mut store, 200_000_000).expect("runs");
+            exec.steps()
+        }
+        ExecBackend::TreeWalk => {
+            let mut exec = SegmentExec::new(&proc.vars, &layout, &proc.body, &[]);
+            exec.run(&mut store, 200_000_000).expect("runs");
+            exec.steps()
+        }
+    };
+    let trace = store
+        .inner
+        .trace
+        .iter()
+        .map(|e| {
+            (
+                e.site.0,
+                e.access == refidem_ir::sites::AccessKind::Write,
+                e.addr.0,
+                e.value.to_bits(),
+            )
+        })
+        .collect();
+    let counts = store.counts.clone();
+    let words: Vec<u64> = (0..layout.total_words())
+        .map(|a| memory.load(refidem_ir::memory::Addr(a)).to_bits())
+        .collect();
+    (words, trace, counts, steps)
+}
+
+/// Asserts the two backends agree on sequential execution (memory bits,
+/// trace, counts, step accounting) and on every engine run across the
+/// capacity ladder under both HOSE and CASE (memory bits and the full
+/// statistics report, cycles included).
+fn assert_backend_equivalence(what: &str, program: &Program, region: &RegionSpec) {
+    // Sequential: trace-level equivalence.
+    let (mem_t, trace_t, counts_t, steps_t) =
+        run_sequential_traced(program, region.proc.index(), ExecBackend::TreeWalk);
+    let (mem_l, trace_l, counts_l, steps_l) =
+        run_sequential_traced(program, region.proc.index(), ExecBackend::Lowered);
+    assert_eq!(steps_t, steps_l, "{what}: statement units diverged");
+    assert_eq!(
+        trace_t.len(),
+        trace_l.len(),
+        "{what}: trace length diverged"
+    );
+    for (i, (a, b)) in trace_t.iter().zip(&trace_l).enumerate() {
+        assert_eq!(a, b, "{what}: trace event {i} diverged");
+    }
+    assert_eq!(counts_t, counts_l, "{what}: dynamic counts diverged");
+    assert_eq!(mem_t, mem_l, "{what}: sequential memory diverged");
+
+    // Speculation engine: byte-exact memory and identical reports at every
+    // capacity-ladder point, both execution models.
+    let labeled = label_program_region(program, region).expect("labels");
+    for &capacity in &CAPACITY_LADDER {
+        for mode in [ExecMode::Hose, ExecMode::Case] {
+            let cfg_t = SimConfig::default().capacity(capacity).oracle();
+            let cfg_l = SimConfig::default()
+                .capacity(capacity)
+                .backend(ExecBackend::Lowered);
+            let out_t = simulate_region(program, &labeled, mode, &cfg_t);
+            let out_l = simulate_region(program, &labeled, mode, &cfg_l);
+            match (out_t, out_l) {
+                (Ok(t), Ok(l)) => {
+                    assert_eq!(
+                        t.report, l.report,
+                        "{what}: {mode} @ capacity {capacity}: reports diverged"
+                    );
+                    let diffs = t.memory.diff(&l.memory, 8);
+                    assert!(
+                        diffs.is_empty(),
+                        "{what}: {mode} @ capacity {capacity}: memory diverged: {diffs:?}"
+                    );
+                }
+                (Err(et), Err(el)) => assert_eq!(
+                    et, el,
+                    "{what}: {mode} @ capacity {capacity}: errors diverged"
+                ),
+                (t, l) => panic!(
+                    "{what}: {mode} @ capacity {capacity}: one backend failed: \
+                     tree={t:?} lowered={l:?}"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn all_generated_programs_execute_identically_on_both_backends() {
+    for seed in 0..SUITE_SEEDS {
+        let g = generate(seed);
+        assert_backend_equivalence(&format!("seed {seed}"), &g.program, &g.region);
+    }
+}
+
+#[test]
+fn all_named_benchmark_loops_execute_identically_on_both_backends() {
+    for bench in all_named_loops() {
+        assert_backend_equivalence(bench.name, &bench.program, &bench.region);
+    }
+}
+
+#[test]
+fn sequential_interpreter_backends_agree_via_public_api() {
+    // The SeqInterp front door: default (lowered) vs oracle constructor.
+    for bench in all_named_loops() {
+        let proc = &bench.program.procedures[bench.region.proc.index()];
+        let layout = Layout::new(&proc.vars);
+        let mut mem_fast = Memory::init_with(&layout, |a| (a.0 % 17) as f64);
+        let mut mem_oracle = mem_fast.clone();
+        let fast = SeqInterp::new()
+            .run_procedure_counting(proc, &mut mem_fast)
+            .expect("lowered runs");
+        let oracle = SeqInterp::oracle()
+            .run_procedure_counting(proc, &mut mem_oracle)
+            .expect("oracle runs");
+        assert_eq!(fast, oracle, "{}: counts diverged", bench.name);
+        let diffs = mem_fast.diff(&mem_oracle, 8);
+        assert!(
+            diffs.is_empty(),
+            "{}: memory diverged: {diffs:?}",
+            bench.name
+        );
+    }
+}
