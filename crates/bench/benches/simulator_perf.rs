@@ -3,15 +3,67 @@
 //! baseline — each measured on both execution backends. The unsuffixed
 //! names are the default lowered bytecode path (comparable with the PR-1
 //! baseline numbers); the `*_oracle` variants run the tree-walking
-//! interpreter so `BENCH_2.json` records the old-vs-lowered trajectory.
+//! interpreter so the bench JSON records the old-vs-lowered trajectory.
+//!
+//! The `sweep_*` groups measure whole capacity-ladder sweeps (both modes at
+//! every capacity): `ladder` shares one compilation cache across the sweep
+//! — the compile-once engine — while `ladder_recompile` gives every
+//! `simulate_region` call a fresh cache, reproducing the re-lower-per-call
+//! behavior the cache replaced. Their ratio is the sweep-level win recorded
+//! in `BENCH_3.json`.
 
 use refidem_bench::microbench::Harness;
 use refidem_bench::{figure6_config, figure7_config, figure8_config, figure9_config};
-use refidem_benchmarks::suite::{applu, mgrid, tomcatv, turb3d};
+use refidem_benchmarks::suite::{applu, fpppp, mgrid, tomcatv, turb3d, wave5};
 use refidem_benchmarks::LoopBenchmark;
 use refidem_core::label::label_program_region;
-use refidem_specsim::{run_sequential, simulate_region, ExecMode, SimConfig};
+use refidem_specsim::{run_sequential, simulate_region, ExecMode, LoweredCache, SimConfig};
 use std::hint::black_box;
+
+/// The capacity ladder the sweep benchmarks walk (the testkit's ladder plus
+/// two mid points).
+const SWEEP_LADDER: [usize; 7] = [1, 2, 4, 8, 16, 64, 256];
+
+fn bench_sweep(c: &mut Harness, group_name: &str, bench: &LoopBenchmark) {
+    let labeled = label_program_region(&bench.program, &bench.region).expect("analyzes");
+    let mut group = c.benchmark_group(group_name);
+    // Compile-once: every point of the ladder pulls the region's bytecode
+    // from one shared cache (a fresh handle so the measurement is hermetic
+    // with respect to the rest of the process).
+    group.bench_function("ladder", |b| {
+        let base = SimConfig::default().cache(LoweredCache::fresh());
+        b.iter(|| {
+            let mut cycles = 0u64;
+            for &cap in &SWEEP_LADDER {
+                for mode in [ExecMode::Hose, ExecMode::Case] {
+                    let cfg = base.clone().capacity(cap);
+                    let out = simulate_region(black_box(&bench.program), &labeled, mode, &cfg)
+                        .expect("runs");
+                    cycles += out.report.region_cycles;
+                }
+            }
+            black_box(cycles)
+        })
+    });
+    // Recompile-per-call: what every sweep paid before the cache existed.
+    group.bench_function("ladder_recompile", |b| {
+        b.iter(|| {
+            let mut cycles = 0u64;
+            for &cap in &SWEEP_LADDER {
+                for mode in [ExecMode::Hose, ExecMode::Case] {
+                    let cfg = SimConfig::default()
+                        .cache(LoweredCache::fresh())
+                        .capacity(cap);
+                    let out = simulate_region(black_box(&bench.program), &labeled, mode, &cfg)
+                        .expect("runs");
+                    cycles += out.report.region_cycles;
+                }
+            }
+            black_box(cycles)
+        })
+    });
+    group.finish();
+}
 
 fn bench_loop(c: &mut Harness, group_name: &str, bench: &LoopBenchmark, cfg: &SimConfig) {
     let labeled = label_program_region(&bench.program, &bench.region).expect("analyzes");
@@ -69,5 +121,8 @@ fn main() {
         &mgrid::resid_do600(),
         &figure9_config(),
     );
+    bench_sweep(&mut c, "sweep_fpppp_twldrv", &fpppp::twldrv_do100());
+    bench_sweep(&mut c, "sweep_wave5_parmvr140", &wave5::parmvr_do140());
+    bench_sweep(&mut c, "sweep_mgrid_resid", &mgrid::resid_do600());
     c.finish();
 }

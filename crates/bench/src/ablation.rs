@@ -10,6 +10,7 @@ use refidem_benchmarks::LoopBenchmark;
 use refidem_core::label::{label_program_region, IdemCategory, Label, Labeling};
 use refidem_specsim::{compare_modes, simulate_region, ExecMode, SimConfig};
 use std::collections::BTreeSet;
+use std::time::Instant;
 
 /// One row of an ablation sweep.
 #[derive(Clone, Debug)]
@@ -26,6 +27,13 @@ pub struct AblationRow {
     pub hose_overflows: u64,
     /// CASE overflow stalls.
     pub case_overflows: u64,
+    /// Wall-clock time this sweep point took to *simulate* (all runs of
+    /// the point: sequential baseline plus both or one speculative mode),
+    /// in milliseconds. Simulated cycles measure the modeled machine; this
+    /// measures the simulator itself, which is what the compilation cache
+    /// improves — sweeps report both so the committed bench JSON shows the
+    /// compile-once win per point.
+    pub wall_ms: f64,
 }
 
 /// Sweeps the speculative-storage capacity for one loop.
@@ -35,6 +43,7 @@ pub fn capacity_sweep(bench: &LoopBenchmark, capacities: &[usize]) -> Vec<Ablati
         .iter()
         .map(|&cap| {
             let cfg = SimConfig::default().capacity(cap);
+            let start = Instant::now();
             let cmp = compare_modes(&bench.program, &labeled, &cfg).expect("simulation");
             AblationRow {
                 parameter: "capacity".to_string(),
@@ -43,6 +52,7 @@ pub fn capacity_sweep(bench: &LoopBenchmark, capacities: &[usize]) -> Vec<Ablati
                 case_speedup: cmp.case_speedup(),
                 hose_overflows: cmp.hose.overflow_stalls,
                 case_overflows: cmp.case.overflow_stalls,
+                wall_ms: start.elapsed().as_secs_f64() * 1e3,
             }
         })
         .collect()
@@ -59,6 +69,7 @@ pub fn processor_sweep(
         .iter()
         .map(|&p| {
             let cfg = SimConfig::default().capacity(capacity).processors(p);
+            let start = Instant::now();
             let cmp = compare_modes(&bench.program, &labeled, &cfg).expect("simulation");
             AblationRow {
                 parameter: "processors".to_string(),
@@ -67,6 +78,7 @@ pub fn processor_sweep(
                 case_speedup: cmp.case_speedup(),
                 hose_overflows: cmp.hose.overflow_stalls,
                 case_overflows: cmp.case.overflow_stalls,
+                wall_ms: start.elapsed().as_secs_f64() * 1e3,
             }
         })
         .collect()
@@ -96,6 +108,7 @@ pub fn restrict_labeling(labeling: &Labeling, keep: Option<IdemCategory>) -> Lab
 /// and the loop re-simulated.
 pub fn label_category_ablation(bench: &LoopBenchmark, cfg: &SimConfig) -> Vec<AblationRow> {
     let labeled = label_program_region(&bench.program, &bench.region).expect("analyzes");
+    let start = Instant::now();
     let full = compare_modes(&bench.program, &labeled, cfg).expect("simulation");
     let mut rows = vec![AblationRow {
         parameter: "labels".to_string(),
@@ -104,6 +117,7 @@ pub fn label_category_ablation(bench: &LoopBenchmark, cfg: &SimConfig) -> Vec<Ab
         case_speedup: full.case_speedup(),
         hose_overflows: full.hose.overflow_stalls,
         case_overflows: full.case.overflow_stalls,
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
     }];
     for cat in [
         IdemCategory::ReadOnly,
@@ -113,6 +127,7 @@ pub fn label_category_ablation(bench: &LoopBenchmark, cfg: &SimConfig) -> Vec<Ab
     ] {
         let mut restricted = labeled.clone();
         restricted.labeling = restrict_labeling(&labeled.labeling, Some(cat));
+        let start = Instant::now();
         let case =
             simulate_region(&bench.program, &restricted, ExecMode::Case, cfg).expect("simulation");
         rows.push(AblationRow {
@@ -122,6 +137,7 @@ pub fn label_category_ablation(bench: &LoopBenchmark, cfg: &SimConfig) -> Vec<Ab
             case_speedup: full.sequential_cycles as f64 / case.report.region_cycles.max(1) as f64,
             hose_overflows: full.hose.overflow_stalls,
             case_overflows: case.report.overflow_stalls,
+            wall_ms: start.elapsed().as_secs_f64() * 1e3,
         });
     }
     rows
@@ -142,6 +158,10 @@ mod tests {
         assert!(rows[0].hose_overflows > 0, "tiny storage must overflow");
         assert_eq!(rows[1].hose_overflows, 0, "large storage must not overflow");
         assert!(rows[1].hose_speedup > rows[0].hose_speedup);
+        assert!(
+            rows.iter().all(|r| r.wall_ms > 0.0),
+            "every sweep point reports its wall time"
+        );
         // CASE bypasses speculative storage entirely for this loop, so its
         // speedup is insensitive to the capacity.
         assert_eq!(rows[0].case_overflows, 0);

@@ -32,10 +32,15 @@ pub struct Figure5Row {
     pub private_fraction: f64,
     /// Fraction in the shared-dependent category.
     pub shared_dependent_fraction: f64,
+    /// Wall-clock time spent labeling and sequentially interpreting this
+    /// benchmark's regions, in milliseconds (the simulator-side cost of the
+    /// row, which the compilation cache amortizes across re-runs).
+    pub wall_ms: f64,
 }
 
 /// Computes one benchmark's row.
 pub fn compute_benchmark_row(bench: &Benchmark) -> Figure5Row {
+    let start = std::time::Instant::now();
     let cfg = figure5_config();
     let mut merged = DynLabelStats::default();
     let mut regions = 0usize;
@@ -63,6 +68,7 @@ pub fn compute_benchmark_row(bench: &Benchmark) -> Figure5Row {
         read_only_fraction: merged.fraction_of(IdemCategory::ReadOnly),
         private_fraction: merged.fraction_of(IdemCategory::Private),
         shared_dependent_fraction: merged.fraction_of(IdemCategory::SharedDependent),
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
     }
 }
 

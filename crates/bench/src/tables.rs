@@ -18,20 +18,27 @@ pub fn render_figure5(rows: &[Figure5Row]) -> String {
     );
     let _ = writeln!(
         out,
-        "{:<10} {:>8} {:>12} {:>10} {:>10} {:>10} {:>12}",
-        "benchmark", "regions", "dyn refs", "read-only", "private", "shared", "idempotent"
+        "{:<10} {:>8} {:>12} {:>10} {:>10} {:>10} {:>16} {:>9}",
+        "benchmark",
+        "regions",
+        "dyn refs",
+        "read-only",
+        "private",
+        "shared",
+        "idempotent",
+        "wall ms"
     );
     for r in rows {
         if r.total_refs == 0 {
             let _ = writeln!(
                 out,
-                "{:<10} {:>8} {:>12} {:>10} {:>10} {:>10} {:>12}",
-                r.benchmark, r.regions, 0, "-", "-", "-", "(fully parallel)"
+                "{:<10} {:>8} {:>12} {:>10} {:>10} {:>10} {:>16} {:>9.2}",
+                r.benchmark, r.regions, 0, "-", "-", "-", "(fully parallel)", r.wall_ms
             );
         } else {
             let _ = writeln!(
                 out,
-                "{:<10} {:>8} {:>12} {:>10} {:>10} {:>10} {:>12}",
+                "{:<10} {:>8} {:>12} {:>10} {:>10} {:>10} {:>16} {:>9.2}",
                 r.benchmark,
                 r.regions,
                 r.total_refs,
@@ -39,6 +46,7 @@ pub fn render_figure5(rows: &[Figure5Row]) -> String {
                 pct(r.private_fraction),
                 pct(r.shared_dependent_fraction),
                 pct(r.idempotent_fraction),
+                r.wall_ms,
             );
         }
     }
@@ -77,19 +85,20 @@ pub fn render_ablation(title: &str, rows: &[AblationRow]) -> String {
     let _ = writeln!(out, "{title}");
     let _ = writeln!(
         out,
-        "{:<12} {:>10} {:>10} {:>10} {:>11} {:>11}",
-        "parameter", "value", "HOSE spd", "CASE spd", "HOSE ovfl", "CASE ovfl"
+        "{:<12} {:>10} {:>10} {:>10} {:>11} {:>11} {:>9}",
+        "parameter", "value", "HOSE spd", "CASE spd", "HOSE ovfl", "CASE ovfl", "wall ms"
     );
     for r in rows {
         let _ = writeln!(
             out,
-            "{:<12} {:>10} {:>10.2} {:>10.2} {:>11} {:>11}",
+            "{:<12} {:>10} {:>10.2} {:>10.2} {:>11} {:>11} {:>9.2}",
             r.parameter,
             r.value,
             r.hose_speedup,
             r.case_speedup,
             r.hose_overflows,
-            r.case_overflows
+            r.case_overflows,
+            r.wall_ms
         );
     }
     out
@@ -110,6 +119,7 @@ mod tests {
                 read_only_fraction: 0.25,
                 private_fraction: 0.1,
                 shared_dependent_fraction: 0.15,
+                wall_ms: 1.5,
             },
             Figure5Row {
                 benchmark: "PAR".into(),
@@ -119,6 +129,7 @@ mod tests {
                 read_only_fraction: 0.0,
                 private_fraction: 0.0,
                 shared_dependent_fraction: 0.0,
+                wall_ms: 0.1,
             },
         ];
         let text = render_figure5(&rows);
@@ -134,8 +145,11 @@ mod tests {
                 case_speedup: 2.0,
                 hose_overflows: 3,
                 case_overflows: 0,
+                wall_ms: 0.42,
             }],
         );
         assert!(ab.contains("capacity"));
+        assert!(ab.contains("wall ms"));
+        assert!(ab.contains("0.42"));
     }
 }

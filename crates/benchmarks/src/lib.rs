@@ -121,6 +121,7 @@ pub fn all_named_loops() -> Vec<LoopBenchmark> {
     out.extend(figure7_loops());
     out.extend(figure8_loops().into_iter().skip(1));
     out.extend(figure9_loops());
+    out.push(suite::fpppp::twldrv_do100());
     out
 }
 

@@ -5,8 +5,8 @@
 //! and by subscripted-subscript updates, so almost nothing is idempotent.
 
 use crate::patterns::{indirect_update_loop, scalar_tangle_loop};
-use crate::Benchmark;
-use refidem_ir::build::ProcBuilder;
+use crate::{Benchmark, LoopBenchmark};
+use refidem_ir::build::{ac, add, av, mul, num, ProcBuilder};
 use refidem_ir::program::Program;
 
 fn build_program() -> Program {
@@ -44,10 +44,75 @@ pub fn benchmark() -> Benchmark {
     }
 }
 
+/// How far the TWLDRV block is unrolled (statements per iteration of
+/// [`twldrv_do100`]'s region loop).
+const TWLDRV_UNROLL: usize = 128;
+/// Trip count of the TWLDRV region loop.
+const TWLDRV_TRIPS: usize = 4;
+
+/// `FPPPP TWLDRV_DO100` — the giant-basic-block archetype.
+///
+/// The real FPPPP is dominated by TWLDRV/FPPPP routines whose basic blocks
+/// run to hundreds of statements (the paper calls the benchmark "highly
+/// unstructured"); per loop iteration the work is a long fully-unrolled
+/// scalar tangle over a table of coefficients. This loop models that: each
+/// of the 4 iterations executes a 128-statement straight-line block chaining
+/// four accumulator scalars through column reads of a 2-D coefficient
+/// table, then stores one result element. The scalar chain crosses
+/// iterations, so the region is speculative, and — with a body this large
+/// and a trip count this small — compilation cost rivals execution cost,
+/// making it the stress case for compile-once sweeps.
+pub fn twldrv_do100() -> LoopBenchmark {
+    let mut b = ProcBuilder::new("twldrv");
+    let e = b.array("e", &[TWLDRV_UNROLL, TWLDRV_TRIPS]);
+    let g = b.array("g", &[TWLDRV_TRIPS]);
+    let s1 = b.scalar("s1");
+    let s2 = b.scalar("s2");
+    let s3 = b.scalar("s3");
+    let s4 = b.scalar("s4");
+    let k = b.index("k");
+    b.live_out(&[g, s1, s2, s3, s4]);
+    let scalars = [s1, s2, s3, s4];
+    let mut body = Vec::with_capacity(TWLDRV_UNROLL + 1);
+    for u in 0..TWLDRV_UNROLL {
+        let dst = scalars[u % 4];
+        let src = scalars[(u + 1) % 4];
+        let coeff = (u as f64) * 0.0625 - 1.0;
+        let term = mul(b.load_elem(e, vec![ac(u as i64 + 1), av(k)]), num(coeff));
+        let rhs = add(b.load(src), term);
+        body.push(b.assign_scalar(dst, rhs));
+    }
+    let sum = add(add(b.load(s1), b.load(s2)), add(b.load(s3), b.load(s4)));
+    body.push(b.assign_elem(g, vec![av(k)], sum));
+    let region = b.do_loop_labeled("TWLDRV_DO100", k, ac(1), ac(TWLDRV_TRIPS as i64), body);
+    let proc = b.build(vec![region]);
+    let mut program = Program::new("FPPPP_TWLDRV");
+    program.add_procedure(proc);
+    let region = program.find_region("TWLDRV_DO100").expect("region exists");
+    LoopBenchmark {
+        name: "FPPPP TWLDRV_DO100",
+        category: "shared-dependent",
+        program,
+        region,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use refidem_core::label::label_program_region_by_name;
+
+    #[test]
+    fn twldrv_block_is_large_and_speculative() {
+        let l = twldrv_do100();
+        let labeled = label_program_region_by_name(&l.program, "TWLDRV_DO100").unwrap();
+        assert!(!labeled.analysis.compiler_parallelizable);
+        // The accumulator chain keeps the block speculative; the coefficient
+        // reads are idempotent (read-only), mirroring the paper's mix.
+        assert!(labeled.stats().speculative_static > 0);
+        let (_, region) = l.region.resolve(&l.program).expect("resolves");
+        assert_eq!(region.body.len(), TWLDRV_UNROLL + 1);
+    }
 
     #[test]
     fn fpppp_loops_are_mostly_speculative() {

@@ -267,12 +267,7 @@ impl ProcBuilder {
 
     /// Finishes the procedure.
     pub fn build(self, body: Vec<Stmt>) -> Procedure {
-        Procedure {
-            name: self.name,
-            vars: self.vars,
-            body,
-            live_out: self.live_out,
-        }
+        Procedure::new(self.name, self.vars, body, self.live_out)
     }
 }
 

@@ -19,7 +19,7 @@
 use crate::affine::AffineExpr;
 use crate::expr::{BinOp, Expr, Reference, Subscript};
 use crate::ids::{RefId, VarId};
-use crate::lowered::{lower, ExecBackend, LoweredSegmentExec};
+use crate::lowered::{lower, ExecBackend, LowerKey, LowerUnit, LoweredCache, LoweredSegmentExec};
 use crate::memory::{Addr, Layout, Memory};
 use crate::program::Procedure;
 use crate::sites::AccessKind;
@@ -490,22 +490,29 @@ impl<'p> SegmentExec<'p> {
 /// By default it executes on the lowered bytecode backend
 /// ([`crate::lowered`]); [`SeqInterp::oracle`] selects the tree-walking
 /// interpreter, which serves as the cross-checking oracle of the
-/// differential suite.
+/// differential suite. Whole-procedure runs compile through the
+/// interpreter's [`LoweredCache`] (the process-global one by default), so
+/// repeatedly interpreting the same procedure lowers it once.
 #[derive(Debug, Default)]
 pub struct SeqInterp {
     /// Maximum number of statement units per procedure run.
     pub max_steps: usize,
     /// Which execution backend to run on.
     pub backend: ExecBackend,
+    /// Compilation cache for whole-procedure runs on the lowered backend
+    /// (statement-list runs via [`SeqInterp::run_stmts`] have no procedure
+    /// identity to key on and always compile).
+    pub cache: LoweredCache,
 }
 
 impl SeqInterp {
     /// Creates an interpreter with a generous default step budget, running
-    /// on the lowered (fast) backend.
+    /// on the lowered (fast) backend with the process-global cache.
     pub fn new() -> Self {
         SeqInterp {
             max_steps: 200_000_000,
             backend: ExecBackend::Lowered,
+            cache: LoweredCache::default(),
         }
     }
 
@@ -540,12 +547,35 @@ impl SeqInterp {
         }
     }
 
+    /// Runs a whole procedure body through a store, compiling through the
+    /// interpreter's cache on the lowered backend (keyed by the procedure's
+    /// process-unique identity, so repeated runs lower once).
+    fn run_proc_body(
+        &self,
+        proc: &Procedure,
+        layout: &Layout,
+        store: &mut impl DataStore,
+    ) -> Result<(), ExecError> {
+        match self.backend {
+            ExecBackend::Lowered => {
+                let key = LowerKey::new(proc, "", LowerUnit::WholeProcedure);
+                let (lowered, _) = self
+                    .cache
+                    .get_or_lower(key, || lower(&proc.vars, layout, &proc.body));
+                LoweredSegmentExec::new(&lowered, &[]).run(store, self.max_steps)
+            }
+            ExecBackend::TreeWalk => {
+                SegmentExec::new(&proc.vars, layout, &proc.body, &[]).run(store, self.max_steps)
+            }
+        }
+    }
+
     /// Runs a procedure against the given memory (which must have been built
     /// from the procedure's [`Layout`]).
     pub fn run_procedure(&self, proc: &Procedure, memory: &mut Memory) -> Result<(), ExecError> {
         let layout = Layout::new(&proc.vars);
         let mut store = PlainStore::new(memory);
-        self.run_stmts(&proc.vars, &layout, &proc.body, &[], &mut store)
+        self.run_proc_body(proc, &layout, &mut store)
     }
 
     /// Runs a procedure and returns per-site dynamic access counts.
@@ -556,7 +586,7 @@ impl SeqInterp {
     ) -> Result<DynCounts, ExecError> {
         let layout = Layout::new(&proc.vars);
         let mut store = CountingStore::new(PlainStore::new(memory));
-        self.run_stmts(&proc.vars, &layout, &proc.body, &[], &mut store)?;
+        self.run_proc_body(proc, &layout, &mut store)?;
         Ok(store.counts)
     }
 

@@ -21,7 +21,10 @@
 //! * a lowered register-machine bytecode backend that compiles each
 //!   statement list once and replays it without re-walking the trees
 //!   ([`lowered`]) — the fast path the simulator and benchmarks run on,
-//!   with [`exec`]'s tree-walk kept as the cross-checking oracle,
+//!   with [`exec`]'s tree-walk kept as the cross-checking oracle; fused
+//!   affine addresses are strength-reduced to induction address registers,
+//!   and compiled bytecode is shared across repeated runs through the
+//!   keyed [`lowered::LoweredCache`],
 //! * a pretty printer for Fortran-flavoured listings ([`pretty`]).
 //!
 //! The IR is deliberately structured (no gotos): every analysis in

@@ -113,6 +113,27 @@ impl AffinePlan {
     }
 }
 
+/// An induction-variable address register: the strength-reduced form of a
+/// [`RefPlan::Fused`] flat affine address that is an affine function of an
+/// enclosing loop's induction variable.
+///
+/// Instead of re-evaluating `base + Σ stride·index` on every access, the
+/// executor keeps the current address in a register that is initialized
+/// from the closed form when the owning loop is entered and advanced by
+/// the constant `delta` on every trip. Re-entering the loop — including
+/// after a segment roll-back and [`LoweredSegmentExec::reset`] — re-runs
+/// the initialization, so the register can never carry stale state across
+/// re-executions.
+#[derive(Clone, Debug)]
+struct AddrRegPlan {
+    /// The closed-form flat affine address, kept for loop-entry
+    /// initialization and for the debug-mode cross-check on every access.
+    closed: AffinePlan,
+    /// Constant address advance per trip of the owning loop:
+    /// `coeff(loop index) * loop step`.
+    delta: i64,
+}
+
 /// One compiled array subscript.
 #[derive(Clone, Debug)]
 enum SubPlan {
@@ -126,6 +147,8 @@ enum SubPlan {
 /// A compiled memory-reference site, in decreasing order of specialization:
 ///
 /// * `Scalar` — address fully resolved at compile time;
+/// * `Induction` — a [`Fused`](RefPlan::Fused) address strength-reduced to
+///   an incrementally-advanced address register (see [`AddrRegPlan`]);
 /// * `Fused` — an affine array access whose every subscript is *provably
 ///   in bounds* given the enclosing loop ranges, pre-resolved to one flat
 ///   affine address function `base' + Σ stride·index` (the strides and the
@@ -138,6 +161,9 @@ enum SubPlan {
 enum RefPlan {
     /// A scalar access: the address is a compile-time constant.
     Scalar { site: RefId, addr: u64 },
+    /// A provably in-bounds affine access whose flat address lives in the
+    /// induction address register `reg`, advanced by the owning loop.
+    Induction { site: RefId, reg: u32 },
     /// A provably in-bounds affine access collapsed to one flat affine
     /// address function.
     Fused { site: RefId, plan: AffinePlan },
@@ -165,6 +191,7 @@ impl RefPlan {
     fn site(&self) -> RefId {
         match self {
             RefPlan::Scalar { site, .. }
+            | RefPlan::Induction { site, .. }
             | RefPlan::Fused { site, .. }
             | RefPlan::Dim1 { site, .. }
             | RefPlan::General { site, .. } => *site,
@@ -257,6 +284,10 @@ struct LoopPlan {
     body: u32,
     /// Instruction index just past the loop.
     exit: u32,
+    /// Induction address registers owned by this loop: initialized from
+    /// their closed form when the loop is entered, advanced by their
+    /// constant delta on every trip.
+    regs: Box<[u32]>,
 }
 
 /// One bytecode instruction. `Store`, `Branch` and `LoopEnter` terminate a
@@ -297,12 +328,16 @@ enum Inst {
 
 /// A statement list compiled to flat bytecode, reusable across any number
 /// of [`LoweredSegmentExec`] instances (and therefore across segments,
-/// capacity points and re-executions).
+/// capacity points and re-executions). Compile once with [`lower`] (or
+/// [`lower_with_ranges`] / [`lower_procedure`]), execute any number of
+/// times; share across repeated runs with a [`LoweredCache`].
 #[derive(Clone, Debug)]
 pub struct LoweredProc {
     insts: Vec<Inst>,
     refs: Vec<RefPlan>,
     loops: Vec<LoopPlan>,
+    /// Strength-reduced induction address registers (see [`AddrRegPlan`]).
+    addr_regs: Vec<AddrRegPlan>,
     env_len: usize,
     /// Maximum value-stack depth any statement unit can reach (computed at
     /// compile time so the executor allocates the stack exactly once).
@@ -311,28 +346,127 @@ pub struct LoweredProc {
     max_loops: usize,
 }
 
+impl LoweredProc {
+    /// Number of memory-reference sites that were strength-reduced to
+    /// induction address registers (exposed for tests and diagnostics).
+    pub fn induction_reduced_refs(&self) -> usize {
+        self.addr_regs.len()
+    }
+}
+
+/// Lowering-time context of one entered (enclosing) loop — what the
+/// strength-reduction legality check consults.
+struct LoopCtx {
+    /// Index of the loop's [`LoopPlan`].
+    plan_idx: u32,
+    /// Environment slot of the loop's induction variable.
+    index_slot: u32,
+    /// The loop's constant step.
+    step: i64,
+    /// Environment slots rebound somewhere inside the loop's body (the
+    /// index variables of all loops nested in it). Any other variable is
+    /// invariant across the body, because only loops bind index variables.
+    rebound: Vec<u32>,
+    /// Induction address registers allocated to this loop so far.
+    regs: Vec<u32>,
+}
+
 struct Lowerer<'p> {
     vars: &'p VarTable,
     layout: &'p Layout,
     insts: Vec<Inst>,
     refs: Vec<RefPlan>,
     loops: Vec<LoopPlan>,
+    addr_regs: Vec<AddrRegPlan>,
+    /// Stack of entered loops, outermost first.
+    loop_ctx: Vec<LoopCtx>,
     /// Interval each index variable is known to lie in at the current
     /// lowering point (entered loops plus caller-supplied initial ranges);
     /// powers the in-bounds proofs behind [`RefPlan::Fused`].
     ranges: Vec<Option<(i64, i64)>>,
     stack_depth: usize,
     max_stack: usize,
-    loop_depth: usize,
     max_loops: usize,
+}
+
+/// Collects the environment slots of every loop index bound anywhere
+/// inside `stmts` (including nested loops).
+fn collect_rebound_slots(stmts: &[Stmt], out: &mut Vec<u32>) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Assign(_) => {}
+            Stmt::If(i) => {
+                collect_rebound_slots(&i.then_branch, out);
+                collect_rebound_slots(&i.else_branch, out);
+            }
+            Stmt::Loop(l) => {
+                let slot = l.index.index() as u32;
+                if !out.contains(&slot) {
+                    out.push(slot);
+                }
+                collect_rebound_slots(&l.body, out);
+            }
+        }
+    }
 }
 
 impl Lowerer<'_> {
     fn add_ref(&mut self, r: &Reference) -> u32 {
         let idx = self.refs.len() as u32;
-        self.refs
-            .push(RefPlan::compile(r, self.vars, self.layout, &self.ranges));
+        let mut plan = RefPlan::compile(r, self.vars, self.layout, &self.ranges);
+        if let RefPlan::Fused { site, plan: ap } = &plan {
+            if let Some(reduced) = self.try_strength_reduce(*site, ap) {
+                plan = reduced;
+            }
+        }
+        self.refs.push(plan);
         idx
+    }
+
+    /// Strength-reduces a fused flat affine address to an induction address
+    /// register when it is legal to do so.
+    ///
+    /// The owning loop is the *deepest* enclosing loop whose induction
+    /// variable appears in the address; the reduction is legal when every
+    /// *other* variable of the address is invariant across that loop's body
+    /// (i.e. not the index of any loop nested inside it — assignments can
+    /// only write memory, so loops are the only binders of index
+    /// variables). Between two consecutive executions of the reference the
+    /// address then changes by exactly `coeff · step`, so a register
+    /// initialized from the closed form at loop entry and advanced by that
+    /// constant per trip always equals the closed form — the executor
+    /// `debug_assert`s exactly that on every access.
+    fn try_strength_reduce(&mut self, site: RefId, ap: &AffinePlan) -> Option<RefPlan> {
+        let (ctx_pos, coeff) = self
+            .loop_ctx
+            .iter()
+            .enumerate()
+            .rev()
+            .find_map(|(i, ctx)| {
+                ap.terms
+                    .iter()
+                    .find(|(slot, _)| *slot == ctx.index_slot)
+                    .map(|&(_, c)| (i, c))
+            })?;
+        let ctx = &self.loop_ctx[ctx_pos];
+        // Every address variable — including the induction variable itself,
+        // which a pathological nested loop could shadow — must be rebound
+        // only by the owning loop between consecutive executions.
+        let legal = !ctx.rebound.contains(&ctx.index_slot)
+            && ap
+                .terms
+                .iter()
+                .all(|(slot, _)| *slot == ctx.index_slot || !ctx.rebound.contains(slot));
+        if !legal {
+            return None;
+        }
+        let reg = self.addr_regs.len() as u32;
+        self.addr_regs.push(AddrRegPlan {
+            closed: ap.clone(),
+            delta: coeff * ctx.step,
+        });
+        self.loop_ctx[ctx_pos].regs.push(reg);
+        Some(RefPlan::Induction { site, reg })
     }
 
     fn push_depth(&mut self) {
@@ -386,10 +520,19 @@ impl Lowerer<'_> {
             step: l.step,
             body: 0,
             exit: 0,
+            regs: Box::new([]),
         });
         self.insts.push(Inst::LoopEnter(loop_idx));
-        self.loop_depth += 1;
-        self.max_loops = self.max_loops.max(self.loop_depth);
+        let mut rebound = Vec::new();
+        collect_rebound_slots(&l.body, &mut rebound);
+        self.loop_ctx.push(LoopCtx {
+            plan_idx: loop_idx,
+            index_slot: l.index.index() as u32,
+            step: l.step,
+            rebound,
+            regs: Vec::new(),
+        });
+        self.max_loops = self.max_loops.max(self.loop_ctx.len());
         // While the body executes, the index lies between the smallest
         // possible lower bound and the largest possible upper bound (the
         // other way around for descending loops) — the interval backing the
@@ -412,11 +555,13 @@ impl Lowerer<'_> {
         self.emit_stmts(&l.body);
         self.insts.push(Inst::LoopBack(loop_idx));
         self.ranges[l.index.index()] = saved;
-        self.loop_depth -= 1;
+        let ctx = self.loop_ctx.pop().expect("loop context balanced");
+        debug_assert_eq!(ctx.plan_idx, loop_idx);
         let exit = self.insts.len() as u32;
         let plan = &mut self.loops[loop_idx as usize];
         plan.body = body;
         plan.exit = exit;
+        plan.regs = ctx.regs.into_boxed_slice();
     }
 
     fn emit_stmts(&mut self, stmts: &[Stmt]) {
@@ -478,19 +623,22 @@ pub fn lower_with_ranges(
         insts: Vec::new(),
         refs: Vec::new(),
         loops: Vec::new(),
+        addr_regs: Vec::new(),
+        loop_ctx: Vec::new(),
         ranges,
         stack_depth: 0,
         max_stack: 0,
-        loop_depth: 0,
         max_loops: 0,
     };
     lw.emit_stmts(stmts);
     lw.insts.push(Inst::End);
     debug_assert_eq!(lw.stack_depth, 0, "every unit leaves the stack empty");
+    debug_assert!(lw.loop_ctx.is_empty(), "loop contexts balanced");
     LoweredProc {
         insts: lw.insts,
         refs: lw.refs,
         loops: lw.loops,
+        addr_regs: lw.addr_regs,
         env_len: vars.len(),
         max_stack: lw.max_stack,
         max_loops: lw.max_loops,
@@ -502,6 +650,343 @@ pub fn lower_procedure(proc: &Procedure) -> (Layout, LoweredProc) {
     let layout = Layout::new(&proc.vars);
     let lowered = lower(&proc.vars, &layout, &proc.body);
     (layout, lowered)
+}
+
+/// Which part of a region-split procedure a cached [`LoweredProc`] was
+/// compiled from. Together with the procedure identity and the region
+/// label this pins down the exact lowering inputs (statement list and
+/// index ranges), so equal keys always map to interchangeable bytecode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LowerUnit {
+    /// The whole procedure body (sequential interpretation, no region
+    /// split; the key's region label is empty).
+    WholeProcedure,
+    /// The statements preceding the region loop.
+    Prologue,
+    /// The whole region loop statement (the sequential baseline runs it).
+    RegionLoop,
+    /// The region loop's body — one speculative segment — lowered with the
+    /// region index's value interval supplied for in-bounds proofs.
+    RegionBody,
+    /// The statements following the region loop.
+    Epilogue,
+}
+
+/// Key of one [`LoweredCache`] entry: *which procedure*
+/// ([`Procedure::uid`], process-unique and shared by clones), *which
+/// region* (the loop label the procedure is split at), which *unit* of
+/// the split — plus a structural **fingerprint** of the procedure's
+/// symbol table and body.
+///
+/// Procedures are documented immutable after construction. **Debug builds
+/// enforce that structurally**: the key then also carries a fingerprint of
+/// the lowering inputs, so code that mutates a procedure after it has been
+/// cached maps to a *different* key and recompiles instead of being served
+/// stale bytecode — every debug test run (including the 240-program
+/// differential suite) validates the convention. Release builds omit the
+/// fingerprint: the walk is linear in the procedure size and would tax
+/// exactly the repeated-simulation path the cache exists to speed up.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct LowerKey {
+    /// The owning procedure's [`Procedure::uid`].
+    pub proc_uid: u64,
+    /// Label of the region loop the procedure is split at.
+    pub region: String,
+    /// Which unit of the split this entry holds.
+    pub unit: LowerUnit,
+    /// Structural fingerprint of the procedure's lowering inputs (symbol
+    /// table and whole body) — debug builds only, see the type-level docs.
+    #[cfg(debug_assertions)]
+    pub fingerprint: u64,
+}
+
+impl LowerKey {
+    /// Convenience constructor (in debug builds, fingerprints the
+    /// procedure — a fast arithmetic walk, much cheaper than lowering).
+    pub fn new(proc: &Procedure, region: impl Into<String>, unit: LowerUnit) -> Self {
+        LowerKey {
+            proc_uid: proc.uid(),
+            region: region.into(),
+            unit,
+            #[cfg(debug_assertions)]
+            fingerprint: fingerprint_procedure(&proc.vars, &proc.body),
+        }
+    }
+}
+
+/// SplitMix64-style streaming mixer for the structural fingerprint.
+#[cfg(debug_assertions)]
+struct Fingerprint(u64);
+
+#[cfg(debug_assertions)]
+impl Fingerprint {
+    fn mix(&mut self, x: u64) {
+        let mut z = (self.0 ^ x).wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        self.0 = z ^ (z >> 31);
+    }
+
+    fn affine(&mut self, e: &AffineExpr) {
+        self.mix(0xA0);
+        self.mix(e.constant as u64);
+        for (&v, &c) in &e.terms {
+            self.mix(v.index() as u64);
+            self.mix(c as u64);
+        }
+    }
+
+    fn reference(&mut self, r: &Reference) {
+        self.mix(0xB0);
+        self.mix(r.id.index() as u64);
+        self.mix(r.var.index() as u64);
+        for s in &r.subs {
+            match s {
+                Subscript::Affine(e) => self.affine(e),
+                Subscript::Indirect(inner) => {
+                    self.mix(0xB1);
+                    self.reference(inner);
+                }
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Const(c) => {
+                self.mix(0xC0);
+                self.mix(c.to_bits());
+            }
+            Expr::Index(v) => {
+                self.mix(0xC1);
+                self.mix(v.index() as u64);
+            }
+            Expr::Load(r) => {
+                self.mix(0xC2);
+                self.reference(r);
+            }
+            Expr::Neg(a) => {
+                self.mix(0xC3);
+                self.expr(a);
+            }
+            Expr::Bin(op, a, b) => {
+                self.mix(0xC4 + *op as u64);
+                self.expr(a);
+                self.expr(b);
+            }
+            Expr::Cmp(op, a, b) => {
+                self.mix(0xD4 + *op as u64);
+                self.expr(a);
+                self.expr(b);
+            }
+        }
+    }
+
+    fn stmts(&mut self, stmts: &[Stmt]) {
+        self.mix(stmts.len() as u64);
+        for s in stmts {
+            match s {
+                Stmt::Assign(a) => {
+                    self.mix(0xE0);
+                    self.reference(&a.lhs);
+                    self.expr(&a.rhs);
+                }
+                Stmt::If(i) => {
+                    self.mix(0xE1);
+                    self.expr(&i.cond);
+                    self.stmts(&i.then_branch);
+                    self.stmts(&i.else_branch);
+                }
+                Stmt::Loop(l) => {
+                    self.mix(0xE2);
+                    self.mix(l.index.index() as u64);
+                    self.affine(&l.lower);
+                    self.affine(&l.upper);
+                    self.mix(l.step as u64);
+                    self.stmts(&l.body);
+                }
+            }
+        }
+    }
+}
+
+/// Structural fingerprint of everything lowering reads: the symbol table
+/// (kinds, dims and parameter values drive the [`Layout`] and compile-time
+/// folding) and the statement body. Variable *names* are excluded — they
+/// never influence generated code.
+#[cfg(debug_assertions)]
+fn fingerprint_procedure(vars: &VarTable, stmts: &[Stmt]) -> u64 {
+    use crate::var::VarKind;
+    let mut fp = Fingerprint(0x5157_5ea6_14db_a9a1);
+    fp.mix(vars.len() as u64);
+    for (_, info) in vars.iter() {
+        match &info.kind {
+            VarKind::Scalar => fp.mix(1),
+            VarKind::Array { dims } => {
+                fp.mix(2);
+                fp.mix(dims.len() as u64);
+                for &d in dims {
+                    fp.mix(d as u64);
+                }
+            }
+            VarKind::Index => fp.mix(3),
+            VarKind::Param(v) => {
+                fp.mix(4);
+                fp.mix(*v as u64);
+            }
+        }
+    }
+    fp.stmts(stmts);
+    fp.0
+}
+
+/// A keyed, shareable cache of compiled [`LoweredProc`]s — what makes
+/// repeated simulations of the same region (capacity ladders, processor
+/// sweeps, differential suites) *compile once and iterate cheap*.
+///
+/// The cache is a cheap handle (`Clone` shares the underlying storage);
+/// [`LoweredCache::default`] returns the **process-global** cache, so two
+/// independently-constructed `SimConfig`s — e.g. one per capacity point of
+/// a sweep — still share compiled code. Use [`LoweredCache::fresh`] for an
+/// isolated cache (tests, memory-sensitive embedders).
+///
+/// Entries are keyed by [`LowerKey`]: procedure identity — procedures are
+/// immutable after construction, so equal keys mean identical IR — plus,
+/// in debug builds, a structural fingerprint that *enforces* that
+/// convention (a mutated procedure maps to a new key and recompiles).
+///
+/// ```
+/// use refidem_ir::build::{ac, av, num, ProcBuilder};
+/// use refidem_ir::lowered::{lower, LowerKey, LowerUnit, LoweredCache};
+/// use refidem_ir::memory::Layout;
+///
+/// let mut b = ProcBuilder::new("p");
+/// let a = b.array("a", &[8]);
+/// let k = b.index("k");
+/// let s = b.assign_elem(a, vec![av(k)], num(1.0));
+/// let body = vec![b.do_loop_labeled("L", k, ac(1), ac(8), vec![s])];
+/// let proc = b.build(body);
+///
+/// let cache = LoweredCache::fresh();
+/// let key = LowerKey::new(&proc, "L", LowerUnit::RegionLoop);
+/// let layout = Layout::new(&proc.vars);
+/// let (first, hit) = cache.get_or_lower(key.clone(), || {
+///     lower(&proc.vars, &layout, &proc.body)
+/// });
+/// assert!(!hit, "first lookup compiles");
+/// let (second, hit) = cache.get_or_lower(key, || unreachable!("cached"));
+/// assert!(hit, "second lookup reuses the compiled bytecode");
+/// assert!(std::sync::Arc::ptr_eq(&first, &second));
+/// assert_eq!(cache.stats(), (1, 1)); // (hits, misses)
+/// ```
+#[derive(Clone)]
+pub struct LoweredCache {
+    inner: std::sync::Arc<std::sync::Mutex<CacheInner>>,
+}
+
+#[derive(Default)]
+struct CacheInner {
+    map: std::collections::HashMap<LowerKey, std::sync::Arc<LoweredProc>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Default for LoweredCache {
+    /// The **process-global** cache handle (see the type-level docs).
+    fn default() -> Self {
+        static GLOBAL: std::sync::OnceLock<LoweredCache> = std::sync::OnceLock::new();
+        GLOBAL.get_or_init(LoweredCache::fresh).clone()
+    }
+}
+
+/// Handle identity: two cache values are equal when they share the same
+/// underlying storage. (This is what lets configuration types holding a
+/// cache keep a derived `PartialEq`.)
+impl PartialEq for LoweredCache {
+    fn eq(&self, other: &Self) -> bool {
+        std::sync::Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl std::fmt::Debug for LoweredCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (hits, misses) = self.stats();
+        f.debug_struct("LoweredCache")
+            .field("entries", &self.len())
+            .field("hits", &hits)
+            .field("misses", &misses)
+            .finish()
+    }
+}
+
+impl LoweredCache {
+    /// Creates an empty cache that shares storage with nothing else.
+    pub fn fresh() -> Self {
+        LoweredCache {
+            inner: std::sync::Arc::new(std::sync::Mutex::new(CacheInner::default())),
+        }
+    }
+
+    /// The process-global cache (same handle [`Default`] returns).
+    pub fn global() -> Self {
+        LoweredCache::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheInner> {
+        self.inner.lock().expect("lowered cache poisoned")
+    }
+
+    /// Returns the cached bytecode for `key`, compiling it with `compile`
+    /// on a miss. The boolean is `true` on a hit.
+    ///
+    /// Compilation runs *outside* the cache lock, so concurrent users
+    /// (e.g. the benchmark drivers' scoped threads) never serialize their
+    /// compiles; if two threads race on the same key both compile and one
+    /// result wins — harmless, since equal keys produce identical bytecode.
+    pub fn get_or_lower(
+        &self,
+        key: LowerKey,
+        compile: impl FnOnce() -> LoweredProc,
+    ) -> (std::sync::Arc<LoweredProc>, bool) {
+        {
+            let mut inner = self.lock();
+            if let Some(found) = inner.map.get(&key) {
+                let found = found.clone();
+                inner.hits += 1;
+                return (found, true);
+            }
+        }
+        let compiled = std::sync::Arc::new(compile());
+        let mut inner = self.lock();
+        inner.misses += 1;
+        let entry = inner.map.entry(key).or_insert(compiled);
+        (entry.clone(), false)
+    }
+
+    /// `(hits, misses)` accumulated over the cache's lifetime.
+    pub fn stats(&self) -> (u64, u64) {
+        let inner = self.lock();
+        (inner.hits, inner.misses)
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry and zeroes the counters (the storage — and thus
+    /// handle identity — is kept).
+    pub fn clear(&self) {
+        let mut inner = self.lock();
+        inner.map.clear();
+        inner.hits = 0;
+        inner.misses = 0;
+    }
 }
 
 /// Runtime state of one active loop.
@@ -524,6 +1009,10 @@ pub struct LoweredSegmentExec<'p> {
     bound: Vec<bool>,
     loop_stack: Vec<LoopState>,
     stack: Vec<f64>,
+    /// Induction address registers (see [`AddrRegPlan`]): re-initialized
+    /// from the closed form every time their owning loop is entered, so a
+    /// `reset` (segment roll-back) needs no explicit clearing.
+    ind_addrs: Vec<i64>,
     pc: usize,
     steps: usize,
 }
@@ -543,6 +1032,7 @@ impl<'p> LoweredSegmentExec<'p> {
             // units, so the executor indexes with a local stack pointer
             // instead of growing/shrinking a Vec per operation.
             stack: vec![0.0; prog.max_stack],
+            ind_addrs: vec![0; prog.addr_regs.len()],
             pc: 0,
             steps: 0,
         };
@@ -579,6 +1069,18 @@ impl<'p> LoweredSegmentExec<'p> {
     fn addr_of(&self, plan: &RefPlan, store: &mut impl DataStore) -> Result<Addr, ExecError> {
         match plan {
             RefPlan::Scalar { addr, .. } => Ok(Addr(*addr)),
+            RefPlan::Induction { reg, .. } => {
+                let addr = self.ind_addrs[*reg as usize];
+                debug_assert_eq!(
+                    addr,
+                    self.prog.addr_regs[*reg as usize]
+                        .closed
+                        .eval_bound(&self.env),
+                    "induction address register diverged from its closed form"
+                );
+                debug_assert!(addr >= 0, "in-bounds proof guarantees a valid address");
+                Ok(Addr(addr as u64))
+            }
             RefPlan::Fused { plan, .. } => {
                 let addr = plan.eval_bound(&self.env);
                 debug_assert!(addr >= 0, "in-bounds proof guarantees a valid address");
@@ -729,6 +1231,14 @@ impl<'p> LoweredSegmentExec<'p> {
                     } else {
                         self.env[plan.index_slot as usize] = lower;
                         self.bound[plan.index_slot as usize] = true;
+                        // Initialize this loop's induction address registers
+                        // from their closed form under the first-trip
+                        // environment (also what makes re-entry after a
+                        // roll-back `reset` safe).
+                        for &r in plan.regs.iter() {
+                            self.ind_addrs[r as usize] =
+                                prog.addr_regs[r as usize].closed.eval_bound(&self.env);
+                        }
                         self.loop_stack.push(LoopState {
                             current: lower,
                             last: upper,
@@ -753,6 +1263,11 @@ impl<'p> LoweredSegmentExec<'p> {
                         pc = plan.exit as usize;
                     } else {
                         self.env[plan.index_slot as usize] = state.current;
+                        // Advance the loop's induction address registers by
+                        // their per-trip constant.
+                        for &r in plan.regs.iter() {
+                            self.ind_addrs[r as usize] += prog.addr_regs[r as usize].delta;
+                        }
                         pc = plan.body as usize;
                     }
                 }
@@ -912,6 +1427,234 @@ mod tests {
         let write = b.assign(lhs, idx(k));
         let use_loop = b.do_loop(k, ac(1), ac(8), vec![write]);
         assert_backends_agree(&b.build(vec![init_loop, use_loop]));
+    }
+
+    /// Lowers a procedure body and returns the compiled form (test helper
+    /// for inspecting strength-reduction decisions).
+    fn lowered_of(proc: &Procedure) -> LoweredProc {
+        let layout = Layout::new(&proc.vars);
+        lower(&proc.vars, &layout, &proc.body)
+    }
+
+    #[test]
+    fn strength_reduction_covers_negative_strides() {
+        // A descending loop (negative step) AND a negative coefficient in
+        // the same program: do k = 8, 1, -1 { a(k) = a(9-k) + k }. Both
+        // subscripts are provably in bounds, so both strength-reduce — one
+        // register advances by -1 per trip, the other by +1.
+        let mut b = ProcBuilder::new("negstride");
+        let a = b.array("a", &[8]);
+        let k = b.index("k");
+        let rhs = add(b.load_elem(a, vec![ac(9) - av(k)]), idx(k));
+        let s = b.assign_elem(a, vec![av(k)], rhs);
+        let body = vec![b.do_loop_step(None, k, ac(8), ac(1), -1, vec![s])];
+        let proc = b.build(body);
+        assert_eq!(
+            lowered_of(&proc).induction_reduced_refs(),
+            2,
+            "both in-bounds affine subscripts strength-reduce"
+        );
+        assert_backends_agree(&proc);
+    }
+
+    #[test]
+    fn strength_reduction_covers_coupled_subscripts() {
+        // a(i + j) couples both loop indices: the register belongs to the
+        // *inner* loop (the deepest variable of the address), advances by
+        // the inner step per trip, and is re-initialized — picking up the
+        // new `i` — every time the inner loop re-enters.
+        let mut b = ProcBuilder::new("coupled");
+        let a = b.array("a", &[12]);
+        let i = b.index("i");
+        let j = b.index("j");
+        let assign = {
+            let rhs = add(b.load_elem(a, vec![av(i) + av(j)]), num(1.0));
+            b.assign_elem(a, vec![av(i) + av(j)], rhs)
+        };
+        let inner = b.do_loop(j, ac(1), ac(4), vec![assign]);
+        let body = vec![b.do_loop(i, ac(1), ac(4), vec![inner])];
+        let proc = b.build(body);
+        assert_eq!(lowered_of(&proc).induction_reduced_refs(), 2);
+        assert_backends_agree(&proc);
+    }
+
+    #[test]
+    fn strength_reduction_covers_triangular_inner_loops() {
+        // do i = 1, 6 { do j = 1, i { a(j) = a(j) + b(i) } }: the inner
+        // trip count varies per outer trip; a(j) reduces against the inner
+        // loop, b(i) against the outer loop (its address is inner-loop
+        // invariant).
+        let mut b = ProcBuilder::new("tri");
+        let a = b.array("a", &[6]);
+        let bb = b.array("b", &[6]);
+        let i = b.index("i");
+        let j = b.index("j");
+        let assign = {
+            let rhs = add(b.load_elem(a, vec![av(j)]), b.load_elem(bb, vec![av(i)]));
+            b.assign_elem(a, vec![av(j)], rhs)
+        };
+        let inner = b.do_loop(j, ac(1), av(i), vec![assign]);
+        let body = vec![b.do_loop(i, ac(1), ac(6), vec![inner])];
+        let proc = b.build(body);
+        assert_eq!(
+            lowered_of(&proc).induction_reduced_refs(),
+            3,
+            "a(j) twice against the inner loop, b(i) against the outer"
+        );
+        assert_backends_agree(&proc);
+    }
+
+    #[test]
+    fn strength_reduced_registers_survive_mid_segment_rollback_reentry() {
+        // Interrupt an execution mid-loop (as a speculation roll-back
+        // does), reset, and re-run to completion: the induction registers
+        // must re-initialize at loop entry and produce a final memory
+        // identical to an uninterrupted run.
+        let mut b = ProcBuilder::new("rollback");
+        let a = b.array("a", &[10]);
+        let s = b.scalar("s");
+        let k = b.index("k");
+        let s1 = {
+            let rhs = add(b.load_elem(a, vec![ac(11) - av(k)]), idx(k));
+            b.assign_elem(a, vec![av(k)], rhs)
+        };
+        let s2 = {
+            let rhs = add(b.load(s), b.load_elem(a, vec![av(k)]));
+            b.assign_scalar(s, rhs)
+        };
+        let body = vec![b.do_loop(k, ac(1), ac(10), vec![s1, s2])];
+        let proc = b.build(body);
+        let layout = Layout::new(&proc.vars);
+        let lowered = lower(&proc.vars, &layout, &proc.body);
+        assert!(lowered.induction_reduced_refs() > 0);
+
+        let init = |mem: &mut Memory| {
+            for w in 0..layout.total_words() {
+                mem.store(Addr(w), (w % 7) as f64);
+            }
+        };
+
+        // Uninterrupted reference run.
+        let mut mem_ref = Memory::zeroed(&layout);
+        init(&mut mem_ref);
+        let mut exec = LoweredSegmentExec::new(&lowered, &[]);
+        exec.run(&mut PlainStore::new(&mut mem_ref), 10_000)
+            .unwrap();
+
+        // Interrupted run: execute half the units into a scratch memory
+        // (the speculative buffer a roll-back discards), then reset and
+        // replay against a pristine copy.
+        let mut scratch = Memory::zeroed(&layout);
+        init(&mut scratch);
+        let mut exec = LoweredSegmentExec::new(&lowered, &[]);
+        {
+            let mut store = PlainStore::new(&mut scratch);
+            for _ in 0..9 {
+                assert!(exec.step(&mut store).unwrap(), "still mid-segment");
+            }
+        }
+        exec.reset();
+        let mut mem_replay = Memory::zeroed(&layout);
+        init(&mut mem_replay);
+        exec.run(&mut PlainStore::new(&mut mem_replay), 10_000)
+            .unwrap();
+
+        let diffs = mem_ref.diff(&mem_replay, 10);
+        assert!(diffs.is_empty(), "re-entry diverged: {diffs:?}");
+    }
+
+    #[test]
+    fn shadowed_induction_variables_are_not_strength_reduced() {
+        // A pathological nest reusing the same index variable at two levels:
+        // do k = 1, 3 { do k = 1, 2 { a(k) = a(k) + 1 } } — the inner loop
+        // rebinds `k`, so no reference may reduce against the *outer* loop.
+        // (The inner-loop reduction of a(k) is still fine.) The backends
+        // must agree either way.
+        let mut b = ProcBuilder::new("shadow");
+        let a = b.array("a", &[4]);
+        let k = b.index("k");
+        let assign = {
+            let rhs = add(b.load_elem(a, vec![av(k)]), num(1.0));
+            b.assign_elem(a, vec![av(k)], rhs)
+        };
+        let inner = b.do_loop(k, ac(1), ac(2), vec![assign]);
+        let body = vec![b.do_loop(k, ac(1), ac(3), vec![inner])];
+        assert_backends_agree(&b.build(body));
+    }
+
+    #[test]
+    fn cache_compiles_once_per_key_and_separates_regions() {
+        let mut b = ProcBuilder::new("c1");
+        let a = b.array("a", &[4]);
+        let k = b.index("k");
+        let s = b.assign_elem(a, vec![av(k)], idx(k));
+        let body = vec![b.do_loop_labeled("R1", k, ac(1), ac(4), vec![s])];
+        let p1 = b.build(body);
+
+        let mut b = ProcBuilder::new("c2");
+        let a = b.array("a", &[4]);
+        let k = b.index("k");
+        let s = b.assign_elem(a, vec![av(k)], num(2.0));
+        let body = vec![b.do_loop_labeled("R2", k, ac(1), ac(4), vec![s])];
+        let p2 = b.build(body);
+
+        let cache = LoweredCache::fresh();
+        let compiles = std::cell::Cell::new(0usize);
+        let get = |proc: &Procedure, region: &str, unit: LowerUnit| {
+            let layout = Layout::new(&proc.vars);
+            let key = LowerKey::new(proc, region, unit);
+            cache.get_or_lower(key, || {
+                compiles.set(compiles.get() + 1);
+                lower(&proc.vars, &layout, &proc.body)
+            })
+        };
+
+        // Same region twice: exactly one compilation, shared storage.
+        let (first, hit1) = get(&p1, "R1", LowerUnit::RegionBody);
+        let (second, hit2) = get(&p1, "R1", LowerUnit::RegionBody);
+        assert!(!hit1 && hit2);
+        assert_eq!(compiles.get(), 1);
+        assert!(std::sync::Arc::ptr_eq(&first, &second));
+
+        // Distinct regions (and distinct units of one region) get their
+        // own entries.
+        let (_, hit3) = get(&p2, "R2", LowerUnit::RegionBody);
+        let (_, hit4) = get(&p1, "R1", LowerUnit::RegionLoop);
+        assert!(!hit3 && !hit4);
+        assert_eq!(compiles.get(), 3);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.stats(), (1, 3));
+
+        // A clone shares identity and contents; `fresh` does not.
+        assert_eq!(cache.clone(), cache);
+        assert_ne!(LoweredCache::fresh(), cache);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), (0, 0));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn mutated_procedures_map_to_fresh_cache_keys() {
+        let mut b = ProcBuilder::new("fp");
+        let a = b.array("a", &[4]);
+        let k = b.index("k");
+        let s = b.assign_elem(a, vec![av(k)], num(1.0));
+        let body = vec![b.do_loop_labeled("L", k, ac(1), ac(4), vec![s])];
+        let proc = b.build(body);
+        let key = LowerKey::new(&proc, "L", LowerUnit::RegionBody);
+        // A clone with an untouched body shares the key (and thus the
+        // cache entry)...
+        let mut clone = proc.clone();
+        assert_eq!(LowerKey::new(&clone, "L", LowerUnit::RegionBody), key);
+        // ...but mutating the clone's body — a violation of the
+        // immutable-after-construction convention — changes the
+        // fingerprint, so the mutated form recompiles instead of being
+        // served the original's bytecode.
+        if let Stmt::Loop(l) = &mut clone.body[0] {
+            l.step = 2;
+        }
+        assert_ne!(LowerKey::new(&clone, "L", LowerUnit::RegionBody), key);
     }
 
     #[test]

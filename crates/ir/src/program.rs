@@ -11,7 +11,16 @@ use crate::stmt::{LoopStmt, Stmt};
 use crate::var::VarTable;
 
 /// A procedure: a symbol table plus a structured statement body.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// Every procedure carries a process-unique identity ([`Procedure::uid`])
+/// assigned at construction. Procedures are treated as **immutable after
+/// construction** — the [`LoweredCache`](crate::lowered::LoweredCache)
+/// keys compiled bytecode on this identity (clones share it, so a cloned
+/// program reuses its original's cache entries). In debug builds the
+/// cache key additionally carries a structural fingerprint of the
+/// lowering inputs, so any violation of the convention surfaces as a
+/// recompile under test rather than as stale bytecode.
+#[derive(Clone, Debug)]
 pub struct Procedure {
     /// Procedure name.
     pub name: String,
@@ -22,9 +31,48 @@ pub struct Procedure {
     /// Variables considered live after the procedure returns (program
     /// outputs). Everything else is dead at the end of the procedure.
     pub live_out: Vec<VarId>,
+    /// Process-unique identity (see the type-level docs). Private so every
+    /// construction goes through [`Procedure::new`] and gets a fresh id.
+    uid: u64,
+}
+
+/// Structural equality: two procedures are equal when their name, symbol
+/// table, body and live-out set agree — the [`Procedure::uid`] identity is
+/// deliberately excluded, so a rebuilt copy of a procedure still compares
+/// equal to the original.
+impl PartialEq for Procedure {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.vars == other.vars
+            && self.body == other.body
+            && self.live_out == other.live_out
+    }
 }
 
 impl Procedure {
+    /// Creates a procedure and assigns it a fresh process-unique identity.
+    pub fn new(
+        name: impl Into<String>,
+        vars: VarTable,
+        body: Vec<Stmt>,
+        live_out: Vec<VarId>,
+    ) -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT_UID: AtomicU64 = AtomicU64::new(0);
+        Procedure {
+            name: name.into(),
+            vars,
+            body,
+            live_out,
+            uid: NEXT_UID.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// The process-unique identity assigned at construction (shared by
+    /// clones). This is what compiled-code caches key on.
+    pub fn uid(&self) -> u64 {
+        self.uid
+    }
     /// Finds a labeled loop anywhere in the body.
     pub fn find_loop(&self, label: &str) -> Option<&LoopStmt> {
         self.body.iter().find_map(|s| s.find_loop(label))
@@ -160,10 +208,10 @@ mod tests {
     fn make_program() -> Program {
         let mut vars = VarTable::new();
         let k = vars.declare("k", VarKind::Index);
-        let proc = Procedure {
-            name: "main".into(),
+        let proc = Procedure::new(
+            "main",
             vars,
-            body: vec![Stmt::Loop(LoopStmt {
+            vec![Stmt::Loop(LoopStmt {
                 id: StmtId(0),
                 label: Some("MAIN_DO1".into()),
                 index: k,
@@ -172,8 +220,8 @@ mod tests {
                 step: 1,
                 body: vec![],
             })],
-            live_out: vec![],
-        };
+            vec![],
+        );
         let mut prog = Program::new("toy");
         prog.add_procedure(proc);
         prog
@@ -188,6 +236,19 @@ mod tests {
         assert_eq!(l.label.as_deref(), Some("MAIN_DO1"));
         assert!(prog.find_region("NOPE").is_none());
         assert_eq!(prog.all_regions().len(), 1);
+    }
+
+    #[test]
+    fn uids_are_unique_per_construction_and_shared_by_clones() {
+        let a = make_program();
+        let b = make_program();
+        assert_ne!(a.procedures[0].uid(), b.procedures[0].uid());
+        let c = a.clone();
+        assert_eq!(a.procedures[0].uid(), c.procedures[0].uid());
+        assert_eq!(
+            a.procedures[0], b.procedures[0],
+            "uid is excluded from structural equality"
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Simulator configuration.
 
-use refidem_ir::lowered::ExecBackend;
+use refidem_ir::lowered::{ExecBackend, LoweredCache};
 
 /// Parameters of the simulated chip multiprocessor and its memory system.
 ///
@@ -9,6 +9,19 @@ use refidem_ir::lowered::ExecBackend;
 /// simple latency ratios otherwise: speculative-storage hits are fast,
 /// non-speculative storage is slightly slower, roll-backs and commits cost
 /// a handful of cycles.
+///
+/// A config also carries the [`LoweredCache`] the runs compile through.
+/// The default is the process-global cache, so a capacity-ladder sweep
+/// that builds one `SimConfig` per point still lowers each region exactly
+/// once per process:
+///
+/// ```
+/// use refidem_specsim::SimConfig;
+///
+/// let a = SimConfig::default().capacity(4);
+/// let b = SimConfig::default().capacity(256);
+/// assert_eq!(a.cache, b.cache, "sweep points share compiled code");
+/// ```
 #[derive(Clone, Debug, PartialEq)]
 pub struct SimConfig {
     /// Number of processors (the paper assumes Multiplex chips with four).
@@ -43,6 +56,11 @@ pub struct SimConfig {
     /// (default) or the tree-walking oracle. Both produce bit-identical
     /// results; the oracle exists for cross-checking and debugging.
     pub backend: ExecBackend,
+    /// Compilation cache for the lowered backend. Defaults to the
+    /// process-global cache ([`LoweredCache::global`]); substitute
+    /// [`LoweredCache::fresh`] to isolate a run. The tree-walking oracle
+    /// backend never compiles, so it never touches the cache.
+    pub cache: LoweredCache,
 }
 
 impl Default for SimConfig {
@@ -64,6 +82,7 @@ impl Default for SimConfig {
             private_setup_cost: 8,
             max_statements: 200_000_000,
             backend: ExecBackend::Lowered,
+            cache: LoweredCache::default(),
         }
     }
 }
@@ -111,6 +130,14 @@ impl SimConfig {
     pub fn oracle(self) -> Self {
         self.backend(ExecBackend::TreeWalk)
     }
+
+    /// Convenience: sets the compilation cache and returns the modified
+    /// config (e.g. `SimConfig::default().cache(LoweredCache::fresh())` to
+    /// opt out of the process-global cache).
+    pub fn cache(mut self, cache: LoweredCache) -> Self {
+        self.cache = cache;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -126,6 +153,15 @@ mod tests {
             c.lat_nonspec, c.lat_spec,
             "speculative storage is small, not faster"
         );
+    }
+
+    #[test]
+    fn default_configs_share_the_global_cache_and_fresh_isolates() {
+        let a = SimConfig::default();
+        let b = SimConfig::default();
+        assert_eq!(a.cache, b.cache, "defaults share the process-global cache");
+        let c = SimConfig::default().cache(LoweredCache::fresh());
+        assert_ne!(a.cache, c.cache, "a fresh cache is its own storage");
     }
 
     #[test]

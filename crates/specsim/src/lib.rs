@@ -41,7 +41,7 @@ pub mod run;
 pub mod storage;
 
 pub use config::SimConfig;
-pub use refidem_ir::lowered::ExecBackend;
+pub use refidem_ir::lowered::{ExecBackend, LowerKey, LowerUnit, LoweredCache};
 pub use report::{SimReport, SpeedupComparison};
 pub use run::{
     compare_modes, initial_memory, run_sequential, simulate_region, verify_against_sequential,

@@ -45,6 +45,17 @@ pub struct SimReport {
     pub private_writes: u64,
     /// Values forwarded from an older segment's speculative storage.
     pub forwards: u64,
+    /// Lowered-bytecode compilations this run *reused* from its
+    /// [`LoweredCache`](refidem_ir::lowered::LoweredCache) (prologue,
+    /// region body and epilogue are cached separately, so one simulation
+    /// performs up to three cache queries). Always 0 on the tree-walking
+    /// oracle backend, which never compiles — these two counters describe
+    /// the compilation pipeline, not the simulated execution, and are the
+    /// only `SimReport` fields allowed to differ across backends.
+    pub lowering_cache_hits: u64,
+    /// Lowered-bytecode compilations this run had to perform because the
+    /// cache had no entry yet. See [`SimReport::lowering_cache_hits`].
+    pub lowering_cache_misses: u64,
 }
 
 impl SimReport {

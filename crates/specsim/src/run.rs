@@ -12,8 +12,10 @@ use crate::engine::Engine;
 use crate::report::{SimReport, SpeedupComparison};
 use refidem_analysis::classify::VarClass;
 use refidem_core::label::LabeledRegion;
-use refidem_ir::exec::{CountingStore, DynCounts, ExecError, PlainStore, SeqInterp};
-use refidem_ir::lowered::{lower, ExecBackend};
+use refidem_ir::exec::{CountingStore, DynCounts, ExecError, PlainStore, SegmentExec};
+use refidem_ir::lowered::{
+    lower, lower_with_ranges, ExecBackend, LowerKey, LowerUnit, LoweredSegmentExec,
+};
 use refidem_ir::memory::{Addr, Layout, Memory};
 use refidem_ir::program::{Procedure, Program};
 use refidem_ir::var::VarTable;
@@ -142,24 +144,53 @@ fn region_iteration_values(
     Ok(values)
 }
 
+/// Per-run tally of compilation-cache queries, copied into
+/// [`SimReport::lowering_cache_hits`] / `_misses` at the end of a
+/// simulation.
+#[derive(Clone, Copy, Debug, Default)]
+struct CacheTally {
+    hits: u64,
+    misses: u64,
+}
+
+impl CacheTally {
+    fn count(&mut self, hit: bool) {
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+    }
+}
+
+/// Statement budget of the sequential (non-engine) portions of a run.
+const SEQ_STEP_BUDGET: usize = 200_000_000;
+
 fn run_stmts_plain(
     vars: &VarTable,
     layout: &Layout,
     stmts: &[refidem_ir::stmt::Stmt],
     memory: &mut Memory,
-    backend: ExecBackend,
+    cfg: &SimConfig,
+    key: LowerKey,
+    tally: &mut CacheTally,
 ) -> Result<(), SimError> {
     if stmts.is_empty() {
         return Ok(());
     }
-    let interp = SeqInterp {
-        backend,
-        ..SeqInterp::new()
-    };
     let mut store = PlainStore::new(memory);
-    interp
-        .run_stmts(vars, layout, stmts, &[], &mut store)
-        .map_err(SimError::Exec)
+    match cfg.backend {
+        ExecBackend::Lowered => {
+            let (lowered, hit) = cfg.cache.get_or_lower(key, || lower(vars, layout, stmts));
+            tally.count(hit);
+            LoweredSegmentExec::new(&lowered, &[])
+                .run(&mut store, SEQ_STEP_BUDGET)
+                .map_err(SimError::Exec)
+        }
+        ExecBackend::TreeWalk => SegmentExec::new(vars, layout, stmts, &[])
+            .run(&mut store, SEQ_STEP_BUDGET)
+            .map_err(SimError::Exec),
+    }
 }
 
 /// Runs the labeled region's procedure fully sequentially, timing the region
@@ -176,7 +207,20 @@ pub fn run_sequential(
         .split_at_loop(label)
         .ok_or_else(|| SimError::Region(format!("region `{label}` is not a top-level loop")))?;
     let mut memory = initial_memory_with_layout(&layout);
-    run_stmts_plain(vars, &layout, before, &mut memory, cfg.backend)?;
+    // The sequential baseline still compiles through the cache, but its
+    // outcome has no statistics report to surface the traffic on — the
+    // tally is deliberately discarded ([`SimReport`]'s counters cover the
+    // speculative runs, which is where sweeps spend their time).
+    let mut tally = CacheTally::default();
+    run_stmts_plain(
+        vars,
+        &layout,
+        before,
+        &mut memory,
+        cfg,
+        LowerKey::new(proc, label, LowerUnit::Prologue),
+        &mut tally,
+    )?;
     // Time the region on one processor: every access costs `lat_nonspec`
     // and every statement unit `stmt_cost`, so the cycle count follows
     // directly from the dynamic counts — no separate timing store needed.
@@ -190,14 +234,19 @@ pub fn run_sequential(
         );
         let steps = match cfg.backend {
             ExecBackend::Lowered => {
-                let lowered = lower(vars, &layout, region_stmt);
-                let mut exec = refidem_ir::lowered::LoweredSegmentExec::new(&lowered, &[]);
+                let (lowered, hit) = cfg
+                    .cache
+                    .get_or_lower(LowerKey::new(proc, label, LowerUnit::RegionLoop), || {
+                        lower(vars, &layout, region_stmt)
+                    });
+                tally.count(hit);
+                let mut exec = LoweredSegmentExec::new(&lowered, &[]);
                 exec.run(&mut store, cfg.max_statements as usize)
                     .map_err(SimError::Exec)?;
                 exec.steps()
             }
             ExecBackend::TreeWalk => {
-                let mut exec = refidem_ir::exec::SegmentExec::new(vars, &layout, region_stmt, &[]);
+                let mut exec = SegmentExec::new(vars, &layout, region_stmt, &[]);
                 exec.run(&mut store, cfg.max_statements as usize)
                     .map_err(SimError::Exec)?;
                 exec.steps()
@@ -210,7 +259,15 @@ pub fn run_sequential(
         )
     };
     let _ = region;
-    run_stmts_plain(vars, &layout, after, &mut memory, cfg.backend)?;
+    run_stmts_plain(
+        vars,
+        &layout,
+        after,
+        &mut memory,
+        cfg,
+        LowerKey::new(proc, label, LowerUnit::Epilogue),
+        &mut tally,
+    )?;
     Ok(SeqOutcome {
         memory,
         region_cycles,
@@ -231,40 +288,64 @@ pub fn simulate_region(
         .split_at_loop(label)
         .ok_or_else(|| SimError::Region(format!("region `{label}` is not a top-level loop")))?;
     let mut memory = initial_memory_with_layout(&layout);
-    run_stmts_plain(vars, &layout, before, &mut memory, cfg.backend)?;
+    let mut tally = CacheTally::default();
+    run_stmts_plain(
+        vars,
+        &layout,
+        before,
+        &mut memory,
+        cfg,
+        LowerKey::new(proc, label, LowerUnit::Prologue),
+        &mut tally,
+    )?;
     let iter_values = region_iteration_values(vars, region)?;
-    // Compile the region body once; every segment (and every re-execution
-    // after a roll-back) replays the same bytecode. The region index's
-    // value interval is supplied so subscripts mentioning it can be proven
-    // in bounds and fused to flat affine addresses.
+    // Compile the region body once per *process* (the config's cache is
+    // shared, keyed by procedure identity + region label): every segment,
+    // every re-execution after a roll-back, every capacity point of a
+    // sweep and every repeated call replays the same bytecode. The region
+    // index's value interval is supplied so subscripts mentioning it can
+    // be proven in bounds and fused to flat affine addresses; the interval
+    // derives from the region loop's constant bounds, so it is the same
+    // for every call that shares the cache key.
     let lowered = match cfg.backend {
         ExecBackend::Lowered => {
             let index_ranges: Vec<_> = match (iter_values.iter().min(), iter_values.iter().max()) {
                 (Some(&lo), Some(&hi)) => vec![(region.index, (lo, hi))],
                 _ => Vec::new(),
             };
-            Some(refidem_ir::lowered::lower_with_ranges(
-                vars,
-                &layout,
-                &region.body,
-                &index_ranges,
-            ))
+            let (lowered, hit) = cfg
+                .cache
+                .get_or_lower(LowerKey::new(proc, label, LowerUnit::RegionBody), || {
+                    lower_with_ranges(vars, &layout, &region.body, &index_ranges)
+                });
+            tally.count(hit);
+            Some(lowered)
         }
         ExecBackend::TreeWalk => None,
     };
-    let report = Engine::new(
+    let mut report = Engine::new(
         cfg,
         mode,
         &labeled.labeling,
         vars,
         &layout,
         region,
-        lowered.as_ref(),
+        lowered.as_deref(),
         iter_values,
         &mut memory,
     )
     .run()?;
-    run_stmts_plain(vars, &layout, after, &mut memory, cfg.backend)?;
+    run_stmts_plain(
+        vars,
+        &layout,
+        after,
+        &mut memory,
+        cfg,
+        LowerKey::new(proc, label, LowerUnit::Epilogue),
+        &mut tally,
+    )?;
+    report.lowering_cache_hits = tally.hits;
+    report.lowering_cache_misses = tally.misses;
     Ok(SimOutcome { report, memory })
 }
 
@@ -521,6 +602,56 @@ mod tests {
         assert_eq!(out.report.violations, 0, "one processor cannot violate");
         let diffs = verify_against_sequential(&p, &labeled, ExecMode::Hose, &cfg).unwrap();
         assert!(diffs.is_empty());
+    }
+
+    #[test]
+    fn capacity_sweeps_compile_the_region_exactly_once() {
+        use refidem_ir::lowered::LoweredCache;
+        let p = wide_program();
+        let labeled = label_program_region_by_name(&p, "WIDE").unwrap();
+        let cache = LoweredCache::fresh();
+        let base = SimConfig::default().cache(cache.clone());
+
+        // First simulation compiles (the program has no prologue/epilogue,
+        // so the region body is the only query); every further point of
+        // the ladder — any capacity, either mode — hits.
+        let first = simulate_region(&p, &labeled, ExecMode::Hose, &base).unwrap();
+        assert_eq!(first.report.lowering_cache_misses, 1);
+        assert_eq!(first.report.lowering_cache_hits, 0);
+        for capacity in [1, 2, 4, 16, 256] {
+            for mode in [ExecMode::Hose, ExecMode::Case] {
+                let cfg = base.clone().capacity(capacity);
+                let out = simulate_region(&p, &labeled, mode, &cfg).unwrap();
+                assert_eq!(
+                    out.report.lowering_cache_misses, 0,
+                    "{mode} @ {capacity} recompiled"
+                );
+                assert_eq!(out.report.lowering_cache_hits, 1);
+            }
+        }
+        // One region body entry; the sequential baseline adds its own
+        // whole-loop unit, and a *different* region gets its own entries.
+        assert_eq!(cache.len(), 1);
+        run_sequential(&p, &labeled, &base).unwrap();
+        assert_eq!(cache.len(), 2);
+        let other = recurrence_program();
+        let other_labeled = label_program_region_by_name(&other, "REC").unwrap();
+        let out = simulate_region(&other, &other_labeled, ExecMode::Case, &base).unwrap();
+        assert_eq!(out.report.lowering_cache_misses, 1);
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn oracle_backend_never_touches_the_compilation_cache() {
+        use refidem_ir::lowered::LoweredCache;
+        let p = recurrence_program();
+        let labeled = label_program_region_by_name(&p, "REC").unwrap();
+        let cache = LoweredCache::fresh();
+        let cfg = SimConfig::default().cache(cache.clone()).oracle();
+        let out = simulate_region(&p, &labeled, ExecMode::Hose, &cfg).unwrap();
+        assert_eq!(out.report.lowering_cache_hits, 0);
+        assert_eq!(out.report.lowering_cache_misses, 0);
+        assert!(cache.is_empty());
     }
 
     #[test]

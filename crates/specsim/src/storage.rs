@@ -62,6 +62,20 @@ struct IndexSlot {
 /// (O(1)) so a fresh segment pays only the index allocation — and the
 /// engine pools buffers across segments, so even that happens once per
 /// processor.
+///
+/// ```
+/// use refidem_specsim::SpecBuffer;
+/// use refidem_ir::memory::Addr;
+///
+/// let mut buf = SpecBuffer::new(2, 16);
+/// buf.record_exposed_read(Addr(3), 1.5, 10);
+/// buf.record_write(Addr(7), 2.0, 11);
+/// assert!(buf.has_exposed_read(Addr(3)) && buf.has_written(Addr(7)));
+/// assert!(buf.would_overflow(Addr(9)), "capacity 2 is full");
+/// assert_eq!(buf.dirty_entries(), vec![(Addr(7), 2.0)]);
+/// buf.clear(); // O(1) epoch bump, e.g. on roll-back
+/// assert!(buf.is_empty());
+/// ```
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct SpecBuffer {
     index: Vec<IndexSlot>,

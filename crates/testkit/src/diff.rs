@@ -25,6 +25,15 @@
 //! promoting speculative references to idempotent, which is unsound — to
 //! prove that the harness actually detects bad labels (and to hand the
 //! shrinker something to minimize).
+//!
+//! The capacity ladder is a sweep, and sweeps are compile-once: every
+//! simulation of one program pulls the region's lowered bytecode from one
+//! shared [`LoweredCache`](refidem_ir::lowered::LoweredCache), so a
+//! ladder lowers each region exactly once no matter how many capacity
+//! points and modes it visits. The runner deliberately uses a *fresh*
+//! cache per check rather than the process-global one: generated (and
+//! shrunk) programs are one-shot, so global entries could never be hit
+//! again and would accumulate for the life of the process.
 
 use crate::gen::{GeneratedProgram, ProgramSpec};
 use refidem_analysis::classify::VarClass;
@@ -244,9 +253,12 @@ pub fn check_program(
     // and mode — the SimConfig only affects timing, not values). It always
     // runs on the tree-walking oracle backend, so the simulations (lowered
     // by default) are differentially checked against the oracle semantics.
+    // A fresh cache per check: compile-once across the ladder below, but
+    // nothing outlives the (one-shot, generated) program being checked.
     let base_cfg = SimConfig::default()
         .processors(cfg.processors)
-        .backend(cfg.backend);
+        .backend(cfg.backend)
+        .cache(refidem_ir::lowered::LoweredCache::fresh());
     let seq_cfg = base_cfg.clone().oracle();
     let seq = refidem_specsim::run_sequential(program, &labeled, &seq_cfg)
         .map_err(|e| DiffFailure::Sequential(e.to_string()))?;

@@ -19,7 +19,7 @@
 //!   sequential interpreter plus capacity, rollback and forward-progress
 //!   invariants — with optional label *tampering* to fault-inject unsound
 //!   labelings;
-//! * [`shrink`] — a greedy delta-debugging shrinker over the generator's
+//! * [`shrink`](mod@shrink) — a greedy delta-debugging shrinker over the generator's
 //!   declarative program spec, emitting a minimized reproducer as
 //!   `ProcBuilder` code.
 //!

@@ -91,20 +91,44 @@ fn assert_backend_equivalence(what: &str, program: &Program, region: &RegionSpec
     assert_eq!(mem_t, mem_l, "{what}: sequential memory diverged");
 
     // Speculation engine: byte-exact memory and identical reports at every
-    // capacity-ladder point, both execution models.
+    // capacity-ladder point, both execution models. One fresh cache per
+    // program: compile-once across the ladder, nothing retained for the
+    // process lifetime (the generated programs are one-shot).
+    let cache = refidem_ir::lowered::LoweredCache::fresh();
     let labeled = label_program_region(program, region).expect("labels");
     for &capacity in &CAPACITY_LADDER {
         for mode in [ExecMode::Hose, ExecMode::Case] {
             let cfg_t = SimConfig::default().capacity(capacity).oracle();
             let cfg_l = SimConfig::default()
                 .capacity(capacity)
-                .backend(ExecBackend::Lowered);
+                .backend(ExecBackend::Lowered)
+                .cache(cache.clone());
             let out_t = simulate_region(program, &labeled, mode, &cfg_t);
             let out_l = simulate_region(program, &labeled, mode, &cfg_l);
             match (out_t, out_l) {
                 (Ok(t), Ok(l)) => {
+                    // The lowering-cache counters describe the compilation
+                    // pipeline, not the simulated execution: the oracle
+                    // never compiles (always 0/0) while the lowered run
+                    // queries its cache up to three times (prologue, region
+                    // body, epilogue). Check them on their own terms, then
+                    // require the rest of the report to be identical.
                     assert_eq!(
-                        t.report, l.report,
+                        (t.report.lowering_cache_hits, t.report.lowering_cache_misses),
+                        (0, 0),
+                        "{what}: {mode} @ capacity {capacity}: oracle touched the cache"
+                    );
+                    let l_queries = l.report.lowering_cache_hits + l.report.lowering_cache_misses;
+                    assert!(
+                        (1..=3).contains(&l_queries),
+                        "{what}: {mode} @ capacity {capacity}: lowered run made \
+                         {l_queries} cache queries"
+                    );
+                    let mut l_report = l.report.clone();
+                    l_report.lowering_cache_hits = 0;
+                    l_report.lowering_cache_misses = 0;
+                    assert_eq!(
+                        t.report, l_report,
                         "{what}: {mode} @ capacity {capacity}: reports diverged"
                     );
                     let diffs = t.memory.diff(&l.memory, 8);
