@@ -1,0 +1,81 @@
+//! Benchmarks of the sweep executor: the same work — a differential batch
+//! of generated programs, and the FPPPP capacity-ladder sweep — measured
+//! at `jobs = 1`, `jobs = 4`, and the machine's available parallelism.
+//! The `jobs1` vs `jobs4`/`jobsN` pairs recorded in `BENCH_4.json` are
+//! the sharding win; on a single-core container the pair ties (there is
+//! nothing to shard onto) and the multi-core scaling shows in the CI
+//! artifact instead.
+
+use refidem_bench::microbench::Harness;
+use refidem_benchmarks::suite::fpppp;
+use refidem_core::label::label_program_region;
+use refidem_specsim::sweep::{ladder_plan, SweepExec};
+use refidem_specsim::{simulate_region, ExecMode, LoweredCache, SimConfig};
+use refidem_testkit::{run_suite_with, DiffConfig};
+use std::hint::black_box;
+
+/// The ladder the FPPPP sweep walks (the simulator_perf sweep ladder).
+const SWEEP_LADDER: [usize; 7] = [1, 2, 4, 8, 16, 64, 256];
+
+/// Differential-batch size per measurement (big enough that orchestration,
+/// not startup, dominates).
+const DIFF_SEEDS: u64 = 64;
+
+fn jobs_variants() -> Vec<(String, SweepExec)> {
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut variants = vec![
+        ("jobs1".to_string(), SweepExec::sequential()),
+        ("jobs4".to_string(), SweepExec::new().jobs(4)),
+    ];
+    if available != 1 && available != 4 {
+        variants.push((format!("jobs{available}"), SweepExec::new().jobs(available)));
+    }
+    variants
+}
+
+fn main() {
+    let mut c = Harness::default().sample_size(10);
+
+    let mut group = c.benchmark_group("sweep_differential");
+    for (name, exec) in jobs_variants() {
+        let cfg = DiffConfig::default();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let report = run_suite_with(0..DIFF_SEEDS, &cfg, &exec);
+                assert!(report.failures.is_empty());
+                black_box(report.stats.runs)
+            })
+        });
+    }
+    group.finish();
+
+    let bench = fpppp::twldrv_do100();
+    let labeled = label_program_region(&bench.program, &bench.region).expect("analyzes");
+    let mut group = c.benchmark_group("sweep_fpppp_ladder");
+    for (name, exec) in jobs_variants() {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                // One shared fresh cache per sweep, as the compile-once
+                // engine intends; workers race on the first compile and
+                // hit thereafter.
+                let base = SimConfig::default().cache(LoweredCache::fresh());
+                let plan = ladder_plan(&base, &SWEEP_LADDER, &[ExecMode::Hose, ExecMode::Case]);
+                let cycles: u64 = plan
+                    .run(&exec, |(cfg, mode)| {
+                        simulate_region(black_box(&bench.program), &labeled, *mode, cfg)
+                            .expect("runs")
+                            .report
+                            .region_cycles
+                    })
+                    .iter()
+                    .sum();
+                black_box(cycles)
+            })
+        });
+    }
+    group.finish();
+
+    c.finish();
+}

@@ -8,6 +8,7 @@
 
 use refidem_benchmarks::LoopBenchmark;
 use refidem_core::label::{label_program_region, IdemCategory, Label, Labeling};
+use refidem_specsim::sweep::{SweepExec, SweepPlan};
 use refidem_specsim::{compare_modes, simulate_region, ExecMode, SimConfig};
 use std::collections::BTreeSet;
 use std::time::Instant;
@@ -36,26 +37,50 @@ pub struct AblationRow {
     pub wall_ms: f64,
 }
 
+/// One simulated ablation point: compares the modes under `cfg` and
+/// packages the row. Pure in its inputs — exactly what a sweep job must be.
+fn ablation_point(
+    bench: &LoopBenchmark,
+    labeled: &refidem_core::label::LabeledRegion,
+    parameter: &str,
+    value: String,
+    cfg: &SimConfig,
+) -> AblationRow {
+    let start = Instant::now();
+    let cmp = compare_modes(&bench.program, labeled, cfg).expect("simulation");
+    AblationRow {
+        parameter: parameter.to_string(),
+        value,
+        hose_speedup: cmp.hose_speedup(),
+        case_speedup: cmp.case_speedup(),
+        hose_overflows: cmp.hose.overflow_stalls,
+        case_overflows: cmp.case.overflow_stalls,
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
 /// Sweeps the speculative-storage capacity for one loop.
 pub fn capacity_sweep(bench: &LoopBenchmark, capacities: &[usize]) -> Vec<AblationRow> {
+    capacity_sweep_with(bench, capacities, &SweepExec::new())
+}
+
+/// [`capacity_sweep`] on an explicit executor: one plan point per
+/// capacity, every point sharing the default (process-global) compilation
+/// cache.
+pub fn capacity_sweep_with(
+    bench: &LoopBenchmark,
+    capacities: &[usize],
+    exec: &SweepExec,
+) -> Vec<AblationRow> {
     let labeled = label_program_region(&bench.program, &bench.region).expect("analyzes");
-    capacities
+    let plan: SweepPlan<usize> = capacities
         .iter()
-        .map(|&cap| {
-            let cfg = SimConfig::default().capacity(cap);
-            let start = Instant::now();
-            let cmp = compare_modes(&bench.program, &labeled, &cfg).expect("simulation");
-            AblationRow {
-                parameter: "capacity".to_string(),
-                value: cap.to_string(),
-                hose_speedup: cmp.hose_speedup(),
-                case_speedup: cmp.case_speedup(),
-                hose_overflows: cmp.hose.overflow_stalls,
-                case_overflows: cmp.case.overflow_stalls,
-                wall_ms: start.elapsed().as_secs_f64() * 1e3,
-            }
-        })
-        .collect()
+        .map(|&cap| (format!("{} capacity {cap}", bench.name), cap))
+        .collect();
+    plan.run(exec, |&cap| {
+        let cfg = SimConfig::default().capacity(cap);
+        ablation_point(bench, &labeled, "capacity", cap.to_string(), &cfg)
+    })
 }
 
 /// Sweeps the processor count for one loop at a fixed capacity.
@@ -64,24 +89,25 @@ pub fn processor_sweep(
     capacity: usize,
     processors: &[usize],
 ) -> Vec<AblationRow> {
+    processor_sweep_with(bench, capacity, processors, &SweepExec::new())
+}
+
+/// [`processor_sweep`] on an explicit executor.
+pub fn processor_sweep_with(
+    bench: &LoopBenchmark,
+    capacity: usize,
+    processors: &[usize],
+    exec: &SweepExec,
+) -> Vec<AblationRow> {
     let labeled = label_program_region(&bench.program, &bench.region).expect("analyzes");
-    processors
+    let plan: SweepPlan<usize> = processors
         .iter()
-        .map(|&p| {
-            let cfg = SimConfig::default().capacity(capacity).processors(p);
-            let start = Instant::now();
-            let cmp = compare_modes(&bench.program, &labeled, &cfg).expect("simulation");
-            AblationRow {
-                parameter: "processors".to_string(),
-                value: p.to_string(),
-                hose_speedup: cmp.hose_speedup(),
-                case_speedup: cmp.case_speedup(),
-                hose_overflows: cmp.hose.overflow_stalls,
-                case_overflows: cmp.case.overflow_stalls,
-                wall_ms: start.elapsed().as_secs_f64() * 1e3,
-            }
-        })
-        .collect()
+        .map(|&p| (format!("{} processors {p}", bench.name), p))
+        .collect();
+    plan.run(exec, |&p| {
+        let cfg = SimConfig::default().capacity(capacity).processors(p);
+        ablation_point(bench, &labeled, "processors", p.to_string(), &cfg)
+    })
 }
 
 /// Restricts a labeling to a single idempotency category: every idempotent
@@ -107,10 +133,22 @@ pub fn restrict_labeling(labeling: &Labeling, keep: Option<IdemCategory>) -> Lab
 /// count for one loop: the labeling is restricted to one category at a time
 /// and the loop re-simulated.
 pub fn label_category_ablation(bench: &LoopBenchmark, cfg: &SimConfig) -> Vec<AblationRow> {
+    label_category_ablation_with(bench, cfg, &SweepExec::new())
+}
+
+/// [`label_category_ablation`] on an explicit executor. The full-labeling
+/// comparison runs first (its speedups are the baseline every restricted
+/// row reports); the four restricted categories are independent and form
+/// the sweep plan.
+pub fn label_category_ablation_with(
+    bench: &LoopBenchmark,
+    cfg: &SimConfig,
+    exec: &SweepExec,
+) -> Vec<AblationRow> {
     let labeled = label_program_region(&bench.program, &bench.region).expect("analyzes");
     let start = Instant::now();
     let full = compare_modes(&bench.program, &labeled, cfg).expect("simulation");
-    let mut rows = vec![AblationRow {
+    let all_row = AblationRow {
         parameter: "labels".to_string(),
         value: "all".to_string(),
         hose_speedup: full.hose_speedup(),
@@ -118,19 +156,23 @@ pub fn label_category_ablation(bench: &LoopBenchmark, cfg: &SimConfig) -> Vec<Ab
         hose_overflows: full.hose.overflow_stalls,
         case_overflows: full.case.overflow_stalls,
         wall_ms: start.elapsed().as_secs_f64() * 1e3,
-    }];
-    for cat in [
+    };
+    let plan: SweepPlan<IdemCategory> = [
         IdemCategory::ReadOnly,
         IdemCategory::Private,
         IdemCategory::SharedDependent,
         IdemCategory::FullyIndependent,
-    ] {
+    ]
+    .into_iter()
+    .map(|cat| (format!("{} labels {cat}", bench.name), cat))
+    .collect();
+    let restricted_rows = plan.run(exec, |&cat| {
         let mut restricted = labeled.clone();
         restricted.labeling = restrict_labeling(&labeled.labeling, Some(cat));
         let start = Instant::now();
         let case =
             simulate_region(&bench.program, &restricted, ExecMode::Case, cfg).expect("simulation");
-        rows.push(AblationRow {
+        AblationRow {
             parameter: "labels".to_string(),
             value: format!("{cat}"),
             hose_speedup: full.hose_speedup(),
@@ -138,9 +180,9 @@ pub fn label_category_ablation(bench: &LoopBenchmark, cfg: &SimConfig) -> Vec<Ab
             hose_overflows: full.hose.overflow_stalls,
             case_overflows: case.report.overflow_stalls,
             wall_ms: start.elapsed().as_secs_f64() * 1e3,
-        });
-    }
-    rows
+        }
+    });
+    std::iter::once(all_row).chain(restricted_rows).collect()
 }
 
 #[cfg(test)]

@@ -2,39 +2,46 @@
 //! per-category label contribution, on the TOMCATV `MAIN_DO80` and APPLU
 //! `BUTS_DO1` loops.
 
+use refidem_bench::cli::{exec_from_env, jobs_banner};
 use refidem_bench::{
-    capacity_sweep, figure6_config, figure8_config, label_category_ablation, processor_sweep,
-    tables,
+    capacity_sweep_with, figure6_config, figure8_config, label_category_ablation_with,
+    processor_sweep_with, tables,
 };
 use refidem_benchmarks::suite::{applu, mgrid, tomcatv};
 
 fn main() {
+    let exec = exec_from_env();
+    let banner = jobs_banner(&exec);
     let tom = tomcatv::main_do80();
     let buts = applu::buts_do1();
     let resid = mgrid::resid_do600();
 
-    let caps = capacity_sweep(&resid, &[4, 8, 16, 32, 64, 128]);
+    let caps = capacity_sweep_with(&resid, &[4, 8, 16, 32, 64, 128], &exec);
+    println!("{banner}");
     print!(
         "{}",
         tables::render_ablation("Capacity sweep — MGRID RESID_DO600 (4 processors)", &caps)
     );
     println!();
 
-    let procs = processor_sweep(&tom, 6, &[1, 2, 4, 8]);
+    let procs = processor_sweep_with(&tom, 6, &[1, 2, 4, 8], &exec);
+    println!("{banner}");
     print!(
         "{}",
         tables::render_ablation("Processor sweep — TOMCATV MAIN_DO80 (capacity 6)", &procs)
     );
     println!();
 
-    let labels_tom = label_category_ablation(&tom, &figure6_config());
+    let labels_tom = label_category_ablation_with(&tom, &figure6_config(), &exec);
+    println!("{banner}");
     print!(
         "{}",
         tables::render_ablation("Label-category ablation — TOMCATV MAIN_DO80", &labels_tom)
     );
     println!();
 
-    let labels_buts = label_category_ablation(&buts, &figure8_config());
+    let labels_buts = label_category_ablation_with(&buts, &figure8_config(), &exec);
+    println!("{banner}");
     print!(
         "{}",
         tables::render_ablation("Label-category ablation — APPLU BUTS_DO1", &labels_buts)

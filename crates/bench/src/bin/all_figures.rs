@@ -1,14 +1,18 @@
 //! Regenerates every figure of the paper's evaluation in one run — the
 //! output recorded in `EXPERIMENTS.md`.
 
+use refidem_bench::cli::{exec_from_env, jobs_banner};
 use refidem_bench::{
-    compute_figure5, compute_loop_figure, figure6_config, figure7_config, figure8_config,
+    compute_figure5_with, compute_loop_figure_with, figure6_config, figure7_config, figure8_config,
     figure9_config, tables,
 };
 use refidem_benchmarks::{figure6_loops, figure7_loops, figure8_loops, figure9_loops};
 
 fn main() {
-    let rows5 = compute_figure5();
+    let exec = exec_from_env();
+    let banner = jobs_banner(&exec);
+    let rows5 = compute_figure5_with(&exec);
+    println!("{banner}");
     print!("{}", tables::render_figure5(&rows5));
     let over_60 = rows5
         .iter()
@@ -38,7 +42,8 @@ fn main() {
             figure9_config(),
         ),
     ] {
-        let rows = compute_loop_figure(&loops, &cfg);
+        let rows = compute_loop_figure_with(&loops, &cfg, &exec);
+        println!("{banner}");
         print!("{}", tables::render_loop_figure(title, &rows));
         println!();
     }

@@ -1,10 +1,13 @@
 //! Regenerates Figure 5: the fraction of idempotent references in
 //! non-parallelizable code sections of the 13 benchmarks.
 
-use refidem_bench::{compute_figure5, tables};
+use refidem_bench::cli::{exec_from_env, jobs_banner};
+use refidem_bench::{compute_figure5_with, tables};
 
 fn main() {
-    let rows = compute_figure5();
+    let exec = exec_from_env();
+    let rows = compute_figure5_with(&exec);
+    println!("{}", jobs_banner(&exec));
     print!("{}", tables::render_figure5(&rows));
     let over_60 = rows
         .iter()

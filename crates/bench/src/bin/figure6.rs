@@ -1,11 +1,14 @@
 //! Regenerates Figure 6: read-only category loops — reference ratios and
 //! HOSE/CASE loop speedups.
 
-use refidem_bench::{compute_loop_figure, figure6_config, tables};
+use refidem_bench::cli::{exec_from_env, jobs_banner};
+use refidem_bench::{compute_loop_figure_with, figure6_config, tables};
 use refidem_benchmarks::figure6_loops;
 
 fn main() {
-    let rows = compute_loop_figure(&figure6_loops(), &figure6_config());
+    let exec = exec_from_env();
+    let rows = compute_loop_figure_with(&figure6_loops(), &figure6_config(), &exec);
+    println!("{}", jobs_banner(&exec));
     print!(
         "{}",
         tables::render_loop_figure(

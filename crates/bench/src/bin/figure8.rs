@@ -1,11 +1,14 @@
 //! Regenerates Figure 8: shared-dependent category loops — reference ratios
 //! and HOSE/CASE loop speedups.
 
-use refidem_bench::{compute_loop_figure, figure8_config, tables};
+use refidem_bench::cli::{exec_from_env, jobs_banner};
+use refidem_bench::{compute_loop_figure_with, figure8_config, tables};
 use refidem_benchmarks::figure8_loops;
 
 fn main() {
-    let rows = compute_loop_figure(&figure8_loops(), &figure8_config());
+    let exec = exec_from_env();
+    let rows = compute_loop_figure_with(&figure8_loops(), &figure8_config(), &exec);
+    println!("{}", jobs_banner(&exec));
     print!(
         "{}",
         tables::render_loop_figure(

@@ -1,0 +1,93 @@
+//! Shared command-line handling for the driver binaries.
+//!
+//! Every driver accepts `--jobs N` (or `--jobs=N`) to set the sweep
+//! worker count; without the flag the count falls back to the
+//! `REFIDEM_JOBS` environment variable and then to the machine's
+//! available parallelism (see
+//! [`refidem_specsim::sweep::default_jobs`]). Each rendered table is
+//! preceded by a banner naming the effective worker count, so recorded
+//! outputs document how they were produced — the table *bodies* stay
+//! byte-identical across worker counts.
+
+use refidem_specsim::sweep::{parse_jobs, SweepExec};
+
+/// Builds the drivers' executor from an argument list (exclude the program
+/// name). Returns an error message suitable for printing to stderr when an
+/// argument is unrecognized or malformed.
+pub fn exec_from_args<I: IntoIterator<Item = String>>(args: I) -> Result<SweepExec, String> {
+    let mut exec = SweepExec::new();
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        let jobs = if arg == "--jobs" {
+            let value = args
+                .next()
+                .ok_or_else(|| "--jobs requires a value".to_string())?;
+            parse_jobs(&value)
+        } else if let Some(value) = arg.strip_prefix("--jobs=") {
+            parse_jobs(value)
+        } else {
+            return Err(format!("unrecognized argument `{arg}` (expected --jobs N)"));
+        };
+        match jobs {
+            Some(n) => exec = exec.jobs(n),
+            None => return Err("--jobs expects a positive integer".to_string()),
+        }
+    }
+    Ok(exec)
+}
+
+/// Builds the executor from the process arguments, exiting with usage on a
+/// parse error.
+pub fn exec_from_env() -> SweepExec {
+    match exec_from_args(std::env::args().skip(1)) {
+        Ok(exec) => exec,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("usage: <driver> [--jobs N]   (default: $REFIDEM_JOBS, then all cores)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The banner line printed above each rendered table, naming the effective
+/// sweep worker count.
+pub fn jobs_banner(exec: &SweepExec) -> String {
+    format!("[sweep executor: {} worker(s)]", exec.effective_jobs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn jobs_flag_sets_the_worker_count() {
+        let exec = exec_from_args(argv(&["--jobs", "3"])).unwrap();
+        assert_eq!(exec.effective_jobs(), 3);
+        let exec = exec_from_args(argv(&["--jobs=7"])).unwrap();
+        assert_eq!(exec.effective_jobs(), 7);
+    }
+
+    #[test]
+    fn later_jobs_flags_win() {
+        let exec = exec_from_args(argv(&["--jobs", "3", "--jobs=9"])).unwrap();
+        assert_eq!(exec.effective_jobs(), 9);
+    }
+
+    #[test]
+    fn bad_arguments_are_rejected() {
+        assert!(exec_from_args(argv(&["--jobs"])).is_err());
+        assert!(exec_from_args(argv(&["--jobs", "zero"])).is_err());
+        assert!(exec_from_args(argv(&["--jobs", "0"])).is_err());
+        assert!(exec_from_args(argv(&["--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn banner_names_the_worker_count() {
+        let exec = SweepExec::sequential();
+        assert_eq!(jobs_banner(&exec), "[sweep executor: 1 worker(s)]");
+    }
+}

@@ -5,15 +5,17 @@
 //! (cross-segment dependences on non-privatizable variables) is labeled with
 //! Algorithm 2 and interpreted sequentially to obtain dynamic per-site
 //! reference counts; the counts are then weighted by the labels and
-//! aggregated over the benchmark. Benchmarks are processed in parallel with
-//! scoped threads.
+//! aggregated over the benchmark. The figure is a [`SweepPlan`] with one
+//! point per benchmark, executed on a [`SweepExec`] worker pool with a
+//! deterministic ordered merge — rows come back in benchmark order no
+//! matter how many workers ran them.
 
 use crate::configs::figure5_config;
 use refidem_benchmarks::{all_benchmarks, Benchmark};
 use refidem_core::label::{label_program_region, IdemCategory};
 use refidem_core::stats::DynLabelStats;
 use refidem_specsim::run_sequential;
-use std::sync::Mutex;
+use refidem_specsim::sweep::{SweepExec, SweepPlan};
 
 /// One row of Figure 5.
 #[derive(Clone, Debug, PartialEq)]
@@ -72,25 +74,17 @@ pub fn compute_benchmark_row(bench: &Benchmark) -> Figure5Row {
     }
 }
 
-/// Computes the full Figure 5 table (all 13 benchmarks), processing the
-/// benchmarks in parallel with scoped threads.
+/// Computes the full Figure 5 table (all 13 benchmarks) on the default
+/// executor (`REFIDEM_JOBS`, then available parallelism).
 pub fn compute_figure5() -> Vec<Figure5Row> {
+    compute_figure5_with(&SweepExec::new())
+}
+
+/// [`compute_figure5`] on an explicit executor.
+pub fn compute_figure5_with(exec: &SweepExec) -> Vec<Figure5Row> {
     let benches = all_benchmarks();
-    let rows = Mutex::new(vec![None; benches.len()]);
-    std::thread::scope(|scope| {
-        for (i, bench) in benches.iter().enumerate() {
-            let rows = &rows;
-            scope.spawn(move || {
-                let row = compute_benchmark_row(bench);
-                rows.lock().expect("figure5 row lock")[i] = Some(row);
-            });
-        }
-    });
-    rows.into_inner()
-        .expect("figure5 row lock")
-        .into_iter()
-        .flatten()
-        .collect()
+    let plan: SweepPlan<&Benchmark> = benches.iter().map(|b| (b.name.to_string(), b)).collect();
+    plan.run(exec, |bench| compute_benchmark_row(bench))
 }
 
 #[cfg(test)]

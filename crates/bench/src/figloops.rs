@@ -10,6 +10,7 @@
 
 use refidem_benchmarks::LoopBenchmark;
 use refidem_core::label::{label_program_region, IdemCategory, LabeledRegion};
+use refidem_specsim::sweep::{SweepExec, SweepPlan};
 use refidem_specsim::{compare_modes, run_sequential, SimConfig, SpeedupComparison};
 
 /// One row of a per-loop figure.
@@ -66,18 +67,20 @@ pub fn compute_loop_row(bench: &LoopBenchmark, cfg: &SimConfig) -> LoopFigureRow
     }
 }
 
-/// Computes a whole per-loop figure, processing the loops in parallel.
+/// Computes a whole per-loop figure on the default executor: a
+/// [`SweepPlan`] with one point per loop, rows merged back in loop order.
 pub fn compute_loop_figure(loops: &[LoopBenchmark], cfg: &SimConfig) -> Vec<LoopFigureRow> {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = loops
-            .iter()
-            .map(|bench| scope.spawn(move || compute_loop_row(bench, cfg)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("loop row computation panicked"))
-            .collect()
-    })
+    compute_loop_figure_with(loops, cfg, &SweepExec::new())
+}
+
+/// [`compute_loop_figure`] on an explicit executor.
+pub fn compute_loop_figure_with(
+    loops: &[LoopBenchmark],
+    cfg: &SimConfig,
+    exec: &SweepExec,
+) -> Vec<LoopFigureRow> {
+    let plan: SweepPlan<&LoopBenchmark> = loops.iter().map(|b| (b.name.to_string(), b)).collect();
+    plan.run(exec, |bench| compute_loop_row(bench, cfg))
 }
 
 #[cfg(test)]

@@ -13,21 +13,32 @@
 //!   processor-count sweeps, plus a label-category ablation, quantifying the
 //!   design choices called out in `DESIGN.md`.
 //!
+//! Every figure and ablation is a declarative
+//! [`SweepPlan`](refidem_specsim::sweep::SweepPlan) executed on a
+//! [`SweepExec`](refidem_specsim::sweep::SweepExec) worker pool with a
+//! deterministic ordered merge: the `--jobs` flag (see [`cli`]) or the
+//! `REFIDEM_JOBS` environment variable sets the worker count, and the
+//! rendered tables are byte-identical whatever that count is.
+//!
 //! The binaries (`figure5` … `figure9`, `ablation`, `all_figures`) print the
-//! rows as plain-text tables; the Criterion benches in `benches/` measure
-//! the analysis and simulator throughput.
+//! rows as plain-text tables; the benches in `benches/` measure the
+//! analysis, simulator and sweep-executor throughput.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod cli;
 pub mod configs;
 pub mod fig5;
 pub mod figloops;
 pub mod microbench;
 pub mod tables;
 
-pub use ablation::{capacity_sweep, label_category_ablation, processor_sweep, AblationRow};
+pub use ablation::{
+    capacity_sweep, capacity_sweep_with, label_category_ablation, label_category_ablation_with,
+    processor_sweep, processor_sweep_with, AblationRow,
+};
 pub use configs::{figure6_config, figure7_config, figure8_config, figure9_config};
-pub use fig5::{compute_figure5, Figure5Row};
-pub use figloops::{compute_loop_figure, LoopFigureRow};
+pub use fig5::{compute_figure5, compute_figure5_with, Figure5Row};
+pub use figloops::{compute_loop_figure, compute_loop_figure_with, LoopFigureRow};

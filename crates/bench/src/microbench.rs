@@ -152,12 +152,22 @@ impl Harness {
     /// Writes (or merges into) a JSON results file. When the file already
     /// holds a JSON array — e.g. from another bench binary of the same
     /// `cargo bench` run — the new entries are appended to it.
+    ///
+    /// The write is atomic (rendered to a process-unique temp file beside
+    /// the target and renamed into place), so a reader — or a bench binary
+    /// of a *parallel* `cargo bench` invocation — can never observe a
+    /// partially-written file. Note that the read–merge–rename sequence as
+    /// a whole is still last-writer-wins: concurrent *writers* should
+    /// funnel through one reporter (CI runs the bench binaries of one
+    /// `cargo bench` invocation sequentially, which is that funnel).
     pub fn write_json(&self, path: &str) -> std::io::Result<()> {
         let rendered = match std::fs::read_to_string(path) {
             Ok(old) => merge_json_arrays(&old, &self.results_json()),
             Err(_) => self.results_json(),
         };
-        std::fs::write(path, rendered)
+        let tmp = format!("{path}.tmp.{}", std::process::id());
+        std::fs::write(&tmp, rendered)?;
+        std::fs::rename(&tmp, path)
     }
 
     /// Prints the summary footer and, when `BENCH_JSON` is set, writes the
@@ -242,6 +252,30 @@ mod tests {
         assert_eq!(format_duration(Duration::from_micros(2)), "2.000 µs");
         assert_eq!(format_duration(Duration::from_millis(2)), "2.000 ms");
         assert_eq!(format_duration(Duration::from_secs(2)), "2.000 s");
+    }
+
+    #[test]
+    fn write_json_merges_atomically_via_rename() {
+        let dir = std::env::temp_dir().join(format!("refidem_microbench_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        let path_str = path.to_str().unwrap();
+
+        let mut h = Harness::default().sample_size(1);
+        h.results.push(("g/a".to_string(), Duration::from_nanos(7)));
+        h.write_json(path_str).unwrap();
+        // Second write merge-appends into the same file.
+        h.write_json(path_str).unwrap();
+        let merged = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(merged.matches("g/a").count(), 2);
+        // The temp file used for the atomic rename is gone.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n.to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "stray temp files: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! Determinism regression for the figure and ablation drivers: the same
+//! sweep plan rendered at `jobs = 1, 2, 8` must produce byte-identical
+//! tables. Wall-clock columns are measurements (never deterministic, even
+//! between two sequential runs), so they are normalized before rendering —
+//! the same way cache hit/miss counters are compared on their own terms in
+//! `backend_differential`.
+
+use refidem_bench::tables::{render_ablation, render_figure5, render_loop_figure};
+use refidem_bench::{
+    capacity_sweep_with, compute_figure5_with, compute_loop_figure_with, figure6_config,
+    AblationRow, Figure5Row, LoopFigureRow,
+};
+use refidem_benchmarks::{figure6_loops, suite::mgrid};
+use refidem_specsim::sweep::SweepExec;
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn normalize_fig5(mut rows: Vec<Figure5Row>) -> Vec<Figure5Row> {
+    for r in &mut rows {
+        r.wall_ms = 0.0;
+    }
+    rows
+}
+
+fn normalize_loops(mut rows: Vec<LoopFigureRow>) -> Vec<LoopFigureRow> {
+    for r in &mut rows {
+        // Cache counters are scheduling-dependent measurements; the rest
+        // of the embedded reports must match bit for bit.
+        r.comparison.hose.lowering_cache_hits = 0;
+        r.comparison.hose.lowering_cache_misses = 0;
+        r.comparison.case.lowering_cache_hits = 0;
+        r.comparison.case.lowering_cache_misses = 0;
+    }
+    rows
+}
+
+fn normalize_ablation(mut rows: Vec<AblationRow>) -> Vec<AblationRow> {
+    for r in &mut rows {
+        r.wall_ms = 0.0;
+    }
+    rows
+}
+
+#[test]
+fn figure5_table_is_byte_identical_at_any_worker_count() {
+    let tables: Vec<String> = WORKER_COUNTS
+        .iter()
+        .map(|&jobs| {
+            let rows = normalize_fig5(compute_figure5_with(&SweepExec::new().jobs(jobs)));
+            render_figure5(&rows)
+        })
+        .collect();
+    for (i, table) in tables.iter().enumerate().skip(1) {
+        assert_eq!(
+            &tables[0], table,
+            "figure 5 table diverged at jobs = {}",
+            WORKER_COUNTS[i]
+        );
+    }
+}
+
+#[test]
+fn loop_figure_rows_and_table_are_byte_identical_at_any_worker_count() {
+    let loops = figure6_loops();
+    let cfg = figure6_config();
+    let runs: Vec<Vec<LoopFigureRow>> = WORKER_COUNTS
+        .iter()
+        .map(|&jobs| {
+            normalize_loops(compute_loop_figure_with(
+                &loops,
+                &cfg,
+                &SweepExec::new().jobs(jobs),
+            ))
+        })
+        .collect();
+    for (i, rows) in runs.iter().enumerate().skip(1) {
+        let jobs = WORKER_COUNTS[i];
+        assert_eq!(
+            render_loop_figure("Figure 6", &runs[0]),
+            render_loop_figure("Figure 6", rows),
+            "rendered loop table diverged at jobs = {jobs}"
+        );
+        // Beyond the table: the full simulation reports (cycles,
+        // violations, overflows — everything but the cache counters
+        // zeroed above) must be identical too.
+        for (a, b) in runs[0].iter().zip(rows) {
+            assert_eq!(
+                a.comparison, b.comparison,
+                "{}: SimReports diverged at jobs = {jobs}",
+                a.name
+            );
+        }
+    }
+}
+
+#[test]
+fn ablation_table_is_byte_identical_at_any_worker_count() {
+    let bench = mgrid::resid_do600();
+    let tables: Vec<String> = WORKER_COUNTS
+        .iter()
+        .map(|&jobs| {
+            let rows = normalize_ablation(capacity_sweep_with(
+                &bench,
+                &[4, 8, 16, 32, 64, 128],
+                &SweepExec::new().jobs(jobs),
+            ));
+            render_ablation("Capacity sweep", &rows)
+        })
+        .collect();
+    for (i, table) in tables.iter().enumerate().skip(1) {
+        assert_eq!(
+            &tables[0], table,
+            "ablation table diverged at jobs = {}",
+            WORKER_COUNTS[i]
+        );
+    }
+}

@@ -682,7 +682,7 @@ pub enum LowerUnit {
 /// enforce that structurally**: the key then also carries a fingerprint of
 /// the lowering inputs, so code that mutates a procedure after it has been
 /// cached maps to a *different* key and recompiles instead of being served
-/// stale bytecode — every debug test run (including the 240-program
+/// stale bytecode — every debug test run (including the 1024-program
 /// differential suite) validates the convention. Release builds omit the
 /// fingerprint: the walk is linear in the procedure size and would tax
 /// exactly the repeated-simulation path the cache exists to speed up.

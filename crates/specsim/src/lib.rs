@@ -39,6 +39,7 @@ pub mod engine;
 pub mod report;
 pub mod run;
 pub mod storage;
+pub mod sweep;
 
 pub use config::SimConfig;
 pub use refidem_ir::lowered::{ExecBackend, LowerKey, LowerUnit, LoweredCache};
@@ -48,6 +49,7 @@ pub use run::{
     ExecMode, SimError, SimOutcome,
 };
 pub use storage::{PrivateStore, SpecBuffer, SpecEntry};
+pub use sweep::{ladder_plan, SweepExec, SweepPlan, SweepPoint};
 
 /// Commonly used items, for glob import.
 pub mod prelude {
@@ -57,4 +59,5 @@ pub mod prelude {
         compare_modes, run_sequential, simulate_region, verify_against_sequential, ExecMode,
         SimError, SimOutcome,
     };
+    pub use crate::sweep::{SweepExec, SweepPlan};
 }

@@ -34,6 +34,16 @@
 //! cache per check rather than the process-global one: generated (and
 //! shrunk) programs are one-shot, so global entries could never be hit
 //! again and would accumulate for the life of the process.
+//!
+//! The ladder itself is a
+//! [`SweepPlan`](refidem_specsim::sweep::SweepPlan) built by
+//! [`ladder_plan`] and executed with
+//! [`SweepExec::sequential`] — one check stays on one thread because the
+//! *batch* axis (many programs, see
+//! [`run_suite`](crate::run_suite)) is where the worker pool shards; a
+//! sequential inner ladder composes with a parallel outer batch without
+//! oversubscribing the machine. [`check_program_with`] accepts another
+//! executor for standalone single-program checks.
 
 use crate::gen::{GeneratedProgram, ProgramSpec};
 use refidem_analysis::classify::VarClass;
@@ -43,6 +53,7 @@ use refidem_ir::lowered::ExecBackend;
 use refidem_ir::memory::{Addr, Layout, Memory};
 use refidem_ir::program::{Program, RegionSpec};
 use refidem_ir::sites::AccessKind;
+use refidem_specsim::sweep::{ladder_plan, SweepExec};
 use refidem_specsim::{ExecMode, SimConfig};
 
 /// The speculative-storage capacities every program is exercised at —
@@ -236,11 +247,27 @@ fn byte_exact_diff(seq: &Memory, sim: &Memory, ignored: &[(u64, u64)]) -> Vec<(A
     out
 }
 
-/// Runs the full differential check on one designated region.
+/// Runs the full differential check on one designated region. The
+/// capacity-ladder sweep runs sequentially on the calling thread (see the
+/// module docs for why); [`check_program_with`] takes an explicit
+/// executor.
 pub fn check_program(
     program: &Program,
     region: &RegionSpec,
     cfg: &DiffConfig,
+) -> Result<DiffStats, DiffFailure> {
+    check_program_with(program, region, cfg, &SweepExec::sequential())
+}
+
+/// [`check_program`] with the (capacity × mode) ladder executed on an
+/// explicit [`SweepExec`]. The merge is ordered, so the returned stats —
+/// and which failure is reported when several points fail — are identical
+/// at any worker count.
+pub fn check_program_with(
+    program: &Program,
+    region: &RegionSpec,
+    cfg: &DiffConfig,
+    exec: &SweepExec,
 ) -> Result<DiffStats, DiffFailure> {
     let mut labeled: LabeledRegion = refidem_core::label::label_program_region(program, region)
         .map_err(|e| DiffFailure::Analysis(format!("{e:?}")))?;
@@ -278,67 +305,99 @@ pub fn check_program(
         })
         .collect();
 
-    for &capacity in &cfg.capacities {
-        for &mode in &cfg.modes {
-            let sim_cfg = base_cfg.clone().capacity(capacity);
-            let out = refidem_specsim::simulate_region(program, &labeled, mode, &sim_cfg).map_err(
-                |e| DiffFailure::Sim {
-                    mode,
-                    capacity,
-                    error: e.to_string(),
-                },
-            )?;
-            let diffs = byte_exact_diff(&seq.memory, &out.memory, &ignored);
-            if !diffs.is_empty() {
-                let count = diffs.len();
-                return Err(DiffFailure::Divergence {
-                    mode,
-                    capacity,
-                    diffs: diffs.into_iter().take(8).collect(),
-                    count,
-                });
-            }
-            let r = &out.report;
-            let invariant = |cond: bool, what: &str| {
-                if cond {
-                    Ok(())
-                } else {
-                    Err(DiffFailure::Invariant {
-                        mode,
-                        capacity,
-                        what: what.to_string(),
-                    })
-                }
-            };
-            invariant(
-                r.spec_peak_occupancy <= capacity,
-                &format!(
-                    "peak occupancy {} exceeds capacity {capacity}",
-                    r.spec_peak_occupancy
-                ),
-            )?;
-            invariant(
-                r.commits as usize == r.segments,
-                &format!("{} commits for {} segments", r.commits, r.segments),
-            )?;
-            if cfg.processors == 1 {
-                invariant(r.violations == 0, "violation on one processor")?;
-            }
-            if r.violations == 0 {
-                invariant(
-                    r.rollbacks == 0,
-                    &format!("{} rollbacks without a violation", r.rollbacks),
-                )?;
-            }
-            stats.runs += 1;
-            stats.segments += r.segments;
-            stats.violations += r.violations;
-            stats.rollbacks += r.rollbacks;
-            stats.overflow_stalls += r.overflow_stalls;
-            stats.max_peak_occupancy = stats.max_peak_occupancy.max(r.spec_peak_occupancy);
-        }
+    // The (capacity × mode) ladder as a declarative sweep plan; every
+    // point is an independent simulate-and-check job against the shared
+    // sequential image. `run_fallible` short-circuits at the plan-order
+    // first failing point — the same outcome *and* the same amount of
+    // work as the old hand-rolled double loop (on the default sequential
+    // executor nothing runs past a failure, which keeps the shrinker's
+    // failing-candidate probes cheap).
+    let plan = ladder_plan(&base_cfg, &cfg.capacities, &cfg.modes);
+    let reports = plan.run_fallible(exec, |(sim_cfg, mode)| {
+        check_point(
+            program,
+            &labeled,
+            &seq.memory,
+            &ignored,
+            cfg,
+            sim_cfg,
+            *mode,
+        )
+    })?;
+    for r in reports {
+        stats.runs += 1;
+        stats.segments += r.segments;
+        stats.violations += r.violations;
+        stats.rollbacks += r.rollbacks;
+        stats.overflow_stalls += r.overflow_stalls;
+        stats.max_peak_occupancy = stats.max_peak_occupancy.max(r.spec_peak_occupancy);
     }
     Ok(stats)
+}
+
+/// One ladder point: simulate under `(sim_cfg, mode)`, compare the final
+/// memory byte-exactly against the sequential image and check the
+/// structural invariants. Returns the run's report on success.
+fn check_point(
+    program: &Program,
+    labeled: &LabeledRegion,
+    seq_memory: &Memory,
+    ignored: &[(u64, u64)],
+    cfg: &DiffConfig,
+    sim_cfg: &SimConfig,
+    mode: ExecMode,
+) -> Result<refidem_specsim::SimReport, DiffFailure> {
+    let capacity = sim_cfg.spec_capacity;
+    let out = refidem_specsim::simulate_region(program, labeled, mode, sim_cfg).map_err(|e| {
+        DiffFailure::Sim {
+            mode,
+            capacity,
+            error: e.to_string(),
+        }
+    })?;
+    let diffs = byte_exact_diff(seq_memory, &out.memory, ignored);
+    if !diffs.is_empty() {
+        let count = diffs.len();
+        return Err(DiffFailure::Divergence {
+            mode,
+            capacity,
+            diffs: diffs.into_iter().take(8).collect(),
+            count,
+        });
+    }
+    let r = &out.report;
+    let invariant = |cond: bool, what: &str| {
+        if cond {
+            Ok(())
+        } else {
+            Err(DiffFailure::Invariant {
+                mode,
+                capacity,
+                what: what.to_string(),
+            })
+        }
+    };
+    invariant(
+        r.spec_peak_occupancy <= capacity,
+        &format!(
+            "peak occupancy {} exceeds capacity {capacity}",
+            r.spec_peak_occupancy
+        ),
+    )?;
+    invariant(
+        r.commits as usize == r.segments,
+        &format!("{} commits for {} segments", r.commits, r.segments),
+    )?;
+    if cfg.processors == 1 {
+        invariant(r.violations == 0, "violation on one processor")?;
+    }
+    if r.violations == 0 {
+        invariant(
+            r.rollbacks == 0,
+            &format!("{} rollbacks without a violation", r.rollbacks),
+        )?;
+    }
+    Ok(out.report)
 }
 
 /// Differential check of a generated program.
@@ -346,11 +405,30 @@ pub fn check_generated(g: &GeneratedProgram, cfg: &DiffConfig) -> Result<DiffSta
     check_program(&g.program, &g.region, cfg)
 }
 
+/// [`check_generated`] with the ladder on an explicit executor.
+pub fn check_generated_with(
+    g: &GeneratedProgram,
+    cfg: &DiffConfig,
+    exec: &SweepExec,
+) -> Result<DiffStats, DiffFailure> {
+    check_program_with(&g.program, &g.region, cfg, exec)
+}
+
 /// Differential check of a spec (builds it first). This is the predicate
 /// the shrinker re-evaluates on every candidate.
 pub fn check_spec(spec: &ProgramSpec, cfg: &DiffConfig) -> Result<DiffStats, DiffFailure> {
     let (program, region) = spec.build();
     check_program(&program, &region, cfg)
+}
+
+/// [`check_spec`] with the ladder on an explicit executor.
+pub fn check_spec_with(
+    spec: &ProgramSpec,
+    cfg: &DiffConfig,
+    exec: &SweepExec,
+) -> Result<DiffStats, DiffFailure> {
+    let (program, region) = spec.build();
+    check_program_with(&program, &region, cfg, exec)
 }
 
 #[cfg(test)]

@@ -42,10 +42,11 @@ pub mod rng;
 pub mod shrink;
 
 pub use diff::{
-    check_generated, check_program, check_spec, DiffConfig, DiffFailure, DiffStats, Tamper,
-    CAPACITY_LADDER,
+    check_generated, check_generated_with, check_program, check_program_with, check_spec,
+    check_spec_with, DiffConfig, DiffFailure, DiffStats, Tamper, CAPACITY_LADDER,
 };
 pub use gen::{generate, generate_with, GenConfig, GeneratedProgram, ProgramSpec};
+pub use refidem_specsim::sweep::{SweepExec, SweepPlan};
 pub use rng::Rng;
 pub use shrink::{reproducer, shrink, ShrinkResult};
 
@@ -68,16 +69,34 @@ pub struct SuiteReport {
 /// Generates one program per seed, runs the differential check on each, and
 /// aggregates the outcome. The workhorse of the fuzz-style integration
 /// tests; also handy from a debugger or example binary.
+///
+/// The batch is sharded over a [`SweepExec`] worker pool — the default
+/// executor honors `REFIDEM_JOBS` and falls back to the machine's
+/// available parallelism. The merge is ordered and [`DiffStats::merge`] is
+/// the reduction, so the report (stats, distinct count, failure order) is
+/// identical at any worker count.
 pub fn run_suite(seeds: Range<u64>, cfg: &DiffConfig) -> SuiteReport {
+    run_suite_with(seeds, cfg, &SweepExec::new())
+}
+
+/// [`run_suite`] on an explicit executor.
+pub fn run_suite_with(seeds: Range<u64>, cfg: &DiffConfig, exec: &SweepExec) -> SuiteReport {
+    let plan: SweepPlan<u64> = seeds.map(|seed| (format!("seed {seed}"), seed)).collect();
+    let outcomes = plan.run(exec, |&seed| {
+        let g = generate(seed);
+        let listing = refidem_ir::pretty::program_to_string(&g.program);
+        (seed, listing, check_generated(&g, cfg))
+    });
+    // Deterministic ordered merge: listings dedup in a sorted set, stats
+    // fold via DiffStats::merge, failures keep seed order.
     let mut listings: BTreeSet<String> = BTreeSet::new();
     let mut stats = DiffStats::default();
     let mut failures = Vec::new();
     let mut programs = 0usize;
-    for seed in seeds {
-        let g = generate(seed);
+    for (seed, listing, outcome) in outcomes {
         programs += 1;
-        listings.insert(refidem_ir::pretty::program_to_string(&g.program));
-        match check_generated(&g, cfg) {
+        listings.insert(listing);
+        match outcome {
             Ok(s) => stats.merge(&s),
             Err(f) => failures.push((seed, f)),
         }

@@ -5,8 +5,10 @@
 //! produce the same final memory: same access order (traces), same dynamic
 //! counts, same statement-unit accounting, and — under the speculation
 //! engine — the same violations, roll-backs, overflows and cycle counts at
-//! every capacity point. This suite asserts exactly that across all 240
-//! generated testkit programs and every named benchmark loop.
+//! every capacity point. This suite asserts exactly that across all 1024
+//! generated testkit programs and every named benchmark loop, sharding
+//! the corpus over the sweep executor (a failing seed's assertion panic
+//! propagates out of the pool with the seed's identity in the message).
 
 use refidem_benchmarks::all_named_loops;
 use refidem_core::label::label_program_region;
@@ -14,10 +16,11 @@ use refidem_ir::exec::{CountingStore, DynCounts, PlainStore, SegmentExec, SeqInt
 use refidem_ir::lowered::{lower, ExecBackend, LoweredSegmentExec};
 use refidem_ir::memory::{Layout, Memory};
 use refidem_ir::program::{Program, RegionSpec};
+use refidem_specsim::sweep::{SweepExec, SweepPlan};
 use refidem_specsim::{initial_memory, simulate_region, ExecMode, SimConfig};
 use refidem_testkit::{generate, CAPACITY_LADDER};
 
-const SUITE_SEEDS: u64 = 240;
+const SUITE_SEEDS: u64 = 1024;
 
 /// Bit-exact trace fingerprint: `(site, access, addr, value bits)` per
 /// dynamic access.
@@ -152,17 +155,23 @@ fn assert_backend_equivalence(what: &str, program: &Program, region: &RegionSpec
 
 #[test]
 fn all_generated_programs_execute_identically_on_both_backends() {
-    for seed in 0..SUITE_SEEDS {
+    let plan: SweepPlan<u64> = (0..SUITE_SEEDS)
+        .map(|seed| (format!("seed {seed}"), seed))
+        .collect();
+    plan.run(&SweepExec::new(), |&seed| {
         let g = generate(seed);
         assert_backend_equivalence(&format!("seed {seed}"), &g.program, &g.region);
-    }
+    });
 }
 
 #[test]
 fn all_named_benchmark_loops_execute_identically_on_both_backends() {
-    for bench in all_named_loops() {
+    let loops = all_named_loops();
+    let plan: SweepPlan<&refidem_benchmarks::LoopBenchmark> =
+        loops.iter().map(|b| (b.name.to_string(), b)).collect();
+    plan.run(&SweepExec::new(), |bench| {
         assert_backend_equivalence(bench.name, &bench.program, &bench.region);
-    }
+    });
 }
 
 #[test]
