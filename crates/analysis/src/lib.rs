@@ -21,6 +21,11 @@
 //! * [`liveness`] — live-out analysis at region exits.
 //! * [`region`] — [`region::RegionAnalysis`], the bundle of all of the above
 //!   for one region, which is what `refidem-core` consumes.
+//! * [`schedule`] — whole-program region discovery:
+//!   [`schedule::discover_regions`] partitions a procedure into serial
+//!   spans and an ordered [`schedule::RegionSchedule`] of
+//!   speculation-candidate loops, the first stage of the program-level
+//!   pipeline (discover → label → schedule → simulate).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,11 +35,13 @@ pub mod classify;
 pub mod depend;
 pub mod liveness;
 pub mod region;
+pub mod schedule;
 pub mod summary;
 
 pub use classify::{VarClass, VarClassification};
 pub use depend::{DepKind, DepScope, Dependence, DependenceSet};
 pub use region::RegionAnalysis;
+pub use schedule::{discover_regions, DiscoveredRegion, RegionSchedule};
 pub use summary::BodySummary;
 
 /// Commonly used items, for glob import.
@@ -42,5 +49,6 @@ pub mod prelude {
     pub use crate::classify::{VarClass, VarClassification};
     pub use crate::depend::{DepKind, DepScope, Dependence, DependenceSet};
     pub use crate::region::RegionAnalysis;
+    pub use crate::schedule::{discover_regions, RegionSchedule};
     pub use crate::summary::BodySummary;
 }

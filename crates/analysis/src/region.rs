@@ -33,6 +33,12 @@ pub enum AnalysisError {
     /// The region loop is not a top-level statement of its procedure (the
     /// simulator and the liveness analysis require this).
     RegionNotTopLevel(String),
+    /// Two scheduled loops share a label. A `RegionSpec` identifies a
+    /// region by `(procedure, label)` and every resolution is
+    /// first-match, so a duplicate label would silently execute the
+    /// second loop under the first loop's analysis and labeling —
+    /// whole-program labeling rejects the program instead.
+    DuplicateRegionLabel(String),
 }
 
 impl std::fmt::Display for AnalysisError {
@@ -41,6 +47,9 @@ impl std::fmt::Display for AnalysisError {
             AnalysisError::RegionNotFound(l) => write!(f, "region `{l}` not found"),
             AnalysisError::RegionNotTopLevel(l) => {
                 write!(f, "region `{l}` is not a top-level loop of its procedure")
+            }
+            AnalysisError::DuplicateRegionLabel(l) => {
+                write!(f, "two scheduled region loops share the label `{l}`")
             }
         }
     }

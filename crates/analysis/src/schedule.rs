@@ -1,0 +1,208 @@
+//! Whole-program region discovery.
+//!
+//! The paper's evaluation (Section 6) is about *whole benchmarks*: programs
+//! whose execution alternates between serial code and speculative regions,
+//! so the interesting quantity is how much of the execution the regions
+//! *cover*. This module provides the first stage of that program-level
+//! pipeline: [`discover_regions`] walks a procedure's top-level statement
+//! list and returns every speculation-candidate loop — each **outermost
+//! labeled `DO` loop**, including multiple siblings and loops separated by
+//! serial straight-line gaps — as an ordered [`RegionSchedule`].
+//!
+//! Only *top-level* labeled loops qualify: the simulator executes the code
+//! around a region sequentially, so a labeled loop nested inside another
+//! loop (or inside a conditional) cannot be cut out as a region — it simply
+//! executes as part of the serial code (or of the enclosing region).
+//! Unlabeled top-level loops are serial code by definition (a label is the
+//! programmer's/compiler's designation of a speculation candidate,
+//! mirroring how Polaris marks the loops it cannot parallelize).
+//!
+//! The schedule partitions the procedure body into an alternation
+//!
+//! ```text
+//! serial[0] · region[0] · serial[1] · region[1] · … · serial[n]
+//! ```
+//!
+//! where every `serial[i]` is a (possibly empty) span of body statements
+//! and every `region[i]` is one labeled top-level loop.
+//! [`RegionSchedule::serial_spans`] exposes the serial spans as index
+//! ranges into the body, so downstream stages (labeling in `refidem-core`,
+//! simulation in `refidem-specsim`) never re-derive the split.
+
+use refidem_ir::ids::ProcId;
+use refidem_ir::program::{Procedure, Program, RegionSpec};
+use refidem_ir::stmt::Stmt;
+use std::ops::Range;
+
+/// One discovered speculation-candidate region.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DiscoveredRegion {
+    /// The region designation (procedure + loop label).
+    pub spec: RegionSpec,
+    /// Index of the region loop in the procedure's top-level body.
+    pub stmt_index: usize,
+}
+
+/// The ordered whole-procedure schedule of speculation-candidate regions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegionSchedule {
+    /// The procedure the schedule partitions.
+    pub proc: ProcId,
+    /// Number of top-level statements in the procedure body.
+    pub body_len: usize,
+    /// The discovered regions, in program order.
+    pub regions: Vec<DiscoveredRegion>,
+}
+
+impl RegionSchedule {
+    /// Number of discovered regions.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// True when the procedure contains no speculation candidate at all
+    /// (the whole body is serial — coverage 0).
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// The serial statement spans between (and around) the regions, as
+    /// ranges into the procedure body: always `len() + 1` spans, possibly
+    /// empty, with `spans[i]` preceding region `i` and the last span
+    /// trailing the final region.
+    pub fn serial_spans(&self) -> Vec<Range<usize>> {
+        let mut spans = Vec::with_capacity(self.regions.len() + 1);
+        let mut start = 0usize;
+        for r in &self.regions {
+            spans.push(start..r.stmt_index);
+            start = r.stmt_index + 1;
+        }
+        spans.push(start..self.body_len);
+        spans
+    }
+}
+
+/// Discovers every speculation-candidate region of one procedure: each
+/// top-level labeled `DO` loop, in program order. See the module docs for
+/// why nested or unlabeled loops stay serial.
+pub fn discover_regions(program: &Program, proc: ProcId) -> RegionSchedule {
+    let procedure = &program.procedures[proc.index()];
+    discover_regions_in(procedure, proc)
+}
+
+fn discover_regions_in(procedure: &Procedure, proc: ProcId) -> RegionSchedule {
+    let regions = procedure
+        .body
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| match s {
+            Stmt::Loop(l) => l.label.as_ref().map(|label| DiscoveredRegion {
+                spec: RegionSpec {
+                    proc,
+                    loop_label: label.clone(),
+                },
+                stmt_index: i,
+            }),
+            _ => None,
+        })
+        .collect();
+    RegionSchedule {
+        proc,
+        body_len: procedure.body.len(),
+        regions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refidem_ir::build::{ac, av, num, ProcBuilder};
+    use refidem_ir::ids::ProcId;
+
+    /// serial ; R1 ; serial serial ; (unlabeled loop) ; R2 ; serial
+    fn multi_region_program() -> Program {
+        let mut b = ProcBuilder::new("main");
+        let a = b.array("a", &[16]);
+        let c = b.array("c", &[16]);
+        let s = b.scalar("s");
+        let k = b.index("k");
+        let j = b.index("j");
+        b.live_out(&[a, c, s]);
+        let pre = b.assign_scalar(s, num(1.0));
+        let st1 = b.assign_elem(a, vec![av(k)], num(2.0));
+        let r1 = b.do_loop_labeled("R1", k, ac(1), ac(8), vec![st1]);
+        let gap1 = b.assign_scalar(s, num(2.0));
+        let gap2 = b.assign_scalar(s, num(3.0));
+        let st_u = b.assign_elem(c, vec![av(j)], num(0.5));
+        let unlabeled = b.do_loop(j, ac(1), ac(4), vec![st_u]);
+        let st2 = b.assign_elem(c, vec![av(k)], num(4.0));
+        let r2 = b.do_loop_labeled("R2", k, ac(1), ac(16), vec![st2]);
+        let post = b.assign_scalar(s, num(5.0));
+        let mut p = Program::new("multi");
+        p.add_procedure(b.build(vec![pre, r1, gap1, gap2, unlabeled, r2, post]));
+        p
+    }
+
+    #[test]
+    fn sibling_regions_and_serial_gaps_are_discovered_in_order() {
+        let p = multi_region_program();
+        let schedule = discover_regions(&p, ProcId::from_index(0));
+        assert_eq!(schedule.len(), 2);
+        assert_eq!(schedule.regions[0].spec.loop_label, "R1");
+        assert_eq!(schedule.regions[0].stmt_index, 1);
+        assert_eq!(schedule.regions[1].spec.loop_label, "R2");
+        assert_eq!(schedule.regions[1].stmt_index, 5);
+        // serial spans: [pre], [gap1, gap2, unlabeled], [post]
+        let spans = schedule.serial_spans();
+        assert_eq!(spans, vec![0..1, 2..5, 6..7]);
+    }
+
+    #[test]
+    fn nested_labeled_loops_are_not_speculation_candidates() {
+        let mut b = ProcBuilder::new("main");
+        let a = b.array("a", &[32]);
+        let k = b.index("k");
+        let j = b.index("j");
+        b.live_out(&[a]);
+        let st = b.assign_elem(a, vec![av(j)], num(1.0));
+        let inner = b.do_loop_labeled("NESTED", j, ac(1), ac(4), vec![st]);
+        let outer = b.do_loop(k, ac(1), ac(4), vec![inner]);
+        let mut p = Program::new("nested");
+        p.add_procedure(b.build(vec![outer]));
+        let schedule = discover_regions(&p, ProcId::from_index(0));
+        assert!(schedule.is_empty(), "a nested labeled loop is serial code");
+        assert_eq!(schedule.serial_spans(), vec![0..1]);
+    }
+
+    #[test]
+    fn serial_only_procedures_yield_an_empty_schedule() {
+        let mut b = ProcBuilder::new("main");
+        let s = b.scalar("s");
+        b.live_out(&[s]);
+        let st1 = b.assign_scalar(s, num(1.0));
+        let st2 = b.assign_scalar(s, num(2.0));
+        let mut p = Program::new("serial");
+        p.add_procedure(b.build(vec![st1, st2]));
+        let schedule = discover_regions(&p, ProcId::from_index(0));
+        assert!(schedule.is_empty());
+        assert_eq!(schedule.body_len, 2);
+        assert_eq!(schedule.serial_spans(), vec![0..2]);
+    }
+
+    #[test]
+    fn back_to_back_regions_have_an_empty_gap_between_them() {
+        let mut b = ProcBuilder::new("main");
+        let a = b.array("a", &[16]);
+        let k = b.index("k");
+        b.live_out(&[a]);
+        let st1 = b.assign_elem(a, vec![av(k)], num(1.0));
+        let r1 = b.do_loop_labeled("A", k, ac(1), ac(8), vec![st1]);
+        let st2 = b.assign_elem(a, vec![av(k)], num(2.0));
+        let r2 = b.do_loop_labeled("B", k, ac(1), ac(8), vec![st2]);
+        let mut p = Program::new("b2b");
+        p.add_procedure(b.build(vec![r1, r2]));
+        let schedule = discover_regions(&p, ProcId::from_index(0));
+        assert_eq!(schedule.len(), 2);
+        assert_eq!(schedule.serial_spans(), vec![0..0, 1..1, 2..2]);
+    }
+}

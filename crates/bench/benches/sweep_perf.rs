@@ -7,10 +7,11 @@
 //! artifact instead.
 
 use refidem_bench::microbench::Harness;
-use refidem_benchmarks::suite::fpppp;
-use refidem_core::label::label_program_region;
+use refidem_benchmarks::suite::{fpppp, mgrid};
+use refidem_core::label::{label_program, label_program_region};
+use refidem_ir::ids::ProcId;
 use refidem_specsim::sweep::{ladder_plan, SweepExec};
-use refidem_specsim::{simulate_region, ExecMode, LoweredCache, SimConfig};
+use refidem_specsim::{simulate_program, simulate_region, ExecMode, LoweredCache, SimConfig};
 use refidem_testkit::{run_suite_with, DiffConfig};
 use std::hint::black_box;
 
@@ -72,6 +73,58 @@ fn main() {
                     .iter()
                     .sum();
                 black_box(cycles)
+            })
+        });
+    }
+    group.finish();
+
+    // The pooled-scratch win: the same capacity ladder with the engine
+    // scratch (dependence masks + per-processor buffer pool) reused
+    // across every simulation of the sweep vs reallocated per call. The
+    // sweep runs sequentially so the calling thread's scratch pool is the
+    // one being exercised.
+    let mut group = c.benchmark_group("scratch_pool");
+    for (name, pool) in [("ladder_pooled", true), ("ladder_percall", false)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let base = SimConfig::default()
+                    .cache(LoweredCache::fresh())
+                    .pool_scratch(pool);
+                let plan = ladder_plan(&base, &SWEEP_LADDER, &[ExecMode::Hose, ExecMode::Case]);
+                let cycles: u64 = plan
+                    .run(&SweepExec::sequential(), |(cfg, mode)| {
+                        simulate_region(black_box(&bench.program), &labeled, *mode, cfg)
+                            .expect("runs")
+                            .report
+                            .region_cycles
+                    })
+                    .iter()
+                    .sum();
+                black_box(cycles)
+            })
+        });
+    }
+    group.finish();
+
+    // Whole-program simulation: the multi-region MGRID benchmark (serial
+    // glue + four regions) end to end through the program pipeline.
+    let mgrid_bench = mgrid::benchmark();
+    let mgrid_labeled = label_program(&mgrid_bench.program, ProcId::from_index(0)).expect("labels");
+    let mut group = c.benchmark_group("program_sim");
+    for (name, mode) in [
+        ("mgrid_hose", ExecMode::Hose),
+        ("mgrid_case", ExecMode::Case),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let out = simulate_program(
+                    &mgrid_bench.program,
+                    &mgrid_labeled,
+                    mode,
+                    &SimConfig::default(),
+                )
+                .expect("runs");
+                black_box(out.report.total_cycles)
             })
         });
     }

@@ -2,11 +2,13 @@
 //! output recorded in `EXPERIMENTS.md`.
 
 use refidem_bench::cli::{exec_from_env, jobs_banner};
+use refidem_bench::coverage::ABLATION_CAPACITY;
 use refidem_bench::{
-    compute_figure5_with, compute_loop_figure_with, figure6_config, figure7_config, figure8_config,
-    figure9_config, tables,
+    compute_figure5_with, compute_loop_figure_with, coverage_ablation_with, figure6_config,
+    figure7_config, figure8_config, figure9_config, tables,
 };
 use refidem_benchmarks::{figure6_loops, figure7_loops, figure8_loops, figure9_loops};
+use refidem_specsim::SimConfig;
 
 fn main() {
     let exec = exec_from_env();
@@ -47,4 +49,18 @@ fn main() {
         print!("{}", tables::render_loop_figure(title, &rows));
         println!();
     }
+
+    let coverage_cfg = SimConfig::default().capacity(ABLATION_CAPACITY);
+    let rows = coverage_ablation_with(&coverage_cfg, &exec);
+    println!("{banner}");
+    print!(
+        "{}",
+        tables::render_coverage(
+            &format!(
+                "Coverage ablation — whole-program simulation ({} processors, capacity {})",
+                coverage_cfg.processors, coverage_cfg.spec_capacity
+            ),
+            &rows
+        )
+    );
 }

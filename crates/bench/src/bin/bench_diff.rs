@@ -1,0 +1,147 @@
+//! Diffs two recorded `BENCH_N.json` trajectories.
+//!
+//! ```text
+//! bench_diff OLD.json NEW.json [--fail-above PCT]
+//! ```
+//!
+//! Prints a per-benchmark ratio table (`new / old` — below 1.00 is a
+//! speedup), a geometric-mean summary over the common entries, and the
+//! entries present in only one file (new or retired benchmarks — these
+//! never fail the run). With `--fail-above PCT` the exit code is nonzero
+//! when any common entry regressed by more than `PCT` percent, so CI can
+//! opt into gating on the committed trajectory; without the flag the run
+//! is purely informational (benchmarks recorded on different machines are
+//! not comparable as a pass/fail signal).
+
+use refidem_bench::microbench::parse_results_json;
+use std::process::ExitCode;
+
+struct Args {
+    old_path: String,
+    new_path: String,
+    fail_above_pct: Option<f64>,
+}
+
+fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Args, String> {
+    let mut positional = Vec::new();
+    let mut fail_above_pct = None;
+    while let Some(arg) = args.next() {
+        if arg == "--fail-above" {
+            let value = args
+                .next()
+                .ok_or_else(|| "--fail-above requires a value".to_string())?;
+            fail_above_pct = Some(parse_pct(&value)?);
+        } else if let Some(value) = arg.strip_prefix("--fail-above=") {
+            fail_above_pct = Some(parse_pct(value)?);
+        } else if arg.starts_with("--") {
+            return Err(format!("unrecognized argument `{arg}`"));
+        } else {
+            positional.push(arg);
+        }
+    }
+    let [old_path, new_path]: [String; 2] = positional
+        .try_into()
+        .map_err(|_| "expected exactly two result files".to_string())?;
+    Ok(Args {
+        old_path,
+        new_path,
+        fail_above_pct,
+    })
+}
+
+fn parse_pct(s: &str) -> Result<f64, String> {
+    s.parse::<f64>()
+        .ok()
+        .filter(|p| *p >= 0.0 && p.is_finite())
+        .ok_or_else(|| "--fail-above expects a non-negative percentage".to_string())
+}
+
+fn load(path: &str) -> Result<Vec<(String, u64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    parse_results_json(&text).map_err(|e| format!("cannot parse `{path}`: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("usage: bench_diff OLD.json NEW.json [--fail-above PCT]");
+            return ExitCode::from(2);
+        }
+    };
+    let (old, new) = match (load(&args.old_path), load(&args.new_path)) {
+        (Ok(old), Ok(new)) => (old, new),
+        (old, new) => {
+            for e in [old.err(), new.err()].into_iter().flatten() {
+                eprintln!("error: {e}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+    let old_by_name: std::collections::BTreeMap<&str, u64> =
+        old.iter().map(|(n, ns)| (n.as_str(), *ns)).collect();
+    let new_names: std::collections::BTreeSet<&str> = new.iter().map(|(n, _)| n.as_str()).collect();
+
+    println!(
+        "{:<52} {:>12} {:>12} {:>8}",
+        format!("{} -> {}", args.old_path, args.new_path),
+        "old ns",
+        "new ns",
+        "ratio"
+    );
+    let mut log_ratio_sum = 0.0f64;
+    let mut common = 0usize;
+    let mut worst: Option<(&str, f64)> = None;
+    for (name, new_ns) in &new {
+        let Some(&old_ns) = old_by_name.get(name.as_str()) else {
+            continue;
+        };
+        let ratio = *new_ns as f64 / old_ns.max(1) as f64;
+        common += 1;
+        log_ratio_sum += ratio.max(1e-12).ln();
+        let is_worst = match worst {
+            None => true,
+            Some((_, w)) => ratio > w,
+        };
+        if is_worst {
+            worst = Some((name, ratio));
+        }
+        let marker = if ratio > 1.05 {
+            " ^"
+        } else if ratio < 0.95 {
+            " v"
+        } else {
+            ""
+        };
+        println!("{name:<52} {old_ns:>12} {new_ns:>12} {ratio:>8.2}{marker}");
+    }
+    for (name, ns) in &new {
+        if !old_by_name.contains_key(name.as_str()) {
+            println!("{name:<52} {:>12} {ns:>12} {:>8}", "-", "new");
+        }
+    }
+    for (name, ns) in &old {
+        if !new_names.contains(name.as_str()) {
+            println!("{name:<52} {ns:>12} {:>12} {:>8}", "-", "gone");
+        }
+    }
+    if common == 0 {
+        println!("no common benchmarks to compare");
+        return ExitCode::SUCCESS;
+    }
+    let geomean = (log_ratio_sum / common as f64).exp();
+    println!("\n{common} common benchmarks; geometric-mean ratio {geomean:.3} (below 1.000 is a speedup)");
+    if let Some(threshold_pct) = args.fail_above_pct {
+        let limit = 1.0 + threshold_pct / 100.0;
+        if let Some((name, ratio)) = worst.filter(|(_, r)| *r > limit) {
+            eprintln!(
+                "FAIL: `{name}` regressed {:.1}% (> {threshold_pct}%)",
+                (ratio - 1.0) * 100.0
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("no regression above {threshold_pct}%");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,25 @@
+//! The coverage ablation: whole-benchmark programs simulated end to end
+//! (serial spans sequential, every region speculative), with the
+//! sequential serial/parallel coverage split and the Amdahl ceiling.
+
+use refidem_bench::cli::{exec_from_env, jobs_banner};
+use refidem_bench::coverage::ABLATION_CAPACITY;
+use refidem_bench::{coverage_ablation_with, tables};
+use refidem_specsim::SimConfig;
+
+fn main() {
+    let exec = exec_from_env();
+    let cfg = SimConfig::default().capacity(ABLATION_CAPACITY);
+    let rows = coverage_ablation_with(&cfg, &exec);
+    println!("{}", jobs_banner(&exec));
+    print!(
+        "{}",
+        tables::render_coverage(
+            &format!(
+                "Coverage ablation — whole-program simulation ({} processors, capacity {})",
+                cfg.processors, cfg.spec_capacity
+            ),
+            &rows
+        )
+    );
+}

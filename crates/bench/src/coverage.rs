@@ -1,0 +1,124 @@
+//! The coverage ablation: whole-benchmark serial/parallel breakdowns and
+//! Amdahl-style speedup ceilings.
+//!
+//! The paper's headline evaluation (Section 6) is about *whole programs*:
+//! a benchmark's achievable speedup is capped not by any single region but
+//! by how much of its execution the speculative regions *cover*. This
+//! ablation routes every whole-benchmark program through
+//! [`simulate_program`](refidem_specsim::simulate_program) — serial spans
+//! sequential, every scheduled region speculative — and reports, per
+//! benchmark: the sequential coverage fraction, the whole-program HOSE and
+//! CASE speedups, and the Amdahl ceiling `1 / ((1-c) + c/P)` those
+//! speedups are bounded by. One [`SweepPlan`] point per benchmark,
+//! deterministic ordered merge.
+
+use refidem_benchmarks::{all_benchmarks, Benchmark};
+use refidem_core::label::label_program;
+use refidem_ir::ids::ProcId;
+use refidem_specsim::sweep::{SweepExec, SweepPlan};
+use refidem_specsim::{compare_program_modes, SimConfig};
+use std::time::Instant;
+
+/// The speculative-storage capacity the coverage ablation (and its driver
+/// binary) runs at: small enough that HOSE is under overflow pressure
+/// while CASE's reduced footprint still fits — the regime the paper
+/// evaluates, and the one where labels shift the whole-program Amdahl
+/// picture.
+pub const ABLATION_CAPACITY: usize = 4;
+
+/// One row of the coverage ablation.
+#[derive(Clone, Debug)]
+pub struct CoverageRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Scheduled regions (every top-level labeled loop).
+    pub regions: usize,
+    /// Fraction of the sequential execution inside speculative regions.
+    pub coverage: f64,
+    /// Whole-program sequential cycles (the speedup denominator).
+    pub sequential_cycles: u64,
+    /// Whole-program HOSE speedup.
+    pub hose_speedup: f64,
+    /// Whole-program CASE speedup.
+    pub case_speedup: f64,
+    /// Amdahl's ceiling for the configured processor count.
+    pub amdahl_bound: f64,
+    /// Wall-clock time of the three runs (sequential, HOSE, CASE), in
+    /// milliseconds.
+    pub wall_ms: f64,
+}
+
+/// Computes one benchmark's coverage row under `cfg`.
+pub fn compute_coverage_row(bench: &Benchmark, cfg: &SimConfig) -> CoverageRow {
+    let start = Instant::now();
+    let labeled = label_program(&bench.program, ProcId::from_index(0)).expect("labels");
+    let cmp = compare_program_modes(&bench.program, &labeled, cfg).expect("simulates");
+    CoverageRow {
+        benchmark: bench.name.to_string(),
+        regions: labeled.len(),
+        coverage: cmp.sequential_coverage,
+        sequential_cycles: cmp.sequential_cycles,
+        hose_speedup: cmp.hose_speedup(),
+        case_speedup: cmp.case_speedup(),
+        amdahl_bound: cmp.amdahl_bound(cfg.processors),
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+/// The full coverage ablation (all 13 benchmarks) on the default executor.
+pub fn coverage_ablation(cfg: &SimConfig) -> Vec<CoverageRow> {
+    coverage_ablation_with(cfg, &SweepExec::new())
+}
+
+/// [`coverage_ablation`] on an explicit executor.
+pub fn coverage_ablation_with(cfg: &SimConfig, exec: &SweepExec) -> Vec<CoverageRow> {
+    let benches = all_benchmarks();
+    let plan: SweepPlan<&Benchmark> = benches.iter().map(|b| (b.name.to_string(), b)).collect();
+    plan.run(exec, |bench| compute_coverage_row(bench, cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_rows_respect_amdahl() {
+        let cfg = SimConfig::default().capacity(ABLATION_CAPACITY);
+        let rows = coverage_ablation(&cfg);
+        assert_eq!(rows.len(), 13);
+        for row in &rows {
+            assert!(row.regions >= 2, "{}", row.benchmark);
+            assert!(
+                row.coverage > 0.0 && row.coverage < 1.0,
+                "{}: coverage {} (serial glue must keep it below 1)",
+                row.benchmark,
+                row.coverage
+            );
+            assert!(row.sequential_cycles > 0);
+            // The ceiling: simulated whole-program speedups cannot beat
+            // Amdahl for the measured coverage (small tolerance for the
+            // integer cycle rounding of tiny programs).
+            for (mode, speedup) in [("HOSE", row.hose_speedup), ("CASE", row.case_speedup)] {
+                assert!(
+                    speedup <= row.amdahl_bound * 1.05 + 0.05,
+                    "{} {mode}: speedup {speedup} beats the Amdahl bound {}",
+                    row.benchmark,
+                    row.amdahl_bound
+                );
+                assert!(speedup > 0.0);
+            }
+            // Labels never hurt: CASE at least matches HOSE on the whole
+            // program.
+            assert!(
+                row.case_speedup >= row.hose_speedup - 1e-9,
+                "{}: CASE ({}) lost to HOSE ({})",
+                row.benchmark,
+                row.case_speedup,
+                row.hose_speedup
+            );
+        }
+        // Speculation pays off somewhere: several benchmarks accelerate.
+        let sped_up = rows.iter().filter(|r| r.case_speedup > 1.2).count();
+        assert!(sped_up >= 6, "only {sped_up} benchmarks sped up");
+    }
+}

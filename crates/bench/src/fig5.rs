@@ -1,20 +1,26 @@
 //! Figure 5: fraction of idempotent references in non-parallelizable code
-//! sections, per benchmark, by category.
+//! sections, per benchmark, by category — plus the paper-style
+//! serial/parallel execution split.
 //!
-//! For every benchmark: every region the compiler cannot parallelize
-//! (cross-segment dependences on non-privatizable variables) is labeled with
-//! Algorithm 2 and interpreted sequentially to obtain dynamic per-site
-//! reference counts; the counts are then weighted by the labels and
-//! aggregated over the benchmark. The figure is a [`SweepPlan`] with one
+//! Every benchmark goes through the whole-program pipeline (discover →
+//! label → schedule → sequential interpretation via
+//! [`run_program_sequential`]): one pass times the serial spans and every
+//! region and collects per-region dynamic reference counts. The counts of
+//! the regions the compiler cannot parallelize (cross-segment dependences
+//! on non-privatizable variables) are weighted by their Algorithm-2 labels
+//! and aggregated over the benchmark; the per-region cycle split yields
+//! the coverage fractions (speculative / parallelizable / serial) of the
+//! paper's Section 6 breakdown. The figure is a [`SweepPlan`] with one
 //! point per benchmark, executed on a [`SweepExec`] worker pool with a
 //! deterministic ordered merge — rows come back in benchmark order no
 //! matter how many workers ran them.
 
 use crate::configs::figure5_config;
 use refidem_benchmarks::{all_benchmarks, Benchmark};
-use refidem_core::label::{label_program_region, IdemCategory};
+use refidem_core::label::{label_program, IdemCategory};
 use refidem_core::stats::DynLabelStats;
-use refidem_specsim::run_sequential;
+use refidem_ir::ids::ProcId;
+use refidem_specsim::run_program_sequential;
 use refidem_specsim::sweep::{SweepExec, SweepPlan};
 
 /// One row of Figure 5.
@@ -34,34 +40,44 @@ pub struct Figure5Row {
     pub private_fraction: f64,
     /// Fraction in the shared-dependent category.
     pub shared_dependent_fraction: f64,
+    /// Fraction of the sequential whole-program cycles spent inside the
+    /// non-parallelizable (speculative) regions — the coverage the
+    /// speculation system can attack.
+    pub speculative_coverage: f64,
+    /// Fraction of the sequential cycles spent inside compiler-
+    /// parallelizable regions (parallel without speculation).
+    pub parallel_coverage: f64,
+    /// Fraction of the sequential cycles spent in serial straight-line
+    /// code between the regions.
+    pub serial_fraction: f64,
     /// Wall-clock time spent labeling and sequentially interpreting this
-    /// benchmark's regions, in milliseconds (the simulator-side cost of the
-    /// row, which the compilation cache amortizes across re-runs).
+    /// benchmark, in milliseconds (the simulator-side cost of the row,
+    /// which the compilation cache amortizes across re-runs).
     pub wall_ms: f64,
 }
 
-/// Computes one benchmark's row.
+/// Computes one benchmark's row via the whole-program pipeline.
 pub fn compute_benchmark_row(bench: &Benchmark) -> Figure5Row {
     let start = std::time::Instant::now();
     let cfg = figure5_config();
+    let labeled = label_program(&bench.program, ProcId::from_index(0)).expect("labels");
+    let seq = run_program_sequential(&bench.program, &labeled, &cfg).expect("interprets");
     let mut merged = DynLabelStats::default();
     let mut regions = 0usize;
-    for region in bench.regions() {
-        let Ok(labeled) = label_program_region(&bench.program, &region) else {
-            continue;
-        };
+    let mut speculative_cycles = 0u64;
+    let mut parallel_cycles = 0u64;
+    for (i, region) in labeled.regions.iter().enumerate() {
         // Figure 5 considers only the code sections that cannot be detected
         // as parallel (the parallelizable ones need no speculation at all).
-        if labeled.analysis.compiler_parallelizable {
+        if region.analysis.compiler_parallelizable {
+            parallel_cycles += seq.region_cycles[i];
             continue;
         }
         regions += 1;
-        let Ok(seq) = run_sequential(&bench.program, &labeled, &cfg) else {
-            continue;
-        };
-        let dyn_stats = labeled.labeling.dynamic_stats(&seq.region_counts);
-        merged.merge(&dyn_stats);
+        speculative_cycles += seq.region_cycles[i];
+        merged.merge(&region.labeling.dynamic_stats(&seq.region_counts[i]));
     }
+    let total = seq.total_cycles.max(1) as f64;
     Figure5Row {
         benchmark: bench.name.to_string(),
         regions,
@@ -70,6 +86,9 @@ pub fn compute_benchmark_row(bench: &Benchmark) -> Figure5Row {
         read_only_fraction: merged.fraction_of(IdemCategory::ReadOnly),
         private_fraction: merged.fraction_of(IdemCategory::Private),
         shared_dependent_fraction: merged.fraction_of(IdemCategory::SharedDependent),
+        speculative_coverage: speculative_cycles as f64 / total,
+        parallel_coverage: parallel_cycles as f64 / total,
+        serial_fraction: seq.serial_cycles as f64 / total,
         wall_ms: start.elapsed().as_secs_f64() * 1e3,
     }
 }
@@ -97,13 +116,15 @@ mod tests {
         assert_eq!(rows.len(), 13);
         let get = |name: &str| rows.iter().find(|r| r.benchmark == name).unwrap().clone();
         // SWIM, TRFD and ARC2D are fully parallel: no non-parallelizable
-        // references at all.
+        // references at all, so their speculative coverage is zero.
         for name in ["SWIM", "TRFD", "ARC2D"] {
             let row = get(name);
             assert_eq!(
                 row.total_refs, 0,
                 "{name} must have no speculative sections"
             );
+            assert_eq!(row.speculative_coverage, 0.0, "{name}");
+            assert!(row.parallel_coverage > 0.5, "{name}");
         }
         // FPPPP is unstructured: its idempotent fraction is the lowest of
         // the benchmarks that do have non-parallelizable sections.
@@ -152,5 +173,22 @@ mod tests {
                 .count()
                 >= 3
         );
+    }
+
+    #[test]
+    fn coverage_fractions_partition_the_execution() {
+        for row in compute_figure5() {
+            let sum = row.speculative_coverage + row.parallel_coverage + row.serial_fraction;
+            assert!(
+                (sum - 1.0).abs() < 1e-9,
+                "{}: coverage fractions sum to {sum}",
+                row.benchmark
+            );
+            assert!(
+                row.serial_fraction > 0.0,
+                "{}: the serial glue must show up in the split",
+                row.benchmark
+            );
+        }
     }
 }

@@ -12,6 +12,11 @@
 //! * **Ablations** ([`ablation`]) — speculative-storage capacity and
 //!   processor-count sweeps, plus a label-category ablation, quantifying the
 //!   design choices called out in `DESIGN.md`.
+//! * **Coverage** ([`coverage`]) — the whole-program ablation: every
+//!   benchmark simulated end to end through `simulate_program` (serial
+//!   spans sequential, every region speculative), reporting the sequential
+//!   coverage fraction, whole-program HOSE/CASE speedups and the Amdahl
+//!   ceiling.
 //!
 //! Every figure and ablation is a declarative
 //! [`SweepPlan`](refidem_specsim::sweep::SweepPlan) executed on a
@@ -30,6 +35,7 @@
 pub mod ablation;
 pub mod cli;
 pub mod configs;
+pub mod coverage;
 pub mod fig5;
 pub mod figloops;
 pub mod microbench;
@@ -40,5 +46,6 @@ pub use ablation::{
     processor_sweep, processor_sweep_with, AblationRow,
 };
 pub use configs::{figure6_config, figure7_config, figure8_config, figure9_config};
+pub use coverage::{compute_coverage_row, coverage_ablation, coverage_ablation_with, CoverageRow};
 pub use fig5::{compute_figure5, compute_figure5_with, Figure5Row};
 pub use figloops::{compute_loop_figure, compute_loop_figure_with, LoopFigureRow};

@@ -191,6 +191,63 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// Parses a `BENCH_N.json` results file (the array of
+/// `{"name", "ns_per_iter"}` objects [`Harness::write_json`] emits) back
+/// into `(name, ns)` pairs, in file order. The inverse of
+/// [`Harness::results_json`], and what the `bench_diff` binary compares
+/// two recorded trajectories with. Duplicate names (a re-measured bench
+/// merge-appended into the same file) keep the *last* entry, matching the
+/// merge-append semantics where the newest measurement wins a comparison.
+pub fn parse_results_json(text: &str) -> Result<Vec<(String, u64)>, String> {
+    let mut order: Vec<String> = Vec::new();
+    let mut latest: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find("\"name\"") {
+        rest = &rest[pos + "\"name\"".len()..];
+        let open = rest
+            .find('"')
+            .ok_or_else(|| "unterminated name field".to_string())?;
+        rest = &rest[open + 1..];
+        let close = rest
+            .find('"')
+            .ok_or_else(|| "unterminated name string".to_string())?;
+        // Names are written through `json_escape`, but every recorded
+        // bench name is a plain `group/function` identifier — reject
+        // escapes rather than mis-parse them.
+        let name = rest[..close].to_string();
+        if name.contains('\\') {
+            return Err(format!("escaped name `{name}` is not supported"));
+        }
+        rest = &rest[close + 1..];
+        // The field must belong to *this* entry: searching past the next
+        // entry's name would silently steal its value.
+        let entry_end = rest.find("\"name\"").unwrap_or(rest.len());
+        let key = rest[..entry_end]
+            .find("\"ns_per_iter\"")
+            .ok_or_else(|| format!("entry `{name}` has no ns_per_iter"))?;
+        rest = &rest[key + "\"ns_per_iter\"".len()..];
+        let digits: String = rest
+            .chars()
+            .skip_while(|c| *c == ':' || c.is_whitespace())
+            .take_while(|c| c.is_ascii_digit())
+            .collect();
+        let ns: u64 = digits
+            .parse()
+            .map_err(|_| format!("entry `{name}` has a malformed ns_per_iter"))?;
+        if !latest.contains_key(&name) {
+            order.push(name.clone());
+        }
+        latest.insert(name, ns);
+    }
+    Ok(order
+        .into_iter()
+        .map(|name| {
+            let ns = latest[&name];
+            (name, ns)
+        })
+        .collect())
+}
+
 /// Concatenates two rendered JSON arrays into one.
 fn merge_json_arrays(old: &str, new: &str) -> String {
     let old_inner = old
@@ -276,6 +333,38 @@ mod tests {
             .collect();
         assert!(leftovers.is_empty(), "stray temp files: {leftovers:?}");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn results_json_round_trips_through_the_parser() {
+        let mut h = Harness::default().sample_size(1);
+        h.results
+            .push(("g/a".to_string(), Duration::from_nanos(120)));
+        h.results
+            .push(("g/b".to_string(), Duration::from_micros(3)));
+        let parsed = parse_results_json(&h.results_json()).unwrap();
+        assert_eq!(
+            parsed,
+            vec![("g/a".to_string(), 120), ("g/b".to_string(), 3000)]
+        );
+        // Merge-appended duplicates resolve to the newest measurement.
+        let merged = merge_json_arrays(
+            &h.results_json(),
+            "[\n  {\"name\": \"g/a\", \"ns_per_iter\": 90}\n]\n",
+        );
+        let parsed = parse_results_json(&merged).unwrap();
+        assert_eq!(
+            parsed,
+            vec![("g/a".to_string(), 90), ("g/b".to_string(), 3000)]
+        );
+        assert_eq!(parse_results_json("[]").unwrap(), vec![]);
+        assert!(parse_results_json("[{\"name\": \"x\"}]").is_err());
+        // A field-less entry must error even when a later entry carries a
+        // value — it must not steal it.
+        assert!(
+            parse_results_json("[{\"name\": \"x\"}, {\"name\": \"y\", \"ns_per_iter\": 5}]")
+                .is_err()
+        );
     }
 
     #[test]

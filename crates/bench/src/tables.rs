@@ -1,6 +1,7 @@
 //! Plain-text table rendering for the figure binaries.
 
 use crate::ablation::AblationRow;
+use crate::coverage::CoverageRow;
 use crate::fig5::Figure5Row;
 use crate::figloops::LoopFigureRow;
 use std::fmt::Write as _;
@@ -9,7 +10,8 @@ fn pct(x: f64) -> String {
     format!("{:5.1}%", x * 100.0)
 }
 
-/// Renders the Figure 5 table.
+/// Renders the Figure 5 table, including the whole-program serial /
+/// parallel / speculative execution split.
 pub fn render_figure5(rows: &[Figure5Row]) -> String {
     let mut out = String::new();
     let _ = writeln!(
@@ -18,7 +20,7 @@ pub fn render_figure5(rows: &[Figure5Row]) -> String {
     );
     let _ = writeln!(
         out,
-        "{:<10} {:>8} {:>12} {:>10} {:>10} {:>10} {:>16} {:>9}",
+        "{:<10} {:>8} {:>12} {:>10} {:>10} {:>10} {:>16} {:>7} {:>7} {:>7} {:>9}",
         "benchmark",
         "regions",
         "dyn refs",
@@ -26,19 +28,32 @@ pub fn render_figure5(rows: &[Figure5Row]) -> String {
         "private",
         "shared",
         "idempotent",
+        "spec",
+        "par",
+        "serial",
         "wall ms"
     );
     for r in rows {
         if r.total_refs == 0 {
             let _ = writeln!(
                 out,
-                "{:<10} {:>8} {:>12} {:>10} {:>10} {:>10} {:>16} {:>9.2}",
-                r.benchmark, r.regions, 0, "-", "-", "-", "(fully parallel)", r.wall_ms
+                "{:<10} {:>8} {:>12} {:>10} {:>10} {:>10} {:>16} {:>7} {:>7} {:>7} {:>9.2}",
+                r.benchmark,
+                r.regions,
+                0,
+                "-",
+                "-",
+                "-",
+                "(fully parallel)",
+                pct(r.speculative_coverage),
+                pct(r.parallel_coverage),
+                pct(r.serial_fraction),
+                r.wall_ms
             );
         } else {
             let _ = writeln!(
                 out,
-                "{:<10} {:>8} {:>12} {:>10} {:>10} {:>10} {:>16} {:>9.2}",
+                "{:<10} {:>8} {:>12} {:>10} {:>10} {:>10} {:>16} {:>7} {:>7} {:>7} {:>9.2}",
                 r.benchmark,
                 r.regions,
                 r.total_refs,
@@ -46,9 +61,45 @@ pub fn render_figure5(rows: &[Figure5Row]) -> String {
                 pct(r.private_fraction),
                 pct(r.shared_dependent_fraction),
                 pct(r.idempotent_fraction),
+                pct(r.speculative_coverage),
+                pct(r.parallel_coverage),
+                pct(r.serial_fraction),
                 r.wall_ms,
             );
         }
+    }
+    out
+}
+
+/// Renders the coverage ablation table.
+pub fn render_coverage(title: &str, rows: &[CoverageRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>8} {:>9} {:>11} {:>9} {:>9} {:>9} {:>9}",
+        "benchmark",
+        "regions",
+        "coverage",
+        "seq cycles",
+        "HOSE spd",
+        "CASE spd",
+        "amdahl",
+        "wall ms"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>8} {:>9} {:>11} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+            r.benchmark,
+            r.regions,
+            pct(r.coverage),
+            r.sequential_cycles,
+            r.hose_speedup,
+            r.case_speedup,
+            r.amdahl_bound,
+            r.wall_ms
+        );
     }
     out
 }
@@ -119,6 +170,9 @@ mod tests {
                 read_only_fraction: 0.25,
                 private_fraction: 0.1,
                 shared_dependent_fraction: 0.15,
+                speculative_coverage: 0.6,
+                parallel_coverage: 0.3,
+                serial_fraction: 0.1,
                 wall_ms: 1.5,
             },
             Figure5Row {
@@ -129,6 +183,9 @@ mod tests {
                 read_only_fraction: 0.0,
                 private_fraction: 0.0,
                 shared_dependent_fraction: 0.0,
+                speculative_coverage: 0.0,
+                parallel_coverage: 0.9,
+                serial_fraction: 0.1,
                 wall_ms: 0.1,
             },
         ];
@@ -151,5 +208,19 @@ mod tests {
         assert!(ab.contains("capacity"));
         assert!(ab.contains("wall ms"));
         assert!(ab.contains("0.42"));
+        let cov = render_coverage(
+            "coverage",
+            &[CoverageRow {
+                benchmark: "X".into(),
+                regions: 2,
+                coverage: 0.8,
+                sequential_cycles: 1000,
+                hose_speedup: 1.5,
+                case_speedup: 2.5,
+                amdahl_bound: 2.5,
+                wall_ms: 0.3,
+            }],
+        );
+        assert!(cov.contains("coverage") && cov.contains("amdahl"));
     }
 }

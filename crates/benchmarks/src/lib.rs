@@ -60,6 +60,16 @@ impl Benchmark {
     pub fn regions(&self) -> Vec<RegionSpec> {
         self.program.all_regions()
     }
+
+    /// The benchmark's whole-program region schedule (regions plus the
+    /// serial spans around them) — the input of `simulate_program`'s
+    /// discover → label → schedule → simulate pipeline.
+    pub fn schedule(&self) -> refidem_analysis::schedule::RegionSchedule {
+        refidem_analysis::schedule::discover_regions(
+            &self.program,
+            refidem_ir::ids::ProcId::from_index(0),
+        )
+    }
 }
 
 /// The 13 benchmarks of the paper's evaluation (Figure 5), in alphabetical
@@ -138,6 +148,39 @@ mod tests {
             assert!(
                 !b.regions().is_empty(),
                 "benchmark {} must contain at least one region",
+                b.name
+            );
+        }
+    }
+
+    #[test]
+    fn every_benchmark_has_multi_region_structure_with_serial_gaps() {
+        // The whole-benchmark programs model §6's serial/parallel
+        // alternation: at least two speculation-candidate regions, a
+        // serial prologue, at least one serial gap between regions, and a
+        // serial epilogue.
+        for b in all_benchmarks() {
+            let schedule = b.schedule();
+            assert!(
+                schedule.len() >= 2,
+                "{}: {} regions, need at least 2",
+                b.name,
+                schedule.len()
+            );
+            let spans = schedule.serial_spans();
+            assert!(
+                !spans.first().unwrap().is_empty(),
+                "{}: missing serial prologue",
+                b.name
+            );
+            assert!(
+                !spans.last().unwrap().is_empty(),
+                "{}: missing serial epilogue",
+                b.name
+            );
+            assert!(
+                spans[1..spans.len() - 1].iter().any(|s| !s.is_empty()),
+                "{}: no serial gap between regions",
                 b.name
             );
         }

@@ -421,6 +421,24 @@ pub fn sub2(j: VarId, k: VarId) -> Vec<AffineExpr> {
     vec![av(j), av(k)]
 }
 
+/// Serial straight-line glue: `n` chained updates of a dedicated scalar
+/// (`glue = glue * c + step`). The whole-benchmark programs interleave
+/// these between their region loops, giving every benchmark the paper's
+/// serial-code/speculative-region alternation (§6's coverage model)
+/// without perturbing any region's analysis — the glue scalar is
+/// referenced nowhere else, so no region's liveness, classification or
+/// dependence structure changes. Declare the glue scalar *after* every
+/// other variable so existing variables keep their (address-derived)
+/// deterministic initial values.
+pub fn serial_glue(b: &mut ProcBuilder, glue: VarId, n: usize, c: f64) -> Vec<Stmt> {
+    (0..n.max(1))
+        .map(|i| {
+            let rhs = add(mul(b.load(glue), num(c)), num(0.125 * (i + 1) as f64));
+            b.assign_scalar(glue, rhs)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

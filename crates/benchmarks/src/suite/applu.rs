@@ -6,7 +6,7 @@
 //! stencil and a non-parallelizable Jacobian-like recurrence.
 
 use crate::patterns::{
-    buts_like_loop, init_loop, private_chain_loop, readonly_rich_loop, stencil_loop,
+    buts_like_loop, init_loop, private_chain_loop, readonly_rich_loop, serial_glue, stencil_loop,
 };
 use crate::{Benchmark, LoopBenchmark};
 use refidem_ir::build::ProcBuilder;
@@ -34,14 +34,29 @@ fn build_program() -> Program {
     let t2 = b.scalar("t2");
     let t3 = b.scalar("t3");
     let last = b.scalar("last");
-    b.live_out(&[v, rhs, jac, jnew, bv, last]);
+    // Declared last so every earlier variable keeps its address-derived
+    // deterministic initial value.
+    let glue = b.scalar("glue");
+    b.live_out(&[v, rhs, jac, jnew, bv, last, glue]);
 
     let l_init = init_loop(&mut b, "INIT_DO1", bvec, 40, 0.25);
     let l_rhs = stencil_loop(&mut b, "RHS_DO1", rhs, bvec, 40, 0.5);
     let l_jacld = readonly_rich_loop(&mut b, "JACLD_DO1", jnew, jac, &[c1, c2, c3], 40, 0.4);
     let l_setbv = private_chain_loop(&mut b, "SETBV_DO2", bv, bvec, &[t1, t2, t3], last, 40);
     let l_buts = buts_like_loop(&mut b, "BUTS_DO1", v, tmp, BUTS_N, BUTS_N, BUTS_N);
-    let proc = b.build(vec![l_init, l_rhs, l_jacld, l_setbv, l_buts]);
+    // Serial straight-line glue around and between the region loops:
+    // every whole-benchmark program alternates speculative regions with
+    // serial code, matching the paper's serial/parallel coverage model
+    // (§6) that `simulate_program` reports on.
+    let mut body = serial_glue(&mut b, glue, 2, 0.5);
+    for (i, region) in [l_init, l_rhs, l_jacld, l_setbv, l_buts]
+        .into_iter()
+        .enumerate()
+    {
+        body.push(region);
+        body.extend(serial_glue(&mut b, glue, 1 + (i % 2), 0.75));
+    }
+    let proc = b.build(body);
     let mut p = Program::new("APPLU");
     p.add_procedure(proc);
     p

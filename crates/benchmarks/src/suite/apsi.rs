@@ -4,7 +4,7 @@
 //! amount of unanalyzable (indirect and scalar-tangled) references, keeping
 //! its idempotent fraction below the 60% mark of Figure 5.
 
-use crate::patterns::{indirect_update_loop, readonly_rich_loop, scalar_tangle_loop};
+use crate::patterns::{indirect_update_loop, readonly_rich_loop, scalar_tangle_loop, serial_glue};
 use crate::Benchmark;
 use refidem_ir::build::ProcBuilder;
 use refidem_ir::program::Program;
@@ -24,12 +24,24 @@ fn build_program() -> Program {
     let s2 = b.scalar("s2");
     let s3 = b.scalar("s3");
     let s4 = b.scalar("s4");
-    b.live_out(&[wind, windn, table, chksum, s1, s2, s3, s4]);
+    // Declared last so every earlier variable keeps its address-derived
+    // deterministic initial value.
+    let glue = b.scalar("glue");
+    b.live_out(&[wind, windn, table, chksum, s1, s2, s3, s4, glue]);
 
     let l_run20 = readonly_rich_loop(&mut b, "RUN_DO20", windn, wind, &[q1, q2], 40, 0.5);
     let l_run40 = indirect_update_loop(&mut b, "RUN_DO40", table, cell, conc, chksum, 40);
     let l_run50 = scalar_tangle_loop(&mut b, "RUN_DO50", &[s1, s2, s3, s4], e, 40);
-    let proc = b.build(vec![l_run20, l_run40, l_run50]);
+    // Serial straight-line glue around and between the region loops:
+    // every whole-benchmark program alternates speculative regions with
+    // serial code, matching the paper's serial/parallel coverage model
+    // (§6) that `simulate_program` reports on.
+    let mut body = serial_glue(&mut b, glue, 2, 0.5);
+    for (i, region) in [l_run20, l_run40, l_run50].into_iter().enumerate() {
+        body.push(region);
+        body.extend(serial_glue(&mut b, glue, 1 + (i % 2), 0.75));
+    }
+    let proc = b.build(body);
     let mut p = Program::new("APSI");
     p.add_procedure(proc);
     p

@@ -2,7 +2,7 @@
 //! Fully parallel: the paper lists it with SWIM and TRFD as a program with
 //! no unanalyzable variables.
 
-use crate::patterns::{copy_scale_loop, stencil2d_loop, stencil_loop};
+use crate::patterns::{copy_scale_loop, serial_glue, stencil2d_loop, stencil_loop};
 use crate::Benchmark;
 use refidem_ir::build::ProcBuilder;
 use refidem_ir::program::Program;
@@ -14,11 +14,23 @@ fn build_program() -> Program {
     let work = b.array("work", &[48]);
     let press = b.array("press", &[48]);
     let smooth = b.array("smooth", &[48]);
-    b.live_out(&[qn, press, smooth]);
+    // Declared last so every earlier variable keeps its address-derived
+    // deterministic initial value.
+    let glue = b.scalar("glue");
+    b.live_out(&[qn, press, smooth, glue]);
     let l1 = stencil2d_loop(&mut b, "STEPFX_DO230", qn, q, 18);
     let l2 = copy_scale_loop(&mut b, "XPENTA_DO11", press, work, 48, 0.75);
     let l3 = stencil_loop(&mut b, "FILERX_DO15", smooth, work, 48, 0.25);
-    let proc = b.build(vec![l1, l2, l3]);
+    // Serial straight-line glue around and between the region loops:
+    // every whole-benchmark program alternates speculative regions with
+    // serial code, matching the paper's serial/parallel coverage model
+    // (§6) that `simulate_program` reports on.
+    let mut body = serial_glue(&mut b, glue, 2, 0.5);
+    for (i, region) in [l1, l2, l3].into_iter().enumerate() {
+        body.push(region);
+        body.extend(serial_glue(&mut b, glue, 1 + (i % 2), 0.75));
+    }
+    let proc = b.build(body);
     let mut p = Program::new("ARC2D");
     p.add_procedure(proc);
     p

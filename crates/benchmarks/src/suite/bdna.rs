@@ -5,7 +5,9 @@
 //! unstructured random-number tangle that keep the overall idempotent
 //! fraction moderate.
 
-use crate::patterns::{first_write_reuse_loop, indirect_update_loop, scalar_tangle_loop};
+use crate::patterns::{
+    first_write_reuse_loop, indirect_update_loop, scalar_tangle_loop, serial_glue,
+};
 use crate::{Benchmark, LoopBenchmark};
 use refidem_ir::build::ProcBuilder;
 use refidem_ir::program::Program;
@@ -24,12 +26,24 @@ fn build_program() -> Program {
     let x2 = b.scalar("x2");
     let x3 = b.scalar("x3");
     let x4 = b.scalar("x4");
-    b.live_out(&[frc, fmax, bins, chksum, x1, x2, x3, x4]);
+    // Declared last so every earlier variable keeps its address-derived
+    // deterministic initial value.
+    let glue = b.scalar("glue");
+    b.live_out(&[frc, fmax, bins, chksum, x1, x2, x3, x4, glue]);
 
     let l_actfor = first_write_reuse_loop(&mut b, "ACTFOR_DO240", frc, pos, fmax, 6, 32);
     let l_nbr = indirect_update_loop(&mut b, "ACTFOR_DO500", bins, nbr, chg, chksum, 40);
     let l_ran = scalar_tangle_loop(&mut b, "RAN_DO1", &[x1, x2, x3, x4], e, 40);
-    let proc = b.build(vec![l_actfor, l_nbr, l_ran]);
+    // Serial straight-line glue around and between the region loops:
+    // every whole-benchmark program alternates speculative regions with
+    // serial code, matching the paper's serial/parallel coverage model
+    // (§6) that `simulate_program` reports on.
+    let mut body = serial_glue(&mut b, glue, 2, 0.5);
+    for (i, region) in [l_actfor, l_nbr, l_ran].into_iter().enumerate() {
+        body.push(region);
+        body.extend(serial_glue(&mut b, glue, 1 + (i % 2), 0.75));
+    }
+    let proc = b.build(body);
     let mut p = Program::new("BDNA");
     p.add_procedure(proc);
     p

@@ -4,7 +4,7 @@
 //! analyze": its loops are dominated by scalar tangles with exposed reads
 //! and by subscripted-subscript updates, so almost nothing is idempotent.
 
-use crate::patterns::{indirect_update_loop, scalar_tangle_loop};
+use crate::patterns::{indirect_update_loop, scalar_tangle_loop, serial_glue};
 use crate::{Benchmark, LoopBenchmark};
 use refidem_ir::build::{ac, add, av, mul, num, ProcBuilder};
 use refidem_ir::program::Program;
@@ -25,12 +25,24 @@ fn build_program() -> Program {
     let r2 = b.scalar("r2");
     let r3 = b.scalar("r3");
     let r4 = b.scalar("r4");
-    b.live_out(&[table, chksum, s1, s2, s3, s4, r1, r2, r3, r4]);
+    // Declared last so every earlier variable keeps its address-derived
+    // deterministic initial value.
+    let glue = b.scalar("glue");
+    b.live_out(&[table, chksum, s1, s2, s3, s4, r1, r2, r3, r4, glue]);
 
     let l1 = scalar_tangle_loop(&mut b, "FPPPP_DO1", &[s1, s2, s3, s4], e, 40);
     let l2 = indirect_update_loop(&mut b, "TWLDRV_DO1", table, ix, src, chksum, 40);
     let l3 = scalar_tangle_loop(&mut b, "GAMGEN_DO1", &[r1, r2, r3, r4], g, 40);
-    let proc = b.build(vec![l1, l2, l3]);
+    // Serial straight-line glue around and between the region loops:
+    // every whole-benchmark program alternates speculative regions with
+    // serial code, matching the paper's serial/parallel coverage model
+    // (§6) that `simulate_program` reports on.
+    let mut body = serial_glue(&mut b, glue, 2, 0.5);
+    for (i, region) in [l1, l2, l3].into_iter().enumerate() {
+        body.push(region);
+        body.extend(serial_glue(&mut b, glue, 1 + (i % 2), 0.75));
+    }
+    let proc = b.build(body);
     let mut p = Program::new("FPPPP");
     p.add_procedure(proc);
     p

@@ -3,7 +3,7 @@
 //! Contributes `FILTER_DO100`, one of the shared-dependent category loops
 //! used in the Figure 8 experiment.
 
-use crate::patterns::{copy_scale_loop, first_write_reuse_loop, readonly_rich_loop};
+use crate::patterns::{copy_scale_loop, first_write_reuse_loop, readonly_rich_loop, serial_glue};
 use crate::{Benchmark, LoopBenchmark};
 use refidem_ir::build::ProcBuilder;
 use refidem_ir::program::Program;
@@ -19,12 +19,24 @@ fn build_program() -> Program {
     let p3 = b.array("p3", &[40]);
     let flux = b.array("flux", &[40]);
     let ron = b.array("ron", &[40]);
-    b.live_out(&[fil, qmax, ro, ron, flux]);
+    // Declared last so every earlier variable keeps its address-derived
+    // deterministic initial value.
+    let glue = b.scalar("glue");
+    b.live_out(&[fil, qmax, ro, ron, flux, glue]);
 
     let l_filter = first_write_reuse_loop(&mut b, "FILTER_DO100", fil, q, qmax, 6, 32);
     let l_advnce = readonly_rich_loop(&mut b, "ADVNCE_DO1", ron, ro, &[p1, p2, p3], 40, 0.6);
     let l_trans = copy_scale_loop(&mut b, "TRANS_DO10", flux, p1, 40, 1.1);
-    let proc = b.build(vec![l_filter, l_advnce, l_trans]);
+    // Serial straight-line glue around and between the region loops:
+    // every whole-benchmark program alternates speculative regions with
+    // serial code, matching the paper's serial/parallel coverage model
+    // (§6) that `simulate_program` reports on.
+    let mut body = serial_glue(&mut b, glue, 2, 0.5);
+    for (i, region) in [l_filter, l_advnce, l_trans].into_iter().enumerate() {
+        body.push(region);
+        body.extend(serial_glue(&mut b, glue, 1 + (i % 2), 0.75));
+    }
+    let proc = b.build(body);
     let mut p = Program::new("HYDRO2D");
     p.add_procedure(proc);
     p

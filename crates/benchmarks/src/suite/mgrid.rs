@@ -4,7 +4,7 @@
 //! `PSINV` smoothing stencils carry no cross-iteration dependences at all,
 //! while `ZRAN3_DO400` is dominated by idempotent shared writes.
 
-use crate::patterns::{copy_scale_loop, first_write_reuse_loop, stencil2d_loop};
+use crate::patterns::{copy_scale_loop, first_write_reuse_loop, serial_glue, stencil2d_loop};
 use crate::{Benchmark, LoopBenchmark};
 use refidem_ir::build::ProcBuilder;
 use refidem_ir::program::Program;
@@ -18,13 +18,28 @@ fn build_program() -> Program {
     let base = b.array("base", &[32]);
     let coarse = b.array("coarse", &[32]);
     let peak = b.scalar("peak");
-    b.live_out(&[r, s, z, coarse, peak]);
+    // Declared last so every earlier variable keeps its address-derived
+    // deterministic initial value.
+    let glue = b.scalar("glue");
+    b.live_out(&[r, s, z, coarse, peak, glue]);
 
     let l_resid = stencil2d_loop(&mut b, "RESID_DO600", r, u, 18);
     let l_psinv = stencil2d_loop(&mut b, "PSINV_DO600", s, r, 18);
     let l_zran3 = first_write_reuse_loop(&mut b, "ZRAN3_DO400", z, base, peak, 6, 32);
     let l_interp = copy_scale_loop(&mut b, "INTERP_DO1", coarse, base, 32, 0.5);
-    let proc = b.build(vec![l_resid, l_psinv, l_zran3, l_interp]);
+    // Serial straight-line glue around and between the region loops:
+    // every whole-benchmark program alternates speculative regions with
+    // serial code, matching the paper's serial/parallel coverage model
+    // (§6) that `simulate_program` reports on.
+    let mut body = serial_glue(&mut b, glue, 2, 0.5);
+    for (i, region) in [l_resid, l_psinv, l_zran3, l_interp]
+        .into_iter()
+        .enumerate()
+    {
+        body.push(region);
+        body.extend(serial_glue(&mut b, glue, 1 + (i % 2), 0.75));
+    }
+    let proc = b.build(body);
     let mut p = Program::new("MGRID");
     p.add_procedure(proc);
     p

@@ -3,7 +3,7 @@
 //! A mixed benchmark: a privatizing transform stage, a read-only-rich sweep
 //! and a parallel copy.
 
-use crate::patterns::{copy_scale_loop, private_chain_loop, readonly_rich_loop};
+use crate::patterns::{copy_scale_loop, private_chain_loop, readonly_rich_loop, serial_glue};
 use crate::Benchmark;
 use refidem_ir::build::ProcBuilder;
 use refidem_ir::program::Program;
@@ -22,12 +22,24 @@ fn build_program() -> Program {
     let w2 = b.scalar("w2");
     let w3 = b.scalar("w3");
     let trace = b.scalar("trace");
-    b.live_out(&[prop, corr, corrn, out, trace]);
+    // Declared last so every earlier variable keeps its address-derived
+    // deterministic initial value.
+    let glue = b.scalar("glue");
+    b.live_out(&[prop, corr, corrn, out, trace, glue]);
 
     let l_loops = private_chain_loop(&mut b, "LOOPS_DO400", prop, gauge, &[w1, w2, w3], trace, 40);
     let l_sweep = readonly_rich_loop(&mut b, "SWEEP_DO1", corrn, corr, &[g1, g2, g3], 40, 0.55);
     let l_copy = copy_scale_loop(&mut b, "COPY_DO1", out, gauge, 40, 3.0);
-    let proc = b.build(vec![l_loops, l_sweep, l_copy]);
+    // Serial straight-line glue around and between the region loops:
+    // every whole-benchmark program alternates speculative regions with
+    // serial code, matching the paper's serial/parallel coverage model
+    // (§6) that `simulate_program` reports on.
+    let mut body = serial_glue(&mut b, glue, 2, 0.5);
+    for (i, region) in [l_loops, l_sweep, l_copy].into_iter().enumerate() {
+        body.push(region);
+        body.extend(serial_glue(&mut b, glue, 1 + (i % 2), 0.75));
+    }
+    let proc = b.build(body);
     let mut p = Program::new("SU2COR");
     p.add_procedure(proc);
     p

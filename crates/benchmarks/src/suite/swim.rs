@@ -2,7 +2,7 @@
 //! independent, so SWIM contributes (next to) nothing to the
 //! non-parallelizable reference counts of Figure 5.
 
-use crate::patterns::{copy_scale_loop, stencil2d_loop};
+use crate::patterns::{copy_scale_loop, serial_glue, stencil2d_loop};
 use crate::Benchmark;
 use refidem_ir::build::ProcBuilder;
 use refidem_ir::program::Program;
@@ -15,12 +15,24 @@ fn build_program() -> Program {
     let vnew = b.array("vnew", &[18, 18]);
     let p = b.array("p", &[40]);
     let pnew = b.array("pnew", &[40]);
-    b.live_out(&[unew, vnew, pnew]);
+    // Declared last so every earlier variable keeps its address-derived
+    // deterministic initial value.
+    let glue = b.scalar("glue");
+    b.live_out(&[unew, vnew, pnew, glue]);
 
     let l1 = stencil2d_loop(&mut b, "CALC1_DO100", unew, u, 18);
     let l2 = stencil2d_loop(&mut b, "CALC2_DO200", vnew, v, 18);
     let l3 = copy_scale_loop(&mut b, "CALC3_DO300", pnew, p, 40, 0.98);
-    let proc = b.build(vec![l1, l2, l3]);
+    // Serial straight-line glue around and between the region loops:
+    // every whole-benchmark program alternates speculative regions with
+    // serial code, matching the paper's serial/parallel coverage model
+    // (§6) that `simulate_program` reports on.
+    let mut body = serial_glue(&mut b, glue, 2, 0.5);
+    for (i, region) in [l1, l2, l3].into_iter().enumerate() {
+        body.push(region);
+        body.extend(serial_glue(&mut b, glue, 1 + (i % 2), 0.75));
+    }
+    let proc = b.build(body);
     let mut prog = Program::new("SWIM");
     prog.add_procedure(proc);
     prog

@@ -4,7 +4,7 @@
 //! recurrence over the mesh coordinates surrounded by many reads of
 //! read-only coefficient arrays.
 
-use crate::patterns::{readonly_rich_loop, reduction_loop, stencil_loop};
+use crate::patterns::{readonly_rich_loop, reduction_loop, serial_glue, stencil_loop};
 use crate::{Benchmark, LoopBenchmark};
 use refidem_ir::build::ProcBuilder;
 use refidem_ir::program::Program;
@@ -19,12 +19,24 @@ fn build_program() -> Program {
     let aa = b.array("aa", &[48]);
     let dd = b.array("dd", &[48]);
     let rmax = b.scalar("rmax");
-    b.live_out(&[x, xnew, y, rmax]);
+    // Declared last so every earlier variable keeps its address-derived
+    // deterministic initial value.
+    let glue = b.scalar("glue");
+    b.live_out(&[x, xnew, y, rmax, glue]);
 
     let l_60 = stencil_loop(&mut b, "MAIN_DO60", y, rx, 48, 0.125);
     let l_80 = readonly_rich_loop(&mut b, "MAIN_DO80", xnew, x, &[rx, ry, aa, dd], 48, 0.45);
     let l_100 = reduction_loop(&mut b, "MAIN_DO100", rmax, x, dd, 48);
-    let proc = b.build(vec![l_60, l_80, l_100]);
+    // Serial straight-line glue around and between the region loops:
+    // every whole-benchmark program alternates speculative regions with
+    // serial code, matching the paper's serial/parallel coverage model
+    // (§6) that `simulate_program` reports on.
+    let mut body = serial_glue(&mut b, glue, 2, 0.5);
+    for (i, region) in [l_60, l_80, l_100].into_iter().enumerate() {
+        body.push(region);
+        body.extend(serial_glue(&mut b, glue, 1 + (i % 2), 0.75));
+    }
+    let proc = b.build(body);
     let mut p = Program::new("TOMCATV");
     p.add_procedure(proc);
     p

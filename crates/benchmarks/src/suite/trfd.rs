@@ -1,6 +1,6 @@
 //! TRFD — two-electron integral transformation. Fully parallel, like SWIM.
 
-use crate::patterns::{copy_scale_loop, stencil_loop};
+use crate::patterns::{copy_scale_loop, serial_glue, stencil_loop};
 use crate::Benchmark;
 use refidem_ir::build::ProcBuilder;
 use refidem_ir::program::Program;
@@ -10,10 +10,22 @@ fn build_program() -> Program {
     let xij = b.array("xij", &[48]);
     let xkl = b.array("xkl", &[48]);
     let xrs = b.array("xrs", &[48]);
-    b.live_out(&[xkl, xrs]);
+    // Declared last so every earlier variable keeps its address-derived
+    // deterministic initial value.
+    let glue = b.scalar("glue");
+    b.live_out(&[xkl, xrs, glue]);
     let l1 = copy_scale_loop(&mut b, "OLDA_DO100", xkl, xij, 48, 1.25);
     let l2 = stencil_loop(&mut b, "OLDA_DO200", xrs, xij, 48, 0.5);
-    let proc = b.build(vec![l1, l2]);
+    // Serial straight-line glue around and between the region loops:
+    // every whole-benchmark program alternates speculative regions with
+    // serial code, matching the paper's serial/parallel coverage model
+    // (§6) that `simulate_program` reports on.
+    let mut body = serial_glue(&mut b, glue, 2, 0.5);
+    for (i, region) in [l1, l2].into_iter().enumerate() {
+        body.push(region);
+        body.extend(serial_glue(&mut b, glue, 1 + (i % 2), 0.75));
+    }
+    let proc = b.build(body);
     let mut p = Program::new("TRFD");
     p.add_procedure(proc);
     p

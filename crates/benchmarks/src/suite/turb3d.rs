@@ -3,7 +3,7 @@
 //! `DRCFT_DO2` is one of the paper's private-category loops (Figure 7): a
 //! transform stage whose per-iteration scratch values privatize.
 
-use crate::patterns::{copy_scale_loop, private_chain_loop, reduction_loop};
+use crate::patterns::{copy_scale_loop, private_chain_loop, reduction_loop, serial_glue};
 use crate::{Benchmark, LoopBenchmark};
 use refidem_ir::build::ProcBuilder;
 use refidem_ir::program::Program;
@@ -20,12 +20,24 @@ fn build_program() -> Program {
     let w4 = b.scalar("w4");
     let norm = b.scalar("norm");
     let energy = b.scalar("energy");
-    b.live_out(&[uout, utr, norm, energy]);
+    // Declared last so every earlier variable keeps its address-derived
+    // deterministic initial value.
+    let glue = b.scalar("glue");
+    b.live_out(&[uout, utr, norm, energy, glue]);
 
     let l_drcft = private_chain_loop(&mut b, "DRCFT_DO2", uout, uin, &[w1, w2, w3, w4], norm, 40);
     let l_enr = reduction_loop(&mut b, "ENR_DO1", energy, uout, weight, 40);
     let l_trans = copy_scale_loop(&mut b, "TRANS_DO1", utr, uin, 40, 2.0);
-    let proc = b.build(vec![l_drcft, l_enr, l_trans]);
+    // Serial straight-line glue around and between the region loops:
+    // every whole-benchmark program alternates speculative regions with
+    // serial code, matching the paper's serial/parallel coverage model
+    // (§6) that `simulate_program` reports on.
+    let mut body = serial_glue(&mut b, glue, 2, 0.5);
+    for (i, region) in [l_drcft, l_enr, l_trans].into_iter().enumerate() {
+        body.push(region);
+        body.extend(serial_glue(&mut b, glue, 1 + (i % 2), 0.75));
+    }
+    let proc = b.build(body);
     let mut p = Program::new("TURB3D");
     p.add_procedure(proc);
     p

@@ -4,7 +4,7 @@
 //! category loops (Figure 6): particle-move recurrences reading many
 //! read-only field arrays.
 
-use crate::patterns::{copy_scale_loop, readonly_rich_loop};
+use crate::patterns::{copy_scale_loop, readonly_rich_loop, serial_glue};
 use crate::{Benchmark, LoopBenchmark};
 use refidem_ir::build::ProcBuilder;
 use refidem_ir::program::Program;
@@ -26,7 +26,10 @@ fn build_program() -> Program {
     let f5 = b.array("f5", &[48]);
     let f6 = b.array("f6", &[48]);
     let work = b.array("work", &[48]);
-    b.live_out(&[psi, psin, phi, phin, work]);
+    // Declared last so every earlier variable keeps its address-derived
+    // deterministic initial value.
+    let glue = b.scalar("glue");
+    b.live_out(&[psi, psin, phi, phin, work, glue]);
 
     let l_120 = readonly_rich_loop(
         &mut b,
@@ -47,7 +50,16 @@ fn build_program() -> Program {
         0.35,
     );
     let l_fftb = copy_scale_loop(&mut b, "FFTB_DO1", work, e1, 48, 1.5);
-    let proc = b.build(vec![l_120, l_140, l_fftb]);
+    // Serial straight-line glue around and between the region loops:
+    // every whole-benchmark program alternates speculative regions with
+    // serial code, matching the paper's serial/parallel coverage model
+    // (§6) that `simulate_program` reports on.
+    let mut body = serial_glue(&mut b, glue, 2, 0.5);
+    for (i, region) in [l_120, l_140, l_fftb].into_iter().enumerate() {
+        body.push(region);
+        body.extend(serial_glue(&mut b, glue, 1 + (i % 2), 0.75));
+    }
+    let proc = b.build(body);
     let mut p = Program::new("WAVE5");
     p.add_procedure(proc);
     p

@@ -24,6 +24,7 @@ use crate::stats::{DynLabelStats, LabelStats};
 use refidem_analysis::classify::VarClass;
 use refidem_analysis::depend::{DepKind, DepScope, DependenceSet};
 use refidem_analysis::region::{AnalysisError, RegionAnalysis};
+use refidem_analysis::schedule::{discover_regions, RegionSchedule};
 use refidem_ir::exec::DynCounts;
 use refidem_ir::ids::{RefId, VarId};
 use refidem_ir::program::{Program, RegionSpec};
@@ -416,6 +417,67 @@ pub fn label_program_region_by_name(
     Ok(LabeledRegion { analysis, labeling })
 }
 
+/// A whole procedure's region schedule with every region analyzed and
+/// labeled — the unit `simulate_program` consumes. Produced by
+/// [`label_program`] (the second stage of the program pipeline: discover →
+/// **label** → schedule → simulate).
+#[derive(Clone, Debug)]
+pub struct LabeledProgram {
+    /// The procedure the schedule partitions.
+    pub proc: refidem_ir::ids::ProcId,
+    /// The discovered schedule (regions + serial spans).
+    pub schedule: RegionSchedule,
+    /// One labeled bundle per scheduled region, in schedule order.
+    pub regions: Vec<LabeledRegion>,
+}
+
+impl LabeledProgram {
+    /// Number of scheduled regions.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// True when the procedure is serial-only (no speculation candidates).
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+}
+
+/// Discovers every speculation-candidate region of `proc`, analyzes and
+/// labels each with Algorithm 2, and bundles them with the schedule.
+///
+/// Every discovered region is a top-level labeled loop (see
+/// [`discover_regions`]), so the per-region analysis cannot fail with
+/// [`AnalysisError::RegionNotTopLevel`]; an error here means the program
+/// was mutated between discovery and labeling.
+pub fn label_program(
+    program: &Program,
+    proc: refidem_ir::ids::ProcId,
+) -> Result<LabeledProgram, AnalysisError> {
+    let schedule = discover_regions(program, proc);
+    // A `RegionSpec` identifies a region by label and resolves
+    // first-match, so duplicate labels would silently run the second loop
+    // under the first loop's analysis — reject them up front.
+    let mut seen = std::collections::BTreeSet::new();
+    for r in &schedule.regions {
+        if !seen.insert(r.spec.loop_label.as_str()) {
+            return Err(AnalysisError::DuplicateRegionLabel(
+                r.spec.loop_label.clone(),
+            ));
+        }
+    }
+    let regions = schedule
+        .regions
+        .iter()
+        .map(|r| label_program_region(program, &r.spec))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(LabeledProgram {
+        proc,
+        schedule,
+        regions,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -603,6 +665,28 @@ mod tests {
             Label::Speculative,
             "an RFW write after a speculative may-aliasing write must stay speculative"
         );
+    }
+
+    #[test]
+    fn duplicate_region_labels_are_rejected_by_whole_program_labeling() {
+        // A RegionSpec resolves by label, first match: two top-level
+        // loops sharing a label would run the second loop under the
+        // first loop's analysis. label_program refuses instead.
+        let mut b = ProcBuilder::new("main");
+        let a = b.array("a", &[16]);
+        let k = b.index("k");
+        b.live_out(&[a]);
+        let s1 = b.assign_elem(a, vec![av(k)], num(1.0));
+        let l1 = b.do_loop_labeled("DUP", k, ac(1), ac(8), vec![s1]);
+        let s2 = b.assign_elem(a, vec![av(k)], num(2.0));
+        let l2 = b.do_loop_labeled("DUP", k, ac(1), ac(8), vec![s2]);
+        let mut p = refidem_ir::program::Program::new("dup");
+        p.add_procedure(b.build(vec![l1, l2]));
+        let err = label_program(&p, refidem_ir::ids::ProcId::from_index(0)).unwrap_err();
+        assert!(matches!(
+            err,
+            refidem_analysis::region::AnalysisError::DuplicateRegionLabel(l) if l == "DUP"
+        ));
     }
 
     #[test]

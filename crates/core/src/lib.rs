@@ -58,8 +58,8 @@ pub mod rfw;
 pub mod stats;
 
 pub use label::{
-    label_abstract_region, label_program_region, label_program_region_by_name, label_region,
-    IdemCategory, Label, LabelInput, LabeledRegion, Labeling,
+    label_abstract_region, label_program, label_program_region, label_program_region_by_name,
+    label_region, IdemCategory, Label, LabelInput, LabeledProgram, LabeledRegion, Labeling,
 };
 pub use model::{AbstractRegion, SegmentId};
 pub use rfw::{Color, NodeType, RfwColoring};
@@ -68,8 +68,8 @@ pub use stats::{DynLabelStats, LabelStats};
 /// Commonly used items, for glob import.
 pub mod prelude {
     pub use crate::label::{
-        label_abstract_region, label_program_region, label_program_region_by_name, label_region,
-        IdemCategory, Label, LabelInput, LabeledRegion, Labeling,
+        label_abstract_region, label_program, label_program_region, label_program_region_by_name,
+        label_region, IdemCategory, Label, LabelInput, LabeledProgram, LabeledRegion, Labeling,
     };
     pub use crate::model::{AbstractRegion, SegmentId};
     pub use crate::rfw::{Color, NodeType, RfwColoring};

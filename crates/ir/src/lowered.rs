@@ -670,6 +670,14 @@ pub enum LowerUnit {
     RegionBody,
     /// The statements following the region loop.
     Epilogue,
+    /// An interior serial span of a multi-region schedule: the statements
+    /// between two scheduled region loops, identified by the span's
+    /// starting index in the procedure's top-level body (the key's region
+    /// label is empty). The index pins down the exact statement list for
+    /// an immutable procedure, so the key cannot collide with the
+    /// single-region [`LowerUnit::Prologue`]/[`LowerUnit::Epilogue`]
+    /// spans, which cover different statements.
+    SerialSpan(usize),
 }
 
 /// Key of one [`LoweredCache`] entry: *which procedure*

@@ -61,6 +61,14 @@ pub struct SimConfig {
     /// [`LoweredCache::fresh`] to isolate a run. The tree-walking oracle
     /// backend never compiles, so it never touches the cache.
     pub cache: LoweredCache,
+    /// Reuse engine scratch (dependence masks + per-processor buffer
+    /// pool) across the regions of a schedule *and* across repeated
+    /// simulation calls on the same thread, via a thread-local pool
+    /// (default). Disable to allocate fresh scratch per call — results
+    /// are bit-identical either way (an A/B the tests and the
+    /// `scratch_pool` bench rely on); only the allocation traffic
+    /// differs.
+    pub pool_scratch: bool,
 }
 
 impl Default for SimConfig {
@@ -83,6 +91,7 @@ impl Default for SimConfig {
             max_statements: 200_000_000,
             backend: ExecBackend::Lowered,
             cache: LoweredCache::default(),
+            pool_scratch: true,
         }
     }
 }
@@ -136,6 +145,13 @@ impl SimConfig {
     /// opt out of the process-global cache).
     pub fn cache(mut self, cache: LoweredCache) -> Self {
         self.cache = cache;
+        self
+    }
+
+    /// Convenience: enables or disables engine-scratch pooling (see
+    /// [`SimConfig::pool_scratch`]) and returns the modified config.
+    pub fn pool_scratch(mut self, pool: bool) -> Self {
+        self.pool_scratch = pool;
         self
     }
 }

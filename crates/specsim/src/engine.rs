@@ -100,6 +100,7 @@ struct SlotData {
 /// other in-flight segment has touched an address — is then a single load
 /// instead of a probe of every slot's buffer. Disabled (always-scan) for
 /// machines with more than 32 processors.
+#[derive(Debug, Default)]
 struct DepMasks {
     write: Vec<u32>,
     read: Vec<u32>,
@@ -115,6 +116,24 @@ impl DepMasks {
             read: vec![0; n],
             enabled,
         }
+    }
+
+    /// Re-targets pooled masks at a machine shape, reallocating only when
+    /// the address-space size or the enablement changes. A clean engine run
+    /// retracts every mark it sets (on commit, roll-back and overflow
+    /// restart), so reused arrays are already all-zero — debug builds
+    /// verify that instead of paying an unconditional clear.
+    fn prepare(&mut self, processors: usize, words: u64) {
+        let enabled = processors <= 32;
+        let n = if enabled { words as usize } else { 0 };
+        if self.enabled != enabled || self.write.len() != n {
+            *self = DepMasks::new(processors, words);
+            return;
+        }
+        debug_assert!(
+            self.write.iter().all(|&m| m == 0) && self.read.iter().all(|&m| m == 0),
+            "pooled dependence masks must come back clean"
+        );
     }
 
     /// Clears processor `p`'s bits for every address in `spec`'s journal
@@ -161,6 +180,80 @@ impl DepMasks {
     }
 }
 
+/// Reusable engine scratch: the allocations whose lifetime exceeds one
+/// region execution. The engine always pooled retired `SpecBuffer`s and
+/// `PrivateStore`s *across segments* of one region; this struct lifts that
+/// pool — together with the per-address dependence masks — out of the engine,
+/// so `simulate_program` reuses one scratch across every region of a
+/// schedule, and repeated `simulate_region` calls (capacity-ladder sweeps)
+/// reuse it across calls via a thread-local pool. Without it, every
+/// `simulate_region` call paid two `vec![0; total_words]` allocations for
+/// the masks plus one shadow-array pair per processor.
+///
+/// Obtain one with [`EngineScratch::take`] and hand it back with
+/// [`EngineScratch::restore`] after a *successful* run; on error, drop it
+/// (a failed run may leave marks set, and a dropped scratch is simply
+/// rebuilt on the next take).
+#[derive(Debug, Default)]
+pub struct EngineScratch {
+    /// Retired storage buffers, reused by the next segment dispatched onto
+    /// the same processor so the dense shadow arrays are allocated once per
+    /// processor, not once per segment (or region, or call).
+    spare: Vec<Option<(SpecBuffer, PrivateStore)>>,
+    /// Cross-slot dependence presence masks (see [`DepMasks`]).
+    masks: DepMasks,
+}
+
+thread_local! {
+    /// Per-thread scratch pool: sweep workers each keep one scratch warm.
+    static SCRATCH_POOL: std::cell::Cell<Option<EngineScratch>> =
+        const { std::cell::Cell::new(None) };
+}
+
+impl EngineScratch {
+    /// A fresh, empty scratch (allocations happen lazily when the first
+    /// engine run prepares it).
+    pub fn new() -> Self {
+        EngineScratch::default()
+    }
+
+    /// Takes the calling thread's pooled scratch, or a fresh one when the
+    /// pool is empty (first use on this thread, or the previous run failed
+    /// and dropped its scratch).
+    pub fn take() -> Self {
+        SCRATCH_POOL.with(|p| p.take()).unwrap_or_default()
+    }
+
+    /// Returns a scratch to the calling thread's pool for the next take.
+    /// Only scratch from *successful* runs may come back — a failed run's
+    /// masks can carry stale marks.
+    pub fn restore(self) {
+        SCRATCH_POOL.with(|p| p.set(Some(self)));
+    }
+
+    /// Re-targets the scratch at a machine shape, keeping every allocation
+    /// that still fits: masks reallocate only when the address-space size
+    /// changes, pooled buffers are revalidated (dropped on a word-count
+    /// mismatch, re-capacitied in place across ladder points).
+    fn prepare(&mut self, processors: usize, capacity: usize, words: u64) {
+        self.masks.prepare(processors, words);
+        self.spare.resize_with(processors, || None);
+        for slot in &mut self.spare {
+            if let Some((spec, _)) = slot {
+                if spec.address_words() != words {
+                    *slot = None;
+                } else if spec.capacity() != capacity {
+                    // Retired buffers clear lazily (on dispatch); clear
+                    // eagerly here so the capacity change sees an empty
+                    // buffer.
+                    spec.clear();
+                    spec.set_capacity(capacity);
+                }
+            }
+        }
+    }
+}
+
 /// Runs one region speculatively. `memory` is the non-speculative storage,
 /// already holding the effects of the code preceding the region.
 pub(crate) struct Engine<'p> {
@@ -180,12 +273,9 @@ pub(crate) struct Engine<'p> {
 
     execs: Vec<Option<AnyExec<'p>>>,
     slots: Vec<Option<SlotData>>,
-    /// Retired storage buffers, reused by the next segment dispatched onto
-    /// the same processor so the dense shadow arrays are allocated once per
-    /// processor, not once per segment.
-    spare: Vec<Option<(SpecBuffer, PrivateStore)>>,
-    /// Cross-slot dependence presence masks (see [`DepMasks`]).
-    masks: DepMasks,
+    /// Pooled buffers + dependence masks, owned by the caller (see
+    /// [`EngineScratch`]).
+    scratch: &'p mut EngineScratch,
     memory: &'p mut Memory,
     head: usize,
     next_dispatch: usize,
@@ -207,6 +297,7 @@ impl<'p> Engine<'p> {
         region: &'p LoopStmt,
         lowered: Option<&'p LoweredProc>,
         iter_values: Vec<i64>,
+        scratch: &'p mut EngineScratch,
         memory: &'p mut Memory,
     ) -> Self {
         let has_private_labels = mode == ExecMode::Case
@@ -223,6 +314,7 @@ impl<'p> Engine<'p> {
             }
         }
         let processors = cfg.processors.max(1);
+        scratch.prepare(processors, cfg.spec_capacity, layout.total_words());
         Engine {
             cfg,
             mode,
@@ -235,8 +327,7 @@ impl<'p> Engine<'p> {
             has_private_labels,
             execs: (0..processors).map(|_| None).collect(),
             slots: (0..processors).map(|_| None).collect(),
-            spare: (0..processors).map(|_| None).collect(),
-            masks: DepMasks::new(processors, layout.total_words()),
+            scratch,
             memory,
             head: 0,
             next_dispatch: 0,
@@ -324,7 +415,7 @@ impl<'p> Engine<'p> {
         }
         // Reuse the storage retired by the previous segment on this
         // processor (cleared in O(journal) via its epoch bump).
-        let (spec, private) = match self.spare[p].take() {
+        let (spec, private) = match self.scratch.spare[p].take() {
             Some((mut spec, mut private)) => {
                 spec.clear();
                 private.clear();
@@ -378,7 +469,7 @@ impl<'p> Engine<'p> {
         let Engine {
             execs,
             slots,
-            masks,
+            scratch,
             memory,
             report,
             cfg,
@@ -393,7 +484,7 @@ impl<'p> Engine<'p> {
             labels,
             memory,
             slots,
-            masks,
+            masks: &mut scratch.masks,
             report,
             p,
             head,
@@ -449,7 +540,7 @@ impl<'p> Engine<'p> {
     fn restart_slot(&mut self, p: usize, restart_time: u64, count_rollback: bool) {
         let Engine {
             slots,
-            masks,
+            scratch,
             execs,
             report,
             cfg,
@@ -457,7 +548,7 @@ impl<'p> Engine<'p> {
             ..
         } = self;
         if let Some(slot) = slots[p].as_mut() {
-            masks.retract(p, &slot.spec);
+            scratch.masks.retract(p, &slot.spec);
             slot.spec.clear();
             slot.private.clear();
             slot.done = false;
@@ -466,6 +557,7 @@ impl<'p> Engine<'p> {
             slot.squash_not_before = 0;
             slot.overflow_poisoned = false;
             slot.restarts += 1;
+            report.max_segment_restarts = report.max_segment_restarts.max(slot.restarts);
             slot.clock = restart_time;
             if *has_private_labels {
                 slot.clock += cfg.private_setup_cost;
@@ -497,16 +589,25 @@ impl<'p> Engine<'p> {
         self.last_commit_time = self.last_commit_time.max(commit_time);
         self.head += 1;
         // Retire the slot's storage into the spare pool for the next
-        // segment dispatched onto this processor.
+        // segment dispatched onto this processor (and, via the pooled
+        // scratch, for the next region or call).
         if let Some(slot) = self.slots[p].take() {
-            self.masks.retract(p, &slot.spec);
-            self.spare[p] = Some((slot.spec, slot.private));
+            self.scratch.masks.retract(p, &slot.spec);
+            self.scratch.spare[p] = Some((slot.spec, slot.private));
         }
         self.execs[p] = None;
         if self.next_dispatch < total {
             self.dispatch(p, commit_time);
         }
     }
+}
+
+/// The stepping segment's slot as a *field-level* borrow of the slot
+/// slice, for the sites that must hold the slot and another context field
+/// at once (the method accessors borrow the whole context).
+#[inline]
+fn own_slot_mut(slots: &mut [Option<SlotData>], p: usize) -> &mut SlotData {
+    slots[p].as_mut().expect("own slot")
 }
 
 /// The [`DataStore`] a stepping segment sees: routes every access according
@@ -518,7 +619,7 @@ struct AccessCtx<'a> {
     /// Dense label table (see [`Engine`]); empty under HOSE.
     labels: &'a [Label],
     memory: &'a mut Memory,
-    slots: &'a mut Vec<Option<SlotData>>,
+    slots: &'a mut [Option<SlotData>],
     masks: &'a mut DepMasks,
     report: &'a mut SimReport,
     p: usize,
@@ -538,15 +639,17 @@ impl AccessCtx<'_> {
         }
     }
 
-    fn own_seg(&self) -> usize {
-        self.slots[self.p].as_ref().expect("own slot").seg
+    /// The stepping segment's slot. The slot is always present while its
+    /// executor steps — the engine dispatched it in the same scan.
+    #[inline]
+    fn own(&self) -> &SlotData {
+        self.slots[self.p].as_ref().expect("own slot")
     }
 
-    fn own_squash_requested(&self) -> bool {
-        self.slots[self.p]
-            .as_ref()
-            .map(|s| s.squash_requested)
-            .unwrap_or(false)
+    /// Mutable access to the stepping segment's slot.
+    #[inline]
+    fn own_mut(&mut self) -> &mut SlotData {
+        own_slot_mut(self.slots, self.p)
     }
 
     /// Flags violations: an older segment writes `addr` while a younger
@@ -567,7 +670,7 @@ impl AccessCtx<'_> {
         }
         if let Some(min_seg) = min_violating {
             self.report.violations += 1;
-            let detection_time = self.slots[self.p].as_ref().map(|s| s.clock).unwrap_or(0);
+            let detection_time = self.own().clock;
             for slot in self.slots.iter_mut().flatten() {
                 if slot.seg >= min_seg {
                     slot.squash_requested = true;
@@ -607,13 +710,14 @@ impl AccessCtx<'_> {
 impl DataStore for AccessCtx<'_> {
     fn read(&mut self, site: RefId, addr: Addr) -> f64 {
         let label = self.label_of(site);
-        let own_seg = self.own_seg();
+        let own_seg = self.own().seg;
         let is_head = own_seg == self.head;
         match label {
             Label::Idempotent(IdemCategory::Private) => {
                 self.report.private_reads += 1;
-                let slot = self.slots[self.p].as_mut().expect("own slot");
-                slot.clock += self.cfg.lat_nonspec;
+                let lat = self.cfg.lat_nonspec;
+                let slot = self.own_mut();
+                slot.clock += lat;
                 match slot.private.get(addr) {
                     Some(v) => v,
                     None => self.memory.load(addr),
@@ -623,31 +727,31 @@ impl DataStore for AccessCtx<'_> {
                 // Idempotent reads completely bypass the speculative storage
                 // and leave no information in it (Definition 4).
                 self.report.nonspec_reads += 1;
-                let slot = self.slots[self.p].as_mut().expect("own slot");
-                slot.clock += self.cfg.lat_nonspec;
+                self.own_mut().clock += self.cfg.lat_nonspec;
                 self.memory.load(addr)
             }
             Label::Speculative => {
                 self.report.spec_reads += 1;
                 // Own buffer first.
                 {
-                    let slot = self.slots[self.p].as_mut().expect("own slot");
+                    let lat = self.cfg.lat_spec;
+                    let slot = self.own_mut();
                     if let Some(entry) = slot.spec.get(addr) {
                         let value = entry.value;
-                        slot.clock += self.cfg.lat_spec;
+                        slot.clock += lat;
                         return value;
                     }
                     if slot.overflow_poisoned {
                         // The segment is already being squashed; do not
                         // track anything further.
-                        slot.clock += self.cfg.lat_spec;
+                        slot.clock += lat;
                         return self.memory.load(addr);
                     }
                 }
                 // Forward from the youngest ancestor, else non-speculative
                 // storage (HOSE Property 4). The mask makes the common "no
                 // other in-flight writer" case a single load.
-                let now = self.slots[self.p].as_ref().expect("own slot").clock;
+                let now = self.own().clock;
                 let forwarded = if self.masks.other_writer(self.p, addr) {
                     self.forward_from_ancestor(addr, own_seg)
                 } else {
@@ -659,8 +763,7 @@ impl DataStore for AccessCtx<'_> {
                         // older segment's write: the read is premature, a
                         // flow-dependence violation (HOSE Property 5).
                         self.flag_premature_read(own_seg, write_time);
-                        let slot = self.slots[self.p].as_mut().expect("own slot");
-                        slot.clock += self.cfg.lat_nonspec;
+                        self.own_mut().clock += self.cfg.lat_nonspec;
                         return self.memory.load(addr);
                     }
                 }
@@ -671,7 +774,10 @@ impl DataStore for AccessCtx<'_> {
                     }
                     None => (self.memory.load(addr), self.cfg.lat_nonspec),
                 };
-                let slot = self.slots[self.p].as_mut().expect("own slot");
+                // Field-level borrow: the block below touches the slot and
+                // the report together, which the whole-`self` accessor
+                // cannot express.
+                let slot = own_slot_mut(self.slots, self.p);
                 slot.clock += latency;
                 // Record the exposed read for dependence tracking; this
                 // allocation may overflow the buffer.
@@ -696,13 +802,14 @@ impl DataStore for AccessCtx<'_> {
 
     fn write(&mut self, site: RefId, addr: Addr, value: f64) {
         let label = self.label_of(site);
-        let own_seg = self.own_seg();
+        let own_seg = self.own().seg;
         let is_head = own_seg == self.head;
         match label {
             Label::Idempotent(IdemCategory::Private) => {
                 self.report.private_writes += 1;
-                let slot = self.slots[self.p].as_mut().expect("own slot");
-                slot.clock += self.cfg.lat_nonspec;
+                let lat = self.cfg.lat_nonspec;
+                let slot = self.own_mut();
+                slot.clock += lat;
                 slot.private.insert(addr, value);
             }
             Label::Idempotent(_) => {
@@ -710,48 +817,38 @@ impl DataStore for AccessCtx<'_> {
                 // prematurely executed speculative loads, then write through
                 // to non-speculative storage (Definition 4).
                 self.report.nonspec_writes += 1;
-                if !self.own_squash_requested() {
+                if !self.own().squash_requested {
                     self.check_violations(addr, own_seg);
                 }
-                let slot = self.slots[self.p].as_mut().expect("own slot");
-                slot.clock += self.cfg.lat_nonspec;
+                self.own_mut().clock += self.cfg.lat_nonspec;
                 self.memory.store(addr, value);
             }
             Label::Speculative => {
                 self.report.spec_writes += 1;
-                if !self.own_squash_requested() {
+                if !self.own().squash_requested {
                     self.check_violations(addr, own_seg);
                 }
-                let poisoned = self.slots[self.p]
-                    .as_ref()
-                    .map(|s| s.overflow_poisoned)
-                    .unwrap_or(false);
-                if poisoned {
-                    let slot = self.slots[self.p].as_mut().expect("own slot");
-                    slot.clock += self.cfg.lat_spec;
+                if self.own().overflow_poisoned {
+                    self.own_mut().clock += self.cfg.lat_spec;
                     return;
                 }
-                let would_overflow = self.slots[self.p]
-                    .as_ref()
-                    .expect("own slot")
-                    .spec
-                    .would_overflow(addr);
-                if would_overflow {
+                if self.own().spec.would_overflow(addr) {
                     if is_head {
                         self.report.overflow_writethrough += 1;
-                        let slot = self.slots[self.p].as_mut().expect("own slot");
-                        slot.clock += self.cfg.lat_nonspec;
+                        self.own_mut().clock += self.cfg.lat_nonspec;
                         self.memory.store(addr, value);
                     } else {
                         self.report.overflow_stalls += 1;
-                        let slot = self.slots[self.p].as_mut().expect("own slot");
+                        let lat = self.cfg.lat_spec;
+                        let slot = self.own_mut();
                         slot.overflow_poisoned = true;
-                        slot.clock += self.cfg.lat_spec;
+                        slot.clock += lat;
                     }
                     return;
                 }
-                let slot = self.slots[self.p].as_mut().expect("own slot");
-                slot.clock += self.cfg.lat_spec;
+                let lat = self.cfg.lat_spec;
+                let slot = self.own_mut();
+                slot.clock += lat;
                 let now = slot.clock;
                 slot.spec.record_write(addr, value, now);
                 self.masks.mark_write(self.p, addr);

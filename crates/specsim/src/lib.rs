@@ -42,11 +42,13 @@ pub mod storage;
 pub mod sweep;
 
 pub use config::SimConfig;
+pub use engine::EngineScratch;
 pub use refidem_ir::lowered::{ExecBackend, LowerKey, LowerUnit, LoweredCache};
-pub use report::{SimReport, SpeedupComparison};
+pub use report::{ProgramReport, SimReport, SpeedupComparison};
 pub use run::{
-    compare_modes, initial_memory, run_sequential, simulate_region, verify_against_sequential,
-    ExecMode, SimError, SimOutcome,
+    compare_modes, compare_program_modes, initial_memory, run_program_sequential, run_sequential,
+    simulate_program, simulate_region, verify_against_sequential, ExecMode, ProgramComparison,
+    ProgramOutcome, SeqProgramOutcome, SimError, SimOutcome,
 };
 pub use storage::{PrivateStore, SpecBuffer, SpecEntry};
 pub use sweep::{ladder_plan, SweepExec, SweepPlan, SweepPoint};
@@ -54,10 +56,11 @@ pub use sweep::{ladder_plan, SweepExec, SweepPlan, SweepPoint};
 /// Commonly used items, for glob import.
 pub mod prelude {
     pub use crate::config::SimConfig;
-    pub use crate::report::{SimReport, SpeedupComparison};
+    pub use crate::report::{ProgramReport, SimReport, SpeedupComparison};
     pub use crate::run::{
-        compare_modes, run_sequential, simulate_region, verify_against_sequential, ExecMode,
-        SimError, SimOutcome,
+        compare_modes, compare_program_modes, run_program_sequential, run_sequential,
+        simulate_program, simulate_region, verify_against_sequential, ExecMode, ProgramComparison,
+        ProgramOutcome, SeqProgramOutcome, SimError, SimOutcome,
     };
     pub use crate::sweep::{SweepExec, SweepPlan};
 }

@@ -25,6 +25,14 @@ pub struct SimReport {
     /// Overflow events absorbed by the head segment writing/reading through
     /// to non-speculative storage.
     pub overflow_writethrough: u64,
+    /// The largest number of times any single segment was restarted
+    /// (violation roll-backs plus overflow restarts). The engine always
+    /// tracked per-slot restart counts; surfacing the maximum makes
+    /// livelock visible: forward progress guarantees it stays bounded —
+    /// every restart is paid for by a violation roll-back or an overflow
+    /// stall, so `max_segment_restarts <= rollbacks + overflow_stalls`
+    /// (an invariant the testkit's differential runner checks).
+    pub max_segment_restarts: u32,
     /// Segments committed.
     pub commits: u64,
     /// Speculative-storage entries committed to non-speculative storage.
@@ -79,6 +87,59 @@ impl SimReport {
                 as f64
                 / total as f64
         }
+    }
+}
+
+/// Statistics of one whole-program simulation: the serial spans executed
+/// sequentially plus every scheduled region executed speculatively, in
+/// program order (produced by
+/// [`simulate_program`](crate::run::simulate_program)).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ProgramReport {
+    /// Per-region execution statistics, in schedule order. Each region's
+    /// `lowering_cache_*` counters cover its own body compilation; the
+    /// serial spans' queries are accounted in the program-level counters
+    /// below.
+    pub regions: Vec<SimReport>,
+    /// Cycles spent in the serial spans (one processor, non-speculative
+    /// latency — the same accounting the sequential baseline uses).
+    pub serial_cycles: u64,
+    /// Whole-program cycles: `serial_cycles` plus every region's
+    /// `region_cycles`, in execution order.
+    pub total_cycles: u64,
+    /// Lowering-cache hits across the whole run (serial spans and region
+    /// bodies). Like [`SimReport::lowering_cache_hits`], these describe
+    /// the compilation pipeline, not the simulated machine.
+    pub lowering_cache_hits: u64,
+    /// Lowering-cache misses across the whole run.
+    pub lowering_cache_misses: u64,
+}
+
+impl ProgramReport {
+    /// Cycles spent inside speculative regions (the parallel part of the
+    /// serial/parallel breakdown).
+    pub fn parallel_cycles(&self) -> u64 {
+        self.regions.iter().map(|r| r.region_cycles).sum()
+    }
+
+    /// Fraction of the simulated execution spent inside speculative
+    /// regions (0 for a serial-only program — coverage 0).
+    pub fn coverage_fraction(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.parallel_cycles() as f64 / self.total_cycles as f64
+        }
+    }
+
+    /// The largest per-segment restart count over every region (the
+    /// program-level livelock guard).
+    pub fn max_segment_restarts(&self) -> u32 {
+        self.regions
+            .iter()
+            .map(|r| r.max_segment_restarts)
+            .max()
+            .unwrap_or(0)
     }
 }
 

@@ -1,23 +1,36 @@
 //! High-level simulation API.
 //!
-//! A simulation executes one procedure: the statements before the
-//! designated region run sequentially, the region runs speculatively under
-//! HOSE or CASE, and the statements after it run sequentially again. The
-//! sequential baseline ([`run_sequential`]) times the same region on one
-//! processor with every access going to non-speculative storage, which is
-//! the denominator of the loop speedups the paper reports.
+//! A simulation executes one procedure as a *schedule*: serial statement
+//! spans run sequentially on one processor, and every scheduled region
+//! runs speculatively under HOSE or CASE through the engine.
+//! [`simulate_program`] executes a whole
+//! [`LabeledProgram`] (discover →
+//! label → schedule → **simulate**), reusing one pooled
+//! [`EngineScratch`] across all regions and
+//! reporting a per-region breakdown plus the serial/parallel split
+//! ([`ProgramReport`]). [`simulate_region`] is the one-region special
+//! case: a thin schedule whose serial spans are the statements around the
+//! designated loop.
+//!
+//! The sequential baselines ([`run_sequential`] for one region,
+//! [`run_program_sequential`] for a schedule) time the same code on one
+//! processor with every access going to non-speculative storage — the
+//! denominator of the speedups the paper reports, and the source of the
+//! Amdahl-style *coverage* fraction of Section 6.
 
 use crate::config::SimConfig;
-use crate::engine::Engine;
-use crate::report::{SimReport, SpeedupComparison};
+use crate::engine::{Engine, EngineScratch};
+use crate::report::{ProgramReport, SimReport, SpeedupComparison};
 use refidem_analysis::classify::VarClass;
-use refidem_core::label::LabeledRegion;
-use refidem_ir::exec::{CountingStore, DynCounts, ExecError, PlainStore, SegmentExec};
+use refidem_core::label::{LabeledProgram, LabeledRegion};
+use refidem_ir::exec::{CountingStore, DataStore, DynCounts, ExecError, PlainStore, SegmentExec};
+use refidem_ir::ids::RefId;
 use refidem_ir::lowered::{
     lower, lower_with_ranges, ExecBackend, LowerKey, LowerUnit, LoweredSegmentExec,
 };
 use refidem_ir::memory::{Addr, Layout, Memory};
 use refidem_ir::program::{Procedure, Program};
+use refidem_ir::stmt::Stmt;
 use refidem_ir::var::VarTable;
 
 /// The execution model to simulate.
@@ -90,6 +103,45 @@ pub struct SeqOutcome {
     pub region_cycles: u64,
     /// Dynamic per-site access counts inside the region.
     pub region_counts: DynCounts,
+}
+
+/// The result of one whole-program simulation ([`simulate_program`]).
+#[derive(Clone, Debug)]
+pub struct ProgramOutcome {
+    /// Per-region statistics plus the serial/parallel cycle breakdown.
+    pub report: ProgramReport,
+    /// Final non-speculative memory (after the whole procedure ran).
+    pub memory: Memory,
+}
+
+/// The result of the whole-program sequential baseline
+/// ([`run_program_sequential`]).
+#[derive(Clone, Debug)]
+pub struct SeqProgramOutcome {
+    /// Final memory.
+    pub memory: Memory,
+    /// Cycles spent in the serial spans on one processor.
+    pub serial_cycles: u64,
+    /// Cycles spent in each scheduled region, in schedule order.
+    pub region_cycles: Vec<u64>,
+    /// Dynamic per-site access counts inside each region, in schedule
+    /// order.
+    pub region_counts: Vec<DynCounts>,
+    /// Whole-program cycles (`serial_cycles` + every region).
+    pub total_cycles: u64,
+}
+
+impl SeqProgramOutcome {
+    /// The Amdahl-style coverage fraction of Section 6: the share of the
+    /// sequential execution spent inside speculative regions (0 for a
+    /// serial-only program).
+    pub fn coverage_fraction(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.region_cycles.iter().sum::<u64>() as f64 / self.total_cycles as f64
+        }
+    }
 }
 
 /// Deterministic initial memory for a procedure: every word gets a small
@@ -275,78 +327,405 @@ pub fn run_sequential(
     })
 }
 
-/// Simulates the labeled region under the given execution model.
+/// A [`PlainStore`] that additionally tallies the number of accesses, so
+/// serial spans can be *timed* (accesses × non-speculative latency +
+/// statement units × statement cost — the same accounting the sequential
+/// region baseline uses) without collecting per-site counts.
+struct TallyStore<'m> {
+    inner: PlainStore<'m>,
+    accesses: u64,
+}
+
+impl DataStore for TallyStore<'_> {
+    fn read(&mut self, site: RefId, addr: Addr) -> f64 {
+        self.accesses += 1;
+        self.inner.read(site, addr)
+    }
+
+    fn write(&mut self, site: RefId, addr: Addr, value: f64) {
+        self.accesses += 1;
+        self.inner.write(site, addr, value);
+    }
+}
+
+/// Runs one serial statement span on one processor and returns its cycle
+/// cost.
+fn run_serial_span(
+    vars: &VarTable,
+    layout: &Layout,
+    stmts: &[Stmt],
+    memory: &mut Memory,
+    cfg: &SimConfig,
+    key: LowerKey,
+    tally: &mut CacheTally,
+) -> Result<u64, SimError> {
+    if stmts.is_empty() {
+        return Ok(0);
+    }
+    let mut store = TallyStore {
+        inner: PlainStore::new(memory),
+        accesses: 0,
+    };
+    let steps = match cfg.backend {
+        ExecBackend::Lowered => {
+            let (lowered, hit) = cfg.cache.get_or_lower(key, || lower(vars, layout, stmts));
+            tally.count(hit);
+            let mut exec = LoweredSegmentExec::new(&lowered, &[]);
+            exec.run(&mut store, SEQ_STEP_BUDGET)
+                .map_err(SimError::Exec)?;
+            exec.steps()
+        }
+        ExecBackend::TreeWalk => {
+            let mut exec = SegmentExec::new(vars, layout, stmts, &[]);
+            exec.run(&mut store, SEQ_STEP_BUDGET)
+                .map_err(SimError::Exec)?;
+            exec.steps()
+        }
+    };
+    Ok(store.accesses * cfg.lat_nonspec + steps as u64 * cfg.stmt_cost)
+}
+
+/// The cache key of the serial span preceding region `i` of a schedule
+/// (or trailing the last region / covering a region-free body).
+/// `span_start` is the span's starting index in the procedure body.
+///
+/// The leading span (everything before the first region) and the trailing
+/// span (everything after the last) carry the classic single-region
+/// `Prologue`/`Epilogue` keys — they cover exactly the statements those
+/// keys always covered, so a thin one-region schedule, the whole-program
+/// schedule and `run_sequential` all share those entries. An *interior*
+/// gap between two regions covers a statement list no single-region split
+/// ever compiles (a one-region prologue reaches back to the procedure
+/// start, through any earlier region loops), so it gets its own
+/// [`LowerUnit::SerialSpan`] key, pinned by the span's start index —
+/// sharing the label-keyed `Prologue` entry would serve whichever caller
+/// came second the wrong bytecode.
+fn serial_span_key(
+    proc: &Procedure,
+    regions: &[(usize, &LabeledRegion)],
+    i: usize,
+    span_start: usize,
+) -> LowerKey {
+    if regions.is_empty() {
+        LowerKey::new(proc, "", LowerUnit::WholeProcedure)
+    } else if i == 0 {
+        let label = &regions[0].1.analysis.spec.loop_label;
+        LowerKey::new(proc, label.as_str(), LowerUnit::Prologue)
+    } else if i == regions.len() {
+        let label = &regions[regions.len() - 1].1.analysis.spec.loop_label;
+        LowerKey::new(proc, label.as_str(), LowerUnit::Epilogue)
+    } else {
+        LowerKey::new(proc, "", LowerUnit::SerialSpan(span_start))
+    }
+}
+
+/// Resolves region `i`'s top-level loop statement from its body index.
+fn schedule_loop<'p>(
+    proc: &'p Procedure,
+    stmt_index: usize,
+    label: &str,
+) -> Result<&'p refidem_ir::stmt::LoopStmt, SimError> {
+    match proc.body.get(stmt_index) {
+        Some(Stmt::Loop(l)) if l.label.as_deref() == Some(label) => Ok(l),
+        _ => Err(SimError::Region(format!(
+            "region `{label}` is not a top-level loop"
+        ))),
+    }
+}
+
+/// Executes a whole schedule: serial spans sequentially, every region
+/// speculatively through the engine, one pooled [`EngineScratch`] across
+/// all regions. `regions` pairs each labeled region with its top-level
+/// body index, in program order.
+fn simulate_schedule(
+    proc: &Procedure,
+    layout: &Layout,
+    regions: &[(usize, &LabeledRegion)],
+    mode: ExecMode,
+    cfg: &SimConfig,
+) -> Result<(ProgramReport, Memory), SimError> {
+    let vars = &proc.vars;
+    let mut memory = initial_memory_with_layout(layout);
+    let mut scratch = if cfg.pool_scratch {
+        EngineScratch::take()
+    } else {
+        EngineScratch::new()
+    };
+    let mut serial_tally = CacheTally::default();
+    let mut report = ProgramReport::default();
+    let mut cursor = 0usize;
+    for (i, (stmt_index, labeled)) in regions.iter().enumerate() {
+        report.serial_cycles += run_serial_span(
+            vars,
+            layout,
+            &proc.body[cursor..*stmt_index],
+            &mut memory,
+            cfg,
+            serial_span_key(proc, regions, i, cursor),
+            &mut serial_tally,
+        )?;
+        cursor = stmt_index + 1;
+        let label = &labeled.analysis.spec.loop_label;
+        let region = schedule_loop(proc, *stmt_index, label)?;
+        let iter_values = region_iteration_values(vars, region)?;
+        // Compile the region body once per *process* (the config's cache
+        // is shared, keyed by procedure identity + region label): every
+        // segment, every re-execution after a roll-back, every capacity
+        // point of a sweep and every repeated call replays the same
+        // bytecode. The region index's value interval is supplied so
+        // subscripts mentioning it can be proven in bounds and fused to
+        // flat affine addresses; the interval derives from the region
+        // loop's constant bounds, so it is the same for every call that
+        // shares the cache key.
+        let mut region_tally = CacheTally::default();
+        let lowered = match cfg.backend {
+            ExecBackend::Lowered => {
+                let index_ranges: Vec<_> =
+                    match (iter_values.iter().min(), iter_values.iter().max()) {
+                        (Some(&lo), Some(&hi)) => vec![(region.index, (lo, hi))],
+                        _ => Vec::new(),
+                    };
+                let (lowered, hit) = cfg.cache.get_or_lower(
+                    LowerKey::new(proc, label.as_str(), LowerUnit::RegionBody),
+                    || lower_with_ranges(vars, layout, &region.body, &index_ranges),
+                );
+                region_tally.count(hit);
+                Some(lowered)
+            }
+            ExecBackend::TreeWalk => None,
+        };
+        let mut region_report = Engine::new(
+            cfg,
+            mode,
+            &labeled.labeling,
+            vars,
+            layout,
+            region,
+            lowered.as_deref(),
+            iter_values,
+            &mut scratch,
+            &mut memory,
+        )
+        .run()?;
+        region_report.lowering_cache_hits = region_tally.hits;
+        region_report.lowering_cache_misses = region_tally.misses;
+        report.lowering_cache_hits += region_tally.hits;
+        report.lowering_cache_misses += region_tally.misses;
+        report.regions.push(region_report);
+    }
+    report.serial_cycles += run_serial_span(
+        vars,
+        layout,
+        &proc.body[cursor..],
+        &mut memory,
+        cfg,
+        serial_span_key(proc, regions, regions.len(), cursor),
+        &mut serial_tally,
+    )?;
+    report.lowering_cache_hits += serial_tally.hits;
+    report.lowering_cache_misses += serial_tally.misses;
+    report.total_cycles = report.serial_cycles + report.parallel_cycles();
+    // Only a *successful* run returns its scratch to the thread-local
+    // pool: an errored engine may leave dependence-mask marks set.
+    if cfg.pool_scratch {
+        scratch.restore();
+    }
+    Ok((report, memory))
+}
+
+/// Simulates a whole labeled program under the given execution model:
+/// serial spans execute sequentially, every scheduled region runs through
+/// the speculation engine, and the report carries the per-region
+/// statistics plus the serial/parallel cycle breakdown and coverage
+/// fraction.
+pub fn simulate_program(
+    program: &Program,
+    labeled: &LabeledProgram,
+    mode: ExecMode,
+    cfg: &SimConfig,
+) -> Result<ProgramOutcome, SimError> {
+    let proc = program
+        .procedures
+        .get(labeled.proc.index())
+        .ok_or_else(|| SimError::Region("procedure not found".to_string()))?;
+    let layout = Layout::new(&proc.vars);
+    let regions: Vec<(usize, &LabeledRegion)> = labeled
+        .schedule
+        .regions
+        .iter()
+        .zip(&labeled.regions)
+        .map(|(d, lr)| (d.stmt_index, lr))
+        .collect();
+    let (report, memory) = simulate_schedule(proc, &layout, &regions, mode, cfg)?;
+    Ok(ProgramOutcome { report, memory })
+}
+
+/// Simulates the labeled region under the given execution model — a thin
+/// one-region schedule: the statements around the designated loop are the
+/// schedule's serial spans, the loop is its only region.
 pub fn simulate_region(
     program: &Program,
     labeled: &LabeledRegion,
     mode: ExecMode,
     cfg: &SimConfig,
 ) -> Result<SimOutcome, SimError> {
-    let (proc, vars, layout) = resolve(program, labeled)?;
+    let (proc, _vars, layout) = resolve(program, labeled)?;
     let label = &labeled.analysis.spec.loop_label;
-    let (before, region, after) = proc
-        .split_at_loop(label)
+    let stmt_index = proc
+        .body
+        .iter()
+        .position(|s| matches!(s, Stmt::Loop(l) if l.label.as_deref() == Some(label.as_str())))
         .ok_or_else(|| SimError::Region(format!("region `{label}` is not a top-level loop")))?;
+    let (program_report, memory) =
+        simulate_schedule(proc, &layout, &[(stmt_index, labeled)], mode, cfg)?;
+    let mut report = program_report
+        .regions
+        .into_iter()
+        .next()
+        .expect("one scheduled region");
+    // Single-region reports historically carried the whole run's cache
+    // traffic (prologue + region body + epilogue); keep that contract.
+    report.lowering_cache_hits = program_report.lowering_cache_hits;
+    report.lowering_cache_misses = program_report.lowering_cache_misses;
+    Ok(SimOutcome { report, memory })
+}
+
+/// Runs a whole labeled program fully sequentially on one processor,
+/// timing the serial spans and every region separately (the denominator
+/// of whole-program speedups, and the source of the sequential coverage
+/// fraction) and collecting per-region dynamic reference counts.
+pub fn run_program_sequential(
+    program: &Program,
+    labeled: &LabeledProgram,
+    cfg: &SimConfig,
+) -> Result<SeqProgramOutcome, SimError> {
+    let proc = program
+        .procedures
+        .get(labeled.proc.index())
+        .ok_or_else(|| SimError::Region("procedure not found".to_string()))?;
+    let vars = &proc.vars;
+    let layout = Layout::new(&proc.vars);
+    let regions: Vec<(usize, &LabeledRegion)> = labeled
+        .schedule
+        .regions
+        .iter()
+        .zip(&labeled.regions)
+        .map(|(d, lr)| (d.stmt_index, lr))
+        .collect();
     let mut memory = initial_memory_with_layout(&layout);
     let mut tally = CacheTally::default();
-    run_stmts_plain(
+    let mut serial_cycles = 0u64;
+    let mut region_cycles = Vec::with_capacity(regions.len());
+    let mut region_counts = Vec::with_capacity(regions.len());
+    let mut cursor = 0usize;
+    for (i, (stmt_index, labeled_region)) in regions.iter().enumerate() {
+        serial_cycles += run_serial_span(
+            vars,
+            &layout,
+            &proc.body[cursor..*stmt_index],
+            &mut memory,
+            cfg,
+            serial_span_key(proc, &regions, i, cursor),
+            &mut tally,
+        )?;
+        cursor = stmt_index + 1;
+        let label = &labeled_region.analysis.spec.loop_label;
+        schedule_loop(proc, *stmt_index, label)?;
+        let region_stmt = std::slice::from_ref(&proc.body[*stmt_index]);
+        let mut store = CountingStore::new(PlainStore::new(&mut memory));
+        let steps = match cfg.backend {
+            ExecBackend::Lowered => {
+                let (lowered, hit) = cfg.cache.get_or_lower(
+                    LowerKey::new(proc, label.as_str(), LowerUnit::RegionLoop),
+                    || lower(vars, &layout, region_stmt),
+                );
+                tally.count(hit);
+                let mut exec = LoweredSegmentExec::new(&lowered, &[]);
+                exec.run(&mut store, cfg.max_statements as usize)
+                    .map_err(SimError::Exec)?;
+                exec.steps()
+            }
+            ExecBackend::TreeWalk => {
+                let mut exec = SegmentExec::new(vars, &layout, region_stmt, &[]);
+                exec.run(&mut store, cfg.max_statements as usize)
+                    .map_err(SimError::Exec)?;
+                exec.steps()
+            }
+        };
+        let accesses: u64 = store.counts.values().map(|(r, w)| r + w).sum();
+        region_cycles.push(accesses * cfg.lat_nonspec + steps as u64 * cfg.stmt_cost);
+        region_counts.push(store.counts);
+    }
+    serial_cycles += run_serial_span(
         vars,
         &layout,
-        before,
+        &proc.body[cursor..],
         &mut memory,
         cfg,
-        LowerKey::new(proc, label, LowerUnit::Prologue),
+        serial_span_key(proc, &regions, regions.len(), cursor),
         &mut tally,
     )?;
-    let iter_values = region_iteration_values(vars, region)?;
-    // Compile the region body once per *process* (the config's cache is
-    // shared, keyed by procedure identity + region label): every segment,
-    // every re-execution after a roll-back, every capacity point of a
-    // sweep and every repeated call replays the same bytecode. The region
-    // index's value interval is supplied so subscripts mentioning it can
-    // be proven in bounds and fused to flat affine addresses; the interval
-    // derives from the region loop's constant bounds, so it is the same
-    // for every call that shares the cache key.
-    let lowered = match cfg.backend {
-        ExecBackend::Lowered => {
-            let index_ranges: Vec<_> = match (iter_values.iter().min(), iter_values.iter().max()) {
-                (Some(&lo), Some(&hi)) => vec![(region.index, (lo, hi))],
-                _ => Vec::new(),
-            };
-            let (lowered, hit) = cfg
-                .cache
-                .get_or_lower(LowerKey::new(proc, label, LowerUnit::RegionBody), || {
-                    lower_with_ranges(vars, &layout, &region.body, &index_ranges)
-                });
-            tally.count(hit);
-            Some(lowered)
-        }
-        ExecBackend::TreeWalk => None,
-    };
-    let mut report = Engine::new(
-        cfg,
-        mode,
-        &labeled.labeling,
-        vars,
-        &layout,
-        region,
-        lowered.as_deref(),
-        iter_values,
-        &mut memory,
-    )
-    .run()?;
-    run_stmts_plain(
-        vars,
-        &layout,
-        after,
-        &mut memory,
-        cfg,
-        LowerKey::new(proc, label, LowerUnit::Epilogue),
-        &mut tally,
-    )?;
-    report.lowering_cache_hits = tally.hits;
-    report.lowering_cache_misses = tally.misses;
-    Ok(SimOutcome { report, memory })
+    let total_cycles = serial_cycles + region_cycles.iter().sum::<u64>();
+    Ok(SeqProgramOutcome {
+        memory,
+        serial_cycles,
+        region_cycles,
+        region_counts,
+        total_cycles,
+    })
+}
+
+/// Side-by-side whole-program comparison: the sequential baseline, HOSE
+/// and CASE for one labeled program (the coverage ablation's unit).
+#[derive(Clone, Debug)]
+pub struct ProgramComparison {
+    /// Whole-program cycles of the one-processor sequential baseline.
+    pub sequential_cycles: u64,
+    /// The sequential baseline's coverage fraction (share of cycles
+    /// inside speculative regions — the Amdahl ceiling's input).
+    pub sequential_coverage: f64,
+    /// HOSE whole-program report.
+    pub hose: ProgramReport,
+    /// CASE whole-program report.
+    pub case: ProgramReport,
+}
+
+impl ProgramComparison {
+    /// Whole-program speedup of HOSE over the sequential baseline.
+    pub fn hose_speedup(&self) -> f64 {
+        crate::report::speedup(self.sequential_cycles, self.hose.total_cycles)
+    }
+
+    /// Whole-program speedup of CASE over the sequential baseline.
+    pub fn case_speedup(&self) -> f64 {
+        crate::report::speedup(self.sequential_cycles, self.case.total_cycles)
+    }
+
+    /// Amdahl's ceiling for this program: the speedup an infinitely fast
+    /// parallel section would reach given the sequential coverage
+    /// fraction `c` and `processors` workers, `1 / ((1-c) + c/P)`.
+    pub fn amdahl_bound(&self, processors: usize) -> f64 {
+        let c = self.sequential_coverage;
+        1.0 / ((1.0 - c) + c / processors.max(1) as f64)
+    }
+}
+
+/// Runs the whole-program sequential baseline, HOSE and CASE for one
+/// labeled program and packages the speedups and coverage.
+pub fn compare_program_modes(
+    program: &Program,
+    labeled: &LabeledProgram,
+    cfg: &SimConfig,
+) -> Result<ProgramComparison, SimError> {
+    let seq = run_program_sequential(program, labeled, cfg)?;
+    let hose = simulate_program(program, labeled, ExecMode::Hose, cfg)?;
+    let case = simulate_program(program, labeled, ExecMode::Case, cfg)?;
+    Ok(ProgramComparison {
+        sequential_cycles: seq.total_cycles,
+        sequential_coverage: seq.coverage_fraction(),
+        hose: hose.report,
+        case: case.report,
+    })
 }
 
 /// Runs the sequential baseline, HOSE and CASE for one region and packages
@@ -652,6 +1031,258 @@ mod tests {
         assert_eq!(out.report.lowering_cache_hits, 0);
         assert_eq!(out.report.lowering_cache_misses, 0);
         assert!(cache.is_empty());
+    }
+
+    /// serial prologue ; R1: a(k) = a(k-1) + b(k) ; serial gap ;
+    /// R2: c(k) = a(k) * 2 (reads R1's live output) ; serial epilogue.
+    fn two_region_program() -> Program {
+        let mut b = ProcBuilder::new("main");
+        let a = b.array("a", &[40]);
+        let bb = b.array("b", &[40]);
+        let c = b.array("c", &[40]);
+        let s = b.scalar("s");
+        let k = b.index("k");
+        b.live_out(&[a, c, s]);
+        let pre = b.assign_scalar(s, num(1.5));
+        let rhs1 = add(
+            b.load_elem(a, vec![av(k) - ac(1)]),
+            b.load_elem(bb, vec![av(k)]),
+        );
+        let st1 = b.assign_elem(a, vec![av(k)], rhs1);
+        let r1 = b.do_loop_labeled("R1", k, ac(2), ac(33), vec![st1]);
+        let gap_rhs = add(b.load(s), num(0.25));
+        let gap = b.assign_scalar(s, gap_rhs);
+        let rhs2 = mul(b.load_elem(a, vec![av(k)]), num(2.0));
+        let st2 = b.assign_elem(c, vec![av(k)], rhs2);
+        let r2 = b.do_loop_labeled("R2", k, ac(1), ac(40), vec![st2]);
+        let post_rhs = mul(b.load(s), num(0.5));
+        let post = b.assign_scalar(s, post_rhs);
+        let mut p = Program::new("two-region");
+        p.add_procedure(b.build(vec![pre, r1, gap, r2, post]));
+        p
+    }
+
+    fn labeled_program(p: &Program) -> refidem_core::label::LabeledProgram {
+        refidem_core::label::label_program(p, refidem_ir::ids::ProcId::from_index(0)).unwrap()
+    }
+
+    #[test]
+    fn whole_program_simulation_reports_per_region_and_serial_breakdown() {
+        let p = two_region_program();
+        let labeled = labeled_program(&p);
+        assert_eq!(labeled.len(), 2);
+        let cfg = SimConfig::default();
+        let seq = run_program_sequential(&p, &labeled, &cfg).unwrap();
+        assert_eq!(seq.region_cycles.len(), 2);
+        assert_eq!(
+            seq.total_cycles,
+            seq.serial_cycles + seq.region_cycles.iter().sum::<u64>()
+        );
+        assert!(seq.coverage_fraction() > 0.9, "tiny serial spans");
+        assert!(seq.coverage_fraction() < 1.0);
+        for mode in [ExecMode::Hose, ExecMode::Case] {
+            let out = simulate_program(&p, &labeled, mode, &cfg).unwrap();
+            let r = &out.report;
+            assert_eq!(r.regions.len(), 2);
+            // Per-region reports sum to the whole-program cycle count.
+            assert_eq!(r.total_cycles, r.serial_cycles + r.parallel_cycles());
+            assert!(r.coverage_fraction() > 0.0 && r.coverage_fraction() < 1.0);
+            assert_eq!(r.regions[0].segments, 32);
+            assert_eq!(r.regions[1].segments, 40);
+            // The recurrence region violates under HOSE; the independent
+            // one never does.
+            if mode == ExecMode::Hose {
+                assert!(r.regions[0].violations > 0);
+            }
+            assert_eq!(r.regions[1].violations, 0);
+            // Back-to-back regions share live state (R2 reads R1's a):
+            // whole-program memory must equal the sequential image.
+            let diffs = seq.memory.diff(&out.memory, 8);
+            assert!(diffs.is_empty(), "{mode}: {diffs:?}");
+        }
+    }
+
+    #[test]
+    fn restarts_are_surfaced_and_bounded() {
+        let p = two_region_program();
+        let labeled = labeled_program(&p);
+        let cfg = SimConfig::default();
+        let out = simulate_program(&p, &labeled, ExecMode::Hose, &cfg).unwrap();
+        let rec = &out.report.regions[0];
+        assert!(rec.max_segment_restarts > 0, "the recurrence rolls back");
+        assert!(
+            (rec.max_segment_restarts as u64) <= rec.rollbacks + rec.overflow_stalls,
+            "every restart is paid for by a roll-back or an overflow stall"
+        );
+        assert_eq!(out.report.max_segment_restarts(), rec.max_segment_restarts);
+        // A clean region restarts nobody.
+        let ind = &out.report.regions[1];
+        assert_eq!(ind.max_segment_restarts, 0);
+    }
+
+    /// Zeroes a report's compilation-pipeline counters (the only fields
+    /// that depend on what earlier runs left in a shared cache).
+    fn no_cache_counters(report: &SimReport) -> SimReport {
+        SimReport {
+            lowering_cache_hits: 0,
+            lowering_cache_misses: 0,
+            ..report.clone()
+        }
+    }
+
+    #[test]
+    fn thin_region_schedule_matches_the_program_pipeline() {
+        // simulate_region is a one-region schedule: on a single-region
+        // program its report equals simulate_program's region report. The
+        // cache counters are compared on their own terms (their hit/miss
+        // split depends on what earlier runs left in the shared cache).
+        let p = recurrence_program();
+        let region = label_program_region_by_name(&p, "REC").unwrap();
+        let labeled = labeled_program(&p);
+        let cfg = SimConfig::default();
+        for mode in [ExecMode::Hose, ExecMode::Case] {
+            let one = simulate_region(&p, &region, mode, &cfg).unwrap();
+            let all = simulate_program(&p, &labeled, mode, &cfg).unwrap();
+            assert_eq!(all.report.regions.len(), 1);
+            assert_eq!(
+                no_cache_counters(&one.report),
+                no_cache_counters(&all.report.regions[0]),
+                "{mode}"
+            );
+            // Both runs query the cache for the (empty-span-free) region
+            // body exactly once.
+            assert_eq!(
+                one.report.lowering_cache_hits + one.report.lowering_cache_misses,
+                1
+            );
+            assert_eq!(
+                all.report.lowering_cache_hits + all.report.lowering_cache_misses,
+                1
+            );
+            assert!(one.memory.diff(&all.memory, 8).is_empty());
+        }
+    }
+
+    #[test]
+    fn shared_cache_keeps_program_and_region_serial_spans_apart() {
+        // The one-region path's prologue reaches back to the procedure
+        // start (through earlier region loops), while the program path's
+        // serial span before the same region is only the inter-region
+        // gap: with one shared cache the two must compile under distinct
+        // keys — a collision would silently serve whichever caller came
+        // second the other's bytecode and skip (or re-run) whole regions.
+        use refidem_ir::lowered::LoweredCache;
+        let p = two_region_program();
+        let labeled = labeled_program(&p);
+        let r2 = label_program_region_by_name(&p, "R2").unwrap();
+        let seq_all = run_program_sequential(&p, &labeled, &SimConfig::default().oracle()).unwrap();
+        let seq_one = run_sequential(&p, &r2, &SimConfig::default().oracle()).unwrap();
+        for program_first in [true, false] {
+            let cfg = SimConfig::default().cache(LoweredCache::fresh());
+            if program_first {
+                let all = simulate_program(&p, &labeled, ExecMode::Case, &cfg).unwrap();
+                assert!(seq_all.memory.diff(&all.memory, 8).is_empty());
+                let one = simulate_region(&p, &r2, ExecMode::Case, &cfg).unwrap();
+                let diffs = seq_one.memory.diff(&one.memory, 8);
+                assert!(diffs.is_empty(), "region-after-program diverged: {diffs:?}");
+            } else {
+                let one = simulate_region(&p, &r2, ExecMode::Case, &cfg).unwrap();
+                assert!(seq_one.memory.diff(&one.memory, 8).is_empty());
+                let all = simulate_program(&p, &labeled, ExecMode::Case, &cfg).unwrap();
+                let diffs = seq_all.memory.diff(&all.memory, 8);
+                assert!(diffs.is_empty(), "program-after-region diverged: {diffs:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn serial_only_programs_have_zero_coverage() {
+        let mut b = ProcBuilder::new("main");
+        let s = b.scalar("s");
+        let t = b.scalar("t");
+        b.live_out(&[s, t]);
+        let st1 = b.assign_scalar(s, num(2.0));
+        let st2_rhs = mul(b.load(s), num(3.0));
+        let st2 = b.assign_scalar(t, st2_rhs);
+        let mut p = Program::new("serial-only");
+        p.add_procedure(b.build(vec![st1, st2]));
+        let labeled = labeled_program(&p);
+        assert!(labeled.is_empty());
+        let cfg = SimConfig::default();
+        let seq = run_program_sequential(&p, &labeled, &cfg).unwrap();
+        assert_eq!(seq.coverage_fraction(), 0.0);
+        assert!(seq.serial_cycles > 0);
+        let out = simulate_program(&p, &labeled, ExecMode::Case, &cfg).unwrap();
+        assert!(out.report.regions.is_empty());
+        assert_eq!(out.report.coverage_fraction(), 0.0);
+        assert_eq!(out.report.total_cycles, out.report.serial_cycles);
+        assert!(seq.memory.diff(&out.memory, 8).is_empty());
+        // Both paths agree on the serial timing too.
+        assert_eq!(out.report.serial_cycles, seq.serial_cycles);
+    }
+
+    #[test]
+    fn zero_trip_and_single_iteration_regions_schedule_cleanly() {
+        let mut b = ProcBuilder::new("main");
+        let a = b.array("a", &[8]);
+        let k = b.index("k");
+        b.live_out(&[a]);
+        // do k = 5, 2 — zero trips.
+        let st0 = b.assign_elem(a, vec![av(k)], num(9.0));
+        let zero = b.do_loop_labeled("ZERO", k, ac(5), ac(2), vec![st0]);
+        // do k = 3, 3 — exactly one segment.
+        let st1 = b.assign_elem(a, vec![av(k)], num(4.0));
+        let one = b.do_loop_labeled("ONE", k, ac(3), ac(3), vec![st1]);
+        let mut p = Program::new("degenerate");
+        p.add_procedure(b.build(vec![zero, one]));
+        let labeled = labeled_program(&p);
+        let cfg = SimConfig::default();
+        let seq = run_program_sequential(&p, &labeled, &cfg).unwrap();
+        // The zero-trip loop's sequential cost is just its header check.
+        assert!(
+            seq.region_cycles[0] <= cfg.stmt_cost * 2,
+            "{}",
+            seq.region_cycles[0]
+        );
+        for mode in [ExecMode::Hose, ExecMode::Case] {
+            let out = simulate_program(&p, &labeled, mode, &cfg).unwrap();
+            assert_eq!(out.report.regions[0].segments, 0);
+            assert_eq!(out.report.regions[0].commits, 0);
+            assert_eq!(out.report.regions[0].region_cycles, 0);
+            assert_eq!(out.report.regions[1].segments, 1);
+            assert_eq!(out.report.regions[1].commits, 1);
+            assert_eq!(out.report.regions[1].violations, 0);
+            assert!(seq.memory.diff(&out.memory, 8).is_empty());
+        }
+    }
+
+    #[test]
+    fn scratch_pooling_is_observationally_invisible() {
+        // The pooled and the per-call scratch paths must be bit-identical:
+        // run a capacity ladder (which re-targets pooled buffer capacities
+        // in place) on both and compare everything.
+        let p = two_region_program();
+        let labeled = labeled_program(&p);
+        for mode in [ExecMode::Hose, ExecMode::Case] {
+            for capacity in [1usize, 4, 64, 4, 1] {
+                let pooled = SimConfig::default().capacity(capacity);
+                let fresh = pooled.clone().pool_scratch(false);
+                let a = simulate_program(&p, &labeled, mode, &pooled).unwrap();
+                let b = simulate_program(&p, &labeled, mode, &fresh).unwrap();
+                let strip = |r: &crate::report::ProgramReport| {
+                    let mut r = r.clone();
+                    r.lowering_cache_hits = 0;
+                    r.lowering_cache_misses = 0;
+                    for region in &mut r.regions {
+                        region.lowering_cache_hits = 0;
+                        region.lowering_cache_misses = 0;
+                    }
+                    r
+                };
+                assert_eq!(strip(&a.report), strip(&b.report), "{mode} @ {capacity}");
+                assert!(a.memory.diff(&b.memory, 8).is_empty());
+            }
+        }
     }
 
     #[test]

@@ -115,6 +115,23 @@ impl SpecBuffer {
         self.capacity
     }
 
+    /// The address-space size (in words) the buffer was created over.
+    pub fn address_words(&self) -> u64 {
+        self.index.len() as u64
+    }
+
+    /// Re-targets an **empty** buffer at a different capacity, so a pooled
+    /// buffer can be reused across sweep points without reallocating its
+    /// dense index. Panics when entries are occupied (capacity changes
+    /// mid-segment have no meaning).
+    pub fn set_capacity(&mut self, capacity: usize) {
+        assert!(
+            self.journal.is_empty(),
+            "capacity can only change on an empty buffer"
+        );
+        self.capacity = capacity;
+    }
+
     /// Highest occupancy observed since the last clear.
     pub fn peak(&self) -> usize {
         self.peak

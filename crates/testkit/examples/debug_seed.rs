@@ -1,8 +1,9 @@
 //! Scratch debugging driver: prints a generated program, its labels and the
 //! differential outcome for a seed given on the command line.
 
-use refidem_core::label::label_program_region;
-use refidem_specsim::{simulate_region, verify_against_sequential, ExecMode, SimConfig};
+use refidem_core::label::label_program;
+use refidem_ir::ids::ProcId;
+use refidem_specsim::{simulate_program, ExecMode, SimConfig};
 use refidem_testkit::{check_generated, generate, DiffConfig};
 
 fn main() {
@@ -16,38 +17,44 @@ fn main() {
         "== program ==\n{}",
         refidem_ir::pretty::program_to_string(&g.program)
     );
-    let labeled = label_program_region(&g.program, &g.region).expect("labels");
-    println!("== labels ==");
-    for (id, l) in labeled.labeling.iter() {
-        println!("  {:?}: {:?} ({:?})", id, l, labeled.labeling.access(id));
-    }
-    println!("classes: {:?}", labeled.analysis.classes);
-    println!("deps: {} total", labeled.analysis.deps.len());
-    for d in labeled.analysis.deps.deps() {
-        println!("  {:?}", d);
+    let labeled = label_program(&g.program, ProcId::from_index(0)).expect("labels");
+    println!("== schedule: {} region(s) ==", labeled.len());
+    for region in &labeled.regions {
+        println!("-- region {} --", region.analysis.spec.loop_label);
+        for (id, l) in region.labeling.iter() {
+            println!("  {:?}: {:?} ({:?})", id, l, region.labeling.access(id));
+        }
+        println!("classes: {:?}", region.analysis.classes);
+        println!("deps: {} total", region.analysis.deps.len());
+        for d in region.analysis.deps.deps() {
+            println!("  {:?}", d);
+        }
     }
     for cap in [1usize, 2, 4, 16, 256] {
         for mode in [ExecMode::Hose, ExecMode::Case] {
             let cfg = SimConfig::default().capacity(cap);
-            match verify_against_sequential(&g.program, &labeled, mode, &cfg) {
-                Ok(d) if d.is_empty() => println!("{mode} cap {cap}: OK"),
-                Ok(d) => println!(
-                    "{mode} cap {cap}: {} diffs {:?}",
-                    d.len(),
-                    &d[..d.len().min(4)]
-                ),
-                Err(e) => println!("{mode} cap {cap}: ERR {e}"),
-            }
-            let out = simulate_region(&g.program, &labeled, mode, &cfg).expect("sim");
+            let out = simulate_program(&g.program, &labeled, mode, &cfg).expect("sim");
+            let r = &out.report;
             println!(
-                "   segments {} commits {} violations {} rollbacks {} overflow {} peak {}",
-                out.report.segments,
-                out.report.commits,
-                out.report.violations,
-                out.report.rollbacks,
-                out.report.overflow_stalls,
-                out.report.spec_peak_occupancy
+                "{mode} cap {cap}: serial {} parallel {} total {} (coverage {:.2})",
+                r.serial_cycles,
+                r.parallel_cycles(),
+                r.total_cycles,
+                r.coverage_fraction()
             );
+            for (region, rr) in labeled.regions.iter().zip(&r.regions) {
+                println!(
+                    "   {}: segments {} commits {} violations {} rollbacks {} overflow {} peak {} restarts {}",
+                    region.analysis.spec.loop_label,
+                    rr.segments,
+                    rr.commits,
+                    rr.violations,
+                    rr.rollbacks,
+                    rr.overflow_stalls,
+                    rr.spec_peak_occupancy,
+                    rr.max_segment_restarts
+                );
+            }
         }
     }
     match check_generated(&g, &DiffConfig::default()) {

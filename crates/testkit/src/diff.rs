@@ -1,22 +1,31 @@
-//! The differential runner: sequential vs HOSE vs CASE, across a ladder of
-//! speculative-storage capacities.
+//! The differential runner: whole-program sequential vs HOSE vs CASE,
+//! across a ladder of speculative-storage capacities.
 //!
-//! For one program the runner (1) labels the region with Algorithm 2,
-//! (2) interprets the whole procedure sequentially **on the tree-walking
-//! oracle backend** to obtain the ground truth memory image, and (3) for
-//! every capacity in the ladder and both execution models, simulates the
-//! region (on the lowered bytecode backend by default, so every check is
-//! also a lowered-vs-oracle differential) and asserts:
+//! For one program the runner (1) discovers and labels **every** region of
+//! the schedule with Algorithm 2 (`label_program`), (2) interprets the
+//! whole procedure sequentially **on the tree-walking oracle backend** to
+//! obtain the ground truth memory image, and (3) for every capacity in the
+//! ladder and both execution models, simulates the whole program
+//! (`simulate_program`, on the lowered bytecode backend by default, so
+//! every check is also a lowered-vs-oracle differential) — serial chunks
+//! sequentially, every region speculatively — and asserts:
 //!
-//! * **byte-exact equivalence** — the final non-speculative memory equals
-//!   the sequential image bit for bit (`f64::to_bits`), excluding only
-//!   locations of region-private variables, which are dead at region exit
-//!   and legitimately live in per-segment storage under CASE (Lemmas 1–2);
-//! * **capacity invariants** — the peak speculative-storage occupancy never
-//!   exceeds the configured capacity, and every segment commits exactly
-//!   once;
-//! * **rollback sanity** — one processor can never observe a violation, and
-//!   a run without violations performs no rollbacks;
+//! * **byte-exact equivalence** — the final non-speculative memory of the
+//!   *whole program* equals the sequential image bit for bit
+//!   (`f64::to_bits`), excluding only locations of region-private
+//!   variables, which are dead at region exit and legitimately live in
+//!   per-segment storage under CASE (Lemmas 1–2). A variable read by a
+//!   later serial chunk or region is live-out and therefore never
+//!   classified private, so the exclusion stays sound across the schedule;
+//! * **capacity invariants** — per region: the peak speculative-storage
+//!   occupancy never exceeds the configured capacity, and every segment
+//!   commits exactly once;
+//! * **rollback sanity** — per region: one processor can never observe a
+//!   violation, and a run without violations performs no rollbacks;
+//! * **livelock guard** — per region: no segment restarts more often than
+//!   the run's roll-backs plus overflow stalls can pay for
+//!   (`max_segment_restarts <= rollbacks + overflow_stalls`, and 0 when
+//!   the run was clean);
 //! * **forward progress** — the simulation terminates without deadlock and
 //!   within the statement budget, even at capacity 1 (livelock would
 //!   surface as `SimError::Deadlock` or `StatementBudgetExceeded`).
@@ -47,14 +56,14 @@
 
 use crate::gen::{GeneratedProgram, ProgramSpec};
 use refidem_analysis::classify::VarClass;
-use refidem_core::label::{IdemCategory, Label, LabeledRegion, Labeling};
-use refidem_ir::ids::RefId;
+use refidem_core::label::{IdemCategory, Label, LabeledProgram, Labeling};
+use refidem_ir::ids::{ProcId, RefId};
 use refidem_ir::lowered::ExecBackend;
 use refidem_ir::memory::{Addr, Layout, Memory};
-use refidem_ir::program::{Program, RegionSpec};
+use refidem_ir::program::Program;
 use refidem_ir::sites::AccessKind;
 use refidem_specsim::sweep::{ladder_plan, SweepExec};
-use refidem_specsim::{ExecMode, SimConfig};
+use refidem_specsim::{ExecMode, ProgramReport, SimConfig};
 
 /// The speculative-storage capacities every program is exercised at —
 /// capacity 1 forces overflow serialization on almost every program, 256
@@ -164,6 +173,8 @@ pub enum DiffFailure {
         mode: ExecMode,
         /// Capacity of the failing run.
         capacity: usize,
+        /// Label of the region whose report broke the invariant.
+        region: String,
         /// What went wrong.
         what: String,
     },
@@ -191,8 +202,12 @@ impl std::fmt::Display for DiffFailure {
             DiffFailure::Invariant {
                 mode,
                 capacity,
+                region,
                 what,
-            } => write!(f, "{mode} @ capacity {capacity} broke invariant: {what}"),
+            } => write!(
+                f,
+                "{mode} @ capacity {capacity}, region `{region}` broke invariant: {what}"
+            ),
         }
     }
 }
@@ -200,18 +215,22 @@ impl std::fmt::Display for DiffFailure {
 /// Aggregate statistics of the runs a differential check performed.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct DiffStats {
-    /// Speculative simulations performed.
+    /// Whole-program simulations performed (ladder points × modes).
     pub runs: usize,
-    /// Segments executed, summed over runs.
+    /// Regions simulated, summed over runs (0 for serial-only programs).
+    pub regions: usize,
+    /// Segments executed, summed over runs and regions.
     pub segments: usize,
-    /// Violations observed, summed over runs.
+    /// Violations observed, summed over runs and regions.
     pub violations: u64,
-    /// Rollbacks observed, summed over runs.
+    /// Rollbacks observed, summed over runs and regions.
     pub rollbacks: u64,
-    /// Overflow stalls observed, summed over runs.
+    /// Overflow stalls observed, summed over runs and regions.
     pub overflow_stalls: u64,
     /// Highest speculative-storage peak occupancy over all runs.
     pub max_peak_occupancy: usize,
+    /// Highest per-segment restart count over all runs (livelock guard).
+    pub max_segment_restarts: u32,
     /// Labels changed by tampering (0 when not tampering).
     pub tampered_labels: usize,
 }
@@ -220,11 +239,13 @@ impl DiffStats {
     /// Merges another check's statistics into this one.
     pub fn merge(&mut self, other: &DiffStats) {
         self.runs += other.runs;
+        self.regions += other.regions;
         self.segments += other.segments;
         self.violations += other.violations;
         self.rollbacks += other.rollbacks;
         self.overflow_stalls += other.overflow_stalls;
         self.max_peak_occupancy = self.max_peak_occupancy.max(other.max_peak_occupancy);
+        self.max_segment_restarts = self.max_segment_restarts.max(other.max_segment_restarts);
         self.tampered_labels += other.tampered_labels;
     }
 }
@@ -247,16 +268,13 @@ fn byte_exact_diff(seq: &Memory, sim: &Memory, ignored: &[(u64, u64)]) -> Vec<(A
     out
 }
 
-/// Runs the full differential check on one designated region. The
-/// capacity-ladder sweep runs sequentially on the calling thread (see the
-/// module docs for why); [`check_program_with`] takes an explicit
-/// executor.
-pub fn check_program(
-    program: &Program,
-    region: &RegionSpec,
-    cfg: &DiffConfig,
-) -> Result<DiffStats, DiffFailure> {
-    check_program_with(program, region, cfg, &SweepExec::sequential())
+/// Runs the full whole-program differential check: every discovered
+/// region of procedure 0 is simulated speculatively, the serial chunks
+/// sequentially. The capacity-ladder sweep runs sequentially on the
+/// calling thread (see the module docs for why); [`check_program_with`]
+/// takes an explicit executor.
+pub fn check_program(program: &Program, cfg: &DiffConfig) -> Result<DiffStats, DiffFailure> {
+    check_program_with(program, cfg, &SweepExec::sequential())
 }
 
 /// [`check_program`] with the (capacity × mode) ladder executed on an
@@ -265,53 +283,59 @@ pub fn check_program(
 /// at any worker count.
 pub fn check_program_with(
     program: &Program,
-    region: &RegionSpec,
     cfg: &DiffConfig,
     exec: &SweepExec,
 ) -> Result<DiffStats, DiffFailure> {
-    let mut labeled: LabeledRegion = refidem_core::label::label_program_region(program, region)
-        .map_err(|e| DiffFailure::Analysis(format!("{e:?}")))?;
+    let mut labeled: LabeledProgram =
+        refidem_core::label::label_program(program, ProcId::from_index(0))
+            .map_err(|e| DiffFailure::Analysis(format!("{e:?}")))?;
     let mut stats = DiffStats::default();
     if let Some(tamper) = cfg.tamper {
-        stats.tampered_labels = tamper_labeling(&mut labeled.labeling, tamper);
+        for region in &mut labeled.regions {
+            stats.tampered_labels += tamper_labeling(&mut region.labeling, tamper);
+        }
     }
 
-    // Ground truth: one sequential interpretation (independent of capacity
-    // and mode — the SimConfig only affects timing, not values). It always
-    // runs on the tree-walking oracle backend, so the simulations (lowered
-    // by default) are differentially checked against the oracle semantics.
-    // A fresh cache per check: compile-once across the ladder below, but
-    // nothing outlives the (one-shot, generated) program being checked.
+    // Ground truth: one sequential interpretation of the whole program
+    // (independent of capacity and mode — the SimConfig only affects
+    // timing, not values). It always runs on the tree-walking oracle
+    // backend, so the simulations (lowered by default) are differentially
+    // checked against the oracle semantics. A fresh cache per check:
+    // compile-once across the ladder below, but nothing outlives the
+    // (one-shot, generated) program being checked.
     let base_cfg = SimConfig::default()
         .processors(cfg.processors)
         .backend(cfg.backend)
         .cache(refidem_ir::lowered::LoweredCache::fresh());
     let seq_cfg = base_cfg.clone().oracle();
-    let seq = refidem_specsim::run_sequential(program, &labeled, &seq_cfg)
+    let seq = refidem_specsim::run_program_sequential(program, &labeled, &seq_cfg)
         .map_err(|e| DiffFailure::Sequential(e.to_string()))?;
 
-    // Private variables live in per-segment storage under CASE and are dead
-    // at region exit: exclude their locations, as Lemma 2's statement does.
-    let proc = &program.procedures[labeled.analysis.spec.proc.index()];
+    // Private variables live in per-segment storage under CASE and are
+    // dead at region exit: exclude their locations, as Lemma 2's statement
+    // does. The exclusion is the union over every region — a variable that
+    // later serial code or a later region reads is live-out of the earlier
+    // region and therefore never classified private there, so the union
+    // only ever hides locations that are dead when last touched
+    // speculatively.
+    let proc = &program.procedures[0];
     let layout = Layout::new(&proc.vars);
-    let ignored: Vec<(u64, u64)> = labeled
-        .analysis
-        .classes
-        .iter()
-        .filter(|(_, c)| *c == VarClass::Private)
-        .map(|(v, _)| {
-            let base = layout.base(v).0;
-            (base, base + proc.vars.kind(v).size() as u64)
-        })
-        .collect();
+    let mut ignored: Vec<(u64, u64)> = Vec::new();
+    for region in &labeled.regions {
+        for (v, class) in region.analysis.classes.iter() {
+            if class == VarClass::Private {
+                let base = layout.base(v).0;
+                ignored.push((base, base + proc.vars.kind(v).size() as u64));
+            }
+        }
+    }
 
     // The (capacity × mode) ladder as a declarative sweep plan; every
     // point is an independent simulate-and-check job against the shared
     // sequential image. `run_fallible` short-circuits at the plan-order
-    // first failing point — the same outcome *and* the same amount of
-    // work as the old hand-rolled double loop (on the default sequential
-    // executor nothing runs past a failure, which keeps the shrinker's
-    // failing-candidate probes cheap).
+    // first failing point — on the default sequential executor nothing
+    // runs past a failure, which keeps the shrinker's failing-candidate
+    // probes cheap.
     let plan = ladder_plan(&base_cfg, &cfg.capacities, &cfg.modes);
     let reports = plan.run_fallible(exec, |(sim_cfg, mode)| {
         check_point(
@@ -326,29 +350,35 @@ pub fn check_program_with(
     })?;
     for r in reports {
         stats.runs += 1;
-        stats.segments += r.segments;
-        stats.violations += r.violations;
-        stats.rollbacks += r.rollbacks;
-        stats.overflow_stalls += r.overflow_stalls;
-        stats.max_peak_occupancy = stats.max_peak_occupancy.max(r.spec_peak_occupancy);
+        stats.regions += r.regions.len();
+        for region in &r.regions {
+            stats.segments += region.segments;
+            stats.violations += region.violations;
+            stats.rollbacks += region.rollbacks;
+            stats.overflow_stalls += region.overflow_stalls;
+            stats.max_peak_occupancy = stats.max_peak_occupancy.max(region.spec_peak_occupancy);
+            stats.max_segment_restarts =
+                stats.max_segment_restarts.max(region.max_segment_restarts);
+        }
     }
     Ok(stats)
 }
 
-/// One ladder point: simulate under `(sim_cfg, mode)`, compare the final
-/// memory byte-exactly against the sequential image and check the
-/// structural invariants. Returns the run's report on success.
+/// One ladder point: simulate the whole program under `(sim_cfg, mode)`,
+/// compare the final memory byte-exactly against the sequential image and
+/// check the structural invariants of every region's report. Returns the
+/// program report on success.
 fn check_point(
     program: &Program,
-    labeled: &LabeledRegion,
+    labeled: &LabeledProgram,
     seq_memory: &Memory,
     ignored: &[(u64, u64)],
     cfg: &DiffConfig,
     sim_cfg: &SimConfig,
     mode: ExecMode,
-) -> Result<refidem_specsim::SimReport, DiffFailure> {
+) -> Result<ProgramReport, DiffFailure> {
     let capacity = sim_cfg.spec_capacity;
-    let out = refidem_specsim::simulate_region(program, labeled, mode, sim_cfg).map_err(|e| {
+    let out = refidem_specsim::simulate_program(program, labeled, mode, sim_cfg).map_err(|e| {
         DiffFailure::Sim {
             mode,
             capacity,
@@ -365,44 +395,78 @@ fn check_point(
             count,
         });
     }
-    let r = &out.report;
-    let invariant = |cond: bool, what: &str| {
-        if cond {
-            Ok(())
-        } else {
-            Err(DiffFailure::Invariant {
-                mode,
-                capacity,
-                what: what.to_string(),
-            })
-        }
-    };
-    invariant(
-        r.spec_peak_occupancy <= capacity,
-        &format!(
-            "peak occupancy {} exceeds capacity {capacity}",
-            r.spec_peak_occupancy
-        ),
-    )?;
-    invariant(
-        r.commits as usize == r.segments,
-        &format!("{} commits for {} segments", r.commits, r.segments),
-    )?;
-    if cfg.processors == 1 {
-        invariant(r.violations == 0, "violation on one processor")?;
+    // The whole-program cycle accounting must be internally consistent.
+    let report = &out.report;
+    if report.total_cycles != report.serial_cycles + report.parallel_cycles() {
+        return Err(DiffFailure::Invariant {
+            mode,
+            capacity,
+            region: "<program>".to_string(),
+            what: format!(
+                "total {} != serial {} + parallel {}",
+                report.total_cycles,
+                report.serial_cycles,
+                report.parallel_cycles()
+            ),
+        });
     }
-    if r.violations == 0 {
+    for (labeled_region, r) in labeled.regions.iter().zip(&report.regions) {
+        let region = labeled_region.analysis.spec.loop_label.clone();
+        let invariant = |cond: bool, what: &str| {
+            if cond {
+                Ok(())
+            } else {
+                Err(DiffFailure::Invariant {
+                    mode,
+                    capacity,
+                    region: region.clone(),
+                    what: what.to_string(),
+                })
+            }
+        };
         invariant(
-            r.rollbacks == 0,
-            &format!("{} rollbacks without a violation", r.rollbacks),
+            r.spec_peak_occupancy <= capacity,
+            &format!(
+                "peak occupancy {} exceeds capacity {capacity}",
+                r.spec_peak_occupancy
+            ),
         )?;
+        invariant(
+            r.commits as usize == r.segments,
+            &format!("{} commits for {} segments", r.commits, r.segments),
+        )?;
+        // Livelock guard: every restart is paid for by a roll-back or an
+        // overflow stall — a segment restarting more often than that
+        // would spin without cause.
+        invariant(
+            (r.max_segment_restarts as u64) <= r.rollbacks + r.overflow_stalls,
+            &format!(
+                "{} restarts of one segment, but only {} rollbacks + {} overflow stalls",
+                r.max_segment_restarts, r.rollbacks, r.overflow_stalls
+            ),
+        )?;
+        if cfg.processors == 1 {
+            invariant(r.violations == 0, "violation on one processor")?;
+        }
+        if r.violations == 0 {
+            invariant(
+                r.rollbacks == 0,
+                &format!("{} rollbacks without a violation", r.rollbacks),
+            )?;
+            if r.overflow_stalls == 0 {
+                invariant(
+                    r.max_segment_restarts == 0,
+                    &format!("{} restarts on a clean run", r.max_segment_restarts),
+                )?;
+            }
+        }
     }
     Ok(out.report)
 }
 
 /// Differential check of a generated program.
 pub fn check_generated(g: &GeneratedProgram, cfg: &DiffConfig) -> Result<DiffStats, DiffFailure> {
-    check_program(&g.program, &g.region, cfg)
+    check_program(&g.program, cfg)
 }
 
 /// [`check_generated`] with the ladder on an explicit executor.
@@ -411,14 +475,13 @@ pub fn check_generated_with(
     cfg: &DiffConfig,
     exec: &SweepExec,
 ) -> Result<DiffStats, DiffFailure> {
-    check_program_with(&g.program, &g.region, cfg, exec)
+    check_program_with(&g.program, cfg, exec)
 }
 
 /// Differential check of a spec (builds it first). This is the predicate
 /// the shrinker re-evaluates on every candidate.
 pub fn check_spec(spec: &ProgramSpec, cfg: &DiffConfig) -> Result<DiffStats, DiffFailure> {
-    let (program, region) = spec.build();
-    check_program(&program, &region, cfg)
+    check_program(&spec.build().program, cfg)
 }
 
 /// [`check_spec`] with the ladder on an explicit executor.
@@ -427,8 +490,7 @@ pub fn check_spec_with(
     cfg: &DiffConfig,
     exec: &SweepExec,
 ) -> Result<DiffStats, DiffFailure> {
-    let (program, region) = spec.build();
-    check_program_with(&program, &region, cfg, exec)
+    check_program_with(&spec.build().program, cfg, exec)
 }
 
 #[cfg(test)]
@@ -443,7 +505,10 @@ mod tests {
             let stats = check_generated(&g, &DiffConfig::default())
                 .unwrap_or_else(|f| panic!("seed {seed} failed the differential check: {f}"));
             assert_eq!(stats.runs, CAPACITY_LADDER.len() * 2);
-            assert!(stats.segments > 0);
+            assert_eq!(stats.regions, g.regions.len() * stats.runs);
+            if !g.regions.is_empty() {
+                assert!(stats.segments > 0);
+            }
             assert_eq!(stats.tampered_labels, 0);
         }
     }

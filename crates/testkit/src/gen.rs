@@ -1,12 +1,17 @@
-//! Seeded, deterministic generation of loop programs.
+//! Seeded, deterministic generation of whole multi-region programs.
 //!
 //! The generator works in two stages. A [`ProgramSpec`] is a small,
-//! declarative description of a region loop: arrays and scalars, an outer
-//! `DO` loop, and a body of assignments, conditionals and (possibly
-//! triangular) inner loops whose array subscripts are affine in the loop
-//! indices. [`ProgramSpec::build`] lowers a spec to a `refidem-ir`
-//! [`Program`] — always the same program for the same spec — and
-//! [`generate`] draws a spec from a seeded [`Rng`].
+//! declarative description of a whole program: arrays and scalars, **zero
+//! to three region loops** (labeled outer `DO` loops whose bodies mix
+//! assignments, conditionals and possibly triangular inner loops with
+//! affine subscripts) separated by **serial straight-line chunks**
+//! (prologue, inter-region gaps, epilogue — plain assignments with
+//! loop-invariant subscripts). [`ProgramSpec::build`] lowers a spec to a
+//! `refidem-ir` [`Program`] — always the same program for the same spec —
+//! and [`generate`] draws a spec from a seeded [`Rng`]. The program-level
+//! shape feeds the whole-program differential runner: every scheduled
+//! region is simulated speculatively, the serial chunks sequentially, and
+//! the final memory must match the sequential oracle byte for byte.
 //!
 //! Splitting generation from lowering is what makes shrinking possible: the
 //! shrinker edits the spec (drop a statement, zero a coefficient, shorten
@@ -27,8 +32,10 @@ use refidem_ir::ids::VarId;
 use refidem_ir::program::{Program, RegionSpec};
 use refidem_ir::stmt::Stmt;
 
-/// The label the generated region loop always carries.
-pub const REGION_LABEL: &str = "R";
+/// The label of generated region `i` (`R0`, `R1`, …).
+pub fn region_label(i: usize) -> String {
+    format!("R{i}")
+}
 
 /// An affine subscript `kc*k + jc*j + off` in the outer index `k` and (when
 /// inside an inner loop) the inner index `j`.
@@ -158,48 +165,71 @@ pub enum StmtSpec {
     },
 }
 
-/// A complete generated program shape.
+/// One region loop of a generated program.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct ProgramSpec {
-    /// Number of arrays (`a0`, `a1`, …).
-    pub arrays: usize,
-    /// Number of scalars (`s0`, `s1`, …).
-    pub scalars: usize,
+pub struct RegionPart {
     /// Lower bound of the region loop index.
     pub outer_lo: i64,
     /// Trip count of the region loop (≥ 1).
     pub outer_trips: i64,
     /// Region loop body.
     pub body: Vec<StmtSpec>,
+}
+
+impl RegionPart {
+    /// Upper bound of the region loop index.
+    pub fn outer_hi(&self) -> i64 {
+        self.outer_lo + self.outer_trips - 1
+    }
+}
+
+/// A complete generated program shape: serial chunks alternating with
+/// region loops.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProgramSpec {
+    /// Number of arrays (`a0`, `a1`, …).
+    pub arrays: usize,
+    /// Number of scalars (`s0`, `s1`, …).
+    pub scalars: usize,
+    /// Serial straight-line chunks: `serial[i]` precedes region `i` and
+    /// `serial[regions.len()]` is the epilogue — always
+    /// `regions.len() + 1` chunks, possibly empty. Serial statements are
+    /// plain assignments whose subscripts are loop-invariant (`kc == 0`,
+    /// `jc == 0`) and whose terms never mention a loop index.
+    pub serial: Vec<Vec<StmtSpec>>,
+    /// The region loops, in program order (0–3 of them).
+    pub regions: Vec<RegionPart>,
     /// Arrays in the live-out set.
     pub live_out_arrays: Vec<usize>,
     /// Scalars in the live-out set.
     pub live_out_scalars: Vec<usize>,
 }
 
-impl ProgramSpec {
-    /// Upper bound of the region loop index.
-    pub fn outer_hi(&self) -> i64 {
-        self.outer_lo + self.outer_trips - 1
-    }
+fn count_stmts(stmts: &[StmtSpec]) -> usize {
+    stmts
+        .iter()
+        .map(|s| match s {
+            StmtSpec::Assign(_) => 1,
+            StmtSpec::If {
+                then_body,
+                else_body,
+                ..
+            } => 1 + count_stmts(then_body) + count_stmts(else_body),
+            StmtSpec::Inner { body, .. } => 1 + count_stmts(body),
+        })
+        .sum()
+}
 
-    /// Total number of statements, counting nested ones.
+impl ProgramSpec {
+    /// Total number of statements, counting nested ones, over every
+    /// serial chunk and region body.
     pub fn stmt_count(&self) -> usize {
-        fn count(stmts: &[StmtSpec]) -> usize {
-            stmts
+        self.serial.iter().map(|c| count_stmts(c)).sum::<usize>()
+            + self
+                .regions
                 .iter()
-                .map(|s| match s {
-                    StmtSpec::Assign(_) => 1,
-                    StmtSpec::If {
-                        then_body,
-                        else_body,
-                        ..
-                    } => 1 + count(then_body) + count(else_body),
-                    StmtSpec::Inner { body, .. } => 1 + count(body),
-                })
-                .sum()
-        }
-        count(&self.body)
+                .map(|r| count_stmts(&r.body))
+                .sum::<usize>()
     }
 
     /// Per-array subscript shift and extent making every access in-bounds:
@@ -208,14 +238,14 @@ impl ProgramSpec {
     /// the smallest valid Fortran subscript. Pinning to 0 would be fatal:
     /// the layout *clamps* out-of-range subscripts, so 0 and 1 would alias
     /// the same element behind the dependence analysis's back and the
-    /// differential oracle would report phantom divergences. The reproducer
-    /// emitter uses the same plan, so emitted code builds the identical
-    /// program.
+    /// differential oracle would report phantom divergences. The bounds
+    /// are taken over every region's iteration space and every serial
+    /// chunk. The reproducer emitter uses the same plan, so emitted code
+    /// builds the identical program.
     pub fn layout_plan(&self) -> (Vec<i64>, Vec<usize>) {
-        let (k_lo, k_hi) = (self.outer_lo, self.outer_hi());
         let mut bounds: Vec<Option<(i64, i64)>> = vec![None; self.arrays];
-        self.for_each_sub(&mut |arr, sub, j_range| {
-            let (lo, hi) = sub_range(sub, (k_lo, k_hi), j_range);
+        self.for_each_sub(&mut |arr, sub, k_range, j_range| {
+            let (lo, hi) = sub_range(sub, k_range, j_range);
             let slot = &mut bounds[arr];
             *slot = Some(match *slot {
                 None => (lo, hi),
@@ -233,11 +263,15 @@ impl ProgramSpec {
         (shifts, extents)
     }
 
-    /// Lowers the spec to an executable, analyzable program whose region is
-    /// the labeled loop [`REGION_LABEL`]. Deterministic: equal specs build
-    /// equal programs.
-    pub fn build(&self) -> (Program, RegionSpec) {
-        let (k_lo, k_hi) = (self.outer_lo, self.outer_hi());
+    /// Lowers the spec to an executable, analyzable program: serial chunks
+    /// alternating with labeled region loops (`R0`, `R1`, …).
+    /// Deterministic: equal specs build equal programs.
+    pub fn build(&self) -> GeneratedBuild {
+        assert_eq!(
+            self.serial.len(),
+            self.regions.len() + 1,
+            "one serial chunk around every region"
+        );
         let (shifts, extents) = self.layout_plan();
         let mut b = ProcBuilder::new("generated");
         let arrays: Vec<VarId> = extents
@@ -265,32 +299,58 @@ impl ProgramSpec {
             k,
             j,
         };
-        let body = ctx.lower_stmts(&mut b, &self.body);
-        let region = b.do_loop_labeled(REGION_LABEL, k, ac(k_lo), ac(k_hi), body);
+        let mut body = Vec::new();
+        for (i, region) in self.regions.iter().enumerate() {
+            for st in &self.serial[i] {
+                assert_serial(st);
+            }
+            body.extend(ctx.lower_stmts(&mut b, &self.serial[i]));
+            let region_body = ctx.lower_stmts(&mut b, &region.body);
+            body.push(b.do_loop_labeled(
+                &region_label(i),
+                k,
+                ac(region.outer_lo),
+                ac(region.outer_hi()),
+                region_body,
+            ));
+        }
+        let epilogue = self.serial.last().expect("epilogue chunk");
+        for st in epilogue {
+            assert_serial(st);
+        }
+        body.extend(ctx.lower_stmts(&mut b, epilogue));
         let mut program = Program::new("generated");
-        program.add_procedure(b.build(vec![region]));
-        let spec = program.find_region(REGION_LABEL).expect("region exists");
-        (program, spec)
+        program.add_procedure(b.build(body));
+        let regions = (0..self.regions.len())
+            .map(|i| {
+                program
+                    .find_region(&region_label(i))
+                    .expect("region exists")
+            })
+            .collect();
+        GeneratedBuild { program, regions }
     }
 
-    /// Visits every array subscript together with the inner-index range
-    /// applicable at its position (`None` outside inner loops).
-    fn for_each_sub(&self, f: &mut impl FnMut(usize, SubSpec, Option<(i64, i64)>)) {
+    /// Visits every array subscript together with the outer-index range of
+    /// its enclosing region (`(0, 0)` inside serial chunks, whose
+    /// subscripts are loop-invariant) and the inner-index range applicable
+    /// at its position (`None` outside inner loops).
+    fn for_each_sub(&self, f: &mut impl FnMut(usize, SubSpec, (i64, i64), Option<(i64, i64)>)) {
         fn walk(
             stmts: &[StmtSpec],
+            k_range: (i64, i64),
             j_range: Option<(i64, i64)>,
-            k_hi: i64,
-            f: &mut impl FnMut(usize, SubSpec, Option<(i64, i64)>),
+            f: &mut impl FnMut(usize, SubSpec, (i64, i64), Option<(i64, i64)>),
         ) {
             for s in stmts {
                 match s {
                     StmtSpec::Assign(a) => {
                         if let TargetSpec::Arr { arr, sub } = &a.target {
-                            f(*arr, *sub, j_range);
+                            f(*arr, *sub, k_range, j_range);
                         }
                         for (_, t) in &a.terms {
                             if let TermSpec::Arr { arr, sub } = t {
-                                f(*arr, *sub, j_range);
+                                f(*arr, *sub, k_range, j_range);
                             }
                         }
                     }
@@ -299,22 +359,61 @@ impl ProgramSpec {
                         else_body,
                         ..
                     } => {
-                        walk(then_body, j_range, k_hi, f);
-                        walk(else_body, j_range, k_hi, f);
+                        walk(then_body, k_range, j_range, f);
+                        walk(else_body, k_range, j_range, f);
                     }
                     StmtSpec::Inner { lo, bound, body } => {
                         let hi = match bound {
                             InnerBound::Extent(e) => lo + e - 1,
                             // `do j = lo, k`: j never exceeds the outer
                             // upper bound (empty when k < lo).
-                            InnerBound::Triangular => k_hi.max(*lo),
+                            InnerBound::Triangular => k_range.1.max(*lo),
                         };
-                        walk(body, Some((*lo, hi)), k_hi, f);
+                        walk(body, k_range, Some((*lo, hi)), f);
                     }
                 }
             }
         }
-        walk(&self.body, None, self.outer_hi(), f);
+        for chunk in &self.serial {
+            walk(chunk, (0, 0), None, f);
+        }
+        for region in &self.regions {
+            walk(&region.body, (region.outer_lo, region.outer_hi()), None, f);
+        }
+    }
+}
+
+/// A built program together with the [`RegionSpec`]s of its region loops,
+/// in schedule order.
+#[derive(Clone, Debug)]
+pub struct GeneratedBuild {
+    /// The lowered program.
+    pub program: Program,
+    /// One designation per region loop (`R0`, `R1`, …).
+    pub regions: Vec<RegionSpec>,
+}
+
+/// Serial chunks hold plain, loop-invariant assignments only — no loop
+/// indices exist outside the regions.
+fn assert_serial(s: &StmtSpec) {
+    match s {
+        StmtSpec::Assign(a) => {
+            if let TargetSpec::Arr { sub, .. } = &a.target {
+                assert!(sub.kc == 0 && sub.jc == 0, "serial subscripts are constant");
+            }
+            for (_, t) in &a.terms {
+                match t {
+                    TermSpec::Arr { sub, .. } => {
+                        assert!(sub.kc == 0 && sub.jc == 0, "serial subscripts are constant")
+                    }
+                    TermSpec::OuterIdx | TermSpec::InnerIdx => {
+                        panic!("serial code cannot reference a loop index")
+                    }
+                    TermSpec::Scalar(_) | TermSpec::Const(_) => {}
+                }
+            }
+        }
+        _ => panic!("serial chunks hold assignments only"),
     }
 }
 
@@ -451,6 +550,12 @@ pub struct GenConfig {
     /// Probability (out of 100) that a subscript inside an inner loop
     /// couples both indices (`kc` and `jc` nonzero).
     pub coupling_pct: u32,
+    /// Maximum number of region loops (0 up to this many are drawn, biased
+    /// toward 1–2; at least every fifteenth program is serial-only).
+    pub max_regions: usize,
+    /// Maximum straight-line statements per serial chunk (prologue, gaps,
+    /// epilogue).
+    pub max_serial_stmts: usize,
 }
 
 impl Default for GenConfig {
@@ -462,6 +567,8 @@ impl Default for GenConfig {
             max_trips: 12,
             max_stmts: 4,
             coupling_pct: 50,
+            max_regions: 3,
+            max_serial_stmts: 2,
         }
     }
 }
@@ -476,8 +583,9 @@ pub struct GeneratedProgram {
     pub spec: ProgramSpec,
     /// The lowered program.
     pub program: Program,
-    /// The region designation (the labeled outer loop).
-    pub region: RegionSpec,
+    /// The region designations (the labeled outer loops, in schedule
+    /// order — possibly none for a serial-only program).
+    pub regions: Vec<RegionSpec>,
 }
 
 /// Draws a program from a seed with the given tuning. Equal seeds and
@@ -485,12 +593,12 @@ pub struct GeneratedProgram {
 pub fn generate_with(seed: u64, cfg: &GenConfig) -> GeneratedProgram {
     let mut rng = Rng::new(seed);
     let spec = gen_spec(&mut rng, cfg);
-    let (program, region) = spec.build();
+    let built = spec.build();
     GeneratedProgram {
         seed,
         spec,
-        program,
-        region,
+        program: built.program,
+        regions: built.regions,
     }
 }
 
@@ -502,20 +610,48 @@ pub fn generate(seed: u64) -> GeneratedProgram {
 fn gen_spec(rng: &mut Rng, cfg: &GenConfig) -> ProgramSpec {
     let arrays = 1 + rng.below(cfg.max_arrays);
     let scalars = rng.below(cfg.max_scalars + 1);
-    let outer_lo = rng.range(-2, 3);
-    let outer_trips = rng.range(cfg.min_trips, cfg.max_trips);
-    let n_stmts = 1 + rng.below(cfg.max_stmts);
-    let mut body = Vec::new();
-    for _ in 0..n_stmts {
-        body.push(gen_stmt(
-            rng,
-            cfg,
-            arrays,
-            scalars,
+    // Region count, biased toward one or two regions but keeping both the
+    // serial-only shape (coverage 0) and the maximum in play.
+    let n_regions = match rng.below(15) {
+        0 => 0,
+        1..=7 => 1.min(cfg.max_regions),
+        8..=12 => 2.min(cfg.max_regions),
+        _ => cfg.max_regions,
+    };
+    let mut regions = Vec::with_capacity(n_regions);
+    for _ in 0..n_regions {
+        let outer_lo = rng.range(-2, 3);
+        let outer_trips = rng.range(cfg.min_trips, cfg.max_trips);
+        let n_stmts = 1 + rng.below(cfg.max_stmts);
+        let mut body = Vec::new();
+        for _ in 0..n_stmts {
+            body.push(gen_stmt(
+                rng,
+                cfg,
+                arrays,
+                scalars,
+                outer_lo,
+                outer_trips,
+                0,
+            ));
+        }
+        regions.push(RegionPart {
             outer_lo,
             outer_trips,
-            0,
-        ));
+            body,
+        });
+    }
+    // Serial chunks: straight-line, loop-invariant assignments around the
+    // regions. A serial-only program gets a guaranteed non-empty body.
+    let mut serial = Vec::with_capacity(n_regions + 1);
+    for i in 0..=n_regions {
+        let min = usize::from(n_regions == 0 && i == 0);
+        let n = min.max(rng.below(cfg.max_serial_stmts + 1));
+        serial.push(
+            (0..n)
+                .map(|_| gen_serial_assign(rng, arrays, scalars))
+                .collect(),
+        );
     }
     // Live-out: a non-empty subset, biased toward including everything (a
     // richer live-out set defeats more dead-write special cases).
@@ -527,12 +663,47 @@ fn gen_spec(rng: &mut Rng, cfg: &GenConfig) -> ProgramSpec {
     ProgramSpec {
         arrays,
         scalars,
-        outer_lo,
-        outer_trips,
-        body,
+        serial,
+        regions,
         live_out_arrays,
         live_out_scalars,
     }
+}
+
+/// One serial straight-line assignment: loop-invariant subscripts, no
+/// index terms.
+fn gen_serial_assign(rng: &mut Rng, arrays: usize, scalars: usize) -> StmtSpec {
+    let const_sub = |rng: &mut Rng| SubSpec {
+        kc: 0,
+        jc: 0,
+        off: rng.range(-3, 3),
+    };
+    let target = if scalars > 0 && rng.chance(1, 3) {
+        TargetSpec::Scalar(rng.below(scalars))
+    } else {
+        TargetSpec::Arr {
+            arr: rng.below(arrays),
+            sub: const_sub(rng),
+        }
+    };
+    let n_terms = 1 + rng.below(2);
+    let mut terms = Vec::new();
+    for _ in 0..n_terms {
+        let t = match rng.below(6) {
+            0..=2 => TermSpec::Arr {
+                arr: rng.below(arrays),
+                sub: const_sub(rng),
+            },
+            3..=4 if scalars > 0 => TermSpec::Scalar(rng.below(scalars)),
+            _ => TermSpec::Const(rng.range(-3, 3)),
+        };
+        let op = match t {
+            TermSpec::Const(_) => *rng.pick(&[TermOp::Add, TermOp::Sub, TermOp::Mul]),
+            _ => *rng.pick(&[TermOp::Add, TermOp::Add, TermOp::Sub]),
+        };
+        terms.push((op, t));
+    }
+    StmtSpec::Assign(AssignSpec { target, terms })
 }
 
 fn gen_stmt(
@@ -714,12 +885,24 @@ mod tests {
     }
 
     #[test]
-    fn generated_regions_resolve_and_have_segments() {
+    fn generated_regions_resolve_and_match_the_discovered_schedule() {
+        use refidem_analysis::schedule::discover_regions;
+        use refidem_ir::ids::ProcId;
         for seed in 0..50 {
             let g = generate(seed);
-            let (_, l) = g.region.resolve(&g.program).expect("region resolves");
-            assert_eq!(l.label.as_deref(), Some(REGION_LABEL));
-            assert!(g.spec.outer_trips >= 1);
+            assert_eq!(g.regions.len(), g.spec.regions.len());
+            assert_eq!(g.spec.serial.len(), g.spec.regions.len() + 1);
+            for (i, region) in g.regions.iter().enumerate() {
+                let (_, l) = region.resolve(&g.program).expect("region resolves");
+                assert_eq!(l.label.as_deref(), Some(region_label(i).as_str()));
+                assert!(g.spec.regions[i].outer_trips >= 1);
+            }
+            // The generator's schedule is exactly what discovery sees.
+            let schedule = discover_regions(&g.program, ProcId::from_index(0));
+            assert_eq!(schedule.len(), g.regions.len());
+            for (d, r) in schedule.regions.iter().zip(&g.regions) {
+                assert_eq!(d.spec, *r);
+            }
             assert!(g.spec.stmt_count() >= 1);
         }
     }
@@ -731,9 +914,13 @@ mod tests {
         let mut saw_triangular = false;
         let mut saw_coupled = false;
         let mut saw_scalar_target = false;
+        let mut region_counts = [0usize; 4];
+        let mut saw_serial_stmt = false;
         for seed in 0..200 {
             let g = generate(seed);
-            for s in &g.spec.body {
+            region_counts[g.spec.regions.len()] += 1;
+            saw_serial_stmt |= g.spec.serial.iter().any(|c| !c.is_empty());
+            for s in g.spec.regions.iter().flat_map(|r| &r.body) {
                 match s {
                     StmtSpec::If { .. } => saw_if = true,
                     StmtSpec::Inner { bound, body, .. } => {
@@ -771,6 +958,15 @@ mod tests {
         assert!(saw_triangular, "no triangular loop generated in 200 seeds");
         assert!(saw_coupled, "no coupled subscript generated in 200 seeds");
         assert!(saw_scalar_target, "no scalar target generated in 200 seeds");
+        assert!(saw_serial_stmt, "no serial chunk statement in 200 seeds");
+        // The whole 0–3 region range occurs, with multi-region programs
+        // well represented.
+        assert!(region_counts[0] > 0, "no serial-only program");
+        assert!(region_counts[1] > 0, "no single-region program");
+        assert!(
+            region_counts[2] + region_counts[3] >= 40,
+            "multi-region programs are underrepresented: {region_counts:?}"
+        );
     }
 
     #[test]
@@ -781,25 +977,48 @@ mod tests {
         let spec = ProgramSpec {
             arrays: 1,
             scalars: 0,
-            outer_lo: 1,
-            outer_trips: 8,
-            body: vec![StmtSpec::Assign(AssignSpec {
-                target: TargetSpec::Arr {
-                    arr: 0,
-                    sub: SubSpec::outer(-1, -2),
-                },
-                terms: vec![(TermOp::Add, TermSpec::OuterIdx)],
-            })],
+            serial: vec![vec![], vec![]],
+            regions: vec![RegionPart {
+                outer_lo: 1,
+                outer_trips: 8,
+                body: vec![StmtSpec::Assign(AssignSpec {
+                    target: TargetSpec::Arr {
+                        arr: 0,
+                        sub: SubSpec::outer(-1, -2),
+                    },
+                    terms: vec![(TermOp::Add, TermSpec::OuterIdx)],
+                })],
+            }],
             live_out_arrays: vec![0],
             live_out_scalars: vec![],
         };
-        let (program, _) = spec.build();
+        let built = spec.build();
         use refidem_ir::exec::SeqInterp;
         use refidem_specsim::run::initial_memory;
-        let proc = &program.procedures[0];
+        let proc = &built.program.procedures[0];
         let mut memory = initial_memory(proc);
         SeqInterp::new()
             .run_procedure(proc, &mut memory)
             .expect("shifted program executes");
+    }
+
+    #[test]
+    fn serial_chunks_reject_loop_dependent_statements() {
+        let spec = ProgramSpec {
+            arrays: 1,
+            scalars: 0,
+            serial: vec![vec![StmtSpec::Assign(AssignSpec {
+                target: TargetSpec::Arr {
+                    arr: 0,
+                    sub: SubSpec::outer(1, 0),
+                },
+                terms: vec![(TermOp::Add, TermSpec::Const(1))],
+            })]],
+            regions: vec![],
+            live_out_arrays: vec![0],
+            live_out_scalars: vec![],
+        };
+        let result = std::panic::catch_unwind(|| spec.build());
+        assert!(result.is_err(), "a k-dependent serial subscript must panic");
     }
 }

@@ -8,17 +8,19 @@
 //!
 //! * [`rng`] — a tiny deterministic SplitMix64 generator, so every test run
 //!   is reproducible from a `u64` seed with no external dependencies;
-//! * [`gen`] — a seeded loop-program generator: affine subscripts with
-//!   tunable index coupling, conditionals, scalar/array mixes, nested and
-//!   triangular inner loops, and randomized live-out sets, all lowered
+//! * [`gen`] — a seeded whole-program generator: 0–3 region loops with
+//!   serial prologue/gap/epilogue chunks between them, affine subscripts
+//!   with tunable index coupling, conditionals, scalar/array mixes, nested
+//!   and triangular inner loops, and randomized live-out sets, all lowered
 //!   through the public [`ProcBuilder`](refidem_ir::build::ProcBuilder)
 //!   exactly as a user program would be;
-//! * [`diff`] — the differential runner: for every program it labels the
-//!   region, runs HOSE and CASE across a speculative-storage capacity
-//!   ladder (1, 2, 4, 16, 256) and asserts byte-exact equivalence with the
-//!   sequential interpreter plus capacity, rollback and forward-progress
-//!   invariants — with optional label *tampering* to fault-inject unsound
-//!   labelings;
+//! * [`diff`] — the whole-program differential runner: for every program
+//!   it discovers and labels *every* region of the schedule, runs HOSE and
+//!   CASE across a speculative-storage capacity ladder (1, 2, 4, 16, 256)
+//!   via `simulate_program` and asserts byte-exact final-memory
+//!   equivalence with the sequential interpreter plus per-region capacity,
+//!   rollback, restart-bound and forward-progress invariants — with
+//!   optional label *tampering* to fault-inject unsound labelings;
 //! * [`shrink`](mod@shrink) — a greedy delta-debugging shrinker over the generator's
 //!   declarative program spec, emitting a minimized reproducer as
 //!   `ProcBuilder` code.
@@ -45,7 +47,10 @@ pub use diff::{
     check_generated, check_generated_with, check_program, check_program_with, check_spec,
     check_spec_with, DiffConfig, DiffFailure, DiffStats, Tamper, CAPACITY_LADDER,
 };
-pub use gen::{generate, generate_with, GenConfig, GeneratedProgram, ProgramSpec};
+pub use gen::{
+    generate, generate_with, region_label, GenConfig, GeneratedBuild, GeneratedProgram,
+    ProgramSpec, RegionPart,
+};
 pub use refidem_specsim::sweep::{SweepExec, SweepPlan};
 pub use rng::Rng;
 pub use shrink::{reproducer, shrink, ShrinkResult};

@@ -2,11 +2,13 @@
 //!
 //! When the differential runner finds a failing program, the raw generated
 //! case is rarely the smallest demonstration of the bug: most of its
-//! statements, terms and iterations are noise. The shrinker performs a
-//! classical greedy delta-debugging loop over the [`ProgramSpec`] (not the
-//! lowered IR — specs compose freely, IR reference ids do not): it
-//! enumerates single-step simplifications, adopts the first one that still
-//! fails the differential check, and repeats until no simplification
+//! statements, terms, regions and iterations are noise. The shrinker
+//! performs a classical greedy delta-debugging loop over the
+//! [`ProgramSpec`] (not the lowered IR — specs compose freely, IR
+//! reference ids do not): it enumerates single-step simplifications —
+//! dropping whole regions, emptying serial chunks, dropping statements,
+//! simplifying subscripts, halving trip counts — adopts the first one that
+//! still fails the differential check, and repeats until no simplification
 //! preserves the failure or the check budget runs out.
 //!
 //! [`reproducer`] renders a minimized spec as ready-to-paste `ProcBuilder`
@@ -15,8 +17,8 @@
 
 use crate::diff::{check_spec, DiffConfig, DiffFailure};
 use crate::gen::{
-    AssignSpec, CondIndex, InnerBound, ProgramSpec, StmtSpec, SubSpec, TargetSpec, TermOp,
-    TermSpec, REGION_LABEL,
+    region_label, AssignSpec, CondIndex, InnerBound, ProgramSpec, StmtSpec, SubSpec, TargetSpec,
+    TermOp, TermSpec,
 };
 
 /// Result of a shrink run.
@@ -75,25 +77,49 @@ pub fn shrink(spec: &ProgramSpec, cfg: &DiffConfig, max_checks: usize) -> Shrink
 /// All single-step simplifications of a spec, most aggressive first.
 fn candidates(spec: &ProgramSpec) -> Vec<ProgramSpec> {
     let mut out = Vec::new();
-    // Drop or simplify statements (recursively).
-    for body in stmt_list_variants(&spec.body) {
-        if !body.is_empty() {
+    // Drop a whole region (its surrounding serial chunks merge).
+    for r in 0..spec.regions.len() {
+        let mut s = spec.clone();
+        s.regions.remove(r);
+        let following = s.serial.remove(r + 1);
+        s.serial[r].extend(following);
+        out.push(s);
+    }
+    // Empty out or simplify each serial chunk (empty chunks are legal —
+    // unlike region bodies).
+    for c in 0..spec.serial.len() {
+        if !spec.serial[c].is_empty() {
             let mut s = spec.clone();
-            s.body = body;
+            s.serial[c].clear();
+            out.push(s);
+        }
+        for chunk in stmt_list_variants(&spec.serial[c]) {
+            let mut s = spec.clone();
+            s.serial[c] = chunk;
             out.push(s);
         }
     }
-    // Halve the trip count.
-    if spec.outer_trips > 2 {
-        let mut s = spec.clone();
-        s.outer_trips = (spec.outer_trips / 2).max(2);
-        out.push(s);
-    }
-    // Normalize the loop base to 1.
-    if spec.outer_lo != 1 {
-        let mut s = spec.clone();
-        s.outer_lo = 1;
-        out.push(s);
+    // Per region: drop or simplify body statements, halve the trip count,
+    // normalize the loop base.
+    for r in 0..spec.regions.len() {
+        let region = &spec.regions[r];
+        for body in stmt_list_variants(&region.body) {
+            if !body.is_empty() {
+                let mut s = spec.clone();
+                s.regions[r].body = body;
+                out.push(s);
+            }
+        }
+        if region.outer_trips > 2 {
+            let mut s = spec.clone();
+            s.regions[r].outer_trips = (region.outer_trips / 2).max(2);
+            out.push(s);
+        }
+        if region.outer_lo != 1 {
+            let mut s = spec.clone();
+            s.regions[r].outer_lo = 1;
+            out.push(s);
+        }
     }
     out
 }
@@ -268,8 +294,8 @@ pub fn reproducer(spec: &ProgramSpec) -> String {
         out.push('\n');
     };
     push("// Reproducer emitted by refidem-testkit's shrinker.");
-    push("// Build the program, label region \"R\", and compare HOSE/CASE");
-    push("// against the sequential interpretation.");
+    push("// Build the program, label every region (R0, R1, …), and compare");
+    push("// whole-program HOSE/CASE against the sequential interpretation.");
     push("use refidem_ir::affine::AffineExpr;");
     push("use refidem_ir::build::{ac, add, av, cmp, idx, mul, num, sub, ProcBuilder};");
     push("use refidem_ir::expr::CmpOp;");
@@ -284,9 +310,13 @@ pub fn reproducer(spec: &ProgramSpec) -> String {
     }
     // `build()` declares both indices unconditionally; match it so the
     // emitted code produces a byte-identical variable table (and layout)
-    // even when the shrunk spec has no inner loop.
-    push("let k = b.index(\"k\");");
-    push(if spec_uses_inner(&spec.body) {
+    // even when the shrunk spec has no inner loop (or no region at all).
+    push(if spec.regions.is_empty() {
+        "let _k = b.index(\"k\"); // unreferenced, but keeps the var table identical"
+    } else {
+        "let k = b.index(\"k\");"
+    });
+    push(if spec.regions.iter().any(|r| spec_uses_inner(&r.body)) {
         "let j = b.index(\"j\");"
     } else {
         "let _j = b.index(\"j\"); // unreferenced, but keeps the var table identical"
@@ -299,16 +329,31 @@ pub fn reproducer(spec: &ProgramSpec) -> String {
         .collect();
     push(&format!("b.live_out(&[{}]);", live.join(", ")));
     let mut counter = 0usize;
-    let names = emit_stmts(&mut out, &spec.body, &shifts, &mut counter);
-    out.push_str(&format!(
-        "let region = b.do_loop_labeled({:?}, k, ac({}), ac({}), vec![{}]);\n",
-        REGION_LABEL,
-        spec.outer_lo,
-        spec.outer_hi(),
-        names.join(", ")
+    let mut top_level: Vec<String> = Vec::new();
+    for (i, region) in spec.regions.iter().enumerate() {
+        top_level.extend(emit_stmts(&mut out, &spec.serial[i], &shifts, &mut counter));
+        let body_names = emit_stmts(&mut out, &region.body, &shifts, &mut counter);
+        let name = format!("r{i}");
+        out.push_str(&format!(
+            "let {name} = b.do_loop_labeled({:?}, k, ac({}), ac({}), vec![{}]);\n",
+            region_label(i),
+            region.outer_lo,
+            region.outer_hi(),
+            body_names.join(", ")
+        ));
+        top_level.push(name);
+    }
+    top_level.extend(emit_stmts(
+        &mut out,
+        spec.serial.last().expect("epilogue chunk"),
+        &shifts,
+        &mut counter,
     ));
     out.push_str("let mut program = Program::new(\"repro\");\n");
-    out.push_str("program.add_procedure(b.build(vec![region]));\n");
+    out.push_str(&format!(
+        "program.add_procedure(b.build(vec![{}]));\n",
+        top_level.join(", ")
+    ));
     out
 }
 
@@ -450,12 +495,13 @@ fn emit_stmts(
 mod tests {
     use super::*;
     use crate::diff::Tamper;
-    use crate::gen::{AssignSpec, TargetSpec, TermOp, TermSpec};
+    use crate::gen::{AssignSpec, RegionPart, TargetSpec, TermOp, TermSpec};
 
-    /// A hand-written recurrence whose speculative read, once corrupted to
-    /// idempotent, makes CASE read stale values without detection:
-    /// `do k = 2, 13: a0(k) = a0(k-1) + 0.5`, plus noise statements the
-    /// shrinker should strip.
+    /// A hand-written two-region program whose first region's speculative
+    /// read, once corrupted to idempotent, makes CASE read stale values
+    /// without detection: `do k = 2, 13: a0(k) = a0(k-1) + 0.5`, plus
+    /// noise the shrinker should strip — an independent second region, a
+    /// noisy serial prologue and a scalar accumulation.
     fn broken_label_victim() -> ProgramSpec {
         let recurrence = StmtSpec::Assign(AssignSpec {
             target: TargetSpec::Arr {
@@ -473,8 +519,10 @@ mod tests {
                 (TermOp::Add, TermSpec::Const(1)),
             ],
         });
-        // Noise: an independent stencil on a second array and a scalar
-        // accumulation — both removable without losing the failure.
+        // Noise: an independent stencil on a second array (in its own
+        // region), a scalar accumulation next to the recurrence, and a
+        // serial prologue statement — all removable without losing the
+        // failure.
         let noise1 = StmtSpec::Assign(AssignSpec {
             target: TargetSpec::Arr {
                 arr: 1,
@@ -498,12 +546,26 @@ mod tests {
                 (TermOp::Add, TermSpec::OuterIdx),
             ],
         });
+        let serial_noise = StmtSpec::Assign(AssignSpec {
+            target: TargetSpec::Scalar(0),
+            terms: vec![(TermOp::Add, TermSpec::Const(2))],
+        });
         ProgramSpec {
             arrays: 2,
             scalars: 1,
-            outer_lo: 2,
-            outer_trips: 12,
-            body: vec![noise1, recurrence, noise2],
+            serial: vec![vec![serial_noise], vec![], vec![]],
+            regions: vec![
+                RegionPart {
+                    outer_lo: 2,
+                    outer_trips: 12,
+                    body: vec![recurrence, noise2],
+                },
+                RegionPart {
+                    outer_lo: 1,
+                    outer_trips: 8,
+                    body: vec![noise1],
+                },
+            ],
             live_out_arrays: vec![0, 1],
             live_out_scalars: vec![0],
         }
@@ -526,8 +588,10 @@ mod tests {
             matches!(failure, DiffFailure::Divergence { .. }),
             "expected a memory divergence, got: {failure}"
         );
-        // …and the shrinker must strip the noise while keeping the failure.
-        let result = shrink(&spec, &cfg, 2000);
+        // …and the shrinker must strip the noise — including the whole
+        // second region and the serial prologue — while keeping the
+        // failure.
+        let result = shrink(&spec, &cfg, 4000);
         assert!(
             result.stmts_after < result.stmts_before,
             "shrinker made no progress ({} -> {})",
@@ -539,6 +603,12 @@ mod tests {
             "one statement suffices, kept {}",
             result.stmts_after
         );
+        assert_eq!(
+            result.spec.regions.len(),
+            1,
+            "the noise region must be dropped"
+        );
+        assert!(result.spec.serial.iter().all(|c| c.is_empty()));
         assert!(
             check_spec(&result.spec, &cfg).is_err(),
             "shrunk spec must still fail"
@@ -553,7 +623,8 @@ mod tests {
         let spec = broken_label_victim();
         let code = reproducer(&spec);
         assert!(code.contains("ProcBuilder::new"));
-        assert!(code.contains("do_loop_labeled"));
+        assert!(code.contains("do_loop_labeled(\"R0\""));
+        assert!(code.contains("do_loop_labeled(\"R1\""));
         assert!(code.contains("b.live_out"));
         // The reproducer names every array with its computed extent.
         let (_, extents) = spec.layout_plan();

@@ -156,22 +156,28 @@ fn random_programs_execute_correctly_under_hose_and_case() {
 fn labels_are_consistent_between_runs() {
     for seed in 6000..6032 {
         let g = generate(seed);
-        let l1 = label_program_region_by_name(&g.program, "R").expect("analyzes");
-        let l2 = label_program_region_by_name(&g.program, "R").expect("analyzes");
-        assert_eq!(&l1.labeling, &l2.labeling, "seed {seed}: labels differ");
-        // Writes labeled idempotent are never sinks of cross-segment deps.
-        for site in l1.analysis.table.sites() {
-            if site.access == AccessKind::Write
-                && l1.labeling.is_idempotent(site.id)
-                && !l1.labeling.fully_independent
-                && l1.labeling.label(site.id).category()
-                    != Some(refidem::core::label::IdemCategory::Private)
-            {
-                assert!(
-                    !l1.analysis.deps.is_sink_of_cross_segment(site.id),
-                    "seed {seed}: idempotent write {:?} is a cross-segment sink",
-                    site.id
-                );
+        for region in &g.regions {
+            let label = region.loop_label.as_str();
+            let l1 = label_program_region_by_name(&g.program, label).expect("analyzes");
+            let l2 = label_program_region_by_name(&g.program, label).expect("analyzes");
+            assert_eq!(
+                &l1.labeling, &l2.labeling,
+                "seed {seed} region {label}: labels differ"
+            );
+            // Writes labeled idempotent are never sinks of cross-segment deps.
+            for site in l1.analysis.table.sites() {
+                if site.access == AccessKind::Write
+                    && l1.labeling.is_idempotent(site.id)
+                    && !l1.labeling.fully_independent
+                    && l1.labeling.label(site.id).category()
+                        != Some(refidem::core::label::IdemCategory::Private)
+                {
+                    assert!(
+                        !l1.analysis.deps.is_sink_of_cross_segment(site.id),
+                        "seed {seed} region {label}: idempotent write {:?} is a cross-segment sink",
+                        site.id
+                    );
+                }
             }
         }
     }
@@ -181,20 +187,28 @@ fn labels_are_consistent_between_runs() {
 fn capacity_is_never_exceeded_and_segments_all_commit() {
     for seed in 7000..7016 {
         let g = generate(seed);
-        let labeled = label_program_region_by_name(&g.program, "R").expect("analyzes");
-        for capacity in [3usize, 8, 64] {
-            let cfg = SimConfig::default().capacity(capacity);
-            for mode in [ExecMode::Hose, ExecMode::Case] {
-                let diffs = verify_against_sequential(&g.program, &labeled, mode, &cfg)
-                    .expect("simulation runs");
-                assert!(
-                    diffs.is_empty(),
-                    "seed {seed}: {mode} with capacity {capacity} diverged at {} addresses",
-                    diffs.len()
-                );
-                let out = simulate_region(&g.program, &labeled, mode, &cfg).expect("runs");
-                assert!(out.report.spec_peak_occupancy <= capacity);
-                assert_eq!(out.report.commits as usize, out.report.segments);
+        for region in &g.regions {
+            let labeled =
+                label_program_region_by_name(&g.program, &region.loop_label).expect("analyzes");
+            for capacity in [3usize, 8, 64] {
+                let cfg = SimConfig::default().capacity(capacity);
+                for mode in [ExecMode::Hose, ExecMode::Case] {
+                    let diffs = verify_against_sequential(&g.program, &labeled, mode, &cfg)
+                        .expect("simulation runs");
+                    assert!(
+                        diffs.is_empty(),
+                        "seed {seed}: {mode} with capacity {capacity} diverged at {} addresses",
+                        diffs.len()
+                    );
+                    let out = simulate_region(&g.program, &labeled, mode, &cfg).expect("runs");
+                    assert!(out.report.spec_peak_occupancy <= capacity);
+                    assert_eq!(out.report.commits as usize, out.report.segments);
+                    assert!(
+                        (out.report.max_segment_restarts as u64)
+                            <= out.report.rollbacks + out.report.overflow_stalls,
+                        "seed {seed}: unpaid-for segment restarts"
+                    );
+                }
             }
         }
     }
