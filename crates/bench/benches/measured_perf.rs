@@ -1,0 +1,65 @@
+//! Wall-clock benchmarks of the real-thread speculative runtime against
+//! the sequential interpretation, one entry per benchmark of the suite:
+//!
+//! * `measured_seq/<BENCH>` — one sequential interpretation.
+//! * `measured_hose_t4/<BENCH>` — one HOSE run on the real-thread runtime
+//!   at four segment threads.
+//! * `measured_case_t4/<BENCH>` — the same for CASE.
+//!
+//! The measured whole-program speedup of the paper's table is recoverable
+//! from the recorded JSON as `measured_seq/B ÷ measured_hose_t4/B` (and
+//! the CASE analogue). The thread count is fixed at 4 — not at the
+//! machine's core count — so the recorded names are comparable across
+//! machines and `bench_diff` can gate them. On a single-core container
+//! the threaded entries land at or above the sequential ones (real
+//! concurrency needs real cores); the CI artifact shows the scaling.
+
+use refidem_bench::microbench::Harness;
+use refidem_benchmarks::all_benchmarks;
+use refidem_core::label::label_program;
+use refidem_ir::ids::ProcId;
+use refidem_specsim::{run_program_sequential, simulate_program, ExecMode, SimConfig, SpecRuntime};
+use std::hint::black_box;
+
+/// Segment-thread count of the threaded entries (fixed for cross-machine
+/// name stability; see the module docs).
+const THREADS: usize = 4;
+
+fn main() {
+    let mut c = Harness::default().sample_size(10);
+    let benches = all_benchmarks();
+    let labeled: Vec<_> = benches
+        .iter()
+        .map(|b| label_program(&b.program, ProcId::from_index(0)).expect("labels"))
+        .collect();
+    let seq_cfg = SimConfig::default().processors(THREADS);
+    let thr_cfg = seq_cfg.clone().runtime(SpecRuntime::Threads);
+
+    let mut group = c.benchmark_group("measured_seq");
+    for (bench, labeled) in benches.iter().zip(&labeled) {
+        group.bench_function(bench.name, |b| {
+            b.iter(|| {
+                run_program_sequential(black_box(&bench.program), labeled, &seq_cfg).expect("runs")
+            })
+        });
+    }
+    group.finish();
+
+    for (mode, group_name) in [
+        (ExecMode::Hose, "measured_hose_t4"),
+        (ExecMode::Case, "measured_case_t4"),
+    ] {
+        let mut group = c.benchmark_group(group_name);
+        for (bench, labeled) in benches.iter().zip(&labeled) {
+            group.bench_function(bench.name, |b| {
+                b.iter(|| {
+                    simulate_program(black_box(&bench.program), labeled, mode, &thr_cfg)
+                        .expect("runs")
+                })
+            });
+        }
+        group.finish();
+    }
+
+    c.finish();
+}

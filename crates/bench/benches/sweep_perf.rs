@@ -11,7 +11,9 @@ use refidem_benchmarks::suite::{fpppp, mgrid};
 use refidem_core::label::{label_program, label_program_region};
 use refidem_ir::ids::ProcId;
 use refidem_specsim::sweep::{ladder_plan, SweepExec};
-use refidem_specsim::{simulate_program, simulate_region, ExecMode, LoweredCache, SimConfig};
+use refidem_specsim::{
+    simulate_program, simulate_region, ExecMode, LoweredCache, ScratchPool, SimConfig,
+};
 use refidem_testkit::{run_suite_with, DiffConfig};
 use std::hint::black_box;
 
@@ -93,6 +95,37 @@ fn main() {
                 let plan = ladder_plan(&base, &SWEEP_LADDER, &[ExecMode::Hose, ExecMode::Case]);
                 let cycles: u64 = plan
                     .run(&SweepExec::sequential(), |(cfg, mode)| {
+                        simulate_region(black_box(&bench.program), &labeled, *mode, cfg)
+                            .expect("runs")
+                            .report
+                            .region_cycles
+                    })
+                    .iter()
+                    .sum();
+                black_box(cycles)
+            })
+        });
+    }
+    group.finish();
+
+    // The satellite A/B: the same pooled-vs-percall pair, but *sharded* —
+    // every `SweepPlan::run` spawns fresh scoped worker threads, which is
+    // exactly the churn that defeated the old thread-local scratch pool.
+    // With the shared `ScratchPool` handle the pooled variant keeps its
+    // win across sweeps because workers of run N+1 take the scratch that
+    // run N's (long dead) workers parked.
+    let mut group = c.benchmark_group("scratch_pool_sharded");
+    for (name, pool) in [("ladder_pooled", true), ("ladder_percall", false)] {
+        let shared_pool = ScratchPool::fresh();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let base = SimConfig::default()
+                    .cache(LoweredCache::fresh())
+                    .scratch(shared_pool.clone())
+                    .pool_scratch(pool);
+                let plan = ladder_plan(&base, &SWEEP_LADDER, &[ExecMode::Hose, ExecMode::Case]);
+                let cycles: u64 = plan
+                    .run(&SweepExec::new().jobs(2), |(cfg, mode)| {
                         simulate_region(black_box(&bench.program), &labeled, *mode, cfg)
                             .expect("runs")
                             .report

@@ -1,0 +1,43 @@
+//! The measured-vs-simulated speedup table: the real-thread runtime on a
+//! wall clock next to the cycle model's predictions, over the whole
+//! benchmark suite.
+//!
+//! Flags: `--threads N` sets the segment-thread count of the threaded
+//! measurements (default 4; this is also the processor count of the
+//! simulated columns), `--samples N` the best-of sample count per
+//! measurement (default 3). Rows are measured strictly sequentially —
+//! wall-clock numbers would be garbage under an outer worker pool, so
+//! this binary takes no `--jobs` flag.
+
+use refidem_bench::{measured_table, tables};
+use std::process::exit;
+
+fn parse_flag(args: &[String], flag: &str, default: usize) -> usize {
+    match args.iter().position(|a| a == flag) {
+        None => default,
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) if n > 0 => n,
+            _ => {
+                eprintln!("usage: measured [--threads N] [--samples N]");
+                exit(2);
+            }
+        },
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = parse_flag(&args, "--threads", 4);
+    let samples = parse_flag(&args, "--samples", 3);
+    let rows = measured_table(threads, samples);
+    print!(
+        "{}",
+        tables::render_measured(
+            &format!(
+                "Measured vs simulated speedups — real-thread runtime at {threads} segment \
+                 thread(s), best of {samples} sample(s)"
+            ),
+            &rows
+        )
+    );
+}

@@ -17,6 +17,10 @@
 //!   spans sequential, every region speculative), reporting the sequential
 //!   coverage fraction, whole-program HOSE/CASE speedups and the Amdahl
 //!   ceiling.
+//! * **Measured vs simulated** ([`measured`]) — the real-thread runtime
+//!   on a wall clock next to the cycle model's predicted speedups: per
+//!   benchmark, the sequential interpretation and the HOSE/CASE threaded
+//!   runs at one and at `P` segment threads.
 //!
 //! Every figure and ablation is a declarative
 //! [`SweepPlan`](refidem_specsim::sweep::SweepPlan) executed on a
@@ -38,6 +42,7 @@ pub mod configs;
 pub mod coverage;
 pub mod fig5;
 pub mod figloops;
+pub mod measured;
 pub mod microbench;
 pub mod tables;
 
@@ -49,3 +54,4 @@ pub use configs::{figure6_config, figure7_config, figure8_config, figure9_config
 pub use coverage::{compute_coverage_row, coverage_ablation, coverage_ablation_with, CoverageRow};
 pub use fig5::{compute_figure5, compute_figure5_with, Figure5Row};
 pub use figloops::{compute_loop_figure, compute_loop_figure_with, LoopFigureRow};
+pub use measured::{compute_measured_row, measured_table, MeasuredRow};

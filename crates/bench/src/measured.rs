@@ -1,0 +1,171 @@
+//! Measured vs simulated speedups: the real-thread runtime on a wall
+//! clock, next to the cycle model's predictions.
+//!
+//! Everything the figures report is *simulated* — the engine models N
+//! speculative processors on one thread and counts cycles. The real-thread
+//! runtime ([`SpecRuntime::Threads`]) executes the same regions with one
+//! OS thread per processor, so for the first time the paper's speedup
+//! claims can be checked against actual elapsed time. This module builds
+//! that table: per benchmark, the simulated whole-program HOSE/CASE
+//! speedups and the measured wall-clock of (a) the sequential
+//! interpretation, (b) the threaded runtime pinned to one segment thread
+//! (exposing the runtime's own overhead — atomics, locks, thread spawns),
+//! and (c) the threaded runtime at the configured thread count.
+//!
+//! The measured speedup `seq / threaded-at-P` only shows real scaling on
+//! a machine with ≥ P cores; on a single-core container it hovers around
+//! (or below) 1× while the simulated column still shows the model's
+//! prediction — the point of printing them side by side. Rows are
+//! measured strictly sequentially on the calling thread: a worker pool
+//! measuring wall-clock rows concurrently would corrupt every number, so
+//! unlike the figure modules this one deliberately has no `_with`
+//! executor variant.
+
+use refidem_benchmarks::{all_benchmarks, Benchmark};
+use refidem_core::label::{label_program, LabeledProgram};
+use refidem_ir::ids::ProcId;
+use refidem_specsim::{
+    compare_program_modes, run_program_sequential, simulate_program, ExecMode, SimConfig,
+    SpecRuntime,
+};
+use std::time::Instant;
+
+/// One benchmark's measured-vs-simulated row.
+#[derive(Clone, Debug)]
+pub struct MeasuredRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Segment-thread count of the `*_tp_ns` measurements (the `P` of the
+    /// simulated columns too).
+    pub threads: usize,
+    /// Simulated whole-program HOSE speedup at `threads` processors.
+    pub sim_hose_speedup: f64,
+    /// Simulated whole-program CASE speedup at `threads` processors.
+    pub sim_case_speedup: f64,
+    /// Measured wall-clock of one sequential interpretation, nanoseconds
+    /// (best of the configured samples, like all rows below).
+    pub seq_ns: u64,
+    /// Measured wall-clock of one HOSE run on the real-thread runtime
+    /// pinned to a single segment thread.
+    pub hose_t1_ns: u64,
+    /// Measured wall-clock of one HOSE run at `threads` segment threads.
+    pub hose_tp_ns: u64,
+    /// Measured wall-clock of one CASE run on one segment thread.
+    pub case_t1_ns: u64,
+    /// Measured wall-clock of one CASE run at `threads` segment threads.
+    pub case_tp_ns: u64,
+}
+
+impl MeasuredRow {
+    /// Measured whole-program HOSE speedup: sequential wall-clock over
+    /// the threaded runtime at `threads` segment threads.
+    pub fn measured_hose_speedup(&self) -> f64 {
+        ratio(self.seq_ns, self.hose_tp_ns)
+    }
+
+    /// Measured whole-program CASE speedup.
+    pub fn measured_case_speedup(&self) -> f64 {
+        ratio(self.seq_ns, self.case_tp_ns)
+    }
+
+    /// Thread-scaling of the runtime itself: HOSE at one segment thread
+    /// over HOSE at `threads` — isolates scaling from interpreter-vs-
+    /// runtime overhead (which the `measured_*_speedup` ratios mix in).
+    pub fn hose_thread_scaling(&self) -> f64 {
+        ratio(self.hose_t1_ns, self.hose_tp_ns)
+    }
+
+    /// Thread-scaling of the CASE runtime.
+    pub fn case_thread_scaling(&self) -> f64 {
+        ratio(self.case_t1_ns, self.case_tp_ns)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Best-of-`samples` wall-clock of `f`, in nanoseconds. One untimed
+/// warm-up call precedes the samples so lowering-cache compiles (and
+/// allocator warm-up) never land in a measurement.
+fn best_of<R>(samples: usize, mut f: impl FnMut() -> R) -> u64 {
+    std::hint::black_box(f());
+    let mut best = u64::MAX;
+    for _ in 0..samples.max(1) {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed().as_nanos() as u64);
+    }
+    best
+}
+
+/// Measures one benchmark: simulated speedups from the cycle model,
+/// wall-clock from the real-thread runtime, all at `threads` processors.
+pub fn compute_measured_row(bench: &Benchmark, threads: usize, samples: usize) -> MeasuredRow {
+    let labeled: LabeledProgram =
+        label_program(&bench.program, ProcId::from_index(0)).expect("labels");
+    let base = SimConfig::default().processors(threads);
+    let cmp = compare_program_modes(&bench.program, &labeled, &base).expect("simulates");
+
+    let time_mode = |mode: ExecMode, t: usize| {
+        let cfg = base.clone().processors(t).runtime(SpecRuntime::Threads);
+        best_of(samples, || {
+            simulate_program(&bench.program, &labeled, mode, &cfg).expect("runs")
+        })
+    };
+    let seq_ns = best_of(samples, || {
+        run_program_sequential(&bench.program, &labeled, &base).expect("runs")
+    });
+    MeasuredRow {
+        benchmark: bench.name.to_string(),
+        threads,
+        sim_hose_speedup: cmp.hose_speedup(),
+        sim_case_speedup: cmp.case_speedup(),
+        seq_ns,
+        hose_t1_ns: time_mode(ExecMode::Hose, 1),
+        hose_tp_ns: time_mode(ExecMode::Hose, threads),
+        case_t1_ns: time_mode(ExecMode::Case, 1),
+        case_tp_ns: time_mode(ExecMode::Case, threads),
+    }
+}
+
+/// The full measured-vs-simulated table over the 13-benchmark suite,
+/// measured strictly sequentially (see the module docs for why there is
+/// no executor variant).
+pub fn measured_table(threads: usize, samples: usize) -> Vec<MeasuredRow> {
+    all_benchmarks()
+        .iter()
+        .map(|b| compute_measured_row(b, threads, samples))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refidem_benchmarks::suite::mgrid;
+
+    #[test]
+    fn a_measured_row_is_internally_consistent() {
+        let bench = mgrid::benchmark();
+        let row = compute_measured_row(&bench, 2, 1);
+        assert_eq!(row.benchmark, "MGRID");
+        assert_eq!(row.threads, 2);
+        assert!(row.sim_hose_speedup > 0.0);
+        assert!(row.sim_case_speedup > 0.0);
+        for ns in [
+            row.seq_ns,
+            row.hose_t1_ns,
+            row.hose_tp_ns,
+            row.case_t1_ns,
+            row.case_tp_ns,
+        ] {
+            assert!(ns > 0, "wall-clock measurements are nonzero");
+        }
+        assert!(row.measured_hose_speedup() > 0.0);
+        assert!(row.measured_case_speedup() > 0.0);
+    }
+}

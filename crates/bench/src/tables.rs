@@ -4,6 +4,7 @@ use crate::ablation::AblationRow;
 use crate::coverage::CoverageRow;
 use crate::fig5::Figure5Row;
 use crate::figloops::LoopFigureRow;
+use crate::measured::MeasuredRow;
 use std::fmt::Write as _;
 
 fn pct(x: f64) -> String {
@@ -155,6 +156,49 @@ pub fn render_ablation(title: &str, rows: &[AblationRow]) -> String {
     out
 }
 
+/// Renders the measured-vs-simulated speedup table: the cycle model's
+/// HOSE/CASE predictions next to wall-clock speedups of the real-thread
+/// runtime (sequential over threaded-at-P) and the runtime's own thread
+/// scaling (one segment thread over P).
+pub fn render_measured(title: &str, rows: &[MeasuredRow]) -> String {
+    fn ms(ns: u64) -> f64 {
+        ns as f64 / 1.0e6
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10} {:>10} {:>10}",
+        "benchmark",
+        "sim HOSE",
+        "sim CASE",
+        "meas HOSE",
+        "meas CASE",
+        "scal HOSE",
+        "scal CASE",
+        "seq ms",
+        "hose-P ms",
+        "case-P ms"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>10.3} {:>10.3} {:>10.3}",
+            r.benchmark,
+            r.sim_hose_speedup,
+            r.sim_case_speedup,
+            r.measured_hose_speedup(),
+            r.measured_case_speedup(),
+            r.hose_thread_scaling(),
+            r.case_thread_scaling(),
+            ms(r.seq_ns),
+            ms(r.hose_tp_ns),
+            ms(r.case_tp_ns)
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,5 +266,22 @@ mod tests {
             }],
         );
         assert!(cov.contains("coverage") && cov.contains("amdahl"));
+        let meas = render_measured(
+            "measured",
+            &[MeasuredRow {
+                benchmark: "X".into(),
+                threads: 4,
+                sim_hose_speedup: 2.0,
+                sim_case_speedup: 3.0,
+                seq_ns: 2_000_000,
+                hose_t1_ns: 1_500_000,
+                hose_tp_ns: 1_000_000,
+                case_t1_ns: 1_200_000,
+                case_tp_ns: 800_000,
+            }],
+        );
+        assert!(meas.contains("meas HOSE"));
+        // measured HOSE speedup = 2ms / 1ms
+        assert!(meas.contains("2.00"));
     }
 }

@@ -28,8 +28,10 @@ fn normalize_loops(mut rows: Vec<LoopFigureRow>) -> Vec<LoopFigureRow> {
         // of the embedded reports must match bit for bit.
         r.comparison.hose.lowering_cache_hits = 0;
         r.comparison.hose.lowering_cache_misses = 0;
+        r.comparison.hose.lowering_cache_evictions = 0;
         r.comparison.case.lowering_cache_hits = 0;
         r.comparison.case.lowering_cache_misses = 0;
+        r.comparison.case.lowering_cache_evictions = 0;
     }
     rows
 }

@@ -1,6 +1,26 @@
 //! Simulator configuration.
 
+use crate::engine::ScratchPool;
 use refidem_ir::lowered::{ExecBackend, LoweredCache};
+
+/// How speculative regions execute.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SpecRuntime {
+    /// The cycle-accounted event simulator (default): all segments
+    /// interleave on the calling thread, smallest-clock-first, producing
+    /// the paper-style simulated cycle counts and speedups.
+    #[default]
+    Simulated,
+    /// The real-thread runtime ([`parallel`](crate::parallel)): one OS
+    /// thread per simulated processor executes segments concurrently
+    /// against the shared epoch-versioned speculative buffers, with
+    /// atomic per-address dependence masks and strictly in-order commits.
+    /// Final memory is byte-identical to the simulated engine and the
+    /// sequential interpretation; cycle fields of the report are zero
+    /// (time is real here — measure it with a wall clock), and the
+    /// violation/rollback tallies depend on actual thread interleaving.
+    Threads,
+}
 
 /// Parameters of the simulated chip multiprocessor and its memory system.
 ///
@@ -63,12 +83,29 @@ pub struct SimConfig {
     pub cache: LoweredCache,
     /// Reuse engine scratch (dependence masks + per-processor buffer
     /// pool) across the regions of a schedule *and* across repeated
-    /// simulation calls on the same thread, via a thread-local pool
-    /// (default). Disable to allocate fresh scratch per call — results
-    /// are bit-identical either way (an A/B the tests and the
-    /// `scratch_pool` bench rely on); only the allocation traffic
-    /// differs.
+    /// simulation calls — including calls from the short-lived worker
+    /// threads [`SweepExec`](crate::sweep::SweepExec) spawns — via the
+    /// config's [`scratch`](SimConfig::scratch) pool (default). Disable
+    /// to allocate fresh scratch per call — results are bit-identical
+    /// either way (an A/B the tests and the `scratch_pool` bench rely
+    /// on); only the allocation traffic differs.
     pub pool_scratch: bool,
+    /// The scratch pool `pool_scratch` draws from. Defaults to the
+    /// **process-global** pool ([`ScratchPool::global`]), so warm
+    /// allocations survive sweep workers' thread churn; substitute
+    /// [`ScratchPool::fresh`] to isolate a run's allocations.
+    pub scratch: ScratchPool,
+    /// Which runtime executes speculative regions: the cycle-accounted
+    /// single-thread simulator (default) or the real-thread runtime (see
+    /// [`SpecRuntime`]).
+    pub runtime: SpecRuntime,
+    /// Test hook: when set, the segment with this index panics right
+    /// after being dispatched (both runtimes honor it). Exercises the
+    /// engines' panic plumbing — the real-thread runtime must surface a
+    /// worker panic on the calling thread with segment identity instead
+    /// of hanging its peers.
+    #[doc(hidden)]
+    pub test_fault_segment: Option<usize>,
 }
 
 impl Default for SimConfig {
@@ -92,6 +129,9 @@ impl Default for SimConfig {
             backend: ExecBackend::Lowered,
             cache: LoweredCache::default(),
             pool_scratch: true,
+            scratch: ScratchPool::global(),
+            runtime: SpecRuntime::Simulated,
+            test_fault_segment: None,
         }
     }
 }
@@ -153,6 +193,27 @@ impl SimConfig {
     pub fn pool_scratch(mut self, pool: bool) -> Self {
         self.pool_scratch = pool;
         self
+    }
+
+    /// Convenience: sets the scratch pool the run draws from (e.g.
+    /// `SimConfig::default().scratch(ScratchPool::fresh())` to opt out of
+    /// the process-global pool) and returns the modified config.
+    pub fn scratch(mut self, scratch: ScratchPool) -> Self {
+        self.scratch = scratch;
+        self
+    }
+
+    /// Convenience: selects the runtime that executes speculative regions
+    /// and returns the modified config.
+    pub fn runtime(mut self, runtime: SpecRuntime) -> Self {
+        self.runtime = runtime;
+        self
+    }
+
+    /// Convenience: selects the real-thread runtime
+    /// ([`SpecRuntime::Threads`]) — one OS thread per simulated processor.
+    pub fn threads(self) -> Self {
+        self.runtime(SpecRuntime::Threads)
     }
 }
 

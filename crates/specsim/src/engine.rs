@@ -190,10 +190,10 @@ impl DepMasks {
 /// `simulate_region` call paid two `vec![0; total_words]` allocations for
 /// the masks plus one shadow-array pair per processor.
 ///
-/// Obtain one with [`EngineScratch::take`] and hand it back with
-/// [`EngineScratch::restore`] after a *successful* run; on error, drop it
-/// (a failed run may leave marks set, and a dropped scratch is simply
-/// rebuilt on the next take).
+/// Obtain one from a [`ScratchPool`] with [`ScratchPool::take`] and hand it
+/// back with [`ScratchPool::restore`] after a *successful* run; on error,
+/// drop it (a failed run may leave marks set, and a dropped scratch is
+/// simply rebuilt on the next take).
 #[derive(Debug, Default)]
 pub struct EngineScratch {
     /// Retired storage buffers, reused by the next segment dispatched onto
@@ -204,12 +204,6 @@ pub struct EngineScratch {
     masks: DepMasks,
 }
 
-thread_local! {
-    /// Per-thread scratch pool: sweep workers each keep one scratch warm.
-    static SCRATCH_POOL: std::cell::Cell<Option<EngineScratch>> =
-        const { std::cell::Cell::new(None) };
-}
-
 impl EngineScratch {
     /// A fresh, empty scratch (allocations happen lazily when the first
     /// engine run prepares it).
@@ -217,18 +211,17 @@ impl EngineScratch {
         EngineScratch::default()
     }
 
-    /// Takes the calling thread's pooled scratch, or a fresh one when the
-    /// pool is empty (first use on this thread, or the previous run failed
-    /// and dropped its scratch).
+    /// Takes a scratch from the **process-global** pool (see
+    /// [`ScratchPool::global`]).
     pub fn take() -> Self {
-        SCRATCH_POOL.with(|p| p.take()).unwrap_or_default()
+        ScratchPool::global().take()
     }
 
-    /// Returns a scratch to the calling thread's pool for the next take.
-    /// Only scratch from *successful* runs may come back — a failed run's
-    /// masks can carry stale marks.
+    /// Returns this scratch to the **process-global** pool (see
+    /// [`ScratchPool::global`]). Only scratch from *successful* runs may
+    /// come back — a failed run's masks can carry stale marks.
     pub fn restore(self) {
-        SCRATCH_POOL.with(|p| p.set(Some(self)));
+        ScratchPool::global().restore(self);
     }
 
     /// Re-targets the scratch at a machine shape, keeping every allocation
@@ -251,6 +244,88 @@ impl EngineScratch {
                 }
             }
         }
+    }
+}
+
+/// A shareable pool of retired [`EngineScratch`] values — the allocation
+/// reuse that survives **across threads**.
+///
+/// The engine's scratch reuse was originally a bare `thread_local!`, which
+/// [`SweepExec`](crate::sweep::SweepExec) silently defeated: every
+/// `SweepPlan::run` spawns *fresh* scoped worker threads, so each sweep
+/// re-warmed its scratch from cold and the pooled memory died with the
+/// worker. This pool is a cheap process-wide handle instead (`Clone`
+/// shares the underlying storage, like
+/// [`LoweredCache`](refidem_ir::lowered::LoweredCache)): workers of one
+/// sweep return their scratch on completion and the next sweep's workers —
+/// different OS threads — pick the warm allocations straight back up.
+///
+/// [`ScratchPool::default`] returns the **process-global** pool, which is
+/// what a default [`SimConfig`] carries; use
+/// [`ScratchPool::fresh`] for an isolated pool (tests, memory-sensitive
+/// embedders). The pool holds at most [`ScratchPool::MAX_POOLED`] retired
+/// values — enough for every worker of the widest sweep, while bounding
+/// the memory a burst of workers can park.
+#[derive(Clone, Debug, Default)]
+pub struct ScratchPool {
+    inner: std::sync::Arc<std::sync::Mutex<Vec<EngineScratch>>>,
+}
+
+/// Handle identity: two pool values are equal when they share the same
+/// underlying storage (what lets [`SimConfig`] keep a
+/// derived `PartialEq`).
+impl PartialEq for ScratchPool {
+    fn eq(&self, other: &Self) -> bool {
+        std::sync::Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl ScratchPool {
+    /// Most retired scratch values the pool will hold; `restore` beyond
+    /// this drops the excess scratch instead of parking it.
+    pub const MAX_POOLED: usize = 64;
+
+    /// Creates an empty pool that shares storage with nothing else.
+    pub fn fresh() -> Self {
+        ScratchPool::default()
+    }
+
+    /// The **process-global** pool: every handle returned here shares one
+    /// underlying store, so scratch survives arbitrarily many short-lived
+    /// worker threads.
+    pub fn global() -> Self {
+        static GLOBAL: std::sync::OnceLock<ScratchPool> = std::sync::OnceLock::new();
+        GLOBAL.get_or_init(ScratchPool::fresh).clone()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<EngineScratch>> {
+        self.inner.lock().expect("scratch pool poisoned")
+    }
+
+    /// Takes a pooled scratch, or a fresh one when the pool is empty.
+    pub fn take(&self) -> EngineScratch {
+        self.lock().pop().unwrap_or_default()
+    }
+
+    /// Returns a scratch for a later [`take`](Self::take) — possibly by a
+    /// different thread. Only scratch from *successful* runs may come back:
+    /// a failed run's masks can carry stale marks (drop it instead; the
+    /// next take simply rebuilds).
+    pub fn restore(&self, scratch: EngineScratch) {
+        let mut pool = self.lock();
+        if pool.len() < Self::MAX_POOLED {
+            pool.push(scratch);
+        }
+    }
+
+    /// Number of scratch values currently parked in the pool.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// True when no scratch is parked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -454,6 +529,9 @@ impl<'p> Engine<'p> {
                 &env,
             )),
         });
+        if self.cfg.test_fault_segment == Some(seg) {
+            panic!("injected segment fault");
+        }
     }
 
     fn step_slot(&mut self, p: usize) -> Result<(), SimError> {

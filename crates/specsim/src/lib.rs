@@ -36,14 +36,17 @@
 
 pub mod config;
 pub mod engine;
+pub mod parallel;
 pub mod report;
 pub mod run;
 pub mod storage;
 pub mod sweep;
 
-pub use config::SimConfig;
-pub use engine::EngineScratch;
-pub use refidem_ir::lowered::{ExecBackend, LowerKey, LowerUnit, LoweredCache};
+pub use config::{SimConfig, SpecRuntime};
+pub use engine::{EngineScratch, ScratchPool};
+pub use refidem_ir::lowered::{
+    CacheCounters, CacheLookup, ExecBackend, LowerKey, LowerUnit, LoweredCache,
+};
 pub use report::{ProgramReport, SimReport, SpeedupComparison};
 pub use run::{
     compare_modes, compare_program_modes, initial_memory, run_program_sequential, run_sequential,
@@ -55,7 +58,7 @@ pub use sweep::{ladder_plan, SweepExec, SweepPlan, SweepPoint};
 
 /// Commonly used items, for glob import.
 pub mod prelude {
-    pub use crate::config::SimConfig;
+    pub use crate::config::{SimConfig, SpecRuntime};
     pub use crate::report::{ProgramReport, SimReport, SpeedupComparison};
     pub use crate::run::{
         compare_modes, compare_program_modes, run_program_sequential, run_sequential,

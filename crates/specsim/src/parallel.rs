@@ -1,0 +1,973 @@
+//! The real-thread speculative runtime: segments on OS threads.
+//!
+//! The event simulator ([`engine`](crate::engine)) interleaves segments on
+//! the calling thread in simulated time. This module executes the same
+//! region under the same speculation protocol, but *concurrently*: one OS
+//! thread per simulated processor claims segments in program order and runs
+//! them against shared state, so HOSE/CASE speedups can be measured with a
+//! wall clock instead of a cycle model. Selected per run via
+//! [`SpecRuntime::Threads`](crate::config::SpecRuntime).
+//!
+//! # Memory model
+//!
+//! The crate forbids `unsafe`, so all sharing goes through safe
+//! primitives, all with sequentially consistent ordering:
+//!
+//! * **Non-speculative storage** is a `Vec<AtomicU64>` of `f64` bit
+//!   patterns (`AtomicMemory`) — idempotent references and head
+//!   write-throughs access it directly, commits drain into it.
+//! * **Dependence masks** are two `Vec<AtomicU32>`s (a read mask and a
+//!   write mask), one bit per processor per address word. They are the
+//!   *authoritative* violation detector, which caps the runtime at
+//!   [`MAX_THREADS`] processors.
+//! * **Speculative storage** is one `Mutex<SpecBuffer>` per processor
+//!   slot. Locks guard only buffer *contents*; the masks are probed
+//!   lock-free first, so uncontended addresses never touch a peer's lock.
+//!
+//! The reader and writer sides form a Dekker-style handshake: a
+//! speculative read marks its read-mask bit *before* probing the write
+//! mask (then forwards from the youngest older writer's buffer, or falls
+//! through to memory); a speculative write records its buffer entry, sets
+//! its write-mask bit, and *then* scans the read mask for younger readers.
+//! Under sequential consistency at least one side observes the other, so
+//! every cross-segment flow dependence is either forwarded or flagged.
+//!
+//! # Squash, cascade and in-order commit
+//!
+//! Each slot carries a *squash generation* counter. A writer that finds a
+//! younger reader bumps the victim's generation; the victim notices
+//! between statements, discards its attempt and re-executes. Discarding is
+//! where the protocol closes the stale-forward window: while still holding
+//! its own buffer lock, the victim scans the read mask of every address it
+//! had *written* and bumps any younger segment that read one — a
+//! transitive cascade that squashes consumers of discarded values no
+//! matter what data-dependent control flow forwarded them.
+//!
+//! Commits are strictly in segment order, driven by an atomic `head`
+//! counter. A finished non-head segment spins (yielding) until it becomes
+//! the head, re-checks its generation once (any legitimate bump is
+//! ordered before `head` reaches it), then drains its dirty entries to
+//! memory, retracts its mask bits, and advances `head`. Once a running
+//! segment observes it *is* the head it performs the same final
+//! generation check and thereafter ignores bumps — no older segment
+//! exists, so its execution is definitionally sound; buffer overflow is
+//! absorbed by reading/writing through to non-speculative storage exactly
+//! as in the simulator. A non-head segment that overflows discards its
+//! attempt (so peers cannot forward its poisoned values), stalls until it
+//! becomes the head, and re-executes in head mode — the serialization
+//! effect the paper describes, in real time.
+//!
+//! A worker panic (or statement-budget error) raises a shared abort flag
+//! that every spin loop checks, so peers drain instead of hanging; the
+//! coordinator then re-panics on the calling thread with the segment
+//! identity attached.
+//!
+//! Final memory is byte-identical to the simulated engine and the
+//! sequential interpretation — the differential suite checks this at
+//! several thread counts. Cycle fields of the report are zero (time is
+//! real here); violation/rollback/stall tallies depend on the actual
+//! interleaving, but their invariants (none on one thread, restarts
+//! bounded by rollbacks plus stalls, peak occupancy within capacity) hold
+//! on every schedule.
+
+use crate::config::SimConfig;
+use crate::report::SimReport;
+use crate::run::{ExecMode, SimError};
+use crate::storage::{PrivateStore, SpecBuffer};
+use refidem_core::label::{IdemCategory, Label, Labeling};
+use refidem_ir::exec::{DataStore, SegmentExec};
+use refidem_ir::ids::RefId;
+use refidem_ir::lowered::{ExecBackend, LoweredProc, LoweredSegmentExec};
+use refidem_ir::memory::{Addr, Layout, Memory};
+use refidem_ir::stmt::LoopStmt;
+use refidem_ir::var::VarTable;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering::{Relaxed, SeqCst};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize};
+use std::sync::Mutex;
+
+/// Maximum processor count of the real-thread runtime: the per-address
+/// dependence masks hold one bit per processor in an `AtomicU32`, and the
+/// masks are load-bearing here (the simulator merely degrades to buffer
+/// scans above the same width; a lock-free violation detector cannot).
+pub const MAX_THREADS: usize = 32;
+
+/// Slot `seg` value meaning "no segment in flight on this processor".
+const IDLE: usize = usize::MAX;
+
+/// Non-speculative storage shared by every worker: `f64` values as atomic
+/// bit patterns, same indexing as [`Memory`].
+struct AtomicMemory {
+    words: Vec<AtomicU64>,
+}
+
+impl AtomicMemory {
+    fn from_memory(memory: &Memory) -> Self {
+        let words = (0..memory.len())
+            .map(|w| AtomicU64::new(memory.load(Addr(w as u64)).to_bits()))
+            .collect();
+        AtomicMemory { words }
+    }
+
+    #[inline]
+    fn load(&self, addr: Addr) -> f64 {
+        f64::from_bits(self.words[addr.0 as usize].load(SeqCst))
+    }
+
+    #[inline]
+    fn store(&self, addr: Addr, value: f64) {
+        self.words[addr.0 as usize].store(value.to_bits(), SeqCst);
+    }
+
+    fn write_back(&self, memory: &mut Memory) {
+        for (w, word) in self.words.iter().enumerate() {
+            memory.store(Addr(w as u64), f64::from_bits(word.load(SeqCst)));
+        }
+    }
+}
+
+/// One processor slot: which segment occupies it, its squash generation,
+/// and its speculative storage.
+struct Slot {
+    /// Segment index in flight on this slot, or [`IDLE`]. Written by the
+    /// owning worker at claim/commit; read by peers (forwarding, violation
+    /// checks, cascades) to order the occupant against themselves.
+    seg: AtomicUsize,
+    /// Squash generation. Peers bump it to request a restart; the owner
+    /// samples it at attempt start and restarts when it moves.
+    squash: AtomicU32,
+    /// The slot's speculative storage. The lock guards contents only —
+    /// every mutation (record, drain, clear) and every peer probe of
+    /// *entries* happens under it; masks and the atomics above do not.
+    spec: Mutex<SpecBuffer>,
+}
+
+/// Shared execution tallies, merged into the [`SimReport`]. Plain
+/// counters use relaxed ordering — they never order the protocol.
+#[derive(Default)]
+struct Tallies {
+    statements: AtomicU64,
+    violations: AtomicU64,
+    rollbacks: AtomicU64,
+    overflow_stalls: AtomicU64,
+    overflow_writethrough: AtomicU64,
+    commits: AtomicU64,
+    committed_entries: AtomicU64,
+    spec_peak: AtomicUsize,
+    max_restarts: AtomicU32,
+    spec_reads: AtomicU64,
+    spec_writes: AtomicU64,
+    nonspec_reads: AtomicU64,
+    nonspec_writes: AtomicU64,
+    private_reads: AtomicU64,
+    private_writes: AtomicU64,
+    forwards: AtomicU64,
+}
+
+/// The first failure a worker hit; peers drain via `abort` and the
+/// coordinator surfaces it on the calling thread.
+enum Failure {
+    Error(SimError),
+    Panic {
+        thread: usize,
+        seg: usize,
+        message: String,
+    },
+}
+
+/// Everything the workers share.
+struct Shared<'p> {
+    cfg: &'p SimConfig,
+    mode: ExecMode,
+    /// Dense per-site label table; empty under HOSE (every site
+    /// speculative), same construction as the simulator's.
+    labels: Vec<Label>,
+    memory: AtomicMemory,
+    read_mask: Vec<AtomicU32>,
+    write_mask: Vec<AtomicU32>,
+    slots: Vec<Slot>,
+    /// Oldest uncommitted segment; commits advance it in order.
+    head: AtomicUsize,
+    /// Next segment to claim (monotonic program-order dispatch).
+    next: AtomicUsize,
+    /// Total number of segments.
+    total: usize,
+    /// Raised on any failure: every spin loop checks it and drains.
+    abort: AtomicBool,
+    failure: Mutex<Option<Failure>>,
+    tallies: Tallies,
+}
+
+impl Shared<'_> {
+    /// Records the first failure and raises the abort flag.
+    fn fail(&self, failure: Failure) {
+        let mut guard = self.failure.lock().expect("failure mutex");
+        if guard.is_none() {
+            *guard = Some(failure);
+        }
+        drop(guard);
+        self.abort.store(true, SeqCst);
+    }
+}
+
+/// The immutable region inputs workers execute against.
+struct RegionCtx<'p> {
+    vars: &'p VarTable,
+    layout: &'p Layout,
+    region: &'p LoopStmt,
+    lowered: Option<&'p LoweredProc>,
+    iter_values: &'p [i64],
+}
+
+/// A segment executor on either backend (the private mirror of the
+/// simulator's `AnyExec`; both backends share the step/reset contract).
+enum ParExec<'p> {
+    Tree(SegmentExec<'p>),
+    Lowered(LoweredSegmentExec<'p>),
+}
+
+impl ParExec<'_> {
+    fn step(&mut self, store: &mut impl DataStore) -> Result<bool, refidem_ir::exec::ExecError> {
+        match self {
+            ParExec::Tree(e) => e.step(store),
+            ParExec::Lowered(e) => e.step(store),
+        }
+    }
+
+    fn reset(&mut self) {
+        match self {
+            ParExec::Tree(e) => e.reset(),
+            ParExec::Lowered(e) => e.reset(),
+        }
+    }
+}
+
+/// Runs one region under the real-thread runtime and merges the tallies
+/// into a report. Mirrors the simulator's `Engine::new(..).run()` contract:
+/// `lowered` must be the compiled region body on the lowered backend, and
+/// `memory` holds the live-in state and receives the final state.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_region(
+    cfg: &SimConfig,
+    mode: ExecMode,
+    labeling: &Labeling,
+    vars: &VarTable,
+    layout: &Layout,
+    region: &LoopStmt,
+    lowered: Option<&LoweredProc>,
+    iter_values: Vec<i64>,
+    memory: &mut Memory,
+) -> Result<SimReport, SimError> {
+    let processors = cfg.processors.max(1);
+    if processors > MAX_THREADS {
+        return Err(SimError::Region(format!(
+            "the real-thread runtime supports at most {MAX_THREADS} processors \
+             (the dependence masks hold one bit per processor), got {processors}"
+        )));
+    }
+    let total = iter_values.len();
+    let mut report = SimReport {
+        mode: Some(mode),
+        segments: total,
+        ..Default::default()
+    };
+    if total == 0 {
+        return Ok(report);
+    }
+
+    let mut labels = Vec::new();
+    if mode == ExecMode::Case {
+        for (site, label) in labeling.iter() {
+            if site.index() >= labels.len() {
+                labels.resize(site.index() + 1, Label::Speculative);
+            }
+            labels[site.index()] = label;
+        }
+    }
+
+    // Never spawn more workers than there are segments to claim.
+    let threads = processors.min(total);
+    let words = layout.total_words() as usize;
+    let shared = Shared {
+        cfg,
+        mode,
+        labels,
+        memory: AtomicMemory::from_memory(memory),
+        read_mask: (0..words).map(|_| AtomicU32::new(0)).collect(),
+        write_mask: (0..words).map(|_| AtomicU32::new(0)).collect(),
+        slots: (0..threads)
+            .map(|_| Slot {
+                seg: AtomicUsize::new(IDLE),
+                squash: AtomicU32::new(0),
+                spec: Mutex::new(SpecBuffer::new(cfg.spec_capacity, layout.total_words())),
+            })
+            .collect(),
+        head: AtomicUsize::new(0),
+        next: AtomicUsize::new(0),
+        total,
+        abort: AtomicBool::new(false),
+        failure: Mutex::new(None),
+        tallies: Tallies::default(),
+    };
+    let ctx = RegionCtx {
+        vars,
+        layout,
+        region,
+        lowered,
+        iter_values: &iter_values,
+    };
+
+    std::thread::scope(|scope| {
+        for p in 0..threads {
+            let shared = &shared;
+            let ctx = &ctx;
+            scope.spawn(move || {
+                let outcome = catch_unwind(AssertUnwindSafe(|| worker(shared, ctx, p)));
+                match outcome {
+                    Ok(Ok(())) => {}
+                    Ok(Err(err)) => shared.fail(Failure::Error(err)),
+                    Err(payload) => {
+                        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                            (*s).to_string()
+                        } else if let Some(s) = payload.downcast_ref::<String>() {
+                            s.clone()
+                        } else {
+                            "non-string panic payload".to_string()
+                        };
+                        let seg = shared.slots[p].seg.load(SeqCst);
+                        shared.fail(Failure::Panic {
+                            thread: p,
+                            seg,
+                            message,
+                        });
+                    }
+                }
+            });
+        }
+    });
+
+    match shared.failure.into_inner().expect("failure mutex") {
+        Some(Failure::Error(err)) => return Err(err),
+        Some(Failure::Panic {
+            thread,
+            seg,
+            message,
+        }) => {
+            if seg == IDLE {
+                resume_unwind(Box::new(format!(
+                    "segment thread {thread} panicked: {message}"
+                )));
+            }
+            resume_unwind(Box::new(format!(
+                "segment thread {thread} (segment {seg} of {total}) panicked: {message}"
+            )));
+        }
+        None => {}
+    }
+
+    shared.memory.write_back(memory);
+    let t = &shared.tallies;
+    report.statements = t.statements.load(SeqCst);
+    report.violations = t.violations.load(SeqCst);
+    report.rollbacks = t.rollbacks.load(SeqCst);
+    report.overflow_stalls = t.overflow_stalls.load(SeqCst);
+    report.overflow_writethrough = t.overflow_writethrough.load(SeqCst);
+    report.max_segment_restarts = t.max_restarts.load(SeqCst);
+    report.commits = t.commits.load(SeqCst);
+    report.committed_entries = t.committed_entries.load(SeqCst);
+    report.spec_peak_occupancy = t.spec_peak.load(SeqCst);
+    report.spec_reads = t.spec_reads.load(SeqCst);
+    report.spec_writes = t.spec_writes.load(SeqCst);
+    report.nonspec_reads = t.nonspec_reads.load(SeqCst);
+    report.nonspec_writes = t.nonspec_writes.load(SeqCst);
+    report.private_reads = t.private_reads.load(SeqCst);
+    report.private_writes = t.private_writes.load(SeqCst);
+    report.forwards = t.forwards.load(SeqCst);
+    Ok(report)
+}
+
+/// One worker: claims segments in program order and runs each to commit.
+fn worker(shared: &Shared<'_>, ctx: &RegionCtx<'_>, p: usize) -> Result<(), SimError> {
+    let mut private = PrivateStore::new(ctx.layout.total_words());
+    loop {
+        if shared.abort.load(SeqCst) {
+            return Ok(());
+        }
+        let seg = shared.next.fetch_add(1, SeqCst);
+        if seg >= shared.total {
+            return Ok(());
+        }
+        shared.slots[p].seg.store(seg, SeqCst);
+        if shared.cfg.test_fault_segment == Some(seg) {
+            panic!("injected segment fault");
+        }
+        let env = [(ctx.region.index, ctx.iter_values[seg])];
+        let mut exec = match shared.cfg.backend {
+            ExecBackend::Lowered => ParExec::Lowered(LoweredSegmentExec::new(
+                ctx.lowered.expect("lowered region body compiled"),
+                &env,
+            )),
+            ExecBackend::TreeWalk => ParExec::Tree(SegmentExec::new(
+                ctx.vars,
+                ctx.layout,
+                &ctx.region.body,
+                &env,
+            )),
+        };
+        run_segment(shared, p, seg, &mut exec, &mut private)?;
+    }
+}
+
+/// Runs one claimed segment to commit (or to a cooperative abort exit),
+/// restarting attempts on squash bumps and overflow stalls.
+fn run_segment(
+    shared: &Shared<'_>,
+    p: usize,
+    seg: usize,
+    exec: &mut ParExec<'_>,
+    private: &mut PrivateStore,
+) -> Result<(), SimError> {
+    let slot = &shared.slots[p];
+    let mut restarts: u32 = 0;
+    'attempt: loop {
+        if shared.abort.load(SeqCst) {
+            return Ok(());
+        }
+        // Sample the generation *before* cleaning state: any bump issued
+        // up to this point is answered by this (fresh) attempt.
+        let squash_seen = slot.squash.load(SeqCst);
+        discard_attempt(shared, p, seg);
+        private.clear();
+        exec.reset();
+        // Entering an attempt as the head needs no generation check: the
+        // state is clean and no older segment exists, so pending bumps
+        // are necessarily stale.
+        let mut store = ParCtx {
+            shared,
+            p,
+            seg,
+            head_mode: shared.head.load(SeqCst) == seg,
+            private,
+            overflow: false,
+        };
+        loop {
+            if shared.abort.load(SeqCst) {
+                return Ok(());
+            }
+            if !store.head_mode {
+                if slot.squash.load(SeqCst) != squash_seen {
+                    restarts += 1;
+                    shared.tallies.rollbacks.fetch_add(1, Relaxed);
+                    shared.tallies.max_restarts.fetch_max(restarts, Relaxed);
+                    continue 'attempt;
+                }
+                if shared.head.load(SeqCst) == seg {
+                    // Head handover: one final check (a legitimate bump is
+                    // ordered before `head` reached us), then bumps are
+                    // ignored — the head cannot be squashed.
+                    if slot.squash.load(SeqCst) != squash_seen {
+                        restarts += 1;
+                        shared.tallies.rollbacks.fetch_add(1, Relaxed);
+                        shared.tallies.max_restarts.fetch_max(restarts, Relaxed);
+                        continue 'attempt;
+                    }
+                    store.head_mode = true;
+                }
+            }
+            let more = exec.step(&mut store).map_err(SimError::Exec)?;
+            if shared.tallies.statements.fetch_add(1, Relaxed) + 1 > shared.cfg.max_statements {
+                return Err(SimError::StatementBudgetExceeded);
+            }
+            if store.overflow {
+                // Non-head overflow: discard (so peers cannot forward the
+                // poisoned attempt), stall until head, re-run absorbed.
+                restarts += 1;
+                shared.tallies.overflow_stalls.fetch_add(1, Relaxed);
+                shared.tallies.max_restarts.fetch_max(restarts, Relaxed);
+                discard_attempt(shared, p, seg);
+                loop {
+                    if shared.abort.load(SeqCst) {
+                        return Ok(());
+                    }
+                    if shared.head.load(SeqCst) == seg {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+                continue 'attempt;
+            }
+            if !more {
+                break;
+            }
+        }
+        // Executed to completion. Wait (in order) to become the head,
+        // then perform the final generation check and commit.
+        if !store.head_mode {
+            loop {
+                if shared.abort.load(SeqCst) {
+                    return Ok(());
+                }
+                if slot.squash.load(SeqCst) != squash_seen {
+                    restarts += 1;
+                    shared.tallies.rollbacks.fetch_add(1, Relaxed);
+                    shared.tallies.max_restarts.fetch_max(restarts, Relaxed);
+                    continue 'attempt;
+                }
+                if shared.head.load(SeqCst) == seg {
+                    if slot.squash.load(SeqCst) != squash_seen {
+                        restarts += 1;
+                        shared.tallies.rollbacks.fetch_add(1, Relaxed);
+                        shared.tallies.max_restarts.fetch_max(restarts, Relaxed);
+                        continue 'attempt;
+                    }
+                    break;
+                }
+                std::thread::yield_now();
+            }
+        }
+        commit(shared, p, seg);
+        return Ok(());
+    }
+}
+
+/// Discards the slot's current speculative state: cascades squashes to
+/// younger readers of its dirty values, retracts its mask bits and clears
+/// the buffer — all under the slot's own lock, so a peer probing entries
+/// either sees the full attempt or none of it.
+fn discard_attempt(shared: &Shared<'_>, p: usize, seg: usize) {
+    let own_bit = 1u32 << p;
+    let mut spec = shared.slots[p].spec.lock().expect("spec lock");
+    shared.tallies.spec_peak.fetch_max(spec.peak(), Relaxed);
+    // Cascade: any younger in-flight segment that performed an exposed
+    // read of an address this attempt *wrote* may have forwarded the now-
+    // discarded value — bump it so it re-executes against clean state.
+    // (Transitively, its own discard repeats this for *its* dirty values.)
+    let touched: Vec<Addr> = spec.touched_addrs().collect();
+    for &addr in &touched {
+        if !spec.has_written(addr) {
+            continue;
+        }
+        let readers = shared.read_mask[addr.0 as usize].load(SeqCst) & !own_bit;
+        let mut bits = readers;
+        while bits != 0 {
+            let q = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let q_seg = shared.slots[q].seg.load(SeqCst);
+            if q_seg != IDLE && q_seg > seg {
+                shared.slots[q].squash.fetch_add(1, SeqCst);
+            }
+        }
+    }
+    for &addr in &touched {
+        shared.read_mask[addr.0 as usize].fetch_and(!own_bit, SeqCst);
+        shared.write_mask[addr.0 as usize].fetch_and(!own_bit, SeqCst);
+    }
+    spec.clear();
+}
+
+/// Commits the head segment occupying slot `p`: drains dirty entries to
+/// memory, retracts mask bits, clears the buffer, marks the slot idle and
+/// advances the head — in that order, so a reader that misses the write
+/// bit finds the committed value in memory.
+fn commit(shared: &Shared<'_>, p: usize, seg: usize) {
+    let own_bit = 1u32 << p;
+    let mut spec = shared.slots[p].spec.lock().expect("spec lock");
+    let dirty = spec.dirty_entries();
+    for &(addr, value) in &dirty {
+        shared.memory.store(addr, value);
+    }
+    shared
+        .tallies
+        .committed_entries
+        .fetch_add(dirty.len() as u64, Relaxed);
+    shared.tallies.spec_peak.fetch_max(spec.peak(), Relaxed);
+    for addr in spec.touched_addrs() {
+        shared.read_mask[addr.0 as usize].fetch_and(!own_bit, SeqCst);
+        shared.write_mask[addr.0 as usize].fetch_and(!own_bit, SeqCst);
+    }
+    spec.clear();
+    drop(spec);
+    shared.slots[p].seg.store(IDLE, SeqCst);
+    shared.tallies.commits.fetch_add(1, Relaxed);
+    shared.head.store(seg + 1, SeqCst);
+}
+
+/// The per-attempt [`DataStore`] routing every reference by its label,
+/// the real-time mirror of the simulator's `AccessCtx`.
+struct ParCtx<'a, 'p> {
+    shared: &'a Shared<'p>,
+    p: usize,
+    seg: usize,
+    /// This segment is the head: reads need no tracking, overflow is
+    /// absorbed by reading/writing through, squash bumps are stale.
+    head_mode: bool,
+    private: &'a mut PrivateStore,
+    /// The attempt overflowed its buffer (non-head only). Subsequent
+    /// references are poisoned no-ops; the segment loop discards and
+    /// stalls after the current statement finishes.
+    overflow: bool,
+}
+
+impl ParCtx<'_, '_> {
+    #[inline]
+    fn label_of(&self, site: RefId) -> Label {
+        match self.shared.mode {
+            ExecMode::Hose => Label::Speculative,
+            ExecMode::Case => self
+                .shared
+                .labels
+                .get(site.index())
+                .copied()
+                .unwrap_or(Label::Speculative),
+        }
+    }
+
+    /// Forwards from the youngest older in-flight segment holding a
+    /// written entry for `addr`. Candidates come from the write mask;
+    /// each is verified under its own lock (entry present *and* the slot
+    /// still runs an older segment), so recycled slots and concurrent
+    /// discards are filtered out.
+    fn forward_from_ancestor(&self, addr: Addr) -> Option<f64> {
+        let candidates = self.shared.write_mask[addr.0 as usize].load(SeqCst) & !(1u32 << self.p);
+        if candidates == 0 {
+            return None;
+        }
+        let mut best: Option<(usize, f64)> = None;
+        let mut bits = candidates;
+        while bits != 0 {
+            let q = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let slot = &self.shared.slots[q];
+            let spec = slot.spec.lock().expect("spec lock");
+            let q_seg = slot.seg.load(SeqCst);
+            if q_seg == IDLE || q_seg >= self.seg {
+                continue;
+            }
+            if spec.has_written(addr) {
+                let value = spec.get(addr).expect("written entry").value;
+                if best.map_or(true, |(b, _)| q_seg > b) {
+                    best = Some((q_seg, value));
+                }
+            }
+        }
+        best.map(|(_, v)| v)
+    }
+
+    /// Writer-side violation check: scans the read mask for younger
+    /// in-flight segments that already performed an exposed read of
+    /// `addr` and bumps their squash generations. The mask is
+    /// authoritative — a reader marks its bit before consuming a value,
+    /// so a concurrent first-read is either ordered after this write (and
+    /// forwards/reads the new value) or its bit is visible here.
+    fn check_violations(&self, addr: Addr) {
+        let readers = self.shared.read_mask[addr.0 as usize].load(SeqCst) & !(1u32 << self.p);
+        if readers == 0 {
+            return;
+        }
+        let mut hit = false;
+        let mut bits = readers;
+        while bits != 0 {
+            let q = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let q_seg = self.shared.slots[q].seg.load(SeqCst);
+            if q_seg != IDLE && q_seg > self.seg {
+                self.shared.slots[q].squash.fetch_add(1, SeqCst);
+                hit = true;
+            }
+        }
+        if hit {
+            self.shared.tallies.violations.fetch_add(1, Relaxed);
+        }
+    }
+
+    fn speculative_read(&mut self, addr: Addr) -> f64 {
+        let t = &self.shared.tallies;
+        t.spec_reads.fetch_add(1, Relaxed);
+        // Own buffer first — a hit (prior write or tracked read) is not a
+        // new exposed read.
+        {
+            let spec = self.shared.slots[self.p].spec.lock().expect("spec lock");
+            if let Some(entry) = spec.get(addr) {
+                return entry.value;
+            }
+            if spec.would_overflow(addr) {
+                if self.head_mode {
+                    // The head absorbs overflow by reading through.
+                    t.overflow_writethrough.fetch_add(1, Relaxed);
+                    drop(spec);
+                    return self.shared.memory.load(addr);
+                }
+                drop(spec);
+                self.overflow = true;
+                return self.shared.memory.load(addr);
+            }
+        }
+        if self.overflow {
+            // Poisoned attempt: keep the statement running without
+            // tracking; the value is discarded with the attempt.
+            return self.shared.memory.load(addr);
+        }
+        if self.head_mode {
+            // No older segment exists: read memory (plus own buffer,
+            // checked above) and track the entry so re-reads hit locally.
+            let value = self.shared.memory.load(addr);
+            let mut spec = self.shared.slots[self.p].spec.lock().expect("spec lock");
+            spec.record_exposed_read(addr, value, 0);
+            return value;
+        }
+        // Dekker, reader side: publish the read intent *before* probing
+        // for writers, so a concurrent older write either forwards to us
+        // or sees our bit and squashes us.
+        self.shared.read_mask[addr.0 as usize].fetch_or(1u32 << self.p, SeqCst);
+        let value = match self.forward_from_ancestor(addr) {
+            Some(v) => {
+                t.forwards.fetch_add(1, Relaxed);
+                v
+            }
+            None => self.shared.memory.load(addr),
+        };
+        let mut spec = self.shared.slots[self.p].spec.lock().expect("spec lock");
+        spec.record_exposed_read(addr, value, 0);
+        value
+    }
+
+    fn speculative_write(&mut self, addr: Addr, value: f64) {
+        let t = &self.shared.tallies;
+        t.spec_writes.fetch_add(1, Relaxed);
+        if self.overflow {
+            return;
+        }
+        {
+            let spec = self.shared.slots[self.p].spec.lock().expect("spec lock");
+            if spec.would_overflow(addr) {
+                drop(spec);
+                if self.head_mode {
+                    // The head absorbs overflow by writing through:
+                    // memory first, then the violation scan (Dekker,
+                    // writer side), so a reader missing the mask bit
+                    // reads the new value.
+                    t.overflow_writethrough.fetch_add(1, Relaxed);
+                    self.shared.memory.store(addr, value);
+                    self.check_violations(addr);
+                } else {
+                    self.overflow = true;
+                }
+                return;
+            }
+        }
+        // Dekker, writer side: record the entry (so a reader that sees
+        // the bit finds the value), publish the write bit, then scan for
+        // younger readers that got ahead of us.
+        {
+            let mut spec = self.shared.slots[self.p].spec.lock().expect("spec lock");
+            spec.record_write(addr, value, 0);
+        }
+        self.shared.write_mask[addr.0 as usize].fetch_or(1u32 << self.p, SeqCst);
+        self.check_violations(addr);
+    }
+}
+
+impl DataStore for ParCtx<'_, '_> {
+    fn read(&mut self, site: RefId, addr: Addr) -> f64 {
+        match self.label_of(site) {
+            Label::Speculative => self.speculative_read(addr),
+            Label::Idempotent(IdemCategory::Private) => {
+                self.shared.tallies.private_reads.fetch_add(1, Relaxed);
+                self.private
+                    .get(addr)
+                    .unwrap_or_else(|| self.shared.memory.load(addr))
+            }
+            Label::Idempotent(_) => {
+                self.shared.tallies.nonspec_reads.fetch_add(1, Relaxed);
+                self.shared.memory.load(addr)
+            }
+        }
+    }
+
+    fn write(&mut self, site: RefId, addr: Addr, value: f64) {
+        match self.label_of(site) {
+            Label::Speculative => self.speculative_write(addr, value),
+            Label::Idempotent(IdemCategory::Private) => {
+                self.shared.tallies.private_writes.fetch_add(1, Relaxed);
+                self.private.insert(addr, value);
+            }
+            Label::Idempotent(_) => {
+                self.shared.tallies.nonspec_writes.fetch_add(1, Relaxed);
+                if self.overflow {
+                    return;
+                }
+                // Idempotent write-through: memory first, then the
+                // violation scan (same Dekker ordering as the head's
+                // overflow write-through). Re-execution after a squash
+                // repeats the store — safe by the idempotency labeling.
+                self.shared.memory.store(addr, value);
+                self.check_violations(addr);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::SpecRuntime;
+    use crate::run::{simulate_region, verify_against_sequential, ExecMode, SimError};
+    use crate::SimConfig;
+    use refidem_core::label::label_program_region_by_name;
+    use refidem_ir::build::{ac, add, av, num, ProcBuilder};
+    use refidem_ir::program::Program;
+
+    /// do k = 2, 33:  a(k) = a(k-1) + b(k)   — a cross-segment flow
+    /// dependence chain, the adversarial case for real concurrency.
+    fn recurrence_program() -> Program {
+        let mut b = ProcBuilder::new("main");
+        let a = b.array("a", &[40]);
+        let bb = b.array("b", &[40]);
+        let k = b.index("k");
+        b.live_out(&[a]);
+        let rhs = add(
+            b.load_elem(a, vec![av(k) - ac(1)]),
+            b.load_elem(bb, vec![av(k)]),
+        );
+        let s = b.assign_elem(a, vec![av(k)], rhs);
+        let region = b.do_loop_labeled("REC", k, ac(2), ac(33), vec![s]);
+        let mut p = Program::new("recurrence");
+        p.add_procedure(b.build(vec![region]));
+        p
+    }
+
+    /// An independent-per-iteration reduction with a large per-segment
+    /// footprint: overflows small speculative storage under HOSE, and its
+    /// accumulator is labeled private under CASE.
+    fn wide_program() -> Program {
+        let mut b = ProcBuilder::new("main");
+        let src = b.array("src", &[20 * 40]);
+        let dst = b.array("dst", &[40]);
+        let acc = b.scalar("acc");
+        let k = b.index("k");
+        let j = b.index("j");
+        b.live_out(&[dst]);
+        let init = b.assign_scalar(acc, num(0.0));
+        let src_sub = refidem_ir::affine::AffineExpr::scaled_var(k, 20) + av(j) - ac(20);
+        let rhs = add(b.load(acc), b.load_elem(src, vec![src_sub]));
+        let body_stmt = b.assign_scalar(acc, rhs);
+        let inner = b.do_loop(j, ac(1), ac(20), vec![body_stmt]);
+        let rhs2 = b.load(acc);
+        let fin = b.assign_elem(dst, vec![av(k)], rhs2);
+        let region = b.do_loop_labeled("WIDE", k, ac(1), ac(40), vec![init, inner, fin]);
+        let mut p = Program::new("wide");
+        p.add_procedure(b.build(vec![region]));
+        p
+    }
+
+    #[test]
+    fn threads_runtime_matches_sequential_at_several_thread_counts() {
+        for (p, name) in [(recurrence_program(), "REC"), (wide_program(), "WIDE")] {
+            let labeled = label_program_region_by_name(&p, name).unwrap();
+            for mode in [ExecMode::Hose, ExecMode::Case] {
+                for threads in [1usize, 2, 8] {
+                    let cfg = SimConfig::default().processors(threads).threads();
+                    let diffs = verify_against_sequential(&p, &labeled, mode, &cfg).unwrap();
+                    assert!(
+                        diffs.is_empty(),
+                        "{mode} on {threads} thread(s) must match sequential: {diffs:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tree_walk_backend_runs_on_threads_too() {
+        let p = recurrence_program();
+        let labeled = label_program_region_by_name(&p, "REC").unwrap();
+        let cfg = SimConfig::default().processors(4).oracle().threads();
+        let diffs = verify_against_sequential(&p, &labeled, ExecMode::Hose, &cfg).unwrap();
+        assert!(diffs.is_empty(), "oracle backend must match: {diffs:?}");
+    }
+
+    #[test]
+    fn one_thread_never_violates_and_reports_real_time_semantics() {
+        let p = recurrence_program();
+        let labeled = label_program_region_by_name(&p, "REC").unwrap();
+        let cfg = SimConfig::default().processors(1).threads();
+        let out = simulate_region(&p, &labeled, ExecMode::Hose, &cfg).unwrap();
+        let r = &out.report;
+        assert_eq!(r.violations, 0, "one thread cannot conflict with itself");
+        assert_eq!(r.rollbacks, 0);
+        assert_eq!(r.overflow_stalls, 0, "a lone segment is always the head");
+        assert_eq!(r.commits as usize, r.segments);
+        assert_eq!(
+            r.region_cycles, 0,
+            "the real-thread runtime reports no simulated cycles"
+        );
+        assert_eq!(r.mode, Some(ExecMode::Hose));
+    }
+
+    #[test]
+    fn report_invariants_hold_under_real_contention() {
+        let p = recurrence_program();
+        let labeled = label_program_region_by_name(&p, "REC").unwrap();
+        let cfg = SimConfig::default().processors(8).threads();
+        let out = simulate_region(&p, &labeled, ExecMode::Hose, &cfg).unwrap();
+        let r = &out.report;
+        assert_eq!(r.commits as usize, r.segments);
+        assert!(
+            u64::from(r.max_segment_restarts) <= r.rollbacks + r.overflow_stalls,
+            "every restart is paid for by a rollback or an overflow stall \
+             (max {} vs {} + {})",
+            r.max_segment_restarts,
+            r.rollbacks,
+            r.overflow_stalls
+        );
+        assert!(
+            r.spec_peak_occupancy <= cfg.spec_capacity,
+            "occupancy must respect the capacity bound"
+        );
+    }
+
+    #[test]
+    fn the_head_absorbs_overflow_by_writing_through() {
+        let p = wide_program();
+        let labeled = label_program_region_by_name(&p, "WIDE").unwrap();
+        // Each iteration touches ~22 distinct addresses; capacity 8 cannot
+        // hold a segment, so every segment finishes in head mode via
+        // write-throughs (stall counts depend on the live interleaving).
+        let cfg = SimConfig::default().processors(4).capacity(8).threads();
+        let out = simulate_region(&p, &labeled, ExecMode::Hose, &cfg).unwrap();
+        assert!(out.report.overflow_writethrough > 0);
+        let diffs = verify_against_sequential(&p, &labeled, ExecMode::Hose, &cfg).unwrap();
+        assert!(
+            diffs.is_empty(),
+            "overflow handling must stay exact: {diffs:?}"
+        );
+    }
+
+    #[test]
+    fn more_processors_than_mask_bits_is_an_error() {
+        let p = recurrence_program();
+        let labeled = label_program_region_by_name(&p, "REC").unwrap();
+        let cfg = SimConfig::default().processors(33).threads();
+        match simulate_region(&p, &labeled, ExecMode::Hose, &cfg) {
+            Err(SimError::Region(msg)) => {
+                assert!(msg.contains("33"), "message names the count: {msg}")
+            }
+            other => panic!("expected a region error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn runtime_defaults_to_the_simulator() {
+        assert_eq!(SimConfig::default().runtime, SpecRuntime::Simulated);
+        assert_eq!(SimConfig::default().threads().runtime, SpecRuntime::Threads);
+    }
+
+    #[test]
+    #[should_panic(expected = "segment thread")]
+    fn a_worker_panic_surfaces_with_segment_identity() {
+        let p = recurrence_program();
+        let labeled = label_program_region_by_name(&p, "REC").unwrap();
+        let mut cfg = SimConfig::default().processors(4).threads();
+        cfg.test_fault_segment = Some(5);
+        let _ = simulate_region(&p, &labeled, ExecMode::Hose, &cfg);
+    }
+}

@@ -64,6 +64,13 @@ pub struct SimReport {
     /// Lowered-bytecode compilations this run had to perform because the
     /// cache had no entry yet. See [`SimReport::lowering_cache_hits`].
     pub lowering_cache_misses: u64,
+    /// Cached compilations this run's lookups *evicted* under the cache's
+    /// LRU size bound. The default bound is generous enough that ordinary
+    /// sweeps never evict — a nonzero count flags a workload that cycles
+    /// through more distinct procedures than the cache is sized for. Like
+    /// the hit/miss counters, this describes the compilation pipeline, not
+    /// the simulated execution.
+    pub lowering_cache_evictions: u64,
 }
 
 impl SimReport {
@@ -113,6 +120,9 @@ pub struct ProgramReport {
     pub lowering_cache_hits: u64,
     /// Lowering-cache misses across the whole run.
     pub lowering_cache_misses: u64,
+    /// Lowering-cache LRU evictions performed by this run's lookups (see
+    /// [`SimReport::lowering_cache_evictions`]).
+    pub lowering_cache_evictions: u64,
 }
 
 impl ProgramReport {

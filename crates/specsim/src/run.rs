@@ -18,7 +18,7 @@
 //! denominator of the speedups the paper reports, and the source of the
 //! Amdahl-style *coverage* fraction of Section 6.
 
-use crate::config::SimConfig;
+use crate::config::{SimConfig, SpecRuntime};
 use crate::engine::{Engine, EngineScratch};
 use crate::report::{ProgramReport, SimReport, SpeedupComparison};
 use refidem_analysis::classify::VarClass;
@@ -26,7 +26,7 @@ use refidem_core::label::{LabeledProgram, LabeledRegion};
 use refidem_ir::exec::{CountingStore, DataStore, DynCounts, ExecError, PlainStore, SegmentExec};
 use refidem_ir::ids::RefId;
 use refidem_ir::lowered::{
-    lower, lower_with_ranges, ExecBackend, LowerKey, LowerUnit, LoweredSegmentExec,
+    lower, lower_with_ranges, CacheLookup, ExecBackend, LowerKey, LowerUnit, LoweredSegmentExec,
 };
 use refidem_ir::memory::{Addr, Layout, Memory};
 use refidem_ir::program::{Procedure, Program};
@@ -197,21 +197,25 @@ fn region_iteration_values(
 }
 
 /// Per-run tally of compilation-cache queries, copied into
-/// [`SimReport::lowering_cache_hits`] / `_misses` at the end of a
-/// simulation.
+/// [`SimReport::lowering_cache_hits`] / `_misses` / `_evictions` at the
+/// end of a simulation. Counting per [`CacheLookup`] outcome (rather than
+/// diffing the shared cache's lifetime counters) keeps the attribution
+/// exact even when concurrent sweep workers share one cache.
 #[derive(Clone, Copy, Debug, Default)]
 struct CacheTally {
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl CacheTally {
-    fn count(&mut self, hit: bool) {
-        if hit {
+    fn count(&mut self, outcome: &CacheLookup) {
+        if outcome.hit {
             self.hits += 1;
         } else {
             self.misses += 1;
         }
+        self.evictions += outcome.evicted;
     }
 }
 
@@ -233,9 +237,9 @@ fn run_stmts_plain(
     let mut store = PlainStore::new(memory);
     match cfg.backend {
         ExecBackend::Lowered => {
-            let (lowered, hit) = cfg.cache.get_or_lower(key, || lower(vars, layout, stmts));
-            tally.count(hit);
-            LoweredSegmentExec::new(&lowered, &[])
+            let outcome = cfg.cache.lookup(key, || lower(vars, layout, stmts));
+            tally.count(&outcome);
+            LoweredSegmentExec::new(&outcome.proc, &[])
                 .run(&mut store, SEQ_STEP_BUDGET)
                 .map_err(SimError::Exec)
         }
@@ -286,13 +290,13 @@ pub fn run_sequential(
         );
         let steps = match cfg.backend {
             ExecBackend::Lowered => {
-                let (lowered, hit) = cfg
+                let outcome = cfg
                     .cache
-                    .get_or_lower(LowerKey::new(proc, label, LowerUnit::RegionLoop), || {
+                    .lookup(LowerKey::new(proc, label, LowerUnit::RegionLoop), || {
                         lower(vars, &layout, region_stmt)
                     });
-                tally.count(hit);
-                let mut exec = LoweredSegmentExec::new(&lowered, &[]);
+                tally.count(&outcome);
+                let mut exec = LoweredSegmentExec::new(&outcome.proc, &[]);
                 exec.run(&mut store, cfg.max_statements as usize)
                     .map_err(SimError::Exec)?;
                 exec.steps()
@@ -368,9 +372,9 @@ fn run_serial_span(
     };
     let steps = match cfg.backend {
         ExecBackend::Lowered => {
-            let (lowered, hit) = cfg.cache.get_or_lower(key, || lower(vars, layout, stmts));
-            tally.count(hit);
-            let mut exec = LoweredSegmentExec::new(&lowered, &[]);
+            let outcome = cfg.cache.lookup(key, || lower(vars, layout, stmts));
+            tally.count(&outcome);
+            let mut exec = LoweredSegmentExec::new(&outcome.proc, &[]);
             exec.run(&mut store, SEQ_STEP_BUDGET)
                 .map_err(SimError::Exec)?;
             exec.steps()
@@ -447,7 +451,7 @@ fn simulate_schedule(
     let vars = &proc.vars;
     let mut memory = initial_memory_with_layout(layout);
     let mut scratch = if cfg.pool_scratch {
-        EngineScratch::take()
+        cfg.scratch.take()
     } else {
         EngineScratch::new()
     };
@@ -485,32 +489,47 @@ fn simulate_schedule(
                         (Some(&lo), Some(&hi)) => vec![(region.index, (lo, hi))],
                         _ => Vec::new(),
                     };
-                let (lowered, hit) = cfg.cache.get_or_lower(
+                let outcome = cfg.cache.lookup(
                     LowerKey::new(proc, label.as_str(), LowerUnit::RegionBody),
                     || lower_with_ranges(vars, layout, &region.body, &index_ranges),
                 );
-                region_tally.count(hit);
-                Some(lowered)
+                region_tally.count(&outcome);
+                Some(outcome.proc)
             }
             ExecBackend::TreeWalk => None,
         };
-        let mut region_report = Engine::new(
-            cfg,
-            mode,
-            &labeled.labeling,
-            vars,
-            layout,
-            region,
-            lowered.as_deref(),
-            iter_values,
-            &mut scratch,
-            &mut memory,
-        )
-        .run()?;
+        let mut region_report = match cfg.runtime {
+            SpecRuntime::Simulated => Engine::new(
+                cfg,
+                mode,
+                &labeled.labeling,
+                vars,
+                layout,
+                region,
+                lowered.as_deref(),
+                iter_values,
+                &mut scratch,
+                &mut memory,
+            )
+            .run()?,
+            SpecRuntime::Threads => crate::parallel::run_region(
+                cfg,
+                mode,
+                &labeled.labeling,
+                vars,
+                layout,
+                region,
+                lowered.as_deref(),
+                iter_values,
+                &mut memory,
+            )?,
+        };
         region_report.lowering_cache_hits = region_tally.hits;
         region_report.lowering_cache_misses = region_tally.misses;
+        region_report.lowering_cache_evictions = region_tally.evictions;
         report.lowering_cache_hits += region_tally.hits;
         report.lowering_cache_misses += region_tally.misses;
+        report.lowering_cache_evictions += region_tally.evictions;
         report.regions.push(region_report);
     }
     report.serial_cycles += run_serial_span(
@@ -524,11 +543,12 @@ fn simulate_schedule(
     )?;
     report.lowering_cache_hits += serial_tally.hits;
     report.lowering_cache_misses += serial_tally.misses;
+    report.lowering_cache_evictions += serial_tally.evictions;
     report.total_cycles = report.serial_cycles + report.parallel_cycles();
-    // Only a *successful* run returns its scratch to the thread-local
-    // pool: an errored engine may leave dependence-mask marks set.
+    // Only a *successful* run returns its scratch to the config's pool:
+    // an errored engine may leave dependence-mask marks set.
     if cfg.pool_scratch {
-        scratch.restore();
+        cfg.scratch.restore(scratch);
     }
     Ok((report, memory))
 }
@@ -587,6 +607,7 @@ pub fn simulate_region(
     // traffic (prologue + region body + epilogue); keep that contract.
     report.lowering_cache_hits = program_report.lowering_cache_hits;
     report.lowering_cache_misses = program_report.lowering_cache_misses;
+    report.lowering_cache_evictions = program_report.lowering_cache_evictions;
     Ok(SimOutcome { report, memory })
 }
 
@@ -635,12 +656,12 @@ pub fn run_program_sequential(
         let mut store = CountingStore::new(PlainStore::new(&mut memory));
         let steps = match cfg.backend {
             ExecBackend::Lowered => {
-                let (lowered, hit) = cfg.cache.get_or_lower(
+                let outcome = cfg.cache.lookup(
                     LowerKey::new(proc, label.as_str(), LowerUnit::RegionLoop),
                     || lower(vars, &layout, region_stmt),
                 );
-                tally.count(hit);
-                let mut exec = LoweredSegmentExec::new(&lowered, &[]);
+                tally.count(&outcome);
+                let mut exec = LoweredSegmentExec::new(&outcome.proc, &[]);
                 exec.run(&mut store, cfg.max_statements as usize)
                     .map_err(SimError::Exec)?;
                 exec.steps()
@@ -785,6 +806,7 @@ mod tests {
     use super::*;
     use refidem_core::label::label_program_region_by_name;
     use refidem_ir::build::{ac, add, av, mul, num, ProcBuilder};
+    use refidem_ir::lowered::LoweredCache;
     use refidem_ir::program::Program;
 
     /// do k = 2, 33:  a(k) = a(k-1) + b(k)   — a cross-segment flow
@@ -1126,6 +1148,7 @@ mod tests {
         SimReport {
             lowering_cache_hits: 0,
             lowering_cache_misses: 0,
+            lowering_cache_evictions: 0,
             ..report.clone()
         }
     }
@@ -1273,9 +1296,11 @@ mod tests {
                     let mut r = r.clone();
                     r.lowering_cache_hits = 0;
                     r.lowering_cache_misses = 0;
+                    r.lowering_cache_evictions = 0;
                     for region in &mut r.regions {
                         region.lowering_cache_hits = 0;
                         region.lowering_cache_misses = 0;
+                        region.lowering_cache_evictions = 0;
                     }
                     r
                 };
@@ -1283,6 +1308,63 @@ mod tests {
                 assert!(a.memory.diff(&b.memory, 8).is_empty());
             }
         }
+    }
+
+    #[test]
+    fn scratch_pool_survives_worker_thread_churn() {
+        // The original thread_local pool died with every SweepExec worker;
+        // the config's shared pool must not: a run on one short-lived
+        // thread parks its scratch where a *different* later thread's run
+        // finds it.
+        use crate::engine::ScratchPool;
+        let p = two_region_program();
+        let labeled = labeled_program(&p);
+        let pool = ScratchPool::fresh();
+        let cfg = SimConfig::default().scratch(pool.clone());
+        std::thread::scope(|s| {
+            s.spawn(|| simulate_program(&p, &labeled, ExecMode::Case, &cfg).unwrap())
+                .join()
+                .unwrap();
+        });
+        assert_eq!(pool.len(), 1, "worker's scratch outlives its thread");
+        std::thread::scope(|s| {
+            s.spawn(|| simulate_program(&p, &labeled, ExecMode::Hose, &cfg).unwrap())
+                .join()
+                .unwrap();
+        });
+        assert_eq!(pool.len(), 1, "second worker reused the parked scratch");
+        // An errored run drops its scratch instead of parking marks.
+        let empty = ScratchPool::fresh();
+        assert!(empty.is_empty());
+        assert_eq!(SimConfig::default().scratch, SimConfig::default().scratch);
+    }
+
+    #[test]
+    fn sweeps_under_the_default_cache_bound_never_evict() {
+        // Satellite guarantee: the default LRU bound is generous enough
+        // that an ordinary capacity-ladder sweep reports zero evictions.
+        let p = two_region_program();
+        let labeled = labeled_program(&p);
+        let cfg = SimConfig::default().cache(LoweredCache::fresh());
+        for mode in [ExecMode::Hose, ExecMode::Case] {
+            for capacity in [1usize, 2, 4, 16, 256] {
+                let out =
+                    simulate_program(&p, &labeled, mode, &cfg.clone().capacity(capacity)).unwrap();
+                assert_eq!(out.report.lowering_cache_evictions, 0);
+                assert!(out
+                    .report
+                    .regions
+                    .iter()
+                    .all(|r| r.lowering_cache_evictions == 0));
+            }
+        }
+        assert_eq!(cfg.cache.evictions(), 0);
+        // A deliberately tiny bound *does* evict — and the report's
+        // counter attributes those evictions to the run that paid them.
+        let tiny = SimConfig::default().cache(LoweredCache::with_capacity(1));
+        let out = simulate_program(&p, &labeled, ExecMode::Case, &tiny).unwrap();
+        assert!(out.report.lowering_cache_evictions > 0);
+        assert_eq!(tiny.cache.evictions(), out.report.lowering_cache_evictions);
     }
 
     #[test]

@@ -46,6 +46,7 @@ fn without_cache_counters(report: &SimReport) -> SimReport {
     let mut r = report.clone();
     r.lowering_cache_hits = 0;
     r.lowering_cache_misses = 0;
+    r.lowering_cache_evictions = 0;
     r
 }
 
