@@ -1,0 +1,86 @@
+//! The chaos table: the 13-benchmark suite under seeded fault schedules
+//! on both runtimes, checked byte-exact (or cleanly failed with the
+//! scheduled injected error) against the sequential oracle.
+//!
+//! Flags: `--schedules N` sets the fault-schedule count per benchmark
+//! (default 64), `--perturb` additionally injects scheduler yields at the
+//! mask-probe/commit/drain edges of the threaded runs, and `--jobs N`
+//! sets the sweep worker count as everywhere else. Exits nonzero if any
+//! run diverged from the oracle or failed with an error its schedule did
+//! not inject.
+
+use refidem_bench::{chaos_table, cli, tables};
+use std::process::exit;
+
+fn main() {
+    let mut schedules: u64 = 64;
+    let mut perturb = false;
+    let mut rest: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let value = if arg == "--schedules" {
+            args.next()
+        } else if let Some(v) = arg.strip_prefix("--schedules=") {
+            Some(v.to_string())
+        } else if arg == "--perturb" {
+            perturb = true;
+            continue;
+        } else {
+            rest.push(arg);
+            continue;
+        };
+        match value.and_then(|v| v.parse::<u64>().ok()) {
+            Some(n) if n > 0 => schedules = n,
+            _ => {
+                eprintln!("usage: chaos [--schedules N] [--perturb] [--jobs N]");
+                exit(2);
+            }
+        }
+    }
+    let exec = match cli::exec_from_args(rest) {
+        Ok(exec) => exec,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("usage: chaos [--schedules N] [--perturb] [--jobs N]");
+            exit(2);
+        }
+    };
+
+    // Injected worker panics are caught by the runtime and surfaced as
+    // typed errors, but the default panic hook still prints each one as it
+    // unwinds — dozens of spurious backtraces over a clean table. Silence
+    // exactly those; every other panic keeps the default report.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|m| m.contains("injected segment fault"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    println!("{}", cli::jobs_banner(&exec));
+    let rows = chaos_table(schedules, perturb, &exec);
+    print!(
+        "{}",
+        tables::render_chaos(
+            &format!(
+                "Chaos — {schedules} seeded fault schedule(s) per benchmark, HOSE+CASE on both \
+                 runtimes{}",
+                if perturb {
+                    ", scheduler perturbation on"
+                } else {
+                    ""
+                }
+            ),
+            &rows
+        )
+    );
+    let divergences: usize = rows.iter().map(|r| r.divergences).sum();
+    if divergences > 0 {
+        eprintln!("error: {divergences} divergent run(s) — the runtime broke its contract");
+        exit(1);
+    }
+}

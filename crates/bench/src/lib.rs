@@ -21,6 +21,11 @@
 //!   on a wall clock next to the cycle model's predicted speedups: per
 //!   benchmark, the sequential interpretation and the HOSE/CASE threaded
 //!   runs at one and at `P` segment threads.
+//! * **Chaos** ([`chaos`]) — the robustness table: every benchmark under
+//!   seeded fault schedules (forced violations, spurious squashes, forced
+//!   overflows, injected worker panics/errors) on both runtimes, with
+//!   degradation budgets tight enough to exercise the serial fallback;
+//!   every run must end byte-exact or in its scheduled structured error.
 //!
 //! Every figure and ablation is a declarative
 //! [`SweepPlan`](refidem_specsim::sweep::SweepPlan) executed on a
@@ -37,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod chaos;
 pub mod cli;
 pub mod configs;
 pub mod coverage;
@@ -50,6 +56,7 @@ pub use ablation::{
     capacity_sweep, capacity_sweep_with, label_category_ablation, label_category_ablation_with,
     processor_sweep, processor_sweep_with, AblationRow,
 };
+pub use chaos::{chaos_governor, chaos_table, ChaosRow, CHAOS_CAPACITY, CHAOS_PROCESSORS};
 pub use configs::{figure6_config, figure7_config, figure8_config, figure9_config};
 pub use coverage::{compute_coverage_row, coverage_ablation, coverage_ablation_with, CoverageRow};
 pub use fig5::{compute_figure5, compute_figure5_with, Figure5Row};

@@ -1,6 +1,7 @@
 //! Plain-text table rendering for the figure binaries.
 
 use crate::ablation::AblationRow;
+use crate::chaos::ChaosRow;
 use crate::coverage::CoverageRow;
 use crate::fig5::Figure5Row;
 use crate::figloops::LoopFigureRow;
@@ -199,6 +200,34 @@ pub fn render_measured(title: &str, rows: &[MeasuredRow]) -> String {
     out
 }
 
+/// Renders the chaos table: per benchmark, how the seeded fault schedules
+/// resolved — byte-exact completions (including transparently degraded
+/// regions), scheduled injected failures, and divergences (which a healthy
+/// runtime never produces).
+pub fn render_chaos(title: &str, rows: &[ChaosRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>6} {:>7} {:>9} {:>9} {:>11} {:>11}",
+        "benchmark", "runs", "exact", "injected", "degraded", "violations", "divergences"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>6} {:>7} {:>9} {:>9} {:>11} {:>11}",
+            r.benchmark,
+            r.runs,
+            r.exact,
+            r.injected_failures,
+            r.degraded_regions,
+            r.violations,
+            r.divergences
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,5 +312,20 @@ mod tests {
         assert!(meas.contains("meas HOSE"));
         // measured HOSE speedup = 2ms / 1ms
         assert!(meas.contains("2.00"));
+        let chaos = render_chaos(
+            "chaos",
+            &[ChaosRow {
+                benchmark: "X".into(),
+                runs: 16,
+                exact: 14,
+                injected_failures: 2,
+                degraded_regions: 3,
+                violations: 42,
+                divergences: 0,
+            }],
+        );
+        assert!(chaos.contains("divergences"));
+        assert!(chaos.contains("42"));
+        assert_eq!(chaos.lines().count(), 3);
     }
 }

@@ -1,6 +1,7 @@
 //! Simulator configuration.
 
 use crate::engine::ScratchPool;
+use crate::fault::{FaultPlan, Governor};
 use refidem_ir::lowered::{ExecBackend, LoweredCache};
 
 /// How speculative regions execute.
@@ -99,11 +100,18 @@ pub struct SimConfig {
     /// single-thread simulator (default) or the real-thread runtime (see
     /// [`SpecRuntime`]).
     pub runtime: SpecRuntime,
-    /// Test hook: when set, the segment with this index panics right
-    /// after being dispatched (both runtimes honor it). Exercises the
-    /// engines' panic plumbing — the real-thread runtime must surface a
-    /// worker panic on the calling thread with segment identity instead
-    /// of hanging its peers.
+    /// Deterministic fault-injection schedule (see [`FaultPlan`]). The
+    /// default plan is empty: nothing is injected and the hot paths pay
+    /// only one emptiness check.
+    pub faults: FaultPlan,
+    /// Degradation budgets and the serial-fallback switch (see
+    /// [`Governor`]). The defaults are generous enough that no legitimate
+    /// run trips them.
+    pub governor: Governor,
+    /// Deprecated shim for the pre-`FaultPlan` ad-hoc fault hook: when
+    /// set, the segment with this index panics right after being
+    /// dispatched, exactly as if [`FaultPlan::panic_at`] had named it.
+    /// Kept for one release; use `cfg.faults` instead.
     #[doc(hidden)]
     pub test_fault_segment: Option<usize>,
 }
@@ -131,6 +139,8 @@ impl Default for SimConfig {
             pool_scratch: true,
             scratch: ScratchPool::global(),
             runtime: SpecRuntime::Simulated,
+            faults: FaultPlan::default(),
+            governor: Governor::default(),
             test_fault_segment: None,
         }
     }
@@ -214,6 +224,28 @@ impl SimConfig {
     /// ([`SpecRuntime::Threads`]) — one OS thread per simulated processor.
     pub fn threads(self) -> Self {
         self.runtime(SpecRuntime::Threads)
+    }
+
+    /// Convenience: installs a fault-injection schedule and returns the
+    /// modified config.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Convenience: installs a degradation governor and returns the
+    /// modified config.
+    pub fn governor(mut self, governor: Governor) -> Self {
+        self.governor = governor;
+        self
+    }
+
+    /// Convenience: sets only the per-segment restart budget of the
+    /// governor (0 degrades on the very first restart) and returns the
+    /// modified config.
+    pub fn restart_budget(mut self, budget: u32) -> Self {
+        self.governor.max_segment_restarts = budget;
+        self
     }
 }
 

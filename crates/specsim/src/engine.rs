@@ -355,6 +355,9 @@ pub(crate) struct Engine<'p> {
     head: usize,
     next_dispatch: usize,
     last_commit_time: u64,
+    /// Statements executed since the last commit — the livelock watchdog's
+    /// counter (see [`Governor`](crate::fault::Governor)).
+    stmts_since_commit: u64,
     report: SimReport,
 }
 
@@ -407,6 +410,7 @@ impl<'p> Engine<'p> {
             head: 0,
             next_dispatch: 0,
             last_commit_time: 0,
+            stmts_since_commit: 0,
             report: SimReport {
                 mode: Some(mode),
                 ..Default::default()
@@ -423,7 +427,7 @@ impl<'p> Engine<'p> {
             if self.next_dispatch >= total {
                 break;
             }
-            self.dispatch(p, 0);
+            self.dispatch(p, 0)?;
         }
         while self.head < total {
             let head_seg = self.head;
@@ -465,7 +469,7 @@ impl<'p> Engine<'p> {
             }
             if let Some((p, true, finish)) = head_state {
                 if min_other >= finish {
-                    self.commit(p);
+                    self.commit(p)?;
                     continue;
                 }
             }
@@ -481,7 +485,7 @@ impl<'p> Engine<'p> {
         Ok(self.report)
     }
 
-    fn dispatch(&mut self, p: usize, start_time: u64) {
+    fn dispatch(&mut self, p: usize, start_time: u64) -> Result<(), SimError> {
         let seg = self.next_dispatch;
         self.next_dispatch += 1;
         let mut clock = start_time + self.cfg.dispatch_cost;
@@ -529,15 +533,68 @@ impl<'p> Engine<'p> {
                 &env,
             )),
         });
-        if self.cfg.test_fault_segment == Some(seg) {
-            panic!("injected segment fault");
+        // Injected dispatch failures. The simulator has no worker thread
+        // to unwind, so an injected "panic" is returned directly as the
+        // typed error the real-thread runtime would have reported after
+        // catching it — same identity, same rendering.
+        if self.cfg.test_fault_segment == Some(seg) || self.cfg.faults.worker_panic(seg) {
+            return Err(SimError::WorkerPanic {
+                thread: p,
+                segment: Some(seg),
+                segments: self.iter_values.len(),
+                message: "injected segment fault".to_string(),
+            });
         }
+        if self.cfg.faults.worker_error(seg) {
+            return Err(SimError::Injected { segment: seg });
+        }
+        Ok(())
     }
 
     fn step_slot(&mut self, p: usize) -> Result<(), SimError> {
         {
             let slot = self.slots[p].as_mut().expect("slot present");
             slot.clock += self.cfg.stmt_cost;
+        }
+        // Deterministic fault injection, non-head segments only: the head
+        // is non-speculative and cannot misspeculate (which also keeps the
+        // one-processor degenerate case injection-free, preserving its
+        // zero-violation invariant). Every injection restarts the segment
+        // and thereby bumps its attempt number, so each (segment, attempt)
+        // decision fires at most once.
+        if !self.cfg.faults.is_empty() {
+            let (seg, attempt, now) = {
+                let slot = self.slots[p].as_ref().expect("slot");
+                (slot.seg, slot.restarts, slot.clock)
+            };
+            if seg != self.head {
+                if self.cfg.faults.force_violation(seg, attempt) {
+                    // Mirror a real flow violation: flag it and squash
+                    // this segment plus every younger in-flight one.
+                    self.report.violations += 1;
+                    for slot in self.slots.iter_mut().flatten() {
+                        if slot.seg >= seg {
+                            slot.squash_requested = true;
+                            slot.squash_not_before = slot.squash_not_before.max(now);
+                        }
+                    }
+                    self.process_squashes(now)?;
+                    return Ok(());
+                }
+                if self.cfg.faults.spurious_bump(seg, attempt) {
+                    // A squash with no underlying violation — counted as a
+                    // rollback, like the generation bump it models.
+                    self.restart_slot(p, now + self.cfg.rollback_penalty, true)?;
+                    return Ok(());
+                }
+                if self.cfg.faults.force_overflow(seg, attempt) {
+                    self.report.overflow_stalls += 1;
+                    self.restart_slot(p, now, false)?;
+                    let slot = self.slots[p].as_mut().expect("slot");
+                    slot.stalled = true;
+                    return Ok(());
+                }
+            }
         }
         // Split borrows: the executor lives in `execs`, the store context
         // borrows the sibling fields, so no per-statement move of the
@@ -569,6 +626,12 @@ impl<'p> Engine<'p> {
         };
         let more = exec.step(&mut ctx).map_err(SimError::Exec)?;
         self.report.statements += 1;
+        self.stmts_since_commit += 1;
+        if self.stmts_since_commit > self.cfg.governor.livelock_statements {
+            return Err(SimError::Livelock {
+                statements: self.stmts_since_commit,
+            });
+        }
         let (now, occ) = {
             let slot = self.slots[p].as_mut().expect("slot");
             if !more {
@@ -582,7 +645,7 @@ impl<'p> Engine<'p> {
         // (squash requests are only ever set together with a violation, so
         // an unchanged count means there is nothing to process).
         if self.report.violations != violations_before {
-            self.process_squashes(now);
+            self.process_squashes(now)?;
         }
         // Handle an overflow detected during this statement.
         let poisoned = self.slots[p]
@@ -590,7 +653,7 @@ impl<'p> Engine<'p> {
             .map(|s| s.overflow_poisoned)
             .unwrap_or(false);
         if poisoned {
-            self.restart_slot(p, now, false);
+            self.restart_slot(p, now, false)?;
             let slot = self.slots[p].as_mut().expect("slot");
             slot.stalled = true;
         }
@@ -600,7 +663,7 @@ impl<'p> Engine<'p> {
     /// Rolls back every in-flight segment whose squash was requested. The
     /// roll-back takes effect no earlier than the producing write that
     /// triggered it.
-    fn process_squashes(&mut self, now: u64) {
+    fn process_squashes(&mut self, now: u64) -> Result<(), SimError> {
         for p in 0..self.slots.len() {
             let request = self.slots[p]
                 .as_ref()
@@ -608,14 +671,21 @@ impl<'p> Engine<'p> {
                 .map(|s| s.squash_not_before);
             if let Some(not_before) = request {
                 let restart = now.max(not_before) + self.cfg.rollback_penalty;
-                self.restart_slot(p, restart, true);
+                self.restart_slot(p, restart, true)?;
             }
         }
+        Ok(())
     }
 
     /// Resets a segment to its initial state. `count_rollback` separates
     /// violation roll-backs from overflow restarts in the statistics.
-    fn restart_slot(&mut self, p: usize, restart_time: u64, count_rollback: bool) {
+    /// Fails when the restart trips a governor budget.
+    fn restart_slot(
+        &mut self,
+        p: usize,
+        restart_time: u64,
+        count_rollback: bool,
+    ) -> Result<(), SimError> {
         let Engine {
             slots,
             scratch,
@@ -640,18 +710,30 @@ impl<'p> Engine<'p> {
             if *has_private_labels {
                 slot.clock += cfg.private_setup_cost;
             }
+            if slot.restarts > cfg.governor.max_segment_restarts {
+                return Err(SimError::RestartBudget {
+                    segment: slot.seg,
+                    restarts: slot.restarts,
+                });
+            }
         }
         if let Some(exec) = execs[p].as_mut() {
             exec.reset();
         }
         if count_rollback {
             report.rollbacks += 1;
+            if report.rollbacks > cfg.governor.max_region_rollbacks {
+                return Err(SimError::RollbackBudget {
+                    rollbacks: report.rollbacks,
+                });
+            }
         }
+        Ok(())
     }
 
     /// Commits the head segment occupying slot `p` and dispatches the next
     /// segment onto the freed processor.
-    fn commit(&mut self, p: usize) {
+    fn commit(&mut self, p: usize) -> Result<(), SimError> {
         let total = self.iter_values.len();
         let (commit_time, dirty): (u64, Vec<(Addr, f64)>) = {
             let slot = self.slots[p].as_ref().expect("slot");
@@ -674,9 +756,11 @@ impl<'p> Engine<'p> {
             self.scratch.spare[p] = Some((slot.spec, slot.private));
         }
         self.execs[p] = None;
+        self.stmts_since_commit = 0;
         if self.next_dispatch < total {
-            self.dispatch(p, commit_time);
+            self.dispatch(p, commit_time)?;
         }
+        Ok(())
     }
 }
 

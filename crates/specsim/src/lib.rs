@@ -36,6 +36,7 @@
 
 pub mod config;
 pub mod engine;
+pub mod fault;
 pub mod parallel;
 pub mod report;
 pub mod run;
@@ -44,6 +45,7 @@ pub mod sweep;
 
 pub use config::{SimConfig, SpecRuntime};
 pub use engine::{EngineScratch, ScratchPool};
+pub use fault::{DegradeReason, FaultPlan, Governor, PerturbEdge};
 pub use refidem_ir::lowered::{
     CacheCounters, CacheLookup, ExecBackend, LowerKey, LowerUnit, LoweredCache,
 };
@@ -59,6 +61,7 @@ pub use sweep::{ladder_plan, SweepExec, SweepPlan, SweepPoint};
 /// Commonly used items, for glob import.
 pub mod prelude {
     pub use crate::config::{SimConfig, SpecRuntime};
+    pub use crate::fault::{DegradeReason, FaultPlan, Governor, PerturbEdge};
     pub use crate::report::{ProgramReport, SimReport, SpeedupComparison};
     pub use crate::run::{
         compare_modes, compare_program_modes, run_program_sequential, run_sequential,

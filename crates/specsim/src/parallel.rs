@@ -59,8 +59,20 @@
 //!
 //! A worker panic (or statement-budget error) raises a shared abort flag
 //! that every spin loop checks, so peers drain instead of hanging; the
-//! coordinator then re-panics on the calling thread with the segment
-//! identity attached.
+//! coordinator captures the *first* failure and returns it as a typed
+//! [`SimError`] — a panic becomes [`SimError::WorkerPanic`] with the
+//! thread and segment identity attached instead of unwinding the calling
+//! thread. Memory is only written back on success, so a failed region run
+//! leaves the caller's memory untouched (which is what lets the run-level
+//! pipeline degrade to a sequential re-execution without a snapshot).
+//!
+//! Deterministic fault injection ([`FaultPlan`](crate::FaultPlan)) hooks
+//! into the protocol at the same points real misspeculation arises: an
+//! injected violation bumps the victim's own squash generation (so the
+//! ordinary generation-check path restarts it), an injected overflow sets
+//! the attempt's overflow flag (so the ordinary discard-and-stall path
+//! runs), and scheduler perturbation injects yields at the mask-probe,
+//! commit and drain edges to shake out rare interleavings.
 //!
 //! Final memory is byte-identical to the simulated engine and the
 //! sequential interpretation — the differential suite checks this at
@@ -71,6 +83,7 @@
 //! on every schedule.
 
 use crate::config::SimConfig;
+use crate::fault::PerturbEdge;
 use crate::report::SimReport;
 use crate::run::{ExecMode, SimError};
 use crate::storage::{PrivateStore, SpecBuffer};
@@ -81,7 +94,7 @@ use refidem_ir::lowered::{ExecBackend, LoweredProc, LoweredSegmentExec};
 use refidem_ir::memory::{Addr, Layout, Memory};
 use refidem_ir::stmt::LoopStmt;
 use refidem_ir::var::VarTable;
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering::{Relaxed, SeqCst};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize};
 use std::sync::Mutex;
@@ -353,14 +366,12 @@ pub(crate) fn run_region(
             seg,
             message,
         }) => {
-            if seg == IDLE {
-                resume_unwind(Box::new(format!(
-                    "segment thread {thread} panicked: {message}"
-                )));
-            }
-            resume_unwind(Box::new(format!(
-                "segment thread {thread} (segment {seg} of {total}) panicked: {message}"
-            )));
+            return Err(SimError::WorkerPanic {
+                thread,
+                segment: (seg != IDLE).then_some(seg),
+                segments: total,
+                message,
+            });
         }
         None => {}
     }
@@ -398,8 +409,14 @@ fn worker(shared: &Shared<'_>, ctx: &RegionCtx<'_>, p: usize) -> Result<(), SimE
             return Ok(());
         }
         shared.slots[p].seg.store(seg, SeqCst);
-        if shared.cfg.test_fault_segment == Some(seg) {
+        // Injected dispatch failures: a real panic on the worker thread
+        // (exercising the catch_unwind + abort drain path end to end), or
+        // a typed error that propagates through the failure channel.
+        if shared.cfg.test_fault_segment == Some(seg) || shared.cfg.faults.worker_panic(seg) {
             panic!("injected segment fault");
+        }
+        if shared.cfg.faults.worker_error(seg) {
+            return Err(SimError::Injected { segment: seg });
         }
         let env = [(ctx.region.index, ctx.iter_values[seg])];
         let mut exec = match shared.cfg.backend {
@@ -418,6 +435,50 @@ fn worker(shared: &Shared<'_>, ctx: &RegionCtx<'_>, p: usize) -> Result<(), SimE
     }
 }
 
+/// Tallies one squash-driven restart and enforces the governor's restart
+/// and rollback budgets (the degradation ladder's first two rungs).
+fn note_rollback(shared: &Shared<'_>, seg: usize, restarts: u32) -> Result<(), SimError> {
+    let rollbacks = shared.tallies.rollbacks.fetch_add(1, Relaxed) + 1;
+    shared.tallies.max_restarts.fetch_max(restarts, Relaxed);
+    let gov = &shared.cfg.governor;
+    if restarts > gov.max_segment_restarts {
+        return Err(SimError::RestartBudget {
+            segment: seg,
+            restarts,
+        });
+    }
+    if rollbacks > gov.max_region_rollbacks {
+        return Err(SimError::RollbackBudget { rollbacks });
+    }
+    Ok(())
+}
+
+/// Tallies one overflow-driven restart. Overflow restarts count toward the
+/// per-segment restart budget but not the region rollback budget (an
+/// overflow stall is capacity pressure, not misspeculation).
+fn note_overflow(shared: &Shared<'_>, seg: usize, restarts: u32) -> Result<(), SimError> {
+    shared.tallies.overflow_stalls.fetch_add(1, Relaxed);
+    shared.tallies.max_restarts.fetch_max(restarts, Relaxed);
+    if restarts > shared.cfg.governor.max_segment_restarts {
+        return Err(SimError::RestartBudget {
+            segment: seg,
+            restarts,
+        });
+    }
+    Ok(())
+}
+
+/// A scheduler-perturbation point inside a drain/stall spin loop: when the
+/// plan fires for this spin iteration, stretch the window with a short
+/// sleep (a bare extra yield is invisible inside a loop that already
+/// yields).
+#[inline]
+fn perturb_drain(shared: &Shared<'_>, seg: usize, spin: u64) {
+    if shared.cfg.faults.perturb(PerturbEdge::Drain, seg, spin) {
+        std::thread::sleep(std::time::Duration::from_micros(20));
+    }
+}
+
 /// Runs one claimed segment to commit (or to a cooperative abort exit),
 /// restarting attempts on squash bumps and overflow stalls.
 fn run_segment(
@@ -428,7 +489,11 @@ fn run_segment(
     private: &mut PrivateStore,
 ) -> Result<(), SimError> {
     let slot = &shared.slots[p];
+    let perturb = shared.cfg.faults.perturb_active();
     let mut restarts: u32 = 0;
+    // Livelock watchdog: statements this segment executed across all of
+    // its attempts without reaching a commit.
+    let mut seg_statements: u64 = 0;
     'attempt: loop {
         if shared.abort.load(SeqCst) {
             return Ok(());
@@ -449,7 +514,25 @@ fn run_segment(
             head_mode: shared.head.load(SeqCst) == seg,
             private,
             overflow: false,
+            events: 0,
         };
+        // Fault injection rides the ordinary recovery paths: a forced
+        // violation or spurious squash bumps the segment's own generation
+        // (the generation check below restarts it), a forced overflow
+        // poisons the attempt (the discard-and-stall path below runs).
+        // The head is never injected — it models the oldest segment,
+        // which real misspeculation cannot touch either.
+        if !shared.cfg.faults.is_empty() && !store.head_mode {
+            let faults = &shared.cfg.faults;
+            if faults.force_violation(seg, restarts) {
+                shared.tallies.violations.fetch_add(1, Relaxed);
+                slot.squash.fetch_add(1, SeqCst);
+            } else if faults.spurious_bump(seg, restarts) {
+                slot.squash.fetch_add(1, SeqCst);
+            } else if faults.force_overflow(seg, restarts) {
+                store.overflow = true;
+            }
+        }
         loop {
             if shared.abort.load(SeqCst) {
                 return Ok(());
@@ -457,8 +540,7 @@ fn run_segment(
             if !store.head_mode {
                 if slot.squash.load(SeqCst) != squash_seen {
                     restarts += 1;
-                    shared.tallies.rollbacks.fetch_add(1, Relaxed);
-                    shared.tallies.max_restarts.fetch_max(restarts, Relaxed);
+                    note_rollback(shared, seg, restarts)?;
                     continue 'attempt;
                 }
                 if shared.head.load(SeqCst) == seg {
@@ -467,8 +549,7 @@ fn run_segment(
                     // ignored — the head cannot be squashed.
                     if slot.squash.load(SeqCst) != squash_seen {
                         restarts += 1;
-                        shared.tallies.rollbacks.fetch_add(1, Relaxed);
-                        shared.tallies.max_restarts.fetch_max(restarts, Relaxed);
+                        note_rollback(shared, seg, restarts)?;
                         continue 'attempt;
                     }
                     store.head_mode = true;
@@ -478,19 +559,29 @@ fn run_segment(
             if shared.tallies.statements.fetch_add(1, Relaxed) + 1 > shared.cfg.max_statements {
                 return Err(SimError::StatementBudgetExceeded);
             }
+            seg_statements += 1;
+            if seg_statements > shared.cfg.governor.livelock_statements {
+                return Err(SimError::Livelock {
+                    statements: seg_statements,
+                });
+            }
             if store.overflow {
                 // Non-head overflow: discard (so peers cannot forward the
                 // poisoned attempt), stall until head, re-run absorbed.
                 restarts += 1;
-                shared.tallies.overflow_stalls.fetch_add(1, Relaxed);
-                shared.tallies.max_restarts.fetch_max(restarts, Relaxed);
+                note_overflow(shared, seg, restarts)?;
                 discard_attempt(shared, p, seg);
+                let mut spin: u64 = 0;
                 loop {
                     if shared.abort.load(SeqCst) {
                         return Ok(());
                     }
                     if shared.head.load(SeqCst) == seg {
                         break;
+                    }
+                    if perturb {
+                        spin += 1;
+                        perturb_drain(shared, seg, spin);
                     }
                     std::thread::yield_now();
                 }
@@ -503,27 +594,33 @@ fn run_segment(
         // Executed to completion. Wait (in order) to become the head,
         // then perform the final generation check and commit.
         if !store.head_mode {
+            let mut spin: u64 = 0;
             loop {
                 if shared.abort.load(SeqCst) {
                     return Ok(());
                 }
                 if slot.squash.load(SeqCst) != squash_seen {
                     restarts += 1;
-                    shared.tallies.rollbacks.fetch_add(1, Relaxed);
-                    shared.tallies.max_restarts.fetch_max(restarts, Relaxed);
+                    note_rollback(shared, seg, restarts)?;
                     continue 'attempt;
                 }
                 if shared.head.load(SeqCst) == seg {
                     if slot.squash.load(SeqCst) != squash_seen {
                         restarts += 1;
-                        shared.tallies.rollbacks.fetch_add(1, Relaxed);
-                        shared.tallies.max_restarts.fetch_max(restarts, Relaxed);
+                        note_rollback(shared, seg, restarts)?;
                         continue 'attempt;
                     }
                     break;
                 }
+                if perturb {
+                    spin += 1;
+                    perturb_drain(shared, seg, spin);
+                }
                 std::thread::yield_now();
             }
+        }
+        if perturb && shared.cfg.faults.perturb(PerturbEdge::Commit, seg, 0) {
+            std::thread::yield_now();
         }
         commit(shared, p, seg);
         return Ok(());
@@ -606,6 +703,9 @@ struct ParCtx<'a, 'p> {
     /// references are poisoned no-ops; the segment loop discards and
     /// stalls after the current statement finishes.
     overflow: bool,
+    /// Monotone count of this attempt's mask-probe events, the operand the
+    /// perturbation plan hashes to decide where to inject a yield.
+    events: u64,
 }
 
 impl ParCtx<'_, '_> {
@@ -717,8 +817,19 @@ impl ParCtx<'_, '_> {
         }
         // Dekker, reader side: publish the read intent *before* probing
         // for writers, so a concurrent older write either forwards to us
-        // or sees our bit and squashes us.
+        // or sees our bit and squashes us. The window between publishing
+        // the bit and probing is the protocol's most delicate edge — the
+        // perturbation plan widens it with an injected yield.
         self.shared.read_mask[addr.0 as usize].fetch_or(1u32 << self.p, SeqCst);
+        self.events += 1;
+        if self
+            .shared
+            .cfg
+            .faults
+            .perturb(PerturbEdge::MaskProbe, self.seg, self.events)
+        {
+            std::thread::yield_now();
+        }
         let value = match self.forward_from_ancestor(addr) {
             Some(v) => {
                 t.forwards.fetch_add(1, Relaxed);
@@ -810,6 +921,7 @@ impl DataStore for ParCtx<'_, '_> {
 #[cfg(test)]
 mod tests {
     use crate::config::SpecRuntime;
+    use crate::fault::FaultPlan;
     use crate::run::{simulate_region, verify_against_sequential, ExecMode, SimError};
     use crate::SimConfig;
     use refidem_core::label::label_program_region_by_name;
@@ -962,12 +1074,168 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "segment thread")]
-    fn a_worker_panic_surfaces_with_segment_identity() {
+    fn a_worker_panic_surfaces_as_a_typed_error_with_segment_identity() {
+        let p = recurrence_program();
+        let labeled = label_program_region_by_name(&p, "REC").unwrap();
+        let cfg = SimConfig::default()
+            .processors(4)
+            .threads()
+            .faults(FaultPlan::seeded(0).panic_at(5));
+        match simulate_region(&p, &labeled, ExecMode::Hose, &cfg) {
+            Err(SimError::WorkerPanic {
+                segment, message, ..
+            }) => {
+                assert_eq!(segment, Some(5), "the panicking segment is identified");
+                assert!(
+                    message.contains("injected segment fault"),
+                    "the payload survives: {message}"
+                );
+            }
+            other => panic!("expected a typed worker panic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn the_deprecated_fault_shim_yields_the_same_typed_error() {
         let p = recurrence_program();
         let labeled = label_program_region_by_name(&p, "REC").unwrap();
         let mut cfg = SimConfig::default().processors(4).threads();
         cfg.test_fault_segment = Some(5);
-        let _ = simulate_region(&p, &labeled, ExecMode::Hose, &cfg);
+        match simulate_region(&p, &labeled, ExecMode::Hose, &cfg) {
+            Err(SimError::WorkerPanic { segment, .. }) => assert_eq!(segment, Some(5)),
+            other => panic!("expected a typed worker panic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn an_injected_worker_error_propagates_without_unwinding() {
+        let p = recurrence_program();
+        let labeled = label_program_region_by_name(&p, "REC").unwrap();
+        let cfg = SimConfig::default()
+            .processors(4)
+            .threads()
+            .faults(FaultPlan::seeded(0).error_at(3));
+        match simulate_region(&p, &labeled, ExecMode::Hose, &cfg) {
+            Err(SimError::Injected { segment }) => assert_eq!(segment, 3),
+            other => panic!("expected the injected error, got {other:?}"),
+        }
+    }
+
+    /// Satellite (c): a worker panics while peers are parked in the
+    /// capacity-1 overflow-stall loop — the abort flag must drain every
+    /// stalled thread (no hang) and the *head's* panic identity must
+    /// survive the drain. Perturbation widens the race window.
+    #[test]
+    fn abort_drains_overflow_stalls_when_the_head_panics() {
+        let p = wide_program();
+        let labeled = label_program_region_by_name(&p, "WIDE").unwrap();
+        let cfg = SimConfig::default()
+            .processors(4)
+            .capacity(1)
+            .threads()
+            .faults(FaultPlan::seeded(11).panic_at(0).perturb_rate(1000));
+        match simulate_region(&p, &labeled, ExecMode::Hose, &cfg) {
+            Err(SimError::WorkerPanic { segment, .. }) => assert_eq!(segment, Some(0)),
+            other => panic!("expected the head's panic identity, got {other:?}"),
+        }
+    }
+
+    /// Satellite (c), non-head variant: the panicking segment is itself a
+    /// candidate for the overflow stall when it is claimed, so the drain
+    /// races the stall loop from the other side.
+    #[test]
+    fn abort_drains_overflow_stalls_when_a_non_head_worker_panics() {
+        let p = wide_program();
+        let labeled = label_program_region_by_name(&p, "WIDE").unwrap();
+        let cfg = SimConfig::default()
+            .processors(4)
+            .capacity(1)
+            .threads()
+            .faults(FaultPlan::seeded(12).panic_at(6).perturb_rate(1000));
+        match simulate_region(&p, &labeled, ExecMode::Hose, &cfg) {
+            Err(SimError::WorkerPanic { segment, .. }) => assert_eq!(segment, Some(6)),
+            other => panic!("expected the non-head panic identity, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_faults_leave_results_byte_exact_on_threads() {
+        for (p, name) in [(recurrence_program(), "REC"), (wide_program(), "WIDE")] {
+            let labeled = label_program_region_by_name(&p, name).unwrap();
+            for mode in [ExecMode::Hose, ExecMode::Case] {
+                for threads in [2usize, 8] {
+                    let cfg = SimConfig::default().processors(threads).threads().faults(
+                        FaultPlan::seeded(99)
+                            .violation_rate(200)
+                            .overflow_rate(120)
+                            .squash_rate(150),
+                    );
+                    let diffs = verify_against_sequential(&p, &labeled, mode, &cfg).unwrap();
+                    assert!(
+                        diffs.is_empty(),
+                        "{mode} on {threads} thread(s) under injection must match: {diffs:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// A region whose *first* segment does ~4000 statements while the
+    /// rest are nearly empty: the head stays busy long enough that the
+    /// non-head claimants demonstrably run concurrently with it (real
+    /// thread interleaving is otherwise free to serialize tiny regions).
+    fn slow_head_program() -> Program {
+        let mut b = ProcBuilder::new("main");
+        let a = b.array("a", &[10]);
+        let bb = b.array("b", &[2010]);
+        let acc = b.scalar("acc");
+        let k = b.index("k");
+        let j = b.index("j");
+        b.live_out(&[a]);
+        let init = b.assign_scalar(acc, num(0.0));
+        let rhs = add(b.load(acc), b.load_elem(bb, vec![av(j)]));
+        let body_stmt = b.assign_scalar(acc, rhs);
+        // Upper bound 4002 - 2000k: segment k=1 runs 2002 inner
+        // iterations, k=2 runs two, later segments none.
+        let upper = ac(4002) - refidem_ir::affine::AffineExpr::scaled_var(k, 2000);
+        let inner = b.do_loop(j, ac(1), upper, vec![body_stmt]);
+        let rhs2 = add(b.load_elem(a, vec![av(k) - ac(1)]), b.load(acc));
+        let fin = b.assign_elem(a, vec![av(k)], rhs2);
+        let region = b.do_loop_labeled("SLOW", k, ac(1), ac(6), vec![init, inner, fin]);
+        let mut p = Program::new("slow_head");
+        p.add_procedure(b.build(vec![region]));
+        p
+    }
+
+    #[test]
+    fn a_hundred_percent_misspeculation_degrades_to_serial_and_stays_exact() {
+        let p = slow_head_program();
+        let labeled = label_program_region_by_name(&p, "SLOW").unwrap();
+        let cfg = SimConfig::default()
+            .processors(2)
+            .threads()
+            .faults(FaultPlan::seeded(5).violation_rate(1000))
+            .restart_budget(0);
+        // Degradation needs a non-head claimant (injection never touches
+        // the head); the slow head makes that overlap near-certain per
+        // run, and a few runs make it certain enough for CI. Exactness
+        // must hold on every run, degraded or not.
+        let mut degraded = false;
+        for _ in 0..20 {
+            let out = simulate_region(&p, &labeled, ExecMode::Hose, &cfg).unwrap();
+            let diffs = verify_against_sequential(&p, &labeled, ExecMode::Hose, &cfg).unwrap();
+            assert!(
+                diffs.is_empty(),
+                "serial fallback must stay exact: {diffs:?}"
+            );
+            if out.report.degraded.is_some() {
+                degraded = true;
+                break;
+            }
+        }
+        assert!(
+            degraded,
+            "a fully misspeculating region must fall back to serial"
+        );
     }
 }

@@ -1,5 +1,6 @@
 //! Simulation reports and speedup comparisons.
 
+use crate::fault::DegradeReason;
 use crate::run::ExecMode;
 
 /// Statistics of one speculative region execution.
@@ -71,6 +72,14 @@ pub struct SimReport {
     /// the hit/miss counters, this describes the compilation pipeline, not
     /// the simulated execution.
     pub lowering_cache_evictions: u64,
+    /// `Some(reason)` when the region's speculative run exhausted a
+    /// degradation budget and the runtime transparently re-executed it
+    /// *sequentially* (the paper's serial fallback). A degraded report
+    /// carries the serial execution's `segments`, `commits` (one per
+    /// segment, preserving the commits-equals-segments invariant),
+    /// `region_cycles` and `statements`; the speculation statistics are
+    /// zero because no speculative state survived the fallback.
+    pub degraded: Option<DegradeReason>,
 }
 
 impl SimReport {
@@ -150,6 +159,17 @@ impl ProgramReport {
             .map(|r| r.max_segment_restarts)
             .max()
             .unwrap_or(0)
+    }
+
+    /// The regions that fell back to sequential re-execution, as
+    /// `(schedule index, reason)` pairs — empty on a fully speculative
+    /// run.
+    pub fn degraded_regions(&self) -> Vec<(usize, DegradeReason)> {
+        self.regions
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.degraded.map(|reason| (i, reason)))
+            .collect()
     }
 }
 

@@ -20,6 +20,7 @@
 
 use crate::config::{SimConfig, SpecRuntime};
 use crate::engine::{Engine, EngineScratch};
+use crate::fault::DegradeReason;
 use crate::report::{ProgramReport, SimReport, SpeedupComparison};
 use refidem_analysis::classify::VarClass;
 use refidem_core::label::{LabeledProgram, LabeledRegion};
@@ -67,6 +68,73 @@ pub enum SimError {
     Deadlock,
     /// The configured statement budget was exhausted.
     StatementBudgetExceeded,
+    /// One segment exhausted the governor's per-segment restart budget
+    /// (degradable: the run-level pipeline re-executes the region
+    /// sequentially when [`Governor::degrade_serially`](crate::Governor)
+    /// is set).
+    RestartBudget {
+        /// The segment that kept restarting.
+        segment: usize,
+        /// Its restart count when the budget tripped.
+        restarts: u32,
+    },
+    /// The region exhausted the governor's rollback budget (degradable).
+    RollbackBudget {
+        /// The region's rollback count when the budget tripped.
+        rollbacks: u64,
+    },
+    /// The governor's livelock watchdog fired: too many statements
+    /// executed without a segment committing (degradable).
+    Livelock {
+        /// Statements executed since the last commit.
+        statements: u64,
+    },
+    /// A [`FaultPlan`](crate::FaultPlan) injected a typed failure at this
+    /// segment (not degradable — an injected hard failure is meant to
+    /// surface).
+    Injected {
+        /// The segment whose dispatch was failed.
+        segment: usize,
+    },
+    /// A segment worker panicked; the runtime captured the panic instead
+    /// of letting it propagate, preserving the worker's identity (not
+    /// degradable).
+    WorkerPanic {
+        /// Index of the worker (processor) that panicked.
+        thread: usize,
+        /// The segment it was executing, if it had claimed one.
+        segment: Option<usize>,
+        /// Total segments of the region, for context.
+        segments: usize,
+        /// The panic payload, rendered.
+        message: String,
+    },
+}
+
+impl SimError {
+    /// If this error is a tripped degradation budget, the corresponding
+    /// [`DegradeReason`] — the run-level pipeline uses this to decide
+    /// whether a failed region run may fall back to sequential
+    /// re-execution. Injected failures, worker panics and the global
+    /// statement budget are *not* degradable: they indicate a fault that
+    /// is meant to surface, not bounded misspeculation.
+    pub fn degrade_reason(&self) -> Option<DegradeReason> {
+        match *self {
+            SimError::RestartBudget { segment, restarts } => {
+                Some(DegradeReason::RestartBudget { segment, restarts })
+            }
+            SimError::RollbackBudget { rollbacks } => {
+                Some(DegradeReason::RollbackBudget { rollbacks })
+            }
+            SimError::Livelock { statements } => Some(DegradeReason::Livelock { statements }),
+            _ => None,
+        }
+    }
+
+    /// Whether [`SimError::degrade_reason`] is `Some`.
+    pub fn is_degradable(&self) -> bool {
+        self.degrade_reason().is_some()
+    }
 }
 
 impl std::fmt::Display for SimError {
@@ -79,6 +147,31 @@ impl std::fmt::Display for SimError {
             SimError::Exec(e) => write!(f, "execution error: {e}"),
             SimError::Deadlock => write!(f, "no segment can make progress"),
             SimError::StatementBudgetExceeded => write!(f, "statement budget exceeded"),
+            SimError::RestartBudget { segment, restarts } => write!(
+                f,
+                "segment {segment} exhausted its restart budget ({restarts} restarts)"
+            ),
+            SimError::RollbackBudget { rollbacks } => write!(
+                f,
+                "region exhausted its rollback budget ({rollbacks} rollbacks)"
+            ),
+            SimError::Livelock { statements } => write!(
+                f,
+                "livelock watchdog: {statements} statements without a commit"
+            ),
+            SimError::Injected { segment } => write!(f, "injected fault at segment {segment}"),
+            SimError::WorkerPanic {
+                thread,
+                segment,
+                segments,
+                message,
+            } => match segment {
+                Some(seg) => write!(
+                    f,
+                    "segment thread {thread} (segment {seg} of {segments}) panicked: {message}"
+                ),
+                None => write!(f, "segment thread {thread} panicked: {message}"),
+            },
         }
     }
 }
@@ -389,6 +482,63 @@ fn run_serial_span(
     Ok(store.accesses * cfg.lat_nonspec + steps as u64 * cfg.stmt_cost)
 }
 
+/// The serial fallback: re-executes one region's whole loop sequentially
+/// after its speculative run exhausted a degradation budget, and reports
+/// it as a degraded region. This is the same execution (and the same
+/// [`LowerUnit::RegionLoop`] cache entry) the sequential baseline
+/// performs, so the resulting memory is byte-identical to the oracle by
+/// construction — the guarantee that keeps chaos campaigns exact even at
+/// 100% injected misspeculation.
+#[allow(clippy::too_many_arguments)]
+fn run_region_serially(
+    proc: &Procedure,
+    layout: &Layout,
+    stmt_index: usize,
+    label: &str,
+    mode: ExecMode,
+    cfg: &SimConfig,
+    segments: usize,
+    reason: DegradeReason,
+    memory: &mut Memory,
+    tally: &mut CacheTally,
+) -> Result<SimReport, SimError> {
+    let vars = &proc.vars;
+    let region_stmt = std::slice::from_ref(&proc.body[stmt_index]);
+    let mut store = TallyStore {
+        inner: PlainStore::new(memory),
+        accesses: 0,
+    };
+    let steps = match cfg.backend {
+        ExecBackend::Lowered => {
+            let outcome = cfg
+                .cache
+                .lookup(LowerKey::new(proc, label, LowerUnit::RegionLoop), || {
+                    lower(vars, layout, region_stmt)
+                });
+            tally.count(&outcome);
+            let mut exec = LoweredSegmentExec::new(&outcome.proc, &[]);
+            exec.run(&mut store, cfg.max_statements as usize)
+                .map_err(SimError::Exec)?;
+            exec.steps()
+        }
+        ExecBackend::TreeWalk => {
+            let mut exec = SegmentExec::new(vars, layout, region_stmt, &[]);
+            exec.run(&mut store, cfg.max_statements as usize)
+                .map_err(SimError::Exec)?;
+            exec.steps()
+        }
+    };
+    Ok(SimReport {
+        mode: Some(mode),
+        segments,
+        commits: segments as u64,
+        region_cycles: store.accesses * cfg.lat_nonspec + steps as u64 * cfg.stmt_cost,
+        statements: steps as u64,
+        degraded: Some(reason),
+        ..Default::default()
+    })
+}
+
 /// The cache key of the serial span preceding region `i` of a schedule
 /// (or trailing the last region / covering a region-free body).
 /// `span_start` is the span's starting index in the procedure body.
@@ -498,7 +648,16 @@ fn simulate_schedule(
             }
             ExecBackend::TreeWalk => None,
         };
-        let mut region_report = match cfg.runtime {
+        let segments = iter_values.len();
+        // Arm the serial fallback: under the in-place simulator a failed
+        // run has already committed earlier segments and written through
+        // overflows, so degradation needs a pre-region snapshot to rewind
+        // to. The real-thread runtime only writes memory back on success,
+        // so its failures leave memory untouched and need no snapshot.
+        let degrade_armed = cfg.governor.degrade_serially;
+        let snapshot =
+            (degrade_armed && cfg.runtime == SpecRuntime::Simulated).then(|| memory.clone());
+        let run_result = match cfg.runtime {
             SpecRuntime::Simulated => Engine::new(
                 cfg,
                 mode,
@@ -511,7 +670,7 @@ fn simulate_schedule(
                 &mut scratch,
                 &mut memory,
             )
-            .run()?,
+            .run(),
             SpecRuntime::Threads => crate::parallel::run_region(
                 cfg,
                 mode,
@@ -522,7 +681,34 @@ fn simulate_schedule(
                 lowered.as_deref(),
                 iter_values,
                 &mut memory,
-            )?,
+            ),
+        };
+        let mut region_report = match run_result {
+            Ok(r) => r,
+            Err(err) => match err.degrade_reason() {
+                Some(reason) if degrade_armed => {
+                    if let Some(snap) = snapshot {
+                        memory = snap;
+                    }
+                    // The aborted engine may have left dependence-mask
+                    // marks set; a degraded schedule continues on fresh
+                    // scratch rather than parking the dirty one.
+                    scratch = EngineScratch::new();
+                    run_region_serially(
+                        proc,
+                        layout,
+                        *stmt_index,
+                        label.as_str(),
+                        mode,
+                        cfg,
+                        segments,
+                        reason,
+                        &mut memory,
+                        &mut region_tally,
+                    )?
+                }
+                _ => return Err(err),
+            },
         };
         region_report.lowering_cache_hits = region_tally.hits;
         region_report.lowering_cache_misses = region_tally.misses;

@@ -30,6 +30,9 @@
 //! A panicking point job does not hang the pool: the panic is caught in
 //! the worker, the remaining workers drain, and the panic is re-raised on
 //! the calling thread with the point's label and index in the message.
+//! When several points panic while the pool drains, the *plan-order-first*
+//! one keeps its identity and the re-raised message counts the suppressed
+//! rest — concurrent failures never silently overwrite each other.
 //!
 //! # Threading contract
 //!
@@ -229,6 +232,7 @@ impl<P> SweepPlan<P> {
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let failed: Mutex<Option<(usize, String)>> = Mutex::new(None);
+        let suppressed = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
@@ -246,13 +250,19 @@ impl<P> SweepPlan<P> {
                             // Keep the plan-order-first panic. Claims are
                             // monotone, so every point below the minimal
                             // panicking index has executed — the winner is
-                            // deterministic at any worker count.
-                            let first = match f.as_ref() {
-                                Some((fi, _)) => i < *fi,
-                                None => true,
-                            };
-                            if first {
-                                *f = Some((i, panic_message(&*cause)));
+                            // deterministic at any worker count. Losers
+                            // (later panics racing the drain, or a winner
+                            // a still-earlier panic displaces) are counted
+                            // rather than dropped.
+                            match f.as_mut() {
+                                Some(prev) if i < prev.0 => {
+                                    *prev = (i, panic_message(&*cause));
+                                    suppressed.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Some(_) => {
+                                    suppressed.fetch_add(1, Ordering::Relaxed);
+                                }
+                                None => *f = Some((i, panic_message(&*cause))),
                             }
                             return;
                         }
@@ -262,8 +272,9 @@ impl<P> SweepPlan<P> {
         });
         if let Some((i, message)) = failed.into_inner().expect("sweep failure lock") {
             panic!(
-                "sweep point `{}` (index {i} of {n}) panicked: {message}",
-                self.points[i].label
+                "sweep point `{}` (index {i} of {n}) panicked: {message}{}",
+                self.points[i].label,
+                suppressed_suffix(suppressed.load(Ordering::Relaxed))
             );
         }
         slots
@@ -319,6 +330,7 @@ impl<P> SweepPlan<P> {
         let slots: Vec<Mutex<Option<Result<R, E>>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let stop = std::sync::atomic::AtomicBool::new(false);
         let panicked: Mutex<Option<(usize, String)>> = Mutex::new(None);
+        let suppressed = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
@@ -339,12 +351,15 @@ impl<P> SweepPlan<P> {
                         Err(cause) => {
                             stop.store(true, Ordering::Relaxed);
                             let mut p = panicked.lock().expect("sweep failure lock");
-                            let first = match p.as_ref() {
-                                Some((pi, _)) => i < *pi,
-                                None => true,
-                            };
-                            if first {
-                                *p = Some((i, panic_message(&*cause)));
+                            match p.as_mut() {
+                                Some(prev) if i < prev.0 => {
+                                    *prev = (i, panic_message(&*cause));
+                                    suppressed.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Some(_) => {
+                                    suppressed.fetch_add(1, Ordering::Relaxed);
+                                }
+                                None => *p = Some((i, panic_message(&*cause))),
                             }
                             return;
                         }
@@ -362,8 +377,9 @@ impl<P> SweepPlan<P> {
             if let Some((pi, message)) = &panicked {
                 if *pi == i {
                     panic!(
-                        "sweep point `{}` (index {i} of {n}) panicked: {message}",
-                        self.points[i].label
+                        "sweep point `{}` (index {i} of {n}) panicked: {message}{}",
+                        self.points[i].label,
+                        suppressed_suffix(suppressed.load(Ordering::Relaxed))
                     );
                 }
             }
@@ -388,6 +404,18 @@ impl<P, L: Into<String>> FromIterator<(L, P)> for SweepPlan<P> {
                 })
                 .collect(),
         }
+    }
+}
+
+/// The suffix appended to a re-raised sweep panic when further points
+/// panicked while the pool drained: empty for the common single-failure
+/// case (so existing message-prefix expectations keep holding), a count
+/// otherwise — concurrent failures are reported, never silently dropped.
+fn suppressed_suffix(extra: usize) -> String {
+    if extra == 0 {
+        String::new()
+    } else {
+        format!(" ({extra} additional sweep point panic(s) suppressed while the pool drained)")
     }
 }
 
@@ -528,6 +556,52 @@ mod tests {
         assert!(
             message.contains("early failure") && message.contains("index 3"),
             "unexpected panic message: {message}"
+        );
+    }
+
+    #[test]
+    fn concurrent_panics_keep_the_first_identity_and_count_the_rest() {
+        // Both points are guaranteed to be mid-execution when either
+        // panics (the barrier releases them together), so the second
+        // panic always races the drain — the regression this guards:
+        // it used to be silently dropped, now it is counted.
+        let barrier = std::sync::Barrier::new(2);
+        let plan: SweepPlan<usize> = (0..2).map(|i| (format!("boom {i}"), i)).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            plan.run(&SweepExec::new().jobs(2), |&i| {
+                barrier.wait();
+                panic!("deliberate {i}");
+            })
+        }));
+        let message = panic_message(&*result.expect_err("must propagate"));
+        assert!(
+            message.contains("sweep point `boom 0` (index 0 of 2) panicked: deliberate 0"),
+            "the plan-order-first panic keeps its identity: {message}"
+        );
+        assert!(
+            message.contains("1 additional sweep point panic(s) suppressed"),
+            "the drained panic is counted, not dropped: {message}"
+        );
+    }
+
+    #[test]
+    fn run_fallible_counts_concurrent_panics_too() {
+        let barrier = std::sync::Barrier::new(2);
+        let plan: SweepPlan<usize> = (0..2).map(|i| (format!("boom {i}"), i)).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let _: Result<Vec<usize>, ()> = plan.run_fallible(&SweepExec::new().jobs(2), |&i| {
+                barrier.wait();
+                panic!("deliberate {i}");
+            });
+        }));
+        let message = panic_message(&*result.expect_err("must propagate"));
+        assert!(
+            message.contains("index 0 of 2") && message.contains("deliberate 0"),
+            "plan-order-first identity: {message}"
+        );
+        assert!(
+            message.contains("1 additional sweep point panic(s) suppressed"),
+            "suppressed count surfaces: {message}"
         );
     }
 

@@ -1,0 +1,153 @@
+//! The chaos campaign: seeded fault schedules over the generated corpus.
+//!
+//! Every differential check in this crate proves byte-exactness on the
+//! *happy* path. The chaos campaign proves the robustness contract: under
+//! deterministic but adversarial fault schedules — forced dependence
+//! violations, spurious squashes, forced buffer overflows, injected worker
+//! panics and errors, scheduler perturbation — every run must still end in
+//! one of exactly two states:
+//!
+//! 1. **byte-exact** final memory versus the sequential oracle (possibly
+//!    after one or more regions transparently degraded to sequential
+//!    re-execution when a [`Governor`] budget ran out), or
+//! 2. a **clean structured error** the fault plan *scheduled* (an injected
+//!    worker panic surfacing as
+//!    [`SimError::WorkerPanic`](refidem_specsim::SimError), or an injected
+//!    worker error surfacing as
+//!    [`SimError::Injected`](refidem_specsim::SimError)).
+//!
+//! Anything else — a divergence, a hang, an unscheduled error, a lost
+//! panic identity — is a failure of the runtime, and the campaign reports
+//! it through the ordinary [`SuiteReport`] machinery.
+//!
+//! Schedules derive from [`FaultPlan::chaotic`]: program seed `k` pairs
+//! with fault-schedule seed `k`, so a 1024-seed campaign exercises 1024
+//! distinct schedules, each reproducible in isolation from its seed alone.
+
+use crate::diff::DiffConfig;
+use crate::{SuiteReport, SweepExec, SweepPlan};
+use refidem_specsim::{FaultPlan, Governor};
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// Environment variable that switches scheduler perturbation on for the
+/// chaos campaign (`"1"` enables it). Off by default because injected
+/// yields and sleeps stretch wall-clock time; the nightly TSan job turns
+/// it on to shake out rare interleavings under the race detector.
+pub const CHAOS_PERTURB_ENV: &str = "REFIDEM_CHAOS_PERTURB";
+
+/// True when [`CHAOS_PERTURB_ENV`] requests scheduler perturbation.
+pub fn perturb_enabled() -> bool {
+    std::env::var(CHAOS_PERTURB_ENV).as_deref() == Ok("1")
+}
+
+/// The fault schedule for one chaos run: the seed-derived chaotic mix
+/// (violations, overflows, spurious squashes, and on some seeds a worker
+/// panic or error), plus scheduler perturbation when
+/// [`perturb_enabled`] says so.
+pub fn chaos_plan(schedule_seed: u64) -> FaultPlan {
+    let plan = FaultPlan::chaotic(schedule_seed);
+    if perturb_enabled() {
+        plan.perturb_rate(200)
+    } else {
+        plan
+    }
+}
+
+/// The governor the campaign runs under: budgets small enough that hot
+/// schedules actually trip them (exercising the serial fallback on real
+/// corpus programs), large enough that mildly faulted runs still complete
+/// speculatively.
+pub fn chaos_governor() -> Governor {
+    Governor::default()
+        .restart_budget(24)
+        .rollback_budget(512)
+        .livelock_budget(2_000_000)
+}
+
+/// Derives the per-seed chaos configuration from a base differential
+/// config: same processors/capacities/modes/backend/runtime, with the
+/// seed's fault schedule and the campaign governor installed.
+pub fn chaos_config(base: &DiffConfig, schedule_seed: u64) -> DiffConfig {
+    DiffConfig {
+        faults: chaos_plan(schedule_seed),
+        governor: chaos_governor(),
+        ..base.clone()
+    }
+}
+
+/// Runs the chaos campaign: for every seed, generate the corpus program,
+/// install the seed's fault schedule, and run the full differential check
+/// (capacity ladder × modes, byte-exact or clean injected error). The
+/// merge mirrors [`run_suite_with`](crate::run_suite_with) — ordered and
+/// deterministic at any worker count.
+pub fn run_chaos_suite(seeds: Range<u64>, base: &DiffConfig, exec: &SweepExec) -> SuiteReport {
+    let plan: SweepPlan<u64> = seeds
+        .map(|seed| (format!("chaos seed {seed}"), seed))
+        .collect();
+    let outcomes = plan.run(exec, |&seed| {
+        let g = crate::generate(seed);
+        let listing = refidem_ir::pretty::program_to_string(&g.program);
+        let cfg = chaos_config(base, seed);
+        (seed, listing, crate::check_generated(&g, &cfg))
+    });
+    let mut listings: BTreeSet<String> = BTreeSet::new();
+    let mut stats = crate::DiffStats::default();
+    let mut failures = Vec::new();
+    let mut programs = 0usize;
+    for (seed, listing, outcome) in outcomes {
+        programs += 1;
+        listings.insert(listing);
+        match outcome {
+            Ok(s) => stats.merge(&s),
+            Err(f) => failures.push((seed, f)),
+        }
+    }
+    SuiteReport {
+        programs,
+        distinct: listings.len(),
+        stats,
+        failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_plans_are_reproducible_and_seed_sensitive() {
+        assert_eq!(chaos_plan(7), chaos_plan(7));
+        let distinct: BTreeSet<String> = (0..32).map(|s| format!("{:?}", chaos_plan(s))).collect();
+        assert!(distinct.len() > 16, "schedules vary across seeds");
+    }
+
+    #[test]
+    fn chaos_config_keeps_the_base_shape() {
+        let base = DiffConfig {
+            processors: 2,
+            capacities: vec![1, 4],
+            ..Default::default()
+        };
+        let cfg = chaos_config(&base, 3);
+        assert_eq!(cfg.processors, 2);
+        assert_eq!(cfg.capacities, vec![1, 4]);
+        assert!(!cfg.faults.is_empty(), "a chaotic plan injects something");
+        assert_eq!(cfg.governor, chaos_governor());
+    }
+
+    #[test]
+    fn a_small_chaos_slice_is_clean() {
+        let base = DiffConfig {
+            capacities: vec![1, 4],
+            ..Default::default()
+        };
+        let report = run_chaos_suite(0..16, &base, &SweepExec::sequential());
+        assert_eq!(report.programs, 16);
+        assert!(
+            report.failures.is_empty(),
+            "first failure: {:?}",
+            report.failures.first()
+        );
+    }
+}

@@ -63,7 +63,9 @@ use refidem_ir::memory::{Addr, Layout, Memory};
 use refidem_ir::program::Program;
 use refidem_ir::sites::AccessKind;
 use refidem_specsim::sweep::{ladder_plan, SweepExec};
-use refidem_specsim::{ExecMode, ProgramReport, SimConfig, SpecRuntime};
+use refidem_specsim::{
+    ExecMode, FaultPlan, Governor, ProgramReport, SimConfig, SimError, SpecRuntime,
+};
 
 /// The speculative-storage capacities every program is exercised at —
 /// capacity 1 forces overflow serialization on almost every program, 256
@@ -122,6 +124,17 @@ pub struct DiffConfig {
     /// runs on the simulator, so a `Threads` check differentially tests
     /// real concurrency against the sequential semantics.
     pub runtime: SpecRuntime,
+    /// Deterministic fault-injection schedule threaded into every
+    /// speculative simulation (never into the sequential ground truth).
+    /// A non-empty plan relaxes the clean-run invariants — injected
+    /// misspeculation legitimately produces rollbacks without real
+    /// violations — while byte-exactness still binds on every run that
+    /// completes.
+    pub faults: FaultPlan,
+    /// Degradation budgets for the speculative simulations. Runs that
+    /// exhaust a budget re-execute the region serially and count into
+    /// [`DiffStats::degraded_regions`].
+    pub governor: Governor,
 }
 
 impl Default for DiffConfig {
@@ -133,6 +146,8 @@ impl Default for DiffConfig {
             tamper: None,
             backend: ExecBackend::Lowered,
             runtime: SpecRuntime::Simulated,
+            faults: FaultPlan::default(),
+            governor: Governor::default(),
         }
     }
 }
@@ -241,6 +256,14 @@ pub struct DiffStats {
     pub max_segment_restarts: u32,
     /// Labels changed by tampering (0 when not tampering).
     pub tampered_labels: usize,
+    /// Regions that exhausted a degradation budget and transparently fell
+    /// back to sequential re-execution (still byte-exact), summed over
+    /// runs.
+    pub degraded_regions: usize,
+    /// Ladder points that ended in an *injected* terminal failure (a
+    /// scheduled worker panic or worker error) instead of a report — the
+    /// structured-error path working as intended, not a defect.
+    pub injected_failures: usize,
 }
 
 impl DiffStats {
@@ -255,6 +278,8 @@ impl DiffStats {
         self.max_peak_occupancy = self.max_peak_occupancy.max(other.max_peak_occupancy);
         self.max_segment_restarts = self.max_segment_restarts.max(other.max_segment_restarts);
         self.tampered_labels += other.tampered_labels;
+        self.degraded_regions += other.degraded_regions;
+        self.injected_failures += other.injected_failures;
     }
 }
 
@@ -315,6 +340,8 @@ pub fn check_program_with(
         .processors(cfg.processors)
         .backend(cfg.backend)
         .runtime(cfg.runtime)
+        .faults(cfg.faults.clone())
+        .governor(cfg.governor)
         .cache(refidem_ir::lowered::LoweredCache::fresh());
     let seq_cfg = base_cfg.clone().oracle();
     let seq = refidem_specsim::run_program_sequential(program, &labeled, &seq_cfg)
@@ -357,8 +384,15 @@ pub fn check_program_with(
             *mode,
         )
     })?;
-    for r in reports {
+    for outcome in reports {
         stats.runs += 1;
+        let r = match outcome {
+            PointOutcome::Report(r) => r,
+            PointOutcome::InjectedFailure => {
+                stats.injected_failures += 1;
+                continue;
+            }
+        };
         stats.regions += r.regions.len();
         for region in &r.regions {
             stats.segments += region.segments;
@@ -368,9 +402,20 @@ pub fn check_program_with(
             stats.max_peak_occupancy = stats.max_peak_occupancy.max(region.spec_peak_occupancy);
             stats.max_segment_restarts =
                 stats.max_segment_restarts.max(region.max_segment_restarts);
+            if region.degraded.is_some() {
+                stats.degraded_regions += 1;
+            }
         }
     }
     Ok(stats)
+}
+
+/// What one ladder point produced: a report to check and count, or a
+/// terminal failure the fault plan *scheduled* (which the check accepts as
+/// the structured-error path doing its job).
+enum PointOutcome {
+    Report(ProgramReport),
+    InjectedFailure,
 }
 
 /// One ladder point: simulate the whole program under `(sim_cfg, mode)`,
@@ -385,15 +430,28 @@ fn check_point(
     cfg: &DiffConfig,
     sim_cfg: &SimConfig,
     mode: ExecMode,
-) -> Result<ProgramReport, DiffFailure> {
+) -> Result<PointOutcome, DiffFailure> {
     let capacity = sim_cfg.spec_capacity;
-    let out = refidem_specsim::simulate_program(program, labeled, mode, sim_cfg).map_err(|e| {
-        DiffFailure::Sim {
-            mode,
-            capacity,
-            error: e.to_string(),
+    let out = match refidem_specsim::simulate_program(program, labeled, mode, sim_cfg) {
+        Ok(out) => out,
+        // A terminal failure the fault plan scheduled is the expected
+        // outcome of that schedule, not a defect — but only the exact
+        // error kind the plan can produce is accepted; anything else
+        // still fails the check.
+        Err(SimError::WorkerPanic { .. }) if !cfg.faults.panic_segments.is_empty() => {
+            return Ok(PointOutcome::InjectedFailure);
         }
-    })?;
+        Err(SimError::Injected { .. }) if !cfg.faults.error_segments.is_empty() => {
+            return Ok(PointOutcome::InjectedFailure);
+        }
+        Err(e) => {
+            return Err(DiffFailure::Sim {
+                mode,
+                capacity,
+                error: e.to_string(),
+            });
+        }
+    };
     let diffs = byte_exact_diff(seq_memory, &out.memory, ignored);
     if !diffs.is_empty() {
         let count = diffs.len();
@@ -455,11 +513,21 @@ fn check_point(
             ),
         )?;
         if cfg.processors == 1 {
+            // Injections never touch the head segment, and on one
+            // processor every segment runs as the head — so this binds
+            // even under a fault plan.
             invariant(r.violations == 0, "violation on one processor")?;
         }
+        // A degraded region re-executed sequentially: its report carries
+        // serial cycles and zero speculation statistics, so the
+        // runtime-specific rules below (including the Threads zero-cycle
+        // rule) do not apply. Injected misspeculation likewise produces
+        // rollbacks without real violations, so the clean-run rules only
+        // bind on an empty fault plan.
+        let faulty = !cfg.faults.is_empty();
         match cfg.runtime {
             SpecRuntime::Simulated => {
-                if r.violations == 0 {
+                if !faulty && r.degraded.is_none() && r.violations == 0 {
                     invariant(
                         r.rollbacks == 0,
                         &format!("{} rollbacks without a violation", r.rollbacks),
@@ -473,19 +541,22 @@ fn check_point(
                 }
             }
             SpecRuntime::Threads => {
-                // Real time reports no simulated cycles.
-                invariant(
-                    r.region_cycles == 0,
-                    &format!(
-                        "{} simulated cycles from the real-thread runtime",
-                        r.region_cycles
-                    ),
-                )?;
+                // Real time reports no simulated cycles (except for the
+                // serial fallback, which is cycle-accounted).
+                if r.degraded.is_none() {
+                    invariant(
+                        r.region_cycles == 0,
+                        &format!(
+                            "{} simulated cycles from the real-thread runtime",
+                            r.region_cycles
+                        ),
+                    )?;
+                }
                 // Under real concurrency an overflow discard can cascade
                 // roll-backs to younger readers without a violation ever
                 // being flagged, so the clean-run rule only binds when
                 // neither violations nor overflows occurred.
-                if r.violations == 0 && r.overflow_stalls == 0 {
+                if !faulty && r.degraded.is_none() && r.violations == 0 && r.overflow_stalls == 0 {
                     invariant(
                         r.rollbacks == 0,
                         &format!("{} rollbacks on a clean run", r.rollbacks),
@@ -498,7 +569,7 @@ fn check_point(
             }
         }
     }
-    Ok(out.report)
+    Ok(PointOutcome::Report(out.report))
 }
 
 /// Differential check of a generated program.

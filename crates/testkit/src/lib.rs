@@ -23,7 +23,12 @@
 //!   optional label *tampering* to fault-inject unsound labelings;
 //! * [`shrink`](mod@shrink) — a greedy delta-debugging shrinker over the generator's
 //!   declarative program spec, emitting a minimized reproducer as
-//!   `ProcBuilder` code.
+//!   `ProcBuilder` code;
+//! * [`chaos`] — the fault-injection campaign: seeded
+//!   [`FaultPlan`](refidem_specsim::FaultPlan) schedules over the corpus
+//!   under tight degradation budgets, where every run must end byte-exact
+//!   (possibly via recorded serial degradation) or in the structured error
+//!   its schedule injected.
 //!
 //! ## Quick use
 //!
@@ -38,11 +43,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod diff;
 pub mod gen;
 pub mod rng;
 pub mod shrink;
 
+pub use chaos::{
+    chaos_config, chaos_governor, chaos_plan, perturb_enabled, run_chaos_suite, CHAOS_PERTURB_ENV,
+};
 pub use diff::{
     check_generated, check_generated_with, check_program, check_program_with, check_spec,
     check_spec_with, DiffConfig, DiffFailure, DiffStats, Tamper, CAPACITY_LADDER,

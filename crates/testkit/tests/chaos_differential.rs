@@ -1,0 +1,152 @@
+//! The chaos campaign: the 1024-program corpus under 1024 seeded fault
+//! schedules — forced violations, spurious squashes, forced overflows,
+//! injected worker panics/errors, tight degradation budgets — on both
+//! runtimes. Every run must end byte-exact against the sequential oracle
+//! (possibly via the recorded serial fallback) or in the clean structured
+//! error its schedule injected; anything else fails the suite.
+//!
+//! Scheduler perturbation is off by default (it stretches wall-clock
+//! time); set `REFIDEM_CHAOS_PERTURB=1` to inject yields at the
+//! mask-probe/commit/drain edges — the nightly TSan job runs this suite
+//! that way.
+
+use refidem_benchmarks::all_benchmarks;
+use refidem_specsim::{FaultPlan, Governor, SpecRuntime};
+use refidem_testkit::{check_program, run_chaos_suite, run_suite, DiffConfig, SweepExec};
+
+/// The whole corpus — and, since program seed `k` pairs with fault
+/// schedule `k`, the number of distinct fault schedules exercised.
+const SUITE_SEEDS: u64 = 1024;
+
+/// Same trimmed ladder as the real-thread differential suite: overflow
+/// serialization (1), mixed (4), no overflow (256).
+const CAPACITIES: [usize; 3] = [1, 4, 256];
+
+fn chaos_base(runtime: SpecRuntime, processors: usize) -> DiffConfig {
+    DiffConfig {
+        processors,
+        runtime,
+        capacities: CAPACITIES.to_vec(),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn chaos_campaign_on_the_simulated_runtime_is_clean() {
+    let base = chaos_base(SpecRuntime::Simulated, 4);
+    let report = run_chaos_suite(0..SUITE_SEEDS, &base, &SweepExec::new());
+    assert_eq!(report.programs as u64, SUITE_SEEDS);
+    assert!(
+        report.failures.is_empty(),
+        "{} chaos failures; first: seed {}: {}",
+        report.failures.len(),
+        report.failures[0].0,
+        report.failures[0].1
+    );
+    // The campaign must actually exercise the machinery it claims to:
+    // injected misspeculation, scheduled terminal failures, and budget
+    // exhaustion with serial fallback all have to occur somewhere in
+    // 1024 schedules.
+    assert!(
+        report.stats.violations > 0,
+        "some schedule must force violations"
+    );
+    assert!(
+        report.stats.injected_failures > 0,
+        "some schedule must end in its injected panic/error"
+    );
+    assert!(
+        report.stats.degraded_regions > 0,
+        "some schedule must exhaust a budget and degrade to serial"
+    );
+}
+
+#[test]
+fn chaos_campaign_on_real_threads_at_every_thread_count() {
+    for threads in [1usize, 2, 8] {
+        let base = chaos_base(SpecRuntime::Threads, threads);
+        let report = run_chaos_suite(0..SUITE_SEEDS, &base, &SweepExec::new());
+        assert_eq!(report.programs as u64, SUITE_SEEDS);
+        assert!(
+            report.failures.is_empty(),
+            "{threads} thread(s): {} chaos failures; first: seed {}: {}",
+            report.failures.len(),
+            report.failures[0].0,
+            report.failures[0].1
+        );
+    }
+}
+
+#[test]
+fn full_misspeculation_with_a_tiny_budget_degrades_and_stays_exact() {
+    // 100% injected misspeculation: every non-head attempt is squashed
+    // until the restart budget (2) trips and the region re-executes
+    // sequentially. Byte-exactness must survive on both runtimes.
+    for runtime in [SpecRuntime::Simulated, SpecRuntime::Threads] {
+        let base = DiffConfig {
+            processors: 4,
+            runtime,
+            capacities: vec![4, 256],
+            faults: FaultPlan::seeded(7).violation_rate(1000),
+            governor: Governor::default().restart_budget(2),
+            ..Default::default()
+        };
+        let report = run_suite(0..32, &base);
+        assert!(
+            report.failures.is_empty(),
+            "{runtime:?}: first failure: seed {}: {}",
+            report.failures[0].0,
+            report.failures[0].1
+        );
+        if runtime == SpecRuntime::Simulated {
+            // The simulated engine is deterministic, so the degradations
+            // are guaranteed; under real threads a region can finish
+            // before a peer ever claims a non-head segment.
+            assert!(
+                report.stats.degraded_regions > 0,
+                "full misspeculation must trip the restart budget somewhere"
+            );
+        }
+    }
+}
+
+#[test]
+fn restart_budget_zero_keeps_every_benchmark_byte_exact() {
+    // The acceptance bar: with a restart budget of zero, every benchmark
+    // still completes — regions that roll back even once fall back to the
+    // recorded serial path — and the output bits never change.
+    let benchmarks = all_benchmarks();
+    assert_eq!(benchmarks.len(), 13, "the full SPEC/Perfect suite");
+    let cfg = DiffConfig {
+        capacities: vec![4],
+        governor: Governor::default().restart_budget(0),
+        ..Default::default()
+    };
+    let mut degraded = 0usize;
+    for bench in &benchmarks {
+        let stats = check_program(&bench.program, &cfg)
+            .unwrap_or_else(|f| panic!("{} under restart budget 0: {f}", bench.name));
+        degraded += stats.degraded_regions;
+    }
+    assert!(
+        degraded > 0,
+        "at capacity 4 some benchmark region must roll back and degrade"
+    );
+}
+
+#[test]
+fn chaos_campaign_shards_identically_at_one_and_four_workers() {
+    // The simulated engine plus pure-function fault decisions are fully
+    // deterministic, so the whole chaos report — stats, degradations,
+    // injected failures — must be identical at any outer worker count.
+    let base = chaos_base(SpecRuntime::Simulated, 4);
+    let one = run_chaos_suite(0..64, &base, &SweepExec::new().jobs(1));
+    let four = run_chaos_suite(0..64, &base, &SweepExec::new().jobs(4));
+    assert_eq!(one.programs, four.programs);
+    assert_eq!(one.distinct, four.distinct);
+    assert_eq!(
+        one.stats, four.stats,
+        "sharding must not change the outcome"
+    );
+    assert!(one.failures.is_empty() && four.failures.is_empty());
+}

@@ -12,7 +12,7 @@
 
 use refidem_core::label::label_program;
 use refidem_ir::ids::ProcId;
-use refidem_specsim::{simulate_program, ExecMode, SimConfig, SpecRuntime};
+use refidem_specsim::{simulate_program, ExecMode, FaultPlan, SimConfig, SimError, SpecRuntime};
 use refidem_testkit::{
     generate, reproducer, run_suite, run_suite_with, shrink, DiffConfig, SweepExec,
 };
@@ -103,8 +103,9 @@ fn suite_shards_cleanly_at_one_and_four_outer_workers() {
 #[test]
 fn a_segment_thread_panic_mid_region_surfaces_with_identity() {
     // A 32-segment recurrence region; inject a panic into segment 2 and
-    // assert the runtime re-raises it on the calling thread with the
-    // thread/segment identity attached instead of hanging its peers.
+    // assert the runtime returns it as a *typed* error whose rendering
+    // still carries the thread/segment identity (the pre-FaultPlan shim
+    // used to re-raise the panic; the identity contract is unchanged).
     use refidem_ir::build::{ac, add, av, ProcBuilder};
     let mut b = ProcBuilder::new("main");
     let a = b.array("a", &[40]);
@@ -121,27 +122,29 @@ fn a_segment_thread_panic_mid_region_surfaces_with_identity() {
     program.add_procedure(b.build(vec![region]));
 
     let labeled = label_program(&program, ProcId::from_index(0)).expect("labels");
-    let mut cfg = SimConfig::default().processors(4).threads();
-    cfg.test_fault_segment = Some(2);
-    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        simulate_program(&program, &labeled, ExecMode::Hose, &cfg)
-    }));
-    let payload = outcome.expect_err("the injected fault must propagate");
-    let message = payload
-        .downcast_ref::<String>()
-        .cloned()
-        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
-        .expect("panic payload is a string");
+    let cfg = SimConfig::default()
+        .processors(4)
+        .threads()
+        .faults(FaultPlan::seeded(0).panic_at(2));
+    let err = simulate_program(&program, &labeled, ExecMode::Hose, &cfg)
+        .expect_err("the injected fault must propagate");
+    match &err {
+        SimError::WorkerPanic { segment, .. } => {
+            assert_eq!(*segment, Some(2), "the panicking segment is identified")
+        }
+        other => panic!("expected a typed worker panic, got {other:?}"),
+    }
+    let message = err.to_string();
     assert!(
         message.contains("segment thread"),
-        "panic names the worker: {message}"
+        "rendering names the worker: {message}"
     );
     assert!(
         message.contains("segment 2"),
-        "panic names the segment: {message}"
+        "rendering names the segment: {message}"
     );
     assert!(
         message.contains("injected segment fault"),
-        "panic carries the original message: {message}"
+        "rendering carries the original message: {message}"
     );
 }
