@@ -197,6 +197,7 @@ mod tests {
             lower: ac(1),
             upper: av(n),
             step: 1,
+            while_cond: None,
             body: vec![],
         };
         assert_eq!(constant_loop_bounds(&vars, &loop_stmt), Some((1, 16)));

@@ -22,7 +22,7 @@ use crate::summary::BodySummary;
 use refidem_ir::ids::VarId;
 use refidem_ir::program::{Procedure, Program, RegionSpec};
 use refidem_ir::sites::RefTable;
-use refidem_ir::stmt::LoopStmt;
+use refidem_ir::stmt::{IfStmt, LoopStmt, Stmt};
 use std::collections::BTreeSet;
 
 /// Errors produced while analyzing a region.
@@ -105,15 +105,44 @@ impl RegionAnalysis {
         let Some((_before, region, _after)) = proc.split_at_loop(&spec.loop_label) else {
             return Err(AnalysisError::RegionNotTopLevel(spec.loop_label));
         };
-        let table = RefTable::collect(&region.body);
-        let summary = BodySummary::analyze(&proc.vars, Some(region), &region.body);
+        // A WHILE region is analyzed through its *segment view*: the
+        // runtime evaluates the continuation condition before every
+        // iteration's body, so one segment behaves exactly like
+        // `IF (cond) THEN body ENDIF`. Desugaring to that form makes the
+        // existing machinery sound for free — the condition's reads become
+        // unconditional exposed reads, and every body write becomes a
+        // conditional may-write (never RFW, never must-written), which is
+        // precisely what lets the engines discard segments past the
+        // dynamic termination point: non-private idempotent write-through
+        // classes are unreachable for while-body writes.
+        let segment_view: Vec<Stmt>;
+        let view: &[Stmt] = match &region.while_cond {
+            Some(cond) => {
+                segment_view = vec![Stmt::If(IfStmt {
+                    id: region.id,
+                    cond: cond.clone(),
+                    then_branch: region.body.clone(),
+                    else_branch: vec![],
+                })];
+                &segment_view
+            }
+            None => &region.body,
+        };
+        let table = RefTable::collect(view);
+        let summary = BodySummary::analyze(&proc.vars, Some(region), view);
         let deps = DependenceSet::analyze(&proc.vars, region, &table);
         let live_out =
             region_live_out(proc, &spec.loop_label).expect("region is top-level (checked above)");
         let classes = VarClassification::classify(&summary, &live_out);
-        let fully_independent = !deps.has_cross_segment_deps();
-        let compiler_parallelizable = !deps
-            .has_cross_segment_deps_excluding(&table, &|v| classes.class(v) == VarClass::Private);
+        // A while region's trip count is data-dependent, so the region is
+        // never "provably parallel": later segments may be discarded by an
+        // earlier segment's termination, which only speculation handles.
+        let is_while = region.while_cond.is_some();
+        let fully_independent = !is_while && !deps.has_cross_segment_deps();
+        let compiler_parallelizable = !is_while
+            && !deps.has_cross_segment_deps_excluding(&table, &|v| {
+                classes.class(v) == VarClass::Private
+            });
         Ok(RegionAnalysis {
             spec,
             loop_stmt: region.clone(),

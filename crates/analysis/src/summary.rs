@@ -389,7 +389,14 @@ impl Walker<'_> {
                 self.flow = merge_flows(then_flow, else_flow);
             }
             Stmt::Loop(l) => {
-                let always = always_executes(self.vars, &self.bounds, &l.lower, &l.upper, l.step);
+                // A data-dependent continuation condition makes the loop a
+                // WHILE: the condition's reads happen before every iteration
+                // (they are ordinary reads of the loop statement), and the
+                // body may execute zero times even when the counted range is
+                // non-empty — so a WHILE body never contributes must facts
+                // and never counts as guaranteed execution.
+                let always = l.while_cond.is_none()
+                    && always_executes(self.vars, &self.bounds, &l.lower, &l.upper, l.step);
                 self.bounds
                     .enter_loop(self.vars, l.index, &l.lower, &l.upper, l.step);
                 self.loop_stack.push(LoopLevel {
@@ -399,8 +406,24 @@ impl Walker<'_> {
                     step: l.step,
                     always_executes: always,
                 });
-                for st in &l.body {
-                    self.walk_stmt(st);
+                if let Some(cond) = &l.while_cond {
+                    let mut reads = Vec::new();
+                    cond.for_each_read(&mut |r| reads.push(r));
+                    for r in reads {
+                        self.record_read_flat(r);
+                    }
+                    let pre = self.flow.clone();
+                    self.conditional_depth += 1;
+                    for st in &l.body {
+                        self.walk_stmt(st);
+                    }
+                    self.conditional_depth -= 1;
+                    let body_flow = std::mem::replace(&mut self.flow, pre.clone());
+                    self.flow = merge_flows(body_flow, pre);
+                } else {
+                    for st in &l.body {
+                        self.walk_stmt(st);
+                    }
                 }
                 self.loop_stack.pop();
             }

@@ -1,4 +1,4 @@
-//! The chaos table: the 13-benchmark suite under seeded fault schedules
+//! The chaos table: the 14-benchmark suite under seeded fault schedules
 //! on both runtimes, checked byte-exact (or cleanly failed with the
 //! scheduled injected error) against the sequential oracle.
 //!

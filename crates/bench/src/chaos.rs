@@ -1,7 +1,7 @@
 //! Chaos table: the benchmark suite under seeded fault schedules.
 //!
 //! The figures all report the happy path. This table reports the
-//! robustness contract on the same 13 benchmarks: every program runs
+//! robustness contract on the same 14 benchmarks: every program runs
 //! under `--schedules` distinct [`FaultPlan::chaotic`] schedules — forced
 //! dependence violations, spurious squashes, forced buffer overflows, and
 //! on some seeds an injected worker panic or error — on both runtimes and
@@ -218,7 +218,7 @@ mod tests {
     #[test]
     fn a_small_chaos_table_is_divergence_free() {
         let rows = chaos_table(4, false, &SweepExec::sequential());
-        assert_eq!(rows.len(), 13, "one row per benchmark");
+        assert_eq!(rows.len(), 14, "one row per benchmark");
         for row in &rows {
             assert_eq!(row.runs, 16, "4 schedules x 2 modes x 2 runtimes");
             assert_eq!(

@@ -65,7 +65,7 @@ pub fn compute_coverage_row(bench: &Benchmark, cfg: &SimConfig) -> CoverageRow {
     }
 }
 
-/// The full coverage ablation (all 13 benchmarks) on the default executor.
+/// The full coverage ablation (all 14 benchmarks) on the default executor.
 pub fn coverage_ablation(cfg: &SimConfig) -> Vec<CoverageRow> {
     coverage_ablation_with(cfg, &SweepExec::new())
 }
@@ -85,7 +85,7 @@ mod tests {
     fn coverage_rows_respect_amdahl() {
         let cfg = SimConfig::default().capacity(ABLATION_CAPACITY);
         let rows = coverage_ablation(&cfg);
-        assert_eq!(rows.len(), 13);
+        assert_eq!(rows.len(), 14);
         for row in &rows {
             assert!(row.regions >= 2, "{}", row.benchmark);
             assert!(

@@ -93,7 +93,7 @@ pub fn compute_benchmark_row(bench: &Benchmark) -> Figure5Row {
     }
 }
 
-/// Computes the full Figure 5 table (all 13 benchmarks) on the default
+/// Computes the full Figure 5 table (all 14 benchmarks) on the default
 /// executor (`REFIDEM_JOBS`, then available parallelism).
 pub fn compute_figure5() -> Vec<Figure5Row> {
     compute_figure5_with(&SweepExec::new())
@@ -113,7 +113,7 @@ mod tests {
     #[test]
     fn figure5_reproduces_the_papers_shape() {
         let rows = compute_figure5();
-        assert_eq!(rows.len(), 13);
+        assert_eq!(rows.len(), 14);
         let get = |name: &str| rows.iter().find(|r| r.benchmark == name).unwrap().clone();
         // SWIM, TRFD and ARC2D are fully parallel: no non-parallelizable
         // references at all, so their speculative coverage is zero.
@@ -127,10 +127,16 @@ mod tests {
             assert!(row.parallel_coverage > 0.5, "{name}");
         }
         // FPPPP is unstructured: its idempotent fraction is the lowest of
-        // the benchmarks that do have non-parallelizable sections.
+        // the *paper's* benchmarks that have non-parallelizable sections.
+        // IRREG is excluded — it is this reproduction's synthetic
+        // irregular workload, not one of the paper's 13, and its indirect
+        // scatters can undercut even FPPPP.
         let fpppp = get("FPPPP");
         assert!(fpppp.total_refs > 0);
-        for row in rows.iter().filter(|r| r.total_refs > 0) {
+        for row in rows
+            .iter()
+            .filter(|r| r.total_refs > 0 && r.benchmark != "IRREG")
+        {
             assert!(
                 fpppp.idempotent_fraction <= row.idempotent_fraction + 1e-9,
                 "FPPPP ({}) should be the hardest benchmark, but {} has {}",

@@ -133,7 +133,7 @@ pub fn compute_measured_row(bench: &Benchmark, threads: usize, samples: usize) -
     }
 }
 
-/// The full measured-vs-simulated table over the 13-benchmark suite,
+/// The full measured-vs-simulated table over the 14-benchmark suite,
 /// measured strictly sequentially (see the module docs for why there is
 /// no executor variant).
 pub fn measured_table(threads: usize, samples: usize) -> Vec<MeasuredRow> {

@@ -72,8 +72,8 @@ impl Benchmark {
     }
 }
 
-/// The 13 benchmarks of the paper's evaluation (Figure 5), in alphabetical
-/// order.
+/// The benchmarks of the evaluation: the paper's 13 (Figure 5) plus the
+/// synthetic `IRREG` irregular-reference workload, in alphabetical order.
 pub fn all_benchmarks() -> Vec<Benchmark> {
     vec![
         suite::applu::benchmark(),
@@ -82,6 +82,7 @@ pub fn all_benchmarks() -> Vec<Benchmark> {
         suite::bdna::benchmark(),
         suite::fpppp::benchmark(),
         suite::hydro2d::benchmark(),
+        suite::irreg::benchmark(),
         suite::mgrid::benchmark(),
         suite::su2cor::benchmark(),
         suite::swim::benchmark(),
@@ -124,6 +125,18 @@ pub fn figure9_loops() -> Vec<LoopBenchmark> {
     ]
 }
 
+/// The named loops of the irregular-reference experiment: address streams
+/// the affine analyzer cannot prove independent (indirection arrays, a
+/// data-dependent WHILE trip count, guarded scatters) where speculation
+/// still wins at runtime.
+pub fn irregular_loops() -> Vec<LoopBenchmark> {
+    vec![
+        suite::irreg::gather_do100(),
+        suite::irreg::walk_do200(),
+        suite::irreg::hist_do300(),
+    ]
+}
+
 /// Every named loop used by the per-loop experiments, for sweeps and tests.
 pub fn all_named_loops() -> Vec<LoopBenchmark> {
     let mut out = vec![suite::applu::buts_do1()];
@@ -132,6 +145,7 @@ pub fn all_named_loops() -> Vec<LoopBenchmark> {
     out.extend(figure8_loops().into_iter().skip(1));
     out.extend(figure9_loops());
     out.push(suite::fpppp::twldrv_do100());
+    out.extend(irregular_loops());
     out
 }
 
@@ -141,9 +155,9 @@ mod tests {
     use refidem_analysis::region::RegionAnalysis;
 
     #[test]
-    fn thirteen_benchmarks_with_regions() {
+    fn fourteen_benchmarks_with_regions() {
         let benches = all_benchmarks();
-        assert_eq!(benches.len(), 13);
+        assert_eq!(benches.len(), 14);
         for b in &benches {
             assert!(
                 !b.regions().is_empty(),
@@ -215,5 +229,9 @@ mod tests {
         assert_eq!(figure7_loops().len(), 2);
         assert_eq!(figure8_loops().len(), 3);
         assert_eq!(figure9_loops().len(), 3);
+        assert_eq!(irregular_loops().len(), 3);
+        for l in irregular_loops() {
+            assert_eq!(l.category, "irregular");
+        }
     }
 }

@@ -1,0 +1,265 @@
+//! IRREG — irregular-reference workload.
+//!
+//! Three loops whose address streams defeat affine dependence analysis, so
+//! the compiler can never prove independence — yet at runtime the streams
+//! are conflict-free (permutation index arrays) or terminate early (a
+//! data-dependent WHILE), and speculation wins:
+//!
+//! * `GATHER_DO100` — sparse gather/scatter, `y(row(k)) += a(k) * x(col(k))`
+//!   through two permutation index arrays;
+//! * `WALK_DO200` — a WHILE-region table walk whose trip count depends on a
+//!   key array read by the continuation condition, each iteration chasing a
+//!   pointer array into a table;
+//! * `HIST_DO300` — a guarded histogram update, `hist(bin(k)) += w(k)` only
+//!   where a mask passes, the bins again a permutation.
+//!
+//! The index arrays are filled by *serial* (unlabeled) init loops in the
+//! benchmark's prologue, so every region sees them as plain read-only data
+//! it cannot reason about.
+
+use crate::patterns::serial_glue;
+use crate::{Benchmark, LoopBenchmark};
+use refidem_ir::build::{ac, add, av, cmp, idx, mul, num, sub, ProcBuilder};
+use refidem_ir::expr::CmpOp;
+use refidem_ir::ids::VarId;
+use refidem_ir::program::Program;
+use refidem_ir::stmt::Stmt;
+
+const N: i64 = 32;
+
+/// Serial init: `arr(k) = n + 1 - k` — a reversal permutation of `1..=n`.
+fn init_reversal(b: &mut ProcBuilder, name: &str, arr: VarId, n: i64) -> Stmt {
+    let k = b.index(name);
+    let rhs = sub(num((n + 1) as f64), idx(k));
+    let s = b.assign_elem(arr, vec![av(k)], rhs);
+    b.do_loop(k, ac(1), ac(n), vec![s])
+}
+
+/// Serial init: `arr(k) = ((k + s - 1) mod n) + 1` — a cyclic shift by `s`,
+/// built from a guarded pair of affine assignments (no modulo in the IR).
+fn init_cyclic(b: &mut ProcBuilder, name: &str, arr: VarId, n: i64, s: i64) -> Stmt {
+    let k = b.index(name);
+    let in_range = cmp(CmpOp::Le, idx(k), num((n - s) as f64));
+    let lo = b.assign_elem(arr, vec![av(k)], add(idx(k), num(s as f64)));
+    let hi = b.assign_elem(arr, vec![av(k)], add(idx(k), num((s - n) as f64)));
+    let guard = b.if_then_else(in_range, vec![lo], vec![hi]);
+    b.do_loop(k, ac(1), ac(n), vec![guard])
+}
+
+/// Serial init: `arr(k) = k * scale` — the ramp the WHILE condition watches.
+fn init_ramp(b: &mut ProcBuilder, name: &str, arr: VarId, n: i64, scale: f64) -> Stmt {
+    let k = b.index(name);
+    let rhs = mul(idx(k), num(scale));
+    let s = b.assign_elem(arr, vec![av(k)], rhs);
+    b.do_loop(k, ac(1), ac(n), vec![s])
+}
+
+/// `y(row(k)) = y(row(k)) + a(k) * x(col(k))` — sparse gather/scatter.
+#[allow(clippy::too_many_arguments)]
+fn gather_scatter_loop(
+    b: &mut ProcBuilder,
+    label: &str,
+    y: VarId,
+    a: VarId,
+    x: VarId,
+    row: VarId,
+    col: VarId,
+    n: i64,
+) -> Stmt {
+    let k = b.index(&format!("k_{label}"));
+    let col_read = b.aref(col, vec![av(k)]);
+    let col_ind = b.indirect(col_read);
+    let x_gather = b.aref_subs(x, vec![col_ind]);
+    let row_read1 = b.aref(row, vec![av(k)]);
+    let row_ind1 = b.indirect(row_read1);
+    let y_read = b.aref_subs(y, vec![row_ind1]);
+    let rhs = add(
+        b.load_ref(y_read),
+        mul(b.load_elem(a, vec![av(k)]), b.load_ref(x_gather)),
+    );
+    let row_read2 = b.aref(row, vec![av(k)]);
+    let row_ind2 = b.indirect(row_read2);
+    let y_write = b.aref_subs(y, vec![row_ind2]);
+    let s = b.assign(y_write, rhs);
+    b.do_loop_labeled(label, k, ac(1), ac(n), vec![s])
+}
+
+/// A WHILE-region table walk: continue while `key(k) <= limit`; each
+/// iteration resolves one pointer hop and accumulates into `out(k)`.
+#[allow(clippy::too_many_arguments)]
+fn table_walk_loop(
+    b: &mut ProcBuilder,
+    label: &str,
+    out: VarId,
+    tbl: VarId,
+    ptr: VarId,
+    key: VarId,
+    n: i64,
+    limit: f64,
+) -> Stmt {
+    let k = b.index(&format!("k_{label}"));
+    let ptr_read = b.aref(ptr, vec![av(k)]);
+    let ptr_ind = b.indirect(ptr_read);
+    let hop = b.aref_subs(tbl, vec![ptr_ind]);
+    let rhs = add(b.load_elem(out, vec![av(k)]), b.load_ref(hop));
+    let s1 = b.assign_elem(out, vec![av(k)], rhs);
+    let rhs2 = add(
+        mul(b.load_elem(out, vec![av(k)]), num(0.5)),
+        b.load_elem(tbl, vec![av(k)]),
+    );
+    let s2 = b.assign_elem(out, vec![av(k)], rhs2);
+    let cond = cmp(CmpOp::Le, b.load_elem(key, vec![av(k)]), num(limit));
+    b.while_loop_labeled(label, k, ac(1), ac(n), cond, vec![s1, s2])
+}
+
+/// `IF (mask(k) > 2.0) THEN hist(bin(k)) = hist(bin(k)) + w(k)` — a guarded
+/// scatter into permuted bins.
+fn guarded_histogram_loop(
+    b: &mut ProcBuilder,
+    label: &str,
+    hist: VarId,
+    bin: VarId,
+    w: VarId,
+    mask: VarId,
+    n: i64,
+) -> Stmt {
+    let k = b.index(&format!("k_{label}"));
+    let bin_read1 = b.aref(bin, vec![av(k)]);
+    let bin_ind1 = b.indirect(bin_read1);
+    let hist_read = b.aref_subs(hist, vec![bin_ind1]);
+    let rhs = add(b.load_ref(hist_read), b.load_elem(w, vec![av(k)]));
+    let bin_read2 = b.aref(bin, vec![av(k)]);
+    let bin_ind2 = b.indirect(bin_read2);
+    let hist_write = b.aref_subs(hist, vec![bin_ind2]);
+    let upd = b.assign(hist_write, rhs);
+    let guard = cmp(CmpOp::Gt, b.load_elem(mask, vec![av(k)]), num(2.0));
+    let body = b.if_then(guard, vec![upd]);
+    b.do_loop_labeled(label, k, ac(1), ac(n), vec![body])
+}
+
+fn build_program() -> Program {
+    let mut b = ProcBuilder::new("irreg_main");
+    let y = b.array("y", &[N as usize]);
+    let a = b.array("a", &[N as usize]);
+    let x = b.array("x", &[N as usize]);
+    let row = b.array("row", &[N as usize]);
+    let col = b.array("col", &[N as usize]);
+    let out = b.array("out", &[N as usize]);
+    let tbl = b.array("tbl", &[N as usize]);
+    let ptr = b.array("ptr", &[N as usize]);
+    let key = b.array("key", &[N as usize]);
+    let hist = b.array("hist", &[N as usize]);
+    let bin = b.array("bin", &[N as usize]);
+    let w = b.array("w", &[N as usize]);
+    let mask = b.array("mask", &[N as usize]);
+    // Declared last so every earlier variable keeps its address-derived
+    // deterministic initial value.
+    let glue = b.scalar("glue");
+    b.live_out(&[y, out, hist, glue]);
+
+    let i_row = init_reversal(&mut b, "ki_row", row, N);
+    let i_col = init_cyclic(&mut b, "ki_col", col, N, 5);
+    let i_ptr = init_reversal(&mut b, "ki_ptr", ptr, N);
+    // key(k) = 0.2k, so `key(k) <= 3.5` holds for k = 1..17 and fails at
+    // k = 18 — the walk's data-dependent termination point.
+    let i_key = init_ramp(&mut b, "ki_key", key, N, 0.2);
+    let i_bin = init_reversal(&mut b, "ki_bin", bin, N);
+
+    let l_gather = gather_scatter_loop(&mut b, "GATHER_DO100", y, a, x, row, col, N);
+    let l_walk = table_walk_loop(&mut b, "WALK_DO200", out, tbl, ptr, key, N, 3.5);
+    let l_hist = guarded_histogram_loop(&mut b, "HIST_DO300", hist, bin, w, mask, N);
+
+    // Serial prologue: the (unlabeled, hence serial) index-array init loops
+    // plus straight-line glue; serial gaps and an epilogue like every other
+    // whole-benchmark program.
+    let mut body = vec![i_row, i_col, i_ptr, i_key, i_bin];
+    body.extend(serial_glue(&mut b, glue, 2, 0.5));
+    for (i, region) in [l_gather, l_walk, l_hist].into_iter().enumerate() {
+        body.push(region);
+        body.extend(serial_glue(&mut b, glue, 1 + (i % 2), 0.75));
+    }
+    let proc = b.build(body);
+    let mut p = Program::new("IRREG");
+    p.add_procedure(proc);
+    p
+}
+
+/// The whole IRREG workload.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "IRREG",
+        program: build_program(),
+    }
+}
+
+fn named(label: &str, name: &'static str) -> LoopBenchmark {
+    let program = build_program();
+    let region = program.find_region(label).expect("region exists");
+    LoopBenchmark {
+        name,
+        category: "irregular",
+        program,
+        region,
+    }
+}
+
+/// `GATHER_DO100` — sparse gather/scatter through permutation index arrays.
+pub fn gather_do100() -> LoopBenchmark {
+    named("GATHER_DO100", "IRREG GATHER_DO100")
+}
+
+/// `WALK_DO200` — WHILE-region pointer-chase table walk.
+pub fn walk_do200() -> LoopBenchmark {
+    named("WALK_DO200", "IRREG WALK_DO200")
+}
+
+/// `HIST_DO300` — guarded histogram update into permuted bins.
+pub fn hist_do300() -> LoopBenchmark {
+    named("HIST_DO300", "IRREG HIST_DO300")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refidem_analysis::region::RegionAnalysis;
+    use refidem_core::label::{label_program, Label};
+    use refidem_ir::ids::ProcId;
+    use refidem_ir::sites::AccessKind;
+
+    #[test]
+    fn no_irregular_region_is_provably_parallel() {
+        let p = build_program();
+        for label in ["GATHER_DO100", "WALK_DO200", "HIST_DO300"] {
+            let a = RegionAnalysis::analyze_labeled(&p, label).unwrap();
+            assert!(!a.fully_independent, "{label}");
+            assert!(
+                !a.compiler_parallelizable,
+                "{label}: the analyzer must fail to prove independence"
+            );
+        }
+    }
+
+    #[test]
+    fn indirect_writes_stay_speculative() {
+        let p = build_program();
+        let labeled = label_program(&p, ProcId::from_index(0)).unwrap();
+        for region in &labeled.regions {
+            for site in region.analysis.table.sites() {
+                let indirect = site
+                    .reference
+                    .subs
+                    .iter()
+                    .any(|s| matches!(s, refidem_ir::expr::Subscript::Indirect(_)));
+                if indirect && site.access == AccessKind::Write {
+                    assert_eq!(
+                        region.labeling.label(site.id),
+                        Label::Speculative,
+                        "{}: indirect write {:?}",
+                        region.analysis.spec.loop_label,
+                        site.id
+                    );
+                }
+            }
+        }
+    }
+}

@@ -11,6 +11,7 @@ pub mod arc2d;
 pub mod bdna;
 pub mod fpppp;
 pub mod hydro2d;
+pub mod irreg;
 pub mod mgrid;
 pub mod su2cor;
 pub mod swim;

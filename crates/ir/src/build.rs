@@ -261,8 +261,29 @@ impl ProcBuilder {
             lower,
             upper,
             step,
+            while_cond: None,
             body,
         })
+    }
+
+    /// A labeled bounded-`WHILE` loop: counted `DO` bounds cap the trip
+    /// count, but `cond` is evaluated before each iteration and a zero
+    /// value terminates the loop early — the actual trip count is
+    /// data-dependent and unknown until run time.
+    pub fn while_loop_labeled(
+        &mut self,
+        label: &str,
+        index: VarId,
+        lower: AffineExpr,
+        upper: AffineExpr,
+        cond: Expr,
+        body: Vec<Stmt>,
+    ) -> Stmt {
+        let Stmt::Loop(mut l) = self.do_loop_step(Some(label), index, lower, upper, 1, body) else {
+            unreachable!("do_loop_step builds a loop");
+        };
+        l.while_cond = Some(cond);
+        Stmt::Loop(l)
     }
 
     /// Finishes the procedure.

@@ -237,18 +237,23 @@ impl<S: DataStore> DataStore for CountingStore<S> {
 }
 
 #[derive(Clone, Debug)]
-struct LoopFrame {
+struct LoopFrame<'p> {
     index: VarId,
     current: i64,
     last: i64,
     step: i64,
+    /// Continuation condition of a bounded-WHILE loop (`None` for counted
+    /// `DO`), evaluated as one statement unit before each iteration.
+    while_cond: Option<&'p Expr>,
+    /// The condition is due before the next body statement runs.
+    cond_pending: bool,
 }
 
 #[derive(Clone, Debug)]
 struct Frame<'p> {
     stmts: &'p [Stmt],
     pos: usize,
-    looping: Option<LoopFrame>,
+    looping: Option<LoopFrame<'p>>,
 }
 
 /// A resumable executor for one statement list (typically: one segment, i.e.
@@ -403,6 +408,8 @@ impl<'p> SegmentExec<'p> {
                 current: lower,
                 last: upper,
                 step: l.step,
+                while_cond: l.while_cond.as_ref(),
+                cond_pending: l.while_cond.is_some(),
             }),
         });
         Ok(())
@@ -415,6 +422,19 @@ impl<'p> SegmentExec<'p> {
             let Some(frame) = self.frames.last_mut() else {
                 return Ok(false);
             };
+            if let Some(looping) = &mut frame.looping {
+                if looping.cond_pending {
+                    // The WHILE continuation check is its own statement
+                    // unit, evaluated before the iteration's body.
+                    looping.cond_pending = false;
+                    let cond = looping.while_cond.expect("cond_pending implies while_cond");
+                    self.steps += 1;
+                    if self.eval(cond, store)? == 0.0 {
+                        self.frames.pop();
+                    }
+                    return Ok(true);
+                }
+            }
             if frame.pos >= frame.stmts.len() {
                 // End of the frame: advance the loop or pop.
                 if let Some(looping) = &mut frame.looping {
@@ -431,6 +451,7 @@ impl<'p> SegmentExec<'p> {
                         let value = looping.current;
                         frame.pos = 0;
                         self.env[idx.index()] = Some(value);
+                        looping.cond_pending = looping.while_cond.is_some();
                     }
                 } else {
                     self.frames.pop();
@@ -469,6 +490,21 @@ impl<'p> SegmentExec<'p> {
                 }
             }
         }
+    }
+
+    /// Evaluates one expression in isolation under the given index
+    /// bindings, performing its reads through `store` with exactly the
+    /// address resolution and read order of a segment execution. The
+    /// speculative engines use this to evaluate a region's WHILE
+    /// continuation condition as one statement unit.
+    pub fn eval_expr(
+        vars: &VarTable,
+        layout: &Layout,
+        env: &[(VarId, i64)],
+        e: &Expr,
+        store: &mut impl DataStore,
+    ) -> Result<f64, ExecError> {
+        SegmentExec::new(vars, layout, &[], env).eval(e, store)
     }
 
     /// Runs to completion (bounded by `max_steps` statement units).

@@ -314,6 +314,10 @@ enum Inst {
     /// Pop the condition; fall through when non-zero, jump to `.0`
     /// otherwise. Terminates the unit.
     Branch(u32),
+    /// Pop the WHILE continuation condition of loop plan `.0`; fall
+    /// through into the body when non-zero, pop the loop and jump to its
+    /// exit otherwise. Terminates the unit.
+    WhileBranch(u32),
     /// Evaluate the bounds of loop plan `.0`; enter the body or jump past
     /// the loop when the trip count is zero. Terminates the unit.
     LoopEnter(u32),
@@ -552,6 +556,14 @@ impl Lowerer<'_> {
         };
         let saved = std::mem::replace(&mut self.ranges[l.index.index()], index_range);
         let body = self.insts.len() as u32;
+        if let Some(c) = &l.while_cond {
+            // The continuation check compiles to its own statement unit at
+            // the top of the body; `plan.body` points here, so both the
+            // first entry and every `LoopBack` re-run the check.
+            self.emit_expr(c);
+            self.insts.push(Inst::WhileBranch(loop_idx));
+            self.stack_depth -= 1;
+        }
         self.emit_stmts(&l.body);
         self.insts.push(Inst::LoopBack(loop_idx));
         self.ranges[l.index.index()] = saved;
@@ -811,6 +823,10 @@ impl Fingerprint {
                     self.affine(&l.lower);
                     self.affine(&l.upper);
                     self.mix(l.step as u64);
+                    if let Some(c) = &l.while_cond {
+                        self.mix(0xE3);
+                        self.expr(c);
+                    }
                     self.stmts(&l.body);
                 }
             }
@@ -1420,6 +1436,18 @@ impl<'p> LoweredSegmentExec<'p> {
                     self.steps += 1;
                     return Ok(true);
                 }
+                Inst::WhileBranch(l) => {
+                    let cond = self.stack[sp - 1];
+                    if cond != 0.0 {
+                        self.pc = pc + 1;
+                    } else {
+                        let plan = &prog.loops[l as usize];
+                        self.loop_stack.pop().expect("active loop");
+                        self.pc = plan.exit as usize;
+                    }
+                    self.steps += 1;
+                    return Ok(true);
+                }
                 Inst::Jump(target) => pc = target as usize,
                 Inst::LoopBack(l) => {
                     let plan = &prog.loops[l as usize];
@@ -1599,6 +1627,54 @@ mod tests {
         let write = b.assign(lhs, idx(k));
         let use_loop = b.do_loop(k, ac(1), ac(8), vec![write]);
         assert_backends_agree(&b.build(vec![init_loop, use_loop]));
+    }
+
+    #[test]
+    fn while_loops_match_tree_walk() {
+        // s starts at 0; while (s <= 3) { s = s + 1; a(k) = s } capped at
+        // 10 trips — the condition fails after 4 iterations, well before
+        // the counted bound. Every cond evaluation is one statement unit
+        // in both backends.
+        let mut b = ProcBuilder::new("wh");
+        let a = b.array("a", &[16]);
+        let s = b.scalar("s");
+        let k = b.index("k");
+        let bump = {
+            let rhs = add(b.load(s), num(1.0));
+            b.assign_scalar(s, rhs)
+        };
+        let put = {
+            let rhs = b.load(s);
+            b.assign_elem(a, vec![av(k)], rhs)
+        };
+        let cond = cmp(CmpOp::Le, b.load(s), num(3.0));
+        let body = vec![b.while_loop_labeled("W", k, ac(1), ac(10), cond, vec![bump, put])];
+        assert_backends_agree(&b.build(body));
+    }
+
+    #[test]
+    fn while_loop_with_false_initial_cond_and_zero_trip_cap_matches() {
+        // First while: cond false on entry — exits after one cond unit.
+        // Second while: counted range empty — exits at loop enter with no
+        // cond evaluation at all.
+        let mut b = ProcBuilder::new("wh0");
+        let s = b.scalar("s");
+        let k = b.index("k");
+        let a1 = {
+            let rhs = add(b.load(s), num(1.0));
+            b.assign_scalar(s, rhs)
+        };
+        let a2 = {
+            let rhs = add(b.load(s), num(10.0));
+            b.assign_scalar(s, rhs)
+        };
+        let never = cmp(CmpOp::Ge, b.load(s), num(99.0));
+        let always = cmp(CmpOp::Ge, num(1.0), num(0.0));
+        let body = vec![
+            b.while_loop_labeled("W1", k, ac(1), ac(5), never, vec![a1]),
+            b.while_loop_labeled("W2", k, ac(3), ac(2), always, vec![a2]),
+        ];
+        assert_backends_agree(&b.build(body));
     }
 
     /// Lowers a procedure body and returns the compiled form (test helper

@@ -77,11 +77,14 @@ fn stmt_to_string(vars: &VarTable, s: &Stmt, depth: usize, out: &mut String) {
         }
         Stmt::Loop(l) => {
             indent(out, depth);
-            let label = l
+            let mut label = l
                 .label
                 .as_ref()
                 .map(|s| format!("  ! {s}"))
                 .unwrap_or_default();
+            if let Some(c) = &l.while_cond {
+                label = format!(" while ({}){}", expr_to_string(vars, c), label);
+            }
             if l.step == 1 {
                 let _ = writeln!(
                     out,

@@ -218,6 +218,7 @@ mod tests {
                 lower: AffineExpr::constant(1),
                 upper: AffineExpr::constant(8),
                 step: 1,
+                while_cond: None,
                 body: vec![],
             })],
             vec![],

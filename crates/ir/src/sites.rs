@@ -201,7 +201,21 @@ impl Walker<'_> {
                     upper: l.upper.clone(),
                     step: l.step,
                 });
-                self.walk_stmts(&l.body);
+                // A WHILE condition is evaluated before every iteration; its
+                // reads belong to the loop statement, and the body becomes
+                // conditional (it may run zero times).
+                if let Some(c) = &l.while_cond {
+                    let mut reads = Vec::new();
+                    c.for_each_read(&mut |r| reads.push(r));
+                    for r in reads {
+                        self.record(r, AccessKind::Read, l.id);
+                    }
+                    self.conditional_depth += 1;
+                    self.walk_stmts(&l.body);
+                    self.conditional_depth -= 1;
+                } else {
+                    self.walk_stmts(&l.body);
+                }
                 self.loops.pop();
             }
         }
@@ -237,6 +251,7 @@ mod tests {
             lower: AffineExpr::constant(1),
             upper: AffineExpr::constant(5),
             step: 1,
+            while_cond: None,
             body: vec![Stmt::If(IfStmt {
                 id: StmtId(1),
                 cond: Expr::Load(sref(0, 0)), // a

@@ -34,6 +34,12 @@ pub struct IfStmt {
 }
 
 /// A counted `DO` loop with affine bounds and a non-zero constant step.
+///
+/// With `while_cond` set the loop is a *bounded WHILE*: the counted bounds
+/// cap the trip count, but before every iteration (including the first,
+/// unless the counted range is already empty) the condition is evaluated as
+/// one statement unit; a zero value terminates the loop early. The trip
+/// count is therefore data-dependent and unknown at lowering time.
 #[derive(Clone, Debug, PartialEq)]
 pub struct LoopStmt {
     /// Statement id.
@@ -48,6 +54,9 @@ pub struct LoopStmt {
     pub upper: AffineExpr,
     /// Constant step; negative steps iterate downwards.
     pub step: i64,
+    /// Optional data-dependent continuation condition, evaluated before
+    /// each iteration; `None` for a plain counted `DO`.
+    pub while_cond: Option<Expr>,
     /// Loop body.
     pub body: Vec<Stmt>,
 }
@@ -134,6 +143,9 @@ impl Stmt {
                 }
             }
             Stmt::Loop(l) => {
+                if let Some(c) = &l.while_cond {
+                    c.for_each_read(&mut |r| f(r, false));
+                }
                 for s in &l.body {
                     s.for_each_ref(f);
                 }
@@ -236,6 +248,7 @@ mod tests {
             lower: AffineExpr::constant(1),
             upper: AffineExpr::constant(4),
             step: 1,
+            while_cond: None,
             body: vec![],
         });
         let outer = Stmt::Loop(LoopStmt {
@@ -245,6 +258,7 @@ mod tests {
             lower: AffineExpr::constant(1),
             upper: AffineExpr::constant(4),
             step: 1,
+            while_cond: None,
             body: vec![inner],
         });
         assert!(outer.find_loop("INNER_DO").is_some());

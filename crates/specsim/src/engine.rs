@@ -85,6 +85,12 @@ struct SlotData {
     overflow_poisoned: bool,
     /// Number of times the segment has been rolled back or restarted.
     restarts: u32,
+    /// The WHILE continuation check of this attempt has been evaluated
+    /// (and held). Always `false` for counted regions.
+    cond_checked: bool,
+    /// The continuation check evaluated to false: this segment is the
+    /// region's dynamic end. Its commit discards all younger segments.
+    term_pending: bool,
     /// Earliest simulated time at which the requested roll-back can take
     /// effect (the time the violating producer write happened).
     squash_not_before: u64,
@@ -354,6 +360,9 @@ pub(crate) struct Engine<'p> {
     memory: &'p mut Memory,
     head: usize,
     next_dispatch: usize,
+    /// A committed segment's WHILE continuation check failed; the region
+    /// is over regardless of how many counted segments remain.
+    terminated: bool,
     last_commit_time: u64,
     /// Statements executed since the last commit — the livelock watchdog's
     /// counter (see [`Governor`](crate::fault::Governor)).
@@ -409,6 +418,7 @@ impl<'p> Engine<'p> {
             memory,
             head: 0,
             next_dispatch: 0,
+            terminated: false,
             last_commit_time: 0,
             stmts_since_commit: 0,
             report: SimReport {
@@ -429,7 +439,7 @@ impl<'p> Engine<'p> {
             }
             self.dispatch(p, 0)?;
         }
-        while self.head < total {
+        while self.head < total && !self.terminated {
             let head_seg = self.head;
             let last_commit_time = self.last_commit_time;
             // One pass over the (few) slots: locate the head (unstalling it
@@ -519,6 +529,8 @@ impl<'p> Engine<'p> {
             squash_not_before: 0,
             overflow_poisoned: false,
             restarts: 0,
+            cond_checked: false,
+            term_pending: false,
         });
         let env = [(self.region.index, self.iter_values[seg])];
         self.execs[p] = Some(match self.cfg.backend {
@@ -595,6 +607,82 @@ impl<'p> Engine<'p> {
                     return Ok(());
                 }
             }
+        }
+        // A WHILE region's continuation check: evaluated as one statement
+        // unit before the segment's body, through the same labeled access
+        // path (and therefore the same latencies, dependence tracking,
+        // overflow handling) as any other statement of the segment.
+        let needs_cond = self.region.while_cond.is_some()
+            && self.slots[p]
+                .as_ref()
+                .is_some_and(|s| !s.cond_checked && !s.done);
+        if needs_cond {
+            let head = self.head;
+            let Engine {
+                slots,
+                scratch,
+                memory,
+                report,
+                cfg,
+                mode,
+                labels,
+                vars,
+                layout,
+                region,
+                iter_values,
+                ..
+            } = self;
+            let seg = slots[p].as_ref().expect("slot").seg;
+            let env = [(region.index, iter_values[seg])];
+            let cond = region.while_cond.as_ref().expect("while region");
+            let mut ctx = AccessCtx {
+                cfg,
+                mode: *mode,
+                labels,
+                memory,
+                slots,
+                masks: &mut scratch.masks,
+                report,
+                p,
+                head,
+            };
+            let value = SegmentExec::eval_expr(vars, layout, &env, cond, &mut ctx)
+                .map_err(SimError::Exec)?;
+            self.report.statements += 1;
+            self.stmts_since_commit += 1;
+            if self.stmts_since_commit > self.cfg.governor.livelock_statements {
+                return Err(SimError::Livelock {
+                    statements: self.stmts_since_commit,
+                });
+            }
+            let (now, occ) = {
+                let slot = self.slots[p].as_ref().expect("slot");
+                (slot.clock, slot.spec.len())
+            };
+            self.report.spec_peak_occupancy = self.report.spec_peak_occupancy.max(occ);
+            // The check only reads, so it cannot flag violations — but a
+            // tracked read can overflow the speculative buffer.
+            let poisoned = self.slots[p]
+                .as_ref()
+                .map(|s| s.overflow_poisoned)
+                .unwrap_or(false);
+            if poisoned {
+                self.restart_slot(p, now, false)?;
+                let slot = self.slots[p].as_mut().expect("slot");
+                slot.stalled = true;
+                return Ok(());
+            }
+            let slot = self.slots[p].as_mut().expect("slot");
+            if value == 0.0 {
+                // Dynamic end of the region: this segment executes no body
+                // statement and, once it commits in order, discards every
+                // younger segment.
+                slot.term_pending = true;
+                slot.done = true;
+            } else {
+                slot.cond_checked = true;
+            }
+            return Ok(());
         }
         // Split borrows: the executor lives in `execs`, the store context
         // borrows the sibling fields, so no per-statement move of the
@@ -704,6 +792,8 @@ impl<'p> Engine<'p> {
             slot.squash_requested = false;
             slot.squash_not_before = 0;
             slot.overflow_poisoned = false;
+            slot.cond_checked = false;
+            slot.term_pending = false;
             slot.restarts += 1;
             report.max_segment_restarts = report.max_segment_restarts.max(slot.restarts);
             slot.clock = restart_time;
@@ -735,11 +825,11 @@ impl<'p> Engine<'p> {
     /// segment onto the freed processor.
     fn commit(&mut self, p: usize) -> Result<(), SimError> {
         let total = self.iter_values.len();
-        let (commit_time, dirty): (u64, Vec<(Addr, f64)>) = {
+        let (commit_time, dirty, terminator): (u64, Vec<(Addr, f64)>, bool) = {
             let slot = self.slots[p].as_ref().expect("slot");
             let dirty = slot.spec.dirty_entries();
             let commit_time = slot.clock + self.cfg.commit_per_entry * dirty.len() as u64;
-            (commit_time, dirty)
+            (commit_time, dirty, slot.term_pending)
         };
         for (addr, value) in &dirty {
             self.memory.store(*addr, *value);
@@ -757,6 +847,24 @@ impl<'p> Engine<'p> {
         }
         self.execs[p] = None;
         self.stmts_since_commit = 0;
+        if terminator {
+            // The committed head's continuation check failed: the region is
+            // over. Discard every younger in-flight segment — their
+            // buffered state never reached memory (a while region has no
+            // non-private idempotent write-through sites; see
+            // `RegionAnalysis`'s segment view) — and stop dispatching.
+            for q in 0..self.slots.len() {
+                if let Some(slot) = self.slots[q].take() {
+                    self.scratch.masks.retract(q, &slot.spec);
+                    self.scratch.spare[q] = Some((slot.spec, slot.private));
+                }
+                self.execs[q] = None;
+            }
+            self.report.segments = self.head;
+            self.next_dispatch = total;
+            self.terminated = true;
+            return Ok(());
+        }
         if self.next_dispatch < total {
             self.dispatch(p, commit_time)?;
         }

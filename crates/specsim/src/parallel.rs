@@ -201,6 +201,11 @@ struct Shared<'p> {
     slots: Vec<Slot>,
     /// Oldest uncommitted segment; commits advance it in order.
     head: AtomicUsize,
+    /// Segment whose WHILE continuation check failed (`usize::MAX` until
+    /// then): the region's dynamic end. Stored *before* the terminator's
+    /// head advance, so any thread that observes `head > term` also
+    /// observes `term` — segments beyond it discard without committing.
+    term: AtomicUsize,
     /// Next segment to claim (monotonic program-order dispatch).
     next: AtomicUsize,
     /// Total number of segments.
@@ -316,6 +321,7 @@ pub(crate) fn run_region(
             })
             .collect(),
         head: AtomicUsize::new(0),
+        term: AtomicUsize::new(usize::MAX),
         next: AtomicUsize::new(0),
         total,
         abort: AtomicBool::new(false),
@@ -377,6 +383,12 @@ pub(crate) fn run_region(
     }
 
     shared.memory.write_back(memory);
+    // A WHILE region that terminated early executed (and committed)
+    // exactly the segments up to and including the terminator.
+    let term = shared.term.load(SeqCst);
+    if term != usize::MAX {
+        report.segments = term + 1;
+    }
     let t = &shared.tallies;
     report.statements = t.statements.load(SeqCst);
     report.violations = t.violations.load(SeqCst);
@@ -405,7 +417,7 @@ fn worker(shared: &Shared<'_>, ctx: &RegionCtx<'_>, p: usize) -> Result<(), SimE
             return Ok(());
         }
         let seg = shared.next.fetch_add(1, SeqCst);
-        if seg >= shared.total {
+        if seg >= shared.total || past_termination(shared, seg) {
             return Ok(());
         }
         shared.slots[p].seg.store(seg, SeqCst);
@@ -431,8 +443,24 @@ fn worker(shared: &Shared<'_>, ctx: &RegionCtx<'_>, p: usize) -> Result<(), SimE
                 &env,
             )),
         };
-        run_segment(shared, p, seg, &mut exec, &mut private)?;
+        run_segment(shared, ctx, p, seg, &mut exec, &mut private)?;
     }
+}
+
+/// True when an older segment's WHILE continuation check failed before
+/// `seg`: this segment is beyond the region's dynamic end and must discard
+/// its state without committing.
+#[inline]
+fn past_termination(shared: &Shared<'_>, seg: usize) -> bool {
+    seg > shared.term.load(SeqCst)
+}
+
+/// Drops a beyond-termination segment: discard the attempt's speculative
+/// state (cascading squashes to any younger reader, though those are being
+/// dropped too) and idle the slot so the region can finish.
+fn drop_past_termination(shared: &Shared<'_>, p: usize, seg: usize) {
+    discard_attempt(shared, p, seg);
+    shared.slots[p].seg.store(IDLE, SeqCst);
 }
 
 /// Tallies one squash-driven restart and enforces the governor's restart
@@ -483,6 +511,7 @@ fn perturb_drain(shared: &Shared<'_>, seg: usize, spin: u64) {
 /// restarting attempts on squash bumps and overflow stalls.
 fn run_segment(
     shared: &Shared<'_>,
+    ctx: &RegionCtx<'_>,
     p: usize,
     seg: usize,
     exec: &mut ParExec<'_>,
@@ -511,7 +540,10 @@ fn run_segment(
             shared,
             p,
             seg,
-            head_mode: shared.head.load(SeqCst) == seg,
+            // The termination re-check closes the race where the head just
+            // advanced past us *because* the previous segment terminated
+            // the region — such a segment must never act as the head.
+            head_mode: shared.head.load(SeqCst) == seg && !past_termination(shared, seg),
             private,
             overflow: false,
             events: 0,
@@ -533,8 +565,66 @@ fn run_segment(
                 store.overflow = true;
             }
         }
-        loop {
+        // A WHILE region's continuation check: one statement unit before
+        // the body, through the same labeled store as every other
+        // statement. A false condition makes this segment the region's
+        // terminator: it executes no body statement and its in-order
+        // commit publishes the dynamic end.
+        let mut terminated = false;
+        if let Some(cond) = &ctx.region.while_cond {
+            let env = [(ctx.region.index, ctx.iter_values[seg])];
+            let value = SegmentExec::eval_expr(ctx.vars, ctx.layout, &env, cond, &mut store)
+                .map_err(SimError::Exec)?;
+            if shared.tallies.statements.fetch_add(1, Relaxed) + 1 > shared.cfg.max_statements {
+                return Err(SimError::StatementBudgetExceeded);
+            }
+            seg_statements += 1;
+            if seg_statements > shared.cfg.governor.livelock_statements {
+                return Err(SimError::Livelock {
+                    statements: seg_statements,
+                });
+            }
+            if store.overflow {
+                // Tracked condition reads can overflow a non-head buffer:
+                // same discard-and-stall-until-head path as a body
+                // overflow.
+                restarts += 1;
+                note_overflow(shared, seg, restarts)?;
+                discard_attempt(shared, p, seg);
+                let mut spin: u64 = 0;
+                loop {
+                    if shared.abort.load(SeqCst) {
+                        return Ok(());
+                    }
+                    if past_termination(shared, seg) {
+                        drop_past_termination(shared, p, seg);
+                        return Ok(());
+                    }
+                    if shared.head.load(SeqCst) == seg {
+                        break;
+                    }
+                    if perturb {
+                        spin += 1;
+                        perturb_drain(shared, seg, spin);
+                    }
+                    std::thread::yield_now();
+                }
+                continue 'attempt;
+            }
+            terminated = value == 0.0;
+        }
+        // `terminated` is fixed for the rest of the attempt by design — a
+        // terminated WHILE segment executes zero body statements, and a
+        // live one steps until the bytecode reports completion (`!more`)
+        // or the attempt is squashed/aborted. The loop exits via those
+        // breaks, not by re-evaluating the condition.
+        #[allow(clippy::while_immutable_condition)]
+        while !terminated {
             if shared.abort.load(SeqCst) {
+                return Ok(());
+            }
+            if past_termination(shared, seg) {
+                drop_past_termination(shared, p, seg);
                 return Ok(());
             }
             if !store.head_mode {
@@ -544,9 +634,18 @@ fn run_segment(
                     continue 'attempt;
                 }
                 if shared.head.load(SeqCst) == seg {
-                    // Head handover: one final check (a legitimate bump is
-                    // ordered before `head` reached us), then bumps are
-                    // ignored — the head cannot be squashed.
+                    // Head handover: the head advanced to us — unless it
+                    // advanced past a terminator, in which case we are
+                    // beyond the region's dynamic end (the `term` store is
+                    // ordered before the head advance, so this re-check
+                    // cannot miss it).
+                    if past_termination(shared, seg) {
+                        drop_past_termination(shared, p, seg);
+                        return Ok(());
+                    }
+                    // One final check (a legitimate bump is ordered before
+                    // `head` reached us), then bumps are ignored — the
+                    // head cannot be squashed.
                     if slot.squash.load(SeqCst) != squash_seen {
                         restarts += 1;
                         note_rollback(shared, seg, restarts)?;
@@ -576,6 +675,10 @@ fn run_segment(
                     if shared.abort.load(SeqCst) {
                         return Ok(());
                     }
+                    if past_termination(shared, seg) {
+                        drop_past_termination(shared, p, seg);
+                        return Ok(());
+                    }
                     if shared.head.load(SeqCst) == seg {
                         break;
                     }
@@ -599,12 +702,23 @@ fn run_segment(
                 if shared.abort.load(SeqCst) {
                     return Ok(());
                 }
+                if past_termination(shared, seg) {
+                    drop_past_termination(shared, p, seg);
+                    return Ok(());
+                }
                 if slot.squash.load(SeqCst) != squash_seen {
                     restarts += 1;
                     note_rollback(shared, seg, restarts)?;
                     continue 'attempt;
                 }
                 if shared.head.load(SeqCst) == seg {
+                    // Same termination re-check as the head handover: the
+                    // head reaching us via a terminator's commit means we
+                    // discard, not commit.
+                    if past_termination(shared, seg) {
+                        drop_past_termination(shared, p, seg);
+                        return Ok(());
+                    }
                     if slot.squash.load(SeqCst) != squash_seen {
                         restarts += 1;
                         note_rollback(shared, seg, restarts)?;
@@ -622,7 +736,7 @@ fn run_segment(
         if perturb && shared.cfg.faults.perturb(PerturbEdge::Commit, seg, 0) {
             std::thread::yield_now();
         }
-        commit(shared, p, seg);
+        commit(shared, p, seg, terminated);
         return Ok(());
     }
 }
@@ -666,7 +780,7 @@ fn discard_attempt(shared: &Shared<'_>, p: usize, seg: usize) {
 /// memory, retracts mask bits, clears the buffer, marks the slot idle and
 /// advances the head — in that order, so a reader that misses the write
 /// bit finds the committed value in memory.
-fn commit(shared: &Shared<'_>, p: usize, seg: usize) {
+fn commit(shared: &Shared<'_>, p: usize, seg: usize, terminator: bool) {
     let own_bit = 1u32 << p;
     let mut spec = shared.slots[p].spec.lock().expect("spec lock");
     let dirty = spec.dirty_entries();
@@ -686,6 +800,13 @@ fn commit(shared: &Shared<'_>, p: usize, seg: usize) {
     drop(spec);
     shared.slots[p].seg.store(IDLE, SeqCst);
     shared.tallies.commits.fetch_add(1, Relaxed);
+    if terminator {
+        // Publish the dynamic end *before* advancing the head: any thread
+        // that observes the head past `seg` then also observes `term` (both
+        // stores are SeqCst and program-ordered), so no younger segment can
+        // mistake the advance for a normal handover and commit.
+        shared.term.store(seg, SeqCst);
+    }
     shared.head.store(seg + 1, SeqCst);
 }
 
@@ -971,6 +1092,62 @@ mod tests {
         p
     }
 
+    /// A bounded-WHILE region: `s` accumulates hash-initialized array
+    /// values (mean ≈ 2) until it exceeds 6, so the dynamic trip count is
+    /// 3–4 out of a counted cap of 64 — segments beyond the terminator
+    /// must be discarded by both runtimes.
+    fn while_program() -> Program {
+        use refidem_ir::build::cmp;
+        use refidem_ir::expr::CmpOp;
+        let mut b = ProcBuilder::new("main");
+        let a = b.array("a", &[64]);
+        let s = b.scalar("s");
+        let k = b.index("k");
+        b.live_out(&[a, s]);
+        let cond = cmp(CmpOp::Le, b.load(s), num(6.0));
+        let rhs = add(b.load(s), b.load_elem(a, vec![av(k)]));
+        let s1 = b.assign_scalar(s, rhs);
+        let rhs2 = b.load(s);
+        let s2 = b.assign_elem(a, vec![av(k)], rhs2);
+        let region = b.while_loop_labeled("WH", k, ac(1), ac(64), cond, vec![s1, s2]);
+        let mut p = Program::new("while_region");
+        p.add_procedure(b.build(vec![region]));
+        p
+    }
+
+    #[test]
+    fn while_region_terminates_early_and_matches_sequential_on_both_runtimes() {
+        let p = while_program();
+        let labeled = label_program_region_by_name(&p, "WH").unwrap();
+        for mode in [ExecMode::Hose, ExecMode::Case] {
+            for threads in [1usize, 2, 8] {
+                for capacity in [1usize, 4, 256] {
+                    for runtime in [SpecRuntime::Simulated, SpecRuntime::Threads] {
+                        let mut cfg = SimConfig::default().processors(threads).capacity(capacity);
+                        cfg.runtime = runtime;
+                        let diffs = verify_against_sequential(&p, &labeled, mode, &cfg).unwrap();
+                        assert!(
+                            diffs.is_empty(),
+                            "{mode} {runtime:?} threads={threads} cap={capacity}: {diffs:?}"
+                        );
+                        let out = simulate_region(&p, &labeled, mode, &cfg).unwrap();
+                        let r = &out.report;
+                        if r.degraded.is_none() {
+                            assert!(
+                                r.segments < 64,
+                                "{mode} {runtime:?} t={threads} c={capacity}: \
+                                 dynamic trip count must undercut the counted cap, \
+                                 got {} segments",
+                                r.segments
+                            );
+                            assert_eq!(r.commits as usize, r.segments);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     #[test]
     fn threads_runtime_matches_sequential_at_several_thread_counts() {
         for (p, name) in [(recurrence_program(), "REC"), (wide_program(), "WIDE")] {
@@ -1217,11 +1394,13 @@ mod tests {
             .faults(FaultPlan::seeded(5).violation_rate(1000))
             .restart_budget(0);
         // Degradation needs a non-head claimant (injection never touches
-        // the head); the slow head makes that overlap near-certain per
-        // run, and a few runs make it certain enough for CI. Exactness
-        // must hold on every run, degraded or not.
+        // the head); the slow head makes that overlap likely per run, but
+        // a single-core scheduler is free to serialize the claims, so it
+        // takes a few hundred sub-millisecond attempts to make the overlap
+        // certain enough for CI. Exactness must hold on every run,
+        // degraded or not.
         let mut degraded = false;
-        for _ in 0..20 {
+        for _ in 0..300 {
             let out = simulate_region(&p, &labeled, ExecMode::Hose, &cfg).unwrap();
             let diffs = verify_against_sequential(&p, &labeled, ExecMode::Hose, &cfg).unwrap();
             assert!(

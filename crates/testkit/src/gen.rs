@@ -27,7 +27,7 @@
 
 use crate::rng::Rng;
 use refidem_ir::build::{ac, add, av, cmp, idx, mul, num, sub, ProcBuilder};
-use refidem_ir::expr::{CmpOp, Expr};
+use refidem_ir::expr::{BinOp, CmpOp, Expr, Reference};
 use refidem_ir::ids::VarId;
 use refidem_ir::program::{Program, RegionSpec};
 use refidem_ir::stmt::Stmt;
@@ -56,6 +56,61 @@ impl SubSpec {
     }
 }
 
+/// The initialization pattern of one generated indirection array.
+///
+/// Every pattern fills `x(i)` for `i = 1 … n` with values guaranteed to lie
+/// in `[1, n]` (so an indirect access `a(x(pos))` is in bounds whenever the
+/// target array's extent covers `[1, n]` — [`ProgramSpec::layout_plan`]
+/// enforces that). The permutation patterns (identity, reversal, cyclic
+/// shift) exercise gather/scatter with distinct targets; the clamp patterns
+/// produce *duplicate* indices, so an indirect store through them carries a
+/// genuine cross-segment output dependence that only speculation handles.
+/// Initialization happens in an unlabeled (serial) `DO` loop prepended to
+/// the program, so the indirection arrays are read-only inside every
+/// region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IndexPattern {
+    /// `x(i) = i`.
+    Identity,
+    /// `x(i) = n + 1 - i`.
+    Reversal,
+    /// `x(i) = ((i - 1 + s) mod n) + 1`, lowered as a guarded pair of
+    /// affine assignments. The stored shift is normalized into `[1, n-1]`.
+    CyclicShift(i64),
+    /// `x(i) = min(i, c)` — the tail collapses onto `c` (duplicates).
+    ClampLow(i64),
+    /// `x(i) = max(i, c)` — the head collapses onto `c` (duplicates).
+    ClampHigh(i64),
+}
+
+/// Effective cyclic-shift amount over extent `n`, normalized into
+/// `[1, n-1]` so the shifted value always wraps to a valid subscript.
+pub(crate) fn cyclic_shift_amount(s: i64, n: i64) -> i64 {
+    (s - 1).rem_euclid((n - 1).max(1)) + 1
+}
+
+/// Effective clamp bound over extent `n`.
+pub(crate) fn clamp_bound(c: i64, n: i64) -> i64 {
+    c.clamp(1, n)
+}
+
+/// Data-dependent early termination of a region loop (a bounded WHILE).
+///
+/// The region continues while `a_arr(sub) <= limit/2`; the counted `DO`
+/// bounds still cap the trip count. Initial memory values lie in
+/// `[0, 4.02]`, so limits in `[1, 7]` (thresholds `0.5 … 3.5`) produce trip
+/// counts that genuinely depend on the data — including zero-trip and
+/// full-trip runs — and that no static analysis can predict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WhileSpec {
+    /// The watched value array.
+    pub arr: usize,
+    /// Subscript of the watched element (outer-index only, `jc == 0`).
+    pub sub: SubSpec,
+    /// Continuation threshold in halves: continue while `value <= limit/2`.
+    pub limit: i64,
+}
+
 /// How one term combines with the accumulated right-hand side.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TermOp {
@@ -77,6 +132,16 @@ pub enum TermSpec {
         /// Subscript.
         sub: SubSpec,
     },
+    /// Load of `arrays[arr]` through indirection array `idx`:
+    /// `a_arr(x_idx(k - lo + 1))`. The subscript is runtime-resolved — no
+    /// affine analysis applies, so the dependence analysis must fall back
+    /// to its conservative answer.
+    ArrInd {
+        /// Value array loaded through the indirection.
+        arr: usize,
+        /// Indirection array number (into [`ProgramSpec::index_arrays`]).
+        idx: usize,
+    },
     /// Load of scalar number `n`.
     Scalar(usize),
     /// The outer loop index as a value.
@@ -96,6 +161,16 @@ pub enum TargetSpec {
         arr: usize,
         /// Subscript.
         sub: SubSpec,
+    },
+    /// Store into `arrays[arr]` through indirection array `idx`:
+    /// `a_arr(x_idx(k - lo + 1)) = …`. A scatter — with a duplicate-laden
+    /// pattern ([`IndexPattern::ClampLow`]/[`ClampHigh`](IndexPattern::ClampHigh))
+    /// this is a genuine cross-segment output dependence.
+    ArrInd {
+        /// Value array stored through the indirection.
+        arr: usize,
+        /// Indirection array number (into [`ProgramSpec::index_arrays`]).
+        idx: usize,
     },
     /// Store into scalar number `n`.
     Scalar(usize),
@@ -172,6 +247,9 @@ pub struct RegionPart {
     pub outer_lo: i64,
     /// Trip count of the region loop (≥ 1).
     pub outer_trips: i64,
+    /// Data-dependent early termination (bounded WHILE); `None` for a
+    /// plain counted `DO` region.
+    pub while_shape: Option<WhileSpec>,
     /// Region loop body.
     pub body: Vec<StmtSpec>,
 }
@@ -199,6 +277,11 @@ pub struct ProgramSpec {
     pub serial: Vec<Vec<StmtSpec>>,
     /// The region loops, in program order (0–3 of them).
     pub regions: Vec<RegionPart>,
+    /// Indirection arrays (`x0`, `x1`, …), each with its initialization
+    /// pattern. All share the extent [`ProgramSpec::idx_extent`] and are
+    /// filled by unlabeled (serial) `DO` loops prepended to the program,
+    /// so they are read-only inside every region.
+    pub index_arrays: Vec<IndexPattern>,
     /// Arrays in the live-out set.
     pub live_out_arrays: Vec<usize>,
     /// Scalars in the live-out set.
@@ -232,6 +315,31 @@ impl ProgramSpec {
                 .sum::<usize>()
     }
 
+    /// Common extent of every indirection array: at least 16 (so the
+    /// duplicate/permutation patterns have room to differ) and at least
+    /// the largest region trip count (so the normalized position
+    /// `k - lo + 1` is always a valid subscript into the array).
+    pub fn idx_extent(&self) -> i64 {
+        self.regions
+            .iter()
+            .map(|r| r.outer_trips)
+            .max()
+            .unwrap_or(0)
+            .max(16)
+    }
+
+    /// True when any region reference goes through an indirection array.
+    pub fn has_irregular(&self) -> bool {
+        let mut found = false;
+        self.for_each_indirect(&mut |_| found = true);
+        found
+    }
+
+    /// True when any region is a bounded WHILE.
+    pub fn has_while(&self) -> bool {
+        self.regions.iter().any(|r| r.while_shape.is_some())
+    }
+
     /// Per-array subscript shift and extent making every access in-bounds:
     /// shifting all of an array's subscripts by the same amount preserves
     /// the dependence structure while pinning the minimum subscript to 1 —
@@ -250,6 +358,20 @@ impl ProgramSpec {
             *slot = Some(match *slot {
                 None => (lo, hi),
                 Some((l, h)) => (l.min(lo), h.max(hi)),
+            });
+        });
+        // Indirect accesses address the *unshifted* value of the
+        // indirection array, which is always in [1, idx_extent]: widen the
+        // target array's bounds to cover that whole range. (The shift then
+        // stays non-negative because the merged minimum is at most 1, so
+        // shifted affine subscripts and raw indirect values both land
+        // inside the extent.)
+        let idx_n = self.idx_extent();
+        self.for_each_indirect(&mut |arr| {
+            let slot = &mut bounds[arr];
+            *slot = Some(match *slot {
+                None => (1, idx_n),
+                Some((l, h)) => (l.min(1), h.max(idx_n)),
             });
         });
         let shifts: Vec<i64> = bounds
@@ -273,6 +395,7 @@ impl ProgramSpec {
             "one serial chunk around every region"
         );
         let (shifts, extents) = self.layout_plan();
+        let idx_n = self.idx_extent();
         let mut b = ProcBuilder::new("generated");
         let arrays: Vec<VarId> = extents
             .iter()
@@ -281,6 +404,9 @@ impl ProgramSpec {
             .collect();
         let scalars: Vec<VarId> = (0..self.scalars)
             .map(|i| b.scalar(&format!("s{i}")))
+            .collect();
+        let idx_arrays: Vec<VarId> = (0..self.index_arrays.len())
+            .map(|i| b.array(&format!("x{i}"), &[idx_n as usize]))
             .collect();
         let k = b.index("k");
         let j = b.index("j");
@@ -295,30 +421,55 @@ impl ProgramSpec {
         let ctx = Lowering {
             arrays: &arrays,
             scalars: &scalars,
+            idx_arrays: &idx_arrays,
             shifts: &shifts,
             k,
             j,
         };
         let mut body = Vec::new();
+        // Indirection arrays are filled first, by unlabeled (hence serial)
+        // loops — regions only ever read them.
+        for (i, pat) in self.index_arrays.iter().enumerate() {
+            body.push(init_index_loop(&mut b, idx_arrays[i], k, idx_n, pat));
+        }
         for (i, region) in self.regions.iter().enumerate() {
             for st in &self.serial[i] {
                 assert_serial(st);
             }
-            body.extend(ctx.lower_stmts(&mut b, &self.serial[i]));
-            let region_body = ctx.lower_stmts(&mut b, &region.body);
-            body.push(b.do_loop_labeled(
-                &region_label(i),
-                k,
-                ac(region.outer_lo),
-                ac(region.outer_hi()),
-                region_body,
-            ));
+            body.extend(ctx.lower_stmts(&mut b, &self.serial[i], 0));
+            // Normalize the outer index to a 1-based position for
+            // indirection-array subscripts: `k - lo + 1` spans
+            // `[1, trips]` ⊆ `[1, idx_extent]`.
+            let k_shift = 1 - region.outer_lo;
+            let region_body = ctx.lower_stmts(&mut b, &region.body, k_shift);
+            body.push(match &region.while_shape {
+                None => b.do_loop_labeled(
+                    &region_label(i),
+                    k,
+                    ac(region.outer_lo),
+                    ac(region.outer_hi()),
+                    region_body,
+                ),
+                Some(ws) => {
+                    let watched = ctx.affine(ws.arr, ws.sub);
+                    let load = b.load_elem(arrays[ws.arr], vec![watched]);
+                    let cond = cmp(CmpOp::Le, load, num(ws.limit as f64 * 0.5));
+                    b.while_loop_labeled(
+                        &region_label(i),
+                        k,
+                        ac(region.outer_lo),
+                        ac(region.outer_hi()),
+                        cond,
+                        region_body,
+                    )
+                }
+            });
         }
         let epilogue = self.serial.last().expect("epilogue chunk");
         for st in epilogue {
             assert_serial(st);
         }
-        body.extend(ctx.lower_stmts(&mut b, epilogue));
+        body.extend(ctx.lower_stmts(&mut b, epilogue, 0));
         let mut program = Program::new("generated");
         program.add_procedure(b.build(body));
         let regions = (0..self.regions.len())
@@ -378,7 +529,47 @@ impl ProgramSpec {
             walk(chunk, (0, 0), None, f);
         }
         for region in &self.regions {
-            walk(&region.body, (region.outer_lo, region.outer_hi()), None, f);
+            let k_range = (region.outer_lo, region.outer_hi());
+            if let Some(ws) = &region.while_shape {
+                f(ws.arr, ws.sub, k_range, None);
+            }
+            walk(&region.body, k_range, None, f);
+        }
+    }
+
+    /// Visits the value-array number of every reference that goes through
+    /// an indirection array (loads and stores alike).
+    fn for_each_indirect(&self, f: &mut impl FnMut(usize)) {
+        fn walk(stmts: &[StmtSpec], f: &mut impl FnMut(usize)) {
+            for s in stmts {
+                match s {
+                    StmtSpec::Assign(a) => {
+                        if let TargetSpec::ArrInd { arr, .. } = &a.target {
+                            f(*arr);
+                        }
+                        for (_, t) in &a.terms {
+                            if let TermSpec::ArrInd { arr, .. } = t {
+                                f(*arr);
+                            }
+                        }
+                    }
+                    StmtSpec::If {
+                        then_body,
+                        else_body,
+                        ..
+                    } => {
+                        walk(then_body, f);
+                        walk(else_body, f);
+                    }
+                    StmtSpec::Inner { body, .. } => walk(body, f),
+                }
+            }
+        }
+        for chunk in &self.serial {
+            walk(chunk, f);
+        }
+        for region in &self.regions {
+            walk(&region.body, f);
         }
     }
 }
@@ -398,13 +589,22 @@ pub struct GeneratedBuild {
 fn assert_serial(s: &StmtSpec) {
     match s {
         StmtSpec::Assign(a) => {
-            if let TargetSpec::Arr { sub, .. } = &a.target {
-                assert!(sub.kc == 0 && sub.jc == 0, "serial subscripts are constant");
+            match &a.target {
+                TargetSpec::Arr { sub, .. } => {
+                    assert!(sub.kc == 0 && sub.jc == 0, "serial subscripts are constant")
+                }
+                TargetSpec::ArrInd { .. } => {
+                    panic!("serial code cannot use indirection (it needs the loop index)")
+                }
+                TargetSpec::Scalar(_) => {}
             }
             for (_, t) in &a.terms {
                 match t {
                     TermSpec::Arr { sub, .. } => {
                         assert!(sub.kc == 0 && sub.jc == 0, "serial subscripts are constant")
+                    }
+                    TermSpec::ArrInd { .. } => {
+                        panic!("serial code cannot use indirection (it needs the loop index)")
                     }
                     TermSpec::OuterIdx | TermSpec::InnerIdx => {
                         panic!("serial code cannot reference a loop index")
@@ -415,6 +615,37 @@ fn assert_serial(s: &StmtSpec) {
         }
         _ => panic!("serial chunks hold assignments only"),
     }
+}
+
+/// The unlabeled `DO k = 1, n` loop filling indirection array `x` with its
+/// pattern. Every pattern stores exact small integers in `[1, n]`, so the
+/// later float-to-subscript conversion of the indirect access is exact.
+fn init_index_loop(b: &mut ProcBuilder, x: VarId, k: VarId, n: i64, pat: &IndexPattern) -> Stmt {
+    let body = match pat {
+        IndexPattern::Identity => vec![b.assign_elem(x, vec![av(k)], idx(k))],
+        IndexPattern::Reversal => {
+            vec![b.assign_elem(x, vec![av(k)], sub(num((n + 1) as f64), idx(k)))]
+        }
+        IndexPattern::CyclicShift(s) => {
+            let s = cyclic_shift_amount(*s, n);
+            let stay = b.assign_elem(x, vec![av(k)], add(idx(k), num(s as f64)));
+            let wrap = b.assign_elem(x, vec![av(k)], add(idx(k), num((s - n) as f64)));
+            vec![b.if_then_else(
+                cmp(CmpOp::Le, idx(k), num((n - s) as f64)),
+                vec![stay],
+                vec![wrap],
+            )]
+        }
+        IndexPattern::ClampLow(c) => {
+            let c = clamp_bound(*c, n);
+            vec![b.assign_elem(x, vec![av(k)], Expr::bin(BinOp::Min, idx(k), num(c as f64)))]
+        }
+        IndexPattern::ClampHigh(c) => {
+            let c = clamp_bound(*c, n);
+            vec![b.assign_elem(x, vec![av(k)], Expr::bin(BinOp::Max, idx(k), num(c as f64)))]
+        }
+    };
+    b.do_loop(k, ac(1), ac(n), body)
 }
 
 /// Interval of `kc*k + jc*j + off` over box-shaped index ranges.
@@ -439,6 +670,7 @@ fn sub_range(sub: SubSpec, k_range: (i64, i64), j_range: Option<(i64, i64)>) -> 
 struct Lowering<'a> {
     arrays: &'a [VarId],
     scalars: &'a [VarId],
+    idx_arrays: &'a [VarId],
     shifts: &'a [i64],
     k: VarId,
     j: VarId,
@@ -456,11 +688,32 @@ impl Lowering<'_> {
         e
     }
 
-    fn term(&self, b: &mut ProcBuilder, t: &TermSpec) -> Expr {
+    /// The indirect reference `a_arr(x_idx(k + k_shift))`. The indirection
+    /// array's own subscript is affine (the normalized position); the outer
+    /// subscript is the loaded value, never shifted — `layout_plan` sizes
+    /// the target array to cover the raw value range instead.
+    fn indirect_ref(
+        &self,
+        b: &mut ProcBuilder,
+        arr: usize,
+        idxa: usize,
+        k_shift: i64,
+    ) -> Reference {
+        let pos = av(self.k) + ac(k_shift);
+        let xref = b.aref(self.idx_arrays[idxa], vec![pos]);
+        let s = b.indirect(xref);
+        b.aref_subs(self.arrays[arr], vec![s])
+    }
+
+    fn term(&self, b: &mut ProcBuilder, t: &TermSpec, k_shift: i64) -> Expr {
         match t {
             TermSpec::Arr { arr, sub: s } => {
                 let a = self.affine(*arr, *s);
                 b.load_elem(self.arrays[*arr], vec![a])
+            }
+            TermSpec::ArrInd { arr, idx } => {
+                let r = self.indirect_ref(b, *arr, *idx, k_shift);
+                b.load_ref(r)
             }
             TermSpec::Scalar(n) => b.load(self.scalars[*n]),
             TermSpec::OuterIdx => idx(self.k),
@@ -469,10 +722,10 @@ impl Lowering<'_> {
         }
     }
 
-    fn rhs(&self, b: &mut ProcBuilder, terms: &[(TermOp, TermSpec)]) -> Expr {
+    fn rhs(&self, b: &mut ProcBuilder, terms: &[(TermOp, TermSpec)], k_shift: i64) -> Expr {
         let mut acc: Option<Expr> = None;
         for (op, t) in terms {
-            let e = self.term(b, t);
+            let e = self.term(b, t, k_shift);
             acc = Some(match acc {
                 None => e,
                 Some(prev) => match op {
@@ -485,16 +738,20 @@ impl Lowering<'_> {
         acc.expect("assignments have at least one term")
     }
 
-    fn lower_stmts(&self, b: &mut ProcBuilder, stmts: &[StmtSpec]) -> Vec<Stmt> {
+    fn lower_stmts(&self, b: &mut ProcBuilder, stmts: &[StmtSpec], k_shift: i64) -> Vec<Stmt> {
         let mut out = Vec::new();
         for s in stmts {
             match s {
                 StmtSpec::Assign(a) => {
-                    let rhs = self.rhs(b, &a.terms);
+                    let rhs = self.rhs(b, &a.terms, k_shift);
                     let stmt = match &a.target {
                         TargetSpec::Arr { arr, sub: s } => {
                             let sub = self.affine(*arr, *s);
                             b.assign_elem(self.arrays[*arr], vec![sub], rhs)
+                        }
+                        TargetSpec::ArrInd { arr, idx } => {
+                            let lhs = self.indirect_ref(b, *arr, *idx, k_shift);
+                            b.assign(lhs, rhs)
                         }
                         TargetSpec::Scalar(n) => b.assign_scalar(self.scalars[*n], rhs),
                     };
@@ -511,8 +768,8 @@ impl Lowering<'_> {
                     };
                     let op = if cond.greater { CmpOp::Gt } else { CmpOp::Le };
                     let c = cmp(op, lhs, num(cond.rhs as f64));
-                    let then_s = self.lower_stmts(b, then_body);
-                    let else_s = self.lower_stmts(b, else_body);
+                    let then_s = self.lower_stmts(b, then_body, k_shift);
+                    let else_s = self.lower_stmts(b, else_body, k_shift);
                     out.push(if else_s.is_empty() {
                         b.if_then(c, then_s)
                     } else {
@@ -524,7 +781,7 @@ impl Lowering<'_> {
                         InnerBound::Extent(e) => ac(lo + e - 1),
                         InnerBound::Triangular => av(self.k),
                     };
-                    let inner_body = self.lower_stmts(b, body);
+                    let inner_body = self.lower_stmts(b, body, k_shift);
                     out.push(b.do_loop(self.j, ac(*lo), upper, inner_body));
                 }
             }
@@ -556,6 +813,14 @@ pub struct GenConfig {
     /// Maximum straight-line statements per serial chunk (prologue, gaps,
     /// epilogue).
     pub max_serial_stmts: usize,
+    /// Probability (out of 100) that a program with regions declares
+    /// indirection arrays. Once declared, each region assignment picks an
+    /// indirect target or term with a fixed 3-in-10 chance, so such a
+    /// program almost always contains at least one irregular reference.
+    pub irregular_pct: u32,
+    /// Probability (out of 100) that a region is a bounded WHILE with a
+    /// data-dependent trip count.
+    pub while_pct: u32,
 }
 
 impl Default for GenConfig {
@@ -569,6 +834,8 @@ impl Default for GenConfig {
             coupling_pct: 50,
             max_regions: 3,
             max_serial_stmts: 2,
+            irregular_pct: 45,
+            while_pct: 15,
         }
     }
 }
@@ -618,10 +885,29 @@ fn gen_spec(rng: &mut Rng, cfg: &GenConfig) -> ProgramSpec {
         8..=12 => 2.min(cfg.max_regions),
         _ => cfg.max_regions,
     };
+    // Indirection arrays: only meaningful when there is a region to use
+    // them from (serial code cannot — it has no loop index).
+    let index_arrays: Vec<IndexPattern> = if n_regions > 0 && rng.chance(cfg.irregular_pct, 100) {
+        (0..1 + rng.below(2))
+            .map(|_| gen_index_pattern(rng))
+            .collect()
+    } else {
+        vec![]
+    };
+    let n_idx = index_arrays.len();
     let mut regions = Vec::with_capacity(n_regions);
     for _ in 0..n_regions {
         let outer_lo = rng.range(-2, 3);
         let outer_trips = rng.range(cfg.min_trips, cfg.max_trips);
+        let while_shape = if rng.chance(cfg.while_pct, 100) {
+            Some(WhileSpec {
+                arr: rng.below(arrays),
+                sub: SubSpec::outer(1, rng.range(-2, 2)),
+                limit: rng.range(1, 7),
+            })
+        } else {
+            None
+        };
         let n_stmts = 1 + rng.below(cfg.max_stmts);
         let mut body = Vec::new();
         for _ in 0..n_stmts {
@@ -630,6 +916,7 @@ fn gen_spec(rng: &mut Rng, cfg: &GenConfig) -> ProgramSpec {
                 cfg,
                 arrays,
                 scalars,
+                n_idx,
                 outer_lo,
                 outer_trips,
                 0,
@@ -638,6 +925,7 @@ fn gen_spec(rng: &mut Rng, cfg: &GenConfig) -> ProgramSpec {
         regions.push(RegionPart {
             outer_lo,
             outer_trips,
+            while_shape,
             body,
         });
     }
@@ -665,8 +953,21 @@ fn gen_spec(rng: &mut Rng, cfg: &GenConfig) -> ProgramSpec {
         scalars,
         serial,
         regions,
+        index_arrays,
         live_out_arrays,
         live_out_scalars,
+    }
+}
+
+/// Draws an indirection-array pattern, biased away from the identity (which
+/// is irregular only in form) toward genuine permutations and duplicates.
+fn gen_index_pattern(rng: &mut Rng) -> IndexPattern {
+    match rng.below(8) {
+        0 => IndexPattern::Identity,
+        1..=2 => IndexPattern::Reversal,
+        3..=4 => IndexPattern::CyclicShift(rng.range(1, 8)),
+        5..=6 => IndexPattern::ClampLow(rng.range(2, 10)),
+        _ => IndexPattern::ClampHigh(rng.range(2, 10)),
     }
 }
 
@@ -706,11 +1007,13 @@ fn gen_serial_assign(rng: &mut Rng, arrays: usize, scalars: usize) -> StmtSpec {
     StmtSpec::Assign(AssignSpec { target, terms })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn gen_stmt(
     rng: &mut Rng,
     cfg: &GenConfig,
     arrays: usize,
     scalars: usize,
+    n_idx: usize,
     outer_lo: i64,
     outer_trips: i64,
     depth: usize,
@@ -724,12 +1027,12 @@ fn gen_stmt(
         let mut else_body = Vec::new();
         for _ in 0..(1 + rng.below(2)) {
             then_body.push(StmtSpec::Assign(gen_assign(
-                rng, cfg, arrays, scalars, false,
+                rng, cfg, arrays, scalars, n_idx, false,
             )));
         }
         if rng.chance(1, 2) {
             else_body.push(StmtSpec::Assign(gen_assign(
-                rng, cfg, arrays, scalars, false,
+                rng, cfg, arrays, scalars, n_idx, false,
             )));
         }
         StmtSpec::If {
@@ -758,13 +1061,13 @@ fn gen_stmt(
                         rhs: rng.range(1, 4),
                     },
                     then_body: vec![StmtSpec::Assign(gen_assign(
-                        rng, cfg, arrays, scalars, true,
+                        rng, cfg, arrays, scalars, n_idx, true,
                     ))],
                     else_body: vec![],
                 });
             } else {
                 inner_body.push(StmtSpec::Assign(gen_assign(
-                    rng, cfg, arrays, scalars, true,
+                    rng, cfg, arrays, scalars, n_idx, true,
                 )));
             }
         }
@@ -774,7 +1077,7 @@ fn gen_stmt(
             body: inner_body,
         }
     } else {
-        StmtSpec::Assign(gen_assign(rng, cfg, arrays, scalars, false))
+        StmtSpec::Assign(gen_assign(rng, cfg, arrays, scalars, n_idx, false))
     }
 }
 
@@ -804,10 +1107,19 @@ fn gen_assign(
     cfg: &GenConfig,
     arrays: usize,
     scalars: usize,
+    n_idx: usize,
     inner: bool,
 ) -> AssignSpec {
+    // With indirection arrays declared, 3 in 10 array accesses (target or
+    // term alike) go through one — gathers, scatters and duplicate-index
+    // scatters all arise from the same draw.
     let target = if scalars > 0 && rng.chance(1, 4) {
         TargetSpec::Scalar(rng.below(scalars))
+    } else if n_idx > 0 && rng.chance(3, 10) {
+        TargetSpec::ArrInd {
+            arr: rng.below(arrays),
+            idx: rng.below(n_idx),
+        }
     } else {
         TargetSpec::Arr {
             arr: rng.below(arrays),
@@ -818,6 +1130,10 @@ fn gen_assign(
     let mut terms = Vec::new();
     for _ in 0..n_terms {
         let t = match rng.below(10) {
+            0..=4 if n_idx > 0 && rng.chance(3, 10) => TermSpec::ArrInd {
+                arr: rng.below(arrays),
+                idx: rng.below(n_idx),
+            },
             0..=4 => TermSpec::Arr {
                 arr: rng.below(arrays),
                 sub: gen_sub(rng, cfg, inner),
@@ -981,6 +1297,7 @@ mod tests {
             regions: vec![RegionPart {
                 outer_lo: 1,
                 outer_trips: 8,
+                while_shape: None,
                 body: vec![StmtSpec::Assign(AssignSpec {
                     target: TargetSpec::Arr {
                         arr: 0,
@@ -989,6 +1306,7 @@ mod tests {
                     terms: vec![(TermOp::Add, TermSpec::OuterIdx)],
                 })],
             }],
+            index_arrays: vec![],
             live_out_arrays: vec![0],
             live_out_scalars: vec![],
         };
@@ -1015,6 +1333,7 @@ mod tests {
                 terms: vec![(TermOp::Add, TermSpec::Const(1))],
             })]],
             regions: vec![],
+            index_arrays: vec![],
             live_out_arrays: vec![0],
             live_out_scalars: vec![],
         };

@@ -17,8 +17,8 @@
 
 use crate::diff::{check_spec, DiffConfig, DiffFailure};
 use crate::gen::{
-    region_label, AssignSpec, CondIndex, InnerBound, ProgramSpec, StmtSpec, SubSpec, TargetSpec,
-    TermOp, TermSpec,
+    region_label, AssignSpec, CondIndex, IndexPattern, InnerBound, ProgramSpec, StmtSpec, SubSpec,
+    TargetSpec, TermOp, TermSpec,
 };
 
 /// Result of a shrink run.
@@ -83,6 +83,30 @@ fn candidates(spec: &ProgramSpec) -> Vec<ProgramSpec> {
         s.regions.remove(r);
         let following = s.serial.remove(r + 1);
         s.serial[r].extend(following);
+        out.push(s);
+    }
+    // De-irregularize before statement surgery: a WHILE region becomes a
+    // plain counted DO, an indirection array collapses to the identity
+    // permutation (keeping the reference shape but removing the data
+    // dependence on the pattern), and once nothing uses them the
+    // indirection arrays disappear entirely.
+    for r in 0..spec.regions.len() {
+        if spec.regions[r].while_shape.is_some() {
+            let mut s = spec.clone();
+            s.regions[r].while_shape = None;
+            out.push(s);
+        }
+    }
+    for x in 0..spec.index_arrays.len() {
+        if spec.index_arrays[x] != IndexPattern::Identity {
+            let mut s = spec.clone();
+            s.index_arrays[x] = IndexPattern::Identity;
+            out.push(s);
+        }
+    }
+    if !spec.index_arrays.is_empty() && !spec.has_irregular() {
+        let mut s = spec.clone();
+        s.index_arrays.clear();
         out.push(s);
     }
     // Empty out or simplify each serial chunk (empty chunks are legal —
@@ -256,6 +280,17 @@ fn assign_variants(a: &AssignSpec) -> Vec<AssignSpec> {
             });
         }
     }
+    // Replace an indirect store/load by the plain affine access `a(k)` —
+    // same array, same per-iteration touch, no indirection.
+    if let TargetSpec::ArrInd { arr, .. } = &a.target {
+        out.push(AssignSpec {
+            target: TargetSpec::Arr {
+                arr: *arr,
+                sub: SubSpec::outer(1, 0),
+            },
+            terms: a.terms.clone(),
+        });
+    }
     for (i, (op, t)) in a.terms.iter().enumerate() {
         if let TermSpec::Arr { arr, sub } = t {
             for s2 in simplify_sub(*sub) {
@@ -266,6 +301,20 @@ fn assign_variants(a: &AssignSpec) -> Vec<AssignSpec> {
                     terms,
                 });
             }
+        }
+        if let TermSpec::ArrInd { arr, .. } = t {
+            let mut terms = a.terms.clone();
+            terms[i] = (
+                *op,
+                TermSpec::Arr {
+                    arr: *arr,
+                    sub: SubSpec::outer(1, 0),
+                },
+            );
+            out.push(AssignSpec {
+                target: a.target.clone(),
+                terms,
+            });
         }
         if !matches!(t, TermSpec::Const(_)) {
             let mut terms = a.terms.clone();
@@ -288,6 +337,7 @@ fn assign_variants(a: &AssignSpec) -> Vec<AssignSpec> {
 /// reference-id order), ready to paste into a regression test.
 pub fn reproducer(spec: &ProgramSpec) -> String {
     let (shifts, extents) = spec.layout_plan();
+    let idx_n = spec.idx_extent();
     let mut out = String::new();
     let mut push = |line: &str| {
         out.push_str(line);
@@ -298,7 +348,11 @@ pub fn reproducer(spec: &ProgramSpec) -> String {
     push("// whole-program HOSE/CASE against the sequential interpretation.");
     push("use refidem_ir::affine::AffineExpr;");
     push("use refidem_ir::build::{ac, add, av, cmp, idx, mul, num, sub, ProcBuilder};");
-    push("use refidem_ir::expr::CmpOp;");
+    if spec.index_arrays.is_empty() {
+        push("use refidem_ir::expr::CmpOp;");
+    } else {
+        push("use refidem_ir::expr::{BinOp, CmpOp, Expr};");
+    }
     push("use refidem_ir::program::Program;");
     push("");
     push("let mut b = ProcBuilder::new(\"repro\");");
@@ -308,10 +362,13 @@ pub fn reproducer(spec: &ProgramSpec) -> String {
     for i in 0..spec.scalars {
         push(&format!("let s{i} = b.scalar(\"s{i}\");"));
     }
+    for i in 0..spec.index_arrays.len() {
+        push(&format!("let x{i} = b.array(\"x{i}\", &[{idx_n}]);"));
+    }
     // `build()` declares both indices unconditionally; match it so the
     // emitted code produces a byte-identical variable table (and layout)
     // even when the shrunk spec has no inner loop (or no region at all).
-    push(if spec.regions.is_empty() {
+    push(if spec.regions.is_empty() && spec.index_arrays.is_empty() {
         "let _k = b.index(\"k\"); // unreferenced, but keeps the var table identical"
     } else {
         "let k = b.index(\"k\");"
@@ -330,23 +387,53 @@ pub fn reproducer(spec: &ProgramSpec) -> String {
     push(&format!("b.live_out(&[{}]);", live.join(", ")));
     let mut counter = 0usize;
     let mut top_level: Vec<String> = Vec::new();
+    for (i, pat) in spec.index_arrays.iter().enumerate() {
+        top_level.push(emit_init_loop(&mut out, i, idx_n, pat));
+    }
     for (i, region) in spec.regions.iter().enumerate() {
-        top_level.extend(emit_stmts(&mut out, &spec.serial[i], &shifts, &mut counter));
-        let body_names = emit_stmts(&mut out, &region.body, &shifts, &mut counter);
-        let name = format!("r{i}");
-        out.push_str(&format!(
-            "let {name} = b.do_loop_labeled({:?}, k, ac({}), ac({}), vec![{}]);\n",
-            region_label(i),
-            region.outer_lo,
-            region.outer_hi(),
-            body_names.join(", ")
+        top_level.extend(emit_stmts(
+            &mut out,
+            &spec.serial[i],
+            &shifts,
+            0,
+            &mut counter,
         ));
+        let k_shift = 1 - region.outer_lo;
+        let body_names = emit_stmts(&mut out, &region.body, &shifts, k_shift, &mut counter);
+        let name = format!("r{i}");
+        match &region.while_shape {
+            None => out.push_str(&format!(
+                "let {name} = b.do_loop_labeled({:?}, k, ac({}), ac({}), vec![{}]);\n",
+                region_label(i),
+                region.outer_lo,
+                region.outer_hi(),
+                body_names.join(", ")
+            )),
+            Some(ws) => {
+                // Matches build(): the condition's reference is created
+                // after the body's, so ids line up.
+                let watched = sub_code(ws.sub, shifts[ws.arr]);
+                out.push_str(&format!(
+                    "let cond{i} = cmp(CmpOp::Le, b.load_elem(a{}, vec![{watched}]), num({:?}));\n",
+                    ws.arr,
+                    ws.limit as f64 * 0.5
+                ));
+                out.push_str(&format!(
+                    "let {name} = b.while_loop_labeled({:?}, k, ac({}), ac({}), cond{i}, vec![{}]);\n",
+                    region_label(i),
+                    region.outer_lo,
+                    region.outer_hi(),
+                    body_names.join(", ")
+                ));
+            }
+        }
         top_level.push(name);
     }
     top_level.extend(emit_stmts(
         &mut out,
         spec.serial.last().expect("epilogue chunk"),
         &shifts,
+        0,
         &mut counter,
     ));
     out.push_str("let mut program = Program::new(\"repro\");\n");
@@ -355,6 +442,51 @@ pub fn reproducer(spec: &ProgramSpec) -> String {
         top_level.join(", ")
     ));
     out
+}
+
+/// Emits the initialization loop of indirection array `x{i}` exactly as
+/// [`ProgramSpec::build`] constructs it (same builder-call order, hence the
+/// same statement and reference ids). Returns the loop's variable name.
+fn emit_init_loop(out: &mut String, i: usize, n: i64, pat: &IndexPattern) -> String {
+    let name = format!("ix{i}");
+    let line = match pat {
+        IndexPattern::Identity => format!(
+            "let {name} = {{ let st = b.assign_elem(x{i}, vec![av(k)], idx(k)); \
+             b.do_loop(k, ac(1), ac({n}), vec![st]) }};\n"
+        ),
+        IndexPattern::Reversal => format!(
+            "let {name} = {{ let st = b.assign_elem(x{i}, vec![av(k)], sub(num({:?}), idx(k))); \
+             b.do_loop(k, ac(1), ac({n}), vec![st]) }};\n",
+            (n + 1) as f64
+        ),
+        IndexPattern::CyclicShift(s) => {
+            let s = crate::gen::cyclic_shift_amount(*s, n);
+            format!(
+                "let {name} = {{ \
+                 let stay = b.assign_elem(x{i}, vec![av(k)], add(idx(k), num({stay:?}))); \
+                 let wrap = b.assign_elem(x{i}, vec![av(k)], add(idx(k), num({wrap:?}))); \
+                 let g = b.if_then_else(cmp(CmpOp::Le, idx(k), num({edge:?})), vec![stay], vec![wrap]); \
+                 b.do_loop(k, ac(1), ac({n}), vec![g]) }};\n",
+                stay = s as f64,
+                wrap = (s - n) as f64,
+                edge = (n - s) as f64
+            )
+        }
+        IndexPattern::ClampLow(c) => format!(
+            "let {name} = {{ let st = b.assign_elem(x{i}, vec![av(k)], \
+             Expr::bin(BinOp::Min, idx(k), num({:?}))); \
+             b.do_loop(k, ac(1), ac({n}), vec![st]) }};\n",
+            crate::gen::clamp_bound(*c, n) as f64
+        ),
+        IndexPattern::ClampHigh(c) => format!(
+            "let {name} = {{ let st = b.assign_elem(x{i}, vec![av(k)], \
+             Expr::bin(BinOp::Max, idx(k), num({:?}))); \
+             b.do_loop(k, ac(1), ac({n}), vec![st]) }};\n",
+            crate::gen::clamp_bound(*c, n) as f64
+        ),
+    };
+    out.push_str(&line);
+    name
 }
 
 fn spec_uses_inner(stmts: &[StmtSpec]) -> bool {
@@ -388,11 +520,35 @@ fn sub_code(sub: SubSpec, shift: i64) -> String {
     parts.join(" + ")
 }
 
-fn term_code(t: &TermSpec, shifts: &[i64]) -> String {
+/// The normalized-position subscript `k + k_shift` of an indirection-array
+/// access, as builder code.
+fn pos_code(k_shift: i64) -> String {
+    if k_shift == 0 {
+        "av(k)".to_string()
+    } else {
+        format!("av(k) + ac({k_shift})")
+    }
+}
+
+/// Builder code for the indirect reference `a_arr(x_idx(k + k_shift))`,
+/// with the same builder-call order as `Lowering::indirect_ref` (the inner
+/// reference first) so reference ids line up.
+fn indirect_code(arr: usize, idx: usize, k_shift: i64) -> String {
+    format!(
+        "{{ let p = b.aref(x{idx}, vec![{}]); let s = b.indirect(p); b.aref_subs(a{arr}, vec![s]) }}",
+        pos_code(k_shift)
+    )
+}
+
+fn term_code(t: &TermSpec, shifts: &[i64], k_shift: i64) -> String {
     match t {
         TermSpec::Arr { arr, sub } => format!(
             "b.load_elem(a{arr}, vec![{}])",
             sub_code(*sub, shifts[*arr])
+        ),
+        TermSpec::ArrInd { arr, idx } => format!(
+            "{{ let r = {}; b.load_ref(r) }}",
+            indirect_code(*arr, *idx, k_shift)
         ),
         TermSpec::Scalar(n) => format!("b.load(s{n})"),
         TermSpec::OuterIdx => "idx(k)".to_string(),
@@ -401,10 +557,10 @@ fn term_code(t: &TermSpec, shifts: &[i64]) -> String {
     }
 }
 
-fn rhs_code(terms: &[(TermOp, TermSpec)], shifts: &[i64]) -> String {
+fn rhs_code(terms: &[(TermOp, TermSpec)], shifts: &[i64], k_shift: i64) -> String {
     let mut acc: Option<String> = None;
     for (op, t) in terms {
-        let e = term_code(t, shifts);
+        let e = term_code(t, shifts, k_shift);
         acc = Some(match acc {
             None => e,
             Some(prev) => {
@@ -425,6 +581,7 @@ fn emit_stmts(
     out: &mut String,
     stmts: &[StmtSpec],
     shifts: &[i64],
+    k_shift: i64,
     counter: &mut usize,
 ) -> Vec<String> {
     let mut names = Vec::new();
@@ -433,11 +590,15 @@ fn emit_stmts(
         *counter += 1;
         match s {
             StmtSpec::Assign(a) => {
-                let rhs = rhs_code(&a.terms, shifts);
+                let rhs = rhs_code(&a.terms, shifts, k_shift);
                 let line = match &a.target {
                     TargetSpec::Arr { arr, sub } => format!(
                         "let {name} = {{ let rhs = {rhs}; b.assign_elem(a{arr}, vec![{}], rhs) }};",
                         sub_code(*sub, shifts[*arr])
+                    ),
+                    TargetSpec::ArrInd { arr, idx } => format!(
+                        "let {name} = {{ let rhs = {rhs}; let lhs = {}; b.assign(lhs, rhs) }};",
+                        indirect_code(*arr, *idx, k_shift)
                     ),
                     TargetSpec::Scalar(n) => {
                         format!("let {name} = {{ let rhs = {rhs}; b.assign_scalar(s{n}, rhs) }};")
@@ -451,8 +612,8 @@ fn emit_stmts(
                 then_body,
                 else_body,
             } => {
-                let then_names = emit_stmts(out, then_body, shifts, counter);
-                let else_names = emit_stmts(out, else_body, shifts, counter);
+                let then_names = emit_stmts(out, then_body, shifts, k_shift, counter);
+                let else_names = emit_stmts(out, else_body, shifts, k_shift, counter);
                 let lhs = match cond.index {
                     CondIndex::Outer => "idx(k)",
                     CondIndex::Inner => "idx(j)",
@@ -475,7 +636,7 @@ fn emit_stmts(
                 out.push('\n');
             }
             StmtSpec::Inner { lo, bound, body } => {
-                let body_names = emit_stmts(out, body, shifts, counter);
+                let body_names = emit_stmts(out, body, shifts, k_shift, counter);
                 let upper = match bound {
                     InnerBound::Extent(e) => format!("ac({})", lo + e - 1),
                     InnerBound::Triangular => "av(k)".to_string(),
@@ -495,7 +656,7 @@ fn emit_stmts(
 mod tests {
     use super::*;
     use crate::diff::Tamper;
-    use crate::gen::{AssignSpec, RegionPart, TargetSpec, TermOp, TermSpec};
+    use crate::gen::{AssignSpec, RegionPart, TargetSpec, TermOp, TermSpec, WhileSpec};
 
     /// A hand-written two-region program whose first region's speculative
     /// read, once corrupted to idempotent, makes CASE read stale values
@@ -558,14 +719,17 @@ mod tests {
                 RegionPart {
                     outer_lo: 2,
                     outer_trips: 12,
+                    while_shape: None,
                     body: vec![recurrence, noise2],
                 },
                 RegionPart {
                     outer_lo: 1,
                     outer_trips: 8,
+                    while_shape: None,
                     body: vec![noise1],
                 },
             ],
+            index_arrays: vec![],
             live_out_arrays: vec![0, 1],
             live_out_scalars: vec![0],
         }
@@ -647,5 +811,120 @@ mod tests {
         let spec = broken_label_victim();
         let result = std::panic::catch_unwind(|| shrink(&spec, &DiffConfig::default(), 100));
         assert!(result.is_err(), "shrinking a passing spec must panic");
+    }
+
+    /// An irregular victim: a scatter-accumulate through a duplicate-laden
+    /// index pattern (`a0(x0(k)) = a0(x0(k)) + 1` with `x0` clamped low, so
+    /// most segments collide on one element — a genuine cross-segment flow
+    /// whose read must stay speculative), buried under removable noise: a
+    /// WHILE region of pure scalar churn, a second (identity) indirection
+    /// array, a serial prologue and an affine noise statement.
+    fn broken_irregular_victim() -> ProgramSpec {
+        let scatter = StmtSpec::Assign(AssignSpec {
+            target: TargetSpec::ArrInd { arr: 0, idx: 0 },
+            terms: vec![
+                (TermOp::Add, TermSpec::ArrInd { arr: 0, idx: 0 }),
+                (TermOp::Add, TermSpec::Const(1)),
+            ],
+        });
+        let affine_noise = StmtSpec::Assign(AssignSpec {
+            target: TargetSpec::Arr {
+                arr: 1,
+                sub: SubSpec::outer(1, 0),
+            },
+            terms: vec![
+                (TermOp::Add, TermSpec::OuterIdx),
+                (TermOp::Add, TermSpec::ArrInd { arr: 1, idx: 1 }),
+            ],
+        });
+        // Write-only scalar churn: no speculative *read*, so the tamper
+        // cannot break this statement on its own — it is pure noise.
+        let scalar_noise = StmtSpec::Assign(AssignSpec {
+            target: TargetSpec::Scalar(0),
+            terms: vec![
+                (TermOp::Add, TermSpec::OuterIdx),
+                (TermOp::Add, TermSpec::Const(1)),
+            ],
+        });
+        let serial_noise = StmtSpec::Assign(AssignSpec {
+            target: TargetSpec::Scalar(0),
+            terms: vec![(TermOp::Add, TermSpec::Const(3))],
+        });
+        ProgramSpec {
+            arrays: 2,
+            scalars: 1,
+            serial: vec![vec![serial_noise], vec![], vec![]],
+            regions: vec![
+                RegionPart {
+                    outer_lo: 1,
+                    outer_trips: 10,
+                    while_shape: None,
+                    body: vec![scatter, affine_noise],
+                },
+                RegionPart {
+                    outer_lo: 1,
+                    outer_trips: 6,
+                    while_shape: Some(WhileSpec {
+                        arr: 1,
+                        sub: SubSpec::outer(1, 0),
+                        limit: 7,
+                    }),
+                    body: vec![scalar_noise],
+                },
+            ],
+            index_arrays: vec![IndexPattern::ClampLow(3), IndexPattern::Identity],
+            live_out_arrays: vec![0, 1],
+            live_out_scalars: vec![0],
+        }
+    }
+
+    #[test]
+    fn corrupted_irregular_labels_shrink_to_the_scatter() {
+        let spec = broken_irregular_victim();
+        let cfg = tampered_cfg();
+        let failure = check_spec(&spec, &cfg).expect_err("corrupt labels must diverge");
+        assert!(
+            matches!(failure, DiffFailure::Divergence { .. }),
+            "expected a memory divergence, got: {failure}"
+        );
+        let result = shrink(&spec, &cfg, 4000);
+        assert!(
+            result.stmts_after <= 6,
+            "an irregular failure must minimize to <= 6 statements, kept {}",
+            result.stmts_after
+        );
+        // The de-irregularize candidates must have fired on the noise: the
+        // WHILE shape and the identity indirection carry no failure, so
+        // neither survives minimization…
+        assert!(
+            result.spec.regions.iter().all(|r| r.while_shape.is_none()),
+            "the WHILE noise region must be de-irregularized or dropped"
+        );
+        // …while the duplicate-laden pattern is load-bearing (an identity
+        // permutation has no colliding addresses, hence no cross-segment
+        // flow for the corrupted label to break) and must survive.
+        assert!(result.spec.has_irregular(), "the scatter must survive");
+        assert!(
+            result
+                .spec
+                .index_arrays
+                .iter()
+                .any(|p| !matches!(p, IndexPattern::Identity)),
+            "the duplicate-laden index pattern is the failure and must stay"
+        );
+        assert!(
+            check_spec(&result.spec, &cfg).is_err(),
+            "shrunk spec must still fail"
+        );
+        assert!(
+            check_spec(&result.spec, &DiffConfig::default()).is_ok(),
+            "the untampered shrunk spec must be clean"
+        );
+        // The reproducer renders the indirect reference shape.
+        let code = reproducer(&result.spec);
+        assert!(
+            code.contains("b.indirect("),
+            "reproducer must emit the indirection:\n{code}"
+        );
     }
 }

@@ -116,7 +116,11 @@ fn restart_budget_zero_keeps_every_benchmark_byte_exact() {
     // still completes — regions that roll back even once fall back to the
     // recorded serial path — and the output bits never change.
     let benchmarks = all_benchmarks();
-    assert_eq!(benchmarks.len(), 13, "the full SPEC/Perfect suite");
+    assert_eq!(
+        benchmarks.len(),
+        14,
+        "the full SPEC/Perfect suite plus IRREG"
+    );
     let cfg = DiffConfig {
         capacities: vec![4],
         governor: Governor::default().restart_budget(0),

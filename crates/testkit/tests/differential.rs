@@ -50,6 +50,43 @@ fn thousand_plus_generated_programs_have_zero_divergences() {
 }
 
 #[test]
+fn generator_distribution_covers_irregular_shapes() {
+    // The irregular-reference corpus push: across the suite's seed range a
+    // solid fraction of programs must carry indirection arrays and WHILE
+    // regions, while every program stays distinct (the listing-based
+    // distinctness bar of the headline suite must not regress from the new
+    // shapes collapsing programs together).
+    let mut listings = std::collections::BTreeSet::new();
+    let mut irregular = 0usize;
+    let mut with_while = 0usize;
+    for seed in 0..SUITE_SEEDS {
+        let g = generate(seed);
+        listings.insert(refidem_ir::pretty::program_to_string(&g.program));
+        if g.spec.has_irregular() {
+            irregular += 1;
+        }
+        if g.spec.has_while() {
+            with_while += 1;
+        }
+    }
+    assert!(
+        listings.len() >= 1000,
+        "need >= 1000 distinct programs, got {}",
+        listings.len()
+    );
+    let quarter = SUITE_SEEDS as usize / 4;
+    assert!(
+        irregular >= quarter,
+        "only {irregular}/{SUITE_SEEDS} programs have irregular references (need >= {quarter})"
+    );
+    let tenth = SUITE_SEEDS as usize / 10;
+    assert!(
+        with_while >= tenth,
+        "only {with_while}/{SUITE_SEEDS} programs have a WHILE region (need >= {tenth})"
+    );
+}
+
+#[test]
 fn suite_is_deterministic_across_runs() {
     let a = run_suite(1000..1010, &DiffConfig::default());
     let b = run_suite(1000..1010, &DiffConfig::default());

@@ -1,0 +1,172 @@
+//! The irregular slice of the corpus, on its own: every generated program
+//! with indirection arrays or a WHILE region runs the full differential
+//! check, the chaos campaign re-runs the slice on both runtimes, a
+//! duplicate-index scatter must force real violations, and a seeded
+//! irregular failure must minimize to a handful of statements. CI runs
+//! this file as the `irregular`-tagged step of the differential and chaos
+//! jobs (filter: `cargo test --test irregular_differential irregular`).
+
+use refidem_specsim::SpecRuntime;
+use refidem_testkit::{
+    chaos_config, check_generated, check_spec, generate, reproducer, shrink, DiffConfig, DiffStats,
+    GeneratedProgram, ProgramSpec, Tamper,
+};
+
+/// Seed range the irregular slice is drawn from. Roughly a third of these
+/// seeds carry indirection arrays or WHILE regions (the generator
+/// distribution test pins the exact floors), so the slice is a few hundred
+/// programs — small enough to re-run under chaos on both runtimes.
+const SLICE_SEEDS: u64 = 512;
+
+fn irregular_slice(seeds: u64) -> Vec<GeneratedProgram> {
+    (0..seeds)
+        .map(generate)
+        .filter(|g| g.spec.has_irregular() || g.spec.has_while())
+        .collect()
+}
+
+#[test]
+fn irregular_slice_differential_is_byte_exact() {
+    let slice = irregular_slice(SLICE_SEEDS);
+    assert!(
+        slice.len() >= SLICE_SEEDS as usize / 4,
+        "the slice must be a solid fraction of the corpus, got {} of {}",
+        slice.len(),
+        SLICE_SEEDS
+    );
+    let cfg = DiffConfig::default();
+    let mut stats = DiffStats::default();
+    for g in &slice {
+        match check_generated(g, &cfg) {
+            Ok(s) => stats.merge(&s),
+            Err(f) => panic!("seed {} diverged: {f}", g.seed),
+        }
+    }
+    // The slice genuinely stresses speculation: runtime conflicts from
+    // duplicate-laden index patterns must show up as violations somewhere,
+    // and capacity 1 guarantees overflow stalls.
+    assert!(
+        stats.violations > 0,
+        "no irregular program ever raised a violation"
+    );
+    assert!(stats.overflow_stalls > 0);
+}
+
+#[test]
+fn irregular_slice_survives_chaos_on_both_runtimes() {
+    // The chaos contract on the irregular slice: byte-exact against the
+    // sequential oracle (possibly via serial fallback) or the clean
+    // structured error the schedule injected — on the simulated engine and
+    // on real threads at 1, 2 and 8 workers.
+    let slice = irregular_slice(192);
+    assert!(!slice.is_empty());
+    let runtimes = [
+        (SpecRuntime::Simulated, vec![4usize]),
+        (SpecRuntime::Threads, vec![1, 2, 8]),
+    ];
+    for (runtime, processor_counts) in runtimes {
+        for processors in processor_counts {
+            let base = DiffConfig {
+                processors,
+                runtime,
+                capacities: vec![1, 4, 64],
+                ..Default::default()
+            };
+            for g in &slice {
+                let cfg = chaos_config(&base, g.seed);
+                if let Err(f) = check_generated(g, &cfg) {
+                    panic!(
+                        "{runtime:?} x{processors}: chaos seed {} failed: {f}",
+                        g.seed
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The duplicate-index scatter kernel: `a0(x0(k)) = a0(x0(k)) + 1` with
+/// `x0` clamped low, so every segment past the clamp point collides on one
+/// element — a genuine runtime cross-segment flow the analyzer cannot see.
+fn duplicate_scatter_spec() -> ProgramSpec {
+    use refidem_testkit::gen::{
+        AssignSpec, IndexPattern, RegionPart, StmtSpec, TargetSpec, TermOp, TermSpec,
+    };
+    let scatter = StmtSpec::Assign(AssignSpec {
+        target: TargetSpec::ArrInd { arr: 0, idx: 0 },
+        terms: vec![
+            (TermOp::Add, TermSpec::ArrInd { arr: 0, idx: 0 }),
+            (TermOp::Add, TermSpec::Const(1)),
+        ],
+    });
+    ProgramSpec {
+        arrays: 1,
+        scalars: 0,
+        serial: vec![vec![], vec![]],
+        regions: vec![RegionPart {
+            outer_lo: 1,
+            outer_trips: 12,
+            while_shape: None,
+            body: vec![scatter],
+        }],
+        index_arrays: vec![IndexPattern::ClampLow(3)],
+        live_out_arrays: vec![0],
+        live_out_scalars: vec![],
+    }
+}
+
+#[test]
+fn duplicate_index_scatter_forces_irregular_violations_and_stays_exact() {
+    // With no injected faults at all, the colliding addresses must raise
+    // real dependence violations at some ladder point — and the rollback
+    // machinery must still land byte-exact on every rung.
+    let spec = duplicate_scatter_spec();
+    let stats = check_spec(&spec, &DiffConfig::default())
+        .unwrap_or_else(|f| panic!("duplicate-index scatter diverged: {f}"));
+    assert!(
+        stats.violations >= 1,
+        "the colliding scatter must be caught by a violation, saw {}",
+        stats.violations
+    );
+    assert!(stats.rollbacks >= 1, "a violation implies a rollback");
+    // And under a chaotic fault schedule on top of the real conflicts the
+    // contract still holds.
+    let chaotic = chaos_config(&DiffConfig::default(), 11);
+    check_spec(&spec, &chaotic).unwrap_or_else(|f| panic!("scatter under chaos diverged: {f}"));
+}
+
+#[test]
+fn seeded_irregular_failure_minimizes_to_a_small_irregular_reproducer() {
+    // Satellite regression: take a *generated* irregular program, corrupt
+    // its labels (promote speculative reads to idempotent), find a seed
+    // the corruption actually breaks, and demand the shrinker reduce it to
+    // a reproducer of at most six statements.
+    let cfg = DiffConfig {
+        tamper: Some(Tamper::PromoteSpeculativeReads),
+        ..DiffConfig::case_only()
+    };
+    let victim = (0..SLICE_SEEDS)
+        .map(generate)
+        .find(|g| {
+            (g.spec.has_irregular() || g.spec.has_while()) && check_generated(g, &cfg).is_err()
+        })
+        .expect("some irregular seed must diverge under corrupted labels");
+    let result = shrink(&victim.spec, &cfg, 4000);
+    assert!(
+        result.stmts_after <= 6,
+        "seed {}: expected a <= 6-statement reproducer, kept {} of {}",
+        victim.seed,
+        result.stmts_after,
+        result.stmts_before
+    );
+    assert!(
+        check_spec(&result.spec, &cfg).is_err(),
+        "the minimized spec must still fail"
+    );
+    assert!(
+        check_spec(&result.spec, &DiffConfig::default()).is_ok(),
+        "the untampered minimized spec must be clean"
+    );
+    // The reproducer must be emittable (it is what lands in a bug report).
+    assert!(reproducer(&result.spec).contains("ProcBuilder::new"));
+}

@@ -10,6 +10,7 @@ use refidem::core::label::{label_abstract_region, label_program_region, Label};
 use refidem::core::model::AbstractRegion;
 use refidem::specsim::{run_sequential, SimConfig};
 use refidem_benchmarks::examples;
+use refidem_benchmarks::suite::irreg;
 
 /// Renders an abstract region's labeling: every reference in segment order
 /// with its label, then the static statistics.
@@ -179,6 +180,53 @@ dynamic total=2624 idempotent=2304 fraction=0.8780
   shared-dependent: 1280
 ";
 
+const GOLDEN_GATHER_DO100: &str = "\
+loop IRREG GATHER_DO100 region GATHER_DO100 fully_independent=false
+  r8 read  row      -> idempotent(read-only)
+  r9 read  y        -> speculative
+  r10 read  a        -> idempotent(read-only)
+  r6 read  col      -> idempotent(read-only)
+  r7 read  x        -> idempotent(read-only)
+  r11 read  row      -> idempotent(read-only)
+  r12 write y        -> speculative
+static total=7 idempotent=5 speculative=2
+  read-only: 5
+dynamic total=224 idempotent=160 fraction=0.7143
+  read-only: 160
+";
+
+const GOLDEN_WALK_DO200: &str = "\
+loop IRREG WALK_DO200 region WALK_DO200 fully_independent=false
+  r20 read  key      -> idempotent(read-only)
+  r15 read  out      -> idempotent(shared-dependent)
+  r13 read  ptr      -> idempotent(read-only)
+  r14 read  tbl      -> idempotent(read-only)
+  r16 write out      -> speculative
+  r17 read  out      -> speculative
+  r18 read  tbl      -> idempotent(read-only)
+  r19 write out      -> speculative
+static total=8 idempotent=5 speculative=3
+  read-only: 4
+  shared-dependent: 1
+dynamic total=137 idempotent=86 fraction=0.6277
+  read-only: 69
+  shared-dependent: 17
+";
+
+const GOLDEN_HIST_DO300: &str = "\
+loop IRREG HIST_DO300 region HIST_DO300 fully_independent=false
+  r26 read  mask     -> idempotent(read-only)
+  r21 read  bin      -> idempotent(read-only)
+  r22 read  hist     -> speculative
+  r23 read  w        -> idempotent(read-only)
+  r24 read  bin      -> idempotent(read-only)
+  r25 write hist     -> speculative
+static total=6 idempotent=4 speculative=2
+  read-only: 4
+dynamic total=117 idempotent=83 fraction=0.7094
+  read-only: 83
+";
+
 #[test]
 #[ignore = "prints the current goldens for regeneration"]
 fn print_goldens() {
@@ -186,6 +234,9 @@ fn print_goldens() {
     println!("=== figure2 ===\n{}", render_abstract(&examples::figure2()));
     println!("=== figure3 ===\n{}", render_abstract(&examples::figure3()));
     println!("=== figure4 ===\n{}", render_loop(&examples::figure4()));
+    println!("=== gather ===\n{}", render_loop(&irreg::gather_do100()));
+    println!("=== walk ===\n{}", render_loop(&irreg::walk_do200()));
+    println!("=== hist ===\n{}", render_loop(&irreg::hist_do300()));
 }
 
 #[test]
@@ -206,4 +257,29 @@ fn figure3_labels_match_golden() {
 #[test]
 fn figure4_labels_match_golden() {
     assert_eq!(render_loop(&examples::figure4()), GOLDEN_FIGURE4);
+}
+
+#[test]
+fn irregular_gather_labels_match_golden() {
+    // The indirect gather/scatter: every index-array and operand stream
+    // read stays read-only idempotent, the indirect y accesses stay
+    // speculative — CASE bypasses 5 of 7 static references even though
+    // the analyzer proved nothing about the region.
+    assert_eq!(render_loop(&irreg::gather_do100()), GOLDEN_GATHER_DO100);
+}
+
+#[test]
+fn irregular_walk_labels_match_golden() {
+    // The WHILE-region table walk: the continuation condition's key read
+    // is read-only idempotent, the out accumulation chain is speculative
+    // (conditional writes can never be RFW), and the dynamic counts
+    // reflect the data-dependent termination at k = 18 of 32.
+    assert_eq!(render_loop(&irreg::walk_do200()), GOLDEN_WALK_DO200);
+}
+
+#[test]
+fn irregular_hist_labels_match_golden() {
+    // The guarded histogram: mask/bin/w reads are read-only idempotent,
+    // the guarded indirect hist update is speculative.
+    assert_eq!(render_loop(&irreg::hist_do300()), GOLDEN_HIST_DO300);
 }

@@ -1,0 +1,72 @@
+//! The IRREG workload end to end: the analyzer must fail to prove any of
+//! its regions independent, yet speculation must win at capacity >= 4 —
+//! the acceptance gate of the irregular-reference scenarios.
+
+use refidem::analysis::region::RegionAnalysis;
+use refidem::benchmarks::{irregular_loops, suite};
+use refidem::core::label::label_program;
+use refidem::core::label::label_program_region_by_name;
+use refidem::ir::ids::ProcId;
+use refidem::specsim::{compare_modes, compare_program_modes, SimConfig};
+
+#[test]
+fn analyzer_cannot_prove_any_irregular_region_independent() {
+    for l in irregular_loops() {
+        let a = RegionAnalysis::analyze(&l.program, &l.region).unwrap();
+        assert!(!a.fully_independent, "{}", l.name);
+        assert!(
+            !a.compiler_parallelizable,
+            "{}: a conventional parallelizer must reject this loop",
+            l.name
+        );
+    }
+}
+
+#[test]
+fn speculation_wins_on_the_whole_irreg_program() {
+    // Permutation index streams carry no real conflicts and the walk
+    // terminates early, so at capacity >= 4 both HOSE and CASE beat the
+    // sequential interpretation even though the analyzer proved nothing.
+    let bench = suite::irreg::benchmark();
+    let labeled = label_program(&bench.program, ProcId::from_index(0)).unwrap();
+    let cfg = SimConfig::default().capacity(8);
+    let cmp = compare_program_modes(&bench.program, &labeled, &cfg).unwrap();
+    assert!(
+        cmp.hose_speedup() > 1.0,
+        "HOSE whole-program speedup {} must exceed 1",
+        cmp.hose_speedup()
+    );
+    assert!(
+        cmp.case_speedup() > 1.0,
+        "CASE whole-program speedup {} must exceed 1",
+        cmp.case_speedup()
+    );
+}
+
+#[test]
+fn every_irregular_loop_speeds_up_at_capacity_4_and_up() {
+    for l in irregular_loops() {
+        let label = &l.region.loop_label;
+        let labeled = label_program_region_by_name(&l.program, label).unwrap();
+        for capacity in [4usize, 8, 32] {
+            let cfg = SimConfig::default().capacity(capacity);
+            let cmp = compare_modes(&l.program, &labeled, &cfg).unwrap();
+            assert!(
+                cmp.case_speedup() > 1.0,
+                "{} CASE speedup {} at capacity {capacity} must exceed 1",
+                l.name,
+                cmp.case_speedup()
+            );
+        }
+        // HOSE buffers every reference, so give it headroom: at a capacity
+        // that fits the full per-segment footprint it must also win.
+        let cfg = SimConfig::default().capacity(32);
+        let cmp = compare_modes(&l.program, &labeled, &cfg).unwrap();
+        assert!(
+            cmp.hose_speedup() > 1.0,
+            "{} HOSE speedup {} at capacity 32 must exceed 1",
+            l.name,
+            cmp.hose_speedup()
+        );
+    }
+}

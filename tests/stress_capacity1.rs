@@ -77,3 +77,18 @@ fn capacity_one_case_is_also_sound_on_every_named_loop() {
         );
     }
 }
+
+#[test]
+fn the_stress_sweep_covers_the_irregular_loops() {
+    // The capacity-1 sweeps above run over `all_named_loops`; the
+    // irregular trio (indirect gather/scatter, WHILE table walk, guarded
+    // histogram) must be in that set — runtime-resolved addresses under a
+    // one-word buffer are exactly the worst case this file exists for.
+    let names: Vec<&str> = all_named_loops().iter().map(|b| b.name).collect();
+    for name in ["IRREG GATHER_DO100", "IRREG WALK_DO200", "IRREG HIST_DO300"] {
+        assert!(
+            names.contains(&name),
+            "{name} missing from the stress sweep: {names:?}"
+        );
+    }
+}
