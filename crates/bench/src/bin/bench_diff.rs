@@ -116,22 +116,35 @@ fn main() -> ExitCode {
         };
         println!("{name:<52} {old_ns:>12} {new_ns:>12} {ratio:>8.2}{marker}");
     }
+    let mut only_new = 0usize;
     for (name, ns) in &new {
         if !old_by_name.contains_key(name.as_str()) {
+            only_new += 1;
             println!("{name:<52} {:>12} {ns:>12} {:>8}", "-", "new");
         }
     }
+    let mut only_old = 0usize;
     for (name, ns) in &old {
         if !new_names.contains(name.as_str()) {
+            only_old += 1;
             println!("{name:<52} {ns:>12} {:>12} {:>8}", "-", "gone");
         }
     }
     if common == 0 {
-        println!("no common benchmarks to compare");
+        println!(
+            "no common benchmarks to compare ({only_new} only in {}, {only_old} only in {})",
+            args.new_path, args.old_path
+        );
         return ExitCode::SUCCESS;
     }
     let geomean = (log_ratio_sum / common as f64).exp();
     println!("\n{common} common benchmarks; geometric-mean ratio {geomean:.3} (below 1.000 is a speedup)");
+    if only_new + only_old > 0 {
+        println!(
+            "{only_new} only in {}, {only_old} only in {} — excluded from the geomean",
+            args.new_path, args.old_path
+        );
+    }
     if let Some(threshold_pct) = args.fail_above_pct {
         let limit = 1.0 + threshold_pct / 100.0;
         if let Some((name, ratio)) = worst.filter(|(_, r)| *r > limit) {

@@ -14,7 +14,16 @@
 //!   with any entries already present so several bench binaries can share
 //!   one file (this is how CI produces `BENCH_2.json`);
 //! * `BENCH_SAMPLES=<n>` — override the per-benchmark sample count (the
-//!   short profile CI runs uses a small value).
+//!   short profile CI runs uses a small value);
+//! * `BENCH_FILTER=<substr>` — only run benchmarks whose full
+//!   `group/function` name contains the substring, ASCII
+//!   case-insensitively (skipped benches are counted in the footer), so
+//!   `TWLDRV` reaches `interp/FPPPP TWLDRV_DO100` and
+//!   `fused_tier_twldrv/*` alike. The `--filter <substr>` command-line flag
+//!   (also accepted as `--filter=<substr>`, e.g. via
+//!   `cargo bench --bench simulator_perf -- --filter TWLDRV`) takes
+//!   precedence; other arguments — such as the `--bench` cargo appends —
+//!   are ignored.
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -66,31 +75,39 @@ pub struct Group<'h> {
 }
 
 impl Group<'_> {
-    /// Measures one benchmark and records its median sample.
+    /// Measures one benchmark and records its median sample. When the
+    /// harness carries a name filter, benches whose `group/function` name
+    /// does not contain it (ASCII case-insensitively, so `--filter TWLDRV`
+    /// reaches both `interp/FPPPP TWLDRV_DO100` and `fused_tier_twldrv/*`)
+    /// are skipped without executing the closure.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl AsRef<str>, mut f: F) {
+        let full = format!("{}/{}", self.name, name.as_ref());
+        if let Some(filter) = &self.harness.filter {
+            if !full.to_ascii_lowercase().contains(filter.as_str()) {
+                self.harness.skipped += 1;
+                return;
+            }
+        }
         let mut bencher = Bencher {
             samples: Vec::new(),
             sample_size: self.harness.sample_size,
         };
         f(&mut bencher);
         let median = bencher.median();
-        println!(
-            "{:<48} {:>14}",
-            format!("{}/{}", self.name, name.as_ref()),
-            format_duration(median)
-        );
-        self.harness
-            .results
-            .push((format!("{}/{}", self.name, name.as_ref()), median));
+        println!("{full:<48} {:>14}", format_duration(median));
+        self.harness.results.push((full, median));
     }
 
     /// Ends the group (kept for call-site parity with Criterion).
     pub fn finish(self) {}
 }
 
-/// Top-level harness: owns the sample size and the accumulated results.
+/// Top-level harness: owns the sample size, the name filter and the
+/// accumulated results.
 pub struct Harness {
     sample_size: usize,
+    filter: Option<String>,
+    skipped: usize,
     results: Vec<(String, Duration)>,
 }
 
@@ -98,6 +115,8 @@ impl Default for Harness {
     fn default() -> Self {
         Harness {
             sample_size: env_sample_size().unwrap_or(10),
+            filter: env_filter(),
+            skipped: 0,
             results: Vec::new(),
         }
     }
@@ -110,12 +129,44 @@ fn env_sample_size() -> Option<usize> {
         .and_then(|v| v.parse::<usize>().ok())
 }
 
+/// The name filter: the `--filter <substr>` / `--filter=<substr>`
+/// command-line flag when present (any other argument — e.g. the
+/// `--bench` cargo appends to `harness = false` targets — is ignored),
+/// else the `BENCH_FILTER` environment variable. Stored lowercased:
+/// matching is ASCII case-insensitive.
+fn env_filter() -> Option<String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(v) = args[i].strip_prefix("--filter=") {
+            return Some(v.to_ascii_lowercase());
+        }
+        if args[i] == "--filter" {
+            return args.get(i + 1).map(|v| v.to_ascii_lowercase());
+        }
+        i += 1;
+    }
+    std::env::var("BENCH_FILTER")
+        .ok()
+        .filter(|v| !v.is_empty())
+        .map(|v| v.to_ascii_lowercase())
+}
+
 impl Harness {
     /// Sets the number of samples per benchmark. The `BENCH_SAMPLES`
     /// environment variable, when set, takes precedence (so CI can run a
     /// short profile without patching bench sources).
     pub fn sample_size(mut self, n: usize) -> Self {
         self.sample_size = env_sample_size().unwrap_or(n).max(1);
+        self
+    }
+
+    /// Restricts the harness to benchmarks whose full `group/function`
+    /// name contains `substr`, ASCII case-insensitively (what the
+    /// `--filter` flag sets; this builder exists for programmatic use and
+    /// tests). `None` clears the filter.
+    pub fn filter(mut self, substr: Option<&str>) -> Self {
+        self.filter = substr.map(|s| s.to_ascii_lowercase());
         self
     }
 
@@ -173,7 +224,15 @@ impl Harness {
     /// Prints the summary footer and, when `BENCH_JSON` is set, writes the
     /// machine-readable results. Call at the end of `main`.
     pub fn finish(self) {
-        println!("\n{} benchmarks measured", self.results.len());
+        if self.skipped > 0 {
+            println!(
+                "\n{} benchmarks measured ({} skipped by filter)",
+                self.results.len(),
+                self.skipped
+            );
+        } else {
+            println!("\n{} benchmarks measured", self.results.len());
+        }
         if let Ok(path) = std::env::var("BENCH_JSON") {
             if !path.is_empty() {
                 match self.write_json(&path) {
@@ -301,6 +360,29 @@ mod tests {
         group.finish();
         assert_eq!(h.results.len(), 1);
         assert!(count >= 3, "closure ran at least once per sample");
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benches_without_running_them() {
+        // Uppercase filter, lowercase bench names: matching is
+        // case-insensitive.
+        let mut h = Harness::default().sample_size(1).filter(Some("KEEP"));
+        let mut ran = 0u64;
+        let mut group = h.benchmark_group("g");
+        group.bench_function("keep_me", |b| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box(ran)
+            })
+        });
+        group.bench_function("drop_me", |_b| {
+            panic!("a filtered-out bench must not execute");
+        });
+        group.finish();
+        assert!(ran > 0, "the matching bench ran");
+        assert_eq!(h.results.len(), 1);
+        assert_eq!(h.results[0].0, "g/keep_me");
+        assert_eq!(h.skipped, 1);
     }
 
     #[test]

@@ -19,7 +19,9 @@
 use crate::affine::AffineExpr;
 use crate::expr::{BinOp, Expr, Reference, Subscript};
 use crate::ids::{RefId, VarId};
-use crate::lowered::{lower, ExecBackend, LowerKey, LowerUnit, LoweredCache, LoweredSegmentExec};
+use crate::lowered::{
+    fused::fuse, lower, ExecBackend, LowerKey, LowerUnit, LoweredCache, LoweredSegmentExec,
+};
 use crate::memory::{Addr, Layout, Memory};
 use crate::program::Procedure;
 use crate::sites::AccessKind;
@@ -523,19 +525,21 @@ impl<'p> SegmentExec<'p> {
 /// Sequential interpreter for whole procedures — the reference semantics of
 /// Definition 3.
 ///
-/// By default it executes on the lowered bytecode backend
-/// ([`crate::lowered`]); [`SeqInterp::oracle`] selects the tree-walking
-/// interpreter, which serves as the cross-checking oracle of the
-/// differential suite. Whole-procedure runs compile through the
-/// interpreter's [`LoweredCache`] (the process-global one by default), so
-/// repeatedly interpreting the same procedure lowers it once.
+/// By default it executes on the fused tier (lowered bytecode
+/// post-processed by [`crate::lowered::fused::fuse`]);
+/// [`SeqInterp::lowered`] pins the plain bytecode tier and
+/// [`SeqInterp::oracle`] selects the tree-walking interpreter, which
+/// serves as the cross-checking oracle of the differential suite.
+/// Whole-procedure runs compile through the interpreter's [`LoweredCache`]
+/// (the process-global one by default) under tier-distinct keys, so
+/// repeatedly interpreting the same procedure compiles once per tier.
 #[derive(Debug, Default)]
 pub struct SeqInterp {
     /// Maximum number of statement units per procedure run.
     pub max_steps: usize,
     /// Which execution backend to run on.
     pub backend: ExecBackend,
-    /// Compilation cache for whole-procedure runs on the lowered backend
+    /// Compilation cache for whole-procedure runs on the compiled backends
     /// (statement-list runs via [`SeqInterp::run_stmts`] have no procedure
     /// identity to key on and always compile).
     pub cache: LoweredCache,
@@ -543,11 +547,11 @@ pub struct SeqInterp {
 
 impl SeqInterp {
     /// Creates an interpreter with a generous default step budget, running
-    /// on the lowered (fast) backend with the process-global cache.
+    /// on the default (fused) backend with the process-global cache.
     pub fn new() -> Self {
         SeqInterp {
             max_steps: 200_000_000,
-            backend: ExecBackend::Lowered,
+            backend: ExecBackend::default(),
             cache: LoweredCache::default(),
         }
     }
@@ -556,6 +560,15 @@ impl SeqInterp {
     pub fn oracle() -> Self {
         SeqInterp {
             backend: ExecBackend::TreeWalk,
+            ..SeqInterp::new()
+        }
+    }
+
+    /// Creates an interpreter pinned to the plain lowered bytecode tier
+    /// (no superinstruction fusion).
+    pub fn lowered() -> Self {
+        SeqInterp {
+            backend: ExecBackend::Lowered,
             ..SeqInterp::new()
         }
     }
@@ -576,6 +589,11 @@ impl SeqInterp {
                 let mut exec = LoweredSegmentExec::new(&lowered, env);
                 exec.run(store, self.max_steps)
             }
+            ExecBackend::Fused => {
+                let fused = fuse(&lower(vars, layout, stmts));
+                let mut exec = LoweredSegmentExec::new(&fused, env);
+                exec.run(store, self.max_steps)
+            }
             ExecBackend::TreeWalk => {
                 let mut exec = SegmentExec::new(vars, layout, stmts, env);
                 exec.run(store, self.max_steps)
@@ -584,8 +602,9 @@ impl SeqInterp {
     }
 
     /// Runs a whole procedure body through a store, compiling through the
-    /// interpreter's cache on the lowered backend (keyed by the procedure's
-    /// process-unique identity, so repeated runs lower once).
+    /// interpreter's cache on the compiled backends (keyed by the
+    /// procedure's process-unique identity and the tier, so repeated runs
+    /// compile once per tier).
     fn run_proc_body(
         &self,
         proc: &Procedure,
@@ -599,6 +618,13 @@ impl SeqInterp {
                     .cache
                     .get_or_lower(key, || lower(&proc.vars, layout, &proc.body));
                 LoweredSegmentExec::new(&lowered, &[]).run(store, self.max_steps)
+            }
+            ExecBackend::Fused => {
+                let key = LowerKey::new(proc, "", LowerUnit::FusedWholeProcedure);
+                let (fused, _) = self
+                    .cache
+                    .get_or_lower(key, || fuse(&lower(&proc.vars, layout, &proc.body)));
+                LoweredSegmentExec::new(&fused, &[]).run(store, self.max_steps)
             }
             ExecBackend::TreeWalk => {
                 SegmentExec::new(&proc.vars, layout, &proc.body, &[]).run(store, self.max_steps)

@@ -37,11 +37,19 @@ use crate::program::Procedure;
 use crate::stmt::{LoopStmt, Stmt};
 use crate::var::VarTable;
 
+pub mod fused;
+
 /// Which execution backend to run IR code on.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum ExecBackend {
-    /// The lowered bytecode engine (fast path, the default).
+    /// The fused tier: lowered bytecode post-processed by [`fused::fuse`]
+    /// into superinstructions over a fixed virtual register file, with
+    /// constant-small-trip loops peeled. Heat-selected per region (cold
+    /// regions run plain bytecode) and byte-exact with the other two
+    /// backends. The default.
     #[default]
+    Fused,
+    /// The lowered bytecode engine (plain postfix tier).
     Lowered,
     /// The tree-walking interpreter (the cross-checking oracle).
     TreeWalk,
@@ -288,6 +296,12 @@ struct LoopPlan {
     /// their closed form when the loop is entered, advanced by their
     /// constant delta on every trip.
     regs: Box<[u32]>,
+    /// Induction address registers advanced *inside* the straight-line
+    /// loop body by an [`Inst::RAdvLoad`] superinstruction instead of at
+    /// [`Inst::LoopBack`]. Initialized at loop entry to one `delta` before
+    /// the closed form so the first in-body advance lands on it. Always
+    /// empty outside the fused tier (see [`fused`]).
+    pre_regs: Box<[u32]>,
 }
 
 /// One bytecode instruction. `Store`, `Branch` and `LoopEnter` terminate a
@@ -328,6 +342,121 @@ enum Inst {
     LoopBack(u32),
     /// End of the statement list.
     End,
+
+    // ----- fused-tier register-file forms (see [`fused`]) -------------
+    //
+    // The register rewrite replaces the dynamic stack pointer with fixed
+    // register indices: the depth of every stack slot is known at fuse
+    // time, so `stack[sp]` becomes `stack[dst]` and the executor never
+    // tracks `sp` for these forms. Semantics are otherwise identical to
+    // the postfix originals, including unit-termination behavior.
+    /// `stack[dst] = v`.
+    RConst { dst: u16, v: f64 },
+    /// `stack[dst] = env[slot]` (unbound → error).
+    RIndex { dst: u16, slot: u32 },
+    /// `stack[dst] = load(refs[r])`.
+    RLoad { dst: u16, r: u32 },
+    /// `stack[dst] = -stack[dst]`.
+    RNeg { dst: u16 },
+    /// `stack[dst] = stack[dst] op stack[dst + 1]`.
+    RBin { op: BinOp, dst: u16 },
+    /// `stack[dst] = stack[dst] cmp stack[dst + 1]` (1.0 / 0.0).
+    RCmp { op: CmpOp, dst: u16 },
+    /// `store(refs[r], stack[src])`. Terminates the unit.
+    RStore { r: u32, src: u16 },
+    /// Branch on `stack[src]` like [`Inst::Branch`]. Terminates the unit.
+    RBranch { target: u32, src: u16 },
+    /// WHILE continuation check on `stack[src]` for loop plan `l`, like
+    /// [`Inst::WhileBranch`]. Terminates the unit.
+    RWhileBranch { l: u32, src: u16 },
+
+    // ----- fused-tier superinstructions -------------------------------
+    /// `stack[dst] = stack[dst] op load(refs[r])`.
+    RLoadBin { r: u32, op: BinOp, dst: u16 },
+    /// `stack[dst] = stack[dst] op v`.
+    RConstBin { v: f64, op: BinOp, dst: u16 },
+    /// `stack[dst] = load(refs[r]) op v`.
+    RLoadConstBin { r: u32, v: f64, op: BinOp, dst: u16 },
+    /// `store(refs[r], stack[dst] op stack[dst + 1])`. Terminates the unit.
+    RBinStore { op: BinOp, r: u32, dst: u16 },
+    /// `store(refs[rs], stack[dst] op load(refs[rl]))` — the load happens
+    /// before the store, preserving access order. Terminates the unit.
+    RLoadBinStore {
+        rl: u32,
+        op: BinOp,
+        rs: u32,
+        dst: u16,
+    },
+    /// `store(refs[r], stack[dst] op v)`. Terminates the unit.
+    RConstBinStore { v: f64, op: BinOp, r: u32, dst: u16 },
+    /// `store(refs[rs], load(refs[rl]))`. Terminates the unit.
+    RLoadStore { rl: u32, rs: u32 },
+    /// `store(refs[r], v)`. Terminates the unit.
+    RConstStore { v: f64, r: u32 },
+    /// `stack[dst] += stack[dst+1] * stack[dst+2]` with **two** roundings
+    /// (`let t = a * b; x + t`), bit-exact with the unfused Mul-then-Add.
+    RMulAdd { dst: u16 },
+    /// [`Inst::RMulAdd`] followed by `store(refs[r], stack[dst])`.
+    /// Terminates the unit.
+    RMulAddStore { r: u32, dst: u16 },
+    /// `stack[dst] = load(refs[ra]); stack[dst + 1] = load(refs[rb]) op v`
+    /// — both operands of a two-term expression in one dispatch, loads in
+    /// access order.
+    RLoad2ConstBin {
+        ra: u32,
+        rb: u32,
+        v: f64,
+        op: BinOp,
+        dst: u16,
+    },
+    /// A whole `s = a op (b opb v)` statement in one dispatch:
+    /// `store(refs[rs], load(refs[ra]) op (load(refs[rb]) opb v))`, loads
+    /// in access order before the store. Terminates the unit.
+    RLoad2ConstBinStore {
+        ra: u32,
+        rb: u32,
+        v: f64,
+        opb: BinOp,
+        op: BinOp,
+        rs: u32,
+    },
+    /// Advance the induction register of [`RefPlan::Induction`] ref `r` by
+    /// its per-trip delta, then `stack[dst] = load(refs[r])`. Replaces the
+    /// [`Inst::LoopBack`]-time advance for `pre_regs` (straight-line loop
+    /// bodies execute every instruction exactly once per trip).
+    RAdvLoad { dst: u16, r: u32 },
+
+    // ----- fused-tier peeled loops -------------------------------------
+    /// First trip of a peeled constant-trip loop: bind `env[slot] = value`.
+    /// Terminates the unit (it replaces the loop's [`Inst::LoopEnter`]).
+    PeelEnter { slot: u32, value: i64 },
+    /// Rebind `env[slot] = value` between peeled copies. Free, like the
+    /// [`Inst::LoopBack`] it replaces.
+    Rebind { slot: u32, value: i64 },
+    /// A peeled zero-trip loop: binds nothing, falls through. Terminates
+    /// the unit (it replaces the loop's [`Inst::LoopEnter`]).
+    PeelNop,
+}
+
+/// Applies a binary operator with the simulator's division-by-zero
+/// convention. Shared by the postfix [`Inst::Bin`] and every fused
+/// superinstruction so merged ops cannot drift semantically.
+#[inline]
+fn apply_bin(op: BinOp, x: f64, y: f64) -> f64 {
+    match op {
+        BinOp::Add => x + y,
+        BinOp::Sub => x - y,
+        BinOp::Mul => x * y,
+        BinOp::Div => {
+            if y == 0.0 {
+                0.0
+            } else {
+                x / y
+            }
+        }
+        BinOp::Min => x.min(y),
+        BinOp::Max => x.max(y),
+    }
 }
 
 /// A statement list compiled to flat bytecode, reusable across any number
@@ -355,6 +484,164 @@ impl LoweredProc {
     /// induction address registers (exposed for tests and diagnostics).
     pub fn induction_reduced_refs(&self) -> usize {
         self.addr_regs.len()
+    }
+
+    /// Total number of instructions (including the trailing `End`).
+    pub fn inst_count(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Number of fused superinstructions (merged multi-op forms plus
+    /// advance-and-load). Zero for plain lowered bytecode.
+    pub fn superinst_count(&self) -> usize {
+        self.insts
+            .iter()
+            .filter(|i| {
+                matches!(
+                    i,
+                    Inst::RLoadBin { .. }
+                        | Inst::RConstBin { .. }
+                        | Inst::RLoadConstBin { .. }
+                        | Inst::RBinStore { .. }
+                        | Inst::RLoadBinStore { .. }
+                        | Inst::RConstBinStore { .. }
+                        | Inst::RLoadStore { .. }
+                        | Inst::RConstStore { .. }
+                        | Inst::RMulAdd { .. }
+                        | Inst::RMulAddStore { .. }
+                        | Inst::RLoad2ConstBin { .. }
+                        | Inst::RLoad2ConstBinStore { .. }
+                        | Inst::RAdvLoad { .. }
+                )
+            })
+            .count()
+    }
+
+    /// Number of loops the fused tier peeled away (`PeelEnter` plus
+    /// `PeelNop` instructions). Zero for plain lowered bytecode.
+    pub fn peeled_loop_count(&self) -> usize {
+        self.insts
+            .iter()
+            .filter(|i| matches!(i, Inst::PeelEnter { .. } | Inst::PeelNop))
+            .count()
+    }
+
+    /// True when the value stack was rewritten into fixed register-file
+    /// form (no dynamic push/pop traffic remains).
+    pub fn is_register_form(&self) -> bool {
+        !self.insts.iter().any(|i| {
+            matches!(
+                i,
+                Inst::Const(_)
+                    | Inst::Index(_)
+                    | Inst::Load(_)
+                    | Inst::Neg
+                    | Inst::Bin(_)
+                    | Inst::Cmp(_)
+                    | Inst::Store(_)
+                    | Inst::Branch(_)
+                    | Inst::WhileBranch(_)
+            )
+        })
+    }
+
+    /// Renders the instruction stream as one mnemonic per line, reference
+    /// operands annotated with their plan kind — the introspection surface
+    /// behind the fused-tier golden snapshot and the fallback assertions.
+    pub fn disasm(&self) -> String {
+        use std::fmt::Write;
+        let kind = |r: u32| match &self.refs[r as usize] {
+            RefPlan::Scalar { addr, .. } => format!("r{r}:scalar@{addr}"),
+            RefPlan::Induction { reg, .. } => format!("r{r}:ind(reg{reg})"),
+            RefPlan::Fused { .. } => format!("r{r}:fused"),
+            RefPlan::Dim1 { .. } => format!("r{r}:dim1"),
+            RefPlan::General { .. } => format!("r{r}:general"),
+        };
+        let mut out = String::new();
+        for (pc, inst) in self.insts.iter().enumerate() {
+            let line = match *inst {
+                Inst::Const(v) => format!("const {v}"),
+                Inst::Index(slot) => format!("index #{slot}"),
+                Inst::Load(r) => format!("load {}", kind(r)),
+                Inst::Neg => "neg".to_string(),
+                Inst::Bin(op) => format!("bin {op:?}"),
+                Inst::Cmp(op) => format!("cmp {op:?}"),
+                Inst::Store(r) => format!("store {}", kind(r)),
+                Inst::Branch(t) => format!("branch ->{t}"),
+                Inst::WhileBranch(l) => format!("whilebranch loop{l}"),
+                Inst::LoopEnter(l) => format!("loopenter loop{l}"),
+                Inst::Jump(t) => format!("jump ->{t}"),
+                Inst::LoopBack(l) => format!("loopback loop{l}"),
+                Inst::End => "end".to_string(),
+                Inst::RConst { dst, v } => format!("rconst v{dst} = {v}"),
+                Inst::RIndex { dst, slot } => format!("rindex v{dst} = #{slot}"),
+                Inst::RLoad { dst, r } => format!("rload v{dst} = {}", kind(r)),
+                Inst::RNeg { dst } => format!("rneg v{dst}"),
+                Inst::RBin { op, dst } => format!("rbin v{dst} = v{dst} {op:?} v{}", dst + 1),
+                Inst::RCmp { op, dst } => format!("rcmp v{dst} = v{dst} {op:?} v{}", dst + 1),
+                Inst::RStore { r, src } => format!("rstore {} = v{src}", kind(r)),
+                Inst::RBranch { target, src } => format!("rbranch v{src} ->{target}"),
+                Inst::RWhileBranch { l, src } => format!("rwhilebranch v{src} loop{l}"),
+                Inst::RLoadBin { r, op, dst } => {
+                    format!("rloadbin v{dst} = v{dst} {op:?} {}", kind(r))
+                }
+                Inst::RConstBin { v, op, dst } => format!("rconstbin v{dst} = v{dst} {op:?} {v}"),
+                Inst::RLoadConstBin { r, v, op, dst } => {
+                    format!("rloadconstbin v{dst} = {} {op:?} {v}", kind(r))
+                }
+                Inst::RBinStore { op, r, dst } => {
+                    format!("rbinstore {} = v{dst} {op:?} v{}", kind(r), dst + 1)
+                }
+                Inst::RLoadBinStore { rl, op, rs, dst } => {
+                    format!("rloadbinstore {} = v{dst} {op:?} {}", kind(rs), kind(rl))
+                }
+                Inst::RConstBinStore { v, op, r, dst } => {
+                    format!("rconstbinstore {} = v{dst} {op:?} {v}", kind(r))
+                }
+                Inst::RLoadStore { rl, rs } => format!("rloadstore {} = {}", kind(rs), kind(rl)),
+                Inst::RConstStore { v, r } => format!("rconststore {} = {v}", kind(r)),
+                Inst::RMulAdd { dst } => {
+                    format!("rmuladd v{dst} += v{} * v{}", dst + 1, dst + 2)
+                }
+                Inst::RMulAddStore { r, dst } => {
+                    format!(
+                        "rmuladdstore {} = v{dst} + v{} * v{}",
+                        kind(r),
+                        dst + 1,
+                        dst + 2
+                    )
+                }
+                Inst::RLoad2ConstBin { ra, rb, v, op, dst } => {
+                    format!(
+                        "rload2constbin v{dst} = {}, v{} = {} {op:?} {v}",
+                        kind(ra),
+                        dst + 1,
+                        kind(rb)
+                    )
+                }
+                Inst::RLoad2ConstBinStore {
+                    ra,
+                    rb,
+                    v,
+                    opb,
+                    op,
+                    rs,
+                } => {
+                    format!(
+                        "rload2constbinstore {} = {} {op:?} ({} {opb:?} {v})",
+                        kind(rs),
+                        kind(ra),
+                        kind(rb)
+                    )
+                }
+                Inst::RAdvLoad { dst, r } => format!("radvload v{dst} = {}", kind(r)),
+                Inst::PeelEnter { slot, value } => format!("peelenter #{slot} = {value}"),
+                Inst::Rebind { slot, value } => format!("rebind #{slot} = {value}"),
+                Inst::PeelNop => "peelnop".to_string(),
+            };
+            writeln!(out, "{pc:>4}  {line}").expect("write to String");
+        }
+        out
     }
 }
 
@@ -525,6 +812,7 @@ impl Lowerer<'_> {
             body: 0,
             exit: 0,
             regs: Box::new([]),
+            pre_regs: Box::new([]),
         });
         self.insts.push(Inst::LoopEnter(loop_idx));
         let mut rebound = Vec::new();
@@ -690,6 +978,18 @@ pub enum LowerUnit {
     /// single-region [`LowerUnit::Prologue`]/[`LowerUnit::Epilogue`]
     /// spans, which cover different statements.
     SerialSpan(usize),
+    /// [`LowerUnit::WholeProcedure`] post-processed by [`fused::fuse`].
+    /// Fused bytecode gets its own key so a cache shared between backends
+    /// (or between hot and cold regions) never hands one tier the other's
+    /// code.
+    FusedWholeProcedure,
+    /// [`LowerUnit::RegionLoop`] post-processed by [`fused::fuse`] —
+    /// the tier a heat-selected (hot) region runs in the sequential
+    /// baseline.
+    FusedRegionLoop,
+    /// [`LowerUnit::RegionBody`] post-processed by [`fused::fuse`] —
+    /// the tier hot speculative segments run.
+    FusedRegionBody,
 }
 
 /// Key of one [`LoweredCache`] entry: *which procedure*
@@ -1307,6 +1607,49 @@ impl<'p> LoweredSegmentExec<'p> {
         }
     }
 
+    /// Reads reference `r` through the store, pinning `pc` on error so the
+    /// failing unit can be identified (same contract as the inline
+    /// [`Inst::Load`] handling).
+    #[inline]
+    fn read_ref(
+        &mut self,
+        r: u32,
+        pc: usize,
+        store: &mut impl DataStore,
+    ) -> Result<f64, ExecError> {
+        let plan = &self.prog.refs[r as usize];
+        match self.addr_of(plan, store) {
+            Ok(addr) => Ok(store.read(plan.site(), addr)),
+            Err(e) => {
+                self.pc = pc;
+                Err(e)
+            }
+        }
+    }
+
+    /// Writes `value` to reference `r` through the store, pinning `pc` on
+    /// error (same contract as the inline [`Inst::Store`] handling).
+    #[inline]
+    fn write_ref(
+        &mut self,
+        r: u32,
+        value: f64,
+        pc: usize,
+        store: &mut impl DataStore,
+    ) -> Result<(), ExecError> {
+        let plan = &self.prog.refs[r as usize];
+        match self.addr_of(plan, store) {
+            Ok(addr) => {
+                store.write(plan.site(), addr, value);
+                Ok(())
+            }
+            Err(e) => {
+                self.pc = pc;
+                Err(e)
+            }
+        }
+    }
+
     /// Executes one statement unit. Returns `Ok(true)` when more work
     /// remains, `Ok(false)` when the segment has finished.
     pub fn step(&mut self, store: &mut impl DataStore) -> Result<bool, ExecError> {
@@ -1352,20 +1695,7 @@ impl<'p> LoweredSegmentExec<'p> {
                 Inst::Bin(op) => {
                     let y = self.stack[sp - 1];
                     let x = self.stack[sp - 2];
-                    self.stack[sp - 2] = match op {
-                        BinOp::Add => x + y,
-                        BinOp::Sub => x - y,
-                        BinOp::Mul => x * y,
-                        BinOp::Div => {
-                            if y == 0.0 {
-                                0.0
-                            } else {
-                                x / y
-                            }
-                        }
-                        BinOp::Min => x.min(y),
-                        BinOp::Max => x.max(y),
-                    };
+                    self.stack[sp - 2] = apply_bin(op, x, y);
                     sp -= 1;
                     pc += 1;
                 }
@@ -1427,6 +1757,12 @@ impl<'p> LoweredSegmentExec<'p> {
                             self.ind_addrs[r as usize] =
                                 prog.addr_regs[r as usize].closed.eval_bound(&self.env);
                         }
+                        // In-body-advanced registers start one delta early
+                        // so the first `RAdvLoad` lands on the closed form.
+                        for &r in plan.pre_regs.iter() {
+                            let ar = &prog.addr_regs[r as usize];
+                            self.ind_addrs[r as usize] = ar.closed.eval_bound(&self.env) - ar.delta;
+                        }
                         self.loop_stack.push(LoopState {
                             current: lower,
                             last: upper,
@@ -1474,6 +1810,197 @@ impl<'p> LoweredSegmentExec<'p> {
                 Inst::End => {
                     self.pc = pc;
                     return Ok(false);
+                }
+
+                // ----- fused-tier register-file forms ------------------
+                Inst::RConst { dst, v } => {
+                    self.stack[dst as usize] = v;
+                    pc += 1;
+                }
+                Inst::RIndex { dst, slot } => {
+                    let i = slot as usize;
+                    if !self.bound[i] {
+                        self.pc = pc;
+                        return Err(ExecError::UnboundVariable(VarId::from_index(i)));
+                    }
+                    self.stack[dst as usize] = self.env[i] as f64;
+                    pc += 1;
+                }
+                Inst::RLoad { dst, r } => {
+                    self.stack[dst as usize] = self.read_ref(r, pc, store)?;
+                    pc += 1;
+                }
+                Inst::RNeg { dst } => {
+                    self.stack[dst as usize] = -self.stack[dst as usize];
+                    pc += 1;
+                }
+                Inst::RBin { op, dst } => {
+                    let d = dst as usize;
+                    self.stack[d] = apply_bin(op, self.stack[d], self.stack[d + 1]);
+                    pc += 1;
+                }
+                Inst::RCmp { op, dst } => {
+                    let d = dst as usize;
+                    self.stack[d] = if op.apply(self.stack[d], self.stack[d + 1]) {
+                        1.0
+                    } else {
+                        0.0
+                    };
+                    pc += 1;
+                }
+                Inst::RStore { r, src } => {
+                    let value = self.stack[src as usize];
+                    self.write_ref(r, value, pc, store)?;
+                    self.pc = pc + 1;
+                    self.steps += 1;
+                    return Ok(true);
+                }
+                Inst::RBranch { target, src } => {
+                    let cond = self.stack[src as usize];
+                    self.pc = if cond != 0.0 { pc + 1 } else { target as usize };
+                    self.steps += 1;
+                    return Ok(true);
+                }
+                Inst::RWhileBranch { l, src } => {
+                    let cond = self.stack[src as usize];
+                    if cond != 0.0 {
+                        self.pc = pc + 1;
+                    } else {
+                        let plan = &prog.loops[l as usize];
+                        self.loop_stack.pop().expect("active loop");
+                        self.pc = plan.exit as usize;
+                    }
+                    self.steps += 1;
+                    return Ok(true);
+                }
+
+                // ----- fused-tier superinstructions --------------------
+                Inst::RLoadBin { r, op, dst } => {
+                    let y = self.read_ref(r, pc, store)?;
+                    let d = dst as usize;
+                    self.stack[d] = apply_bin(op, self.stack[d], y);
+                    pc += 1;
+                }
+                Inst::RConstBin { v, op, dst } => {
+                    let d = dst as usize;
+                    self.stack[d] = apply_bin(op, self.stack[d], v);
+                    pc += 1;
+                }
+                Inst::RLoadConstBin { r, v, op, dst } => {
+                    let x = self.read_ref(r, pc, store)?;
+                    self.stack[dst as usize] = apply_bin(op, x, v);
+                    pc += 1;
+                }
+                Inst::RBinStore { op, r, dst } => {
+                    let d = dst as usize;
+                    let value = apply_bin(op, self.stack[d], self.stack[d + 1]);
+                    self.write_ref(r, value, pc, store)?;
+                    self.pc = pc + 1;
+                    self.steps += 1;
+                    return Ok(true);
+                }
+                Inst::RLoadBinStore { rl, op, rs, dst } => {
+                    let y = self.read_ref(rl, pc, store)?;
+                    let value = apply_bin(op, self.stack[dst as usize], y);
+                    self.write_ref(rs, value, pc, store)?;
+                    self.pc = pc + 1;
+                    self.steps += 1;
+                    return Ok(true);
+                }
+                Inst::RConstBinStore { v, op, r, dst } => {
+                    let value = apply_bin(op, self.stack[dst as usize], v);
+                    self.write_ref(r, value, pc, store)?;
+                    self.pc = pc + 1;
+                    self.steps += 1;
+                    return Ok(true);
+                }
+                Inst::RLoadStore { rl, rs } => {
+                    let value = self.read_ref(rl, pc, store)?;
+                    self.write_ref(rs, value, pc, store)?;
+                    self.pc = pc + 1;
+                    self.steps += 1;
+                    return Ok(true);
+                }
+                Inst::RConstStore { v, r } => {
+                    self.write_ref(r, v, pc, store)?;
+                    self.pc = pc + 1;
+                    self.steps += 1;
+                    return Ok(true);
+                }
+                Inst::RMulAdd { dst } => {
+                    let d = dst as usize;
+                    // Two roundings, same operand order as Mul-then-Add.
+                    let t = self.stack[d + 1] * self.stack[d + 2];
+                    self.stack[d] += t;
+                    pc += 1;
+                }
+                Inst::RMulAddStore { r, dst } => {
+                    let d = dst as usize;
+                    let t = self.stack[d + 1] * self.stack[d + 2];
+                    let value = self.stack[d] + t;
+                    self.write_ref(r, value, pc, store)?;
+                    self.pc = pc + 1;
+                    self.steps += 1;
+                    return Ok(true);
+                }
+                Inst::RLoad2ConstBin { ra, rb, v, op, dst } => {
+                    let a = self.read_ref(ra, pc, store)?;
+                    let b = self.read_ref(rb, pc, store)?;
+                    let d = dst as usize;
+                    self.stack[d] = a;
+                    self.stack[d + 1] = apply_bin(op, b, v);
+                    pc += 1;
+                }
+                Inst::RLoad2ConstBinStore {
+                    ra,
+                    rb,
+                    v,
+                    opb,
+                    op,
+                    rs,
+                } => {
+                    let a = self.read_ref(ra, pc, store)?;
+                    let b = self.read_ref(rb, pc, store)?;
+                    let value = apply_bin(op, a, apply_bin(opb, b, v));
+                    self.write_ref(rs, value, pc, store)?;
+                    self.pc = pc + 1;
+                    self.steps += 1;
+                    return Ok(true);
+                }
+                Inst::RAdvLoad { dst, r } => {
+                    let plan = &prog.refs[r as usize];
+                    let RefPlan::Induction { reg, .. } = plan else {
+                        unreachable!("RAdvLoad targets induction refs only")
+                    };
+                    let ri = *reg as usize;
+                    self.ind_addrs[ri] += prog.addr_regs[ri].delta;
+                    let addr = self.ind_addrs[ri];
+                    debug_assert_eq!(
+                        addr,
+                        prog.addr_regs[ri].closed.eval_bound(&self.env),
+                        "advanced induction register diverged from its closed form"
+                    );
+                    debug_assert!(addr >= 0, "in-bounds proof guarantees a valid address");
+                    self.stack[dst as usize] = store.read(plan.site(), Addr(addr as u64));
+                    pc += 1;
+                }
+
+                // ----- fused-tier peeled loops -------------------------
+                Inst::PeelEnter { slot, value } => {
+                    self.env[slot as usize] = value;
+                    self.bound[slot as usize] = true;
+                    self.pc = pc + 1;
+                    self.steps += 1;
+                    return Ok(true);
+                }
+                Inst::Rebind { slot, value } => {
+                    self.env[slot as usize] = value;
+                    pc += 1;
+                }
+                Inst::PeelNop => {
+                    self.pc = pc + 1;
+                    self.steps += 1;
+                    return Ok(true);
                 }
             }
         }

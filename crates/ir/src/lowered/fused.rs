@@ -1,0 +1,1035 @@
+//! The fused execution tier: trace-fused superinstructions over a fixed
+//! virtual register file, with constant-small-trip loops peeled.
+//!
+//! [`fuse`] post-processes plain lowered bytecode (see the parent
+//! [`lowered`](crate::lowered) module) through four passes:
+//!
+//! 1. **Peel** — loops whose bounds are compile-time constants (possibly
+//!    after folding an enclosing peeled index) with at most
+//!    [`UNROLL_LIMIT`] trips are unrolled into straight-line copies of
+//!    their body. Each copy folds the induction value into `Index` reads
+//!    and provably-in-bounds affine addresses (often all the way down to
+//!    compile-time `RefPlan::Scalar` addresses); a `PeelEnter` /
+//!    `Rebind` per copy keeps the environment binding exact, so any plan
+//!    that is *not* folded — `Dim1`, `General` (including indirect
+//!    subscripts), inner-loop bounds — still evaluates bit-identically.
+//!    Zero-trip loops become a single `PeelNop`; WHILE loops are never
+//!    peeled.
+//! 2. **Register rewrite** — the postfix value stack is allocated into a
+//!    fixed register file: the stack depth of every instruction is known
+//!    statically (the stack is empty at every unit boundary and every jump
+//!    target), so each push/pop becomes a fixed `stack[dst]` slot and the
+//!    executor stops tracking a stack pointer. Procedures whose
+//!    `max_stack` exceeds [`REG_LIMIT`] skip this pass (the register-file
+//!    *spill* fallback) and keep postfix form.
+//! 3. **Superinstruction merge** — adjacent register-form pairs are fused
+//!    (to a fixpoint): load-op, const-op, load-const-op, op-store,
+//!    load-op-store, load-store, const-store, the two-rounding
+//!    multiply-add, and — composing those — the whole-statement
+//!    `s = a op (b opb v)` form that retires a two-term assignment in a
+//!    single dispatch. Merging never crosses a jump target and never
+//!    touches a `General`-plan reference, so indirect subscripts always
+//!    take the unfused no-shortcut path.
+//! 4. **Advance-and-load** — in straight-line loop bodies, a standalone
+//!    load through an induction address register is fused with the
+//!    register's per-trip advance (`RAdvLoad`), moving the advance off the
+//!    `LoopBack` edge.
+//!
+//! Every pass preserves the lowered tier's observable semantics exactly:
+//! identical memory effects, access order (traces), dynamic counts, step
+//! counting and error behavior — `backend_differential` in
+//! `refidem-testkit` proves the three backends byte-exact across the whole
+//! generated corpus and every named benchmark.
+
+use super::{AffinePlan, Inst, LoopPlan, LoweredProc, RefPlan};
+use crate::expr::BinOp;
+use crate::stmt::LoopStmt;
+
+/// Largest `max_stack` the register rewrite accepts. Deeper procedures
+/// keep the postfix encoding (the register-file spill fallback).
+pub const REG_LIMIT: usize = 64;
+
+/// Largest constant trip count the peel pass fully unrolls.
+pub const UNROLL_LIMIT: usize = 4;
+
+/// Compiles plain lowered bytecode into the fused tier. The result runs on
+/// the same [`LoweredSegmentExec`](super::LoweredSegmentExec) with the
+/// identical resumable step/rollback contract.
+pub fn fuse(base: &LoweredProc) -> LoweredProc {
+    let peeled = peel(base);
+    if peeled.max_stack > REG_LIMIT {
+        // Spill fallback: peeling alone is still byte-exact and the
+        // postfix executor handles any depth.
+        return peeled;
+    }
+    let reg = rewrite_registers(peeled);
+    let merged = merge_fixpoint(reg);
+    advance_loads(merged)
+}
+
+/// A peel-time substitution entry: `Some(value)` binds an index slot to a
+/// peeled constant; `None` masks the slot (a non-peeled loop rebinds it,
+/// shadowing any outer peeled binding). Lookup is innermost-first.
+type Subst = Vec<(u32, Option<i64>)>;
+
+fn lookup(subst: &[(u32, Option<i64>)], slot: u32) -> Option<i64> {
+    subst
+        .iter()
+        .rev()
+        .find(|(s, _)| *s == slot)
+        .and_then(|&(_, v)| v)
+}
+
+/// Folds every substituted slot of an affine plan into its constant term.
+fn fold_plan(ap: &AffinePlan, subst: &[(u32, Option<i64>)]) -> AffinePlan {
+    let mut constant = ap.constant;
+    let mut terms = Vec::new();
+    for &(s, c) in ap.terms.iter() {
+        match lookup(subst, s) {
+            Some(v) => constant += c * v,
+            None => terms.push((s, c)),
+        }
+    }
+    AffinePlan {
+        constant,
+        terms: terms.into_boxed_slice(),
+    }
+}
+
+struct Peeler<'a> {
+    base: &'a LoweredProc,
+    insts: Vec<Inst>,
+    refs: Vec<RefPlan>,
+    loops: Vec<LoopPlan>,
+    /// Induction address registers owned by peeled loops. Their `LoopEnter`
+    /// / `LoopBack` maintenance disappears with the loop, so every
+    /// reference through them **must** be folded to its closed form.
+    peeled_regs: Vec<u32>,
+}
+
+impl Peeler<'_> {
+    /// Folds the peeled-constant bindings into reference `r`'s plan,
+    /// returning the (possibly new) ref index the emitted copy should use.
+    ///
+    /// Only provably-in-bounds plans fold (`Fused` → fewer terms, possibly
+    /// a compile-time `Scalar`; `Induction` owned by a peeled loop → its
+    /// folded closed form). `Dim1` and `General` plans — the clamped and
+    /// indirect-subscript paths — are left untouched and keep evaluating
+    /// through the environment, which `PeelEnter`/`Rebind` maintain.
+    fn fold_ref(&mut self, r: u32, subst: &Subst) -> u32 {
+        if subst.is_empty() {
+            return r;
+        }
+        let folded = match &self.base.refs[r as usize] {
+            RefPlan::Fused { site, plan } => {
+                if !plan.terms.iter().any(|(s, _)| lookup(subst, *s).is_some()) {
+                    return r;
+                }
+                let plan = fold_plan(plan, subst);
+                (*site, plan)
+            }
+            RefPlan::Induction { site, reg } if self.peeled_regs.contains(reg) => {
+                let plan = fold_plan(&self.base.addr_regs[*reg as usize].closed, subst);
+                (*site, plan)
+            }
+            _ => return r,
+        };
+        let (site, plan) = folded;
+        let new = if plan.terms.is_empty() {
+            debug_assert!(plan.constant >= 0, "in-bounds proof guarantees the address");
+            RefPlan::Scalar {
+                site,
+                addr: plan.constant as u64,
+            }
+        } else {
+            RefPlan::Fused { site, plan }
+        };
+        let idx = self.refs.len() as u32;
+        self.refs.push(new);
+        idx
+    }
+
+    /// Copies base instructions `[start, end)` into the output, peeling
+    /// eligible loops and folding `subst` into index reads and foldable
+    /// reference plans. `loop_map` maps enclosing cloned (non-peeled) loop
+    /// plan indices old → new for `WhileBranch` operands.
+    fn emit_range(
+        &mut self,
+        start: usize,
+        end: usize,
+        subst: &mut Subst,
+        loop_map: &mut Vec<(u32, u32)>,
+    ) {
+        // Local old-position → new-position map for this range's branch
+        // targets; structured lowering guarantees every target of an
+        // instruction in the range lies within `[start, end]`.
+        let mut map = vec![u32::MAX; end - start + 1];
+        let mut patches: Vec<usize> = Vec::new();
+        let mut i = start;
+        while i < end {
+            map[i - start] = self.insts.len() as u32;
+            match self.base.insts[i] {
+                Inst::LoopEnter(l) => {
+                    let (next, rebound) = self.emit_loop(l, subst, loop_map);
+                    // A nested loop that can execute at least one trip
+                    // leaves its index bound to its own last trip value:
+                    // any peeled-constant binding of the same slot is
+                    // stale for the rest of this range (conservatively so
+                    // — the loop may sit behind a branch), so mask it and
+                    // let the environment carry the value.
+                    if let Some(slot) = rebound {
+                        for e in subst.iter_mut().filter(|e| e.0 == slot) {
+                            e.1 = None;
+                        }
+                    }
+                    i = next;
+                    continue;
+                }
+                Inst::Branch(t) => {
+                    patches.push(self.insts.len());
+                    self.insts.push(Inst::Branch(t));
+                }
+                Inst::Jump(t) => {
+                    patches.push(self.insts.len());
+                    self.insts.push(Inst::Jump(t));
+                }
+                Inst::Index(slot) => match lookup(subst, slot) {
+                    Some(v) => self.insts.push(Inst::Const(v as f64)),
+                    None => self.insts.push(Inst::Index(slot)),
+                },
+                Inst::Load(r) => {
+                    let r = self.fold_ref(r, subst);
+                    self.insts.push(Inst::Load(r));
+                }
+                Inst::Store(r) => {
+                    let r = self.fold_ref(r, subst);
+                    self.insts.push(Inst::Store(r));
+                }
+                Inst::WhileBranch(l) => {
+                    let nl = loop_map
+                        .iter()
+                        .rev()
+                        .find(|(o, _)| *o == l)
+                        .map(|&(_, n)| n)
+                        .expect("WHILE loop cloned by an enclosing emit_loop");
+                    self.insts.push(Inst::WhileBranch(nl));
+                }
+                Inst::LoopBack(_) => unreachable!("LoopBack is emitted by emit_loop"),
+                other => self.insts.push(other),
+            }
+            i += 1;
+        }
+        map[end - start] = self.insts.len() as u32;
+        for p in patches {
+            match &mut self.insts[p] {
+                Inst::Branch(t) | Inst::Jump(t) => {
+                    debug_assert!((start..=end).contains(&(*t as usize)));
+                    *t = map[*t as usize - start];
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    /// Emits loop plan `l` (peeled or cloned), returning the base position
+    /// just past the loop plus the index slot the emitted loop may rebind
+    /// at runtime (`None` only for a statically zero-trip peeled loop,
+    /// which binds nothing).
+    fn emit_loop(
+        &mut self,
+        l: u32,
+        subst: &mut Subst,
+        loop_map: &mut Vec<(u32, u32)>,
+    ) -> (usize, Option<u32>) {
+        let plan = self.base.loops[l as usize].clone();
+        let body = plan.body as usize;
+        let exit = plan.exit as usize;
+        let back = exit - 1;
+        debug_assert!(matches!(self.base.insts[back], Inst::LoopBack(x) if x == l));
+        let lower = fold_plan(&plan.lower, subst);
+        let upper = fold_plan(&plan.upper, subst);
+        let is_while =
+            (body..back).any(|p| matches!(self.base.insts[p], Inst::WhileBranch(x) if x == l));
+        let constant_bounds = lower.terms.is_empty() && upper.terms.is_empty();
+        let peelable = !is_while
+            && constant_bounds
+            && LoopStmt::trip_count(lower.constant, upper.constant, plan.step) <= UNROLL_LIMIT;
+        if !peelable {
+            let nl = self.loops.len() as u32;
+            self.loops.push(LoopPlan {
+                index_slot: plan.index_slot,
+                lower,
+                upper,
+                step: plan.step,
+                body: 0,
+                exit: 0,
+                regs: plan.regs.clone(),
+                pre_regs: Box::new([]),
+            });
+            self.insts.push(Inst::LoopEnter(nl));
+            let new_body = self.insts.len() as u32;
+            loop_map.push((l, nl));
+            // The clone rebinds its index per trip: mask any outer peeled
+            // binding of the same slot while emitting the body.
+            subst.push((plan.index_slot, None));
+            self.emit_range(body, back, subst, loop_map);
+            subst.pop();
+            loop_map.pop();
+            self.insts.push(Inst::LoopBack(nl));
+            let p = &mut self.loops[nl as usize];
+            p.body = new_body;
+            p.exit = self.insts.len() as u32;
+            return (exit, Some(plan.index_slot));
+        }
+        let trips = LoopStmt::trip_count(lower.constant, upper.constant, plan.step);
+        if trips == 0 {
+            // A peeled zero-trip loop binds nothing (matching LoopEnter)
+            // and still costs exactly one statement unit.
+            self.insts.push(Inst::PeelNop);
+            return (exit, None);
+        }
+        // The loop's LoopEnter/LoopBack maintenance disappears, so every
+        // register it owned must fold to its closed form from here on.
+        for &r in plan.regs.iter() {
+            if !self.peeled_regs.contains(&r) {
+                self.peeled_regs.push(r);
+            }
+        }
+        let slot = plan.index_slot;
+        let mut value = lower.constant;
+        for trip in 0..trips {
+            if trip == 0 {
+                self.insts.push(Inst::PeelEnter { slot, value });
+            } else {
+                self.insts.push(Inst::Rebind { slot, value });
+            }
+            subst.push((slot, Some(value)));
+            self.emit_range(body, back, subst, loop_map);
+            subst.pop();
+            value += plan.step;
+        }
+        (exit, Some(slot))
+    }
+}
+
+/// Pass 1: peel/unroll constant-small-trip loops (see the module docs).
+fn peel(base: &LoweredProc) -> LoweredProc {
+    let end = base.insts.len() - 1;
+    debug_assert!(matches!(base.insts[end], Inst::End));
+    let mut p = Peeler {
+        base,
+        insts: Vec::with_capacity(base.insts.len()),
+        refs: base.refs.clone(),
+        loops: Vec::new(),
+        peeled_regs: Vec::new(),
+    };
+    let mut subst = Subst::new();
+    let mut loop_map = Vec::new();
+    p.emit_range(0, end, &mut subst, &mut loop_map);
+    p.insts.push(Inst::End);
+    LoweredProc {
+        insts: p.insts,
+        refs: p.refs,
+        loops: p.loops,
+        addr_regs: base.addr_regs.clone(),
+        env_len: base.env_len,
+        max_stack: base.max_stack,
+        max_loops: base.max_loops,
+    }
+}
+
+/// Pass 2: allocate the value stack into a fixed register file. The stack
+/// depth before every instruction is a static property (empty at every
+/// unit boundary and jump target), so one linear scan assigns each push a
+/// fixed slot.
+fn rewrite_registers(p: LoweredProc) -> LoweredProc {
+    debug_assert!(p.max_stack <= REG_LIMIT);
+    let mut depth: u16 = 0;
+    let mut insts = Vec::with_capacity(p.insts.len());
+    for &inst in &p.insts {
+        let ni = match inst {
+            Inst::Const(v) => {
+                let dst = depth;
+                depth += 1;
+                Inst::RConst { dst, v }
+            }
+            Inst::Index(slot) => {
+                let dst = depth;
+                depth += 1;
+                Inst::RIndex { dst, slot }
+            }
+            Inst::Load(r) => {
+                let dst = depth;
+                depth += 1;
+                Inst::RLoad { dst, r }
+            }
+            Inst::Neg => Inst::RNeg { dst: depth - 1 },
+            Inst::Bin(op) => {
+                depth -= 1;
+                Inst::RBin { op, dst: depth - 1 }
+            }
+            Inst::Cmp(op) => {
+                depth -= 1;
+                Inst::RCmp { op, dst: depth - 1 }
+            }
+            Inst::Store(r) => {
+                depth -= 1;
+                Inst::RStore { r, src: depth }
+            }
+            Inst::Branch(t) => {
+                depth -= 1;
+                Inst::RBranch {
+                    target: t,
+                    src: depth,
+                }
+            }
+            Inst::WhileBranch(l) => {
+                depth -= 1;
+                Inst::RWhileBranch { l, src: depth }
+            }
+            other @ (Inst::LoopEnter(_)
+            | Inst::Jump(_)
+            | Inst::LoopBack(_)
+            | Inst::End
+            | Inst::PeelEnter { .. }
+            | Inst::Rebind { .. }
+            | Inst::PeelNop) => {
+                debug_assert_eq!(depth, 0, "stack empty at unit boundaries");
+                other
+            }
+            _ => unreachable!("register forms cannot appear before the rewrite"),
+        };
+        insts.push(ni);
+    }
+    debug_assert_eq!(depth, 0);
+    LoweredProc { insts, ..p }
+}
+
+/// True when reference `r` may participate in a superinstruction. The
+/// `General` plan — clamped multi-dimensional and indirect subscripts —
+/// always takes the unfused no-shortcut path.
+fn plain_ref(refs: &[RefPlan], r: u32) -> bool {
+    !matches!(refs[r as usize], RefPlan::General { .. })
+}
+
+/// Tries to fuse the adjacent pair `(a, b)` into one superinstruction.
+/// Caller guarantees `b` is not a jump target.
+fn try_merge(a: Inst, b: Inst, refs: &[RefPlan]) -> Option<Inst> {
+    Some(match (a, b) {
+        // A pushed load/const feeding the binary op that consumes it.
+        (Inst::RLoad { dst, r }, Inst::RBin { op, dst: d })
+            if d + 1 == dst && plain_ref(refs, r) =>
+        {
+            Inst::RLoadBin { r, op, dst: d }
+        }
+        (Inst::RConst { dst, v }, Inst::RBin { op, dst: d }) if d + 1 == dst => {
+            Inst::RConstBin { v, op, dst: d }
+        }
+        (Inst::RLoad { dst, r }, Inst::RConstBin { v, op, dst: d })
+            if d == dst && plain_ref(refs, r) =>
+        {
+            Inst::RLoadConstBin { r, v, op, dst: d }
+        }
+        // An op feeding the store that consumes its result.
+        (Inst::RBin { op, dst }, Inst::RStore { r, src }) if src == dst && plain_ref(refs, r) => {
+            Inst::RBinStore { op, r, dst }
+        }
+        (Inst::RLoadBin { r: rl, op, dst }, Inst::RStore { r: rs, src })
+            if src == dst && plain_ref(refs, rl) && plain_ref(refs, rs) =>
+        {
+            Inst::RLoadBinStore { rl, op, rs, dst }
+        }
+        (Inst::RConstBin { v, op, dst }, Inst::RStore { r, src })
+            if src == dst && plain_ref(refs, r) =>
+        {
+            Inst::RConstBinStore { v, op, r, dst }
+        }
+        (Inst::RLoad { dst, r: rl }, Inst::RStore { r: rs, src })
+            if src == dst && plain_ref(refs, rl) && plain_ref(refs, rs) =>
+        {
+            Inst::RLoadStore { rl, rs }
+        }
+        (Inst::RConst { dst, v }, Inst::RStore { r, src }) if src == dst && plain_ref(refs, r) => {
+            Inst::RConstStore { v, r }
+        }
+        // A whole two-term statement: the load of the first operand fuses
+        // with the already-merged load-const-op of the second, and that
+        // pair fuses with the op-store consuming both — `s = a op (b opb
+        // v)` retires in a single dispatch.
+        (
+            Inst::RLoad { dst, r: ra },
+            Inst::RLoadConstBin {
+                r: rb,
+                v,
+                op,
+                dst: d,
+            },
+        ) if d == dst + 1 && plain_ref(refs, ra) && plain_ref(refs, rb) => {
+            Inst::RLoad2ConstBin { ra, rb, v, op, dst }
+        }
+        (
+            Inst::RLoad2ConstBin {
+                ra,
+                rb,
+                v,
+                op: opb,
+                dst,
+            },
+            Inst::RBinStore { op, r, dst: d },
+        ) if d == dst && plain_ref(refs, r) => Inst::RLoad2ConstBinStore {
+            ra,
+            rb,
+            v,
+            opb,
+            op,
+            rs: r,
+        },
+        // Two-rounding multiply-add: Mul's product lands at d+1, Add
+        // consumes it — exactly `let t = a * b; x + t`.
+        (
+            Inst::RBin {
+                op: BinOp::Mul,
+                dst,
+            },
+            Inst::RBin {
+                op: BinOp::Add,
+                dst: d,
+            },
+        ) if d + 1 == dst => Inst::RMulAdd { dst: d },
+        (Inst::RMulAdd { dst }, Inst::RStore { r, src }) if src == dst && plain_ref(refs, r) => {
+            Inst::RMulAddStore { r, dst }
+        }
+        _ => return None,
+    })
+}
+
+/// Positions that are jump/loop targets: merging must never swallow the
+/// instruction a control transfer lands on.
+fn collect_targets(p: &LoweredProc) -> Vec<bool> {
+    let mut t = vec![false; p.insts.len() + 1];
+    for inst in &p.insts {
+        match *inst {
+            Inst::Branch(x) | Inst::Jump(x) | Inst::RBranch { target: x, .. } => {
+                t[x as usize] = true
+            }
+            _ => {}
+        }
+    }
+    for l in &p.loops {
+        t[l.body as usize] = true;
+        t[l.exit as usize] = true;
+    }
+    t
+}
+
+fn merge_once(p: LoweredProc) -> (LoweredProc, bool) {
+    let targets = collect_targets(&p);
+    let n = p.insts.len();
+    let mut map = vec![0u32; n + 1];
+    let mut insts = Vec::with_capacity(n);
+    let mut changed = false;
+    let mut i = 0;
+    while i < n {
+        map[i] = insts.len() as u32;
+        let merged = if i + 1 < n && !targets[i + 1] {
+            try_merge(p.insts[i], p.insts[i + 1], &p.refs)
+        } else {
+            None
+        };
+        match merged {
+            Some(m) => {
+                map[i + 1] = insts.len() as u32;
+                insts.push(m);
+                changed = true;
+                i += 2;
+            }
+            None => {
+                insts.push(p.insts[i]);
+                i += 1;
+            }
+        }
+    }
+    map[n] = insts.len() as u32;
+    if !changed {
+        return (p, false);
+    }
+    for inst in &mut insts {
+        match inst {
+            Inst::Branch(t) | Inst::Jump(t) => *t = map[*t as usize],
+            Inst::RBranch { target, .. } => *target = map[*target as usize],
+            _ => {}
+        }
+    }
+    let mut loops = p.loops;
+    for l in &mut loops {
+        l.body = map[l.body as usize];
+        l.exit = map[l.exit as usize];
+    }
+    (LoweredProc { insts, loops, ..p }, true)
+}
+
+/// Pass 3: greedy adjacent-pair fusion, iterated to a fixpoint so chains
+/// compose (load + const-op → load-const-op, op + store → op-store, ...).
+fn merge_fixpoint(mut p: LoweredProc) -> LoweredProc {
+    loop {
+        let (q, changed) = merge_once(p);
+        p = q;
+        if !changed {
+            return p;
+        }
+    }
+}
+
+/// Pass 4: in straight-line loop bodies, fuse a standalone induction-ref
+/// load with its register's per-trip advance. The register moves from the
+/// loop's `regs` (advanced at `LoopBack`) to `pre_regs` (initialized one
+/// delta early, advanced by the in-body [`Inst::RAdvLoad`]). Straight-line
+/// means every body instruction executes exactly once per trip, so the
+/// advance count stays exact even when the loop body contains peeled
+/// copies that share the register's ref across copies.
+fn advance_loads(mut p: LoweredProc) -> LoweredProc {
+    for li in 0..p.loops.len() {
+        let body = p.loops[li].body as usize;
+        let exit = p.loops[li].exit as usize;
+        let back = exit - 1;
+        debug_assert!(matches!(p.insts[back], Inst::LoopBack(x) if x as usize == li));
+        let straight = (body..back).all(|i| {
+            !matches!(
+                p.insts[i],
+                Inst::Branch(_)
+                    | Inst::Jump(_)
+                    | Inst::LoopEnter(_)
+                    | Inst::LoopBack(_)
+                    | Inst::WhileBranch(_)
+                    | Inst::RBranch { .. }
+                    | Inst::RWhileBranch { .. }
+            )
+        });
+        if !straight {
+            continue;
+        }
+        let mut moved: Vec<u32> = Vec::new();
+        for i in body..back {
+            if let Inst::RLoad { dst, r } = p.insts[i] {
+                if let RefPlan::Induction { reg, .. } = p.refs[r as usize] {
+                    if p.loops[li].regs.contains(&reg) && !moved.contains(&reg) {
+                        p.insts[i] = Inst::RAdvLoad { dst, r };
+                        moved.push(reg);
+                    }
+                }
+            }
+        }
+        if !moved.is_empty() {
+            let plan = &mut p.loops[li];
+            let regs: Vec<u32> = plan
+                .regs
+                .iter()
+                .copied()
+                .filter(|r| !moved.contains(r))
+                .collect();
+            let mut pre = plan.pre_regs.to_vec();
+            pre.extend(moved);
+            plan.regs = regs.into_boxed_slice();
+            plan.pre_regs = pre.into_boxed_slice();
+        }
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{lower, LoweredProc, LoweredSegmentExec};
+    use super::*;
+    use crate::build::{ac, add, av, cmp, idx, mul, num, ProcBuilder};
+    use crate::exec::{CountingStore, ExecError, PlainStore, SegmentExec};
+    use crate::expr::CmpOp;
+    use crate::memory::{Layout, Memory};
+    use crate::program::Procedure;
+
+    fn fused_of(proc: &Procedure) -> (Layout, LoweredProc) {
+        let layout = Layout::new(&proc.vars);
+        let fused = fuse(&lower(&proc.vars, &layout, &proc.body));
+        (layout, fused)
+    }
+
+    /// Runs `proc` on the tree-walk oracle, the plain lowered tier and the
+    /// fused tier with tracing + counting stores, asserting bit-exact
+    /// memory, identical traces, counts, step totals and errors across all
+    /// three. Returns the fused bytecode for shape assertions.
+    fn assert_fused_agrees(proc: &Procedure) -> LoweredProc {
+        let layout = Layout::new(&proc.vars);
+        let lowered = lower(&proc.vars, &layout, &proc.body);
+        let fused = fuse(&lowered);
+
+        let mut mem_tree = Memory::zeroed(&layout);
+        let mut store_tree = CountingStore::new(PlainStore::tracing(&mut mem_tree));
+        let mut tree = SegmentExec::new(&proc.vars, &layout, &proc.body, &[]);
+        let tree_result = tree.run(&mut store_tree, 1_000_000);
+        let tree_trace = store_tree.inner.trace.clone();
+        let tree_counts = store_tree.counts.clone();
+        let tree_steps = tree.steps();
+
+        for (name, prog) in [("lowered", &lowered), ("fused", &fused)] {
+            let mut mem = Memory::zeroed(&layout);
+            let mut store = CountingStore::new(PlainStore::tracing(&mut mem));
+            let mut exec = LoweredSegmentExec::new(prog, &[]);
+            let result = exec.run(&mut store, 1_000_000);
+            assert_eq!(tree_result, result, "{name}: result");
+            if tree_result.is_ok() {
+                // The oracle counts the unit an error surfaces in, the
+                // compiled tiers don't — steps only compare on success
+                // (the only case the simulator reads them).
+                assert_eq!(tree_steps, exec.steps(), "{name}: step count");
+            }
+            assert_eq!(
+                tree_trace.len(),
+                store.inner.trace.len(),
+                "{name}: trace length"
+            );
+            for (a, b) in tree_trace.iter().zip(&store.inner.trace) {
+                assert_eq!((a.site, a.access, a.addr), (b.site, b.access, b.addr));
+                assert_eq!(a.value.to_bits(), b.value.to_bits());
+            }
+            assert_eq!(tree_counts, store.counts, "{name}: dynamic counts");
+            let diffs = mem_tree.diff(&mem, 10);
+            assert!(diffs.is_empty(), "{name}: memory diverged: {diffs:?}");
+        }
+        fused
+    }
+
+    #[test]
+    fn peels_constant_small_trip_loops_to_scalar_addresses() {
+        // do k = 1, 4 { s = s + e(2, k) * 1.5 } — the TWLDRV shape. The
+        // peel folds k into the in-bounds e subscript, collapsing it to a
+        // compile-time scalar address, and the merge pass fuses each
+        // statement into load + load-const-mul + op-store superinsts.
+        let mut b = ProcBuilder::new("twl");
+        let e = b.array("e", &[8, 4]);
+        let s = b.scalar("s");
+        let k = b.index("k");
+        let rhs = add(b.load(s), mul(b.load_elem(e, vec![ac(2), av(k)]), num(1.5)));
+        let stmt = b.assign_scalar(s, rhs);
+        let body = vec![b.do_loop(k, ac(1), ac(4), vec![stmt])];
+        let fused = assert_fused_agrees(&b.build(body));
+        assert_eq!(fused.peeled_loop_count(), 1);
+        assert!(fused.is_register_form());
+        assert!(fused.superinst_count() > 0);
+        let asm = fused.disasm();
+        assert!(asm.contains("peelenter"), "peeled loop entry:\n{asm}");
+        assert!(asm.contains("rebind"), "rebinds between copies:\n{asm}");
+        assert!(
+            asm.contains(":scalar@"),
+            "k folded to scalar addresses:\n{asm}"
+        );
+        assert!(!asm.contains("loopenter"), "no residual loop:\n{asm}");
+    }
+
+    #[test]
+    fn zero_trip_and_single_trip_loops_peel_exactly() {
+        // Single-trip: k stays bound to 5 after the loop (last trip
+        // value). Zero-trip: k stays unbound, so the read after the loop
+        // errors identically on all three backends.
+        let mut b = ProcBuilder::new("trip1");
+        let s = b.scalar("s");
+        let k = b.index("k");
+        let a1 = {
+            let rhs = add(b.load(s), idx(k));
+            b.assign_scalar(s, rhs)
+        };
+        let after = b.assign_scalar(s, idx(k));
+        let body = vec![b.do_loop(k, ac(5), ac(5), vec![a1]), after];
+        let fused = assert_fused_agrees(&b.build(body));
+        assert_eq!(fused.peeled_loop_count(), 1);
+        assert!(fused.disasm().contains("peelenter"));
+
+        let mut b = ProcBuilder::new("trip0");
+        let s = b.scalar("s");
+        let k = b.index("k");
+        let a1 = {
+            let rhs = add(b.load(s), idx(k));
+            b.assign_scalar(s, rhs)
+        };
+        let after = b.assign_scalar(s, idx(k));
+        let body = vec![b.do_loop(k, ac(3), ac(2), vec![a1]), after];
+        let proc = b.build(body);
+        let fused = assert_fused_agrees(&proc);
+        assert!(fused.disasm().contains("peelnop"));
+        let (layout, fused) = fused_of(&proc);
+        let mut mem = Memory::zeroed(&layout);
+        let mut store = PlainStore::new(&mut mem);
+        let mut exec = LoweredSegmentExec::new(&fused, &[]);
+        let err = exec.run(&mut store, 1000).unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::UnboundVariable(k),
+            "zero-trip binds nothing"
+        );
+    }
+
+    #[test]
+    fn rollback_reentry_replays_unrolled_body_exactly() {
+        // Step partway into the peeled copies, roll back (reset), re-run:
+        // the replay must be bit-identical to an untouched run.
+        let mut b = ProcBuilder::new("rb");
+        let a = b.array("a", &[8]);
+        let s = b.scalar("s");
+        let k = b.index("k");
+        let s1 = b.assign_elem(a, vec![av(k)], idx(k));
+        let s2 = {
+            let rhs = add(b.load(s), b.load_elem(a, vec![av(k)]));
+            b.assign_scalar(s, rhs)
+        };
+        let body = vec![b.do_loop(k, ac(1), ac(4), vec![s1, s2])];
+        let proc = b.build(body);
+        let (layout, fused) = fused_of(&proc);
+        assert!(fused.peeled_loop_count() > 0, "loop is unrolled");
+
+        // Partial run into scratch memory, mid-way through the copies.
+        let mut exec = LoweredSegmentExec::new(&fused, &[]);
+        let mut scratch = Memory::zeroed(&layout);
+        let mut store = PlainStore::new(&mut scratch);
+        for _ in 0..5 {
+            assert!(exec.step(&mut store).unwrap());
+        }
+        exec.reset();
+        assert_eq!(exec.steps(), 0);
+
+        let mut mem_replay = Memory::zeroed(&layout);
+        let mut store = PlainStore::new(&mut mem_replay);
+        exec.run(&mut store, 1000).unwrap();
+
+        let mut fresh = LoweredSegmentExec::new(&fused, &[]);
+        let mut mem_fresh = Memory::zeroed(&layout);
+        let mut store = PlainStore::new(&mut mem_fresh);
+        fresh.run(&mut store, 1000).unwrap();
+
+        assert_eq!(exec.steps(), fresh.steps());
+        assert!(mem_replay.diff(&mem_fresh, 10).is_empty());
+    }
+
+    #[test]
+    fn deep_expressions_spill_back_to_postfix() {
+        // An expression deeper than REG_LIMIT: the register rewrite is
+        // skipped (spill fallback) but peeling still applies and the
+        // postfix executor stays byte-exact.
+        let mut b = ProcBuilder::new("deep");
+        let s = b.scalar("s");
+        let mut e = num(1.0);
+        for i in 0..(REG_LIMIT + 4) {
+            e = add(num(i as f64), e);
+        }
+        let stmt = b.assign_scalar(s, e);
+        let proc = b.build(vec![stmt]);
+        let fused = assert_fused_agrees(&proc);
+        assert!(!fused.is_register_form(), "spill keeps postfix ops");
+        assert_eq!(fused.superinst_count(), 0);
+    }
+
+    #[test]
+    fn while_regions_keep_loop_machinery_unfused() {
+        // WHILE loops are never peeled: the continuation check re-runs per
+        // trip through the cloned loop plan, in register form.
+        let mut b = ProcBuilder::new("wh");
+        let a = b.array("a", &[16]);
+        let s = b.scalar("s");
+        let k = b.index("k");
+        let bump = {
+            let rhs = add(b.load(s), num(1.0));
+            b.assign_scalar(s, rhs)
+        };
+        let put = {
+            let rhs = b.load(s);
+            b.assign_elem(a, vec![av(k)], rhs)
+        };
+        let cond = cmp(CmpOp::Le, b.load(s), num(3.0));
+        let body = vec![b.while_loop_labeled("W", k, ac(1), ac(10), cond, vec![bump, put])];
+        let fused = assert_fused_agrees(&b.build(body));
+        assert_eq!(fused.peeled_loop_count(), 0, "WHILE loops never peel");
+        let asm = fused.disasm();
+        assert!(asm.contains("rwhilebranch"), "cond check survives:\n{asm}");
+        assert!(asm.contains("loopenter"), "loop machinery survives:\n{asm}");
+    }
+
+    #[test]
+    fn indirect_subscripts_take_the_no_shortcut_path() {
+        // p(k) is a permutation; a(p(k)) = k goes through the General plan
+        // — never folded by the peel, never merged into a superinst.
+        let mut b = ProcBuilder::new("ind");
+        let a = b.array("a", &[8]);
+        let p = b.array("p", &[8]);
+        let k = b.index("k");
+        let init = b.assign_elem(p, vec![ac(9) - av(k)], idx(k));
+        let init_loop = b.do_loop(k, ac(1), ac(8), vec![init]);
+        let pk_ref = b.aref(p, vec![av(k)]);
+        let pk_sub = b.indirect(pk_ref);
+        let lhs = b.aref_subs(a, vec![pk_sub]);
+        let write = b.assign(lhs, idx(k));
+        // A 4-trip user loop so the peel fires around the indirect write.
+        let use_loop = b.do_loop(k, ac(1), ac(4), vec![write]);
+        let fused = assert_fused_agrees(&b.build(vec![init_loop, use_loop]));
+        let asm = fused.disasm();
+        assert!(asm.contains("peelenter"), "outer peel still fires:\n{asm}");
+        for line in asm.lines().filter(|l| l.contains(":general")) {
+            assert!(
+                line.contains(" rstore ")
+                    || line.contains(" rload ")
+                    || line.contains(" store ")
+                    || line.contains(" load "),
+                "general-plan refs stay unfused: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_term_statements_fuse_to_a_single_dispatch() {
+        // s = a(k) + s * 0.5 — the first load, the load-const-op of the
+        // second operand and the op-store collapse into one
+        // `rload2constbinstore`: the whole statement retires in a single
+        // dispatch.
+        let mut b = ProcBuilder::new("whole");
+        let a = b.array("a", &[64]);
+        let s = b.scalar("s");
+        let k = b.index("k");
+        let stmt = {
+            let rhs = add(b.load_elem(a, vec![av(k)]), mul(b.load(s), num(0.5)));
+            b.assign_scalar(s, rhs)
+        };
+        let body = vec![b.do_loop(k, ac(1), ac(50), vec![stmt])];
+        let fused = assert_fused_agrees(&b.build(body));
+        let asm = fused.disasm();
+        assert!(
+            asm.contains("rload2constbinstore"),
+            "whole statement fuses:\n{asm}"
+        );
+    }
+
+    #[test]
+    fn straight_line_loops_fuse_advance_and_load() {
+        // s = (a(k) + s) + s leaves the a(k) load standalone after the
+        // merge (only the trailing loads fold into load-op forms), so it
+        // fuses with its induction register's advance.
+        let mut b = ProcBuilder::new("adv");
+        let a = b.array("a", &[64]);
+        let s = b.scalar("s");
+        let k = b.index("k");
+        let stmt = {
+            let rhs = add(add(b.load_elem(a, vec![av(k)]), b.load(s)), b.load(s));
+            b.assign_scalar(s, rhs)
+        };
+        let body = vec![b.do_loop(k, ac(1), ac(50), vec![stmt])];
+        let proc = b.build(body);
+        let fused = assert_fused_agrees(&proc);
+        let asm = fused.disasm();
+        assert!(asm.contains("radvload"), "advance+load fuses:\n{asm}");
+
+        // Rollback re-entry re-initializes the pre-advanced register.
+        let (layout, fused) = fused_of(&proc);
+        let mut exec = LoweredSegmentExec::new(&fused, &[]);
+        let mut scratch = Memory::zeroed(&layout);
+        let mut store = PlainStore::new(&mut scratch);
+        for _ in 0..7 {
+            assert!(exec.step(&mut store).unwrap());
+        }
+        exec.reset();
+        let mut mem_replay = Memory::zeroed(&layout);
+        let mut store = PlainStore::new(&mut mem_replay);
+        exec.run(&mut store, 10_000).unwrap();
+        let mut fresh = LoweredSegmentExec::new(&fused, &[]);
+        let mut mem_fresh = Memory::zeroed(&layout);
+        let mut store = PlainStore::new(&mut mem_fresh);
+        fresh.run(&mut store, 10_000).unwrap();
+        assert!(mem_replay.diff(&mem_fresh, 10).is_empty());
+    }
+
+    #[test]
+    fn nested_shapes_conditionals_and_descending_loops_agree() {
+        // do i = 1, 6 { if (i >= 3) c = c + i else c = c - 1;
+        //               do j = 1, i { a(j) = a(j) + c } } — the inner
+        // loop's bound depends on i, so it only peels where i is a folded
+        // constant; conditionals exercise branch-target preservation.
+        let mut b = ProcBuilder::new("mix");
+        let a = b.array("a", &[8]);
+        let c = b.scalar("c");
+        let i = b.index("i");
+        let j = b.index("j");
+        let then_assign = {
+            let rhs = add(b.load(c), idx(i));
+            b.assign_scalar(c, rhs)
+        };
+        let else_assign = {
+            let rhs = add(b.load(c), num(-1.0));
+            b.assign_scalar(c, rhs)
+        };
+        let if_stmt = b.if_then_else(
+            cmp(CmpOp::Ge, idx(i), num(3.0)),
+            vec![then_assign],
+            vec![else_assign],
+        );
+        let inner_assign = {
+            let rhs = add(b.load_elem(a, vec![av(j)]), b.load(c));
+            b.assign_elem(a, vec![av(j)], rhs)
+        };
+        let inner = b.do_loop(j, ac(1), av(i), vec![inner_assign]);
+        let body = vec![b.do_loop(i, ac(1), ac(6), vec![if_stmt, inner])];
+        assert_fused_agrees(&b.build(body));
+
+        let mut b = ProcBuilder::new("desc");
+        let s = b.scalar("s");
+        let k = b.index("k");
+        let a1 = {
+            let rhs = add(b.load(s), idx(k));
+            b.assign_scalar(s, rhs)
+        };
+        let body = vec![b.do_loop_step(None, k, ac(4), ac(1), -1, vec![a1])];
+        let fused = assert_fused_agrees(&b.build(body));
+        assert_eq!(fused.peeled_loop_count(), 1, "descending 4-trip loop peels");
+    }
+
+    #[test]
+    fn nested_constant_loops_peel_recursively() {
+        // do i = 1, 3 { do j = 1, 2 { v(i, j) = i * 10 + j } } — both
+        // levels peel; every subscript folds to a compile-time address.
+        let mut b = ProcBuilder::new("nest");
+        let v = b.array("v", &[3, 2]);
+        let i = b.index("i");
+        let j = b.index("j");
+        let assign = {
+            let rhs = add(mul(idx(i), num(10.0)), idx(j));
+            b.assign_elem(v, vec![av(i), av(j)], rhs)
+        };
+        let inner = b.do_loop(j, ac(1), ac(2), vec![assign]);
+        let body = vec![b.do_loop(i, ac(1), ac(3), vec![inner])];
+        let fused = assert_fused_agrees(&b.build(body));
+        assert_eq!(
+            fused.peeled_loop_count(),
+            4,
+            "outer once, inner per copy... "
+        );
+        assert!(!fused.disasm().contains("loopenter"));
+    }
+
+    #[test]
+    fn shadowed_index_inside_large_loop_does_not_fold() {
+        // do k = 1, 2 { s += k; do k = 1, 8 { s += k } ; s += k } — the
+        // inner loop rebinds k, masking the peeled constant; the final use
+        // sees the inner loop's last trip value, matching the tree-walk.
+        let mut b = ProcBuilder::new("shadow");
+        let s = b.scalar("s");
+        let k = b.index("k");
+        let use1 = {
+            let rhs = add(b.load(s), idx(k));
+            b.assign_scalar(s, rhs)
+        };
+        let use2 = {
+            let rhs = add(b.load(s), idx(k));
+            b.assign_scalar(s, rhs)
+        };
+        let use3 = {
+            let rhs = add(b.load(s), idx(k));
+            b.assign_scalar(s, rhs)
+        };
+        let inner = b.do_loop(k, ac(1), ac(8), vec![use2]);
+        let body = vec![b.do_loop(k, ac(1), ac(2), vec![use1, inner, use3])];
+        assert_fused_agrees(&b.build(body));
+    }
+}

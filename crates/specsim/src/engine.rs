@@ -372,8 +372,10 @@ pub(crate) struct Engine<'p> {
 
 impl<'p> Engine<'p> {
     /// Creates an engine for one region execution. `lowered` must be the
-    /// compiled region body when `cfg.backend` is
-    /// [`ExecBackend::Lowered`].
+    /// compiled region body when `cfg.backend` is [`ExecBackend::Lowered`]
+    /// or [`ExecBackend::Fused`] (the caller heat-selects the tier and
+    /// compiles accordingly; the engine runs whatever bytecode it is
+    /// handed).
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         cfg: &'p SimConfig,
@@ -534,7 +536,10 @@ impl<'p> Engine<'p> {
         });
         let env = [(self.region.index, self.iter_values[seg])];
         self.execs[p] = Some(match self.cfg.backend {
-            ExecBackend::Lowered => AnyExec::Lowered(LoweredSegmentExec::new(
+            // The fused tier hands the engine pre-compiled (possibly
+            // fused) bytecode exactly like the plain tier; the executor is
+            // the same resumable machine either way.
+            ExecBackend::Lowered | ExecBackend::Fused => AnyExec::Lowered(LoweredSegmentExec::new(
                 self.lowered.expect("lowered region body compiled"),
                 &env,
             )),

@@ -432,7 +432,7 @@ fn worker(shared: &Shared<'_>, ctx: &RegionCtx<'_>, p: usize) -> Result<(), SimE
         }
         let env = [(ctx.region.index, ctx.iter_values[seg])];
         let mut exec = match shared.cfg.backend {
-            ExecBackend::Lowered => ParExec::Lowered(LoweredSegmentExec::new(
+            ExecBackend::Lowered | ExecBackend::Fused => ParExec::Lowered(LoweredSegmentExec::new(
                 ctx.lowered.expect("lowered region body compiled"),
                 &env,
             )),

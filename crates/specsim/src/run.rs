@@ -27,7 +27,8 @@ use refidem_core::label::{LabeledProgram, LabeledRegion};
 use refidem_ir::exec::{CountingStore, DataStore, DynCounts, ExecError, PlainStore, SegmentExec};
 use refidem_ir::ids::RefId;
 use refidem_ir::lowered::{
-    lower, lower_with_ranges, CacheLookup, ExecBackend, LowerKey, LowerUnit, LoweredSegmentExec,
+    fused::fuse, lower, lower_with_ranges, CacheLookup, ExecBackend, LowerKey, LowerUnit,
+    LoweredSegmentExec,
 };
 use refidem_ir::memory::{Addr, Layout, Memory};
 use refidem_ir::program::{Procedure, Program};
@@ -289,6 +290,27 @@ fn region_iteration_values(
     Ok(values)
 }
 
+/// Heat selection for the fused tier: a region is *hot* when the fused
+/// backend is active, the loop is a plain counted DO (no WHILE
+/// condition), its bounds are compile-time constants after parameter
+/// substitution, and the trip count reaches the config's
+/// [`fuse_min_trips`](SimConfig::fuse_min_trips) threshold. Cold regions
+/// — and every region under the non-fused backends — run plain bytecode
+/// under the classic cache keys, so the two tiers never alias a cache
+/// entry.
+fn region_is_hot(cfg: &SimConfig, vars: &VarTable, region: &refidem_ir::stmt::LoopStmt) -> bool {
+    if cfg.backend != ExecBackend::Fused || region.while_cond.is_some() {
+        return false;
+    }
+    let lower = region.lower.substitute_params(&|v| vars.param_value(v));
+    let upper = region.upper.substitute_params(&|v| vars.param_value(v));
+    if !lower.is_constant() || !upper.is_constant() {
+        return false;
+    }
+    refidem_ir::stmt::LoopStmt::trip_count(lower.constant, upper.constant, region.step)
+        >= cfg.fuse_min_trips
+}
+
 /// Per-run tally of compilation-cache queries, copied into
 /// [`SimReport::lowering_cache_hits`] / `_misses` / `_evictions` at the
 /// end of a simulation. Counting per [`CacheLookup`] outcome (rather than
@@ -329,7 +351,9 @@ fn run_stmts_plain(
     }
     let mut store = PlainStore::new(memory);
     match cfg.backend {
-        ExecBackend::Lowered => {
+        // Serial statement spans are never regions, so the fused tier runs
+        // them as plain bytecode and shares the lowered tier's cache keys.
+        ExecBackend::Lowered | ExecBackend::Fused => {
             let outcome = cfg.cache.lookup(key, || lower(vars, layout, stmts));
             tally.count(&outcome);
             LoweredSegmentExec::new(&outcome.proc, &[])
@@ -382,12 +406,21 @@ pub fn run_sequential(
                 .expect("region loop present"),
         );
         let steps = match cfg.backend {
-            ExecBackend::Lowered => {
-                let outcome = cfg
-                    .cache
-                    .lookup(LowerKey::new(proc, label, LowerUnit::RegionLoop), || {
-                        lower(vars, &layout, region_stmt)
-                    });
+            ExecBackend::Lowered | ExecBackend::Fused => {
+                let hot = matches!(&region_stmt[0], Stmt::Loop(l) if region_is_hot(cfg, vars, l));
+                let unit = if hot {
+                    LowerUnit::FusedRegionLoop
+                } else {
+                    LowerUnit::RegionLoop
+                };
+                let outcome = cfg.cache.lookup(LowerKey::new(proc, label, unit), || {
+                    let base = lower(vars, &layout, region_stmt);
+                    if hot {
+                        fuse(&base)
+                    } else {
+                        base
+                    }
+                });
                 tally.count(&outcome);
                 let mut exec = LoweredSegmentExec::new(&outcome.proc, &[]);
                 exec.run(&mut store, cfg.max_statements as usize)
@@ -464,7 +497,9 @@ fn run_serial_span(
         accesses: 0,
     };
     let steps = match cfg.backend {
-        ExecBackend::Lowered => {
+        // Serial spans stay on the plain tier under the fused backend too
+        // (see `run_stmts_plain`).
+        ExecBackend::Lowered | ExecBackend::Fused => {
             let outcome = cfg.cache.lookup(key, || lower(vars, layout, stmts));
             tally.count(&outcome);
             let mut exec = LoweredSegmentExec::new(&outcome.proc, &[]);
@@ -509,12 +544,24 @@ fn run_region_serially(
         accesses: 0,
     };
     let steps = match cfg.backend {
-        ExecBackend::Lowered => {
-            let outcome = cfg
-                .cache
-                .lookup(LowerKey::new(proc, label, LowerUnit::RegionLoop), || {
-                    lower(vars, layout, region_stmt)
-                });
+        // The fallback picks the exact tier (and cache entry) the
+        // sequential baseline would, so degraded memory stays
+        // byte-identical to the oracle by construction.
+        ExecBackend::Lowered | ExecBackend::Fused => {
+            let hot = matches!(&region_stmt[0], Stmt::Loop(l) if region_is_hot(cfg, vars, l));
+            let unit = if hot {
+                LowerUnit::FusedRegionLoop
+            } else {
+                LowerUnit::RegionLoop
+            };
+            let outcome = cfg.cache.lookup(LowerKey::new(proc, label, unit), || {
+                let base = lower(vars, layout, region_stmt);
+                if hot {
+                    fuse(&base)
+                } else {
+                    base
+                }
+            });
             tally.count(&outcome);
             let mut exec = LoweredSegmentExec::new(&outcome.proc, &[]);
             exec.run(&mut store, cfg.max_statements as usize)
@@ -633,16 +680,31 @@ fn simulate_schedule(
         // shares the cache key.
         let mut region_tally = CacheTally::default();
         let lowered = match cfg.backend {
-            ExecBackend::Lowered => {
+            ExecBackend::Lowered | ExecBackend::Fused => {
                 let index_ranges: Vec<_> =
                     match (iter_values.iter().min(), iter_values.iter().max()) {
                         (Some(&lo), Some(&hi)) => vec![(region.index, (lo, hi))],
                         _ => Vec::new(),
                     };
-                let outcome = cfg.cache.lookup(
-                    LowerKey::new(proc, label.as_str(), LowerUnit::RegionBody),
-                    || lower_with_ranges(vars, layout, &region.body, &index_ranges),
-                );
+                // Heat-select the tier: hot regions compile their segment
+                // body through `fuse` under a fused-tier key; cold regions
+                // share the plain tier's entry.
+                let hot = region_is_hot(cfg, vars, region);
+                let unit = if hot {
+                    LowerUnit::FusedRegionBody
+                } else {
+                    LowerUnit::RegionBody
+                };
+                let outcome = cfg
+                    .cache
+                    .lookup(LowerKey::new(proc, label.as_str(), unit), || {
+                        let base = lower_with_ranges(vars, layout, &region.body, &index_ranges);
+                        if hot {
+                            fuse(&base)
+                        } else {
+                            base
+                        }
+                    });
                 region_tally.count(&outcome);
                 Some(outcome.proc)
             }
@@ -841,11 +903,23 @@ pub fn run_program_sequential(
         let region_stmt = std::slice::from_ref(&proc.body[*stmt_index]);
         let mut store = CountingStore::new(PlainStore::new(&mut memory));
         let steps = match cfg.backend {
-            ExecBackend::Lowered => {
-                let outcome = cfg.cache.lookup(
-                    LowerKey::new(proc, label.as_str(), LowerUnit::RegionLoop),
-                    || lower(vars, &layout, region_stmt),
-                );
+            ExecBackend::Lowered | ExecBackend::Fused => {
+                let hot = matches!(&region_stmt[0], Stmt::Loop(l) if region_is_hot(cfg, vars, l));
+                let unit = if hot {
+                    LowerUnit::FusedRegionLoop
+                } else {
+                    LowerUnit::RegionLoop
+                };
+                let outcome = cfg
+                    .cache
+                    .lookup(LowerKey::new(proc, label.as_str(), unit), || {
+                        let base = lower(vars, &layout, region_stmt);
+                        if hot {
+                            fuse(&base)
+                        } else {
+                            base
+                        }
+                    });
                 tally.count(&outcome);
                 let mut exec = LoweredSegmentExec::new(&outcome.proc, &[]);
                 exec.run(&mut store, cfg.max_statements as usize)

@@ -114,8 +114,9 @@ pub struct DiffConfig {
     pub tamper: Option<Tamper>,
     /// Execution backend the speculative simulations run on. The sequential
     /// ground truth always runs on the tree-walking oracle, so with the
-    /// default (`Lowered`) every check also differentially tests the
-    /// lowered bytecode engine against the oracle.
+    /// default (`Fused` — heat-selected superinstructions over plain
+    /// bytecode) every check also differentially tests the compiled
+    /// engine against the oracle; set `Lowered` to pin the plain tier.
     pub backend: ExecBackend,
     /// Runtime the speculative simulations execute on: the single-thread
     /// cycle simulator (default) or the real-thread runtime
@@ -144,7 +145,7 @@ impl Default for DiffConfig {
             capacities: CAPACITY_LADDER.to_vec(),
             modes: vec![ExecMode::Hose, ExecMode::Case],
             tamper: None,
-            backend: ExecBackend::Lowered,
+            backend: ExecBackend::default(),
             runtime: SpecRuntime::Simulated,
             faults: FaultPlan::default(),
             governor: Governor::default(),

@@ -1,20 +1,21 @@
-//! Lowered-vs-oracle backend differential suite.
+//! Three-backend differential suite: oracle vs lowered vs fused.
 //!
-//! The lowered bytecode engine (`refidem_ir::lowered`) must be
-//! *observationally identical* to the tree-walking interpreter, not merely
-//! produce the same final memory: same access order (traces), same dynamic
-//! counts, same statement-unit accounting, and — under the speculation
-//! engine — the same violations, roll-backs, overflows and cycle counts at
-//! every capacity point. This suite asserts exactly that across all 1024
-//! generated testkit programs and every named benchmark loop, sharding
-//! the corpus over the sweep executor (a failing seed's assertion panic
-//! propagates out of the pool with the seed's identity in the message).
+//! The compiled engines (`refidem_ir::lowered`, plain bytecode and the
+//! fused superinstruction tier) must be *observationally identical* to the
+//! tree-walking interpreter, not merely produce the same final memory:
+//! same access order (traces), same dynamic counts, same statement-unit
+//! accounting, and — under the speculation engine — the same violations,
+//! roll-backs, overflows and cycle counts at every capacity point. This
+//! suite asserts exactly that across all 1024 generated testkit programs
+//! and every named benchmark loop, sharding the corpus over the sweep
+//! executor (a failing seed's assertion panic propagates out of the pool
+//! with the seed's identity in the message).
 
 use refidem_benchmarks::all_named_loops;
 use refidem_core::label::label_program;
 use refidem_ir::exec::{CountingStore, DynCounts, PlainStore, SegmentExec, SeqInterp};
 use refidem_ir::ids::ProcId;
-use refidem_ir::lowered::{lower, ExecBackend, LoweredSegmentExec};
+use refidem_ir::lowered::{fused::fuse, lower, ExecBackend, LoweredSegmentExec};
 use refidem_ir::memory::{Layout, Memory};
 use refidem_ir::program::Program;
 use refidem_specsim::sweep::{SweepExec, SweepPlan};
@@ -22,6 +23,9 @@ use refidem_specsim::{initial_memory, simulate_program, ExecMode, ProgramReport,
 use refidem_testkit::{generate, CAPACITY_LADDER};
 
 const SUITE_SEEDS: u64 = 1024;
+
+/// The compiled backends every program is differenced against the oracle.
+const COMPILED_BACKENDS: [ExecBackend; 2] = [ExecBackend::Lowered, ExecBackend::Fused];
 
 /// Bit-exact trace fingerprint: `(site, access, addr, value bits)` per
 /// dynamic access.
@@ -43,6 +47,12 @@ fn run_sequential_traced(
         ExecBackend::Lowered => {
             let lowered = lower(&proc.vars, &layout, &proc.body);
             let mut exec = LoweredSegmentExec::new(&lowered, &[]);
+            exec.run(&mut store, 200_000_000).expect("runs");
+            exec.steps()
+        }
+        ExecBackend::Fused => {
+            let fused = fuse(&lower(&proc.vars, &layout, &proc.body));
+            let mut exec = LoweredSegmentExec::new(&fused, &[]);
             exec.run(&mut store, 200_000_000).expect("runs");
             exec.steps()
         }
@@ -73,7 +83,8 @@ fn run_sequential_traced(
 }
 
 /// Zeroes the compilation-pipeline counters of a whole-program report —
-/// the oracle never compiles while the lowered path queries its cache, so
+/// the oracle never compiles while the compiled paths query their cache
+/// (and the fused tier queries different keys than the plain tier), so
 /// those are compared on their own terms.
 fn without_cache_counters(report: &ProgramReport) -> ProgramReport {
     let mut r = report.clone();
@@ -88,32 +99,45 @@ fn without_cache_counters(report: &ProgramReport) -> ProgramReport {
     r
 }
 
-/// Asserts the two backends agree on sequential execution (memory bits,
+/// Asserts all three backends agree on sequential execution (memory bits,
 /// trace, counts, step accounting) and on every whole-program engine run
 /// across the capacity ladder under both HOSE and CASE (memory bits and
 /// the full per-region statistics reports, cycles and the serial/parallel
 /// split included). Every scheduled region of the program is exercised.
 fn assert_backend_equivalence(what: &str, program: &Program) {
-    // Sequential: trace-level equivalence.
+    // Sequential: trace-level equivalence of each compiled tier against
+    // the tree-walking oracle.
     let (mem_t, trace_t, counts_t, steps_t) =
         run_sequential_traced(program, 0, ExecBackend::TreeWalk);
-    let (mem_l, trace_l, counts_l, steps_l) =
-        run_sequential_traced(program, 0, ExecBackend::Lowered);
-    assert_eq!(steps_t, steps_l, "{what}: statement units diverged");
-    assert_eq!(
-        trace_t.len(),
-        trace_l.len(),
-        "{what}: trace length diverged"
-    );
-    for (i, (a, b)) in trace_t.iter().zip(&trace_l).enumerate() {
-        assert_eq!(a, b, "{what}: trace event {i} diverged");
+    for backend in COMPILED_BACKENDS {
+        let (mem_b, trace_b, counts_b, steps_b) = run_sequential_traced(program, 0, backend);
+        assert_eq!(
+            steps_t, steps_b,
+            "{what}: {backend:?}: statement units diverged"
+        );
+        assert_eq!(
+            trace_t.len(),
+            trace_b.len(),
+            "{what}: {backend:?}: trace length diverged"
+        );
+        for (i, (a, b)) in trace_t.iter().zip(&trace_b).enumerate() {
+            assert_eq!(a, b, "{what}: {backend:?}: trace event {i} diverged");
+        }
+        assert_eq!(
+            counts_t, counts_b,
+            "{what}: {backend:?}: dynamic counts diverged"
+        );
+        assert_eq!(
+            mem_t, mem_b,
+            "{what}: {backend:?}: sequential memory diverged"
+        );
     }
-    assert_eq!(counts_t, counts_l, "{what}: dynamic counts diverged");
-    assert_eq!(mem_t, mem_l, "{what}: sequential memory diverged");
 
     // Speculation engine: byte-exact memory and identical whole-program
-    // reports at every capacity-ladder point, both execution models. One
-    // fresh cache per program: compile-once across the ladder, nothing
+    // reports at every capacity-ladder point, both execution models, both
+    // compiled tiers. One fresh cache per program, shared between the
+    // tiers: compile-once across the ladder (fused-tier entries carry
+    // their own `LowerUnit` variants so the tiers never collide), nothing
     // retained for the process lifetime (the generated programs are
     // one-shot).
     let cache = refidem_ir::lowered::LoweredCache::fresh();
@@ -122,58 +146,63 @@ fn assert_backend_equivalence(what: &str, program: &Program) {
     for &capacity in &CAPACITY_LADDER {
         for mode in [ExecMode::Hose, ExecMode::Case] {
             let cfg_t = SimConfig::default().capacity(capacity).oracle();
-            let cfg_l = SimConfig::default()
-                .capacity(capacity)
-                .backend(ExecBackend::Lowered)
-                .cache(cache.clone());
             let out_t = simulate_program(program, &labeled, mode, &cfg_t);
-            let out_l = simulate_program(program, &labeled, mode, &cfg_l);
-            match (out_t, out_l) {
-                (Ok(t), Ok(l)) => {
-                    // The lowering-cache counters describe the compilation
-                    // pipeline, not the simulated execution: the oracle
-                    // never compiles (always 0/0) while the lowered run
-                    // queries its cache once per serial span and region
-                    // body. Check them on their own terms, then require
-                    // the rest of the report to be identical.
-                    assert_eq!(
-                        (t.report.lowering_cache_hits, t.report.lowering_cache_misses),
-                        (0, 0),
-                        "{what}: {mode} @ capacity {capacity}: oracle touched the cache"
-                    );
-                    let l_queries = l.report.lowering_cache_hits + l.report.lowering_cache_misses;
-                    assert!(
-                        l_queries <= max_queries,
-                        "{what}: {mode} @ capacity {capacity}: lowered run made \
-                         {l_queries} cache queries for {} regions",
-                        labeled.regions.len()
-                    );
-                    assert_eq!(
-                        without_cache_counters(&t.report),
-                        without_cache_counters(&l.report),
-                        "{what}: {mode} @ capacity {capacity}: reports diverged"
-                    );
-                    let diffs = t.memory.diff(&l.memory, 8);
-                    assert!(
-                        diffs.is_empty(),
-                        "{what}: {mode} @ capacity {capacity}: memory diverged: {diffs:?}"
-                    );
+            for backend in COMPILED_BACKENDS {
+                let cfg_b = SimConfig::default()
+                    .capacity(capacity)
+                    .backend(backend)
+                    .cache(cache.clone());
+                let out_b = simulate_program(program, &labeled, mode, &cfg_b);
+                match (&out_t, &out_b) {
+                    (Ok(t), Ok(b)) => {
+                        // The lowering-cache counters describe the
+                        // compilation pipeline, not the simulated
+                        // execution: the oracle never compiles (always
+                        // 0/0) while a compiled run queries its cache once
+                        // per serial span and region body. Check them on
+                        // their own terms, then require the rest of the
+                        // report to be identical.
+                        assert_eq!(
+                            (t.report.lowering_cache_hits, t.report.lowering_cache_misses),
+                            (0, 0),
+                            "{what}: {mode} @ capacity {capacity}: oracle touched the cache"
+                        );
+                        let b_queries =
+                            b.report.lowering_cache_hits + b.report.lowering_cache_misses;
+                        assert!(
+                            b_queries <= max_queries,
+                            "{what}: {backend:?} {mode} @ capacity {capacity}: run made \
+                             {b_queries} cache queries for {} regions",
+                            labeled.regions.len()
+                        );
+                        assert_eq!(
+                            without_cache_counters(&t.report),
+                            without_cache_counters(&b.report),
+                            "{what}: {backend:?} {mode} @ capacity {capacity}: reports diverged"
+                        );
+                        let diffs = t.memory.diff(&b.memory, 8);
+                        assert!(
+                            diffs.is_empty(),
+                            "{what}: {backend:?} {mode} @ capacity {capacity}: \
+                             memory diverged: {diffs:?}"
+                        );
+                    }
+                    (Err(et), Err(eb)) => assert_eq!(
+                        et, eb,
+                        "{what}: {backend:?} {mode} @ capacity {capacity}: errors diverged"
+                    ),
+                    (t, b) => panic!(
+                        "{what}: {backend:?} {mode} @ capacity {capacity}: one backend \
+                         failed: tree={t:?} compiled={b:?}"
+                    ),
                 }
-                (Err(et), Err(el)) => assert_eq!(
-                    et, el,
-                    "{what}: {mode} @ capacity {capacity}: errors diverged"
-                ),
-                (t, l) => panic!(
-                    "{what}: {mode} @ capacity {capacity}: one backend failed: \
-                     tree={t:?} lowered={l:?}"
-                ),
             }
         }
     }
 }
 
 #[test]
-fn all_generated_programs_execute_identically_on_both_backends() {
+fn all_generated_programs_execute_identically_on_all_backends() {
     let plan: SweepPlan<u64> = (0..SUITE_SEEDS)
         .map(|seed| (format!("seed {seed}"), seed))
         .collect();
@@ -184,7 +213,7 @@ fn all_generated_programs_execute_identically_on_both_backends() {
 }
 
 #[test]
-fn all_named_benchmark_loops_execute_identically_on_both_backends() {
+fn all_named_benchmark_loops_execute_identically_on_all_backends() {
     let loops = all_named_loops();
     let plan: SweepPlan<&refidem_benchmarks::LoopBenchmark> =
         loops.iter().map(|b| (b.name.to_string(), b)).collect();
@@ -195,24 +224,119 @@ fn all_named_benchmark_loops_execute_identically_on_both_backends() {
 
 #[test]
 fn sequential_interpreter_backends_agree_via_public_api() {
-    // The SeqInterp front door: default (lowered) vs oracle constructor.
+    // The SeqInterp front door: default (fused) vs pinned-lowered vs
+    // oracle constructors.
     for bench in all_named_loops() {
         let proc = &bench.program.procedures[bench.region.proc.index()];
         let layout = Layout::new(&proc.vars);
-        let mut mem_fast = Memory::init_with(&layout, |a| (a.0 % 17) as f64);
-        let mut mem_oracle = mem_fast.clone();
-        let fast = SeqInterp::new()
-            .run_procedure_counting(proc, &mut mem_fast)
+        let mut mem_fused = Memory::init_with(&layout, |a| (a.0 % 17) as f64);
+        let mut mem_plain = mem_fused.clone();
+        let mut mem_oracle = mem_fused.clone();
+        let fused = SeqInterp::new()
+            .run_procedure_counting(proc, &mut mem_fused)
+            .expect("fused runs");
+        let plain = SeqInterp::lowered()
+            .run_procedure_counting(proc, &mut mem_plain)
             .expect("lowered runs");
         let oracle = SeqInterp::oracle()
             .run_procedure_counting(proc, &mut mem_oracle)
             .expect("oracle runs");
-        assert_eq!(fast, oracle, "{}: counts diverged", bench.name);
-        let diffs = mem_fast.diff(&mem_oracle, 8);
-        assert!(
-            diffs.is_empty(),
-            "{}: memory diverged: {diffs:?}",
-            bench.name
-        );
+        assert_eq!(fused, oracle, "{}: fused counts diverged", bench.name);
+        assert_eq!(plain, oracle, "{}: lowered counts diverged", bench.name);
+        for (name, mem) in [("fused", &mem_fused), ("lowered", &mem_plain)] {
+            let diffs = mem.diff(&mem_oracle, 8);
+            assert!(
+                diffs.is_empty(),
+                "{}: {name} memory diverged: {diffs:?}",
+                bench.name
+            );
+        }
+    }
+}
+
+/// The fused tier is a pure execution-speed change: for every named
+/// benchmark, mode and a capacity spread, its whole-program report must be
+/// field-for-field identical to the plain lowered tier's — cycles,
+/// violations, rollbacks, overflow stalls, occupancy, the serial/parallel
+/// split — except for the lowering-cache counters, whose keys legitimately
+/// differ between tiers.
+#[test]
+fn fused_tier_changes_no_report_field_but_cache_counters() {
+    for bench in all_named_loops() {
+        let labeled = label_program(&bench.program, ProcId::from_index(0)).expect("labels");
+        for &capacity in &[1usize, 16, 256] {
+            for mode in [ExecMode::Hose, ExecMode::Case] {
+                let plain_cfg = SimConfig::default()
+                    .capacity(capacity)
+                    .backend(ExecBackend::Lowered)
+                    .cache(refidem_ir::lowered::LoweredCache::fresh());
+                let fused_cfg = SimConfig::default()
+                    .capacity(capacity)
+                    .backend(ExecBackend::Fused)
+                    .cache(refidem_ir::lowered::LoweredCache::fresh());
+                let plain = simulate_program(&bench.program, &labeled, mode, &plain_cfg)
+                    .expect("lowered runs");
+                let fused = simulate_program(&bench.program, &labeled, mode, &fused_cfg)
+                    .expect("fused runs");
+                assert_eq!(
+                    without_cache_counters(&plain.report),
+                    without_cache_counters(&fused.report),
+                    "{}: {mode} @ capacity {capacity}: fused tier changed the report",
+                    bench.name
+                );
+                let diffs = plain.memory.diff(&fused.memory, 8);
+                assert!(
+                    diffs.is_empty(),
+                    "{}: {mode} @ capacity {capacity}: memory diverged: {diffs:?}",
+                    bench.name
+                );
+            }
+        }
+    }
+}
+
+/// The fused tier under the real-thread runtime: every named benchmark's
+/// final memory must be byte-identical to the oracle's sequential image,
+/// excluding only region-private variables (dead at region exit and
+/// legitimately living in per-segment storage under CASE, Lemma 2).
+/// This is the configuration the nightly ThreadSanitizer job drives.
+#[test]
+fn fused_backend_under_threads_runtime_is_byte_exact() {
+    use refidem_analysis::classify::VarClass;
+    for bench in all_named_loops() {
+        let labeled = label_program(&bench.program, ProcId::from_index(0)).expect("labels");
+        let seq_cfg = SimConfig::default().oracle();
+        let seq = refidem_specsim::run_program_sequential(&bench.program, &labeled, &seq_cfg)
+            .expect("sequential runs");
+        let proc = &bench.program.procedures[0];
+        let layout = Layout::new(&proc.vars);
+        let mut ignored: Vec<(u64, u64)> = Vec::new();
+        for region in &labeled.regions {
+            for (v, class) in region.analysis.classes.iter() {
+                if class == VarClass::Private {
+                    let base = layout.base(v).0;
+                    ignored.push((base, base + proc.vars.kind(v).size() as u64));
+                }
+            }
+        }
+        for mode in [ExecMode::Hose, ExecMode::Case] {
+            let cfg = SimConfig::default()
+                .backend(ExecBackend::Fused)
+                .threads()
+                .cache(refidem_ir::lowered::LoweredCache::fresh());
+            let out = simulate_program(&bench.program, &labeled, mode, &cfg).expect("threads run");
+            let diffs: Vec<_> = seq
+                .memory
+                .diff(&out.memory, usize::MAX)
+                .into_iter()
+                .filter(|(a, _, _)| !ignored.iter().any(|(lo, hi)| a.0 >= *lo && a.0 < *hi))
+                .take(8)
+                .collect();
+            assert!(
+                diffs.is_empty(),
+                "{}: {mode} under Threads diverged: {diffs:?}",
+                bench.name
+            );
+        }
     }
 }
