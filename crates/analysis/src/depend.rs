@@ -22,6 +22,33 @@
 //! solving where possible and conservative interval (Banerjee-style) plus
 //! GCD reasoning otherwise. Indirect subscripts are treated as
 //! may-dependent in every dimension, exactly as the paper treats `K(E)`.
+//!
+//! # Pairwise-test pruning
+//!
+//! Naively the tester is quadratic in the number of reference sites, and a
+//! giant straight-line block (FPPPP's 128-statement `TWLDRV_DO100` has
+//! ~400 sites) makes that quadratic term dominate the whole analysis. The
+//! implementation therefore prunes without changing a single verdict:
+//!
+//! * **Partition by base variable** — references to different variables
+//!   never alias under the layout, so cross-variable pairs are never
+//!   enumerated, and a variable with no write site skips pairing entirely.
+//! * **Flat site arena** — per-site facts the tester used to recompute per
+//!   pair per level (the [`IndexBounds`] walk and the parameter-folded
+//!   affine view of every subscript) are computed once per site into
+//!   dense, index-addressed vectors.
+//! * **Signature interning + verdict memoization** — each site's access
+//!   signature (access kind, guard context, enclosing-loop vector,
+//!   subscript coefficient vectors) is interned into a dedup table, and
+//!   the test verdict is memoized per canonical signature *pair*: the
+//!   hundreds of same-shape references of a giant block pay for each
+//!   distinct test once.
+//! * **Sharded worklist** — above a site-count threshold the distinct-pair
+//!   worklist is fanned out across scoped worker threads (the worker count
+//!   follows the same `REFIDEM_JOBS` contract as `refidem_specsim`'s
+//!   `SweepExec`, which sits above this crate) with a deterministic
+//!   ordered merge, so the emitted [`DependenceSet`] is byte-identical at
+//!   any worker count.
 
 use crate::bounds::IndexBounds;
 use refidem_ir::affine::{gcd, AffineExpr};
@@ -29,7 +56,7 @@ use refidem_ir::ids::{RefId, StmtId, VarId};
 use refidem_ir::sites::{AccessKind, LoopContext, RefSite, RefTable};
 use refidem_ir::stmt::{LoopStmt, Stmt};
 use refidem_ir::var::VarTable;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// The kind of a data dependence.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -164,31 +191,385 @@ impl DependenceSet {
 
     /// Analyzes the dependences of a region loop given the reference table
     /// of its body.
+    ///
+    /// The worker count for the sharded distinct-pair worklist (only
+    /// engaged above [`SHARD_SITE_THRESHOLD`] sites) follows the
+    /// `REFIDEM_JOBS` environment variable, falling back to the machine's
+    /// available parallelism — the same contract as `SweepExec` in
+    /// `refidem_specsim`. The result is byte-identical at any worker count
+    /// (see [`analyze_with_jobs`](Self::analyze_with_jobs)).
     pub fn analyze(vars: &VarTable, region: &LoopStmt, table: &RefTable) -> Self {
+        Self::analyze_with_jobs(vars, region, table, analysis_jobs())
+    }
+
+    /// [`analyze`](Self::analyze) with an explicit worker count for the
+    /// sharded distinct-pair worklist, bypassing `REFIDEM_JOBS`. Exposed so
+    /// determinism tests can compare worker counts without mutating the
+    /// process environment; the returned set — including the order of
+    /// [`deps`](Self::deps) — is identical for every `jobs` value.
+    pub fn analyze_with_jobs(
+        vars: &VarTable,
+        region: &LoopStmt,
+        table: &RefTable,
+        jobs: usize,
+    ) -> Self {
         let tester = Tester::new(vars, region);
-        let mut out = DependenceSet::default();
         let sites = table.sites();
-        for a in sites {
-            for b in sites {
-                if a.var != b.var {
-                    continue;
-                }
-                if a.access == AccessKind::Read && b.access == AccessKind::Read {
-                    continue;
-                }
-                if !vars.kind(a.var).is_data() {
-                    continue;
-                }
-                tester.test_pair(a, b, &mut out);
+
+        // --- Partition sites by base variable (in table order). Only
+        // partitions of a data variable with at least one write site can
+        // produce a dependence; every other site — notably the giant
+        // blocks' read-only coefficient arrays — skips pairing, signature
+        // interning and the bounds walk entirely.
+        let mut groups: HashMap<VarId, VarGroup> = HashMap::new();
+        for (i, s) in sites.iter().enumerate() {
+            if !vars.kind(s.var).is_data() {
+                continue;
+            }
+            let group = groups.entry(s.var).or_default();
+            group.members.push(i);
+            if s.access == AccessKind::Write {
+                group.writes += 1;
             }
         }
-        out
+        groups.retain(|_, g| g.writes > 0);
+
+        // --- Flat site-arena pass: intern each pairable site's access
+        // signature into a dedup table and precompute, once per *distinct
+        // signature*, what the tester used to recompute per pair per level
+        // — the `IndexBounds` walk and the parameter-folded affine view of
+        // each subscript. (Sites with equal signatures have identical loop
+        // nests and subscripts, so they share one arena entry: a giant
+        // block's hundreds of same-shape references pay for one walk.)
+        let mut interner: HashMap<Vec<i64>, u32> = HashMap::new();
+        let mut sig: Vec<u32> = vec![0; sites.len()];
+        let mut pre: Vec<SitePre> = Vec::new();
+        for group in groups.values() {
+            for &i in &group.members {
+                let s = &sites[i];
+                let tokens = signature_tokens(s);
+                let next = interner.len() as u32;
+                let id = *interner.entry(tokens).or_insert(next);
+                sig[i] = id;
+                if id as usize == pre.len() {
+                    pre.push(SitePre {
+                        bounds: IndexBounds::for_site(vars, region, &s.loops),
+                        subs: s
+                            .reference
+                            .subs
+                            .iter()
+                            .map(|sub| {
+                                sub.as_affine()
+                                    .map(|e| e.substitute_params(&|v| vars.param_value(v)))
+                            })
+                            .collect(),
+                    });
+                }
+            }
+        }
+        let mut memo = MemoTable::new(interner.len());
+        let run_one = |a_idx: usize, b_idx: usize| -> Verdict {
+            let (pa, pb) = (&pre[sig[a_idx] as usize], &pre[sig[b_idx] as usize]);
+            tester.test_pair_verdict(&sites[a_idx], &sites[b_idx], pa, pb)
+        };
+
+        // Pair enumeration, shared by both strategies below: the original
+        // nested-loop order, restricted to a variable's own partition (the
+        // inner loop visits exactly the sites the unpartitioned scan kept).
+        // `a.order < b.order` is the only pair-level fact the tester reads
+        // beyond the two signatures (site orders are unique, so it also
+        // subsumes the `a.id != b.id` gate) — together they form the memo
+        // key of the pair's canonical signature.
+        macro_rules! for_each_pair {
+            ($visit:expr) => {{
+                let mut visit = $visit;
+                for (a_idx, a) in sites.iter().enumerate() {
+                    let Some(group) = groups.get(&a.var) else {
+                        continue;
+                    };
+                    for &b_idx in &group.members {
+                        let b = &sites[b_idx];
+                        if a.access == AccessKind::Read && b.access == AccessKind::Read {
+                            continue;
+                        }
+                        visit(a_idx, b_idx, sig[a_idx], sig[b_idx], a.order < b.order);
+                    }
+                }
+            }};
+        }
+
+        // --- Verdicts. Small regions run a single fused pass, computing
+        // each distinct signature pair's verdict on first encounter. Above
+        // the site threshold the distinct-pair worklist is collected first
+        // and sharded across scoped workers with a deterministic ordered
+        // merge (every verdict lands in its worklist slot), then emission
+        // re-runs the enumeration against the filled memo — the emitted
+        // set is byte-identical either way, at any worker count.
+        let workers = jobs.max(1);
+        let mut verdicts: Vec<Verdict> = Vec::new();
+        if workers > 1 && sites.len() > SHARD_SITE_THRESHOLD {
+            let mut worklist: Vec<(usize, usize)> = Vec::new();
+            for_each_pair!(|a_idx: usize, b_idx: usize, sa: u32, sb: u32, lt: bool| {
+                if memo.slot(sa, sb, lt).is_none() {
+                    memo.record(sa, sb, lt, worklist.len() as u32);
+                    worklist.push((a_idx, b_idx));
+                }
+            });
+            if worklist.len() >= 2 * workers {
+                let slots: Vec<std::sync::Mutex<Option<Verdict>>> = worklist
+                    .iter()
+                    .map(|_| std::sync::Mutex::new(None))
+                    .collect();
+                let cursor = std::sync::atomic::AtomicUsize::new(0);
+                std::thread::scope(|scope| {
+                    for _ in 0..workers.min(worklist.len()) {
+                        scope.spawn(|| loop {
+                            let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            let Some(&(a_idx, b_idx)) = worklist.get(i) else {
+                                break;
+                            };
+                            let v = run_one(a_idx, b_idx);
+                            *slots[i].lock().expect("verdict slot poisoned") = Some(v);
+                        });
+                    }
+                });
+                verdicts = slots
+                    .into_iter()
+                    .map(|m| {
+                        m.into_inner()
+                            .expect("verdict slot poisoned")
+                            .expect("every worklist slot is filled")
+                    })
+                    .collect();
+            } else {
+                verdicts = worklist
+                    .iter()
+                    .map(|&(a_idx, b_idx)| run_one(a_idx, b_idx))
+                    .collect();
+            }
+        }
+
+        // --- Emission in the original pair order: per pair, the
+        // cross-segment dependence (if feasible) precedes the intra-segment
+        // one, exactly as the unmemoized tester pushed them. Sink/source
+        // indices accumulate in dense site-indexed vectors and fold into
+        // the `BTreeMap`s once at the end (site ids are dense table
+        // positions), instead of paying a tree update per push.
+        let mut deps: Vec<Dependence> = Vec::new();
+        let mut by_sink: Vec<Vec<usize>> = (0..sites.len()).map(|_| Vec::new()).collect();
+        let mut by_source: Vec<Vec<usize>> = (0..sites.len()).map(|_| Vec::new()).collect();
+        for_each_pair!(|a_idx: usize, b_idx: usize, sa: u32, sb: u32, lt: bool| {
+            let slot = match memo.slot(sa, sb, lt) {
+                Some(slot) => slot as usize,
+                None => {
+                    let slot = verdicts.len();
+                    memo.record(sa, sb, lt, slot as u32);
+                    verdicts.push(run_one(a_idx, b_idx));
+                    slot
+                }
+            };
+            let verdict = verdicts[slot];
+            if verdict.cross.is_none() && !verdict.intra {
+                return;
+            }
+            let (a, b) = (&sites[a_idx], &sites[b_idx]);
+            let kind = match (a.access, b.access) {
+                (AccessKind::Write, AccessKind::Read) => DepKind::Flow,
+                (AccessKind::Read, AccessKind::Write) => DepKind::Anti,
+                (AccessKind::Write, AccessKind::Write) => DepKind::Output,
+                (AccessKind::Read, AccessKind::Read) => unreachable!("filtered above"),
+            };
+            if let Some(distance) = verdict.cross {
+                by_sink[b_idx].push(deps.len());
+                by_source[a_idx].push(deps.len());
+                deps.push(Dependence {
+                    source: a.id,
+                    sink: b.id,
+                    kind,
+                    scope: DepScope::CrossSegment,
+                    distance,
+                });
+            }
+            if verdict.intra {
+                by_sink[b_idx].push(deps.len());
+                by_source[a_idx].push(deps.len());
+                deps.push(Dependence {
+                    source: a.id,
+                    sink: b.id,
+                    kind,
+                    scope: DepScope::IntraSegment,
+                    distance: None,
+                });
+            }
+        });
+        let fold = |dense: Vec<Vec<usize>>| -> BTreeMap<RefId, Vec<usize>> {
+            dense
+                .into_iter()
+                .enumerate()
+                .filter(|(_, v)| !v.is_empty())
+                .map(|(i, v)| (sites[i].id, v))
+                .collect()
+        };
+        DependenceSet {
+            deps,
+            sink_index: fold(by_sink),
+            source_index: fold(by_source),
+        }
     }
 }
 
-/// Internal: hierarchical dependence tester for one region.
+/// Memo table mapping a canonical signature pair `(sig_a, sig_b,
+/// a.order < b.order)` to its verdict slot. Dense (a flat
+/// `2·S²`-entry array) while the distinct-signature count `S` is small —
+/// the giant-block case, where pair enumeration is the hot loop — and a
+/// hash map beyond [`MemoTable::DENSE_SIG_LIMIT`], where verdict
+/// computation dominates anyway.
+enum MemoTable {
+    Dense { sigs: usize, table: Vec<u32> },
+    Sparse(HashMap<(u32, u32, bool), u32>),
+}
+
+impl MemoTable {
+    /// Above this many distinct signatures the dense table (which costs
+    /// `8·S²` bytes) gives way to a hash map.
+    const DENSE_SIG_LIMIT: usize = 512;
+    const EMPTY: u32 = u32::MAX;
+
+    fn new(sigs: usize) -> Self {
+        if sigs <= Self::DENSE_SIG_LIMIT {
+            MemoTable::Dense {
+                sigs,
+                table: vec![Self::EMPTY; 2 * sigs * sigs],
+            }
+        } else {
+            MemoTable::Sparse(HashMap::new())
+        }
+    }
+
+    fn slot(&self, sa: u32, sb: u32, lt: bool) -> Option<u32> {
+        match self {
+            MemoTable::Dense { sigs, table } => {
+                let i = ((sa as usize * sigs) + sb as usize) * 2 + lt as usize;
+                (table[i] != Self::EMPTY).then_some(table[i])
+            }
+            MemoTable::Sparse(map) => map.get(&(sa, sb, lt)).copied(),
+        }
+    }
+
+    fn record(&mut self, sa: u32, sb: u32, lt: bool, slot: u32) {
+        match self {
+            MemoTable::Dense { sigs, table } => {
+                let i = ((sa as usize * *sigs) + sb as usize) * 2 + lt as usize;
+                table[i] = slot;
+            }
+            MemoTable::Sparse(map) => {
+                map.insert((sa, sb, lt), slot);
+            }
+        }
+    }
+}
+
+/// Site count above which the distinct-pair worklist is sharded across
+/// worker threads. Small regions (the overwhelmingly common case) never
+/// pay for thread spawns.
+pub const SHARD_SITE_THRESHOLD: usize = 64;
+
+/// Worker count for [`DependenceSet::analyze`]: the `REFIDEM_JOBS`
+/// environment variable (positive decimal) when set and valid, otherwise
+/// the machine's available parallelism. This mirrors the `SweepExec`
+/// contract of `refidem_specsim`, which sits *above* this crate in the
+/// dependency graph — both knobs are the same variable, so a driver that
+/// pins its sweep width also pins the analysis shard width.
+fn analysis_jobs() -> usize {
+    // The env var is re-read on every call (cheap, and tests/driver
+    // scripts change it between runs); the `available_parallelism`
+    // fallback is cached process-wide — the syscall walks cgroup files on
+    // containerized hosts and costs ~10µs, which would dominate the whole
+    // analysis of a small region.
+    static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    std::env::var("REFIDEM_JOBS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok().filter(|&n| n > 0))
+        .unwrap_or_else(|| {
+            *CORES.get_or_init(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+        })
+}
+
+/// Per-variable partition of the site list: member site indices in table
+/// order, plus the write count (a partition with no write never produces a
+/// dependence and is skipped wholesale).
+#[derive(Default)]
+struct VarGroup {
+    members: Vec<usize>,
+    writes: usize,
+}
+
+/// Per-site precomputed facts (the flat site arena): the per-site bounds
+/// walk and the parameter-folded affine view of each subscript (`None` for
+/// indirect subscripts, which stay conservatively may-dependent).
+struct SitePre {
+    bounds: IndexBounds,
+    subs: Vec<Option<AffineExpr>>,
+}
+
+/// The memoizable outcome of testing one ordered pair: whether a
+/// cross-segment dependence may exist (with its exact distance when known)
+/// and whether an intra-segment one may.
+#[derive(Clone, Copy, Debug)]
+struct Verdict {
+    cross: Option<Option<i64>>,
+    intra: bool,
+}
+
+/// Serializes everything the hierarchical tester reads from one site into
+/// an internable token stream: access kind, guard context, the
+/// enclosing-loop vector (loop identity, index variable, affine bounds,
+/// step) and each subscript's affine coefficient vector (indirect
+/// subscripts contribute a bare marker — the tester never looks inside
+/// them). Two sites with equal tokens are indistinguishable to
+/// `test_pair`, which is what makes the per-signature-pair verdict memo
+/// sound.
+fn signature_tokens(s: &RefSite) -> Vec<i64> {
+    fn push_affine(t: &mut Vec<i64>, e: &AffineExpr) {
+        t.push(e.constant);
+        t.push(e.terms.len() as i64);
+        for (&v, &c) in &e.terms {
+            t.push(v.index() as i64);
+            t.push(c);
+        }
+    }
+    let mut t = Vec::with_capacity(8 + 8 * s.loops.len() + 4 * s.reference.subs.len());
+    t.push((s.access == AccessKind::Write) as i64);
+    t.push(s.conditional as i64);
+    t.push(s.loops.len() as i64);
+    for l in &s.loops {
+        t.push(l.stmt.index() as i64);
+        t.push(l.index.index() as i64);
+        push_affine(&mut t, &l.lower);
+        push_affine(&mut t, &l.upper);
+        t.push(l.step);
+    }
+    t.push(s.reference.subs.len() as i64);
+    for sub in &s.reference.subs {
+        match sub.as_affine() {
+            Some(e) => {
+                t.push(1);
+                push_affine(&mut t, e);
+            }
+            None => t.push(0),
+        }
+    }
+    t
+}
+
+/// Internal: hierarchical dependence tester for one region. Parameter
+/// folding happens in the site arena ([`SitePre`]), so the tester only
+/// needs the region loop and its bounds.
 struct Tester<'a> {
-    vars: &'a VarTable,
     region: &'a LoopStmt,
     region_bounds: IndexBounds,
 }
@@ -197,18 +578,27 @@ struct Tester<'a> {
 /// variables.
 const META_BASE: u32 = 1 << 24;
 
+/// Meta-variable allocator with a dense bounds table: meta ids are
+/// consecutive from [`META_BASE`], so their bounds live in a flat vector
+/// indexed by allocation order instead of a per-pair `BTreeMap`.
 #[derive(Default)]
 struct MetaAlloc {
-    next: u32,
-    bounds: BTreeMap<VarId, (i64, i64)>,
+    bounds: Vec<(i64, i64)>,
 }
 
 impl MetaAlloc {
     fn fresh(&mut self, lo: i64, hi: i64) -> VarId {
-        let id = VarId(META_BASE + self.next);
-        self.next += 1;
-        self.bounds.insert(id, (lo.min(hi), lo.max(hi)));
+        let id = VarId(META_BASE + self.bounds.len() as u32);
+        self.bounds.push((lo.min(hi), lo.max(hi)));
         id
+    }
+
+    /// Bounds of a meta variable; `None` for program variables (which the
+    /// allocator never bounds).
+    fn get(&self, v: VarId) -> Option<(i64, i64)> {
+        v.index()
+            .checked_sub(META_BASE as usize)
+            .and_then(|i| self.bounds.get(i).copied())
     }
 }
 
@@ -234,7 +624,6 @@ impl<'a> Tester<'a> {
             region.step,
         );
         Tester {
-            vars,
             region,
             region_bounds,
         }
@@ -255,31 +644,20 @@ impl<'a> Tester<'a> {
     }
 
     /// Tests all dependence levels for the ordered pair (source = `a`,
-    /// sink = `b`) and records the results.
-    fn test_pair(&self, a: &RefSite, b: &RefSite, out: &mut DependenceSet) {
-        let kind = match (a.access, b.access) {
-            (AccessKind::Write, AccessKind::Read) => DepKind::Flow,
-            (AccessKind::Read, AccessKind::Write) => DepKind::Anti,
-            (AccessKind::Write, AccessKind::Write) => DepKind::Output,
-            (AccessKind::Read, AccessKind::Read) => return,
-        };
+    /// sink = `b`) and returns the memoizable verdict. The verdict depends
+    /// only on the two sites' access signatures and on whether `a`
+    /// textually precedes `b` — the invariant the per-signature-pair memo
+    /// in [`DependenceSet::analyze_with_jobs`] relies on.
+    fn test_pair_verdict(&self, a: &RefSite, b: &RefSite, pa: &SitePre, pb: &SitePre) -> Verdict {
         let common = self.common_loops(a, b);
 
         // Cross-segment: carried by the region loop.
-        if let Some(distance) = self.test_level(a, b, &common, 0) {
-            out.push(Dependence {
-                source: a.id,
-                sink: b.id,
-                kind,
-                scope: DepScope::CrossSegment,
-                distance,
-            });
-        }
+        let cross = self.test_level(a, b, pa, pb, &common, 0);
 
         // Intra-segment: carried by one of the common inner loops.
         let mut intra = false;
         for level in 1..=common.len() {
-            if self.test_level(a, b, &common, level).is_some() {
+            if self.test_level(a, b, pa, pb, &common, level).is_some() {
                 intra = true;
                 break;
             }
@@ -288,19 +666,11 @@ impl<'a> Tester<'a> {
         // loop), requires the source to precede the sink textually.
         if !intra && a.id != b.id && a.order < b.order {
             let level = common.len() + 1;
-            if self.test_level(a, b, &common, level).is_some() {
+            if self.test_level(a, b, pa, pb, &common, level).is_some() {
                 intra = true;
             }
         }
-        if intra {
-            out.push(Dependence {
-                source: a.id,
-                sink: b.id,
-                kind,
-                scope: DepScope::IntraSegment,
-                distance: None,
-            });
-        }
+        Verdict { cross, intra }
     }
 
     /// Tests one dependence level.
@@ -311,16 +681,19 @@ impl<'a> Tester<'a> {
     ///
     /// Returns `Some(distance)` when a dependence may exist (the distance is
     /// known only for exactly-solved region-level dependences).
+    #[allow(clippy::too_many_arguments)]
     fn test_level(
         &self,
         a: &RefSite,
         b: &RefSite,
+        pa: &SitePre,
+        pb: &SitePre,
         common: &[&LoopContext],
         level: usize,
     ) -> Option<Option<i64>> {
         let mut alloc = MetaAlloc::default();
-        let bounds_a = IndexBounds::for_site(self.vars, self.region, &a.loops);
-        let bounds_b = IndexBounds::for_site(self.vars, self.region, &b.loops);
+        let bounds_a = &pa.bounds;
+        let bounds_b = &pb.bounds;
 
         // Mapping from real index variables to meta expressions, separately
         // for the source and the sink.
@@ -400,16 +773,16 @@ impl<'a> Tester<'a> {
         }
 
         let mut exact_distance: Option<i64> = None;
-        for (sa, sb) in a.reference.subs.iter().zip(&b.reference.subs) {
-            let (ea, eb) = match (sa.as_affine(), sb.as_affine()) {
+        for (sa, sb) in pa.subs.iter().zip(&pb.subs) {
+            let (ea, eb) = match (sa, sb) {
                 (Some(ea), Some(eb)) => (ea, eb),
                 // An indirect subscript: may-dependent in this dimension.
                 _ => continue,
             };
-            let da = self.substitute(ea, &map_a);
-            let db = self.substitute(eb, &map_b);
+            let da = self.substitute_folded(ea, &map_a);
+            let db = self.substitute_folded(eb, &map_b);
             let diff = da - db;
-            match feasible(&diff, &alloc.bounds) {
+            match feasible(&diff, &alloc) {
                 Feasibility::Infeasible => return None,
                 Feasibility::Feasible => {}
                 Feasibility::Exact(var, value) => {
@@ -480,8 +853,13 @@ impl<'a> Tester<'a> {
         }
     }
 
-    fn substitute(&self, e: &AffineExpr, map: &BTreeMap<VarId, AffineExpr>) -> AffineExpr {
-        let folded = e.substitute_params(&|v| self.vars.param_value(v));
+    /// Maps the index variables of an already parameter-folded affine
+    /// expression (see [`SitePre::subs`]) to their meta expressions.
+    fn substitute_folded(
+        &self,
+        folded: &AffineExpr,
+        map: &BTreeMap<VarId, AffineExpr>,
+    ) -> AffineExpr {
         let mut out = AffineExpr::constant(folded.constant);
         for (&v, &c) in &folded.terms {
             match map.get(&v) {
@@ -506,7 +884,7 @@ enum Feasibility {
 /// Decides whether `diff == 0` has a solution with every variable inside its
 /// bounds, using exact single-variable solving, a GCD test and an interval
 /// (Banerjee-style) test.
-fn feasible(diff: &AffineExpr, bounds: &BTreeMap<VarId, (i64, i64)>) -> Feasibility {
+fn feasible(diff: &AffineExpr, bounds: &MetaAlloc) -> Feasibility {
     if diff.is_constant() {
         return if diff.constant == 0 {
             Feasibility::Feasible
@@ -521,8 +899,8 @@ fn feasible(diff: &AffineExpr, bounds: &BTreeMap<VarId, (i64, i64)>) -> Feasibil
             return Feasibility::Infeasible;
         }
         let value = -diff.constant / c;
-        if let Some((lo, hi)) = bounds.get(&v) {
-            if value < *lo || value > *hi {
+        if let Some((lo, hi)) = bounds.get(v) {
+            if value < lo || value > hi {
                 return Feasibility::Infeasible;
             }
         }
@@ -534,7 +912,7 @@ fn feasible(diff: &AffineExpr, bounds: &BTreeMap<VarId, (i64, i64)>) -> Feasibil
         return Feasibility::Infeasible;
     }
     // Interval (Banerjee bounds) test.
-    let range = diff.range(&|v| bounds.get(&v).copied());
+    let range = diff.range(&|v| bounds.get(v));
     match range {
         Some((lo, hi)) => {
             if lo <= 0 && 0 <= hi {
@@ -609,6 +987,202 @@ mod tests {
     fn region_of(b: &ProcBuilder, body: &[Stmt], label: &str) -> LoopStmt {
         let _ = b;
         find_region(body, label).expect("region").clone()
+    }
+
+    /// The pre-pruning pair loop, kept verbatim as a reference
+    /// implementation: every ordered same-variable pair is tested
+    /// individually, with per-pair arena facts and no memoization. The
+    /// pruned [`DependenceSet::analyze`] must be structurally identical to
+    /// this — including the emission order of `deps()`.
+    fn analyze_reference(vars: &VarTable, region: &LoopStmt, table: &RefTable) -> DependenceSet {
+        let tester = Tester::new(vars, region);
+        let site_pre = |s: &RefSite| SitePre {
+            bounds: IndexBounds::for_site(vars, region, &s.loops),
+            subs: s
+                .reference
+                .subs
+                .iter()
+                .map(|sub| {
+                    sub.as_affine()
+                        .map(|e| e.substitute_params(&|v| vars.param_value(v)))
+                })
+                .collect(),
+        };
+        let mut out = DependenceSet::default();
+        let sites = table.sites();
+        for a in sites {
+            for b in sites {
+                if a.var != b.var {
+                    continue;
+                }
+                if a.access == AccessKind::Read && b.access == AccessKind::Read {
+                    continue;
+                }
+                if !vars.kind(a.var).is_data() {
+                    continue;
+                }
+                let kind = match (a.access, b.access) {
+                    (AccessKind::Write, AccessKind::Read) => DepKind::Flow,
+                    (AccessKind::Read, AccessKind::Write) => DepKind::Anti,
+                    (AccessKind::Write, AccessKind::Write) => DepKind::Output,
+                    (AccessKind::Read, AccessKind::Read) => continue,
+                };
+                let verdict = tester.test_pair_verdict(a, b, &site_pre(a), &site_pre(b));
+                if let Some(distance) = verdict.cross {
+                    out.push(Dependence {
+                        source: a.id,
+                        sink: b.id,
+                        kind,
+                        scope: DepScope::CrossSegment,
+                        distance,
+                    });
+                }
+                if verdict.intra {
+                    out.push(Dependence {
+                        source: a.id,
+                        sink: b.id,
+                        kind,
+                        scope: DepScope::IntraSegment,
+                        distance: None,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// A TWLDRV-shaped giant block: `stmts` straight-line statements
+    /// chaining four accumulator scalars through coefficient-array reads,
+    /// plus a final array store — enough sites to cross
+    /// [`SHARD_SITE_THRESHOLD`].
+    fn giant_block(stmts: usize) -> (ProcBuilder, Vec<Stmt>) {
+        let mut b = ProcBuilder::new("giant");
+        let e = b.array("e", &[stmts, 8]);
+        let g = b.array("g", &[8]);
+        let s1 = b.scalar("s1");
+        let s2 = b.scalar("s2");
+        let s3 = b.scalar("s3");
+        let s4 = b.scalar("s4");
+        let k = b.index("k");
+        let scalars = [s1, s2, s3, s4];
+        let mut body = Vec::with_capacity(stmts + 1);
+        for u in 0..stmts {
+            let dst = scalars[u % 4];
+            let src = scalars[(u + 1) % 4];
+            let term = b.load_elem(e, vec![ac(u as i64 + 1), av(k)]);
+            let rhs = add(b.load(src), term);
+            body.push(b.assign_scalar(dst, rhs));
+        }
+        let lhs = b.load(s1);
+        let rhs = b.load(s2);
+        let sum = add(lhs, rhs);
+        body.push(b.assign_elem(g, vec![av(k)], sum));
+        let outer = vec![b.do_loop_labeled("G", k, ac(1), ac(8), body)];
+        (b, outer)
+    }
+
+    /// The pruned path (memo + partition + arena) must be structurally
+    /// identical to the reference pair loop on a mix of region shapes:
+    /// carried stencils, scalar tangles, interleaved strides, descending
+    /// loops, indirect subscripts and guarded writes.
+    #[test]
+    fn pruned_analysis_matches_reference_on_diverse_regions() {
+        let mut cases: Vec<(ProcBuilder, Vec<Stmt>, &str)> = Vec::new();
+        // Carried stencil: a(k) = a(k-1) + 1.
+        {
+            let mut b = ProcBuilder::new("t");
+            let a = b.array("a", &[16]);
+            let k = b.index("k");
+            let rhs = add(b.load_elem(a, vec![av(k) - ac(1)]), num(1.0));
+            let s = b.assign_elem(a, vec![av(k)], rhs);
+            let body = vec![b.do_loop_labeled("R", k, ac(1), ac(10), vec![s])];
+            cases.push((b, body, "R"));
+        }
+        // Scalar tangle with a guarded write: if (a(k)) then t = a(k).
+        {
+            let mut b = ProcBuilder::new("t");
+            let a = b.array("a", &[16]);
+            let t = b.scalar("t");
+            let k = b.index("k");
+            let cond = b.load_elem(a, vec![av(k)]);
+            let read = b.load_elem(a, vec![av(k)]);
+            let asg = b.assign_scalar(t, read);
+            let guarded = b.if_then(cond, vec![asg]);
+            let tv = b.load(t);
+            let store = b.assign_elem(a, vec![av(k)], tv);
+            let body = vec![b.do_loop_labeled("R", k, ac(1), ac(10), vec![guarded, store])];
+            cases.push((b, body, "R"));
+        }
+        // Interleaved strides: a(2k) vs a(2k+1).
+        {
+            let mut b = ProcBuilder::new("t");
+            let a = b.array("a", &[64]);
+            let q = b.scalar("q");
+            let k = b.index("k");
+            let w = b.assign_elem(a, vec![AffineExpr::scaled_var(k, 2)], num(1.0));
+            let rhs = b.load_elem(a, vec![AffineExpr::scaled_var(k, 2) + ac(1)]);
+            let r = b.assign_scalar(q, rhs);
+            let body = vec![b.do_loop_labeled("R", k, ac(1), ac(10), vec![w, r])];
+            cases.push((b, body, "R"));
+        }
+        // Descending loop: a(k) = a(k+1), step -1.
+        {
+            let mut b = ProcBuilder::new("t");
+            let a = b.array("a", &[16]);
+            let k = b.index("k");
+            let rhs = b.load_elem(a, vec![av(k) + ac(1)]);
+            let s = b.assign_elem(a, vec![av(k)], rhs);
+            let body = vec![b.do_loop_step(Some("R"), k, ac(10), ac(1), -1, vec![s])];
+            cases.push((b, body, "R"));
+        }
+        // Indirect subscripts: x(idx(k)) = x(idx(k)) + 1.
+        {
+            let mut b = ProcBuilder::new("t");
+            let x = b.array("x", &[16]);
+            let idxv = b.array("idx", &[16]);
+            let k = b.index("k");
+            let i1 = b.aref(idxv, vec![av(k)]);
+            let ind1 = b.indirect(i1);
+            let lhs = b.aref_subs(x, vec![ind1]);
+            let i2 = b.aref(idxv, vec![av(k)]);
+            let ind2 = b.indirect(i2);
+            let rref = b.aref_subs(x, vec![ind2]);
+            let rhs = add(b.load_ref(rref), num(1.0));
+            let s = b.assign(lhs, rhs);
+            let body = vec![b.do_loop_labeled("R", k, ac(1), ac(10), vec![s])];
+            cases.push((b, body, "R"));
+        }
+        for (b, body, label) in &cases {
+            let region = find_region(body, label).expect("region").clone();
+            let table = RefTable::collect(&region.body);
+            let reference = analyze_reference(b.vars(), &region, &table);
+            for jobs in [1, 4] {
+                let pruned = DependenceSet::analyze_with_jobs(b.vars(), &region, &table, jobs);
+                assert_eq!(pruned, reference, "jobs={jobs}");
+            }
+        }
+    }
+
+    /// A giant block big enough to engage the sharded worklist must be
+    /// byte-identical to the reference at every worker count — the jobs=1
+    /// vs jobs=4 determinism guarantee of the ordered merge.
+    #[test]
+    fn giant_block_is_deterministic_across_jobs() {
+        let (b, body) = giant_block(96);
+        let region = find_region(&body, "G").expect("region").clone();
+        let table = RefTable::collect(&region.body);
+        assert!(
+            table.len() > SHARD_SITE_THRESHOLD,
+            "giant block must cross the shard threshold ({} sites)",
+            table.len()
+        );
+        let reference = analyze_reference(b.vars(), &region, &table);
+        let serial = DependenceSet::analyze_with_jobs(b.vars(), &region, &table, 1);
+        let sharded = DependenceSet::analyze_with_jobs(b.vars(), &region, &table, 4);
+        assert_eq!(serial, reference);
+        assert_eq!(sharded, reference);
+        assert_eq!(serial, sharded);
+        assert!(!reference.is_empty());
     }
 
     /// do k = 1, 10:  a(k) = a(k-1) + 1   — classic loop-carried flow dep.

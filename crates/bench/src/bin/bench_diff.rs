@@ -1,7 +1,7 @@
 //! Diffs two recorded `BENCH_N.json` trajectories.
 //!
 //! ```text
-//! bench_diff OLD.json NEW.json [--fail-above PCT]
+//! bench_diff OLD.json NEW.json [--fail-above PCT] [--only SUBSTR]
 //! ```
 //!
 //! Prints a per-benchmark ratio table (`new / old` — below 1.00 is a
@@ -12,6 +12,14 @@
 //! opt into gating on the committed trajectory; without the flag the run
 //! is purely informational (benchmarks recorded on different machines are
 //! not comparable as a pass/fail signal).
+//!
+//! `--only SUBSTR` restricts the whole comparison — table, geomean and
+//! gate — to entries whose `group/function` name contains the substring,
+//! ASCII case-insensitively: the same matching the measurement harness's
+//! `--filter` flag applies, so the name that selected a bench when it was
+//! recorded selects it again when diffed. Like the harness, the
+//! `BENCH_FILTER` environment variable is honored as a fallback and the
+//! flag beats it.
 
 use refidem_bench::microbench::parse_results_json;
 use std::process::ExitCode;
@@ -20,11 +28,13 @@ struct Args {
     old_path: String,
     new_path: String,
     fail_above_pct: Option<f64>,
+    only: Option<String>,
 }
 
 fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Args, String> {
     let mut positional = Vec::new();
     let mut fail_above_pct = None;
+    let mut only = None;
     while let Some(arg) = args.next() {
         if arg == "--fail-above" {
             let value = args
@@ -33,6 +43,13 @@ fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Args, String> {
             fail_above_pct = Some(parse_pct(&value)?);
         } else if let Some(value) = arg.strip_prefix("--fail-above=") {
             fail_above_pct = Some(parse_pct(value)?);
+        } else if arg == "--only" {
+            let value = args
+                .next()
+                .ok_or_else(|| "--only requires a value".to_string())?;
+            only = Some(parse_only(&value)?);
+        } else if let Some(value) = arg.strip_prefix("--only=") {
+            only = Some(parse_only(value)?);
         } else if arg.starts_with("--") {
             return Err(format!("unrecognized argument `{arg}`"));
         } else {
@@ -46,7 +63,38 @@ fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Args, String> {
         old_path,
         new_path,
         fail_above_pct,
+        only,
     })
+}
+
+fn parse_only(s: &str) -> Result<String, String> {
+    if s.is_empty() {
+        Err("--only expects a non-empty substring".to_string())
+    } else {
+        Ok(s.to_ascii_lowercase())
+    }
+}
+
+/// The effective name filter: the `--only` flag if given, else the
+/// harness's `BENCH_FILTER` environment variable (lowercased; empty means
+/// none) — so a shell that filtered the *measurement* filters the *diff*
+/// the same way.
+fn effective_only(flag: Option<String>) -> Option<String> {
+    flag.or_else(|| {
+        std::env::var("BENCH_FILTER")
+            .ok()
+            .map(|v| v.to_ascii_lowercase())
+            .filter(|v| !v.is_empty())
+    })
+}
+
+/// Restricts recorded entries to names containing `only`, ASCII
+/// case-insensitively — the harness's `--filter` matching.
+fn apply_only(entries: Vec<(String, u64)>, only: &str) -> Vec<(String, u64)> {
+    entries
+        .into_iter()
+        .filter(|(name, _)| name.to_ascii_lowercase().contains(only))
+        .collect()
 }
 
 fn parse_pct(s: &str) -> Result<f64, String> {
@@ -66,11 +114,11 @@ fn main() -> ExitCode {
         Ok(args) => args,
         Err(message) => {
             eprintln!("error: {message}");
-            eprintln!("usage: bench_diff OLD.json NEW.json [--fail-above PCT]");
+            eprintln!("usage: bench_diff OLD.json NEW.json [--fail-above PCT] [--only SUBSTR]");
             return ExitCode::from(2);
         }
     };
-    let (old, new) = match (load(&args.old_path), load(&args.new_path)) {
+    let (mut old, mut new) = match (load(&args.old_path), load(&args.new_path)) {
         (Ok(old), Ok(new)) => (old, new),
         (old, new) => {
             for e in [old.err(), new.err()].into_iter().flatten() {
@@ -79,6 +127,15 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Some(only) = effective_only(args.only.clone()) {
+        old = apply_only(old, &only);
+        new = apply_only(new, &only);
+        println!(
+            "only `{only}`: {} old / {} new entries match",
+            old.len(),
+            new.len()
+        );
+    }
     let old_by_name: std::collections::BTreeMap<&str, u64> =
         old.iter().map(|(n, ns)| (n.as_str(), *ns)).collect();
     let new_names: std::collections::BTreeSet<&str> = new.iter().map(|(n, _)| n.as_str()).collect();
@@ -157,4 +214,64 @@ fn main() -> ExitCode {
         println!("no regression above {threshold_pct}%");
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A hand-rolled `BENCH_N.json` in the harness's on-disk format.
+    const SAMPLE: &str = r#"[
+  {"name": "region_analysis/FPPPP TWLDRV_DO100", "ns_per_iter": 5619687},
+  {"name": "region_analysis/MGRID RESID_DO600", "ns_per_iter": 120000},
+  {"name": "labeling/FPPPP TWLDRV_DO100", "ns_per_iter": 90000},
+  {"name": "interp/APPLU BUTS_DO1", "ns_per_iter": 45000}
+]"#;
+
+    fn parse(args: &[&str]) -> Result<Args, String> {
+        parse_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn only_flag_is_parsed_and_lowercased() {
+        let a = parse(&["a.json", "b.json", "--only", "TWLDRV"]).unwrap();
+        assert_eq!(a.only.as_deref(), Some("twldrv"));
+        let a = parse(&["a.json", "--only=Region_Analysis", "b.json"]).unwrap();
+        assert_eq!(a.only.as_deref(), Some("region_analysis"));
+        assert!(parse(&["a.json", "b.json", "--only"]).is_err());
+        assert!(parse(&["a.json", "b.json", "--only="]).is_err());
+    }
+
+    #[test]
+    fn only_filters_parsed_results_case_insensitively() {
+        let entries = parse_results_json(SAMPLE).expect("parses");
+        assert_eq!(entries.len(), 4);
+        // The harness matches lowercased full names; `--only` must select
+        // the same set the measurement-time `--filter` would have run.
+        let twldrv = apply_only(entries.clone(), "twldrv");
+        assert_eq!(
+            twldrv.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
+            [
+                "region_analysis/FPPPP TWLDRV_DO100",
+                "labeling/FPPPP TWLDRV_DO100"
+            ]
+        );
+        assert_eq!(twldrv[0].1, 5_619_687);
+        // Group-prefix selection works because matching is substring-based.
+        let group = apply_only(entries.clone(), "region_analysis/");
+        assert_eq!(group.len(), 2);
+        // No match leaves nothing (and bench_diff then reports "no common
+        // benchmarks" instead of failing).
+        assert!(apply_only(entries, "nonexistent").is_empty());
+    }
+
+    #[test]
+    fn flag_beats_environment_fallback() {
+        // `effective_only` itself prefers the flag without consulting the
+        // environment; the env var only fills in when no flag was given.
+        assert_eq!(
+            effective_only(Some("flag".to_string())).as_deref(),
+            Some("flag")
+        );
+    }
 }

@@ -52,11 +52,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod label;
 pub mod model;
 pub mod rfw;
 pub mod stats;
 
+pub use cache::{AnalysisCache, AnalysisKey, AnalysisLookup, AnalysisTally};
 pub use label::{
     label_abstract_region, label_program, label_program_region, label_program_region_by_name,
     label_region, IdemCategory, Label, LabelInput, LabeledProgram, LabeledRegion, Labeling,
@@ -67,6 +69,7 @@ pub use stats::{DynLabelStats, LabelStats};
 
 /// Commonly used items, for glob import.
 pub mod prelude {
+    pub use crate::cache::{AnalysisCache, AnalysisKey, AnalysisLookup, AnalysisTally};
     pub use crate::label::{
         label_abstract_region, label_program, label_program_region, label_program_region_by_name,
         label_region, IdemCategory, Label, LabelInput, LabeledProgram, LabeledRegion, Labeling,

@@ -1138,8 +1138,13 @@ impl Fingerprint {
 /// (kinds, dims and parameter values drive the [`Layout`] and compile-time
 /// folding) and the statement body. Variable *names* are excluded — they
 /// never influence generated code.
+///
+/// Public (in debug builds) so other derived-artifact caches keyed on
+/// procedure identity — e.g. the analysis cache in `refidem_core` — can
+/// enforce the same "equal key ⇒ identical IR" convention with the same
+/// fingerprint.
 #[cfg(debug_assertions)]
-fn fingerprint_procedure(vars: &VarTable, stmts: &[Stmt]) -> u64 {
+pub fn fingerprint_procedure(vars: &VarTable, stmts: &[Stmt]) -> u64 {
     use crate::var::VarKind;
     let mut fp = Fingerprint(0x5157_5ea6_14db_a9a1);
     fp.mix(vars.len() as u64);

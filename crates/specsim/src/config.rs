@@ -2,6 +2,7 @@
 
 use crate::engine::ScratchPool;
 use crate::fault::{FaultPlan, Governor};
+use refidem_core::cache::AnalysisCache;
 use refidem_ir::lowered::{ExecBackend, LoweredCache};
 
 /// How speculative regions execute.
@@ -31,10 +32,11 @@ pub enum SpecRuntime {
 /// non-speculative storage is slightly slower, roll-backs and commits cost
 /// a handful of cycles.
 ///
-/// A config also carries the [`LoweredCache`] the runs compile through.
-/// The default is the process-global cache, so a capacity-ladder sweep
-/// that builds one `SimConfig` per point still lowers each region exactly
-/// once per process:
+/// A config also carries the [`LoweredCache`] the runs compile through
+/// and the [`AnalysisCache`] the cached entry points label through. Both
+/// default to their process-global cache, so a capacity-ladder sweep that
+/// builds one `SimConfig` per point still lowers — and analyzes — each
+/// region exactly once per process:
 ///
 /// ```
 /// use refidem_specsim::SimConfig;
@@ -42,6 +44,7 @@ pub enum SpecRuntime {
 /// let a = SimConfig::default().capacity(4);
 /// let b = SimConfig::default().capacity(256);
 /// assert_eq!(a.cache, b.cache, "sweep points share compiled code");
+/// assert_eq!(a.analysis_cache, b.analysis_cache, "and analyses");
 /// ```
 #[derive(Clone, Debug, PartialEq)]
 pub struct SimConfig {
@@ -92,6 +95,17 @@ pub struct SimConfig {
     /// [`LoweredCache::fresh`] to isolate a run. The tree-walking oracle
     /// backend never compiles, so it never touches the cache.
     pub cache: LoweredCache,
+    /// Analysis cache for the *cached* labeling entry points
+    /// ([`simulate_region_cached`](crate::run::simulate_region_cached),
+    /// [`simulate_program_cached`](crate::run::simulate_program_cached)
+    /// and [`label_program_cached`](crate::run::label_program_cached)):
+    /// the completed region analysis and its derived labeling are computed
+    /// once per (procedure × region) and reused by every sweep point,
+    /// mode and repetition. Defaults to the process-global cache
+    /// ([`AnalysisCache::global`]); substitute [`AnalysisCache::fresh`] to
+    /// isolate a run. Runs handed an already-labeled region never touch
+    /// it.
+    pub analysis_cache: AnalysisCache,
     /// Reuse engine scratch (dependence masks + per-processor buffer
     /// pool) across the regions of a schedule *and* across repeated
     /// simulation calls — including calls from the short-lived worker
@@ -147,6 +161,7 @@ impl Default for SimConfig {
             backend: ExecBackend::default(),
             fuse_min_trips: 2,
             cache: LoweredCache::default(),
+            analysis_cache: AnalysisCache::default(),
             pool_scratch: true,
             scratch: ScratchPool::global(),
             runtime: SpecRuntime::Simulated,
@@ -214,6 +229,15 @@ impl SimConfig {
     /// opt out of the process-global cache).
     pub fn cache(mut self, cache: LoweredCache) -> Self {
         self.cache = cache;
+        self
+    }
+
+    /// Convenience: sets the analysis cache and returns the modified
+    /// config (e.g.
+    /// `SimConfig::default().analysis_cache(AnalysisCache::fresh())` to
+    /// opt out of the process-global cache).
+    pub fn analysis_cache(mut self, cache: AnalysisCache) -> Self {
+        self.analysis_cache = cache;
         self
     }
 
@@ -290,6 +314,12 @@ mod tests {
         assert_eq!(a.cache, b.cache, "defaults share the process-global cache");
         let c = SimConfig::default().cache(LoweredCache::fresh());
         assert_ne!(a.cache, c.cache, "a fresh cache is its own storage");
+        assert_eq!(
+            a.analysis_cache, b.analysis_cache,
+            "defaults share the process-global analysis cache"
+        );
+        let d = SimConfig::default().analysis_cache(AnalysisCache::fresh());
+        assert_ne!(a.analysis_cache, d.analysis_cache);
     }
 
     #[test]

@@ -23,6 +23,7 @@ use crate::engine::{Engine, EngineScratch};
 use crate::fault::DegradeReason;
 use crate::report::{ProgramReport, SimReport, SpeedupComparison};
 use refidem_analysis::classify::VarClass;
+use refidem_core::cache::AnalysisTally;
 use refidem_core::label::{LabeledProgram, LabeledRegion};
 use refidem_ir::exec::{CountingStore, DataStore, DynCounts, ExecError, PlainStore, SegmentExec};
 use refidem_ir::ids::RefId;
@@ -859,6 +860,69 @@ pub fn simulate_region(
     Ok(SimOutcome { report, memory })
 }
 
+/// Labels every region of `proc` through the config's
+/// [`AnalysisCache`](refidem_core::cache::AnalysisCache) — the cached
+/// counterpart of [`label_program`](refidem_core::label::label_program),
+/// at simulator error granularity. The returned
+/// [`AnalysisTally`] attributes exactly this call's cache traffic (one
+/// lookup per discovered region), which the cached simulation entry
+/// points stamp onto their reports.
+pub fn label_program_cached(
+    program: &Program,
+    proc: refidem_ir::ids::ProcId,
+    cfg: &SimConfig,
+) -> Result<(LabeledProgram, AnalysisTally), SimError> {
+    cfg.analysis_cache
+        .label_program_cached(program, proc)
+        .map_err(|e| SimError::Region(e.to_string()))
+}
+
+/// Simulates a whole program under `mode`, labeling every region through
+/// the config's analysis cache first: discover → label (**cached**) →
+/// schedule → simulate. Beyond [`simulate_program`], the report's
+/// `analysis_cache_{hits,misses,evictions}` counters carry this call's
+/// attributed analysis-cache traffic — on the first simulation of a
+/// program each region misses once; every further mode, capacity point or
+/// repetition sharing the cache hits instead of re-analyzing.
+pub fn simulate_program_cached(
+    program: &Program,
+    proc: refidem_ir::ids::ProcId,
+    mode: ExecMode,
+    cfg: &SimConfig,
+) -> Result<ProgramOutcome, SimError> {
+    let (labeled, tally) = label_program_cached(program, proc, cfg)?;
+    let mut out = simulate_program(program, &labeled, mode, cfg)?;
+    out.report.analysis_cache_hits = tally.hits;
+    out.report.analysis_cache_misses = tally.misses;
+    out.report.analysis_cache_evictions = tally.evictions;
+    Ok(out)
+}
+
+/// Simulates the region whose loop label is `label` under `mode`,
+/// obtaining the labeling through the config's analysis cache — the
+/// cached counterpart of label-by-name + [`simulate_region`]. The
+/// report's `analysis_cache_*` counters carry this call's single lookup
+/// (a miss the first time a (procedure, region) pair is seen, a hit
+/// afterwards).
+pub fn simulate_region_cached(
+    program: &Program,
+    label: &str,
+    mode: ExecMode,
+    cfg: &SimConfig,
+) -> Result<SimOutcome, SimError> {
+    let lookup = cfg
+        .analysis_cache
+        .label_region_by_name_cached(program, label)
+        .map_err(|e| SimError::Region(e.to_string()))?;
+    let mut tally = AnalysisTally::default();
+    tally.count(&lookup);
+    let mut out = simulate_region(program, &lookup.region, mode, cfg)?;
+    out.report.analysis_cache_hits = tally.hits;
+    out.report.analysis_cache_misses = tally.misses;
+    out.report.analysis_cache_evictions = tally.evictions;
+    Ok(out)
+}
+
 /// Runs a whole labeled program fully sequentially on one processor,
 /// timing the serial spans and every region separately (the denominator
 /// of whole-program speedups, and the source of the sequential coverage
@@ -1300,6 +1364,84 @@ mod tests {
         let out = simulate_region(&other, &other_labeled, ExecMode::Case, &base).unwrap();
         assert_eq!(out.report.lowering_cache_misses, 1);
         assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn capacity_ladder_analyzes_each_region_exactly_once() {
+        use refidem_core::cache::AnalysisCache;
+        let p = wide_program();
+        let base = SimConfig::default()
+            .cache(LoweredCache::fresh())
+            .analysis_cache(AnalysisCache::fresh());
+
+        // The first cached simulation analyzes; every further point of the
+        // ladder — any capacity, either mode — reuses that analysis.
+        let first = simulate_region_cached(&p, "WIDE", ExecMode::Hose, &base).unwrap();
+        assert_eq!(first.report.analysis_cache_misses, 1);
+        assert_eq!(first.report.analysis_cache_hits, 0);
+        for capacity in [1, 2, 4, 16, 256] {
+            for mode in [ExecMode::Hose, ExecMode::Case] {
+                let cfg = base.clone().capacity(capacity);
+                let out = simulate_region_cached(&p, "WIDE", mode, &cfg).unwrap();
+                assert_eq!(
+                    out.report.analysis_cache_misses, 0,
+                    "{mode} @ {capacity} re-analyzed"
+                );
+                assert_eq!(out.report.analysis_cache_hits, 1);
+                assert_eq!(out.report.analysis_cache_evictions, 0);
+            }
+        }
+        assert_eq!(base.analysis_cache.len(), 1, "one entry per region");
+        assert_eq!(base.analysis_cache.evictions(), 0);
+
+        // The cached run is bit-identical to the classic label-then-simulate
+        // path: same report (minus the analysis counters, which only the
+        // cached entry points populate) and byte-identical memory.
+        let labeled = label_program_region_by_name(&p, "WIDE").unwrap();
+        let classic = simulate_region(&p, &labeled, ExecMode::Case, &base).unwrap();
+        let cached = simulate_region_cached(&p, "WIDE", ExecMode::Case, &base).unwrap();
+        let mut strip = cached.report.clone();
+        strip.analysis_cache_hits = 0;
+        strip.analysis_cache_misses = 0;
+        strip.analysis_cache_evictions = 0;
+        assert_eq!(strip, classic.report);
+        assert!(classic.memory.diff(&cached.memory, usize::MAX).is_empty());
+    }
+
+    #[test]
+    fn cached_program_simulation_matches_the_classic_path() {
+        use refidem_core::cache::AnalysisCache;
+        use refidem_core::label::label_program;
+        use refidem_ir::ids::ProcId;
+        let p = recurrence_program();
+        let cfg = SimConfig::default()
+            .cache(LoweredCache::fresh())
+            .analysis_cache(AnalysisCache::fresh());
+        let labeled = label_program(&p, ProcId::from_index(0)).unwrap();
+        let classic = simulate_program(&p, &labeled, ExecMode::Hose, &cfg).unwrap();
+        let cached =
+            simulate_program_cached(&p, ProcId::from_index(0), ExecMode::Hose, &cfg).unwrap();
+        assert_eq!(cached.report.analysis_cache_misses, 1);
+        let again =
+            simulate_program_cached(&p, ProcId::from_index(0), ExecMode::Hose, &cfg).unwrap();
+        assert_eq!(again.report.analysis_cache_hits, 1);
+        assert_eq!(again.report.analysis_cache_misses, 0);
+        let mut strip = again.report.clone();
+        strip.analysis_cache_hits = 0;
+        strip.analysis_cache_misses = 0;
+        strip.analysis_cache_evictions = 0;
+        // The classic first run performed the lowering misses; the cached
+        // re-runs hit. Compare everything else.
+        strip.lowering_cache_hits = classic.report.lowering_cache_hits;
+        strip.lowering_cache_misses = classic.report.lowering_cache_misses;
+        strip.lowering_cache_evictions = classic.report.lowering_cache_evictions;
+        for (r, c) in strip.regions.iter_mut().zip(&classic.report.regions) {
+            r.lowering_cache_hits = c.lowering_cache_hits;
+            r.lowering_cache_misses = c.lowering_cache_misses;
+            r.lowering_cache_evictions = c.lowering_cache_evictions;
+        }
+        assert_eq!(strip, classic.report);
+        assert!(classic.memory.diff(&cached.memory, usize::MAX).is_empty());
     }
 
     #[test]

@@ -39,10 +39,16 @@
 //! simulation of one program pulls the region's lowered bytecode from one
 //! shared [`LoweredCache`](refidem_ir::lowered::LoweredCache), so a
 //! ladder lowers each region exactly once no matter how many capacity
-//! points and modes it visits. The runner deliberately uses a *fresh*
-//! cache per check rather than the process-global one: generated (and
-//! shrunk) programs are one-shot, so global entries could never be hit
-//! again and would accumulate for the life of the process.
+//! points and modes it visits. Analysis is *analyze-once* the same way:
+//! the labeling comes from one
+//! [`AnalysisCache`](refidem_specsim::AnalysisCache), is differentially
+//! checked bit-for-bit against a direct `label_program`, and its
+//! hit/miss/eviction tally is checked on its own terms (a fresh cache
+//! misses once per region, then hits once per region, and never evicts).
+//! The runner deliberately uses *fresh* caches per check rather than the
+//! process-global ones: generated (and shrunk) programs are one-shot, so
+//! global entries could never be hit again and would accumulate for the
+//! life of the process.
 //!
 //! The ladder itself is a
 //! [`SweepPlan`](refidem_specsim::sweep::SweepPlan) built by
@@ -320,9 +326,72 @@ pub fn check_program_with(
     cfg: &DiffConfig,
     exec: &SweepExec,
 ) -> Result<DiffStats, DiffFailure> {
-    let mut labeled: LabeledProgram =
-        refidem_core::label::label_program(program, ProcId::from_index(0))
-            .map_err(|e| DiffFailure::Analysis(format!("{e:?}")))?;
+    // Label through a fresh AnalysisCache, and differentially check the
+    // cache itself: the cached labeling must be bit-identical to a direct
+    // `label_program`, and the tally is checked on its own terms (a fresh
+    // cache misses exactly once per region, then hits exactly once per
+    // region — never evicting). Running this inside the differential
+    // runner means every corpus program exercises the cached-vs-fresh
+    // equivalence, irregular and WHILE fallbacks included.
+    let analysis_cache = refidem_specsim::AnalysisCache::fresh();
+    let (mut labeled, tally) = analysis_cache
+        .label_program_cached(program, ProcId::from_index(0))
+        .map_err(|e| DiffFailure::Analysis(format!("{e:?}")))?;
+    let fresh: LabeledProgram = refidem_core::label::label_program(program, ProcId::from_index(0))
+        .map_err(|e| DiffFailure::Analysis(format!("{e:?}")))?;
+    let cache_check = |cond: bool, what: &str| {
+        if cond {
+            Ok(())
+        } else {
+            Err(DiffFailure::Analysis(format!("analysis cache: {what}")))
+        }
+    };
+    cache_check(
+        labeled.regions.len() == fresh.regions.len(),
+        "cached and fresh labelings disagree on the region count",
+    )?;
+    for (c, f) in labeled.regions.iter().zip(&fresh.regions) {
+        cache_check(
+            c.labeling == f.labeling,
+            &format!(
+                "cached labeling of `{}` differs from fresh",
+                c.analysis.spec.loop_label
+            ),
+        )?;
+        cache_check(
+            c.analysis.deps == f.analysis.deps,
+            &format!(
+                "cached dependences of `{}` differ from fresh",
+                c.analysis.spec.loop_label
+            ),
+        )?;
+        cache_check(
+            c.analysis.fully_independent == f.analysis.fully_independent,
+            "cached independence flag differs from fresh",
+        )?;
+    }
+    let n = labeled.regions.len() as u64;
+    cache_check(
+        tally
+            == refidem_specsim::AnalysisTally {
+                hits: 0,
+                misses: n,
+                evictions: 0,
+            },
+        &format!("fresh-cache tally {tally:?}, expected {n} misses"),
+    )?;
+    let (_, again) = analysis_cache
+        .label_program_cached(program, ProcId::from_index(0))
+        .map_err(|e| DiffFailure::Analysis(format!("{e:?}")))?;
+    cache_check(
+        again
+            == refidem_specsim::AnalysisTally {
+                hits: n,
+                misses: 0,
+                evictions: 0,
+            },
+        &format!("re-label tally {again:?}, expected {n} hits"),
+    )?;
     let mut stats = DiffStats::default();
     if let Some(tamper) = cfg.tamper {
         for region in &mut labeled.regions {
@@ -343,7 +412,8 @@ pub fn check_program_with(
         .runtime(cfg.runtime)
         .faults(cfg.faults.clone())
         .governor(cfg.governor)
-        .cache(refidem_ir::lowered::LoweredCache::fresh());
+        .cache(refidem_ir::lowered::LoweredCache::fresh())
+        .analysis_cache(analysis_cache);
     let seq_cfg = base_cfg.clone().oracle();
     let seq = refidem_specsim::run_program_sequential(program, &labeled, &seq_cfg)
         .map_err(|e| DiffFailure::Sequential(e.to_string()))?;

@@ -874,6 +874,48 @@ pub fn generate(seed: u64) -> GeneratedProgram {
     generate_with(seed, &GenConfig::default())
 }
 
+/// Label of the region [`giant_block`] builds.
+pub const GIANT_BLOCK_LABEL: &str = "GIANT";
+
+/// Builds a seed-pinned synthetic *giant block*: one region loop whose
+/// body is `stmts` straight-line statements chaining four accumulator
+/// scalars through reads of a wide coefficient array, closed by an array
+/// store that keeps the chain live-out — the FPPPP `TWLDRV_DO100` shape,
+/// sized on demand. The seed only varies which scalars each statement
+/// reads and writes (the dependence tangle), never the site count, so the
+/// block is a stable unit for benchmarking the pairwise dependence-test
+/// pruning on bodies big enough to cross
+/// [`SHARD_SITE_THRESHOLD`](refidem_analysis::depend::SHARD_SITE_THRESHOLD).
+/// Equal `(seed, stmts)` produce byte-identical programs.
+pub fn giant_block(seed: u64, stmts: usize) -> (Program, RegionSpec) {
+    let mut rng = Rng::new(seed);
+    let mut b = ProcBuilder::new("giant");
+    let stmts = stmts.max(1);
+    let e = b.array("e", &[stmts, 8]);
+    let g = b.array("g", &[8]);
+    let scalars: Vec<VarId> = (0..4).map(|i| b.scalar(&format!("s{i}"))).collect();
+    let k = b.index("k");
+    b.live_out(&[g]);
+    let mut body = Vec::with_capacity(stmts + 1);
+    for u in 0..stmts {
+        let dst = scalars[rng.below(scalars.len())];
+        let src = scalars[rng.below(scalars.len())];
+        let term = b.load_elem(e, vec![ac(u as i64), av(k)]);
+        let prev = b.load(src);
+        body.push(b.assign_scalar(dst, add(prev, term)));
+    }
+    let s0 = b.load(scalars[0]);
+    let s1 = b.load(scalars[1]);
+    body.push(b.assign_elem(g, vec![av(k)], add(s0, s1)));
+    let region = b.do_loop_labeled(GIANT_BLOCK_LABEL, k, ac(1), ac(8), body);
+    let mut program = Program::new("giant_block");
+    program.add_procedure(b.build(vec![region]));
+    let spec = program
+        .find_region(GIANT_BLOCK_LABEL)
+        .expect("giant block region");
+    (program, spec)
+}
+
 fn gen_spec(rng: &mut Rng, cfg: &GenConfig) -> ProgramSpec {
     let arrays = 1 + rng.below(cfg.max_arrays);
     let scalars = rng.below(cfg.max_scalars + 1);

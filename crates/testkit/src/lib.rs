@@ -57,8 +57,8 @@ pub use diff::{
     check_spec_with, DiffConfig, DiffFailure, DiffStats, Tamper, CAPACITY_LADDER,
 };
 pub use gen::{
-    generate, generate_with, region_label, GenConfig, GeneratedBuild, GeneratedProgram,
-    ProgramSpec, RegionPart,
+    generate, generate_with, giant_block, region_label, GenConfig, GeneratedBuild,
+    GeneratedProgram, ProgramSpec, RegionPart, GIANT_BLOCK_LABEL,
 };
 pub use refidem_specsim::sweep::{SweepExec, SweepPlan};
 pub use rng::Rng;

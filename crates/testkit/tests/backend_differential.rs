@@ -91,10 +91,16 @@ fn without_cache_counters(report: &ProgramReport) -> ProgramReport {
     r.lowering_cache_hits = 0;
     r.lowering_cache_misses = 0;
     r.lowering_cache_evictions = 0;
+    r.analysis_cache_hits = 0;
+    r.analysis_cache_misses = 0;
+    r.analysis_cache_evictions = 0;
     for region in &mut r.regions {
         region.lowering_cache_hits = 0;
         region.lowering_cache_misses = 0;
         region.lowering_cache_evictions = 0;
+        region.analysis_cache_hits = 0;
+        region.analysis_cache_misses = 0;
+        region.analysis_cache_evictions = 0;
     }
     r
 }
